@@ -1,0 +1,140 @@
+// Ablation — §3.3 "scheduling: should allow application involvement"
+// (resource pre-allocation / admission control).
+//
+// N clients request concurrent playback from one disk. With admission
+// control the database admits only what the device can carry and refuses
+// the rest up front; with admission disabled every stream starts and all
+// of them degrade together. The paper: "concurrent access to AV data may
+// require explicit scheduling (in particular, resource pre-allocation) by
+// clients."
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "activity/sinks.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+namespace {
+
+// One raw stream needs ~1.15 MB/s plus seek overhead: only one fits cleanly.
+const MediaDataType kType = MediaDataType::RawVideo(320, 240, 8, Rational(15));
+constexpr int kFrames = 30;  // 2 s
+
+struct Outcome {
+  int requested = 0;
+  int admitted = 0;
+  double mean_fps = 0;      // across started streams
+  double mean_late_ms = 0;  // across started streams
+  int64_t total_misses = 0;
+};
+
+Outcome Run(int clients, bool admission_enabled) {
+  AvDatabase db;
+  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  ClassDef clip_class("Clip");
+  clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+  db.DefineClass(clip_class).ok();
+
+  // Each client plays its own object (separate extents -> seeks between
+  // concurrent readers, as on a real spindle).
+  std::vector<Oid> oids;
+  for (int i = 0; i < clients; ++i) {
+    auto value = synthetic::GenerateVideo(
+                     kType, kFrames, synthetic::VideoPattern::kMovingBox,
+                     static_cast<uint64_t>(i + 1))
+                     .value();
+    Oid oid = db.NewObject("Clip").value();
+    db.SetMediaAttribute(oid, "footage", *value, "disk0").ok();
+    oids.push_back(oid);
+  }
+
+  Outcome outcome;
+  outcome.requested = clients;
+  std::vector<std::shared_ptr<VideoWindow>> windows;
+  std::vector<StreamHandle> streams;
+  for (int i = 0; i < clients; ++i) {
+    Result<StreamHandle> stream = Status::Internal("");
+    if (admission_enabled) {
+      stream = db.NewSourceFor("client" + std::to_string(i), oids[i],
+                               "footage");
+      if (!stream.ok()) continue;  // refused up front
+    } else {
+      // Bypass the controller: build the same source by hand.
+      auto value = db.LoadMediaAttribute(oids[i], "footage").value();
+      SourceOptions options;
+      options.store = db.devices().GetStore("disk0").value();
+      options.blob_name =
+          db.MediaHistory(oids[i], "footage").value().back().blob_name;
+      options.device_queue = db.DeviceQueue("disk0").value();
+      auto source = VideoSource::Create("src" + std::to_string(i),
+                                        ActivityLocation::kDatabase, db.env(),
+                                        options);
+      source->Bind(value, VideoSource::kPortOut).ok();
+      db.graph().Add(source).ok();
+      StreamHandle handle;
+      handle.source = source.get();
+      stream = handle;
+    }
+    auto window = VideoWindow::Create("win" + std::to_string(i),
+                                      ActivityLocation::kClient, db.env(),
+                                      VideoQuality(320, 240, 8, Rational(15)));
+    db.graph().Add(window).ok();
+    db.graph()
+        .Connect(stream.value().source, VideoSource::kPortOut, window.get(),
+                 VideoWindow::kPortIn)
+        .ok();
+    windows.push_back(window);
+    streams.push_back(stream.value());
+    ++outcome.admitted;
+  }
+  // Start everything that was admitted.
+  for (const auto& a : db.graph().activities()) {
+    if (a->state() == MediaActivity::State::kIdle) a->Start().ok();
+  }
+  db.RunUntilIdle();
+
+  for (const auto& window : windows) {
+    outcome.mean_fps += window->stats().AchievedRate();
+    outcome.mean_late_ms += window->stats().MeanLatenessMs();
+    outcome.total_misses += window->stats().deadline_misses;
+  }
+  if (!windows.empty()) {
+    outcome.mean_fps /= static_cast<double>(windows.size());
+    outcome.mean_late_ms /= static_cast<double>(windows.size());
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+               "Admission experiment: N concurrent playbacks from one disk\n"
+               "==============================================================\n\n"
+               "raw stream demand ~1.15 MB/s + seek overhead; one disk carries one\n\n";
+
+  std::printf("%-10s | %-30s | %-30s\n", "", "admission control ON",
+              "admission control OFF");
+  std::printf("%-10s | %8s %8s %12s | %8s %8s %12s\n", "clients", "started",
+              "fps", "misses", "started", "fps", "misses");
+  std::printf("--------------------------------------------------------------"
+              "------------------\n");
+  for (int clients : {1, 2, 3, 4, 6, 8}) {
+    const Outcome on = Run(clients, true);
+    const Outcome off = Run(clients, false);
+    std::printf("%-10d | %8d %8.2f %12lld | %8d %8.2f %12lld\n", clients,
+                on.admitted, on.mean_fps,
+                static_cast<long long>(on.total_misses), off.admitted,
+                off.mean_fps, static_cast<long long>(off.total_misses));
+  }
+  std::printf(
+      "\nShape check: with admission ON the started count saturates at the\n"
+      "device's capacity and every admitted stream keeps its rate; with it\n"
+      "OFF everything starts and, past the knee, *all* streams miss\n"
+      "deadlines — the §3.3 argument for client-visible pre-allocation.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation — §3.3 "client interface: should be asynchronous, stream-based".
+//
+// The same playback request served two ways:
+//   A. call-by-value ("conventional database"): the client issues a request
+//      and receives the complete value in the reply, blocking until the
+//      whole transfer finishes, then plays locally;
+//   B. stream redirection (the paper's interface): the client binds the
+//      value to a database source, connects it to its sink, starts the
+//      stream, and proceeds with other work.
+//
+// The table reports time-to-first-frame and total client-blocked time —
+// the two numbers §3.3's argument turns on.
+
+#include <cstdio>
+#include <iostream>
+
+#include "activity/sinks.h"
+#include "base/strings.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+namespace {
+
+const MediaDataType kType = MediaDataType::RawVideo(320, 240, 8, Rational(15));
+constexpr int kFrames = 90;  // 6 s of video
+
+struct InterfaceReport {
+  double first_frame_s = 0;
+  double blocked_s = 0;
+  double total_s = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+               "Client-interface experiment: call-by-value vs stream-based\n"
+               "==============================================================\n\n"
+               "workload: play a 6 s, 320x240x8@15 value over 10 Mb/s "
+               "Ethernet\n\n";
+
+  InterfaceReport by_value;
+  InterfaceReport streamed;
+
+  // --- A: issue-request / receive-reply ---------------------------------------
+  {
+    AvDatabase db;
+    db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+    auto channel = db.AddChannel("net", Channel::Profile::Ethernet10()).value();
+    ClassDef clip_class("Clip");
+    clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+    db.DefineClass(clip_class).ok();
+    auto value = synthetic::GenerateVideo(
+                     kType, kFrames, synthetic::VideoPattern::kMovingBox)
+                     .value();
+    Oid oid = db.NewObject("Clip").value();
+    db.SetMediaAttribute(oid, "footage", *value, "disk0").ok();
+
+    // The reply contains all the data: read the whole blob from disk, then
+    // ship it across the network in one transfer; the client blocks.
+    const auto blob_name =
+        db.MediaHistory(oid, "footage").value().back().blob_name;
+    auto read = db.devices().Fetch(blob_name).value();
+    const int64_t disk_done_ns = VirtualClock::ToNs(read.duration);
+    const int64_t reply_ns =
+        channel->Transfer(disk_done_ns,
+                          static_cast<int64_t>(read.data.size()));
+    by_value.blocked_s = reply_ns / 1e9;
+    // Local playback: first frame as soon as the reply lands.
+    by_value.first_frame_s = reply_ns / 1e9;
+    by_value.total_s = reply_ns / 1e9 + kFrames / 15.0;
+  }
+
+  // --- B: bind / connect / start (the paper's interface) ----------------------
+  {
+    AvDatabase db;
+    db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+    db.AddChannel("net", Channel::Profile::Ethernet10()).ok();
+    ClassDef clip_class("Clip");
+    clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+    db.DefineClass(clip_class).ok();
+    auto value = synthetic::GenerateVideo(
+                     kType, kFrames, synthetic::VideoPattern::kMovingBox)
+                     .value();
+    Oid oid = db.NewObject("Clip").value();
+    db.SetMediaAttribute(oid, "footage", *value, "disk0").ok();
+
+    auto stream = db.NewSourceFor("client", oid, "footage").value();
+    auto window =
+        VideoWindow::Create("win", ActivityLocation::kClient, db.env(),
+                            VideoQuality(320, 240, 8, Rational(15)));
+    db.graph().Add(window).ok();
+    db.NewConnection(stream.source, VideoSource::kPortOut, window.get(),
+                     VideoWindow::kPortIn, "net")
+        .ok();
+    db.StartStream(stream).ok();
+    db.RunUntilIdle();
+    streamed.first_frame_s = window->stats().first_element_ns / 1e9;
+    streamed.blocked_s = 0;  // the interface never blocks the client
+    streamed.total_s = window->stats().last_element_ns / 1e9;
+  }
+
+  std::printf("%-34s %16s %16s %12s\n", "interface", "first-frame(s)",
+              "client-blocked(s)", "total(s)");
+  std::printf("%-34s %16.2f %16.2f %12.2f\n",
+              "A: call-by-value reply", by_value.first_frame_s,
+              by_value.blocked_s, by_value.total_s);
+  std::printf("%-34s %16.2f %16.2f %12.2f\n",
+              "B: stream redirection (paper)", streamed.first_frame_s,
+              streamed.blocked_s, streamed.total_s);
+
+  std::printf(
+      "\nShape check: the stream-based interface starts presenting within\n"
+      "the preroll and never blocks the client; call-by-value blocks for\n"
+      "the entire disk+network transfer before the first frame appears.\n");
+  return streamed.first_frame_s < by_value.first_frame_s ? 0 : 1;
+}

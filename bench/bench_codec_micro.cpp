@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the compute kernels behind the
+// activity catalog: transform coding, motion search, delta coding, audio
+// companding and the raycaster. These are the real-CPU costs that the
+// simulation's CostModel abstracts; run them to recalibrate the model for
+// a different host.
+
+#include <benchmark/benchmark.h>
+
+#include "codec/audio_codec.h"
+#include "codec/block_transform.h"
+#include "codec/delta_codec.h"
+#include "codec/inter_codec.h"
+#include "codec/intra_codec.h"
+#include "codec/scalable_codec.h"
+#include "media/synthetic.h"
+#include "vworld/raycaster.h"
+
+namespace avdb {
+namespace {
+
+VideoFrame QcifFrame(int index = 0) {
+  return synthetic::GeneratePatternFrame(176, 144, 8, index,
+                                         synthetic::VideoPattern::kMovingBox);
+}
+
+void BM_Dct8x8Forward(benchmark::State& state) {
+  block_transform::Block block;
+  for (int i = 0; i < block_transform::kBlockArea; ++i) {
+    block[i] = static_cast<int16_t>((i * 7) % 256 - 128);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block_transform::ForwardDct(block));
+  }
+}
+BENCHMARK(BM_Dct8x8Forward);
+
+void BM_IntraEncodeQcif(benchmark::State& state) {
+  const VideoFrame frame = QcifFrame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntraCodec::EncodeFrame(frame, 75));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntraEncodeQcif);
+
+void BM_IntraDecodeQcif(benchmark::State& state) {
+  const VideoFrame frame = QcifFrame();
+  const Buffer bits = IntraCodec::EncodeFrame(frame, 75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntraCodec::DecodeFrame(bits, 176, 144, 8, 75));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntraDecodeQcif);
+
+void BM_InterEncodeGop(benchmark::State& state) {
+  const auto type = MediaDataType::RawVideo(176, 144, 8, Rational(15));
+  auto video = synthetic::GenerateVideo(
+                   type, 10, synthetic::VideoPattern::kMovingBox)
+                   .value();
+  InterCodec codec;
+  VideoCodecParams params;
+  params.gop_size = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(*video, params));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_InterEncodeGop);
+
+void BM_DeltaEncodeQcif(benchmark::State& state) {
+  const auto type = MediaDataType::RawVideo(176, 144, 8, Rational(15));
+  auto video = synthetic::GenerateVideo(
+                   type, 8, synthetic::VideoPattern::kMovingBox)
+                   .value();
+  DeltaCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(*video, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DeltaEncodeQcif);
+
+void BM_ScalableDecodeLayers(benchmark::State& state) {
+  const auto type = MediaDataType::RawVideo(176, 144, 8, Rational(15));
+  auto video = synthetic::GenerateVideo(
+                   type, 2, synthetic::VideoPattern::kMovingBox)
+                   .value();
+  ScalableCodec codec;
+  VideoCodecParams params;
+  params.layer_count = 3;
+  auto encoded = codec.Encode(*video, params).value();
+  auto session =
+      codec.NewDecoderWithLayers(encoded, static_cast<int>(state.range(0)))
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->DecodeFrame(0));
+  }
+}
+BENCHMARK(BM_ScalableDecodeLayers)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_MulawBlock(benchmark::State& state) {
+  auto audio = synthetic::GenerateAudio(MediaDataType::CdAudio(), 1024,
+                                        synthetic::AudioPattern::kChirp)
+                   .value();
+  MulawCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(*audio));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MulawBlock);
+
+void BM_AdpcmBlock(benchmark::State& state) {
+  auto audio = synthetic::GenerateAudio(MediaDataType::CdAudio(), 1024,
+                                        synthetic::AudioPattern::kChirp)
+                   .value();
+  AdpcmCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(*audio));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_AdpcmBlock);
+
+void BM_RaycastFrame(benchmark::State& state) {
+  static Scene scene = Scene::MuseumRoom();
+  Raycaster::Options options;
+  options.width = static_cast<int>(state.range(0));
+  options.height = options.width * 3 / 4;
+  Raycaster caster(&scene, options);
+  const VideoFrame wall = QcifFrame();
+  const Pose pose = scene.DefaultPose();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caster.Render(pose, &wall));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RaycastFrame)->Arg(160)->Arg(320);
+
+}  // namespace
+}  // namespace avdb
+
+BENCHMARK_MAIN();

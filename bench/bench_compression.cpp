@@ -1,0 +1,99 @@
+// Ablation — §1's enabling claim: "the compressed video has data rates
+// comparable to bus and disk bandwidths and so opens the possibility of
+// video recording and playback from conventional secondary storage
+// devices."
+//
+// The same content is encoded with every stored representation; the table
+// reports the measured stored data rate against the two 1993 device
+// bandwidths, and the number of concurrent streams each representation
+// admits from one magnetic disk.
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "codec/registry.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+namespace {
+
+const MediaDataType kType = MediaDataType::RawVideo(320, 240, 8, Rational(15));
+constexpr int kFrames = 45;
+
+/// Streams admitted by a fresh database holding one copy of `value` per
+/// prospective client.
+int AdmittedStreams(const MediaValue& value) {
+  // Plenty of decoders and buffers: the experiment isolates disk bandwidth.
+  AvDatabaseConfig config;
+  config.decoder_units = 64;
+  config.buffer_pool_bytes = 64LL * 1024 * 1024;
+  AvDatabase db(config);
+  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  ClassDef clip_class("Clip");
+  clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+  db.DefineClass(clip_class).ok();
+  int admitted = 0;
+  for (int i = 0; i < 64; ++i) {
+    Oid oid = db.NewObject("Clip").value();
+    if (!db.SetMediaAttribute(oid, "footage", value, "disk0").ok()) break;
+    auto stream = db.NewSourceFor("c" + std::to_string(i), oid, "footage");
+    if (!stream.ok()) break;
+    ++admitted;
+  }
+  return admitted;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+               "Compression experiment: stored rate vs device bandwidth (§1)\n"
+               "==============================================================\n\n"
+               "content: 320x240x8@15 (raw 1.15 MB/s); devices: magnetic disk "
+               "3.5 MB/s, CD-ROM 300 KB/s\n\n";
+
+  auto raw = synthetic::GenerateVideo(kType, kFrames,
+                                      synthetic::VideoPattern::kMovingBox)
+                 .value();
+  const double duration_s = raw->NaturalDuration().ToSecondsF();
+  const int64_t disk_bw = DeviceProfile::MagneticDisk().transfer_bytes_per_sec;
+  const int64_t cdrom_bw = DeviceProfile::CdRom().transfer_bytes_per_sec;
+
+  std::printf("%-14s %12s %12s %10s %10s %14s\n", "representation",
+              "bytes", "rate(KB/s)", "disk?", "CD-ROM?", "streams/disk");
+
+  // Raw first.
+  {
+    const double rate = raw->StoredBytes() / duration_s;
+    std::printf("%-14s %12lld %12.0f %10s %10s %14d\n", "raw",
+                static_cast<long long>(raw->StoredBytes()), rate / 1024,
+                rate <= disk_bw ? "yes" : "NO",
+                rate <= cdrom_bw ? "yes" : "NO", AdmittedStreams(*raw));
+  }
+  for (EncodingFamily family :
+       {EncodingFamily::kIntra, EncodingFamily::kDelta, EncodingFamily::kInter,
+        EncodingFamily::kScalable}) {
+    auto codec = CodecRegistry::Default().VideoCodecFor(family).value();
+    VideoCodecParams params;
+    params.quality = 75;
+    params.gop_size = 15;
+    auto encoded = codec->Encode(*raw, params).value();
+    auto value = EncodedVideoValue::Create(codec, encoded).value();
+    const double rate = value->StoredBytes() / duration_s;
+    std::printf("%-14s %12lld %12.0f %10s %10s %14d\n",
+                std::string(EncodingFamilyName(family)).c_str(),
+                static_cast<long long>(value->StoredBytes()), rate / 1024,
+                rate <= disk_bw ? "yes" : "NO",
+                rate <= cdrom_bw ? "yes" : "NO", AdmittedStreams(*value));
+  }
+
+  std::printf(
+      "\nShape check: raw video monopolizes the disk (and cannot come off a\n"
+      "CD-ROM at all); intra coding multiplies the stream count; predictive\n"
+      "coding multiplies it again and fits CD-ROM rates — the confluence §1\n"
+      "says makes AV databases viable.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Figure 3 — "AV database system and applications."
+//
+// Regenerates the architecture as a running system: database-resident
+// activities bound to stored, temporally-composed AV values, streaming
+// over network connections to application-resident sinks, with requests
+// mediated by the database. The measured table covers the client
+// interaction the figure frames: query latency vs stream setup vs
+// transfer, and the asynchrony of the interface (the client issues further
+// requests while its stream plays).
+
+#include <cstdio>
+#include <iostream>
+
+#include "activity/sinks.h"
+#include "base/strings.h"
+#include "codec/registry.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+namespace {
+
+constexpr int kCatalogSize = 200;
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+               "Figure 3 experiment: database/application interaction\n"
+               "==============================================================\n\n";
+
+  AvDatabase db;
+  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  db.AddChannel("net", Channel::Profile::Ethernet10()).ok();
+
+  ClassDef newscast("SimpleNewscast");
+  newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
+  newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok();
+  newscast.AddAttribute({"videoTrack", AttrType::kVideo, {}, {}}).ok();
+  db.DefineClass(newscast).ok();
+
+  // Populate a catalog; one entry carries real (encoded) footage.
+  const auto vtype = MediaDataType::RawVideo(176, 144, 8, Rational(10));
+  auto raw = synthetic::GenerateVideo(vtype, 50,
+                                      synthetic::VideoPattern::kMovingBox)
+                 .value();
+  auto codec =
+      CodecRegistry::Default().VideoCodecFor(EncodingFamily::kIntra).value();
+  VideoCodecParams cparams;
+  cparams.quality = 80;
+  auto footage =
+      EncodedVideoValue::Create(codec, codec->Encode(*raw, cparams).value())
+          .value();
+
+  Oid target;
+  for (int i = 0; i < kCatalogSize; ++i) {
+    Oid oid = db.NewObject("SimpleNewscast").value();
+    db.SetScalar(oid, "title",
+                 std::string(i == 137 ? "60 Minutes"
+                                      : "Broadcast #" + std::to_string(i)))
+        .ok();
+    db.SetScalar(oid, "whenBroadcast",
+                 std::string("1992-11-" + std::to_string(1 + i % 28)))
+        .ok();
+    if (i == 137) {
+      db.SetMediaAttribute(oid, "videoTrack", *footage,
+                           i % 2 == 0 ? "disk0" : "disk1")
+          .ok();
+      target = oid;
+    }
+  }
+
+  // --- Measured §4.3 sequence ------------------------------------------------
+  // Query: CPU-side catalog scan/index work is instantaneous in virtual
+  // time; we report the candidate-set behaviour instead.
+  auto hits = db.Select("SimpleNewscast", "title = \"60 Minutes\"");
+  std::printf("query:   select over %d objects -> %zu reference(s) "
+              "(equality-indexed)\n",
+              kCatalogSize, hits.value().size());
+
+  const int64_t t0 = db.engine().now_ns();
+  auto stream = db.NewSourceFor("app", hits.value()[0], "videoTrack");
+  if (!stream.ok()) {
+    std::cerr << "setup failed: " << stream.status() << "\n";
+    return 1;
+  }
+  const int64_t t_setup = db.engine().now_ns();
+
+  auto window = VideoWindow::Create("appSink", ActivityLocation::kClient,
+                                    db.env(),
+                                    VideoQuality(176, 144, 8, Rational(10)));
+  db.graph().Add(window).ok();
+  db.NewConnection(stream.value().source, VideoSource::kPortOut, window.get(),
+                   VideoWindow::kPortIn, "net")
+      .ok();
+
+  // The client interleaves its own work with the running stream: issue
+  // three more queries *while* the transfer proceeds, proving the
+  // asynchronous, stream-based interface (§3.3).
+  db.StartStream(stream.value()).ok();
+  int64_t interleaved_queries = 0;
+  for (int tick = 1; tick <= 4; ++tick) {
+    db.RunUntil(WorldTime::FromMillis(tick * 1000));
+    auto q = db.Select("SimpleNewscast",
+                       "whenBroadcast >= '1992-11-2' and not title contains "
+                       "'60'");
+    if (q.ok()) ++interleaved_queries;
+  }
+  db.RunUntilIdle();
+
+  const StreamStats& stats = window->stats();
+  const double setup_ms = (t_setup - t0) / 1e6;
+  const double first_frame_ms =
+      stats.first_element_ns < 0 ? -1 : (stats.first_element_ns - t0) / 1e6;
+  const double stream_s =
+      (stats.last_element_ns - stats.first_element_ns) / 1e9;
+
+  std::printf("setup:   activity creation + admission + bind: %.2f ms "
+              "(virtual)\n", setup_ms);
+  std::printf("start:   time to first presented frame: %.1f ms\n",
+              first_frame_ms);
+  std::printf("stream:  %lld frames over %.2f s (%.2f fps), %lld late, "
+              "%s across the network\n",
+              static_cast<long long>(stats.elements_presented), stream_s,
+              stats.AchievedRate(),
+              static_cast<long long>(stats.late_elements),
+              FormatBytes(static_cast<uint64_t>(stats.bytes_delivered))
+                  .c_str());
+  std::printf("async:   client issued %lld catalog queries while the stream "
+              "played (never blocked)\n",
+              static_cast<long long>(interleaved_queries));
+
+  // Resource mediation visible to the client.
+  std::printf("\nresource state during playback is client-visible:\n");
+  for (const auto* pool :
+       {"disk0.bandwidth", "disk1.bandwidth", "db.decoders", "db.buffers"}) {
+    std::printf("  %-16s %12.0f of %12.0f available\n", pool,
+                db.admission().Available(pool).value_or(-1),
+                db.admission().Capacity(pool).value_or(-1));
+  }
+  auto channel = db.GetChannel("net").value();
+  std::printf("  %-16s %12lld of %12lld available (reserved by the "
+              "connection)\n",
+              "net.bandwidth",
+              static_cast<long long>(channel->AvailableBandwidth()),
+              static_cast<long long>(
+                  channel->profile().bandwidth_bytes_per_sec));
+  db.StopStream(stream.value()).ok();
+  return stats.elements_presented == 50 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Ablation — the GOP-size design choice inside the inter codec: the
+// §3.1 observation that a media data type "governs the encoding and
+// interpretation of its elements" has operational consequences — longer
+// GOPs compress better but make random access (cueing, §4.2) pay more
+// decode work. This trade-off is why the editing scenario favours intra
+// representations while the archive favours predictive ones.
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/rng.h"
+#include "codec/inter_codec.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+int main() {
+  std::cout << "==============================================================\n"
+               "GOP-size experiment: storage vs random-access cost\n"
+               "==============================================================\n\n";
+
+  const auto type = MediaDataType::RawVideo(176, 144, 8, Rational(15));
+  const int kFrames = 60;
+  auto video = synthetic::GenerateVideo(type, kFrames,
+                                        synthetic::VideoPattern::kMovingBox)
+                   .value();
+  const int64_t raw_bytes = video->StoredBytes();
+  InterCodec codec;
+
+  std::printf("content: %d frames of %s (%lld raw bytes)\n\n", kFrames,
+              type.ToString().c_str(), static_cast<long long>(raw_bytes));
+  std::printf("%8s %14s %12s %24s %22s\n", "GOP", "stored bytes", "ratio",
+              "frames decoded per seek", "mean err (q75)");
+
+  for (int gop : {1, 5, 15, 30, 60}) {
+    VideoCodecParams params;
+    params.quality = 75;
+    params.gop_size = gop;
+    auto encoded = codec.Encode(*video, params).value();
+
+    // Random access cost: 40 random seeks, counting internally decoded
+    // frames per requested frame.
+    Rng rng(42);
+    auto session = codec.NewDecoder(encoded).value();
+    int64_t decoded_before = 0;
+    double total_cost = 0;
+    double total_err = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      const int64_t target = rng.NextInRange(0, kFrames - 1);
+      auto frame = session->DecodeFrame(target).value();
+      total_cost += static_cast<double>(
+          session->FramesDecodedInternally() - decoded_before);
+      decoded_before = session->FramesDecodedInternally();
+      total_err +=
+          frame.MeanAbsoluteError(video->Frame(target).value()).value();
+    }
+
+    std::printf("%8d %14lld %11.1fx %24.1f %22.2f\n", gop,
+                static_cast<long long>(encoded.TotalBytes()),
+                static_cast<double>(raw_bytes) /
+                    static_cast<double>(encoded.TotalBytes()),
+                total_cost / 40.0, total_err / 40.0);
+  }
+
+  std::printf(
+      "\nShape check: compression improves monotonically with GOP size while\n"
+      "random access degrades linearly (~GOP/2 extra decodes per seek) —\n"
+      "the trade DESIGN.md calls out between editing (intra, GOP=1) and\n"
+      "archival playback (long GOPs).\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Ablation — §3.3 "data placement: should allow application involvement".
+//
+// The paper's exact example: an application mixing two video values.
+// "Depending upon the characteristics of the storage devices in use, it may
+// simply not be possible for the database to simultaneously produce the two
+// video values unless they reside on different devices... the database
+// would need to copy one value to a temporary area on a second device.
+// This could be so time-consuming as to destroy any sense of
+// interactivity."
+//
+// Three configurations of the same two-stream mix:
+//   A. both values on one disk (placement hidden, naive),
+//   B. values placed on two disks by the application (client-visible),
+//   C. same-disk start, database transparently copies first (the paper's
+//      "preserve physical data independence" fallback).
+
+#include <cstdio>
+#include <iostream>
+
+#include "activity/sinks.h"
+#include "activity/transformers.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+namespace {
+
+// 320x240x8 @ 15 fps: ~21 ms transfer per frame on a 3.5 MB/s disk; two
+// interleaved streams also pay an ~18 ms seek per frame, which does not fit
+// in the 66.7 ms frame period.
+const MediaDataType kType = MediaDataType::RawVideo(320, 240, 8, Rational(15));
+constexpr int kFrames = 45;  // 3 s
+
+struct MixReport {
+  double fps = 0;
+  int64_t misses = 0;
+  double mean_late_ms = 0;
+  double copy_cost_s = 0;
+};
+
+MixReport Run(bool two_devices, bool copy_first) {
+  AvDatabase db;
+  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+
+  ClassDef clip_class("Clip");
+  clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+  db.DefineClass(clip_class).ok();
+
+  auto value_a = synthetic::GenerateVideo(
+                     kType, kFrames, synthetic::VideoPattern::kMovingBox, 1)
+                     .value();
+  auto value_b = synthetic::GenerateVideo(
+                     kType, kFrames, synthetic::VideoPattern::kMovingGradient,
+                     2)
+                     .value();
+  Oid oid_a = db.NewObject("Clip").value();
+  Oid oid_b = db.NewObject("Clip").value();
+  db.SetMediaAttribute(oid_a, "footage", *value_a, "disk0").ok();
+  db.SetMediaAttribute(oid_b, "footage", *value_b,
+                       two_devices ? "disk1" : "disk0")
+      .ok();
+
+  MixReport report;
+  if (copy_first) {
+    // The "physical data independence" path: relocate B before playing.
+    auto moved = db.MoveAttribute(oid_b, "footage", "disk1");
+    if (!moved.ok()) {
+      std::cerr << "move failed: " << moved.status() << "\n";
+      return report;
+    }
+    report.copy_cost_s = moved.value().ToSecondsF();
+  }
+
+  // Build the sources directly (bypassing admission): this experiment
+  // measures what the device actually delivers per placement — admission
+  // control would simply refuse configuration A outright (see
+  // bench_admission for that side of the argument).
+  auto make_source = [&](const char* name, Oid oid) {
+    const MediaVersion version =
+        db.MediaHistory(oid, "footage").value().back();
+    auto value = db.LoadMediaAttribute(oid, "footage").value();
+    SourceOptions options;
+    options.store = db.devices().GetStore(version.device).value();
+    options.blob_name = version.blob_name;
+    options.device_queue = db.DeviceQueue(version.device).value();
+    auto source = VideoSource::Create(name, ActivityLocation::kDatabase,
+                                      db.env(), options);
+    source->Bind(value, VideoSource::kPortOut).ok();
+    db.graph().Add(source).ok();
+    StreamHandle handle;
+    handle.source = source.get();
+    return handle;
+  };
+  StreamHandle stream_a = make_source("srcA", oid_a);
+  StreamHandle stream_b = make_source("srcB", oid_b);
+  auto mixer = VideoMixer::Create("mix", ActivityLocation::kDatabase,
+                                  db.env(), kType, 0.5);
+  auto window = VideoWindow::Create("monitor", ActivityLocation::kClient,
+                                    db.env(),
+                                    VideoQuality(320, 240, 8, Rational(15)));
+  db.graph().Add(mixer).ok();
+  db.graph().Add(window).ok();
+  db.NewConnection(stream_a.source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInA)
+      .ok();
+  db.NewConnection(stream_b.source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInB)
+      .ok();
+  db.NewConnection(mixer.get(), VideoMixer::kPortOut, window.get(),
+                   VideoWindow::kPortIn)
+      .ok();
+  // Start sinks/transformers first, then the (hand-built) sources.
+  for (const auto& a : db.graph().activities()) {
+    if (a->state() == MediaActivity::State::kIdle &&
+        a->Kind() != ActivityKind::kSource) {
+      a->Start().ok();
+    }
+  }
+  stream_a.source->Start().ok();
+  stream_b.source->Start().ok();
+  db.RunUntilIdle();
+
+  report.fps = window->stats().AchievedRate();
+  report.misses = window->stats().deadline_misses;
+  report.mean_late_ms = window->stats().MeanLatenessMs();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+               "Placement experiment: two-stream video mix (\"video mixing is\n"
+               "commonly used during video editing\", §3.3)\n"
+               "==============================================================\n\n"
+               "workload: mix two 320x240x8@15 values (" << kFrames
+            << " frames) on 3.5 MB/s disks\n\n";
+
+  const MixReport shared = Run(/*two_devices=*/false, /*copy_first=*/false);
+  const MixReport split = Run(/*two_devices=*/true, /*copy_first=*/false);
+  const MixReport copied = Run(/*two_devices=*/false, /*copy_first=*/true);
+
+  std::printf("%-34s %10s %8s %12s %12s\n", "configuration", "fps", "misses",
+              "late(ms)", "copy-cost(s)");
+  std::printf("%-34s %10.2f %8lld %12.2f %12s\n",
+              "A: both values on one disk", shared.fps,
+              static_cast<long long>(shared.misses), shared.mean_late_ms,
+              "-");
+  std::printf("%-34s %10.2f %8lld %12.2f %12s\n",
+              "B: placed on two disks (visible)", split.fps,
+              static_cast<long long>(split.misses), split.mean_late_ms, "-");
+  std::printf("%-34s %10.2f %8lld %12.2f %12.2f\n",
+              "C: transparent copy, then play", copied.fps,
+              static_cast<long long>(copied.misses), copied.mean_late_ms,
+              copied.copy_cost_s);
+
+  std::printf(
+      "\nShape check: A thrashes the single arm (low fps, misses); B runs\n"
+      "at rate; C runs at rate only after a multi-second copy — §3.3's\n"
+      "\"destroys any sense of interactivity\". Client-visible placement\n"
+      "is the only configuration that is both immediate and smooth.\n");
+  return (split.misses < shared.misses || shared.fps < split.fps) ? 0 : 1;
+}

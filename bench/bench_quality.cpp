@@ -1,0 +1,82 @@
+// Ablation — §4.1 "data representation: applications should deal with
+// quality factors" via scalable video.
+//
+// One value is stored once with the layered (scalable) codec. Clients then
+// request three different quality factors; the database maps each factor
+// to a layer subset of the same stored representation — "a video value
+// encoded at one quality can be viewed at a lower quality by ignoring some
+// of the encoded data" ([14] in the paper). The table reports bytes/frame
+// actually touched, decode CPU, and picture error per requested quality.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "codec/scalable_codec.h"
+#include "media/quality.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+int main() {
+  std::cout << "==============================================================\n"
+               "Quality-factor experiment: one stored value, many qualities\n"
+               "==============================================================\n\n";
+
+  const auto stored_type =
+      MediaDataType::RawVideo(320, 240, 8, Rational(30));
+  auto original = synthetic::GenerateVideo(
+                      stored_type, 12, synthetic::VideoPattern::kMovingBox)
+                      .value();
+  ScalableCodec codec;
+  VideoCodecParams params;
+  params.quality = 85;
+  params.layer_count = 3;
+  auto encoded = codec.Encode(*original, params).value();
+
+  std::printf("stored once: %s, %lld bytes total (%.1fx vs raw)\n\n",
+              stored_type.ToString().c_str(),
+              static_cast<long long>(encoded.TotalBytes()),
+              static_cast<double>(original->StoredBytes()) /
+                  static_cast<double>(encoded.TotalBytes()));
+
+  struct QualityCase {
+    const char* requested;
+  };
+  const QualityCase cases[] = {
+      {"80x60x8@30"},
+      {"160x120x8@30"},
+      {"320x240x8@30"},
+  };
+
+  std::printf("%-16s %8s %14s %14s %12s\n", "requested", "layers",
+              "bytes/frame", "decode(ms)", "mean-err");
+  for (const auto& c : cases) {
+    const VideoQuality quality = VideoQuality::Parse(c.requested).value();
+    const int layers = ScalableCodec::LayersForResolution(
+        stored_type, quality.width(), quality.height());
+    const int64_t bytes =
+        ScalableCodec::BytesPerFrameAtLayers(encoded, layers).value();
+
+    auto session = codec.NewDecoderWithLayers(encoded, layers).value();
+    const auto start = std::chrono::steady_clock::now();
+    double err = 0;
+    for (int64_t i = 0; i < 12; ++i) {
+      auto frame = session->DecodeFrame(i).value();
+      err += frame.MeanAbsoluteError(original->Frame(i).value()).value();
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        12.0;
+    std::printf("%-16s %8d %14lld %14.2f %12.2f\n", c.requested, layers,
+                static_cast<long long>(bytes), ms, err / 12.0);
+  }
+
+  std::printf(
+      "\nShape check: lower requested quality touches fewer stored bytes\n"
+      "and decodes faster; full quality recovers the picture closely. The\n"
+      "application never named a representation — only quality factors.\n");
+  return 0;
+}

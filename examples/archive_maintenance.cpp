@@ -1,0 +1,139 @@
+// Archive maintenance: the database-administration side of Scenario I.
+// Exercises the facilities the §2 survey demands beyond playback —
+// versioning, recording, quality-factor service from one stored
+// representation, and backup/recovery:
+//
+//   1. ingest a promo as a scalable encoding,
+//   2. serve it simultaneously at thumbnail and full quality,
+//   3. re-record the promo from a live camera feed (version 2),
+//   4. roll the whole database into a backup image and restore it into a
+//      freshly built platform, verifying history survives.
+
+#include <iostream>
+
+#include "activity/sinks.h"
+#include "activity/sources.h"
+#include "base/strings.h"
+#include "codec/scalable_codec.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+int main() {
+  std::cout << "=== avdb: archive maintenance (versions, quality, backup) ===\n\n";
+
+  AvDatabase db;
+  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+
+  ClassDef asset("VideoAsset");
+  asset.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
+  asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+  db.DefineClass(asset).ok();
+
+  // --- 1: ingest as a scalable representation --------------------------------
+  const auto type = MediaDataType::RawVideo(320, 240, 8, Rational(10));
+  auto raw = synthetic::GenerateVideo(type, 30,
+                                      synthetic::VideoPattern::kMovingBox)
+                 .value();
+  ScalableCodec codec;
+  VideoCodecParams params;
+  params.layer_count = 3;
+  params.quality = 85;
+  auto stored = EncodedVideoValue::Create(std::make_shared<ScalableCodec>(),
+                                          codec.Encode(*raw, params).value())
+                    .value();
+  Oid oid = db.NewObject("VideoAsset").value();
+  db.SetScalar(oid, "title", std::string("Phoenix promo")).ok();
+  db.SetMediaAttribute(oid, "footage", *stored, "disk0").ok();
+  std::cout << "ingested " << stored->Describe() << "\n\n";
+
+  // --- 2: one stored value, two quality factors -------------------------------
+  struct View {
+    const char* quality;
+    std::shared_ptr<VideoWindow> window;
+    StreamHandle stream;
+  };
+  std::vector<View> views = {{"80x60x8@10", nullptr, {}},
+                             {"320x240x8@10", nullptr, {}}};
+  for (auto& view : views) {
+    const VideoQuality quality = VideoQuality::Parse(view.quality).value();
+    auto stream = db.NewSourceFor("viewer", oid, "footage", quality);
+    if (!stream.ok()) {
+      std::cerr << "stream failed: " << stream.status() << "\n";
+      return 1;
+    }
+    view.stream = stream.value();
+    view.window = VideoWindow::Create(
+        std::string("win-") + view.quality, ActivityLocation::kClient,
+        db.env(), VideoQuality(320, 240, 8, Rational(10)));
+    db.graph().Add(view.window).ok();
+    db.NewConnection(view.stream.source, VideoSource::kPortOut,
+                     view.window.get(), VideoWindow::kPortIn)
+        .ok();
+    db.StartStream(view.stream).ok();
+  }
+  db.RunUntilIdle();
+  for (auto& view : views) {
+    auto* source = dynamic_cast<VideoSource*>(view.stream.source);
+    std::cout << "quality " << view.quality << ": "
+              << view.window->stats().elements_presented
+              << " frames presented; stored bytes touched: "
+              << FormatBytes(static_cast<uint64_t>(
+                     source->bound_value()->StoredBytes()))
+              << " (" << source->bound_value()->Describe() << ")\n";
+    db.StopStream(view.stream).ok();
+  }
+
+  // --- 3: re-record from a live feed -> version 2 ------------------------------
+  std::cout << "\nre-recording the promo from the studio camera...\n";
+  auto recorder =
+      db.NewRecorderFor("studio", oid, "footage", "disk1", type).value();
+  auto camera = VideoDigitizer::Create("studioCam",
+                                       ActivityLocation::kDatabase, db.env(),
+                                       type,
+                                       synthetic::VideoPattern::kCheckerboard,
+                                       24);
+  db.graph().Add(camera).ok();
+  db.graph()
+      .Connect(camera.get(), VideoDigitizer::kPortOut, recorder.get(),
+               VideoWriter::kPortIn)
+      .ok();
+  recorder->Start().ok();
+  camera->Start().ok();
+  db.RunUntilIdle();
+  db.CloseSession("studio").ok();
+  // Keep the Result alive for the loop (value() on a temporary dangles).
+  const auto versions = db.MediaHistory(oid, "footage").value();
+  for (const MediaVersion& v : versions) {
+    std::cout << "  version " << v.version << " on " << v.device << ": "
+              << FormatBytes(static_cast<uint64_t>(v.stored_bytes)) << " ["
+              << v.stored_type.ToString() << "]\n";
+  }
+
+  // --- 4: backup, rebuild, restore ---------------------------------------------
+  auto image = db.SaveBackup();
+  if (!image.ok()) {
+    std::cerr << "backup failed: " << image.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nbackup image: "
+            << FormatBytes(static_cast<uint64_t>(image.value().size()))
+            << "\n";
+
+  AvDatabase rebuilt;
+  rebuilt.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  rebuilt.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  if (!rebuilt.RestoreBackup(image.value()).ok()) {
+    std::cerr << "restore failed\n";
+    return 1;
+  }
+  auto history = rebuilt.MediaHistory(oid, "footage").value();
+  auto old_version = rebuilt.LoadMediaAttribute(oid, "footage", 1).value();
+  std::cout << "restored database: " << history.size()
+            << " versions survive; v1 still decodes ("
+            << old_version->ElementCount() << " frames)\n";
+  std::cout << "\n" << rebuilt.DescribePlatform() << "\nDone.\n";
+  return history.size() == 2 ? 0 : 1;
+}

@@ -1,0 +1,251 @@
+// Scenario I (§3.2): the corporate AV database. A software producer's
+// archive of product announcements, project presentations and captured
+// broadcasts, managed as AV values with hypermedia access and non-linear
+// editing:
+//
+//  * a populated archive across two disks with compressed representations,
+//  * hypermedia links from project documents into video cue points,
+//  * content queries returning references,
+//  * a workstation video editor mixing two clips through a VideoMixer
+//    activity into a new stored version (the §3.3 editing workload).
+
+#include <iostream>
+
+#include "activity/sinks.h"
+#include "activity/transformers.h"
+#include "codec/registry.h"
+#include "base/strings.h"
+#include "db/database.h"
+#include "db/similarity.h"
+#include "hyper/hypermedia.h"
+#include "media/synthetic.h"
+
+using namespace avdb;
+
+namespace {
+
+/// Captures raw footage, compresses it with the requested codec, and
+/// archives it — the in-house production group's ingest path.
+Status Ingest(AvDatabase& db, Oid oid, const std::string& attr,
+              const MediaDataType& type, int frames,
+              synthetic::VideoPattern pattern, EncodingFamily family,
+              const std::string& device, uint64_t seed) {
+  auto raw = synthetic::GenerateVideo(type, frames, pattern, seed);
+  if (!raw.ok()) return raw.status();
+  auto codec = CodecRegistry::Default().VideoCodecFor(family);
+  if (!codec.ok()) return codec.status();
+  VideoCodecParams params;
+  params.quality = 80;
+  params.gop_size = 10;
+  auto encoded = codec.value()->Encode(*raw.value(), params);
+  if (!encoded.ok()) return encoded.status();
+  auto value =
+      EncodedVideoValue::Create(codec.value(), std::move(encoded).value());
+  if (!value.ok()) return value.status();
+  return db.SetMediaAttribute(oid, attr, *value.value(), device);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== avdb: Scenario I — the corporate AV database ===\n\n";
+
+  AvDatabase db;
+  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  db.AddChannel("lan", Channel::Profile::Ethernet10()).ok();
+
+  // --- Schema -----------------------------------------------------------------
+  ClassDef video_asset("VideoAsset");
+  video_asset.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
+  video_asset.AddAttribute({"category", AttrType::kString, {}, {}}).ok();
+  video_asset.AddAttribute({"project", AttrType::kString, {}, {}}).ok();
+  video_asset.AddAttribute({"recorded", AttrType::kDate, {}, {}}).ok();
+  video_asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
+  db.DefineClass(video_asset).ok();
+
+  // --- Populate the archive ------------------------------------------------------
+  const auto cif = MediaDataType::RawVideo(176, 144, 8, Rational(10));
+  struct Asset {
+    const char* title;
+    const char* category;
+    const char* project;
+    const char* recorded;
+    synthetic::VideoPattern pattern;
+    EncodingFamily family;
+    const char* device;
+  };
+  const Asset assets[] = {
+      {"Phoenix launch announcement", "promo", "Phoenix", "1992-09-01",
+       synthetic::VideoPattern::kMovingBox, EncodingFamily::kInter, "disk0"},
+      {"Phoenix design review", "presentation", "Phoenix", "1992-06-15",
+       synthetic::VideoPattern::kMovingGradient, EncodingFamily::kIntra,
+       "disk1"},
+      {"Griffin demo reel", "demo", "Griffin", "1992-10-02",
+       synthetic::VideoPattern::kCheckerboard, EncodingFamily::kDelta,
+       "disk0"},
+      {"Evening news: industry report", "broadcast", "", "1992-11-20",
+       synthetic::VideoPattern::kMovingBox, EncodingFamily::kInter, "disk1"},
+  };
+  std::vector<Oid> oids;
+  uint64_t seed = 1;
+  for (const Asset& a : assets) {
+    Oid oid = db.NewObject("VideoAsset").value();
+    db.SetScalar(oid, "title", std::string(a.title)).ok();
+    db.SetScalar(oid, "category", std::string(a.category)).ok();
+    db.SetScalar(oid, "project", std::string(a.project)).ok();
+    db.SetScalar(oid, "recorded", std::string(a.recorded)).ok();
+    const Status status =
+        Ingest(db, oid, "footage", cif, 30, a.pattern, a.family, a.device,
+               seed++);
+    if (!status.ok()) {
+      std::cerr << "ingest failed: " << status << "\n";
+      return 1;
+    }
+    oids.push_back(oid);
+    std::cout << "archived \"" << a.title << "\" ["
+              << EncodingFamilyName(a.family) << "] on " << a.device << ", "
+              << db.MediaHistory(oid, "footage").value().back().stored_bytes
+              << " bytes\n";
+  }
+
+  // --- Hypermedia layer (the §3.2 "hypermedia interface") ---------------------
+  HypermediaStore hypermedia;
+  Document overview;
+  overview.name = "phoenix-overview";
+  overview.text =
+      "Project Phoenix overview. Watch the [launch] video or the full "
+      "[design-review].";
+  overview.anchors = {"launch", "design-review"};
+  hypermedia.AddDocument(overview).ok();
+
+  Link launch_link;
+  launch_link.from_document = "phoenix-overview";
+  launch_link.anchor = "launch";
+  launch_link.target.kind = LinkTarget::Kind::kAvCue;
+  launch_link.target.oid = oids[0];
+  launch_link.target.attr_path = "footage";
+  launch_link.target.cue = WorldTime::FromSeconds(1);
+  hypermedia.AddLink(launch_link).ok();
+
+  Link review_link;
+  review_link.from_document = "phoenix-overview";
+  review_link.anchor = "design-review";
+  review_link.target.kind = LinkTarget::Kind::kAvCue;
+  review_link.target.oid = oids[1];
+  review_link.target.attr_path = "footage";
+  review_link.target.cue = WorldTime();
+  hypermedia.AddLink(review_link).ok();
+
+  // --- Query the archive -------------------------------------------------------
+  auto phoenix = db.Select("VideoAsset", "project = 'Phoenix'");
+  std::cout << "\nselect VideoAsset where project = 'Phoenix' -> "
+            << phoenix.value().size() << " references\n";
+  auto recent = db.Select("VideoAsset", "recorded >= '1992-10-01'");
+  std::cout << "select VideoAsset where recorded >= '1992-10-01' -> "
+            << recent.value().size() << " references\n";
+
+  // --- Follow a hypermedia link into cued playback -----------------------------
+  auto target = hypermedia.Follow("phoenix-overview", "launch").value();
+  std::cout << "\nfollowing link 'launch' -> " << target.oid << " @ "
+            << target.cue << "\n";
+  auto stream = db.NewSourceFor("browser", target.oid, target.attr_path);
+  if (!stream.ok()) {
+    std::cerr << "playback failed: " << stream.status() << "\n";
+    return 1;
+  }
+  stream.value().source->Cue(target.cue).ok();
+  auto window =
+      VideoWindow::Create("browserWindow", ActivityLocation::kClient, db.env(),
+                          VideoQuality(176, 144, 8, Rational(10)));
+  db.graph().Add(window).ok();
+  db.NewConnection(stream.value().source, VideoSource::kPortOut, window.get(),
+                   VideoWindow::kPortIn, "lan")
+      .ok();
+  db.StartStream(stream.value()).ok();
+  db.RunUntilIdle();
+  std::cout << "cued playback presented "
+            << window->stats().elements_presented
+            << " frames (cue skipped the first second)\n";
+  db.StopStream(stream.value()).ok();
+
+  // --- Non-linear editing: dissolve launch video into the demo reel ------------
+  std::cout << "\nediting: dissolve \"Phoenix launch\" with \"Griffin demo\" "
+               "(VideoMixer)\n";
+  // The editor takes an exclusive lock on the asset being produced.
+  Oid edited = db.NewObject("VideoAsset").value();
+  db.SetScalar(edited, "title", std::string("Phoenix/Griffin montage")).ok();
+  db.SetScalar(edited, "category", std::string("promo")).ok();
+  db.locks().Acquire(edited, LockMode::kExclusive, "editor").ok();
+
+  auto src_a = db.NewSourceFor("editor", oids[0], "footage");
+  auto src_b = db.NewSourceFor("editor", oids[2], "footage");
+  if (!src_a.ok() || !src_b.ok()) {
+    std::cerr << "editor sources failed\n";
+    return 1;
+  }
+  auto mixer = VideoMixer::Create("dissolve", ActivityLocation::kDatabase,
+                                  db.env(), cif, 0.5);
+  auto recorder = VideoWriter::Create("record", ActivityLocation::kDatabase,
+                                      db.env(), cif);
+  db.graph().Add(mixer).ok();
+  db.graph().Add(recorder).ok();
+  db.NewConnection(src_a.value().source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInA)
+      .ok();
+  db.NewConnection(src_b.value().source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInB)
+      .ok();
+  db.NewConnection(mixer.get(), VideoMixer::kPortOut, recorder.get(),
+                   VideoWriter::kPortIn)
+      .ok();
+  db.StartStream(src_a.value()).ok();
+  db.StartStream(src_b.value()).ok();
+  db.RunUntilIdle();
+  std::cout << "mixer produced " << recorder->frames_written() << " frames\n";
+
+  const Status stored =
+      db.SetMediaAttribute(edited, "footage", *recorder->captured(), "disk0");
+  if (!stored.ok()) {
+    std::cerr << "storing the montage failed: " << stored << "\n";
+    return 1;
+  }
+  db.locks().Release(edited, "editor");
+  db.CloseSession("editor").ok();
+  std::cout << "montage stored as " << edited << " on "
+            << db.WhereIsAttribute(edited, "footage").value() << "\n";
+
+  // Which documents reference the launch footage?
+  std::cout << "\nbacklinks to " << oids[0] << ":";
+  for (const auto& link : hypermedia.BacklinksTo(oids[0])) {
+    std::cout << " " << link.from_document << "#" << link.anchor;
+  }
+  std::cout << "\n";
+
+  // --- Content-based retrieval: "find footage that looks like this" ---------
+  SimilarityIndex similar;
+  for (Oid asset_oid : db.Select("VideoAsset", "").value()) {
+    auto value = db.LoadMediaAttribute(asset_oid, "footage");
+    if (!value.ok()) continue;
+    auto video = std::dynamic_pointer_cast<VideoValue>(value.value());
+    if (video == nullptr) continue;
+    auto signature = VideoSignature::Extract(*video);
+    if (signature.ok()) {
+      similar.Add(asset_oid, "footage", std::move(signature).value());
+    }
+  }
+  auto lookalikes = similar.FindSimilarTo(oids[0], "footage", 2);
+  std::cout << "\nquery by example: footage most similar to \""
+            << assets[0].title << "\":\n";
+  if (lookalikes.ok()) {
+    for (const auto& match : lookalikes.value()) {
+      std::cout << "  " << match.oid << " \""
+                << std::get<std::string>(
+                       db.GetScalar(match.oid, "title").value())
+                << "\" (distance "
+                << FormatDouble(match.distance, 3) << ")\n";
+    }
+  }
+  std::cout << "\nDone.\n";
+  return recorder->frames_written() == 30 ? 0 : 1;
+}

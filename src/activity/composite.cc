@@ -1,0 +1,174 @@
+#include "activity/composite.h"
+
+#include <sstream>
+
+namespace avdb {
+
+CompositeActivity::CompositeActivity(const std::string& name,
+                                     ActivityLocation location,
+                                     ActivityEnv env)
+    : MediaActivity(name, location, env), children_(env) {}
+
+std::shared_ptr<CompositeActivity> CompositeActivity::Create(
+    const std::string& name, ActivityLocation location, ActivityEnv env) {
+  return std::shared_ptr<CompositeActivity>(
+      new CompositeActivity(name, location, env));
+}
+
+Status CompositeActivity::Install(MediaActivityPtr child) {
+  if (child == nullptr) return Status::InvalidArgument("null child");
+  if (child->location() != location()) {
+    return Status::InvalidArgument(
+        "child " + child->name() + " located at " +
+        std::string(ActivityLocationName(child->location())) +
+        " cannot join composite at " +
+        std::string(ActivityLocationName(location())));
+  }
+  return children_.Add(std::move(child));
+}
+
+Status CompositeActivity::ExposePort(const std::string& child_name,
+                                     const std::string& child_port,
+                                     const std::string& as_name) {
+  auto child = children_.Find(child_name);
+  if (!child.ok()) return child.status();
+  auto port = child.value()->FindPort(child_port);
+  if (!port.ok()) return port.status();
+  if (exposed_.count(as_name) > 0) {
+    return Status::AlreadyExists("exposed port exists: " + name() + "." +
+                                 as_name);
+  }
+  if (port.value()->IsConnected()) {
+    return Status::FailedPrecondition("port already connected internally: " +
+                                      port.value()->FullName());
+  }
+  exposed_[as_name] = {child.value(), child_port};
+  return Status::OK();
+}
+
+Result<Connection*> CompositeActivity::ConnectChildren(
+    const std::string& from_child, const std::string& out_port,
+    const std::string& to_child, const std::string& in_port) {
+  auto from = children_.Find(from_child);
+  if (!from.ok()) return from.status();
+  auto to = children_.Find(to_child);
+  if (!to.ok()) return to.status();
+  return children_.Connect(from.value(), out_port, to.value(), in_port);
+}
+
+Result<Port*> CompositeActivity::FindPort(const std::string& name) const {
+  auto it = exposed_.find(name);
+  if (it != exposed_.end()) {
+    return it->second.first->FindPort(it->second.second);
+  }
+  return MediaActivity::FindPort(name);
+}
+
+ActivityKind CompositeActivity::Kind() const {
+  bool has_in = false;
+  bool has_out = false;
+  for (const auto& [as_name, target] : exposed_) {
+    auto port = target.first->FindPort(target.second);
+    if (!port.ok()) continue;
+    if (port.value()->direction() == PortDirection::kIn) has_in = true;
+    if (port.value()->direction() == PortDirection::kOut) has_out = true;
+  }
+  if (has_in && has_out) return ActivityKind::kTransformer;
+  if (has_out) return ActivityKind::kSource;
+  if (has_in) return ActivityKind::kSink;
+  return ActivityKind::kOther;
+}
+
+Status CompositeActivity::InstallSynced(MediaActivityPtr child,
+                                        const std::string& track,
+                                        bool master) {
+  MediaActivity* raw = child.get();
+  AVDB_RETURN_IF_ERROR(Install(std::move(child)));
+  AVDB_RETURN_IF_ERROR(sync_.AddTrack(track, master));
+  AVDB_RETURN_IF_ERROR(raw->ConfigureSync(&sync_, track));
+  track_of_[raw] = track;
+  // Expose the child's boundary port under the track name.
+  const auto kind = raw->Kind();
+  if (kind == ActivityKind::kSource) {
+    auto outs = raw->OutputPorts();
+    if (outs.size() != 1) {
+      return Status::InvalidArgument("synced source child must have exactly "
+                                     "one output port: " + raw->name());
+    }
+    return ExposePort(raw->name(), outs[0]->name(), track + "_out");
+  }
+  if (kind == ActivityKind::kSink) {
+    auto ins = raw->InputPorts();
+    if (ins.size() != 1) {
+      return Status::InvalidArgument("synced sink child must have exactly "
+                                     "one input port: " + raw->name());
+    }
+    return ExposePort(raw->name(), ins[0]->name(), track + "_in");
+  }
+  return Status::InvalidArgument(
+      "synced child must be a source or a sink: " + raw->name());
+}
+
+Status CompositeActivity::Bind(MediaValuePtr value,
+                               const std::string& port_name) {
+  auto it = exposed_.find(port_name);
+  if (it == exposed_.end()) {
+    return Status::NotFound("exposed port " + name() + "." + port_name);
+  }
+  return it->second.first->Bind(std::move(value), it->second.second);
+}
+
+Status CompositeActivity::Cue(WorldTime t) {
+  for (const auto& child : children_.activities()) {
+    if (child->Kind() == ActivityKind::kSource) {
+      AVDB_RETURN_IF_ERROR(child->Cue(t));
+    }
+  }
+  return Status::OK();
+}
+
+Status CompositeActivity::OnStart() { return children_.StartAll(); }
+
+Status CompositeActivity::OnStop() { return children_.StopAll(); }
+
+Status CompositeActivity::RepointSync(SyncController* sync) {
+  if (sync == nullptr) return Status::InvalidArgument("null sync domain");
+  for (const auto& [child, track] : track_of_) {
+    AVDB_RETURN_IF_ERROR(child->ConfigureSync(sync, track));
+  }
+  return Status::OK();
+}
+
+std::string CompositeActivity::Describe() const {
+  std::ostringstream os;
+  os << name() << " [composite " << ActivityKindName(Kind()) << " @ "
+     << ActivityLocationName(location()) << "]";
+  for (const auto& [as_name, target] : exposed_) {
+    os << " " << as_name << "->" << target.first->name() << "."
+       << target.second;
+  }
+  os << " {";
+  for (const auto& child : children()) {
+    os << " " << child->name();
+  }
+  os << " }";
+  return os.str();
+}
+
+std::shared_ptr<MultiSource> MultiSource::Create(const std::string& name,
+                                                 ActivityLocation location,
+                                                 ActivityEnv env) {
+  return std::shared_ptr<MultiSource>(new MultiSource(name, location, env));
+}
+
+Status MultiSource::UseSyncDomain(SyncController* sync) {
+  return RepointSync(sync);
+}
+
+std::shared_ptr<MultiSink> MultiSink::Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env) {
+  return std::shared_ptr<MultiSink>(new MultiSink(name, location, env));
+}
+
+}  // namespace avdb

@@ -1,0 +1,140 @@
+#include "activity/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace avdb {
+
+std::string Connection::Describe() const {
+  std::string out = from_->FullName() + " -> " + to_->FullName();
+  if (channel_ != nullptr) {
+    out += " via " + channel_->name();
+  }
+  return out;
+}
+
+Status ActivityGraph::Add(MediaActivityPtr activity) {
+  if (activity == nullptr) return Status::InvalidArgument("null activity");
+  for (const auto& a : activities_) {
+    if (a->name() == activity->name()) {
+      return Status::AlreadyExists("activity exists: " + activity->name());
+    }
+  }
+  activities_.push_back(std::move(activity));
+  return Status::OK();
+}
+
+Result<MediaActivity*> ActivityGraph::Find(const std::string& name) const {
+  for (const auto& a : activities_) {
+    if (a->name() == name) return a.get();
+  }
+  return Status::NotFound("activity: " + name);
+}
+
+Result<Connection*> ActivityGraph::Connect(MediaActivity* from,
+                                           const std::string& out_port,
+                                           MediaActivity* to,
+                                           const std::string& in_port,
+                                           ChannelPtr channel) {
+  auto out = from->FindPort(out_port);
+  if (!out.ok()) return out.status();
+  auto in = to->FindPort(in_port);
+  if (!in.ok()) return in.status();
+  if (out.value()->direction() != PortDirection::kOut) {
+    return Status::InvalidArgument(out.value()->FullName() +
+                                   " is not an output port");
+  }
+  if (in.value()->direction() != PortDirection::kIn) {
+    return Status::InvalidArgument(in.value()->FullName() +
+                                   " is not an input port");
+  }
+  if (out.value()->data_type() != in.value()->data_type()) {
+    return Status::InvalidArgument(
+        "port type mismatch: " + out.value()->FullName() + " carries " +
+        out.value()->data_type().ToString() + " but " +
+        in.value()->FullName() + " expects " +
+        in.value()->data_type().ToString());
+  }
+  if (out.value()->IsConnected()) {
+    return Status::FailedPrecondition(out.value()->FullName() +
+                                      " already connected");
+  }
+  if (in.value()->IsConnected()) {
+    return Status::FailedPrecondition(in.value()->FullName() +
+                                      " already connected");
+  }
+  connections_.push_back(std::make_unique<Connection>(
+      out.value(), in.value(), std::move(channel)));
+  Connection* c = connections_.back().get();
+  out.value()->set_connection(c);
+  in.value()->set_connection(c);
+  return c;
+}
+
+Status ActivityGraph::Disconnect(Connection* connection) {
+  auto it = std::find_if(
+      connections_.begin(), connections_.end(),
+      [connection](const auto& c) { return c.get() == connection; });
+  if (it == connections_.end()) {
+    return Status::NotFound("connection not in this graph");
+  }
+  connection->from()->set_connection(nullptr);
+  connection->to()->set_connection(nullptr);
+  connections_.erase(it);
+  return Status::OK();
+}
+
+Status ActivityGraph::Validate() const {
+  for (const auto& a : activities_) {
+    for (Port* in : a->InputPorts()) {
+      if (!in->IsConnected()) {
+        return Status::FailedPrecondition("dangling input port: " +
+                                          in->FullName());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ActivityGraph::StartAll() {
+  // Non-sources first so every consumer is running before producers emit.
+  std::vector<MediaActivity*> order;
+  for (const auto& a : activities_) {
+    if (a->Kind() != ActivityKind::kSource) order.push_back(a.get());
+  }
+  for (const auto& a : activities_) {
+    if (a->Kind() == ActivityKind::kSource) order.push_back(a.get());
+  }
+  for (MediaActivity* a : order) {
+    const Status status = a->Start();
+    if (!status.ok()) {
+      StopAll();
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status ActivityGraph::StopAll() {
+  Status first_error;
+  for (const auto& a : activities_) {
+    const Status status = a->Stop();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+std::string ActivityGraph::Describe() const {
+  std::ostringstream os;
+  os << "activity graph (" << activities_.size() << " activities, "
+     << connections_.size() << " connections)\n";
+  for (const auto& a : activities_) {
+    os << "  " << a->Describe() << "\n";
+  }
+  for (const auto& c : connections_) {
+    os << "  " << c->Describe() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace avdb

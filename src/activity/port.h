@@ -1,0 +1,65 @@
+#ifndef AVDB_ACTIVITY_PORT_H_
+#define AVDB_ACTIVITY_PORT_H_
+
+#include <string>
+
+#include "media/media_type.h"
+
+namespace avdb {
+
+class MediaActivity;
+class Connection;
+
+/// Direction of a port, §4.2: "a port has a direction, either 'in' or
+/// 'out', and a media data type."
+enum class PortDirection { kIn, kOut };
+
+std::string_view PortDirectionName(PortDirection d);
+
+/// A typed stream endpoint on an activity. Activities are classified by
+/// their ports (sources have only "out" ports, sinks only "in" ports,
+/// transformers both), and connections are only legal between ports of the
+/// same media data type (§4.2 flow-composition rule 1).
+class Port {
+ public:
+  Port(MediaActivity* owner, std::string name, PortDirection direction,
+       MediaDataType data_type)
+      : owner_(owner),
+        name_(std::move(name)),
+        direction_(direction),
+        data_type_(std::move(data_type)) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  MediaActivity* owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+  PortDirection direction() const { return direction_; }
+  const MediaDataType& data_type() const { return data_type_; }
+
+  /// The connection attached to this port, or nullptr.
+  Connection* connection() const { return connection_; }
+  bool IsConnected() const { return connection_ != nullptr; }
+
+  /// "activity.port" label for diagnostics.
+  std::string FullName() const;
+
+  /// Re-types a port before the graph is wired (used by generic activities
+  /// that adapt to the bound value's representation, §4.3's "dynamic
+  /// configuration of dbSource").
+  void set_data_type(MediaDataType type) { data_type_ = std::move(type); }
+
+ private:
+  friend class ActivityGraph;
+  void set_connection(Connection* c) { connection_ = c; }
+
+  MediaActivity* owner_;
+  std::string name_;
+  PortDirection direction_;
+  MediaDataType data_type_;
+  Connection* connection_ = nullptr;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_ACTIVITY_PORT_H_

@@ -1,0 +1,291 @@
+#include "activity/sinks.h"
+
+#include "base/logging.h"
+#include "storage/value_serializer.h"
+
+namespace avdb {
+
+namespace {
+
+/// Lateness of an element: positive when it arrived after its ideal time.
+int64_t LatenessNs(const EventEngine& engine, const StreamElement& element) {
+  return engine.now_ns() - element.ideal_time_ns;
+}
+
+/// Presentation instant: early elements wait for their slot, late ones show
+/// immediately — a sink "presents at max(arrival, ideal)".
+int64_t PresentationNs(const EventEngine& engine,
+                       const StreamElement& element) {
+  return std::max(engine.now_ns(), element.ideal_time_ns);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- VideoWindow --
+
+VideoWindow::VideoWindow(const std::string& name, ActivityLocation location,
+                         ActivityEnv env, VideoQuality quality,
+                         SinkOptions options)
+    : MediaActivity(name, location, env),
+      quality_(quality),
+      options_(options) {
+  in_ = DeclarePort(kPortIn, PortDirection::kIn,
+                    MediaDataType::RawVideo(quality.width(), quality.height(),
+                                            quality.depth_bits(),
+                                            quality.rate()));
+  DeclareEvent(kEachFrame);
+  DeclareEvent(kLastFrame);
+}
+
+std::shared_ptr<VideoWindow> VideoWindow::Create(const std::string& name,
+                                                 ActivityLocation location,
+                                                 ActivityEnv env,
+                                                 VideoQuality quality,
+                                                 SinkOptions options) {
+  return std::shared_ptr<VideoWindow>(
+      new VideoWindow(name, location, env, quality, options));
+}
+
+void VideoWindow::OnElement(Port* in, const StreamElement& element) {
+  AVDB_DCHECK(in == in_);
+  if (element.end_of_stream) {
+    Raise(kLastFrame, element.index);
+    SelfStop();
+    return;
+  }
+  if (element.frame == nullptr) {
+    AVDB_LOG(Error) << name() << ": element without frame payload";
+    return;
+  }
+  const int64_t lateness = LatenessNs(*engine(), element);
+  stats_.Record(PresentationNs(*engine(), element), lateness, element.size_bytes);
+  last_frame_ = *element.frame;
+  if (options_.sync != nullptr && !options_.sync_track.empty()) {
+    options_.sync
+        ->Report(options_.sync_track, element.ideal_time_ns,
+                 std::max(engine()->now_ns(), element.ideal_time_ns))
+        .ok();
+  }
+  Raise(kEachFrame, element.index);
+}
+
+Status VideoWindow::ConfigureSync(SyncController* sync,
+                                  const std::string& track) {
+  options_.sync = sync;
+  options_.sync_track = track;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- AudioSink --
+
+AudioSink::AudioSink(const std::string& name, ActivityLocation location,
+                     ActivityEnv env, AudioQuality quality,
+                     SinkOptions options)
+    : MediaActivity(name, location, env),
+      quality_(quality),
+      options_(options) {
+  in_ = DeclarePort(kPortIn, PortDirection::kIn,
+                    MediaDataType::RawAudio(AudioQualityChannels(quality),
+                                            AudioQualitySampleRate(quality)));
+  DeclareEvent(kEachBlock);
+  DeclareEvent(kLastBlock);
+}
+
+std::shared_ptr<AudioSink> AudioSink::Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env,
+                                             AudioQuality quality,
+                                             SinkOptions options) {
+  return std::shared_ptr<AudioSink>(
+      new AudioSink(name, location, env, quality, options));
+}
+
+void AudioSink::OnElement(Port* in, const StreamElement& element) {
+  AVDB_DCHECK(in == in_);
+  if (element.end_of_stream) {
+    Raise(kLastBlock, element.index);
+    SelfStop();
+    return;
+  }
+  if (element.audio == nullptr) {
+    AVDB_LOG(Error) << name() << ": element without audio payload";
+    return;
+  }
+  const int64_t lateness = LatenessNs(*engine(), element);
+  stats_.Record(PresentationNs(*engine(), element), lateness, element.size_bytes);
+  if (options_.sync != nullptr && !options_.sync_track.empty()) {
+    options_.sync
+        ->Report(options_.sync_track, element.ideal_time_ns,
+                 std::max(engine()->now_ns(), element.ideal_time_ns))
+        .ok();
+  }
+  Raise(kEachBlock, element.index);
+}
+
+Status AudioSink::ConfigureSync(SyncController* sync,
+                                const std::string& track) {
+  options_.sync = sync;
+  options_.sync_track = track;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- TextSink --
+
+TextSink::TextSink(const std::string& name, ActivityLocation location,
+                   ActivityEnv env, SinkOptions options)
+    : MediaActivity(name, location, env), options_(options) {
+  in_ = DeclarePort(kPortIn, PortDirection::kIn,
+                    MediaDataType::Text(Rational(30)));
+}
+
+std::shared_ptr<TextSink> TextSink::Create(const std::string& name,
+                                           ActivityLocation location,
+                                           ActivityEnv env,
+                                           SinkOptions options) {
+  return std::shared_ptr<TextSink>(
+      new TextSink(name, location, env, options));
+}
+
+void TextSink::OnElement(Port* in, const StreamElement& element) {
+  AVDB_DCHECK(in == in_);
+  if (element.end_of_stream) {
+    SelfStop();
+    return;
+  }
+  if (element.text == nullptr) {
+    AVDB_LOG(Error) << name() << ": element without text payload";
+    return;
+  }
+  stats_.Record(PresentationNs(*engine(), element),
+                LatenessNs(*engine(), element), element.size_bytes);
+  presented_.push_back(*element.text);
+  if (options_.sync != nullptr && !options_.sync_track.empty()) {
+    options_.sync
+        ->Report(options_.sync_track, element.ideal_time_ns,
+                 std::max(engine()->now_ns(), element.ideal_time_ns))
+        .ok();
+  }
+}
+
+Status TextSink::ConfigureSync(SyncController* sync,
+                               const std::string& track) {
+  options_.sync = sync;
+  options_.sync_track = track;
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- VideoWriter --
+
+VideoWriter::VideoWriter(const std::string& name, ActivityLocation location,
+                         ActivityEnv env, MediaDataType video_type,
+                         MediaStore* store, std::string blob_name)
+    : MediaActivity(name, location, env),
+      store_(store),
+      blob_name_(std::move(blob_name)) {
+  in_ = DeclarePort(kPortIn, PortDirection::kIn, video_type);
+  DeclareEvent(kDone);
+  auto captured = RawVideoValue::Create(video_type);
+  AVDB_CHECK(captured.ok()) << "VideoWriter needs a raw video type: "
+                            << captured.status();
+  captured_ = std::move(captured).value();
+}
+
+std::shared_ptr<VideoWriter> VideoWriter::Create(const std::string& name,
+                                                 ActivityLocation location,
+                                                 ActivityEnv env,
+                                                 MediaDataType video_type,
+                                                 MediaStore* store,
+                                                 std::string blob_name) {
+  return std::shared_ptr<VideoWriter>(new VideoWriter(
+      name, location, env, std::move(video_type), store,
+      std::move(blob_name)));
+}
+
+void VideoWriter::OnElement(Port* in, const StreamElement& element) {
+  AVDB_DCHECK(in == in_);
+  if (element.end_of_stream) {
+    if (store_ != nullptr && !blob_name_.empty()) {
+      auto blob = value_serializer::Serialize(*captured_);
+      if (blob.ok()) {
+        auto put = store_->Put(blob_name_, blob.value());
+        if (!put.ok()) {
+          AVDB_LOG(Error) << name() << ": persist failed: " << put.status();
+        }
+      } else {
+        AVDB_LOG(Error) << name() << ": serialize failed: " << blob.status();
+      }
+    }
+    Raise(kDone, frames_written_);
+    SelfStop();
+    return;
+  }
+  if (element.frame == nullptr) {
+    AVDB_LOG(Error) << name() << ": element without frame payload";
+    return;
+  }
+  const Status status = captured_->AppendFrame(*element.frame);
+  if (!status.ok()) {
+    AVDB_LOG(Error) << name() << ": append failed: " << status;
+    return;
+  }
+  ++frames_written_;
+}
+
+// -------------------------------------------------------------- AudioWriter --
+
+AudioWriter::AudioWriter(const std::string& name, ActivityLocation location,
+                         ActivityEnv env, MediaDataType audio_type,
+                         MediaStore* store, std::string blob_name)
+    : MediaActivity(name, location, env),
+      store_(store),
+      blob_name_(std::move(blob_name)) {
+  in_ = DeclarePort(kPortIn, PortDirection::kIn, audio_type);
+  DeclareEvent(kDone);
+  auto captured = RawAudioValue::Create(audio_type);
+  AVDB_CHECK(captured.ok()) << "AudioWriter needs a raw audio type: "
+                            << captured.status();
+  captured_ = std::move(captured).value();
+}
+
+std::shared_ptr<AudioWriter> AudioWriter::Create(const std::string& name,
+                                                 ActivityLocation location,
+                                                 ActivityEnv env,
+                                                 MediaDataType audio_type,
+                                                 MediaStore* store,
+                                                 std::string blob_name) {
+  return std::shared_ptr<AudioWriter>(new AudioWriter(
+      name, location, env, std::move(audio_type), store,
+      std::move(blob_name)));
+}
+
+void AudioWriter::OnElement(Port* in, const StreamElement& element) {
+  AVDB_DCHECK(in == in_);
+  if (element.end_of_stream) {
+    if (store_ != nullptr && !blob_name_.empty()) {
+      auto blob = value_serializer::Serialize(*captured_);
+      if (blob.ok()) {
+        auto put = store_->Put(blob_name_, blob.value());
+        if (!put.ok()) {
+          AVDB_LOG(Error) << name() << ": persist failed: " << put.status();
+        }
+      } else {
+        AVDB_LOG(Error) << name() << ": serialize failed: " << blob.status();
+      }
+    }
+    Raise(kDone, blocks_written_);
+    SelfStop();
+    return;
+  }
+  if (element.audio == nullptr) {
+    AVDB_LOG(Error) << name() << ": element without audio payload";
+    return;
+  }
+  const Status status = captured_->Append(*element.audio);
+  if (!status.ok()) {
+    AVDB_LOG(Error) << name() << ": append failed: " << status;
+    return;
+  }
+  ++blocks_written_;
+}
+
+}  // namespace avdb

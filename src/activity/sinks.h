@@ -1,0 +1,192 @@
+#ifndef AVDB_ACTIVITY_SINKS_H_
+#define AVDB_ACTIVITY_SINKS_H_
+
+#include <memory>
+#include <string>
+
+#include "activity/media_activity.h"
+#include "media/audio_value.h"
+#include "media/quality.h"
+#include "media/video_value.h"
+#include "sched/stream_stats.h"
+#include "sched/sync_controller.h"
+#include "storage/media_store.h"
+
+namespace avdb {
+
+/// Common sink wiring: stats recording and optional sync reporting.
+struct SinkOptions {
+  /// When set with `sync_track`, each presentation is reported to the
+  /// controller so lagging tracks can be resynchronized.
+  SyncController* sync = nullptr;
+  std::string sync_track;
+};
+
+/// Table 1's "video window": a sink presenting raw frames on a (virtual)
+/// display. Presentation happens at max(arrival, ideal) and every element's
+/// lateness is recorded in StreamStats — our measuring substitute for the
+/// paper's workstation window (DESIGN.md §5). Carries the §4.3 quality
+/// factor ("new activity VideoWindow quality 320x240x8@30"); its input port
+/// is typed to exactly that quality.
+class VideoWindow : public MediaActivity {
+ public:
+  static constexpr const char* kPortIn = "video_in";
+  static constexpr const char* kEachFrame = "EACH_FRAME";
+  static constexpr const char* kLastFrame = "LAST_FRAME";
+
+  static std::shared_ptr<VideoWindow> Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env,
+                                             VideoQuality quality,
+                                             SinkOptions options = {});
+
+  const VideoQuality& quality() const { return quality_; }
+  const StreamStats& stats() const { return stats_; }
+
+  /// Last frame presented (empty before the first arrival) — lets tests and
+  /// examples inspect what "the screen" shows.
+  const VideoFrame& last_frame() const { return last_frame_; }
+
+  void OnElement(Port* in, const StreamElement& element) override;
+  Status ConfigureSync(SyncController* sync,
+                       const std::string& track) override;
+
+ private:
+  VideoWindow(const std::string& name, ActivityLocation location,
+              ActivityEnv env, VideoQuality quality, SinkOptions options);
+
+  Port* in_;
+  VideoQuality quality_;
+  SinkOptions options_;
+  StreamStats stats_;
+  VideoFrame last_frame_;
+};
+
+/// Audio sink (virtual DAC) with a named §4.1 audio quality ("quality
+/// voice"). Statistics mirror VideoWindow's.
+class AudioSink : public MediaActivity {
+ public:
+  static constexpr const char* kPortIn = "audio_in";
+  static constexpr const char* kEachBlock = "EACH_BLOCK";
+  static constexpr const char* kLastBlock = "LAST_BLOCK";
+
+  static std::shared_ptr<AudioSink> Create(const std::string& name,
+                                           ActivityLocation location,
+                                           ActivityEnv env,
+                                           AudioQuality quality,
+                                           SinkOptions options = {});
+
+  AudioQuality quality() const { return quality_; }
+  const StreamStats& stats() const { return stats_; }
+
+  void OnElement(Port* in, const StreamElement& element) override;
+  Status ConfigureSync(SyncController* sync,
+                       const std::string& track) override;
+
+ private:
+  AudioSink(const std::string& name, ActivityLocation location,
+            ActivityEnv env, AudioQuality quality, SinkOptions options);
+
+  Port* in_;
+  AudioQuality quality_;
+  SinkOptions options_;
+  StreamStats stats_;
+};
+
+/// Caption sink: records presented captions (subtitle display).
+class TextSink : public MediaActivity {
+ public:
+  static constexpr const char* kPortIn = "text_in";
+
+  static std::shared_ptr<TextSink> Create(const std::string& name,
+                                          ActivityLocation location,
+                                          ActivityEnv env,
+                                          SinkOptions options = {});
+
+  const StreamStats& stats() const { return stats_; }
+  const std::vector<std::string>& presented() const { return presented_; }
+
+  void OnElement(Port* in, const StreamElement& element) override;
+  Status ConfigureSync(SyncController* sync,
+                       const std::string& track) override;
+
+ private:
+  TextSink(const std::string& name, ActivityLocation location,
+           ActivityEnv env, SinkOptions options);
+
+  Port* in_;
+  SinkOptions options_;
+  StreamStats stats_;
+  std::vector<std::string> presented_;
+};
+
+/// Table 1's "video writer": a sink accumulating raw frames into a
+/// RawVideoValue — recording (§4.2's active-state *recording* operation).
+/// Optionally persists the result to a media store on end of stream.
+class VideoWriter : public MediaActivity {
+ public:
+  static constexpr const char* kPortIn = "video_in";
+  static constexpr const char* kDone = "DONE";
+
+  /// `store`/`blob_name` optional; when set the captured value is written
+  /// out (serialized) at end of stream.
+  static std::shared_ptr<VideoWriter> Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env,
+                                             MediaDataType video_type,
+                                             MediaStore* store = nullptr,
+                                             std::string blob_name = "");
+
+  void OnElement(Port* in, const StreamElement& element) override;
+
+  /// The captured value (valid after end of stream or Stop()).
+  const std::shared_ptr<RawVideoValue>& captured() const { return captured_; }
+  int64_t frames_written() const { return frames_written_; }
+
+ private:
+  VideoWriter(const std::string& name, ActivityLocation location,
+              ActivityEnv env, MediaDataType video_type, MediaStore* store,
+              std::string blob_name);
+
+  Port* in_;
+  std::shared_ptr<RawVideoValue> captured_;
+  MediaStore* store_;
+  std::string blob_name_;
+  int64_t frames_written_ = 0;
+};
+
+/// Audio recorder: accumulates PCM blocks into a RawAudioValue, optionally
+/// persisting at end of stream — the audio half of Table 1's "writer" row
+/// and the capture path of §4.2's *recording* operation.
+class AudioWriter : public MediaActivity {
+ public:
+  static constexpr const char* kPortIn = "audio_in";
+  static constexpr const char* kDone = "DONE";
+
+  static std::shared_ptr<AudioWriter> Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env,
+                                             MediaDataType audio_type,
+                                             MediaStore* store = nullptr,
+                                             std::string blob_name = "");
+
+  void OnElement(Port* in, const StreamElement& element) override;
+
+  const std::shared_ptr<RawAudioValue>& captured() const { return captured_; }
+  int64_t blocks_written() const { return blocks_written_; }
+
+ private:
+  AudioWriter(const std::string& name, ActivityLocation location,
+              ActivityEnv env, MediaDataType audio_type, MediaStore* store,
+              std::string blob_name);
+
+  Port* in_;
+  std::shared_ptr<RawAudioValue> captured_;
+  MediaStore* store_;
+  std::string blob_name_;
+  int64_t blocks_written_ = 0;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_ACTIVITY_SINKS_H_

@@ -1,0 +1,619 @@
+#include "activity/sources.h"
+
+#include "base/logging.h"
+
+namespace avdb {
+
+namespace {
+
+int64_t RateToPeriodNs(Rational rate) {
+  AVDB_CHECK(rate > Rational(0)) << "element rate must be positive";
+  return (Rational(1000000000) / rate).Rounded();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ VideoSource --
+
+VideoSource::VideoSource(const std::string& name, ActivityLocation location,
+                         ActivityEnv env, SourceOptions options,
+                         bool emit_encoded)
+    : MediaActivity(name, location, env),
+      options_(std::move(options)),
+      emit_encoded_(emit_encoded),
+      decode_unit_(name + ".decoder") {
+  out_ = DeclarePort(kPortOut, PortDirection::kOut,
+                     MediaDataType::RawVideo(0, 0, 8, Rational(1)));
+  DeclareEvent(kEachFrame);
+  DeclareEvent(kLastFrame);
+}
+
+std::shared_ptr<VideoSource> VideoSource::Create(const std::string& name,
+                                                 ActivityLocation location,
+                                                 ActivityEnv env,
+                                                 SourceOptions options,
+                                                 bool emit_encoded) {
+  return std::shared_ptr<VideoSource>(
+      new VideoSource(name, location, env, std::move(options), emit_encoded));
+}
+
+Status VideoSource::Bind(MediaValuePtr value, const std::string& port_name) {
+  if (port_name != kPortOut) {
+    return Status::NotFound("port " + name() + "." + port_name);
+  }
+  if (state() == State::kRunning) {
+    return Status::FailedPrecondition("cannot bind while running");
+  }
+  auto video = std::dynamic_pointer_cast<VideoValue>(value);
+  if (video == nullptr) {
+    return Status::InvalidArgument("VideoSource requires a VideoValue");
+  }
+  value_ = video;
+  encoded_ = std::dynamic_pointer_cast<EncodedVideoValue>(video);
+  if (emit_encoded_ && encoded_ == nullptr) {
+    return Status::InvalidArgument(
+        "encoded-chunk output requires an encoded value");
+  }
+  // §4.3: configure the port type from the bound representation.
+  if (emit_encoded_) {
+    out_->set_data_type(encoded_->type());
+  } else {
+    out_->set_data_type(MediaDataType::RawVideo(
+        video->width(), video->height(), video->depth_bits(),
+        video->frame_rate()));
+  }
+  next_index_ = 0;
+  return Status::OK();
+}
+
+Status VideoSource::Cue(WorldTime t) {
+  if (state() == State::kRunning) {
+    return Status::FailedPrecondition("cannot cue while running");
+  }
+  if (value_ == nullptr) {
+    return Status::FailedPrecondition("cue before bind on " + name());
+  }
+  const int64_t index = (t.seconds() * value_->frame_rate()).Floor();
+  if (index < 0 || index >= value_->FrameCount()) {
+    return Status::InvalidArgument("cue time outside bound value");
+  }
+  next_index_ = index;
+  return Status::OK();
+}
+
+Status VideoSource::ConfigureSync(SyncController* sync,
+                                  const std::string& track) {
+  options_.sync = sync;
+  options_.sync_track = track;
+  return Status::OK();
+}
+
+int64_t VideoSource::PeriodNs() const {
+  return RateToPeriodNs(value_->frame_rate());
+}
+
+int64_t VideoSource::FrameBytes(int64_t i) const {
+  // Representation-aware: encoded values report their chunk sizes, layer
+  // views their restricted subset, raw values their frame size.
+  return value_->StoredFrameBytes(i);
+}
+
+int64_t VideoSource::FrameOffset(int64_t i) const {
+  int64_t offset = 0;
+  for (int64_t f = 0; f < i; ++f) offset += value_->StoredFrameBytes(f);
+  return offset;
+}
+
+Status VideoSource::OnStart() {
+  if (value_ == nullptr) {
+    return Status::FailedPrecondition("start before bind on " + name());
+  }
+  if (value_->FrameCount() == 0) {
+    return Status::FailedPrecondition("bound video value is empty");
+  }
+  // Stream epoch: element `next_index_` presents after preroll+offset.
+  const int64_t base = next_index_;
+  const int64_t stream_start_ns =
+      engine()->now_ns() + VirtualClock::ToNs(options_.preroll) +
+      VirtualClock::ToNs(options_.start_offset) - base * PeriodNs();
+  ScheduleTick(next_index_, stream_start_ns);
+  return Status::OK();
+}
+
+void VideoSource::ScheduleTick(int64_t index, int64_t stream_start_ns) {
+  const int64_t ideal = stream_start_ns + index * PeriodNs();
+  const int64_t at = ideal - VirtualClock::ToNs(options_.preroll);
+  const int64_t gen = generation();
+  engine()->ScheduleAt(at, [this, index, stream_start_ns, gen] {
+    Tick(index, stream_start_ns, gen);
+  });
+}
+
+void VideoSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
+  if (state() != State::kRunning || gen != generation()) return;
+
+  // Resynchronization: a lagging track drops frames to catch up (§3.3).
+  if (options_.sync != nullptr && !options_.sync_track.empty()) {
+    auto skip = options_.sync->RecommendSkip(options_.sync_track, PeriodNs());
+    if (skip.ok() && skip.value() > 0) {
+      index += skip.value();
+    }
+  }
+  if (index >= value_->FrameCount()) {
+    const int64_t ideal = stream_start_ns + index * PeriodNs();
+    Emit(out_, StreamElement::EndOfStream(index, ideal));
+    Raise(kLastFrame, value_->FrameCount() - 1);
+    SelfStop();
+    return;
+  }
+
+  const int64_t ideal = stream_start_ns + index * PeriodNs();
+  int64_t ready_ns = engine()->now_ns();
+
+  // Storage fetch: pay modeled device time, serialized on the device arm.
+  if (options_.store != nullptr) {
+    auto read = options_.store->ReadRange(options_.blob_name,
+                                          FrameOffset(index),
+                                          FrameBytes(index));
+    if (!read.ok()) {
+      AVDB_LOG(Error) << name() << ": read failed: " << read.status();
+      SelfStop();
+      return;
+    }
+    const int64_t service_ns =
+        VirtualClock::ToNs(read.value().duration);
+    if (options_.device_queue != nullptr) {
+      ready_ns = options_.device_queue->Submit(ready_ns, service_ns);
+    } else {
+      ready_ns += service_ns;
+    }
+  }
+
+  StreamElement element;
+  element.index = index;
+  element.ideal_time_ns = ideal;
+  element.size_bytes = FrameBytes(index);
+
+  if (emit_encoded_) {
+    const auto& ef = encoded_->encoded().frames[static_cast<size_t>(index)];
+    element.encoded = std::make_shared<Buffer>(ef.data);
+    element.encoded_is_intra = ef.is_intra;
+  } else {
+    auto frame = value_->Frame(index);
+    if (!frame.ok()) {
+      AVDB_LOG(Error) << name() << ": decode failed: " << frame.status();
+      SelfStop();
+      return;
+    }
+    if (value_->type().IsCompressed()) {
+      // Internal decode of a compressed representation costs time on this
+      // source's decode unit.
+      const int64_t pixels =
+          static_cast<int64_t>(value_->width()) * value_->height();
+      ready_ns = decode_unit_.Submit(ready_ns,
+                                     options_.costs.VideoDecodeNs(pixels));
+    }
+    element.frame =
+        std::make_shared<const VideoFrame>(std::move(frame).value());
+    element.size_bytes = static_cast<int64_t>(element.frame->SizeBytes());
+  }
+
+  const int64_t this_index = index;
+  engine()->ScheduleAt(ready_ns, [this, element = std::move(element),
+                                  this_index, gen] {
+    if (state() != State::kRunning || gen != generation()) return;
+    Emit(out_, element);
+    Raise(kEachFrame, this_index);
+  });
+
+  next_index_ = index + 1;
+  ScheduleTick(next_index_, stream_start_ns);
+}
+
+// ------------------------------------------------------------ AudioSource --
+
+AudioSource::AudioSource(const std::string& name, ActivityLocation location,
+                         ActivityEnv env, SourceOptions options)
+    : MediaActivity(name, location, env),
+      options_(std::move(options)),
+      decode_unit_(name + ".decoder") {
+  out_ = DeclarePort(kPortOut, PortDirection::kOut,
+                     MediaDataType::RawAudio(1, Rational(8000)));
+  DeclareEvent(kEachBlock);
+  DeclareEvent(kLastBlock);
+}
+
+std::shared_ptr<AudioSource> AudioSource::Create(const std::string& name,
+                                                 ActivityLocation location,
+                                                 ActivityEnv env,
+                                                 SourceOptions options) {
+  return std::shared_ptr<AudioSource>(
+      new AudioSource(name, location, env, std::move(options)));
+}
+
+Status AudioSource::Bind(MediaValuePtr value, const std::string& port_name) {
+  if (port_name != kPortOut) {
+    return Status::NotFound("port " + name() + "." + port_name);
+  }
+  if (state() == State::kRunning) {
+    return Status::FailedPrecondition("cannot bind while running");
+  }
+  auto audio = std::dynamic_pointer_cast<AudioValue>(value);
+  if (audio == nullptr) {
+    return Status::InvalidArgument("AudioSource requires an AudioValue");
+  }
+  value_ = audio;
+  out_->set_data_type(
+      MediaDataType::RawAudio(audio->channels(), audio->sample_rate()));
+  next_block_ = 0;
+  return Status::OK();
+}
+
+Status AudioSource::Cue(WorldTime t) {
+  if (state() == State::kRunning) {
+    return Status::FailedPrecondition("cannot cue while running");
+  }
+  if (value_ == nullptr) {
+    return Status::FailedPrecondition("cue before bind on " + name());
+  }
+  const int64_t sample = (t.seconds() * value_->sample_rate()).Floor();
+  if (sample < 0 || sample >= value_->SampleCount()) {
+    return Status::InvalidArgument("cue time outside bound value");
+  }
+  next_block_ = sample / kBlockFrames;
+  return Status::OK();
+}
+
+Status AudioSource::ConfigureSync(SyncController* sync,
+                                  const std::string& track) {
+  options_.sync = sync;
+  options_.sync_track = track;
+  return Status::OK();
+}
+
+int64_t AudioSource::BlockCount() const {
+  return (value_->SampleCount() + kBlockFrames - 1) / kBlockFrames;
+}
+
+int64_t AudioSource::PeriodNs() const {
+  return (Rational(kBlockFrames) / value_->sample_rate() *
+          Rational(1000000000))
+      .Rounded();
+}
+
+Status AudioSource::OnStart() {
+  if (value_ == nullptr) {
+    return Status::FailedPrecondition("start before bind on " + name());
+  }
+  if (value_->SampleCount() == 0) {
+    return Status::FailedPrecondition("bound audio value is empty");
+  }
+  const int64_t base = next_block_;
+  const int64_t stream_start_ns =
+      engine()->now_ns() + VirtualClock::ToNs(options_.preroll) +
+      VirtualClock::ToNs(options_.start_offset) - base * PeriodNs();
+  const int64_t gen = generation();
+  engine()->ScheduleAt(
+      stream_start_ns + base * PeriodNs() -
+          VirtualClock::ToNs(options_.preroll),
+      [this, base, stream_start_ns, gen] { Tick(base, stream_start_ns, gen); });
+  return Status::OK();
+}
+
+void AudioSource::Tick(int64_t block_index, int64_t stream_start_ns,
+                       int64_t gen) {
+  if (state() != State::kRunning || gen != generation()) return;
+
+  if (options_.sync != nullptr && !options_.sync_track.empty()) {
+    auto skip = options_.sync->RecommendSkip(options_.sync_track, PeriodNs());
+    if (skip.ok() && skip.value() > 0) block_index += skip.value();
+  }
+  if (block_index >= BlockCount()) {
+    const int64_t ideal = stream_start_ns + block_index * PeriodNs();
+    Emit(out_, StreamElement::EndOfStream(block_index, ideal));
+    Raise(kLastBlock, BlockCount() - 1);
+    SelfStop();
+    return;
+  }
+
+  const int64_t first = block_index * kBlockFrames;
+  const int64_t count =
+      std::min<int64_t>(kBlockFrames, value_->SampleCount() - first);
+  auto block = value_->Samples(first, count);
+  if (!block.ok()) {
+    AVDB_LOG(Error) << name() << ": sample read failed: " << block.status();
+    SelfStop();
+    return;
+  }
+
+  int64_t ready_ns = engine()->now_ns();
+  const int64_t payload_bytes = static_cast<int64_t>(block.value().SizeBytes());
+  if (options_.store != nullptr) {
+    // Approximate layout: fixed-rate bytes at the value's stored rate.
+    const int64_t stored_bytes_per_block =
+        value_->StoredBytes() / std::max<int64_t>(1, BlockCount());
+    auto read = options_.store->ReadRange(
+        options_.blob_name, block_index * stored_bytes_per_block,
+        stored_bytes_per_block);
+    if (!read.ok()) {
+      AVDB_LOG(Error) << name() << ": read failed: " << read.status();
+      SelfStop();
+      return;
+    }
+    const int64_t service_ns = VirtualClock::ToNs(read.value().duration);
+    ready_ns = options_.device_queue != nullptr
+                   ? options_.device_queue->Submit(ready_ns, service_ns)
+                   : ready_ns + service_ns;
+  }
+  if (value_->type().IsCompressed()) {
+    ready_ns = decode_unit_.Submit(
+        ready_ns, options_.costs.AudioDecodeNs(count * value_->channels()));
+  }
+
+  StreamElement element;
+  element.index = block_index;
+  element.ideal_time_ns = stream_start_ns + block_index * PeriodNs();
+  element.size_bytes = payload_bytes;
+  element.audio =
+      std::make_shared<const AudioBlock>(std::move(block).value());
+
+  engine()->ScheduleAt(ready_ns,
+                       [this, element = std::move(element), block_index, gen] {
+                         if (state() != State::kRunning ||
+                             gen != generation()) {
+                           return;
+                         }
+                         Emit(out_, element);
+                         Raise(kEachBlock, block_index);
+                       });
+
+  next_block_ = block_index + 1;
+  const int64_t next_at = stream_start_ns + next_block_ * PeriodNs() -
+                          VirtualClock::ToNs(options_.preroll);
+  engine()->ScheduleAt(next_at, [this, next = next_block_, stream_start_ns,
+                                 gen] { Tick(next, stream_start_ns, gen); });
+}
+
+// ------------------------------------------------------------- TextSource --
+
+TextSource::TextSource(const std::string& name, ActivityLocation location,
+                       ActivityEnv env, SourceOptions options)
+    : MediaActivity(name, location, env), options_(std::move(options)) {
+  out_ = DeclarePort(kPortOut, PortDirection::kOut,
+                     MediaDataType::Text(Rational(30)));
+}
+
+std::shared_ptr<TextSource> TextSource::Create(const std::string& name,
+                                               ActivityLocation location,
+                                               ActivityEnv env,
+                                               SourceOptions options) {
+  return std::shared_ptr<TextSource>(
+      new TextSource(name, location, env, std::move(options)));
+}
+
+Status TextSource::Bind(MediaValuePtr value, const std::string& port_name) {
+  if (port_name != kPortOut) {
+    return Status::NotFound("port " + name() + "." + port_name);
+  }
+  auto text = std::dynamic_pointer_cast<TextStreamValue>(value);
+  if (text == nullptr) {
+    return Status::InvalidArgument("TextSource requires a TextStreamValue");
+  }
+  value_ = text;
+  out_->set_data_type(text->type());
+  next_span_ = 0;
+  return Status::OK();
+}
+
+Status TextSource::Cue(WorldTime t) {
+  if (value_ == nullptr) {
+    return Status::FailedPrecondition("cue before bind on " + name());
+  }
+  const int64_t element = (t.seconds() * value_->ElementRate()).Floor();
+  next_span_ = 0;
+  while (next_span_ < value_->spans().size() &&
+         value_->spans()[next_span_].first_element +
+                 value_->spans()[next_span_].element_count <=
+             element) {
+    ++next_span_;
+  }
+  return Status::OK();
+}
+
+Status TextSource::ConfigureSync(SyncController* sync,
+                                 const std::string& track) {
+  options_.sync = sync;
+  options_.sync_track = track;
+  return Status::OK();
+}
+
+Status TextSource::OnStart() {
+  if (value_ == nullptr) {
+    return Status::FailedPrecondition("start before bind on " + name());
+  }
+  const int64_t stream_start_ns = engine()->now_ns() +
+                                  VirtualClock::ToNs(options_.preroll) +
+                                  VirtualClock::ToNs(options_.start_offset);
+  const int64_t period_ns = RateToPeriodNs(value_->ElementRate());
+  const int64_t gen = generation();
+  // Schedule every remaining span up front (captions are sparse).
+  for (size_t s = next_span_; s < value_->spans().size(); ++s) {
+    const TextSpan& span = value_->spans()[s];
+    const int64_t ideal = stream_start_ns + span.first_element * period_ns;
+    StreamElement element;
+    element.index = static_cast<int64_t>(s);
+    element.ideal_time_ns = ideal;
+    element.text = std::make_shared<const std::string>(span.text);
+    element.size_bytes = static_cast<int64_t>(span.text.size());
+    engine()->ScheduleAt(ideal - VirtualClock::ToNs(options_.preroll),
+                         [this, element = std::move(element), gen] {
+                           if (state() != State::kRunning ||
+                               gen != generation()) {
+                             return;
+                           }
+                           Emit(out_, element);
+                         });
+  }
+  // End of stream after the last span expires.
+  const int64_t end_ideal =
+      stream_start_ns + value_->ElementCount() * period_ns;
+  engine()->ScheduleAt(end_ideal, [this, gen, end_ideal] {
+    if (state() != State::kRunning || gen != generation()) return;
+    Emit(out_, StreamElement::EndOfStream(
+                   static_cast<int64_t>(value_->spans().size()), end_ideal));
+    SelfStop();
+  });
+  return Status::OK();
+}
+
+// --------------------------------------------------------- VideoDigitizer --
+
+VideoDigitizer::VideoDigitizer(const std::string& name,
+                               ActivityLocation location, ActivityEnv env,
+                               MediaDataType type,
+                               synthetic::VideoPattern pattern,
+                               int64_t frame_limit, uint64_t seed)
+    : MediaActivity(name, location, env),
+      type_(std::move(type)),
+      pattern_(pattern),
+      frame_limit_(frame_limit),
+      seed_(seed) {
+  out_ = DeclarePort(kPortOut, PortDirection::kOut, type_);
+  DeclareEvent(kEachFrame);
+}
+
+std::shared_ptr<VideoDigitizer> VideoDigitizer::Create(
+    const std::string& name, ActivityLocation location, ActivityEnv env,
+    MediaDataType type, synthetic::VideoPattern pattern, int64_t frame_limit,
+    uint64_t seed) {
+  return std::shared_ptr<VideoDigitizer>(new VideoDigitizer(
+      name, location, env, std::move(type), pattern, frame_limit, seed));
+}
+
+Status VideoDigitizer::OnStart() {
+  if (type_.kind() != MediaKind::kVideo || type_.IsCompressed()) {
+    return Status::FailedPrecondition("digitizer needs a raw video type");
+  }
+  const int64_t stream_start_ns = engine()->now_ns();
+  const int64_t gen = generation();
+  engine()->ScheduleAt(stream_start_ns, [this, stream_start_ns, gen] {
+    Tick(0, stream_start_ns, gen);
+  });
+  return Status::OK();
+}
+
+void VideoDigitizer::Tick(int64_t index, int64_t stream_start_ns,
+                          int64_t gen) {
+  if (state() != State::kRunning || gen != generation()) return;
+  const int64_t period_ns = RateToPeriodNs(type_.element_rate());
+  const int64_t ideal = stream_start_ns + index * period_ns;
+  if (frame_limit_ >= 0 && index >= frame_limit_) {
+    Emit(out_, StreamElement::EndOfStream(index, ideal));
+    SelfStop();
+    return;
+  }
+  StreamElement element;
+  element.index = index;
+  element.ideal_time_ns = ideal;
+  element.frame = std::make_shared<const VideoFrame>(
+      synthetic::GeneratePatternFrame(type_.width(), type_.height(),
+                                      type_.depth_bits(), index, pattern_,
+                                      seed_));
+  element.size_bytes = static_cast<int64_t>(element.frame->SizeBytes());
+  Emit(out_, std::move(element));
+  Raise(kEachFrame, index);
+  engine()->ScheduleAt(ideal + period_ns,
+                       [this, next = index + 1, stream_start_ns, gen] {
+                         Tick(next, stream_start_ns, gen);
+                       });
+}
+
+// ----------------------------------------------------------- AudioCapture --
+
+AudioCapture::AudioCapture(const std::string& name, ActivityLocation location,
+                           ActivityEnv env, MediaDataType type,
+                           synthetic::AudioPattern pattern,
+                           int64_t sample_limit, uint64_t seed)
+    : MediaActivity(name, location, env),
+      type_(std::move(type)),
+      pattern_(pattern),
+      sample_limit_(sample_limit),
+      seed_(seed) {
+  out_ = DeclarePort(kPortOut, PortDirection::kOut, type_);
+  DeclareEvent(kEachBlock);
+}
+
+std::shared_ptr<AudioCapture> AudioCapture::Create(
+    const std::string& name, ActivityLocation location, ActivityEnv env,
+    MediaDataType type, synthetic::AudioPattern pattern, int64_t sample_limit,
+    uint64_t seed) {
+  return std::shared_ptr<AudioCapture>(new AudioCapture(
+      name, location, env, std::move(type), pattern, sample_limit, seed));
+}
+
+Status AudioCapture::OnStart() {
+  if (type_.kind() != MediaKind::kAudio || type_.IsCompressed()) {
+    return Status::FailedPrecondition("capture needs a raw audio type");
+  }
+  // Pre-generate the signal for the bounded case; unbounded capture
+  // extends lazily per block.
+  if (sample_limit_ >= 0) {
+    auto generated =
+        synthetic::GenerateAudio(type_, sample_limit_, pattern_, seed_);
+    if (!generated.ok()) return generated.status();
+    generated_ = std::move(generated).value();
+  }
+  const int64_t start_ns = engine()->now_ns();
+  const int64_t gen = generation();
+  engine()->ScheduleAt(start_ns,
+                       [this, start_ns, gen] { Tick(0, start_ns, gen); });
+  return Status::OK();
+}
+
+void AudioCapture::Tick(int64_t block_index, int64_t stream_start_ns,
+                        int64_t gen) {
+  if (state() != State::kRunning || gen != generation()) return;
+  const int64_t period_ns =
+      (Rational(kBlockFrames) / type_.element_rate() * Rational(1000000000))
+          .Rounded();
+  const int64_t ideal = stream_start_ns + block_index * period_ns;
+  const int64_t first = block_index * kBlockFrames;
+  if (sample_limit_ >= 0 && first >= sample_limit_) {
+    Emit(out_, StreamElement::EndOfStream(block_index, ideal));
+    SelfStop();
+    return;
+  }
+  int64_t count = kBlockFrames;
+  if (sample_limit_ >= 0) {
+    count = std::min<int64_t>(count, sample_limit_ - first);
+  }
+  Result<AudioBlock> block = Status::Internal("uninitialized");
+  if (generated_ != nullptr) {
+    block = generated_->Samples(first, count);
+  } else {
+    // Unbounded capture: generate this block standalone (deterministic by
+    // block index).
+    auto value = synthetic::GenerateAudio(
+        type_, count, pattern_,
+        seed_ * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(block_index));
+    if (value.ok()) block = value.value()->Samples(0, count);
+  }
+  if (!block.ok()) {
+    AVDB_LOG(Error) << name() << ": capture failed: " << block.status();
+    SelfStop();
+    return;
+  }
+  StreamElement element;
+  element.index = block_index;
+  element.ideal_time_ns = ideal;
+  element.audio = std::make_shared<const AudioBlock>(std::move(block).value());
+  element.size_bytes = static_cast<int64_t>(element.audio->SizeBytes());
+  Emit(out_, std::move(element));
+  Raise(kEachBlock, block_index);
+  engine()->ScheduleAt(ideal + period_ns,
+                       [this, next = block_index + 1, stream_start_ns, gen] {
+                         Tick(next, stream_start_ns, gen);
+                       });
+}
+
+}  // namespace avdb

@@ -1,0 +1,249 @@
+#ifndef AVDB_ACTIVITY_SOURCES_H_
+#define AVDB_ACTIVITY_SOURCES_H_
+
+#include <memory>
+#include <string>
+
+#include "activity/cost_model.h"
+#include "activity/media_activity.h"
+#include "codec/encoded_value.h"
+#include "media/audio_value.h"
+#include "media/synthetic.h"
+#include "media/text_stream_value.h"
+#include "media/video_value.h"
+#include "sched/service_queue.h"
+#include "sched/sync_controller.h"
+#include "storage/media_store.h"
+
+namespace avdb {
+
+/// Shared knobs of rate-based source activities.
+struct SourceOptions {
+  /// Elements are fetched this far ahead of their ideal presentation time,
+  /// absorbing pipeline and transfer delays.
+  WorldTime preroll = WorldTime::FromMillis(80);
+  /// Extra delay before element 0's ideal time (track offset from a
+  /// temporal composite's timeline, Fig. 1).
+  WorldTime start_offset;
+  /// When set, every fetch charges modeled device time: the source reads
+  /// the value's bytes from this store (blob `blob_name`) through
+  /// `device_queue`, so concurrent streams on one device contend.
+  MediaStore* store = nullptr;
+  std::string blob_name;
+  ServiceQueue* device_queue = nullptr;
+  /// When set with `sync_track`, the source consults the controller before
+  /// each element and skips elements a lagging track is told to drop.
+  SyncController* sync = nullptr;
+  std::string sync_track;
+  /// Processing-cost model for any internal decode.
+  CostModel costs;
+};
+
+/// The paper's `VideoSource` (§4.2/§4.3): a source activity producing the
+/// frames of a bound `VideoValue` through port "video_out" at the value's
+/// frame rate.
+///
+///   events = {EACH_FRAME, LAST_FRAME}
+///
+/// The output port type adapts to the bound value on Bind (§4.3: "dynamic
+/// configuration of dbSource is necessary"): binding an encoded value with
+/// `emit_encoded` produces compressed chunks for a downstream decoder
+/// (Table 1's "video reader"); otherwise the source decodes internally
+/// (paying modeled decode time) and produces raw frames.
+class VideoSource : public MediaActivity {
+ public:
+  static constexpr const char* kEachFrame = "EACH_FRAME";
+  static constexpr const char* kLastFrame = "LAST_FRAME";
+  static constexpr const char* kPortOut = "video_out";
+
+  /// `emit_encoded` selects chunk output for encoded bound values.
+  static std::shared_ptr<VideoSource> Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env,
+                                             SourceOptions options = {},
+                                             bool emit_encoded = false);
+
+  /// Binds a VideoValue to "video_out" and re-types the port.
+  Status Bind(MediaValuePtr value, const std::string& port_name) override;
+
+  /// Positions so the next produced frame is the one at local time `t` of
+  /// the bound value.
+  Status Cue(WorldTime t) override;
+
+  const VideoValuePtr& bound_value() const { return value_; }
+  int64_t next_index() const { return next_index_; }
+
+  Status ConfigureSync(SyncController* sync,
+                       const std::string& track) override;
+
+ protected:
+  Status OnStart() override;
+
+ private:
+  VideoSource(const std::string& name, ActivityLocation location,
+              ActivityEnv env, SourceOptions options, bool emit_encoded);
+
+  void ScheduleTick(int64_t index, int64_t stream_start_ns);
+  void Tick(int64_t index, int64_t stream_start_ns, int64_t gen);
+  int64_t PeriodNs() const;
+  /// Byte size of frame `i` in the stored representation.
+  int64_t FrameBytes(int64_t i) const;
+  /// Byte offset of frame `i` within the stored blob (approximate layout:
+  /// frames in sequence).
+  int64_t FrameOffset(int64_t i) const;
+
+  SourceOptions options_;
+  bool emit_encoded_;
+  Port* out_;
+  VideoValuePtr value_;
+  std::shared_ptr<EncodedVideoValue> encoded_;  // set when value is encoded
+  ServiceQueue decode_unit_;
+  int64_t next_index_ = 0;
+};
+
+/// Audio counterpart of VideoSource: produces PCM blocks of
+/// `kBlockFrames` sample frames through "audio_out".
+///
+///   events = {EACH_BLOCK, LAST_BLOCK}
+class AudioSource : public MediaActivity {
+ public:
+  static constexpr const char* kEachBlock = "EACH_BLOCK";
+  static constexpr const char* kLastBlock = "LAST_BLOCK";
+  static constexpr const char* kPortOut = "audio_out";
+  static constexpr int kBlockFrames = 1024;
+
+  static std::shared_ptr<AudioSource> Create(const std::string& name,
+                                             ActivityLocation location,
+                                             ActivityEnv env,
+                                             SourceOptions options = {});
+
+  Status Bind(MediaValuePtr value, const std::string& port_name) override;
+  Status Cue(WorldTime t) override;
+
+  const AudioValuePtr& bound_value() const { return value_; }
+
+  Status ConfigureSync(SyncController* sync,
+                       const std::string& track) override;
+
+ protected:
+  Status OnStart() override;
+
+ private:
+  AudioSource(const std::string& name, ActivityLocation location,
+              ActivityEnv env, SourceOptions options);
+
+  void Tick(int64_t block_index, int64_t stream_start_ns, int64_t gen);
+  int64_t BlockCount() const;
+  int64_t PeriodNs() const;
+
+  SourceOptions options_;
+  Port* out_;
+  AudioValuePtr value_;
+  ServiceQueue decode_unit_;
+  int64_t next_block_ = 0;
+};
+
+/// Produces caption elements of a bound TextStreamValue through
+/// "text_out": one element per span, at the span's start time.
+class TextSource : public MediaActivity {
+ public:
+  static constexpr const char* kPortOut = "text_out";
+
+  static std::shared_ptr<TextSource> Create(const std::string& name,
+                                            ActivityLocation location,
+                                            ActivityEnv env,
+                                            SourceOptions options = {});
+
+  Status Bind(MediaValuePtr value, const std::string& port_name) override;
+  Status Cue(WorldTime t) override;
+
+  /// Captions are sparse; the track joins the domain but never skips.
+  Status ConfigureSync(SyncController* sync,
+                       const std::string& track) override;
+
+ protected:
+  Status OnStart() override;
+
+ private:
+  TextSource(const std::string& name, ActivityLocation location,
+             ActivityEnv env, SourceOptions options);
+
+  SourceOptions options_;
+  Port* out_;
+  TextStreamValuePtr value_;
+  size_t next_span_ = 0;
+};
+
+/// Table 1's "video digitizer": a live source producing synthetic camera
+/// frames at rate through "video_out" until stopped — the paper's example
+/// of a value that "is impossible to compress prior to exchange" because it
+/// does not exist in advance.
+class VideoDigitizer : public MediaActivity {
+ public:
+  static constexpr const char* kPortOut = "video_out";
+  static constexpr const char* kEachFrame = "EACH_FRAME";
+
+  /// Digitizes at the geometry/rate of `type` (must be raw video) with the
+  /// given synthetic pattern. `frame_limit` < 0 runs until Stop().
+  static std::shared_ptr<VideoDigitizer> Create(
+      const std::string& name, ActivityLocation location, ActivityEnv env,
+      MediaDataType type, synthetic::VideoPattern pattern,
+      int64_t frame_limit = -1, uint64_t seed = 1);
+
+ protected:
+  Status OnStart() override;
+
+ private:
+  VideoDigitizer(const std::string& name, ActivityLocation location,
+                 ActivityEnv env, MediaDataType type,
+                 synthetic::VideoPattern pattern, int64_t frame_limit,
+                 uint64_t seed);
+
+  void Tick(int64_t index, int64_t stream_start_ns, int64_t gen);
+
+  Port* out_;
+  MediaDataType type_;
+  synthetic::VideoPattern pattern_;
+  int64_t frame_limit_;
+  uint64_t seed_;
+};
+
+/// Live audio source (microphone / line-in simulator): produces synthetic
+/// PCM blocks at rate until stopped or `sample_limit` is reached — the
+/// audio analogue of VideoDigitizer and the other half of the paper's
+/// "live sources" footnote (values that cannot be compressed in advance).
+class AudioCapture : public MediaActivity {
+ public:
+  static constexpr const char* kPortOut = "audio_out";
+  static constexpr const char* kEachBlock = "EACH_BLOCK";
+  static constexpr int kBlockFrames = 1024;
+
+  /// Captures at the channel count/rate of `type` (must be raw audio).
+  /// `sample_limit` < 0 runs until Stop().
+  static std::shared_ptr<AudioCapture> Create(
+      const std::string& name, ActivityLocation location, ActivityEnv env,
+      MediaDataType type, synthetic::AudioPattern pattern,
+      int64_t sample_limit = -1, uint64_t seed = 1);
+
+ protected:
+  Status OnStart() override;
+
+ private:
+  AudioCapture(const std::string& name, ActivityLocation location,
+               ActivityEnv env, MediaDataType type,
+               synthetic::AudioPattern pattern, int64_t sample_limit,
+               uint64_t seed);
+
+  void Tick(int64_t block_index, int64_t stream_start_ns, int64_t gen);
+
+  Port* out_;
+  MediaDataType type_;
+  synthetic::AudioPattern pattern_;
+  int64_t sample_limit_;
+  uint64_t seed_;
+  std::shared_ptr<RawAudioValue> generated_;  // lazily generated signal
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_ACTIVITY_SOURCES_H_

@@ -1,0 +1,50 @@
+#ifndef AVDB_ACTIVITY_STREAM_ELEMENT_H_
+#define AVDB_ACTIVITY_STREAM_ELEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/buffer.h"
+#include "media/frame.h"
+
+namespace avdb {
+
+/// One element travelling through an activity graph: a video frame, an
+/// audio block, a caption, or an encoded chunk, stamped with its stream
+/// index and ideal presentation time. This is the unit of §4.2's "streams"
+/// — AV data in its *active* state.
+///
+/// Payload fields are shared_ptr/value so tees fan the same element out
+/// without copying frame data.
+struct StreamElement {
+  /// Element index within the stream (0-based).
+  int64_t index = 0;
+  /// Virtual time at which a sink should present this element.
+  int64_t ideal_time_ns = 0;
+  /// Payload size used for transfer/bandwidth modeling.
+  int64_t size_bytes = 0;
+  /// True on the final element of a stream; payload fields may be empty.
+  bool end_of_stream = false;
+
+  // Exactly one payload is set for non-EOS elements, matching the port's
+  // media data type.
+  std::shared_ptr<const VideoFrame> frame;    ///< raw video
+  std::shared_ptr<const AudioBlock> audio;    ///< raw PCM audio
+  std::shared_ptr<const std::string> text;    ///< caption text
+  std::shared_ptr<const Buffer> encoded;      ///< compressed payload
+  /// For encoded video: whether this chunk is a random-access point.
+  bool encoded_is_intra = true;
+
+  static StreamElement EndOfStream(int64_t index, int64_t ideal_time_ns) {
+    StreamElement e;
+    e.index = index;
+    e.ideal_time_ns = ideal_time_ns;
+    e.end_of_stream = true;
+    return e;
+  }
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_ACTIVITY_STREAM_ELEMENT_H_

@@ -1,0 +1,87 @@
+#include "base/rational.h"
+
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace avdb {
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  AVDB_CHECK(den != 0) << "Rational with zero denominator";
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+int64_t Rational::Floor() const {
+  const int64_t q = num_ / den_;
+  return (num_ % den_ != 0 && num_ < 0) ? q - 1 : q;
+}
+
+int64_t Rational::Ceil() const {
+  const int64_t q = num_ / den_;
+  return (num_ % den_ != 0 && num_ > 0) ? q + 1 : q;
+}
+
+int64_t Rational::Rounded() const {
+  // Halves round away from zero.
+  const int64_t twice = 2 * num_;
+  const int64_t q = twice / (2 * den_);
+  const int64_t rem = twice % (2 * den_);
+  if (rem >= den_) return q + 1;
+  if (rem <= -den_) return q - 1;
+  return q;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Cross-reduce before multiplying to delay overflow.
+  const int64_t g = std::gcd(den_, o.den_);
+  const int64_t lhs_scale = o.den_ / g;
+  const int64_t rhs_scale = den_ / g;
+  return Rational(num_ * lhs_scale + o.num_ * rhs_scale, den_ * lhs_scale);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  const int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+  const int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  return Rational((num_ / g1) * (o.num_ / g2), (den_ / g2) * (o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  AVDB_CHECK(!o.IsZero()) << "Rational division by zero";
+  return *this * o.Reciprocal();
+}
+
+Rational Rational::Reciprocal() const {
+  AVDB_CHECK(num_ != 0) << "Reciprocal of zero";
+  return Rational(den_, num_);
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens > 0).
+  return a.num_ * b.den_ < b.num_ * a.den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace avdb

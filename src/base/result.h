@@ -1,0 +1,105 @@
+#ifndef AVDB_BASE_RESULT_H_
+#define AVDB_BASE_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace avdb {
+
+/// Either a value of type `T` or a non-OK `Status`. The library's analogue of
+/// `arrow::Result`: fallible functions returning a value use this instead of
+/// exceptions or out-parameters.
+///
+/// Usage:
+///   Result<Foo> MakeFoo();
+///   auto r = MakeFoo();
+///   if (!r.ok()) return r.status();
+///   Foo foo = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is converted to an internal error.
+  Result(Status status) : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the operation; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Aborts if no value is held — callers must check
+  /// `ok()` first (the no-exceptions contract leaves no other escape).
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(repr_);
+  }
+  /// Rvalue overload returns by value (one move) rather than T&&: the
+  /// materialized temporary is lifetime-extended by bindings like
+  /// `for (x : F().value())`, which with a reference return would dangle.
+  T value() && {
+    CheckHasValue();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      std::cerr << "avdb: Result::value() called on error result: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace avdb
+
+/// Assigns the value of `rexpr` (a Result<T> expression) to `lhs`, or returns
+/// its status from the enclosing function.
+#define AVDB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  AVDB_ASSIGN_OR_RETURN_IMPL_(                                  \
+      AVDB_RESULT_CONCAT_(_avdb_result, __LINE__), lhs, rexpr)
+
+#define AVDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define AVDB_RESULT_CONCAT_(a, b) AVDB_RESULT_CONCAT_INNER_(a, b)
+
+#define AVDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // AVDB_BASE_RESULT_H_

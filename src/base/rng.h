@@ -1,0 +1,42 @@
+#ifndef AVDB_BASE_RNG_H_
+#define AVDB_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace avdb {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every stochastic
+/// component in the library (jitter models, synthetic content, workloads)
+/// draws from an explicitly seeded Rng so runs are exactly reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical sequences.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Normally distributed double (Box–Muller), mean 0 stddev 1.
+  double NextGaussian();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_BASE_RNG_H_

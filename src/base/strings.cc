@@ -1,0 +1,107 @@
+#include "base/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace avdb {
+
+std::vector<std::string> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == sep) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = StripWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tmp.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::InvalidArgument("integer out of range: " + tmp);
+  if (end != tmp.c_str() + tmp.size()) {
+    return Status::InvalidArgument("trailing characters in integer: " + tmp);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StripWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tmp.c_str(), &end);
+  if (errno == ERANGE) return Status::InvalidArgument("number out of range: " + tmp);
+  if (end != tmp.c_str() + tmp.size()) {
+    return Status::InvalidArgument("trailing characters in number: " + tmp);
+  }
+  return v;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace avdb

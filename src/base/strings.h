@@ -1,0 +1,43 @@
+#ifndef AVDB_BASE_STRINGS_H_
+#define AVDB_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace avdb {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Lowercases ASCII letters.
+std::string AsciiToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict parse of a base-10 signed integer covering the whole string.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Strict parse of a floating-point number covering the whole string.
+Result<double> ParseDouble(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Human-readable byte count, e.g. "1.5 MB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Fixed-precision decimal formatting, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double v, int precision);
+
+}  // namespace avdb
+
+#endif  // AVDB_BASE_STRINGS_H_

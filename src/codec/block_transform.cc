@@ -1,0 +1,215 @@
+#include "codec/block_transform.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace avdb {
+namespace block_transform {
+
+namespace {
+
+// DCT-II basis, c[u][x] = a(u) cos((2x+1)uπ/16).
+struct DctTables {
+  double basis[kBlockSize][kBlockSize];
+  DctTables() {
+    for (int u = 0; u < kBlockSize; ++u) {
+      const double a = u == 0 ? std::sqrt(1.0 / kBlockSize)
+                              : std::sqrt(2.0 / kBlockSize);
+      for (int x = 0; x < kBlockSize; ++x) {
+        basis[u][x] = a * std::cos((2 * x + 1) * u * M_PI / (2 * kBlockSize));
+      }
+    }
+  }
+};
+
+const DctTables& Tables() {
+  static const DctTables* tables = new DctTables();
+  return *tables;
+}
+
+// JPEG Annex K luminance quantization table, in raster order.
+constexpr int kBaseQuant[kBlockArea] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+// Zigzag scan order: zigzag index -> raster index.
+constexpr int kZigzag[kBlockArea] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace
+
+CoeffBlock ForwardDct(const Block& spatial) {
+  const auto& t = Tables();
+  double tmp[kBlockSize][kBlockSize];
+  // Rows.
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      double acc = 0;
+      for (int x = 0; x < kBlockSize; ++x) {
+        acc += t.basis[u][x] * spatial[y * kBlockSize + x];
+      }
+      tmp[y][u] = acc;
+    }
+  }
+  // Columns.
+  CoeffBlock out;
+  for (int v = 0; v < kBlockSize; ++v) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      double acc = 0;
+      for (int y = 0; y < kBlockSize; ++y) acc += t.basis[v][y] * tmp[y][u];
+      out[v * kBlockSize + u] = static_cast<int32_t>(std::lround(acc));
+    }
+  }
+  return out;
+}
+
+Block InverseDct(const CoeffBlock& coeffs) {
+  const auto& t = Tables();
+  double tmp[kBlockSize][kBlockSize];
+  // Columns (inverse).
+  for (int u = 0; u < kBlockSize; ++u) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      double acc = 0;
+      for (int v = 0; v < kBlockSize; ++v) {
+        acc += t.basis[v][y] * coeffs[v * kBlockSize + u];
+      }
+      tmp[y][u] = acc;
+    }
+  }
+  Block out;
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      double acc = 0;
+      for (int u = 0; u < kBlockSize; ++u) acc += t.basis[u][x] * tmp[y][u];
+      long v = std::lround(acc);
+      if (v < INT16_MIN) v = INT16_MIN;
+      if (v > INT16_MAX) v = INT16_MAX;
+      out[y * kBlockSize + x] = static_cast<int16_t>(v);
+    }
+  }
+  return out;
+}
+
+int QuantStep(int index, int quality) {
+  AVDB_CHECK(index >= 0 && index < kBlockArea);
+  if (quality < 1) quality = 1;
+  if (quality > 100) quality = 100;
+  // libjpeg scaling: quality 50 -> base table, 100 -> all ones.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  int step = (kBaseQuant[index] * scale + 50) / 100;
+  if (step < 1) step = 1;
+  if (step > 1024) step = 1024;
+  return step;
+}
+
+void Quantize(CoeffBlock* coeffs, int quality) {
+  for (int i = 0; i < kBlockArea; ++i) {
+    const int step = QuantStep(i, quality);
+    const int32_t v = (*coeffs)[i];
+    (*coeffs)[i] = v >= 0 ? (v + step / 2) / step : -((-v + step / 2) / step);
+  }
+}
+
+void Dequantize(CoeffBlock* coeffs, int quality) {
+  for (int i = 0; i < kBlockArea; ++i) {
+    (*coeffs)[i] *= QuantStep(i, quality);
+  }
+}
+
+void EncodeBlock(const CoeffBlock& coeffs, int32_t* dc_predictor,
+                 BitWriter* out) {
+  // DC: delta against previous block's DC.
+  const int32_t dc = coeffs[0];
+  out->WriteSignedVarint(dc - *dc_predictor);
+  *dc_predictor = dc;
+  // AC: (zero-run, level) pairs in zigzag order; run==0x3F means EOB.
+  int run = 0;
+  for (int zi = 1; zi < kBlockArea; ++zi) {
+    const int32_t level = coeffs[kZigzag[zi]];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    out->WriteVarint(static_cast<uint64_t>(run));
+    out->WriteSignedVarint(level);
+    run = 0;
+  }
+  out->WriteVarint(0x3F);  // end of block
+}
+
+Result<CoeffBlock> DecodeBlock(int32_t* dc_predictor, BitReader* in) {
+  CoeffBlock coeffs{};
+  auto dc_delta = in->ReadSignedVarint();
+  if (!dc_delta.ok()) return dc_delta.status();
+  *dc_predictor += static_cast<int32_t>(dc_delta.value());
+  coeffs[0] = *dc_predictor;
+  int zi = 1;
+  for (;;) {
+    auto run = in->ReadVarint();
+    if (!run.ok()) return run.status();
+    if (run.value() == 0x3F) break;
+    zi += static_cast<int>(run.value());
+    if (zi >= kBlockArea) return Status::DataLoss("AC run past block end");
+    auto level = in->ReadSignedVarint();
+    if (!level.ok()) return level.status();
+    coeffs[kZigzag[zi]] = static_cast<int32_t>(level.value());
+    ++zi;
+  }
+  return coeffs;
+}
+
+void EncodePlane(const std::vector<int16_t>& plane, int width, int height,
+                 int quality, BitWriter* out) {
+  AVDB_CHECK(plane.size() == static_cast<size_t>(width) * height);
+  int32_t dc_predictor = 0;
+  for (int by = 0; by < height; by += kBlockSize) {
+    for (int bx = 0; bx < width; bx += kBlockSize) {
+      Block block;
+      for (int y = 0; y < kBlockSize; ++y) {
+        const int sy = std::min(by + y, height - 1);
+        for (int x = 0; x < kBlockSize; ++x) {
+          const int sx = std::min(bx + x, width - 1);
+          block[y * kBlockSize + x] =
+              plane[static_cast<size_t>(sy) * width + sx];
+        }
+      }
+      CoeffBlock coeffs = ForwardDct(block);
+      Quantize(&coeffs, quality);
+      EncodeBlock(coeffs, &dc_predictor, out);
+    }
+  }
+}
+
+Result<std::vector<int16_t>> DecodePlane(int width, int height, int quality,
+                                         BitReader* in) {
+  std::vector<int16_t> plane(static_cast<size_t>(width) * height, 0);
+  int32_t dc_predictor = 0;
+  for (int by = 0; by < height; by += kBlockSize) {
+    for (int bx = 0; bx < width; bx += kBlockSize) {
+      auto coeffs = DecodeBlock(&dc_predictor, in);
+      if (!coeffs.ok()) return coeffs.status();
+      Dequantize(&coeffs.value(), quality);
+      const Block block = InverseDct(coeffs.value());
+      for (int y = 0; y < kBlockSize && by + y < height; ++y) {
+        for (int x = 0; x < kBlockSize && bx + x < width; ++x) {
+          plane[static_cast<size_t>(by + y) * width + bx + x] =
+              block[y * kBlockSize + x];
+        }
+      }
+    }
+  }
+  return plane;
+}
+
+}  // namespace block_transform
+}  // namespace avdb

@@ -1,0 +1,63 @@
+#ifndef AVDB_CODEC_BLOCK_TRANSFORM_H_
+#define AVDB_CODEC_BLOCK_TRANSFORM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitio.h"
+
+namespace avdb {
+
+/// 8×8 transform-coding kernel shared by the intra, inter (residual) and
+/// scalable codecs: DCT-II, quality-scaled quantization, zigzag scan and
+/// run-length entropy coding. Works on int16 samples so it can code both
+/// pixel blocks (0..255) and prediction residuals (-255..255).
+namespace block_transform {
+
+inline constexpr int kBlockSize = 8;
+inline constexpr int kBlockArea = kBlockSize * kBlockSize;
+
+using Block = std::array<int16_t, kBlockArea>;
+using CoeffBlock = std::array<int32_t, kBlockArea>;
+
+/// Forward 8×8 DCT-II (separable, float internals, rounded to int).
+CoeffBlock ForwardDct(const Block& spatial);
+
+/// Inverse 8×8 DCT-III.
+Block InverseDct(const CoeffBlock& coeffs);
+
+/// Quantization step for coefficient position `index` (zigzag order) at
+/// `quality` in [1,100]; JPEG-style luminance table scaled so quality 50 is
+/// the base table, 100 is near-lossless.
+int QuantStep(int index, int quality);
+
+/// Quantizes in place (divide + round toward nearest).
+void Quantize(CoeffBlock* coeffs, int quality);
+
+/// Dequantizes in place (multiply).
+void Dequantize(CoeffBlock* coeffs, int quality);
+
+/// Entropy-codes a quantized block: zigzag scan, DC delta against
+/// `*dc_predictor` (updated), then (run, level) pairs with an end-of-block
+/// marker.
+void EncodeBlock(const CoeffBlock& coeffs, int32_t* dc_predictor,
+                 BitWriter* out);
+
+/// Reverses EncodeBlock.
+Result<CoeffBlock> DecodeBlock(int32_t* dc_predictor, BitReader* in);
+
+/// Splits a width×height int16 plane into 8×8 blocks (edge blocks padded by
+/// replicating the last row/column), transforms, quantizes and entropy-codes
+/// the whole plane.
+void EncodePlane(const std::vector<int16_t>& plane, int width, int height,
+                 int quality, BitWriter* out);
+
+/// Reverses EncodePlane; output plane is width×height.
+Result<std::vector<int16_t>> DecodePlane(int width, int height, int quality,
+                                         BitReader* in);
+
+}  // namespace block_transform
+}  // namespace avdb
+
+#endif  // AVDB_CODEC_BLOCK_TRANSFORM_H_

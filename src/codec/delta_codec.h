@@ -1,0 +1,31 @@
+#ifndef AVDB_CODEC_DELTA_CODEC_H_
+#define AVDB_CODEC_DELTA_CODEC_H_
+
+#include "codec/video_codec.h"
+
+namespace avdb {
+
+/// DVI RTV-class delta codec: cheap frame-difference coding with no
+/// transform and no motion search. Each pixel is coded as a quantized
+/// difference against the reconstructed previous frame (frame 0 against a
+/// mid-grey reference), run-length coding zero runs. Much cheaper to
+/// encode/decode than the transform codecs at a worse rate/distortion point
+/// — the "real-time video" trade-off DVI made in 1990 hardware. Structural
+/// stand-in for the paper's `DVI_VideoValue` (DESIGN.md §5).
+class DeltaCodec final : public VideoCodec {
+ public:
+  std::string name() const override { return "avdb-delta"; }
+  EncodingFamily family() const override { return EncodingFamily::kDelta; }
+
+  Result<EncodedVideo> Encode(const VideoValue& value,
+                              const VideoCodecParams& params) const override;
+  Result<std::unique_ptr<VideoDecoderSession>> NewDecoder(
+      const EncodedVideo& video) const override;
+
+  /// Quantization step derived from quality (1..100 -> 16..1).
+  static int StepForQuality(int quality);
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_CODEC_DELTA_CODEC_H_

@@ -1,0 +1,90 @@
+#include "codec/encoded_value.h"
+
+namespace avdb {
+
+namespace {
+
+MediaDataType DecodedTypeFor(const EncodedVideo& video) {
+  // The value presents compressed type information (so activities can type
+  // ports as "compressed video"), but geometry/rate follow the raw type.
+  return MediaDataType::CompressedVideo(
+      video.family, video.raw_type.width(), video.raw_type.height(),
+      video.raw_type.depth_bits(), video.raw_type.element_rate());
+}
+
+}  // namespace
+
+Result<std::shared_ptr<EncodedVideoValue>> EncodedVideoValue::Create(
+    std::shared_ptr<const VideoCodec> codec, EncodedVideo video) {
+  if (codec == nullptr) return Status::InvalidArgument("null codec");
+  if (codec->family() != video.family) {
+    return Status::InvalidArgument("codec family does not match stream");
+  }
+  return std::shared_ptr<EncodedVideoValue>(new EncodedVideoValue(
+      DecodedTypeFor(video), std::move(codec), std::move(video)));
+}
+
+Result<VideoFrame> EncodedVideoValue::Frame(int64_t index) const {
+  if (session_ == nullptr) {
+    auto session = codec_->NewDecoder(video_);
+    if (!session.ok()) return session.status();
+    session_ = std::move(session).value();
+  }
+  return session_->DecodeFrame(index);
+}
+
+int64_t EncodedVideoValue::FramesDecodedInternally() const {
+  return session_ == nullptr ? 0 : session_->FramesDecodedInternally();
+}
+
+std::string EncodedVideoValue::Describe() const {
+  return MediaValue::Describe() + " (" + codec_->name() + ", " +
+         std::to_string(StoredBytes()) + " bytes)";
+}
+
+Result<std::shared_ptr<EncodedAudioValue>> EncodedAudioValue::Create(
+    std::shared_ptr<const AudioCodec> codec, EncodedAudio audio) {
+  if (codec == nullptr) return Status::InvalidArgument("null codec");
+  if (codec->family() != audio.family) {
+    return Status::InvalidArgument("codec family does not match stream");
+  }
+  MediaDataType decoded_type = MediaDataType::CompressedAudio(
+      audio.family, audio.raw_type.channels(), audio.raw_type.element_rate());
+  return std::shared_ptr<EncodedAudioValue>(new EncodedAudioValue(
+      std::move(decoded_type), std::move(codec), std::move(audio)));
+}
+
+Result<AudioBlock> EncodedAudioValue::Samples(int64_t first,
+                                              int64_t count) const {
+  if (first < 0 || count < 0 || first + count > ElementCount()) {
+    return Status::InvalidArgument("sample range out of bounds");
+  }
+  const int channels = audio_.raw_type.channels();
+  AudioBlock out(channels, static_cast<int>(count));
+  int64_t written = 0;
+  while (written < count) {
+    const int64_t frame = first + written;
+    const int64_t chunk_index = frame / audio_.chunk_frames;
+    const int64_t offset = frame % audio_.chunk_frames;
+    auto chunk = codec_->DecodeChunk(audio_, chunk_index);
+    if (!chunk.ok()) return chunk.status();
+    const int64_t available = chunk.value().frame_count() - offset;
+    const int64_t take = std::min(available, count - written);
+    for (int64_t f = 0; f < take; ++f) {
+      for (int c = 0; c < channels; ++c) {
+        out.Set(static_cast<int>(written + f), c,
+                chunk.value().At(static_cast<int>(offset + f), c));
+      }
+    }
+    written += take;
+  }
+  return out;
+}
+
+std::string EncodedAudioValue::Describe() const {
+  return MediaValue::Describe() + " (" +
+         std::string(EncodingFamilyName(audio_.family)) + ", " +
+         std::to_string(StoredBytes()) + " bytes)";
+}
+
+}  // namespace avdb

@@ -1,0 +1,329 @@
+#include "codec/inter_codec.h"
+
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "codec/bitio.h"
+#include "codec/block_transform.h"
+#include "codec/intra_codec.h"
+
+namespace avdb {
+
+namespace {
+
+constexpr int kMacroblock = 16;
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+};
+
+// Clamped sample fetch from a plane (replicating edges), so motion vectors
+// may point partially outside the frame.
+inline int SampleClamped(const std::vector<uint8_t>& plane, int width,
+                         int height, int x, int y) {
+  if (x < 0) x = 0;
+  if (x >= width) x = width - 1;
+  if (y < 0) y = 0;
+  if (y >= height) y = height - 1;
+  return plane[static_cast<size_t>(y) * width + x];
+}
+
+// Sum of absolute differences between the macroblock at (bx,by) in `cur`
+// and the block displaced by (dx,dy) in `ref`.
+int64_t MacroblockSad(const std::vector<uint8_t>& cur,
+                      const std::vector<uint8_t>& ref, int width, int height,
+                      int bx, int by, int dx, int dy) {
+  int64_t sad = 0;
+  for (int y = 0; y < kMacroblock; ++y) {
+    const int cy = by + y;
+    if (cy >= height) break;
+    for (int x = 0; x < kMacroblock; ++x) {
+      const int cx = bx + x;
+      if (cx >= width) break;
+      const int a = cur[static_cast<size_t>(cy) * width + cx];
+      const int b = SampleClamped(ref, width, height, cx + dx, cy + dy);
+      sad += std::abs(a - b);
+    }
+  }
+  return sad;
+}
+
+// Three-step search: classic logarithmic motion estimation. Returns the
+// best vector within ±range.
+MotionVector ThreeStepSearch(const std::vector<uint8_t>& cur,
+                             const std::vector<uint8_t>& ref, int width,
+                             int height, int bx, int by, int range) {
+  MotionVector best;
+  int64_t best_sad =
+      MacroblockSad(cur, ref, width, height, bx, by, 0, 0);
+  int step = range / 2;
+  if (step < 1) step = 1;
+  while (step >= 1) {
+    MotionVector round_best = best;
+    int64_t round_sad = best_sad;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const int cx = best.dx + dx * step;
+        const int cy = best.dy + dy * step;
+        if (std::abs(cx) > range || std::abs(cy) > range) continue;
+        const int64_t sad =
+            MacroblockSad(cur, ref, width, height, bx, by, cx, cy);
+        if (sad < round_sad) {
+          round_sad = sad;
+          round_best = {cx, cy};
+        }
+      }
+    }
+    best = round_best;
+    best_sad = round_sad;
+    step /= 2;
+  }
+  return best;
+}
+
+// Builds the motion-compensated prediction of a whole plane from `ref`
+// given per-macroblock vectors.
+std::vector<uint8_t> PredictPlane(const std::vector<uint8_t>& ref, int width,
+                                  int height,
+                                  const std::vector<MotionVector>& mvs,
+                                  int mb_cols) {
+  std::vector<uint8_t> out(static_cast<size_t>(width) * height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int mb = (y / kMacroblock) * mb_cols + (x / kMacroblock);
+      const MotionVector& mv = mvs[static_cast<size_t>(mb)];
+      out[static_cast<size_t>(y) * width + x] = static_cast<uint8_t>(
+          SampleClamped(ref, width, height, x + mv.dx, y + mv.dy));
+    }
+  }
+  return out;
+}
+
+struct PFrameData {
+  std::vector<MotionVector> mvs;
+  // Residual plane bitstream is appended after the vectors in `data`.
+};
+
+// Encodes a P-frame: motion vectors from plane 0, shared across planes;
+// residuals transform-coded per plane. Returns the encoded bits and the
+// reconstructed frame (which becomes the next reference).
+Buffer EncodePFrame(const VideoFrame& cur, const VideoFrame& recon_ref,
+                    int quality, int search_range, VideoFrame* recon_out) {
+  const int width = cur.width();
+  const int height = cur.height();
+  const int mb_cols = (width + kMacroblock - 1) / kMacroblock;
+  const int mb_rows = (height + kMacroblock - 1) / kMacroblock;
+
+  const std::vector<uint8_t> cur_luma = cur.ExtractPlane(0);
+  const std::vector<uint8_t> ref_luma = recon_ref.ExtractPlane(0);
+
+  std::vector<MotionVector> mvs;
+  mvs.reserve(static_cast<size_t>(mb_cols) * mb_rows);
+  for (int my = 0; my < mb_rows; ++my) {
+    for (int mx = 0; mx < mb_cols; ++mx) {
+      mvs.push_back(ThreeStepSearch(cur_luma, ref_luma, width, height,
+                                    mx * kMacroblock, my * kMacroblock,
+                                    search_range));
+    }
+  }
+
+  BitWriter writer;
+  for (const auto& mv : mvs) {
+    writer.WriteSignedVarint(mv.dx);
+    writer.WriteSignedVarint(mv.dy);
+  }
+
+  *recon_out = VideoFrame(width, height, cur.depth_bits());
+  for (int p = 0; p < cur.plane_count(); ++p) {
+    const std::vector<uint8_t> cur_plane = cur.ExtractPlane(p);
+    const std::vector<uint8_t> ref_plane = recon_ref.ExtractPlane(p);
+    const std::vector<uint8_t> pred =
+        PredictPlane(ref_plane, width, height, mvs, mb_cols);
+    std::vector<int16_t> residual(cur_plane.size());
+    for (size_t i = 0; i < cur_plane.size(); ++i) {
+      residual[i] = static_cast<int16_t>(static_cast<int>(cur_plane[i]) -
+                                         static_cast<int>(pred[i]));
+    }
+    block_transform::EncodePlane(residual, width, height, quality, &writer);
+
+    // Reconstruct exactly as the decoder will: decode our own residual.
+    // Cheaper: requantize in place. We reuse the decode path for fidelity.
+    BitWriter replay;
+    block_transform::EncodePlane(residual, width, height, quality, &replay);
+    Buffer replay_bits = replay.Finish();
+    BitReader reader(replay_bits);
+    auto decoded =
+        block_transform::DecodePlane(width, height, quality, &reader);
+    AVDB_CHECK(decoded.ok()) << "self-decode of residual failed";
+    std::vector<uint8_t> recon_plane(cur_plane.size());
+    for (size_t i = 0; i < cur_plane.size(); ++i) {
+      int v = pred[i] + decoded.value()[i];
+      if (v < 0) v = 0;
+      if (v > 255) v = 255;
+      recon_plane[i] = static_cast<uint8_t>(v);
+    }
+    AVDB_CHECK(recon_out->SetPlane(p, recon_plane).ok());
+  }
+  return writer.Finish();
+}
+
+// Decodes a P-frame given the previously reconstructed reference.
+Result<VideoFrame> DecodePFrame(const Buffer& data,
+                                const VideoFrame& recon_ref, int quality) {
+  const int width = recon_ref.width();
+  const int height = recon_ref.height();
+  const int mb_cols = (width + kMacroblock - 1) / kMacroblock;
+  const int mb_rows = (height + kMacroblock - 1) / kMacroblock;
+
+  BitReader reader(data);
+  std::vector<MotionVector> mvs(static_cast<size_t>(mb_cols) * mb_rows);
+  for (auto& mv : mvs) {
+    auto dx = reader.ReadSignedVarint();
+    if (!dx.ok()) return dx.status();
+    auto dy = reader.ReadSignedVarint();
+    if (!dy.ok()) return dy.status();
+    mv.dx = static_cast<int>(dx.value());
+    mv.dy = static_cast<int>(dy.value());
+  }
+
+  VideoFrame out(width, height, recon_ref.depth_bits());
+  for (int p = 0; p < recon_ref.plane_count(); ++p) {
+    const std::vector<uint8_t> ref_plane = recon_ref.ExtractPlane(p);
+    const std::vector<uint8_t> pred =
+        PredictPlane(ref_plane, width, height, mvs, mb_cols);
+    auto residual =
+        block_transform::DecodePlane(width, height, quality, &reader);
+    if (!residual.ok()) return residual.status();
+    std::vector<uint8_t> plane(pred.size());
+    for (size_t i = 0; i < pred.size(); ++i) {
+      int v = pred[i] + residual.value()[i];
+      if (v < 0) v = 0;
+      if (v > 255) v = 255;
+      plane[i] = static_cast<uint8_t>(v);
+    }
+    AVDB_RETURN_IF_ERROR(out.SetPlane(p, plane));
+  }
+  return out;
+}
+
+/// Sequential decoder holding the reconstructed reference frame. Random
+/// access re-enters at the nearest preceding I-frame and decodes forward.
+class InterDecoderSession final : public VideoDecoderSession {
+ public:
+  explicit InterDecoderSession(const EncodedVideo& video) : video_(video) {}
+
+  Result<VideoFrame> DecodeFrame(int64_t index) override {
+    if (index < 0 || index >= static_cast<int64_t>(video_.frames.size())) {
+      return Status::InvalidArgument("frame index out of range");
+    }
+    if (index != next_index_) {
+      // Seek: if moving forward within the current GOP we can decode
+      // through; otherwise re-enter at the access point.
+      const bool can_roll_forward =
+          next_index_ >= 0 && index > next_index_ - 1 && have_ref_;
+      auto access = video_.AccessPointBefore(index);
+      if (!access.ok()) return access.status();
+      if (!can_roll_forward || access.value() >= next_index_) {
+        next_index_ = access.value();
+        have_ref_ = false;
+      }
+    }
+    VideoFrame frame;
+    while (next_index_ <= index) {
+      auto decoded = DecodeNext();
+      if (!decoded.ok()) return decoded.status();
+      frame = std::move(decoded).value();
+    }
+    return frame;
+  }
+
+  int64_t FramesDecodedInternally() const override { return decoded_; }
+
+ private:
+  Result<VideoFrame> DecodeNext() {
+    const auto& ef = video_.frames[static_cast<size_t>(next_index_)];
+    const auto& t = video_.raw_type;
+    Result<VideoFrame> frame = Status::Internal("unreachable");
+    if (ef.is_intra) {
+      frame = IntraCodec::DecodeFrame(ef.data, t.width(), t.height(),
+                                      t.depth_bits(), video_.params.quality);
+    } else {
+      if (!have_ref_) {
+        return Status::DataLoss("P-frame without reference at frame " +
+                                std::to_string(next_index_));
+      }
+      frame = DecodePFrame(ef.data, ref_, video_.params.quality);
+    }
+    if (!frame.ok()) return frame.status();
+    ref_ = frame.value();
+    have_ref_ = true;
+    ++next_index_;
+    ++decoded_;
+    return frame;
+  }
+
+  const EncodedVideo video_;
+  VideoFrame ref_;
+  bool have_ref_ = false;
+  int64_t next_index_ = 0;
+  int64_t decoded_ = 0;
+};
+
+}  // namespace
+
+Result<EncodedVideo> InterCodec::Encode(const VideoValue& value,
+                                        const VideoCodecParams& params) const {
+  if (value.type().IsCompressed()) {
+    return Status::InvalidArgument("encoder input must be raw video");
+  }
+  if (params.gop_size < 1) {
+    return Status::InvalidArgument("gop_size must be >= 1");
+  }
+  if (params.search_range < 1 || params.search_range > 64) {
+    return Status::InvalidArgument("search_range must be in [1, 64]");
+  }
+  EncodedVideo out;
+  out.raw_type = value.type();
+  out.family = family();
+  out.params = params;
+  out.frames.reserve(static_cast<size_t>(value.FrameCount()));
+
+  VideoFrame recon;
+  bool have_recon = false;
+  for (int64_t i = 0; i < value.FrameCount(); ++i) {
+    auto frame = value.Frame(i);
+    if (!frame.ok()) return frame.status();
+    EncodedFrame ef;
+    if (i % params.gop_size == 0 || !have_recon) {
+      ef.is_intra = true;
+      ef.data = IntraCodec::EncodeFrame(frame.value(), params.quality);
+      // Reconstruct the I-frame the way the decoder sees it.
+      auto decoded = IntraCodec::DecodeFrame(
+          ef.data, frame.value().width(), frame.value().height(),
+          frame.value().depth_bits(), params.quality);
+      if (!decoded.ok()) return decoded.status();
+      recon = std::move(decoded).value();
+      have_recon = true;
+    } else {
+      ef.is_intra = false;
+      VideoFrame new_recon;
+      ef.data = EncodePFrame(frame.value(), recon, params.quality,
+                             params.search_range, &new_recon);
+      recon = std::move(new_recon);
+    }
+    out.frames.push_back(std::move(ef));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<VideoDecoderSession>> InterCodec::NewDecoder(
+    const EncodedVideo& video) const {
+  if (video.family != EncodingFamily::kInter) {
+    return Status::InvalidArgument("stream is not inter-coded");
+  }
+  return std::unique_ptr<VideoDecoderSession>(new InterDecoderSession(video));
+}
+
+}  // namespace avdb

@@ -1,0 +1,31 @@
+#ifndef AVDB_CODEC_INTER_CODEC_H_
+#define AVDB_CODEC_INTER_CODEC_H_
+
+#include "codec/video_codec.h"
+
+namespace avdb {
+
+/// MPEG-class predictive codec: GOPs of `gop_size` frames opening with an
+/// intra frame followed by P-frames, each P-frame coded as per-macroblock
+/// motion vectors (16×16 three-step search against the *reconstructed*
+/// previous frame, so encoder and decoder stay in lock-step) plus a
+/// transform-coded residual. Random access only at I-frames — the property
+/// that makes inter-coded video cheap to store but costly to seek (§3.1).
+/// Structural stand-in for the paper's `MPEG_VideoValue` (DESIGN.md §5).
+class InterCodec final : public VideoCodec {
+ public:
+  std::string name() const override { return "avdb-inter"; }
+  EncodingFamily family() const override { return EncodingFamily::kInter; }
+
+  Result<EncodedVideo> Encode(const VideoValue& value,
+                              const VideoCodecParams& params) const override;
+  Result<std::unique_ptr<VideoDecoderSession>> NewDecoder(
+      const EncodedVideo& video) const override;
+
+ private:
+  friend class InterDecoderSession;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_CODEC_INTER_CODEC_H_

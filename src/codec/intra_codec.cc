@@ -1,0 +1,107 @@
+#include "codec/intra_codec.h"
+
+#include "codec/bitio.h"
+#include "codec/block_transform.h"
+
+namespace avdb {
+
+namespace {
+
+/// Plain sequential decoder: intra frames have no inter-frame state.
+class IntraDecoderSession final : public VideoDecoderSession {
+ public:
+  explicit IntraDecoderSession(const EncodedVideo& video) : video_(video) {}
+
+  Result<VideoFrame> DecodeFrame(int64_t index) override {
+    if (index < 0 || index >= static_cast<int64_t>(video_.frames.size())) {
+      return Status::InvalidArgument("frame index out of range");
+    }
+    ++decoded_;
+    const auto& t = video_.raw_type;
+    return IntraCodec::DecodeFrame(video_.frames[index].data, t.width(),
+                                   t.height(), t.depth_bits(),
+                                   video_.params.quality);
+  }
+
+  int64_t FramesDecodedInternally() const override { return decoded_; }
+
+ private:
+  const EncodedVideo video_;
+  int64_t decoded_ = 0;
+};
+
+std::vector<int16_t> PlaneToCentered(const std::vector<uint8_t>& plane) {
+  std::vector<int16_t> out(plane.size());
+  for (size_t i = 0; i < plane.size(); ++i) {
+    out[i] = static_cast<int16_t>(static_cast<int>(plane[i]) - 128);
+  }
+  return out;
+}
+
+std::vector<uint8_t> CenteredToPlane(const std::vector<int16_t>& centered) {
+  std::vector<uint8_t> out(centered.size());
+  for (size_t i = 0; i < centered.size(); ++i) {
+    int v = centered[i] + 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    out[i] = static_cast<uint8_t>(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Buffer IntraCodec::EncodeFrame(const VideoFrame& frame, int quality) {
+  BitWriter writer;
+  for (int p = 0; p < frame.plane_count(); ++p) {
+    block_transform::EncodePlane(PlaneToCentered(frame.ExtractPlane(p)),
+                                 frame.width(), frame.height(), quality,
+                                 &writer);
+  }
+  return writer.Finish();
+}
+
+Result<VideoFrame> IntraCodec::DecodeFrame(const Buffer& data, int width,
+                                           int height, int depth_bits,
+                                           int quality) {
+  VideoFrame frame(width, height, depth_bits);
+  BitReader reader(data);
+  for (int p = 0; p < frame.plane_count(); ++p) {
+    auto plane = block_transform::DecodePlane(width, height, quality, &reader);
+    if (!plane.ok()) return plane.status();
+    AVDB_RETURN_IF_ERROR(frame.SetPlane(p, CenteredToPlane(plane.value())));
+  }
+  return frame;
+}
+
+Result<EncodedVideo> IntraCodec::Encode(const VideoValue& value,
+                                        const VideoCodecParams& params) const {
+  if (value.type().IsCompressed()) {
+    return Status::InvalidArgument("encoder input must be raw video");
+  }
+  EncodedVideo out;
+  out.raw_type = value.type();
+  out.family = family();
+  out.params = params;
+  out.frames.reserve(static_cast<size_t>(value.FrameCount()));
+  for (int64_t i = 0; i < value.FrameCount(); ++i) {
+    auto frame = value.Frame(i);
+    if (!frame.ok()) return frame.status();
+    EncodedFrame ef;
+    ef.is_intra = true;
+    ef.data = EncodeFrame(frame.value(), params.quality);
+    out.frames.push_back(std::move(ef));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<VideoDecoderSession>> IntraCodec::NewDecoder(
+    const EncodedVideo& video) const {
+  if (video.family != EncodingFamily::kIntra) {
+    return Status::InvalidArgument("stream is not intra-coded");
+  }
+  return std::unique_ptr<VideoDecoderSession>(
+      new IntraDecoderSession(video));
+}
+
+}  // namespace avdb

@@ -1,0 +1,35 @@
+#ifndef AVDB_CODEC_INTRA_CODEC_H_
+#define AVDB_CODEC_INTRA_CODEC_H_
+
+#include "codec/video_codec.h"
+
+namespace avdb {
+
+/// JPEG-class intra-frame codec: every frame is independently transform-
+/// coded (8×8 DCT + quantization + run-length entropy coding, one pass per
+/// colour plane). Every frame is a random-access point, which is why the
+/// paper's editing scenarios favour intra representations. Structural
+/// stand-in for the paper's `JPEG_VideoValue` encoding (see DESIGN.md §5).
+class IntraCodec final : public VideoCodec {
+ public:
+  std::string name() const override { return "avdb-intra"; }
+  EncodingFamily family() const override { return EncodingFamily::kIntra; }
+
+  Result<EncodedVideo> Encode(const VideoValue& value,
+                              const VideoCodecParams& params) const override;
+  Result<std::unique_ptr<VideoDecoderSession>> NewDecoder(
+      const EncodedVideo& video) const override;
+
+  /// Encodes one frame independently (shared with the inter codec's
+  /// I-frames and the streaming encoder activity).
+  static Buffer EncodeFrame(const VideoFrame& frame, int quality);
+
+  /// Decodes one independently coded frame of the given geometry.
+  static Result<VideoFrame> DecodeFrame(const Buffer& data, int width,
+                                        int height, int depth_bits,
+                                        int quality);
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_CODEC_INTRA_CODEC_H_

@@ -1,0 +1,390 @@
+#include "codec/scalable_codec.h"
+
+#include "codec/bitio.h"
+#include "codec/block_transform.h"
+
+namespace avdb {
+
+namespace {
+
+struct PlaneI16 {
+  int width = 0;
+  int height = 0;
+  std::vector<int16_t> data;
+};
+
+PlaneI16 ToI16(const std::vector<uint8_t>& plane, int width, int height) {
+  PlaneI16 out{width, height, std::vector<int16_t>(plane.size())};
+  for (size_t i = 0; i < plane.size(); ++i) {
+    out.data[i] = static_cast<int16_t>(static_cast<int>(plane[i]) - 128);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ToU8(const PlaneI16& plane) {
+  std::vector<uint8_t> out(plane.data.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    int v = plane.data[i] + 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    out[i] = static_cast<uint8_t>(v);
+  }
+  return out;
+}
+
+// Box-filter downsample by 2 (ceil geometry).
+PlaneI16 Downsample2(const PlaneI16& src) {
+  PlaneI16 out;
+  out.width = (src.width + 1) / 2;
+  out.height = (src.height + 1) / 2;
+  out.data.resize(static_cast<size_t>(out.width) * out.height);
+  for (int y = 0; y < out.height; ++y) {
+    for (int x = 0; x < out.width; ++x) {
+      int sum = 0;
+      int count = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        const int sy = 2 * y + dy;
+        if (sy >= src.height) continue;
+        for (int dx = 0; dx < 2; ++dx) {
+          const int sx = 2 * x + dx;
+          if (sx >= src.width) continue;
+          sum += src.data[static_cast<size_t>(sy) * src.width + sx];
+          ++count;
+        }
+      }
+      out.data[static_cast<size_t>(y) * out.width + x] =
+          static_cast<int16_t>(sum / (count == 0 ? 1 : count));
+    }
+  }
+  return out;
+}
+
+// Bilinear upsample to an exact target geometry.
+PlaneI16 UpsampleTo(const PlaneI16& src, int width, int height) {
+  PlaneI16 out{width, height,
+               std::vector<int16_t>(static_cast<size_t>(width) * height)};
+  if (src.width == 0 || src.height == 0) return out;
+  for (int y = 0; y < height; ++y) {
+    const double fy = height > 1
+                          ? static_cast<double>(y) * (src.height - 1) /
+                                (height - 1 == 0 ? 1 : height - 1)
+                          : 0.0;
+    const int y0 = static_cast<int>(fy);
+    const int y1 = y0 + 1 < src.height ? y0 + 1 : y0;
+    const double wy = fy - y0;
+    for (int x = 0; x < width; ++x) {
+      const double fx = width > 1
+                            ? static_cast<double>(x) * (src.width - 1) /
+                                  (width - 1 == 0 ? 1 : width - 1)
+                            : 0.0;
+      const int x0 = static_cast<int>(fx);
+      const int x1 = x0 + 1 < src.width ? x0 + 1 : x0;
+      const double wx = fx - x0;
+      const double v00 = src.data[static_cast<size_t>(y0) * src.width + x0];
+      const double v01 = src.data[static_cast<size_t>(y0) * src.width + x1];
+      const double v10 = src.data[static_cast<size_t>(y1) * src.width + x0];
+      const double v11 = src.data[static_cast<size_t>(y1) * src.width + x1];
+      const double v = v00 * (1 - wx) * (1 - wy) + v01 * wx * (1 - wy) +
+                       v10 * (1 - wx) * wy + v11 * wx * wy;
+      out.data[static_cast<size_t>(y) * width + x] =
+          static_cast<int16_t>(v >= 0 ? v + 0.5 : v - 0.5);
+    }
+  }
+  return out;
+}
+
+// Geometry of layer `L` (0-based) for a full size `full`: full >> (2-L).
+int LayerDim(int full, int layer) {
+  int shift = ScalableCodec::kMaxLayers - 1 - layer;
+  int v = full;
+  for (int i = 0; i < shift; ++i) v = (v + 1) / 2;
+  return v;
+}
+
+// Encodes one plane into `layer_count` layers; returns per-layer buffers
+// and the final reconstruction (for potential chaining; unused here since
+// all frames are intra).
+std::vector<Buffer> EncodePlaneLayers(const PlaneI16& full, int layer_count,
+                                      int quality) {
+  std::vector<Buffer> layers;
+  // Build the pyramid: pyramid[0] = base (smallest), up to full size.
+  std::vector<PlaneI16> pyramid(static_cast<size_t>(layer_count));
+  pyramid[static_cast<size_t>(layer_count - 1)] = full;
+  for (int l = layer_count - 2; l >= 0; --l) {
+    pyramid[static_cast<size_t>(l)] =
+        Downsample2(pyramid[static_cast<size_t>(l + 1)]);
+  }
+  PlaneI16 recon;  // reconstruction so far, at pyramid[l] geometry
+  for (int l = 0; l < layer_count; ++l) {
+    const PlaneI16& target = pyramid[static_cast<size_t>(l)];
+    BitWriter writer;
+    if (l == 0) {
+      block_transform::EncodePlane(target.data, target.width, target.height,
+                                   quality, &writer);
+      Buffer bits = writer.Finish();
+      BitReader reader(bits);
+      auto decoded = block_transform::DecodePlane(target.width, target.height,
+                                                  quality, &reader);
+      recon = {target.width, target.height, std::move(decoded).value()};
+      layers.push_back(std::move(bits));
+    } else {
+      const PlaneI16 pred = UpsampleTo(recon, target.width, target.height);
+      PlaneI16 residual{target.width, target.height,
+                        std::vector<int16_t>(target.data.size())};
+      for (size_t i = 0; i < target.data.size(); ++i) {
+        residual.data[i] =
+            static_cast<int16_t>(target.data[i] - pred.data[i]);
+      }
+      block_transform::EncodePlane(residual.data, target.width, target.height,
+                                   quality, &writer);
+      Buffer bits = writer.Finish();
+      BitReader reader(bits);
+      auto decoded = block_transform::DecodePlane(target.width, target.height,
+                                                  quality, &reader);
+      recon = {target.width, target.height, std::vector<int16_t>(target.data.size())};
+      for (size_t i = 0; i < recon.data.size(); ++i) {
+        recon.data[i] =
+            static_cast<int16_t>(pred.data[i] + decoded.value()[i]);
+      }
+      layers.push_back(std::move(bits));
+    }
+  }
+  return layers;
+}
+
+// Decodes `layers` layers of one plane and upsamples to full geometry.
+Result<PlaneI16> DecodePlaneLayers(const std::vector<const Buffer*>& bits,
+                                   int layers, int full_width,
+                                   int full_height, int quality,
+                                   int stored_layers) {
+  PlaneI16 recon;
+  for (int l = 0; l < layers; ++l) {
+    const int w = LayerDim(full_width, l + (ScalableCodec::kMaxLayers -
+                                            stored_layers));
+    const int h = LayerDim(full_height, l + (ScalableCodec::kMaxLayers -
+                                             stored_layers));
+    BitReader reader(*bits[static_cast<size_t>(l)]);
+    auto decoded = block_transform::DecodePlane(w, h, quality, &reader);
+    if (!decoded.ok()) return decoded.status();
+    if (l == 0) {
+      recon = {w, h, std::move(decoded).value()};
+    } else {
+      const PlaneI16 pred = UpsampleTo(recon, w, h);
+      recon = {w, h, std::vector<int16_t>(decoded.value().size())};
+      for (size_t i = 0; i < recon.data.size(); ++i) {
+        recon.data[i] =
+            static_cast<int16_t>(pred.data[i] + decoded.value()[i]);
+      }
+    }
+  }
+  return UpsampleTo(recon, full_width, full_height);
+}
+
+class ScalableDecoderSession final : public VideoDecoderSession {
+ public:
+  ScalableDecoderSession(const EncodedVideo& video, int layers)
+      : video_(video), layers_(layers) {}
+
+  Result<VideoFrame> DecodeFrame(int64_t index) override {
+    if (index < 0 || index >= static_cast<int64_t>(video_.frames.size())) {
+      return Status::InvalidArgument("frame index out of range");
+    }
+    const auto& ef = video_.frames[static_cast<size_t>(index)];
+    const auto& t = video_.raw_type;
+    const int stored = video_.params.layer_count;
+    const int use = layers_ < stored ? layers_ : stored;
+    const int planes = t.depth_bits() / 8;
+
+    VideoFrame frame(t.width(), t.height(), t.depth_bits());
+    // Layer buffers are stored per frame as: data = all planes of layer 0
+    // concatenated? No — per plane per layer. Layout: layer L of plane p is
+    // at ef.layers[(L-1)*planes + p] for L>=1; layer 0 of plane p is packed
+    // inside ef.data sequentially with a u32 size prefix each.
+    BufferReader base_reader(ef.data);
+    std::vector<Buffer> base_planes;
+    for (int p = 0; p < planes; ++p) {
+      auto size = base_reader.ReadU32();
+      if (!size.ok()) return size.status();
+      Buffer b;
+      b.Resize(size.value());
+      AVDB_RETURN_IF_ERROR(base_reader.ReadBytes(b.data(), size.value()));
+      base_planes.push_back(std::move(b));
+    }
+    for (int p = 0; p < planes; ++p) {
+      std::vector<const Buffer*> bits;
+      bits.push_back(&base_planes[static_cast<size_t>(p)]);
+      for (int l = 1; l < use; ++l) {
+        const size_t li = static_cast<size_t>(l - 1) * planes + p;
+        if (li >= ef.layers.size()) {
+          return Status::DataLoss("missing enhancement layer");
+        }
+        bits.push_back(&ef.layers[li]);
+      }
+      auto plane = DecodePlaneLayers(bits, use, t.width(), t.height(),
+                                     video_.params.quality, stored);
+      if (!plane.ok()) return plane.status();
+      AVDB_RETURN_IF_ERROR(frame.SetPlane(p, ToU8(plane.value())));
+    }
+    ++decoded_;
+    return frame;
+  }
+
+  int64_t FramesDecodedInternally() const override { return decoded_; }
+
+ private:
+  const EncodedVideo video_;
+  const int layers_;
+  int64_t decoded_ = 0;
+};
+
+}  // namespace
+
+Result<EncodedVideo> ScalableCodec::Encode(
+    const VideoValue& value, const VideoCodecParams& params) const {
+  if (value.type().IsCompressed()) {
+    return Status::InvalidArgument("encoder input must be raw video");
+  }
+  if (params.layer_count < 1 || params.layer_count > kMaxLayers) {
+    return Status::InvalidArgument("layer_count must be in [1, 3]");
+  }
+  EncodedVideo out;
+  out.raw_type = value.type();
+  out.family = family();
+  out.params = params;
+
+  const int planes = value.depth_bits() / 8;
+  for (int64_t i = 0; i < value.FrameCount(); ++i) {
+    auto frame = value.Frame(i);
+    if (!frame.ok()) return frame.status();
+    EncodedFrame ef;
+    ef.is_intra = true;
+    // Per plane, produce layer_count layers; pack layer 0 of all planes
+    // into `data` (u32-size-prefixed), enhancement layer L plane p at
+    // layers[(L-1)*planes + p].
+    Buffer base;
+    ef.layers.resize(static_cast<size_t>(params.layer_count - 1) * planes);
+    for (int p = 0; p < planes; ++p) {
+      const PlaneI16 full = ToI16(frame.value().ExtractPlane(p),
+                                  value.width(), value.height());
+      // The pyramid always conceptually has kMaxLayers levels; when fewer
+      // layers are requested the base is still the smallest level.
+      std::vector<Buffer> layer_bits =
+          EncodePlaneLayers(full, params.layer_count, params.quality);
+      base.AppendU32(static_cast<uint32_t>(layer_bits[0].size()));
+      base.AppendBuffer(layer_bits[0]);
+      for (int l = 1; l < params.layer_count; ++l) {
+        ef.layers[static_cast<size_t>(l - 1) * planes + p] =
+            std::move(layer_bits[static_cast<size_t>(l)]);
+      }
+    }
+    ef.data = std::move(base);
+    out.frames.push_back(std::move(ef));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<VideoDecoderSession>> ScalableCodec::NewDecoder(
+    const EncodedVideo& video) const {
+  return NewDecoderWithLayers(video, video.params.layer_count);
+}
+
+Result<std::unique_ptr<VideoDecoderSession>> ScalableCodec::NewDecoderWithLayers(
+    const EncodedVideo& video, int layers) const {
+  if (video.family != EncodingFamily::kScalable) {
+    return Status::InvalidArgument("stream is not scalable-coded");
+  }
+  if (layers < 1 || layers > video.params.layer_count) {
+    return Status::InvalidArgument("requested layer count not stored");
+  }
+  return std::unique_ptr<VideoDecoderSession>(
+      new ScalableDecoderSession(video, layers));
+}
+
+Result<int64_t> ScalableCodec::BytesPerFrameAtLayers(const EncodedVideo& video,
+                                                     int layers) {
+  if (video.frames.empty()) return Status::InvalidArgument("empty stream");
+  if (layers < 1 || layers > video.params.layer_count) {
+    return Status::InvalidArgument("requested layer count not stored");
+  }
+  const int planes = video.raw_type.depth_bits() / 8;
+  int64_t total = 0;
+  for (const auto& ef : video.frames) {
+    total += static_cast<int64_t>(ef.data.size());
+    for (int l = 1; l < layers; ++l) {
+      for (int p = 0; p < planes; ++p) {
+        total += static_cast<int64_t>(
+            ef.layers[static_cast<size_t>(l - 1) * planes + p].size());
+      }
+    }
+  }
+  return total / static_cast<int64_t>(video.frames.size());
+}
+
+Result<std::shared_ptr<ScalableVideoView>> ScalableVideoView::Create(
+    EncodedVideo video, int layers) {
+  if (video.family != EncodingFamily::kScalable) {
+    return Status::InvalidArgument("view requires a scalable stream");
+  }
+  if (layers < 1 || layers > video.params.layer_count) {
+    return Status::InvalidArgument("requested layer count not stored");
+  }
+  MediaDataType type = MediaDataType::CompressedVideo(
+      EncodingFamily::kScalable, video.raw_type.width(),
+      video.raw_type.height(), video.raw_type.depth_bits(),
+      video.raw_type.element_rate());
+  return std::shared_ptr<ScalableVideoView>(
+      new ScalableVideoView(std::move(type), std::move(video), layers));
+}
+
+Result<VideoFrame> ScalableVideoView::Frame(int64_t index) const {
+  if (session_ == nullptr) {
+    ScalableCodec codec;
+    auto session = codec.NewDecoderWithLayers(video_, layers_);
+    if (!session.ok()) return session.status();
+    session_ = std::move(session).value();
+  }
+  return session_->DecodeFrame(index);
+}
+
+int64_t ScalableVideoView::StoredBytes() const {
+  int64_t total = 0;
+  for (int64_t i = 0; i < ElementCount(); ++i) total += StoredFrameBytes(i);
+  return total;
+}
+
+int64_t ScalableVideoView::StoredFrameBytes(int64_t index) const {
+  if (index < 0 || index >= ElementCount()) return 0;
+  const EncodedFrame& ef = video_.frames[static_cast<size_t>(index)];
+  const int planes = video_.raw_type.depth_bits() / 8;
+  int64_t bytes = static_cast<int64_t>(ef.data.size());
+  for (int l = 1; l < layers_; ++l) {
+    for (int p = 0; p < planes; ++p) {
+      bytes += static_cast<int64_t>(
+          ef.layers[static_cast<size_t>(l - 1) * planes + p].size());
+    }
+  }
+  return bytes;
+}
+
+std::string ScalableVideoView::Describe() const {
+  return MediaValue::Describe() + " (scalable view, " +
+         std::to_string(layers_) + "/" +
+         std::to_string(video_.params.layer_count) + " layers)";
+}
+
+int ScalableCodec::LayersForResolution(const MediaDataType& stored,
+                                       int req_width, int req_height) {
+  for (int layers = 1; layers <= kMaxLayers; ++layers) {
+    const int shift = kMaxLayers - layers;
+    int w = stored.width();
+    int h = stored.height();
+    for (int i = 0; i < shift; ++i) {
+      w = (w + 1) / 2;
+      h = (h + 1) / 2;
+    }
+    if (w >= req_width && h >= req_height) return layers;
+  }
+  return kMaxLayers;
+}
+
+}  // namespace avdb

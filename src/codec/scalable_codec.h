@@ -1,0 +1,86 @@
+#ifndef AVDB_CODEC_SCALABLE_CODEC_H_
+#define AVDB_CODEC_SCALABLE_CODEC_H_
+
+#include "codec/video_codec.h"
+
+namespace avdb {
+
+/// Layered intra codec implementing §4.1's *scalable video* ([14] in the
+/// paper): "a video value encoded at one quality can be viewed at a lower
+/// quality by ignoring some of the encoded data."
+///
+/// Each frame carries up to three spatial layers:
+///   layer 0 (base)   — 1/4-resolution intra-coded image,
+///   layer 1          — 1/2-resolution residual against upsampled layer 0,
+///   layer 2          — full-resolution residual against upsampled layer 1.
+/// Decoding with fewer layers reads proportionally fewer bytes and yields a
+/// softer full-size picture; the quality-factor machinery in `src/db/`
+/// picks the cheapest layer set satisfying the requested VideoQuality.
+class ScalableCodec final : public VideoCodec {
+ public:
+  static constexpr int kMaxLayers = 3;
+
+  std::string name() const override { return "avdb-scalable"; }
+  EncodingFamily family() const override { return EncodingFamily::kScalable; }
+
+  Result<EncodedVideo> Encode(const VideoValue& value,
+                              const VideoCodecParams& params) const override;
+
+  /// Full-quality decoder (all stored layers).
+  Result<std::unique_ptr<VideoDecoderSession>> NewDecoder(
+      const EncodedVideo& video) const override;
+
+  /// Decoder that reads only the first `layers` layers (1..stored count).
+  /// The returned frames are always full geometry; fewer layers = less
+  /// detail and fewer bytes touched.
+  Result<std::unique_ptr<VideoDecoderSession>> NewDecoderWithLayers(
+      const EncodedVideo& video, int layers) const;
+
+  /// Bytes that must be read per frame when decoding `layers` layers.
+  static Result<int64_t> BytesPerFrameAtLayers(const EncodedVideo& video,
+                                               int layers);
+
+  /// Smallest layer count whose decoded detail resolution is >= the
+  /// requested width/height (1 layer = 1/4 res, 2 = 1/2, 3 = full).
+  static int LayersForResolution(const MediaDataType& stored, int req_width,
+                                 int req_height);
+};
+
+/// A `VideoValue` view over a scalable stream restricted to its first
+/// `layers` layers — what the database binds to a source when a client's
+/// quality factor asks for less than the stored quality (§4.1: viewing "at
+/// a lower quality by ignoring some of the encoded data"). StoredBytes
+/// reports only the bytes the restricted decode touches, so placement and
+/// admission cost the reduced stream, not the full one.
+class ScalableVideoView final : public VideoValue {
+ public:
+  /// Wraps `video` (must be scalable) at `layers` (1..stored count).
+  static Result<std::shared_ptr<ScalableVideoView>> Create(
+      EncodedVideo video, int layers);
+
+  int64_t ElementCount() const override {
+    return static_cast<int64_t>(video_.frames.size());
+  }
+  Result<VideoFrame> Frame(int64_t index) const override;
+  int64_t StoredBytes() const override;
+  int64_t StoredFrameBytes(int64_t index) const override;
+
+  int layers() const { return layers_; }
+  const EncodedVideo& encoded() const { return video_; }
+
+  std::string Describe() const override;
+
+ private:
+  ScalableVideoView(MediaDataType type, EncodedVideo video, int layers)
+      : VideoValue(std::move(type)),
+        video_(std::move(video)),
+        layers_(layers) {}
+
+  EncodedVideo video_;
+  int layers_;
+  mutable std::unique_ptr<VideoDecoderSession> session_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_CODEC_SCALABLE_CODEC_H_

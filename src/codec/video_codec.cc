@@ -1,0 +1,125 @@
+#include "codec/video_codec.h"
+
+namespace avdb {
+
+int64_t EncodedFrame::SizeBytes() const {
+  int64_t total = static_cast<int64_t>(data.size());
+  for (const auto& l : layers) total += static_cast<int64_t>(l.size());
+  return total + 2;  // is_intra flag + layer count
+}
+
+int64_t EncodedVideo::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& f : frames) total += f.SizeBytes();
+  return total;
+}
+
+Result<int64_t> EncodedVideo::AccessPointBefore(int64_t index) const {
+  if (index < 0 || index >= static_cast<int64_t>(frames.size())) {
+    return Status::InvalidArgument("frame index out of range");
+  }
+  for (int64_t i = index; i >= 0; --i) {
+    if (frames[static_cast<size_t>(i)].is_intra) return i;
+  }
+  return Status::DataLoss("no access point precedes frame " +
+                          std::to_string(index));
+}
+
+Buffer EncodedVideo::Serialize() const {
+  Buffer out;
+  out.AppendU32(0x41564456);  // 'AVDV'
+  out.AppendU8(static_cast<uint8_t>(family));
+  out.AppendI32(raw_type.width());
+  out.AppendI32(raw_type.height());
+  out.AppendI32(raw_type.depth_bits());
+  out.AppendI64(raw_type.element_rate().num());
+  out.AppendI64(raw_type.element_rate().den());
+  out.AppendI32(params.quality);
+  out.AppendI32(params.gop_size);
+  out.AppendI32(params.search_range);
+  out.AppendI32(params.layer_count);
+  out.AppendU32(static_cast<uint32_t>(frames.size()));
+  for (const auto& f : frames) {
+    out.AppendU8(f.is_intra ? 1 : 0);
+    out.AppendU32(static_cast<uint32_t>(f.data.size()));
+    out.AppendBuffer(f.data);
+    out.AppendU8(static_cast<uint8_t>(f.layers.size()));
+    for (const auto& l : f.layers) {
+      out.AppendU32(static_cast<uint32_t>(l.size()));
+      out.AppendBuffer(l);
+    }
+  }
+  return out;
+}
+
+Result<EncodedVideo> EncodedVideo::Deserialize(const Buffer& buffer) {
+  BufferReader r(buffer);
+  auto magic = r.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != 0x41564456) {
+    return Status::DataLoss("bad encoded-video magic");
+  }
+  EncodedVideo v;
+  auto family = r.ReadU8();
+  if (!family.ok()) return family.status();
+  v.family = static_cast<EncodingFamily>(family.value());
+
+  auto width = r.ReadI32();
+  if (!width.ok()) return width.status();
+  auto height = r.ReadI32();
+  if (!height.ok()) return height.status();
+  auto depth = r.ReadI32();
+  if (!depth.ok()) return depth.status();
+  auto rate_num = r.ReadI64();
+  if (!rate_num.ok()) return rate_num.status();
+  auto rate_den = r.ReadI64();
+  if (!rate_den.ok()) return rate_den.status();
+  if (rate_den.value() == 0) return Status::DataLoss("zero rate denominator");
+  if (depth.value() != 8 && depth.value() != 24) {
+    return Status::DataLoss("bad stored depth");
+  }
+  v.raw_type =
+      MediaDataType::RawVideo(width.value(), height.value(), depth.value(),
+                              Rational(rate_num.value(), rate_den.value()));
+
+  auto quality = r.ReadI32();
+  if (!quality.ok()) return quality.status();
+  v.params.quality = quality.value();
+  auto gop = r.ReadI32();
+  if (!gop.ok()) return gop.status();
+  v.params.gop_size = gop.value();
+  auto range = r.ReadI32();
+  if (!range.ok()) return range.status();
+  v.params.search_range = range.value();
+  auto layers = r.ReadI32();
+  if (!layers.ok()) return layers.status();
+  v.params.layer_count = layers.value();
+
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  v.frames.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    EncodedFrame f;
+    auto intra = r.ReadU8();
+    if (!intra.ok()) return intra.status();
+    f.is_intra = intra.value() != 0;
+    auto size = r.ReadU32();
+    if (!size.ok()) return size.status();
+    f.data.Resize(size.value());
+    AVDB_RETURN_IF_ERROR(r.ReadBytes(f.data.data(), size.value()));
+    auto layer_count = r.ReadU8();
+    if (!layer_count.ok()) return layer_count.status();
+    for (uint8_t l = 0; l < layer_count.value(); ++l) {
+      auto lsize = r.ReadU32();
+      if (!lsize.ok()) return lsize.status();
+      Buffer layer;
+      layer.Resize(lsize.value());
+      AVDB_RETURN_IF_ERROR(r.ReadBytes(layer.data(), lsize.value()));
+      f.layers.push_back(std::move(layer));
+    }
+    v.frames.push_back(std::move(f));
+  }
+  return v;
+}
+
+}  // namespace avdb

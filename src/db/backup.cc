@@ -1,0 +1,391 @@
+#include <sstream>
+
+#include "db/database.h"
+
+// Backup & recovery for AvDatabase (declared in database.h). The §2 survey
+// lists "backup and recovery" among the database functions multimedia
+// systems must provide; this file implements a full logical dump: schema,
+// objects (scalars, media version records, tcomp timelines) and the raw
+// bytes of every stored blob, restorable into a fresh database with the
+// same device names.
+
+namespace avdb {
+
+namespace {
+
+constexpr uint32_t kBackupMagic = 0x41564442;  // 'AVDB'
+constexpr uint32_t kBackupVersion = 1;
+
+void AppendQuality(Buffer* out, const std::optional<VideoQuality>& vq,
+                   const std::optional<AudioQuality>& aq) {
+  out->AppendU8(vq.has_value() ? 1 : 0);
+  if (vq.has_value()) {
+    out->AppendI32(vq->width());
+    out->AppendI32(vq->height());
+    out->AppendI32(vq->depth_bits());
+    out->AppendI64(vq->rate().num());
+    out->AppendI64(vq->rate().den());
+  }
+  out->AppendU8(aq.has_value() ? 1 : 0);
+  if (aq.has_value()) out->AppendU8(static_cast<uint8_t>(*aq));
+}
+
+Status ReadQuality(BufferReader* r, std::optional<VideoQuality>* vq,
+                   std::optional<AudioQuality>* aq) {
+  auto has_vq = r->ReadU8();
+  if (!has_vq.ok()) return has_vq.status();
+  if (has_vq.value() != 0) {
+    auto w = r->ReadI32();
+    if (!w.ok()) return w.status();
+    auto h = r->ReadI32();
+    if (!h.ok()) return h.status();
+    auto d = r->ReadI32();
+    if (!d.ok()) return d.status();
+    auto num = r->ReadI64();
+    if (!num.ok()) return num.status();
+    auto den = r->ReadI64();
+    if (!den.ok()) return den.status();
+    if (den.value() == 0) return Status::DataLoss("zero rate in backup");
+    *vq = VideoQuality(w.value(), h.value(), d.value(),
+                       Rational(num.value(), den.value()));
+  }
+  auto has_aq = r->ReadU8();
+  if (!has_aq.ok()) return has_aq.status();
+  if (has_aq.value() != 0) {
+    auto q = r->ReadU8();
+    if (!q.ok()) return q.status();
+    *aq = static_cast<AudioQuality>(q.value());
+  }
+  return Status::OK();
+}
+
+void AppendMediaState(Buffer* out, const MediaAttrState& state) {
+  out->AppendU32(static_cast<uint32_t>(state.versions.size()));
+  for (const MediaVersion& v : state.versions) {
+    out->AppendI32(v.version);
+    out->AppendString(v.blob_name);
+    out->AppendString(v.device);
+    out->AppendI64(v.stored_bytes);
+  }
+}
+
+Status ReadMediaState(BufferReader* r, MediaAttrState* state) {
+  auto count = r->ReadU32();
+  if (!count.ok()) return count.status();
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    MediaVersion v;
+    auto version = r->ReadI32();
+    if (!version.ok()) return version.status();
+    v.version = version.value();
+    auto blob = r->ReadString();
+    if (!blob.ok()) return blob.status();
+    v.blob_name = std::move(blob).value();
+    auto device = r->ReadString();
+    if (!device.ok()) return device.status();
+    v.device = std::move(device).value();
+    auto bytes = r->ReadI64();
+    if (!bytes.ok()) return bytes.status();
+    v.stored_bytes = bytes.value();
+    state->versions.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Buffer> AvDatabase::SaveBackup() const {
+  Buffer out;
+  out.AppendU32(kBackupMagic);
+  out.AppendU32(kBackupVersion);
+
+  // --- schema ---------------------------------------------------------------
+  out.AppendU32(static_cast<uint32_t>(classes_.size()));
+  for (const auto& [name, def] : classes_) {
+    out.AppendString(name);
+    out.AppendU32(static_cast<uint32_t>(def.attributes().size()));
+    for (const AttributeDef& a : def.attributes()) {
+      out.AppendString(a.name);
+      out.AppendU8(static_cast<uint8_t>(a.type));
+      AppendQuality(&out, a.video_quality, a.audio_quality);
+    }
+    out.AppendU32(static_cast<uint32_t>(def.tcomps().size()));
+    for (const TcompDef& t : def.tcomps()) {
+      out.AppendString(t.name);
+      out.AppendU32(static_cast<uint32_t>(t.tracks.size()));
+      for (const TrackDef& track : t.tracks) {
+        out.AppendString(track.name);
+        out.AppendU8(static_cast<uint8_t>(track.type));
+        AppendQuality(&out, track.video_quality, track.audio_quality);
+      }
+    }
+  }
+
+  // --- objects ----------------------------------------------------------------
+  out.AppendU64(next_oid_);
+  out.AppendU32(static_cast<uint32_t>(objects_.size()));
+  for (const auto& [oid, object] : objects_) {
+    out.AppendU64(oid.value());
+    out.AppendString(object->class_name());
+    out.AppendU32(static_cast<uint32_t>(object->scalars().size()));
+    for (const auto& [attr, value] : object->scalars()) {
+      out.AppendString(attr);
+      if (std::holds_alternative<int64_t>(value)) {
+        out.AppendU8(1);
+        out.AppendI64(std::get<int64_t>(value));
+      } else {
+        out.AppendU8(0);
+        out.AppendString(std::get<std::string>(value));
+      }
+    }
+    out.AppendU32(static_cast<uint32_t>(object->media().size()));
+    for (const auto& [attr, state] : object->media()) {
+      out.AppendString(attr);
+      AppendMediaState(&out, state);
+    }
+    out.AppendU32(static_cast<uint32_t>(object->tcomps().size()));
+    for (const auto& [tcomp_name, instance] : object->tcomps()) {
+      out.AppendString(tcomp_name);
+      out.AppendU32(
+          static_cast<uint32_t>(instance.timeline.entries().size()));
+      for (const TimelineEntry& entry : instance.timeline.entries()) {
+        out.AppendString(entry.track);
+        out.AppendI64(entry.interval.start().seconds().num());
+        out.AppendI64(entry.interval.start().seconds().den());
+        out.AppendI64(entry.interval.duration().seconds().num());
+        out.AppendI64(entry.interval.duration().seconds().den());
+      }
+      out.AppendU32(static_cast<uint32_t>(instance.tracks.size()));
+      for (const auto& [track, state] : instance.tracks) {
+        out.AppendString(track);
+        AppendMediaState(&out, state);
+      }
+    }
+  }
+
+  // --- blob bytes ---------------------------------------------------------------
+  // Collected from every version record (the authoritative inventory).
+  std::vector<std::pair<std::string, std::string>> blob_inventory;
+  for (const auto& [oid, object] : objects_) {
+    for (const auto& [attr, state] : object->media()) {
+      for (const MediaVersion& v : state.versions) {
+        blob_inventory.emplace_back(v.blob_name, v.device);
+      }
+    }
+    for (const auto& [tcomp_name, instance] : object->tcomps()) {
+      for (const auto& [track, state] : instance.tracks) {
+        for (const MediaVersion& v : state.versions) {
+          blob_inventory.emplace_back(v.blob_name, v.device);
+        }
+      }
+    }
+  }
+  out.AppendU32(static_cast<uint32_t>(blob_inventory.size()));
+  // Fetching is const in spirit (reads); DeviceManager::Fetch is non-const,
+  // so go through the mutable reference of this object.
+  auto& mutable_devices = const_cast<DeviceManager&>(devices_);
+  for (const auto& [blob_name, device] : blob_inventory) {
+    auto fetched = mutable_devices.Fetch(blob_name);
+    if (!fetched.ok()) return fetched.status();
+    out.AppendString(blob_name);
+    out.AppendString(device);
+    out.AppendU32(static_cast<uint32_t>(fetched.value().data.size()));
+    out.AppendBuffer(fetched.value().data);
+  }
+  return out;
+}
+
+Status AvDatabase::RestoreBackup(const Buffer& image) {
+  if (!classes_.empty() || !objects_.empty()) {
+    return Status::FailedPrecondition(
+        "restore requires an empty database");
+  }
+  BufferReader r(image);
+  auto magic = r.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != kBackupMagic) {
+    return Status::DataLoss("bad backup magic");
+  }
+  auto version = r.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kBackupVersion) {
+    return Status::DataLoss("unsupported backup version");
+  }
+
+  // --- schema ---------------------------------------------------------------
+  auto class_count = r.ReadU32();
+  if (!class_count.ok()) return class_count.status();
+  for (uint32_t c = 0; c < class_count.value(); ++c) {
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    ClassDef def(name.value());
+    auto attr_count = r.ReadU32();
+    if (!attr_count.ok()) return attr_count.status();
+    for (uint32_t a = 0; a < attr_count.value(); ++a) {
+      AttributeDef attr;
+      auto attr_name = r.ReadString();
+      if (!attr_name.ok()) return attr_name.status();
+      attr.name = std::move(attr_name).value();
+      auto type = r.ReadU8();
+      if (!type.ok()) return type.status();
+      attr.type = static_cast<AttrType>(type.value());
+      AVDB_RETURN_IF_ERROR(
+          ReadQuality(&r, &attr.video_quality, &attr.audio_quality));
+      AVDB_RETURN_IF_ERROR(def.AddAttribute(std::move(attr)));
+    }
+    auto tcomp_count = r.ReadU32();
+    if (!tcomp_count.ok()) return tcomp_count.status();
+    for (uint32_t t = 0; t < tcomp_count.value(); ++t) {
+      TcompDef tcomp;
+      auto tcomp_name = r.ReadString();
+      if (!tcomp_name.ok()) return tcomp_name.status();
+      tcomp.name = std::move(tcomp_name).value();
+      auto track_count = r.ReadU32();
+      if (!track_count.ok()) return track_count.status();
+      for (uint32_t k = 0; k < track_count.value(); ++k) {
+        TrackDef track;
+        auto track_name = r.ReadString();
+        if (!track_name.ok()) return track_name.status();
+        track.name = std::move(track_name).value();
+        auto type = r.ReadU8();
+        if (!type.ok()) return type.status();
+        track.type = static_cast<AttrType>(type.value());
+        AVDB_RETURN_IF_ERROR(
+            ReadQuality(&r, &track.video_quality, &track.audio_quality));
+        tcomp.tracks.push_back(std::move(track));
+      }
+      AVDB_RETURN_IF_ERROR(def.AddTcomp(std::move(tcomp)));
+    }
+    AVDB_RETURN_IF_ERROR(DefineClass(std::move(def)));
+  }
+
+  // --- objects ----------------------------------------------------------------
+  auto next_oid = r.ReadU64();
+  if (!next_oid.ok()) return next_oid.status();
+  auto object_count = r.ReadU32();
+  if (!object_count.ok()) return object_count.status();
+  for (uint32_t o = 0; o < object_count.value(); ++o) {
+    auto oid_value = r.ReadU64();
+    if (!oid_value.ok()) return oid_value.status();
+    auto class_name = r.ReadString();
+    if (!class_name.ok()) return class_name.status();
+    const Oid oid(oid_value.value());
+    objects_[oid] =
+        std::make_unique<DbObject>(oid, class_name.value());
+    extents_[class_name.value()].push_back(oid);
+    DbObject* object = objects_[oid].get();
+
+    auto scalar_count = r.ReadU32();
+    if (!scalar_count.ok()) return scalar_count.status();
+    for (uint32_t s = 0; s < scalar_count.value(); ++s) {
+      auto attr = r.ReadString();
+      if (!attr.ok()) return attr.status();
+      auto is_int = r.ReadU8();
+      if (!is_int.ok()) return is_int.status();
+      if (is_int.value() != 0) {
+        auto value = r.ReadI64();
+        if (!value.ok()) return value.status();
+        AVDB_RETURN_IF_ERROR(object->SetScalar(attr.value(), value.value()));
+      } else {
+        auto value = r.ReadString();
+        if (!value.ok()) return value.status();
+        AVDB_RETURN_IF_ERROR(
+            object->SetScalar(attr.value(), std::move(value).value()));
+      }
+      UpdateIndex(class_name.value(), attr.value(), *object);
+    }
+
+    auto media_count = r.ReadU32();
+    if (!media_count.ok()) return media_count.status();
+    for (uint32_t m = 0; m < media_count.value(); ++m) {
+      auto attr = r.ReadString();
+      if (!attr.ok()) return attr.status();
+      AVDB_RETURN_IF_ERROR(
+          ReadMediaState(&r, &object->MediaAttr(attr.value())));
+    }
+
+    auto tcomp_count = r.ReadU32();
+    if (!tcomp_count.ok()) return tcomp_count.status();
+    for (uint32_t t = 0; t < tcomp_count.value(); ++t) {
+      auto tcomp_name = r.ReadString();
+      if (!tcomp_name.ok()) return tcomp_name.status();
+      TcompInstance& instance = object->Tcomp(tcomp_name.value());
+      auto entry_count = r.ReadU32();
+      if (!entry_count.ok()) return entry_count.status();
+      for (uint32_t e = 0; e < entry_count.value(); ++e) {
+        auto track = r.ReadString();
+        if (!track.ok()) return track.status();
+        auto sn = r.ReadI64();
+        if (!sn.ok()) return sn.status();
+        auto sd = r.ReadI64();
+        if (!sd.ok()) return sd.status();
+        auto dn = r.ReadI64();
+        if (!dn.ok()) return dn.status();
+        auto dd = r.ReadI64();
+        if (!dd.ok()) return dd.status();
+        if (sd.value() == 0 || dd.value() == 0) {
+          return Status::DataLoss("zero denominator in timeline");
+        }
+        AVDB_RETURN_IF_ERROR(instance.timeline.AddTrack(
+            track.value(),
+            WorldTime(Rational(sn.value(), sd.value())),
+            WorldTime(Rational(dn.value(), dd.value()))));
+      }
+      auto track_count = r.ReadU32();
+      if (!track_count.ok()) return track_count.status();
+      for (uint32_t k = 0; k < track_count.value(); ++k) {
+        auto track = r.ReadString();
+        if (!track.ok()) return track.status();
+        AVDB_RETURN_IF_ERROR(
+            ReadMediaState(&r, &instance.tracks[track.value()]));
+      }
+    }
+  }
+  next_oid_ = next_oid.value();
+
+  // --- blob bytes ---------------------------------------------------------------
+  auto blob_count = r.ReadU32();
+  if (!blob_count.ok()) return blob_count.status();
+  for (uint32_t b = 0; b < blob_count.value(); ++b) {
+    auto blob_name = r.ReadString();
+    if (!blob_name.ok()) return blob_name.status();
+    auto device = r.ReadString();
+    if (!device.ok()) return device.status();
+    auto size = r.ReadU32();
+    if (!size.ok()) return size.status();
+    Buffer data;
+    data.Resize(size.value());
+    AVDB_RETURN_IF_ERROR(r.ReadBytes(data.data(), size.value()));
+    AVDB_RETURN_IF_ERROR(
+        devices_.Store(blob_name.value(), data, device.value()).status());
+  }
+  return Status::OK();
+}
+
+std::string AvDatabase::DescribePlatform() const {
+  std::ostringstream os;
+  os << "AV database platform\n";
+  os << "  devices:\n";
+  for (const auto& name : devices_.DeviceNames()) {
+    auto device = const_cast<DeviceManager&>(devices_).GetDevice(name);
+    if (!device.ok()) continue;
+    const DeviceProfile& p = device.value()->profile();
+    os << "    " << name << " [" << p.model << "] "
+       << p.transfer_bytes_per_sec / 1024 << " KB/s, "
+       << device.value()->used_bytes() / 1024 << " KB used";
+    if (p.exclusive) os << ", exclusive";
+    os << "\n";
+  }
+  os << "  channels:\n";
+  for (const auto& [name, channel] : channels_) {
+    os << "    " << name << " [" << channel->profile().model << "] "
+       << channel->AvailableBandwidth() / 1024 << " of "
+       << channel->profile().bandwidth_bytes_per_sec / 1024
+       << " KB/s unreserved\n";
+  }
+  os << "  classes: " << classes_.size()
+     << ", objects: " << objects_.size()
+     << ", active streams: " << streams_.size() << "\n";
+  return os.str();
+}
+
+}  // namespace avdb

@@ -1,0 +1,88 @@
+#include "db/lock_manager.h"
+
+namespace avdb {
+
+Status LockManager::Acquire(Oid oid, LockMode mode, const std::string& owner) {
+  Entry& entry = locks_[oid];
+  if (mode == LockMode::kShared) {
+    if (!entry.exclusive_holder.empty()) {
+      // An exclusive holder's shared request is subsumed by its stronger
+      // lock; anyone else conflicts.
+      if (entry.exclusive_holder == owner) return Status::OK();
+      ++stats_.conflicts;
+      return Status::Unavailable("object " + std::to_string(oid.value()) +
+                                 " exclusively locked by " +
+                                 entry.exclusive_holder);
+    }
+    entry.shared_holders.insert(owner);
+    ++stats_.acquired;
+    return Status::OK();
+  }
+  // Exclusive.
+  if (!entry.exclusive_holder.empty()) {
+    if (entry.exclusive_holder == owner) return Status::OK();
+    ++stats_.conflicts;
+    return Status::Unavailable("object " + std::to_string(oid.value()) +
+                               " exclusively locked by " +
+                               entry.exclusive_holder);
+  }
+  const bool others_share =
+      !entry.shared_holders.empty() &&
+      !(entry.shared_holders.size() == 1 &&
+        entry.shared_holders.count(owner) == 1);
+  if (others_share) {
+    ++stats_.conflicts;
+    return Status::Unavailable("object " + std::to_string(oid.value()) +
+                               " share-locked by other sessions");
+  }
+  entry.shared_holders.erase(owner);  // upgrade
+  entry.exclusive_holder = owner;
+  ++stats_.acquired;
+  return Status::OK();
+}
+
+void LockManager::Release(Oid oid, const std::string& owner) {
+  auto it = locks_.find(oid);
+  if (it == locks_.end()) return;
+  it->second.shared_holders.erase(owner);
+  if (it->second.exclusive_holder == owner) {
+    it->second.exclusive_holder.clear();
+  }
+  if (it->second.shared_holders.empty() &&
+      it->second.exclusive_holder.empty()) {
+    locks_.erase(it);
+  }
+}
+
+void LockManager::ReleaseAll(const std::string& owner) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.shared_holders.erase(owner);
+    if (it->second.exclusive_holder == owner) {
+      it->second.exclusive_holder.clear();
+    }
+    if (it->second.shared_holders.empty() &&
+        it->second.exclusive_holder.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockManager::Holds(Oid oid, LockMode mode,
+                        const std::string& owner) const {
+  auto it = locks_.find(oid);
+  if (it == locks_.end()) return false;
+  if (it->second.exclusive_holder == owner) return true;
+  return mode == LockMode::kShared &&
+         it->second.shared_holders.count(owner) > 0;
+}
+
+size_t LockManager::HolderCount(Oid oid) const {
+  auto it = locks_.find(oid);
+  if (it == locks_.end()) return 0;
+  return it->second.shared_holders.size() +
+         (it->second.exclusive_holder.empty() ? 0 : 1);
+}
+
+}  // namespace avdb

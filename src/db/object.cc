@@ -1,0 +1,48 @@
+#include "db/object.h"
+
+namespace avdb {
+
+std::ostream& operator<<(std::ostream& os, Oid oid) {
+  return os << "oid:" << oid.value();
+}
+
+std::string ScalarToString(const ScalarValue& v) {
+  if (std::holds_alternative<std::string>(v)) return std::get<std::string>(v);
+  return std::to_string(std::get<int64_t>(v));
+}
+
+Status DbObject::SetScalar(const std::string& attr, ScalarValue value) {
+  scalars_[attr] = std::move(value);
+  return Status::OK();
+}
+
+Result<ScalarValue> DbObject::GetScalar(const std::string& attr) const {
+  auto it = scalars_.find(attr);
+  if (it == scalars_.end()) {
+    return Status::NotFound("scalar attribute " + class_name_ + "." + attr +
+                            " unset on object");
+  }
+  return it->second;
+}
+
+Result<const MediaAttrState*> DbObject::FindMediaAttr(
+    const std::string& attr) const {
+  auto it = media_.find(attr);
+  if (it == media_.end() || !it->second.HasValue()) {
+    return Status::NotFound("media attribute " + class_name_ + "." + attr +
+                            " unset on object");
+  }
+  return &it->second;
+}
+
+Result<const TcompInstance*> DbObject::FindTcomp(
+    const std::string& name) const {
+  auto it = tcomps_.find(name);
+  if (it == tcomps_.end()) {
+    return Status::NotFound("tcomp " + class_name_ + "." + name +
+                            " unset on object");
+  }
+  return &it->second;
+}
+
+}  // namespace avdb

@@ -1,0 +1,60 @@
+#ifndef AVDB_DB_QUERY_H_
+#define AVDB_DB_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "db/object.h"
+
+namespace avdb {
+
+/// Comparison operators of the predicate language.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// A parsed predicate over one class's scalar attributes — the `where`
+/// clause of the paper's pseudo-code:
+///
+///   select SimpleNewscast where (title = "60 Minutes" and
+///                                whenBroadcast = someDate)
+///
+/// Grammar (case-insensitive keywords):
+///   expr    := orExpr
+///   orExpr  := andExpr ( 'or' andExpr )*
+///   andExpr := unary ( 'and' unary )*
+///   unary   := 'not' unary | '(' expr ')' | comparison
+///   comparison := IDENT OP literal
+///   OP      := '=' '!=' '<' '<=' '>' '>=' 'contains'
+///   literal := quoted string | integer
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Evaluates against an object; unset attributes make comparisons false.
+  virtual bool Matches(const DbObject& object) const = 0;
+
+  /// Re-rendered predicate text (canonical form, for diagnostics).
+  virtual std::string ToString() const = 0;
+
+  /// If this predicate (or some conjunct of it) pins `attribute = value`,
+  /// reports the attribute and value so an equality index can prefilter.
+  /// Returns false when no such conjunct exists.
+  virtual bool EqualityPin(std::string* attribute,
+                           ScalarValue* value) const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Parses a predicate. Returns InvalidArgument with a position-annotated
+/// message on syntax errors.
+Result<PredicatePtr> ParsePredicate(const std::string& text);
+
+/// Always-true predicate (an empty `where` clause).
+PredicatePtr TruePredicate();
+
+}  // namespace avdb
+
+#endif  // AVDB_DB_QUERY_H_

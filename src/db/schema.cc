@@ -1,0 +1,122 @@
+#include "db/schema.h"
+
+#include <sstream>
+
+namespace avdb {
+
+std::string_view AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kString:
+      return "String";
+    case AttrType::kInt:
+      return "Int";
+    case AttrType::kDate:
+      return "Date";
+    case AttrType::kVideo:
+      return "VideoValue";
+    case AttrType::kAudio:
+      return "AudioValue";
+    case AttrType::kText:
+      return "TextStreamValue";
+  }
+  return "Unknown";
+}
+
+bool IsMediaAttrType(AttrType type) {
+  return type == AttrType::kVideo || type == AttrType::kAudio ||
+         type == AttrType::kText;
+}
+
+const TrackDef* TcompDef::FindTrack(const std::string& track_name) const {
+  for (const auto& t : tracks) {
+    if (t.name == track_name) return &t;
+  }
+  return nullptr;
+}
+
+bool ClassDef::NameTaken(const std::string& name) const {
+  return FindAttribute(name) != nullptr || FindTcomp(name) != nullptr;
+}
+
+Status ClassDef::AddAttribute(AttributeDef attr) {
+  if (attr.name.empty()) return Status::InvalidArgument("empty attribute name");
+  if (NameTaken(attr.name)) {
+    return Status::AlreadyExists("attribute exists: " + name_ + "." +
+                                 attr.name);
+  }
+  attributes_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+Status ClassDef::AddTcomp(TcompDef tcomp) {
+  if (tcomp.name.empty()) return Status::InvalidArgument("empty tcomp name");
+  if (NameTaken(tcomp.name)) {
+    return Status::AlreadyExists("attribute exists: " + name_ + "." +
+                                 tcomp.name);
+  }
+  if (tcomp.tracks.empty()) {
+    return Status::InvalidArgument("tcomp needs at least one track");
+  }
+  for (size_t i = 0; i < tcomp.tracks.size(); ++i) {
+    if (!IsMediaAttrType(tcomp.tracks[i].type)) {
+      return Status::InvalidArgument("tcomp track must be media-typed: " +
+                                     tcomp.tracks[i].name);
+    }
+    for (size_t j = i + 1; j < tcomp.tracks.size(); ++j) {
+      if (tcomp.tracks[i].name == tcomp.tracks[j].name) {
+        return Status::InvalidArgument("duplicate track name: " +
+                                       tcomp.tracks[i].name);
+      }
+    }
+  }
+  tcomps_.push_back(std::move(tcomp));
+  return Status::OK();
+}
+
+const AttributeDef* ClassDef::FindAttribute(
+    const std::string& attr_name) const {
+  for (const auto& a : attributes_) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+const TcompDef* ClassDef::FindTcomp(const std::string& tcomp_name) const {
+  for (const auto& t : tcomps_) {
+    if (t.name == tcomp_name) return &t;
+  }
+  return nullptr;
+}
+
+std::string ClassDef::ToString() const {
+  std::ostringstream os;
+  os << "class " << name_ << " {\n";
+  for (const auto& a : attributes_) {
+    os << "  " << AttrTypeName(a.type) << " " << a.name;
+    if (a.video_quality.has_value()) {
+      os << " quality " << a.video_quality->ToString();
+    }
+    if (a.audio_quality.has_value()) {
+      os << " quality " << AudioQualityName(*a.audio_quality);
+    }
+    os << "\n";
+  }
+  for (const auto& t : tcomps_) {
+    os << "  tcomp " << t.name << " {\n";
+    for (const auto& track : t.tracks) {
+      os << "    " << AttrTypeName(track.type) << " " << track.name;
+      if (track.video_quality.has_value()) {
+        os << " quality " << track.video_quality->ToString();
+      }
+      if (track.audio_quality.has_value()) {
+        os << " quality " << AudioQualityName(*track.audio_quality);
+      }
+      os << "\n";
+    }
+    os << "  }\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace avdb

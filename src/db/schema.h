@@ -1,0 +1,100 @@
+#ifndef AVDB_DB_SCHEMA_H_
+#define AVDB_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "media/media_type.h"
+#include "media/quality.h"
+
+namespace avdb {
+
+/// Types an attribute of a database class can take. Scalars are queryable;
+/// media attributes hold AV values by reference; tracks of a temporal
+/// composite are declared via `TcompDef` (§4.1's `tcomp` construct).
+enum class AttrType {
+  kString,
+  kInt,
+  kDate,   ///< stored as "YYYY-MM-DD" strings, compared lexicographically
+  kVideo,
+  kAudio,
+  kText,
+};
+
+std::string_view AttrTypeName(AttrType type);
+bool IsMediaAttrType(AttrType type);
+
+/// One attribute of a class. Media attributes may carry a quality factor
+/// (§4.1: "quality factors are optional in class definitions; if absent,
+/// stored values can be of varying quality").
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+  /// Quality factor for kVideo attributes.
+  std::optional<VideoQuality> video_quality;
+  /// Quality factor for kAudio attributes.
+  std::optional<AudioQuality> audio_quality;
+};
+
+/// One track inside a temporal composite (e.g. Newscast.clip.videoTrack).
+struct TrackDef {
+  std::string name;
+  AttrType type = AttrType::kVideo;  // must be a media type
+  std::optional<VideoQuality> video_quality;
+  std::optional<AudioQuality> audio_quality;
+};
+
+/// §4.1's `tcomp` construct: "within a class definition, temporally
+/// correlated attributes are grouped using a tcomp construct"; per-instance
+/// timing comes from a timeline diagram (Fig. 1).
+struct TcompDef {
+  std::string name;
+  std::vector<TrackDef> tracks;
+
+  const TrackDef* FindTrack(const std::string& track_name) const;
+};
+
+/// A database class: named attributes plus temporal composites. The running
+/// example is the paper's `Newscast`:
+///
+///   class Newscast {
+///     String title; ...
+///     tcomp clip { VideoValue videoTrack; AudioValue englishTrack; ... }
+///   }
+class ClassDef {
+ public:
+  ClassDef() = default;
+  explicit ClassDef(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a scalar or media attribute (AlreadyExists on name collision
+  /// with any attribute or tcomp).
+  Status AddAttribute(AttributeDef attr);
+
+  /// Adds a temporal composite (tracks must be media-typed and uniquely
+  /// named within the tcomp).
+  Status AddTcomp(TcompDef tcomp);
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const std::vector<TcompDef>& tcomps() const { return tcomps_; }
+
+  const AttributeDef* FindAttribute(const std::string& attr_name) const;
+  const TcompDef* FindTcomp(const std::string& tcomp_name) const;
+
+  /// Pretty declaration in the paper's §4.1 syntax.
+  std::string ToString() const;
+
+ private:
+  bool NameTaken(const std::string& name) const;
+
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<TcompDef> tcomps_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_DB_SCHEMA_H_

@@ -1,0 +1,413 @@
+#include "db/script.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace avdb {
+
+namespace {
+
+/// Splits a statement into tokens, keeping quoted strings (with their
+/// quotes) intact so `select ... where title = "60 Minutes"` survives.
+std::vector<std::string> Tokenize(const std::string& statement) {
+  std::vector<std::string> tokens;
+  std::string current;
+  char quote = 0;
+  for (char c : statement) {
+    if (quote != 0) {
+      current += c;
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      current += c;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+/// Splits "name.port" at the last dot.
+Result<std::pair<std::string, std::string>> SplitEndpoint(
+    const std::string& endpoint) {
+  const size_t dot = endpoint.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == endpoint.size()) {
+    return Status::InvalidArgument("expected NAME.PORT, got: " + endpoint);
+  }
+  return std::make_pair(endpoint.substr(0, dot), endpoint.substr(dot + 1));
+}
+
+}  // namespace
+
+ScriptSession::ScriptSession(AvDatabase* db, std::string session_name)
+    : db_(db), session_(std::move(session_name)) {}
+
+ScriptSession::~ScriptSession() {
+  db_->CloseSession(session_).ok();
+}
+
+Result<std::string> ScriptSession::Execute(const std::string& statement) {
+  const std::string trimmed(StripWhitespace(statement));
+  if (trimmed.empty() || trimmed[0] == '#') return std::string("");
+  auto tokens = Tokenize(trimmed);
+
+  // VAR = select ...
+  if (tokens.size() >= 3 && tokens[1] == "=" && tokens[2] == "select") {
+    const size_t select_at = trimmed.find("select");
+    return SelectInto(tokens[0], trimmed.substr(select_at));
+  }
+  const std::string& verb = tokens[0];
+  if (verb == "new" && tokens.size() >= 2 && tokens[1] == "activity") {
+    return NewActivity(tokens);
+  }
+  if (verb == "new" && tokens.size() >= 2 && tokens[1] == "connection") {
+    return NewConnection(tokens);
+  }
+  if (verb == "bind") return Bind(tokens);
+  if (verb == "cue") return Cue(tokens);
+  if (verb == "start" && tokens.size() == 2) return StartByName(tokens[1]);
+  if ((verb == "stop" || verb == "pause" || verb == "resume") &&
+      tokens.size() == 2) {
+    return Control(verb, tokens[1]);
+  }
+  if (verb == "run") return Run(tokens);
+  return Status::InvalidArgument("unrecognized statement: " + trimmed);
+}
+
+Status ScriptSession::ExecuteScript(const std::string& script,
+                                    std::ostream* log) {
+  std::istringstream lines(script);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string trimmed(StripWhitespace(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto result = Execute(trimmed);
+    if (log != nullptr) {
+      *log << "> " << trimmed << "\n";
+      if (result.ok() && !result.value().empty()) {
+        *log << "  " << result.value() << "\n";
+      }
+      if (!result.ok()) *log << "  ERROR: " << result.status() << "\n";
+    }
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Result<std::string> ScriptSession::NewActivity(
+    const std::vector<std::string>& tokens) {
+  // new activity KIND (for PATH | quality Q) as NAME
+  if (tokens.size() < 6 || tokens[tokens.size() - 2] != "as") {
+    return Status::InvalidArgument(
+        "expected: new activity KIND ... as NAME");
+  }
+  const std::string& kind = tokens[2];
+  const std::string& name = tokens.back();
+  if (client_activities_.count(name) > 0 || sources_.count(name) > 0) {
+    return Status::AlreadyExists("script name taken: " + name);
+  }
+
+  if (kind == "VideoSource" || kind == "AudioSource" ||
+      kind == "MultiSource") {
+    if (tokens[3] != "for") {
+      return Status::InvalidArgument("expected: ... " + kind +
+                                     " for CLASS.PATH as NAME");
+    }
+    PendingSource source;
+    source.kind = kind;
+    source.attr_or_tcomp_path = tokens[4];
+    sources_[name] = std::move(source);
+    return "activity " + name + " declared for " + tokens[4] +
+           " (materializes at bind)";
+  }
+
+  if (kind == "VideoWindow") {
+    if (tokens[3] != "quality") {
+      return Status::InvalidArgument(
+          "expected: ... VideoWindow quality WxHxD@R as NAME");
+    }
+    auto quality = VideoQuality::Parse(tokens[4]);
+    if (!quality.ok()) return quality.status();
+    auto window = VideoWindow::Create(name, ActivityLocation::kClient,
+                                      db_->env(), quality.value());
+    AVDB_RETURN_IF_ERROR(db_->graph().Add(window));
+    client_activities_[name] = window;
+    return "activity " + name + " created: " + window->Describe();
+  }
+
+  if (kind == "AudioSink") {
+    if (tokens[3] != "quality") {
+      return Status::InvalidArgument(
+          "expected: ... AudioSink quality (voice|FM|CD) as NAME");
+    }
+    auto quality = ParseAudioQuality(tokens[4]);
+    if (!quality.ok()) return quality.status();
+    auto sink = AudioSink::Create(name, ActivityLocation::kClient,
+                                  db_->env(), quality.value());
+    AVDB_RETURN_IF_ERROR(db_->graph().Add(sink));
+    client_activities_[name] = sink;
+    return "activity " + name + " created: " + sink->Describe();
+  }
+
+  return Status::InvalidArgument("unknown activity kind: " + kind);
+}
+
+Result<std::string> ScriptSession::NewConnection(
+    const std::vector<std::string>& tokens) {
+  // new connection from A.P to B.Q [via CH] as NAME
+  if (tokens.size() < 8 || tokens[2] != "from" || tokens[4] != "to" ||
+      tokens[tokens.size() - 2] != "as") {
+    return Status::InvalidArgument(
+        "expected: new connection from A.P to B.Q [via CHANNEL] as NAME");
+  }
+  PendingConnection connection;
+  auto from = SplitEndpoint(tokens[3]);
+  if (!from.ok()) return from.status();
+  auto to = SplitEndpoint(tokens[5]);
+  if (!to.ok()) return to.status();
+  connection.from_activity = from.value().first;
+  connection.from_port = from.value().second;
+  connection.to_activity = to.value().first;
+  connection.to_port = to.value().second;
+  connection.name = tokens.back();
+  if (tokens.size() >= 10 && tokens[6] == "via") {
+    connection.channel = tokens[7];
+    AVDB_RETURN_IF_ERROR(db_->GetChannel(connection.channel).status());
+  }
+  for (const auto& existing : connections_) {
+    if (existing.name == connection.name) {
+      return Status::AlreadyExists("connection name taken: " +
+                                   connection.name);
+    }
+  }
+  connections_.push_back(std::move(connection));
+  std::string report;
+  AVDB_RETURN_IF_ERROR(EstablishReadyConnections(&report));
+  if (!report.empty()) return "connection declared; " + report;
+  return std::string("connection declared (wires when both ends exist)");
+}
+
+Result<std::string> ScriptSession::SelectInto(const std::string& variable,
+                                              const std::string& rest) {
+  // rest = select CLASS [where PRED]
+  auto tokens = Tokenize(rest);
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("expected: select CLASS [where ...]");
+  }
+  const std::string& class_name = tokens[1];
+  std::string predicate;
+  const size_t where_at = rest.find(" where ");
+  if (where_at != std::string::npos) {
+    predicate = rest.substr(where_at + 7);
+  }
+  auto oids = db_->Select(class_name, predicate);
+  if (!oids.ok()) return oids.status();
+  variables_[variable] = oids.value();
+  return variable + " = " + std::to_string(oids.value().size()) +
+         " reference(s)";
+}
+
+Result<std::string> ScriptSession::Bind(
+    const std::vector<std::string>& tokens) {
+  // bind VAR.PATH to NAME
+  if (tokens.size() != 4 || tokens[2] != "to") {
+    return Status::InvalidArgument("expected: bind VAR.PATH to NAME");
+  }
+  const size_t dot = tokens[1].find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument("expected VAR.PATH, got: " + tokens[1]);
+  }
+  const std::string variable = tokens[1].substr(0, dot);
+  const std::string path = tokens[1].substr(dot + 1);
+  auto var_it = variables_.find(variable);
+  if (var_it == variables_.end()) {
+    return Status::NotFound("variable: " + variable);
+  }
+  if (var_it->second.empty()) {
+    return Status::FailedPrecondition("variable " + variable +
+                                      " holds no references");
+  }
+  const Oid oid = var_it->second.front();
+
+  auto source_it = sources_.find(tokens[3]);
+  if (source_it == sources_.end()) {
+    return Status::NotFound("source activity: " + tokens[3]);
+  }
+  PendingSource& source = source_it->second;
+  if (source.materialized) {
+    return Status::FailedPrecondition("source already bound: " + tokens[3]);
+  }
+
+  Result<StreamHandle> handle = Status::Internal("unset");
+  if (source.kind == "MultiSource") {
+    handle = db_->NewMultiSourceFor(session_, oid, path, nullptr);
+  } else {
+    handle = db_->NewSourceFor(session_, oid, path);
+  }
+  if (!handle.ok()) return handle.status();
+  source.handle = handle.value();
+  source.materialized = true;
+  if (source.has_cue) {
+    AVDB_RETURN_IF_ERROR(source.handle.source->Cue(source.cue));
+  }
+  std::string report;
+  AVDB_RETURN_IF_ERROR(EstablishReadyConnections(&report));
+  std::string out = "bound " + tokens[1] + " to " + tokens[3];
+  if (!report.empty()) out += "; " + report;
+  return out;
+}
+
+Result<std::string> ScriptSession::Cue(
+    const std::vector<std::string>& tokens) {
+  // cue NAME to SECONDS
+  if (tokens.size() != 4 || tokens[2] != "to") {
+    return Status::InvalidArgument("expected: cue NAME to SECONDS");
+  }
+  auto seconds = ParseDouble(tokens[3]);
+  if (!seconds.ok()) return seconds.status();
+  const WorldTime at = WorldTime(
+      Rational(static_cast<int64_t>(seconds.value() * 1000), 1000));
+  auto source_it = sources_.find(tokens[1]);
+  if (source_it != sources_.end()) {
+    if (source_it->second.materialized) {
+      AVDB_RETURN_IF_ERROR(source_it->second.handle.source->Cue(at));
+    } else {
+      source_it->second.cue = at;
+      source_it->second.has_cue = true;
+    }
+    return "cued " + tokens[1] + " to " + at.ToString();
+  }
+  auto activity = Resolve(tokens[1]);
+  if (!activity.ok()) return activity.status();
+  AVDB_RETURN_IF_ERROR(activity.value()->Cue(at));
+  return "cued " + tokens[1] + " to " + at.ToString();
+}
+
+Result<std::string> ScriptSession::StartByName(const std::string& name) {
+  // A connection name starts its source's stream; a source name works too.
+  for (const auto& connection : connections_) {
+    if (connection.name != name) continue;
+    if (!connection.established) {
+      return Status::FailedPrecondition("connection " + name +
+                                        " is not wired yet (bind first)");
+    }
+    auto source_it = sources_.find(connection.from_activity);
+    if (source_it != sources_.end() && source_it->second.materialized) {
+      AVDB_RETURN_IF_ERROR(db_->StartStream(source_it->second.handle));
+      return "started " + name;
+    }
+    // Client-side producer (rare): start directly.
+    auto activity = Resolve(connection.from_activity);
+    if (!activity.ok()) return activity.status();
+    AVDB_RETURN_IF_ERROR(activity.value()->Start());
+    return "started " + name;
+  }
+  auto source_it = sources_.find(name);
+  if (source_it != sources_.end() && source_it->second.materialized) {
+    AVDB_RETURN_IF_ERROR(db_->StartStream(source_it->second.handle));
+    return "started " + name;
+  }
+  return Status::NotFound("nothing startable named " + name);
+}
+
+Result<std::string> ScriptSession::Control(const std::string& verb,
+                                           const std::string& name) {
+  // Resolve to a stream handle through a connection or source name.
+  const PendingSource* source = nullptr;
+  auto source_it = sources_.find(name);
+  if (source_it != sources_.end()) {
+    source = &source_it->second;
+  } else {
+    for (const auto& connection : connections_) {
+      if (connection.name == name) {
+        auto from_it = sources_.find(connection.from_activity);
+        if (from_it != sources_.end()) source = &from_it->second;
+        break;
+      }
+    }
+  }
+  if (source == nullptr || !source->materialized) {
+    return Status::NotFound("no stream behind name " + name);
+  }
+  std::string past;
+  if (verb == "stop") {
+    AVDB_RETURN_IF_ERROR(db_->StopStream(source->handle));
+    past = "stopped";
+  } else if (verb == "pause") {
+    AVDB_RETURN_IF_ERROR(db_->PauseStream(source->handle));
+    past = "paused";
+  } else {
+    AVDB_RETURN_IF_ERROR(db_->ResumeStream(source->handle));
+    past = "resumed";
+  }
+  return past + " " + name;
+}
+
+Result<std::string> ScriptSession::Run(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() == 1) {
+    const int64_t events = db_->RunUntilIdle();
+    return "ran to idle (" + std::to_string(events) + " events), t=" +
+           db_->engine().Now().ToString();
+  }
+  auto seconds = ParseDouble(tokens[1]);
+  if (!seconds.ok()) return seconds.status();
+  const WorldTime until =
+      db_->engine().Now() +
+      WorldTime(Rational(static_cast<int64_t>(seconds.value() * 1000), 1000));
+  db_->RunUntil(until);
+  return "ran to t=" + db_->engine().Now().ToString();
+}
+
+Result<MediaActivity*> ScriptSession::Resolve(const std::string& name) const {
+  auto client_it = client_activities_.find(name);
+  if (client_it != client_activities_.end()) return client_it->second.get();
+  auto source_it = sources_.find(name);
+  if (source_it != sources_.end() && source_it->second.materialized) {
+    return source_it->second.handle.source;
+  }
+  return Status::NotFound("activity: " + name);
+}
+
+Status ScriptSession::EstablishReadyConnections(std::string* report) {
+  for (auto& connection : connections_) {
+    if (connection.established) continue;
+    auto from = Resolve(connection.from_activity);
+    auto to = Resolve(connection.to_activity);
+    if (!from.ok() || !to.ok()) continue;  // still pending
+    auto established = db_->NewConnection(from.value(), connection.from_port,
+                                          to.value(), connection.to_port,
+                                          connection.channel);
+    if (!established.ok()) return established.status();
+    connection.established = true;
+    if (!report->empty()) *report += ", ";
+    *report += "wired " + connection.name + " (" +
+               established.value()->Describe() + ")";
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> ScriptSession::Variable(
+    const std::string& name) const {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) return Status::NotFound("variable: " + name);
+  return it->second;
+}
+
+Result<MediaActivity*> ScriptSession::Activity(const std::string& name) const {
+  return Resolve(name);
+}
+
+}  // namespace avdb

@@ -1,0 +1,161 @@
+#include "db/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avdb {
+
+Result<VideoSignature> VideoSignature::Extract(const VideoValue& video) {
+  const int64_t frames = video.FrameCount();
+  if (frames <= 0) return Status::InvalidArgument("empty video value");
+  VideoSignature signature;
+
+  for (int segment = 0; segment < kSegments; ++segment) {
+    const int64_t first = segment * frames / kSegments;
+    int64_t last = (segment + 1) * frames / kSegments;
+    if (last <= first) last = first + 1;
+    if (last > frames) last = frames;
+
+    std::array<double, kBins> histogram{};
+    double motion = 0;
+    int64_t samples = 0;
+    int64_t motion_samples = 0;
+    VideoFrame previous;
+    bool have_previous = false;
+
+    // Up to 4 evenly spaced probe frames per segment keep extraction cheap
+    // for long values.
+    const int64_t span = last - first;
+    const int64_t step = std::max<int64_t>(1, span / 4);
+    for (int64_t i = first; i < last; i += step) {
+      auto frame = video.Frame(i);
+      if (!frame.ok()) return frame.status();
+      // Luma histogram over component 0.
+      const int bpp = frame.value().bytes_per_pixel();
+      const auto& data = frame.value().data();
+      for (size_t p = 0; p < data.size(); p += static_cast<size_t>(bpp)) {
+        ++histogram[static_cast<size_t>(data[p]) * kBins / 256];
+        ++samples;
+      }
+      if (have_previous) {
+        auto mae = frame.value().MeanAbsoluteError(previous);
+        if (mae.ok()) {
+          motion += mae.value() / 255.0;
+          ++motion_samples;
+        }
+      }
+      previous = std::move(frame).value();
+      have_previous = true;
+    }
+
+    double* segment_features =
+        &signature.features_[static_cast<size_t>(segment) * (kBins + 1)];
+    for (int b = 0; b < kBins; ++b) {
+      segment_features[b] = samples == 0 ? 0 : histogram[static_cast<size_t>(b)] / static_cast<double>(samples);
+    }
+    segment_features[kBins] =
+        motion_samples == 0 ? 0 : motion / static_cast<double>(motion_samples);
+  }
+  return signature;
+}
+
+double VideoSignature::DistanceTo(const VideoSignature& other) const {
+  double distance = 0;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    distance += std::abs(features_[i] - other.features_[i]);
+  }
+  return distance;
+}
+
+Buffer VideoSignature::Serialize() const {
+  Buffer out;
+  out.AppendU32(0x41565349);  // 'AVSI'
+  out.AppendU32(static_cast<uint32_t>(features_.size()));
+  for (double f : features_) out.AppendF64(f);
+  return out;
+}
+
+Result<VideoSignature> VideoSignature::Deserialize(const Buffer& buffer) {
+  BufferReader r(buffer);
+  auto magic = r.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != 0x41565349) {
+    return Status::DataLoss("bad signature magic");
+  }
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  VideoSignature signature;
+  if (count.value() != signature.features_.size()) {
+    return Status::DataLoss("signature size mismatch");
+  }
+  for (auto& f : signature.features_) {
+    auto v = r.ReadF64();
+    if (!v.ok()) return v.status();
+    f = v.value();
+  }
+  return signature;
+}
+
+void SimilarityIndex::Add(Oid oid, const std::string& attr_path,
+                          VideoSignature signature) {
+  for (auto& entry : entries_) {
+    if (entry.oid == oid && entry.attr_path == attr_path) {
+      entry.signature = std::move(signature);
+      return;
+    }
+  }
+  entries_.push_back({oid, attr_path, std::move(signature)});
+}
+
+bool SimilarityIndex::Remove(Oid oid, const std::string& attr_path) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->oid == oid && it->attr_path == attr_path) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SimilarityIndex::Match> SimilarityIndex::FindSimilar(
+    const VideoSignature& query, int k) const {
+  std::vector<Match> matches;
+  matches.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    matches.push_back(
+        {entry.oid, entry.attr_path, query.DistanceTo(entry.signature)});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.oid < b.oid;
+            });
+  if (k >= 0 && static_cast<size_t>(k) < matches.size()) {
+    matches.resize(static_cast<size_t>(k));
+  }
+  return matches;
+}
+
+Result<std::vector<SimilarityIndex::Match>> SimilarityIndex::FindSimilarTo(
+    Oid oid, const std::string& attr_path, int k) const {
+  const Entry* self = nullptr;
+  for (const auto& entry : entries_) {
+    if (entry.oid == oid && entry.attr_path == attr_path) {
+      self = &entry;
+      break;
+    }
+  }
+  if (self == nullptr) {
+    return Status::NotFound("no signature registered for the query entry");
+  }
+  auto matches = FindSimilar(self->signature, k + 1);
+  std::vector<Match> out;
+  for (auto& match : matches) {
+    if (match.oid == oid && match.attr_path == attr_path) continue;
+    out.push_back(std::move(match));
+    if (k >= 0 && out.size() == static_cast<size_t>(k)) break;
+  }
+  return out;
+}
+
+}  // namespace avdb

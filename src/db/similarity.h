@@ -1,0 +1,94 @@
+#ifndef AVDB_DB_SIMILARITY_H_
+#define AVDB_DB_SIMILARITY_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "base/buffer.h"
+#include "base/result.h"
+#include "db/object.h"
+#include "media/video_value.h"
+
+namespace avdb {
+
+/// Content-based retrieval for video — the facility the paper's §2 survey
+/// calls "problematic for image and audio, but at least discussed in
+/// several lists of requirements", modelled on REDI's query-by-example:
+/// features are extracted once and queries run against the features, "to
+/// avoid retrieval and processing of the originals."
+///
+/// A VideoSignature summarizes a value as `kSegments` temporal segments,
+/// each carrying a normalized luma histogram plus a motion-energy scalar.
+/// Distance is L1 over the concatenated features; it is a true metric, so
+/// identical values are at distance 0 and reorderings/retints move away
+/// smoothly.
+class VideoSignature {
+ public:
+  static constexpr int kSegments = 8;
+  static constexpr int kBins = 16;
+
+  VideoSignature() = default;
+
+  /// Extracts a signature by decoding (a subsample of) the value's frames.
+  /// InvalidArgument for empty values.
+  static Result<VideoSignature> Extract(const VideoValue& video);
+
+  /// L1 distance in [0, ~2·kSegments]; 0 iff feature-identical.
+  double DistanceTo(const VideoSignature& other) const;
+
+  /// Serialization for catalog storage.
+  Buffer Serialize() const;
+  static Result<VideoSignature> Deserialize(const Buffer& buffer);
+
+  friend bool operator==(const VideoSignature& a, const VideoSignature& b) {
+    return a.features_ == b.features_;
+  }
+
+ private:
+  /// Per segment: kBins histogram weights summing to 1, then one motion
+  /// scalar in [0, 1].
+  std::array<double, kSegments*(kBins + 1)> features_{};
+};
+
+/// An in-memory feature index over registered videos: the "extracted
+/// information" store of §2's image-database discussion.
+class SimilarityIndex {
+ public:
+  struct Match {
+    Oid oid;
+    std::string attr_path;
+    double distance = 0;
+  };
+
+  SimilarityIndex() = default;
+
+  /// Registers (or replaces) the signature for `oid.attr_path`.
+  void Add(Oid oid, const std::string& attr_path, VideoSignature signature);
+
+  /// Removes an entry; false when absent.
+  bool Remove(Oid oid, const std::string& attr_path);
+
+  size_t size() const { return entries_.size(); }
+
+  /// The `k` nearest entries to `query`, ascending by distance.
+  std::vector<Match> FindSimilar(const VideoSignature& query, int k) const;
+
+  /// Convenience: nearest neighbours of a registered entry, excluding the
+  /// entry itself (NotFound when unregistered).
+  Result<std::vector<Match>> FindSimilarTo(Oid oid,
+                                           const std::string& attr_path,
+                                           int k) const;
+
+ private:
+  struct Entry {
+    Oid oid;
+    std::string attr_path;
+    VideoSignature signature;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_DB_SIMILARITY_H_

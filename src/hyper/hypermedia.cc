@@ -1,0 +1,88 @@
+#include "hyper/hypermedia.h"
+
+namespace avdb {
+
+bool Document::HasAnchor(const std::string& anchor) const {
+  for (const auto& a : anchors) {
+    if (a == anchor) return true;
+  }
+  return false;
+}
+
+Status HypermediaStore::AddDocument(Document document) {
+  if (document.name.empty()) {
+    return Status::InvalidArgument("document needs a name");
+  }
+  if (documents_.count(document.name) > 0) {
+    return Status::AlreadyExists("document exists: " + document.name);
+  }
+  const std::string name = document.name;
+  documents_.emplace(name, std::move(document));
+  return Status::OK();
+}
+
+Result<const Document*> HypermediaStore::GetDocument(
+    const std::string& name) const {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return Status::NotFound("document: " + name);
+  return &it->second;
+}
+
+std::vector<std::string> HypermediaStore::DocumentNames() const {
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, doc] : documents_) names.push_back(name);
+  return names;
+}
+
+Status HypermediaStore::AddLink(Link link) {
+  auto doc = GetDocument(link.from_document);
+  if (!doc.ok()) return doc.status();
+  if (!doc.value()->HasAnchor(link.anchor)) {
+    return Status::NotFound("anchor " + link.anchor + " in document " +
+                            link.from_document);
+  }
+  if (link.target.kind == LinkTarget::Kind::kDocument) {
+    AVDB_RETURN_IF_ERROR(GetDocument(link.target.document).status());
+  }
+  for (const auto& existing : links_) {
+    if (existing.from_document == link.from_document &&
+        existing.anchor == link.anchor) {
+      return Status::AlreadyExists("anchor already linked: " + link.anchor);
+    }
+  }
+  links_.push_back(std::move(link));
+  return Status::OK();
+}
+
+Result<LinkTarget> HypermediaStore::Follow(const std::string& document,
+                                           const std::string& anchor) const {
+  for (const auto& link : links_) {
+    if (link.from_document == document && link.anchor == anchor) {
+      return link.target;
+    }
+  }
+  return Status::NotFound("no link at " + document + "#" + anchor);
+}
+
+std::vector<Link> HypermediaStore::BacklinksTo(Oid oid) const {
+  std::vector<Link> out;
+  for (const auto& link : links_) {
+    if (link.target.kind == LinkTarget::Kind::kAvCue &&
+        link.target.oid == oid) {
+      out.push_back(link);
+    }
+  }
+  return out;
+}
+
+std::vector<Link> HypermediaStore::LinksFrom(
+    const std::string& document) const {
+  std::vector<Link> out;
+  for (const auto& link : links_) {
+    if (link.from_document == document) out.push_back(link);
+  }
+  return out;
+}
+
+}  // namespace avdb

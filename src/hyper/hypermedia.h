@@ -1,0 +1,80 @@
+#ifndef AVDB_HYPER_HYPERMEDIA_H_
+#define AVDB_HYPER_HYPERMEDIA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "db/object.h"
+#include "time/world_time.h"
+
+namespace avdb {
+
+/// Target of a hypermedia link: either another document, or a cue point
+/// inside a stored AV value (object + media attribute path + world time).
+/// The latter realizes Scenario I: "the video material is accessible
+/// through a hypermedia interface which links, for example, the documents
+/// describing a project to the video of a presentation."
+struct LinkTarget {
+  enum class Kind { kDocument, kAvCue };
+  Kind kind = Kind::kDocument;
+
+  std::string document;  ///< for kDocument
+
+  Oid oid;               ///< for kAvCue
+  std::string attr_path;
+  WorldTime cue;
+};
+
+/// An anchored link: from a named anchor within a document to a target.
+struct Link {
+  std::string from_document;
+  std::string anchor;  ///< anchor id within the document text
+  LinkTarget target;
+};
+
+/// A text document carrying named anchors.
+struct Document {
+  std::string name;
+  std::string text;
+  std::vector<std::string> anchors;
+
+  bool HasAnchor(const std::string& anchor) const;
+};
+
+/// The corporate archive's hypermedia layer: documents, anchors, and links
+/// into the AV database. Navigation (`Follow`) resolves an anchor to its
+/// target; `BacklinksTo` answers "which documents reference this video?" —
+/// the browsing structure of Scenario I.
+class HypermediaStore {
+ public:
+  HypermediaStore() = default;
+
+  Status AddDocument(Document document);
+  Result<const Document*> GetDocument(const std::string& name) const;
+  std::vector<std::string> DocumentNames() const;
+
+  /// Adds a link; the source document and anchor must exist.
+  Status AddLink(Link link);
+
+  /// Resolves the link at `document`/`anchor` (NotFound when unlinked).
+  Result<LinkTarget> Follow(const std::string& document,
+                            const std::string& anchor) const;
+
+  /// All links pointing at AV cues on `oid` (any attribute).
+  std::vector<Link> BacklinksTo(Oid oid) const;
+
+  /// All links out of a document.
+  std::vector<Link> LinksFrom(const std::string& document) const;
+
+  size_t LinkCount() const { return links_.size(); }
+
+ private:
+  std::map<std::string, Document> documents_;
+  std::vector<Link> links_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_HYPER_HYPERMEDIA_H_

@@ -1,0 +1,55 @@
+#include "media/audio_value.h"
+
+namespace avdb {
+
+Result<std::shared_ptr<RawAudioValue>> RawAudioValue::Create(
+    MediaDataType type) {
+  if (type.kind() != MediaKind::kAudio) {
+    return Status::InvalidArgument("RawAudioValue requires an audio type");
+  }
+  if (type.IsCompressed()) {
+    return Status::InvalidArgument("RawAudioValue requires a raw type");
+  }
+  if (type.channels() <= 0) {
+    return Status::InvalidArgument("audio type needs >= 1 channel");
+  }
+  auto value = std::shared_ptr<RawAudioValue>(new RawAudioValue(type));
+  value->block_ = AudioBlock(type.channels(), 0);
+  return value;
+}
+
+Result<std::shared_ptr<RawAudioValue>> RawAudioValue::FromBlock(
+    MediaDataType type, AudioBlock block) {
+  auto value = Create(std::move(type));
+  if (!value.ok()) return value.status();
+  if (block.channels() != value.value()->channels()) {
+    return Status::InvalidArgument("audio block channel count mismatch");
+  }
+  value.value()->block_ = std::move(block);
+  return value;
+}
+
+Result<AudioBlock> RawAudioValue::Samples(int64_t first, int64_t count) const {
+  if (first < 0 || count < 0 || first + count > ElementCount()) {
+    return Status::InvalidArgument("sample range out of bounds");
+  }
+  AudioBlock out(channels(), static_cast<int>(count));
+  for (int64_t f = 0; f < count; ++f) {
+    for (int c = 0; c < channels(); ++c) {
+      out.Set(static_cast<int>(f), c,
+              block_.At(static_cast<int>(first + f), c));
+    }
+  }
+  return out;
+}
+
+Status RawAudioValue::Append(const AudioBlock& more) {
+  if (more.channels() != channels()) {
+    return Status::InvalidArgument("audio block channel count mismatch");
+  }
+  block_.samples().insert(block_.samples().end(), more.samples().begin(),
+                          more.samples().end());
+  return Status::OK();
+}
+
+}  // namespace avdb

@@ -1,0 +1,64 @@
+#ifndef AVDB_MEDIA_AUDIO_VALUE_H_
+#define AVDB_MEDIA_AUDIO_VALUE_H_
+
+#include <memory>
+#include <vector>
+
+#include "media/frame.h"
+#include "media/media_value.h"
+
+namespace avdb {
+
+/// Abstract audio value — the paper's `AudioValue` (numChannel/depth/
+/// numSample). Elements are sample frames (one sample per channel);
+/// concrete subclasses fix the representation (raw PCM here, compressed
+/// representations in `src/codec/`).
+class AudioValue : public MediaValue {
+ public:
+  int channels() const { return type().channels(); }
+  Rational sample_rate() const { return ElementRate(); }
+  int64_t SampleCount() const { return ElementCount(); }
+
+  /// Reads `count` sample frames starting at `first` into an AudioBlock.
+  /// InvalidArgument when the range is out of bounds.
+  virtual Result<AudioBlock> Samples(int64_t first, int64_t count) const = 0;
+
+  /// Stored size in bytes (representation-dependent).
+  virtual int64_t StoredBytes() const = 0;
+
+ protected:
+  explicit AudioValue(MediaDataType type) : MediaValue(std::move(type)) {}
+};
+
+using AudioValuePtr = std::shared_ptr<AudioValue>;
+
+/// Uncompressed 16-bit PCM audio held in memory.
+class RawAudioValue final : public AudioValue {
+ public:
+  /// Empty PCM value; `type` must be raw audio.
+  static Result<std::shared_ptr<RawAudioValue>> Create(MediaDataType type);
+
+  /// From an existing block; channel count must match the type.
+  static Result<std::shared_ptr<RawAudioValue>> FromBlock(MediaDataType type,
+                                                          AudioBlock block);
+
+  int64_t ElementCount() const override { return block_.frame_count(); }
+  Result<AudioBlock> Samples(int64_t first, int64_t count) const override;
+  int64_t StoredBytes() const override {
+    return static_cast<int64_t>(block_.SizeBytes());
+  }
+
+  /// Appends sample frames (channel count must match).
+  Status Append(const AudioBlock& more);
+
+  const AudioBlock& block() const { return block_; }
+
+ private:
+  explicit RawAudioValue(MediaDataType type) : AudioValue(std::move(type)) {}
+
+  AudioBlock block_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_AUDIO_VALUE_H_

@@ -1,0 +1,50 @@
+#include "media/frame.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace avdb {
+
+VideoFrame::VideoFrame(int width, int height, int depth_bits)
+    : width_(width), height_(height), depth_bits_(depth_bits) {
+  AVDB_CHECK(width >= 0 && height >= 0) << "negative frame geometry";
+  AVDB_CHECK(depth_bits == 8 || depth_bits == 24)
+      << "unsupported frame depth " << depth_bits;
+  data_.assign(static_cast<size_t>(width) * height * (depth_bits / 8), 0);
+}
+
+std::vector<uint8_t> VideoFrame::ExtractPlane(int p) const {
+  const int bpp = bytes_per_pixel();
+  AVDB_CHECK(p >= 0 && p < bpp) << "plane index out of range";
+  std::vector<uint8_t> plane(static_cast<size_t>(width_) * height_);
+  for (size_t i = 0; i < plane.size(); ++i) plane[i] = data_[i * bpp + p];
+  return plane;
+}
+
+Status VideoFrame::SetPlane(int p, const std::vector<uint8_t>& plane) {
+  const int bpp = bytes_per_pixel();
+  if (p < 0 || p >= bpp) return Status::InvalidArgument("plane index");
+  if (plane.size() != static_cast<size_t>(width_) * height_) {
+    return Status::InvalidArgument("plane size mismatch");
+  }
+  for (size_t i = 0; i < plane.size(); ++i) data_[i * bpp + p] = plane[i];
+  return Status::OK();
+}
+
+Result<double> VideoFrame::MeanAbsoluteError(const VideoFrame& other) const {
+  if (width_ != other.width_ || height_ != other.height_ ||
+      depth_bits_ != other.depth_bits_) {
+    return Status::InvalidArgument("frame geometry mismatch in MAE");
+  }
+  if (data_.empty()) return 0.0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    total += static_cast<uint64_t>(
+        std::abs(static_cast<int>(data_[i]) - static_cast<int>(other.data_[i])));
+  }
+  return static_cast<double>(total) / static_cast<double>(data_.size());
+}
+
+}  // namespace avdb

@@ -1,0 +1,101 @@
+#ifndef AVDB_MEDIA_FRAME_H_
+#define AVDB_MEDIA_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace avdb {
+
+/// One uncompressed raster frame: `width`×`height` pixels at `depth_bits`
+/// bits per pixel. Supported depths are 8 (single 8-bit luma plane) and 24
+/// (interleaved RGB). This is the unit that flows through video ports, the
+/// paper's "raw" port data type.
+class VideoFrame {
+ public:
+  /// Empty 0x0 frame.
+  VideoFrame() = default;
+  /// Allocates a zero-filled frame. Depth must be 8 or 24 (checked).
+  VideoFrame(int width, int height, int depth_bits);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int depth_bits() const { return depth_bits_; }
+  int bytes_per_pixel() const { return depth_bits_ / 8; }
+  int plane_count() const { return bytes_per_pixel(); }
+  size_t SizeBytes() const { return data_.size(); }
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t>& data() { return data_; }
+
+  /// Pixel component `c` (0..bytes_per_pixel-1) at (x, y); coordinates are
+  /// caller's responsibility in release paths, checked in debug.
+  uint8_t At(int x, int y, int c = 0) const {
+    return data_[(static_cast<size_t>(y) * width_ + x) * bytes_per_pixel() + c];
+  }
+  void Set(int x, int y, uint8_t v, int c = 0) {
+    data_[(static_cast<size_t>(y) * width_ + x) * bytes_per_pixel() + c] = v;
+  }
+
+  /// Copies out component plane `p` as a width×height byte array.
+  std::vector<uint8_t> ExtractPlane(int p) const;
+  /// Overwrites component plane `p`; `plane` must have width·height bytes.
+  Status SetPlane(int p, const std::vector<uint8_t>& plane);
+
+  /// Mean absolute per-component difference against `other`; used as the
+  /// distortion measure in codec tests and the quality bench. Frames must
+  /// have equal geometry (InvalidArgument otherwise).
+  Result<double> MeanAbsoluteError(const VideoFrame& other) const;
+
+  friend bool operator==(const VideoFrame& a, const VideoFrame& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.depth_bits_ == b.depth_bits_ && a.data_ == b.data_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int depth_bits_ = 8;
+  std::vector<uint8_t> data_;
+};
+
+/// A block of interleaved 16-bit PCM audio samples: `channels` interleaved
+/// streams. `frame_count` is samples per channel. The unit that flows
+/// through audio ports.
+class AudioBlock {
+ public:
+  AudioBlock() = default;
+  AudioBlock(int channels, int frame_count)
+      : channels_(channels),
+        samples_(static_cast<size_t>(channels) * frame_count, 0) {}
+
+  int channels() const { return channels_; }
+  int frame_count() const {
+    return channels_ == 0 ? 0 : static_cast<int>(samples_.size()) / channels_;
+  }
+  size_t SizeBytes() const { return samples_.size() * sizeof(int16_t); }
+
+  const std::vector<int16_t>& samples() const { return samples_; }
+  std::vector<int16_t>& samples() { return samples_; }
+
+  int16_t At(int frame, int channel) const {
+    return samples_[static_cast<size_t>(frame) * channels_ + channel];
+  }
+  void Set(int frame, int channel, int16_t v) {
+    samples_[static_cast<size_t>(frame) * channels_ + channel] = v;
+  }
+
+  friend bool operator==(const AudioBlock& a, const AudioBlock& b) {
+    return a.channels_ == b.channels_ && a.samples_ == b.samples_;
+  }
+
+ private:
+  int channels_ = 0;
+  std::vector<int16_t> samples_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_FRAME_H_

@@ -1,0 +1,15 @@
+#include "media/image_value.h"
+
+namespace avdb {
+
+Result<std::shared_ptr<ImageValue>> ImageValue::FromFrame(VideoFrame frame) {
+  if (frame.width() <= 0 || frame.height() <= 0) {
+    return Status::InvalidArgument("image must be non-empty");
+  }
+  MediaDataType type =
+      MediaDataType::Image(frame.width(), frame.height(), frame.depth_bits());
+  return std::shared_ptr<ImageValue>(
+      new ImageValue(std::move(type), std::move(frame)));
+}
+
+}  // namespace avdb

@@ -1,0 +1,34 @@
+#ifndef AVDB_MEDIA_IMAGE_VALUE_H_
+#define AVDB_MEDIA_IMAGE_VALUE_H_
+
+#include <memory>
+
+#include "media/frame.h"
+#include "media/media_value.h"
+
+namespace avdb {
+
+/// A still raster image — the paper's `ImageValue`, the element type of
+/// video values and the payload of the virtual-world scenario's
+/// "high-resolution raster images". A one-element media value.
+class ImageValue final : public MediaValue {
+ public:
+  /// Wraps a frame as an image value.
+  static Result<std::shared_ptr<ImageValue>> FromFrame(VideoFrame frame);
+
+  int64_t ElementCount() const override { return 1; }
+
+  const VideoFrame& frame() const { return frame_; }
+
+ private:
+  ImageValue(MediaDataType type, VideoFrame frame)
+      : MediaValue(std::move(type)), frame_(std::move(frame)) {}
+
+  VideoFrame frame_;
+};
+
+using ImageValuePtr = std::shared_ptr<ImageValue>;
+
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_IMAGE_VALUE_H_

@@ -1,0 +1,65 @@
+#ifndef AVDB_MEDIA_MEDIA_OPS_H_
+#define AVDB_MEDIA_MEDIA_OPS_H_
+
+#include <memory>
+
+#include "base/result.h"
+#include "media/audio_value.h"
+#include "media/video_value.h"
+
+namespace avdb {
+
+/// §4.2's *passive-state* operations: "it should be possible to take a
+/// Newscast object and modify the value of its videoTrack attribute;
+/// perhaps changing particular frames or perhaps adding or deleting
+/// frames. These operations have no timing constraints."
+///
+/// These are the non-linear editing primitives the corporate scenario
+/// (§3.2) needs: cutting, splicing and dissolving stored values without
+/// streaming them. All functions produce new raw values; inputs may be any
+/// representation (frames are decoded as needed).
+namespace media_ops {
+
+/// Frames [first, first+count) of `video` as a new value.
+/// InvalidArgument when the range is out of bounds.
+Result<std::shared_ptr<RawVideoValue>> ExtractSegment(const VideoValue& video,
+                                                      int64_t first,
+                                                      int64_t count);
+
+/// `a` followed by `b`. Both must share geometry and rate.
+Result<std::shared_ptr<RawVideoValue>> Concatenate(const VideoValue& a,
+                                                   const VideoValue& b);
+
+/// `a` followed by `b`, with the last `overlap` frames of `a` cross-faded
+/// into the first `overlap` frames of `b` (a linear dissolve — the classic
+/// editing transition). `overlap` must fit in both inputs.
+Result<std::shared_ptr<RawVideoValue>> Dissolve(const VideoValue& a,
+                                                const VideoValue& b,
+                                                int64_t overlap);
+
+/// Frames of `clip` spliced into `base` before frame `at`.
+Result<std::shared_ptr<RawVideoValue>> InsertClip(const VideoValue& base,
+                                                  const VideoValue& clip,
+                                                  int64_t at);
+
+/// Sample frames [first, first+count) of `audio` as a new value.
+Result<std::shared_ptr<RawAudioValue>> ExtractAudio(const AudioValue& audio,
+                                                    int64_t first,
+                                                    int64_t count);
+
+/// `a` followed by `b`; channel counts and rates must match.
+Result<std::shared_ptr<RawAudioValue>> ConcatenateAudio(const AudioValue& a,
+                                                        const AudioValue& b);
+
+/// Sample-wise mix of two equal-format values, `gain_a`/`gain_b` in [0,1];
+/// output length is the longer input (the shorter is zero-padded). Samples
+/// saturate rather than wrap.
+Result<std::shared_ptr<RawAudioValue>> MixAudio(const AudioValue& a,
+                                                const AudioValue& b,
+                                                double gain_a = 0.5,
+                                                double gain_b = 0.5);
+
+}  // namespace media_ops
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_MEDIA_OPS_H_

@@ -1,0 +1,181 @@
+#include "media/media_type.h"
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace avdb {
+
+std::string_view MediaKindName(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kVideo:
+      return "video";
+    case MediaKind::kAudio:
+      return "audio";
+    case MediaKind::kText:
+      return "text";
+    case MediaKind::kImage:
+      return "image";
+  }
+  return "unknown";
+}
+
+std::string_view EncodingFamilyName(EncodingFamily family) {
+  switch (family) {
+    case EncodingFamily::kRaw:
+      return "raw";
+    case EncodingFamily::kIntra:
+      return "intra";
+    case EncodingFamily::kInter:
+      return "inter";
+    case EncodingFamily::kDelta:
+      return "delta";
+    case EncodingFamily::kScalable:
+      return "scalable";
+    case EncodingFamily::kAdpcm:
+      return "adpcm";
+    case EncodingFamily::kMulaw:
+      return "mulaw";
+  }
+  return "unknown";
+}
+
+MediaDataType MediaDataType::RawVideo(int width, int height, int depth_bits,
+                                      Rational rate) {
+  AVDB_CHECK(depth_bits == 8 || depth_bits == 24)
+      << "unsupported video depth " << depth_bits;
+  MediaDataType t;
+  t.kind_ = MediaKind::kVideo;
+  t.family_ = EncodingFamily::kRaw;
+  t.width_ = width;
+  t.height_ = height;
+  t.depth_bits_ = depth_bits;
+  t.element_rate_ = rate;
+  return t;
+}
+
+MediaDataType MediaDataType::CompressedVideo(EncodingFamily family, int width,
+                                             int height, int depth_bits,
+                                             Rational rate) {
+  MediaDataType t = RawVideo(width, height, depth_bits, rate);
+  AVDB_CHECK(family != EncodingFamily::kRaw &&
+             family != EncodingFamily::kAdpcm &&
+             family != EncodingFamily::kMulaw)
+      << "not a video encoding family";
+  t.family_ = family;
+  return t;
+}
+
+MediaDataType MediaDataType::RawAudio(int channels, Rational sample_rate) {
+  MediaDataType t;
+  t.kind_ = MediaKind::kAudio;
+  t.family_ = EncodingFamily::kRaw;
+  t.channels_ = channels;
+  t.depth_bits_ = 16;
+  t.element_rate_ = sample_rate;
+  return t;
+}
+
+MediaDataType MediaDataType::CompressedAudio(EncodingFamily family,
+                                             int channels,
+                                             Rational sample_rate) {
+  MediaDataType t = RawAudio(channels, sample_rate);
+  AVDB_CHECK(family == EncodingFamily::kAdpcm ||
+             family == EncodingFamily::kMulaw)
+      << "not an audio encoding family";
+  t.family_ = family;
+  return t;
+}
+
+MediaDataType MediaDataType::Text(Rational rate) {
+  MediaDataType t;
+  t.kind_ = MediaKind::kText;
+  t.element_rate_ = rate;
+  t.depth_bits_ = 0;
+  return t;
+}
+
+MediaDataType MediaDataType::Image(int width, int height, int depth_bits) {
+  MediaDataType t;
+  t.kind_ = MediaKind::kImage;
+  t.width_ = width;
+  t.height_ = height;
+  t.depth_bits_ = depth_bits;
+  t.element_rate_ = Rational(0);
+  return t;
+}
+
+int64_t MediaDataType::ElementSizeBytes() const {
+  switch (kind_) {
+    case MediaKind::kVideo:
+    case MediaKind::kImage:
+      return static_cast<int64_t>(width_) * height_ * (depth_bits_ / 8);
+    case MediaKind::kAudio:
+      return static_cast<int64_t>(channels_) * 2;  // 16-bit PCM
+    case MediaKind::kText:
+      return 32;  // nominal subtitle record
+  }
+  return 0;
+}
+
+double MediaDataType::NominalCompressionRatio() const {
+  switch (family_) {
+    case EncodingFamily::kRaw:
+      return 1.0;
+    case EncodingFamily::kIntra:
+      return 8.0;   // JPEG-class
+    case EncodingFamily::kInter:
+      return 25.0;  // MPEG-class
+    case EncodingFamily::kDelta:
+      return 5.0;   // DVI RTV-class
+    case EncodingFamily::kScalable:
+      return 6.0;   // full-layer scalable
+    case EncodingFamily::kAdpcm:
+      return 4.0;
+    case EncodingFamily::kMulaw:
+      return 2.0;
+  }
+  return 1.0;
+}
+
+double MediaDataType::NominalBytesPerSecond() const {
+  const double raw =
+      static_cast<double>(ElementSizeBytes()) * element_rate_.ToDouble();
+  return raw / NominalCompressionRatio();
+}
+
+std::string MediaDataType::ToString() const {
+  std::string out(MediaKindName(kind_));
+  out += "/";
+  out += EncodingFamilyName(family_);
+  switch (kind_) {
+    case MediaKind::kVideo:
+      out += " " + std::to_string(width_) + "x" + std::to_string(height_) +
+             "x" + std::to_string(depth_bits_) + "@" +
+             FormatDouble(element_rate_.ToDouble(), 2);
+      break;
+    case MediaKind::kAudio:
+      out += " " + std::to_string(channels_) + "ch@" +
+             FormatDouble(element_rate_.ToDouble(), 0) + "Hz";
+      break;
+    case MediaKind::kText:
+      out += " @" + FormatDouble(element_rate_.ToDouble(), 2);
+      break;
+    case MediaKind::kImage:
+      out += " " + std::to_string(width_) + "x" + std::to_string(height_) +
+             "x" + std::to_string(depth_bits_);
+      break;
+  }
+  return out;
+}
+
+bool operator==(const MediaDataType& a, const MediaDataType& b) {
+  return a.kind_ == b.kind_ && a.family_ == b.family_ && a.width_ == b.width_ &&
+         a.height_ == b.height_ && a.depth_bits_ == b.depth_bits_ &&
+         a.channels_ == b.channels_ && a.element_rate_ == b.element_rate_;
+}
+
+std::ostream& operator<<(std::ostream& os, const MediaDataType& t) {
+  return os << t.ToString();
+}
+
+}  // namespace avdb

@@ -1,0 +1,128 @@
+#ifndef AVDB_MEDIA_MEDIA_TYPE_H_
+#define AVDB_MEDIA_MEDIA_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "base/rational.h"
+#include "base/result.h"
+
+namespace avdb {
+
+/// The medium a value or port carries.
+enum class MediaKind { kVideo, kAudio, kText, kImage };
+
+std::string_view MediaKindName(MediaKind kind);
+
+/// Encoding family of a media data type. `kRaw` is uncompressed; the others
+/// are the paper's representative compressed-video families (§3.1, §4.1),
+/// realized by the codecs in `src/codec/`. For flow composition, ports carry
+/// a MediaDataType and an "in" port connects to an "out" port only when the
+/// types agree (§4.2 rule 1).
+enum class EncodingFamily {
+  kRaw,        ///< Uncompressed samples/frames.
+  kIntra,      ///< Independently coded frames (JPEG-style).
+  kInter,      ///< GOP-structured predictive coding (MPEG-style).
+  kDelta,      ///< Frame-difference coding (DVI RTV-style).
+  kScalable,   ///< Layered encoding; quality selectable at decode (§4.1).
+  kAdpcm,      ///< 4-bit adaptive differential audio.
+  kMulaw,      ///< 8-bit companded audio.
+};
+
+std::string_view EncodingFamilyName(EncodingFamily family);
+
+/// §3.1, definition 2: "each AV value has a media data type governing the
+/// encoding and interpretation of its elements. The type of v determines r,
+/// the data rate of v."
+///
+/// A MediaDataType fixes the medium, the element geometry (resolution /
+/// channels / sample depth), the element rate, and the encoding family.
+/// Well-known 1993 types are provided as factories (CD audio, CCIR 601,
+/// CIF...). Value-semantic and comparable, so port-compatibility checks are
+/// plain equality.
+class MediaDataType {
+ public:
+  /// Untyped placeholder (kind video, 0x0). Prefer the factories.
+  MediaDataType() = default;
+
+  /// Uncompressed video: `width`×`height` at `depth_bits` (8 or 24), `rate`
+  /// frames/second.
+  static MediaDataType RawVideo(int width, int height, int depth_bits,
+                                Rational rate);
+  /// Compressed video of the given family with a nominal compression ratio
+  /// used for rate estimates (actual sizes come from the codec).
+  static MediaDataType CompressedVideo(EncodingFamily family, int width,
+                                       int height, int depth_bits,
+                                       Rational rate);
+  /// Uncompressed 16-bit PCM audio.
+  static MediaDataType RawAudio(int channels, Rational sample_rate);
+  /// Compressed audio of the given family.
+  static MediaDataType CompressedAudio(EncodingFamily family, int channels,
+                                       Rational sample_rate);
+  /// Timed text stream (`rate` = element rate used for object time).
+  static MediaDataType Text(Rational rate);
+  /// Still image (single element).
+  static MediaDataType Image(int width, int height, int depth_bits);
+
+  // --- Well-known types from the paper -----------------------------------
+  /// "CD encoded audio (pairs of 16-bit samples at 44.1 kHz)".
+  static MediaDataType CdAudio() { return RawAudio(2, Rational(44100)); }
+  /// "CCIR 601 digital video" — 720×486 8-bit at NTSC rate (30000/1001).
+  static MediaDataType Ccir601() {
+    return RawVideo(720, 486, 8, Rational(30000, 1001));
+  }
+  /// CIF: 352×288, 24-bit colour, 30 fps — typical early-90s desktop video.
+  static MediaDataType Cif() { return RawVideo(352, 288, 24, Rational(30)); }
+  /// QCIF: 176×144, 8-bit, 15 fps.
+  static MediaDataType Qcif() { return RawVideo(176, 144, 8, Rational(15)); }
+  /// Telephone-quality audio: mono 8 kHz.
+  static MediaDataType VoiceAudio() { return RawAudio(1, Rational(8000)); }
+
+  MediaKind kind() const { return kind_; }
+  EncodingFamily family() const { return family_; }
+  bool IsCompressed() const { return family_ != EncodingFamily::kRaw; }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int depth_bits() const { return depth_bits_; }
+  int channels() const { return channels_; }
+
+  /// Elements per second: frame rate for video, sample rate for audio.
+  Rational element_rate() const { return element_rate_; }
+
+  /// Bytes of one uncompressed element (frame or per-channel sample set).
+  int64_t ElementSizeBytes() const;
+
+  /// §3.1's r: nominal data rate in bytes/second. For compressed families
+  /// this is the uncompressed rate divided by the family's nominal ratio —
+  /// the number used by admission control before actual sizes are known.
+  double NominalBytesPerSecond() const;
+
+  /// Nominal compression ratio of the family (1 for raw).
+  double NominalCompressionRatio() const;
+
+  /// e.g. "video/raw 720x486x8@29.97" or "audio/raw 2ch@44100Hz".
+  std::string ToString() const;
+
+  friend bool operator==(const MediaDataType& a, const MediaDataType& b);
+  friend bool operator!=(const MediaDataType& a, const MediaDataType& b) {
+    return !(a == b);
+  }
+
+ private:
+  MediaKind kind_ = MediaKind::kVideo;
+  EncodingFamily family_ = EncodingFamily::kRaw;
+  int width_ = 0;
+  int height_ = 0;
+  int depth_bits_ = 8;
+  int channels_ = 0;
+  Rational element_rate_;
+};
+
+std::ostream& operator<<(std::ostream& os, const MediaDataType& t);
+
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_MEDIA_TYPE_H_

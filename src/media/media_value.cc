@@ -1,0 +1,49 @@
+#include "media/media_value.h"
+
+#include "base/logging.h"
+
+namespace avdb {
+
+WorldTime MediaValue::duration() const {
+  const Rational scale = transform_.scale().Abs();
+  AVDB_CHECK(!scale.IsZero()) << "media value with zero time scale";
+  return WorldTime(NaturalDuration().seconds() / scale);
+}
+
+void MediaValue::Scale(Rational factor) {
+  AVDB_CHECK(!factor.IsZero()) << "MediaValue::Scale(0)";
+  transform_ = transform_.Scaled(factor);
+}
+
+void MediaValue::Translate(WorldTime offset) {
+  transform_ = transform_.Translated(offset);
+}
+
+Result<ObjectTime> MediaValue::WorldToObject(WorldTime t) const {
+  const int64_t count = ElementCount();
+  if (count == 0) return Status::InvalidArgument("empty media value");
+  if (!Extent().Contains(t)) {
+    return Status::InvalidArgument("instant " + t.ToString() +
+                                   " outside value extent " +
+                                   Extent().ToString());
+  }
+  ObjectTime o = transform_.WorldToObject(t, ElementRate());
+  // Rounding at the right edge can land one past the final element.
+  if (o.ticks() < 0) o = ObjectTime(0);
+  if (o.ticks() >= count) o = ObjectTime(count - 1);
+  return o;
+}
+
+Result<WorldTime> MediaValue::ObjectToWorld(ObjectTime o) const {
+  if (o.ticks() < 0 || o.ticks() >= ElementCount()) {
+    return Status::InvalidArgument("element index out of range");
+  }
+  return transform_.ObjectToWorld(o, ElementRate());
+}
+
+std::string MediaValue::Describe() const {
+  return type_.ToString() + ", " + std::to_string(ElementCount()) +
+         " elements";
+}
+
+}  // namespace avdb

@@ -1,0 +1,125 @@
+#include "media/quality.h"
+
+#include "base/strings.h"
+
+namespace avdb {
+
+Result<VideoQuality> VideoQuality::Parse(std::string_view text) {
+  // Grammar: INT 'x' INT 'x' INT '@' NUMBER, whitespace tolerated.
+  const std::string cleaned = [&] {
+    std::string s;
+    for (char c : text) {
+      if (!std::isspace(static_cast<unsigned char>(c))) s += c;
+    }
+    return s;
+  }();
+  const size_t at = cleaned.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("video quality missing '@rate': " +
+                                   std::string(text));
+  }
+  const auto dims = StrSplit(cleaned.substr(0, at), 'x');
+  if (dims.size() != 3) {
+    return Status::InvalidArgument("video quality needs WxHxD: " +
+                                   std::string(text));
+  }
+  int64_t vals[3];
+  for (int i = 0; i < 3; ++i) {
+    auto v = ParseInt64(dims[i]);
+    if (!v.ok()) return v.status();
+    if (v.value() <= 0) {
+      return Status::InvalidArgument("video quality dimension must be > 0");
+    }
+    vals[i] = v.value();
+  }
+  if (vals[2] != 8 && vals[2] != 24) {
+    return Status::InvalidArgument("video quality depth must be 8 or 24");
+  }
+  auto rate = ParseDouble(cleaned.substr(at + 1));
+  if (!rate.ok()) return rate.status();
+  if (rate.value() <= 0) {
+    return Status::InvalidArgument("video quality rate must be > 0");
+  }
+  // Keep common NTSC rates exact.
+  Rational r;
+  const double rv = rate.value();
+  if (rv == 29.97) {
+    r = Rational(30000, 1001);
+  } else if (rv == static_cast<int64_t>(rv)) {
+    r = Rational(static_cast<int64_t>(rv));
+  } else {
+    r = Rational(static_cast<int64_t>(rv * 1000 + 0.5), 1000);
+  }
+  return VideoQuality(static_cast<int>(vals[0]), static_cast<int>(vals[1]),
+                      static_cast<int>(vals[2]), r);
+}
+
+bool VideoQuality::SatisfiableBy(const MediaDataType& t) const {
+  if (t.kind() != MediaKind::kVideo) return false;
+  return t.width() >= width_ && t.height() >= height_ &&
+         t.depth_bits() >= depth_bits_ && t.element_rate() >= rate_;
+}
+
+bool VideoQuality::WeakerOrEqual(const VideoQuality& other) const {
+  return width_ <= other.width_ && height_ <= other.height_ &&
+         depth_bits_ <= other.depth_bits_ && rate_ <= other.rate_;
+}
+
+std::string VideoQuality::ToString() const {
+  return std::to_string(width_) + "x" + std::to_string(height_) + "x" +
+         std::to_string(depth_bits_) + "@" +
+         FormatDouble(rate_.ToDouble(), 2);
+}
+
+std::ostream& operator<<(std::ostream& os, const VideoQuality& q) {
+  return os << q.ToString();
+}
+
+std::string_view AudioQualityName(AudioQuality q) {
+  switch (q) {
+    case AudioQuality::kVoice:
+      return "voice";
+    case AudioQuality::kFm:
+      return "FM";
+    case AudioQuality::kCd:
+      return "CD";
+  }
+  return "unknown";
+}
+
+Result<AudioQuality> ParseAudioQuality(std::string_view text) {
+  std::string s = AsciiToLower(StripWhitespace(text));
+  if (EndsWith(s, "-quality")) s = s.substr(0, s.size() - 8);
+  if (s == "voice") return AudioQuality::kVoice;
+  if (s == "fm") return AudioQuality::kFm;
+  if (s == "cd") return AudioQuality::kCd;
+  return Status::InvalidArgument("unknown audio quality: " + std::string(text));
+}
+
+int AudioQualityChannels(AudioQuality q) {
+  return q == AudioQuality::kVoice ? 1 : 2;
+}
+
+Rational AudioQualitySampleRate(AudioQuality q) {
+  switch (q) {
+    case AudioQuality::kVoice:
+      return Rational(8000);
+    case AudioQuality::kFm:
+      return Rational(22050);
+    case AudioQuality::kCd:
+      return Rational(44100);
+  }
+  return Rational(8000);
+}
+
+bool AudioQualitySatisfiableBy(AudioQuality q, const MediaDataType& t) {
+  if (t.kind() != MediaKind::kAudio) return false;
+  return t.channels() >= AudioQualityChannels(q) &&
+         t.element_rate() >= AudioQualitySampleRate(q);
+}
+
+double AudioQualityBytesPerSecond(AudioQuality q) {
+  return AudioQualityChannels(q) * 2.0 * AudioQualitySampleRate(q).ToDouble();
+}
+
+}  // namespace avdb

@@ -1,0 +1,91 @@
+#ifndef AVDB_MEDIA_QUALITY_H_
+#define AVDB_MEDIA_QUALITY_H_
+
+#include <ostream>
+#include <string>
+
+#include "base/rational.h"
+#include "base/result.h"
+#include "media/media_type.h"
+
+namespace avdb {
+
+/// §4.1: "A video quality factor is an expression of the form w×h×d@r."
+/// Applications use these instead of naming concrete representations; the
+/// database maps a quality factor to a stored representation (possibly a
+/// scalable layer subset) and to resource requirements.
+class VideoQuality {
+ public:
+  /// 0x0x0@0 — matches nothing; prefer Parse or the field constructor.
+  VideoQuality() = default;
+  VideoQuality(int width, int height, int depth_bits, Rational rate)
+      : width_(width), height_(height), depth_bits_(depth_bits), rate_(rate) {}
+
+  /// Parses "640x480x8@30" (also accepts fractional rates "@29.97").
+  static Result<VideoQuality> Parse(std::string_view text);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int depth_bits() const { return depth_bits_; }
+  Rational rate() const { return rate_; }
+
+  /// Raw bytes/second a stream at this quality needs uncompressed.
+  double RawBytesPerSecond() const {
+    return static_cast<double>(width_) * height_ * (depth_bits_ / 8.0) *
+           rate_.ToDouble();
+  }
+
+  /// True when a value of data type `t` can be presented at this quality
+  /// without adding information: every stored dimension is >= the requested
+  /// one (scaling down is always possible; §4.1 notes scaling up "does not
+  /// add information").
+  bool SatisfiableBy(const MediaDataType& t) const;
+
+  /// True when this quality asks for no more than `other` in every
+  /// dimension (a partial order; used to pick the cheapest layer).
+  bool WeakerOrEqual(const VideoQuality& other) const;
+
+  /// "wxhxd@r".
+  std::string ToString() const;
+
+  friend bool operator==(const VideoQuality& a, const VideoQuality& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.depth_bits_ == b.depth_bits_ && a.rate_ == b.rate_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int depth_bits_ = 0;
+  Rational rate_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VideoQuality& q);
+
+/// §4.1: "An audio quality factor is a description such as voice-quality,
+/// FM-quality, or CD-quality."
+enum class AudioQuality {
+  kVoice,  ///< mono 8 kHz
+  kFm,     ///< stereo 22.05 kHz
+  kCd,     ///< stereo 44.1 kHz
+};
+
+std::string_view AudioQualityName(AudioQuality q);
+
+/// Parses "voice" / "FM" / "CD" (case-insensitive, optional "-quality").
+Result<AudioQuality> ParseAudioQuality(std::string_view text);
+
+/// Channel count the preset implies.
+int AudioQualityChannels(AudioQuality q);
+/// Sample rate the preset implies.
+Rational AudioQualitySampleRate(AudioQuality q);
+
+/// True when PCM of data type `t` can satisfy the preset.
+bool AudioQualitySatisfiableBy(AudioQuality q, const MediaDataType& t);
+
+/// Raw bytes/second of 16-bit PCM at the preset.
+double AudioQualityBytesPerSecond(AudioQuality q);
+
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_QUALITY_H_

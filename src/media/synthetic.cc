@@ -1,0 +1,150 @@
+#include "media/synthetic.h"
+
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace avdb {
+namespace synthetic {
+
+VideoFrame GeneratePatternFrame(int width, int height, int depth_bits,
+                                int64_t frame_index, VideoPattern pattern,
+                                uint64_t seed) {
+  VideoFrame frame(width, height, depth_bits);
+  const int bpp = frame.bytes_per_pixel();
+  switch (pattern) {
+    case VideoPattern::kMovingGradient: {
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          for (int c = 0; c < bpp; ++c) {
+            const int v =
+                (x + y + static_cast<int>(frame_index) * (3 + c)) & 0xFF;
+            frame.Set(x, y, static_cast<uint8_t>(v), c);
+          }
+        }
+      }
+      break;
+    }
+    case VideoPattern::kCheckerboard: {
+      const int phase = static_cast<int>(frame_index) % 16;
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          const bool on = (((x + phase) / 8) + (y / 8)) % 2 == 0;
+          for (int c = 0; c < bpp; ++c) {
+            frame.Set(x, y, on ? 230 : 25, c);
+          }
+        }
+      }
+      break;
+    }
+    case VideoPattern::kNoise: {
+      Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(frame_index));
+      for (auto& b : frame.data()) b = static_cast<uint8_t>(rng.NextU64());
+      break;
+    }
+    case VideoPattern::kMovingBox: {
+      // Textured static background.
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          for (int c = 0; c < bpp; ++c) {
+            frame.Set(x, y, static_cast<uint8_t>(64 + ((x * 7 + y * 3) & 31)),
+                      c);
+          }
+        }
+      }
+      // Bright box orbiting the frame.
+      const int bw = std::max(4, width / 8);
+      const int bh = std::max(4, height / 8);
+      const int span_x = std::max(1, width - bw);
+      const int span_y = std::max(1, height - bh);
+      const int bx = static_cast<int>((frame_index * 5) % span_x);
+      const int by = static_cast<int>((frame_index * 3) % span_y);
+      for (int y = by; y < by + bh && y < height; ++y) {
+        for (int x = bx; x < bx + bw && x < width; ++x) {
+          for (int c = 0; c < bpp; ++c) frame.Set(x, y, 250, c);
+        }
+      }
+      break;
+    }
+  }
+  return frame;
+}
+
+Result<std::shared_ptr<RawVideoValue>> GenerateVideo(MediaDataType type,
+                                                     int64_t frame_count,
+                                                     VideoPattern pattern,
+                                                     uint64_t seed) {
+  auto value = RawVideoValue::Create(type);
+  if (!value.ok()) return value.status();
+  for (int64_t i = 0; i < frame_count; ++i) {
+    AVDB_RETURN_IF_ERROR(value.value()->AppendFrame(
+        GeneratePatternFrame(type.width(), type.height(), type.depth_bits(),
+                             i, pattern, seed)));
+  }
+  return value;
+}
+
+Result<std::shared_ptr<RawAudioValue>> GenerateAudio(MediaDataType type,
+                                                     int64_t sample_count,
+                                                     AudioPattern pattern,
+                                                     uint64_t seed) {
+  auto value = RawAudioValue::Create(type);
+  if (!value.ok()) return value.status();
+  const int channels = type.channels();
+  const double rate = type.element_rate().ToDouble();
+  AudioBlock block(channels, static_cast<int>(sample_count));
+  Rng rng(seed);
+  double lowpass = 0.0;
+  for (int64_t i = 0; i < sample_count; ++i) {
+    const double t = static_cast<double>(i) / rate;
+    for (int c = 0; c < channels; ++c) {
+      const double phase = c * 0.1;  // decorrelate channels slightly
+      double sample = 0.0;
+      switch (pattern) {
+        case AudioPattern::kTone:
+          sample = 0.6 * std::sin(2.0 * M_PI * 440.0 * t + phase);
+          break;
+        case AudioPattern::kChirp: {
+          const double f = 200.0 + 1800.0 * t;  // rising sweep
+          sample = 0.6 * std::sin(2.0 * M_PI * f * t + phase);
+          break;
+        }
+        case AudioPattern::kSpeechLike: {
+          // 4 Hz syllable envelope over low-passed noise.
+          if (c == 0) {
+            const double noise = rng.NextDouble() * 2.0 - 1.0;
+            lowpass += 0.2 * (noise - lowpass);
+          }
+          const double envelope =
+              0.5 * (1.0 + std::sin(2.0 * M_PI * 4.0 * t + phase));
+          sample = 0.8 * envelope * lowpass;
+          break;
+        }
+        case AudioPattern::kSilence:
+          sample = 0.0;
+          break;
+      }
+      block.Set(static_cast<int>(i), c,
+                static_cast<int16_t>(sample * 32000.0));
+    }
+  }
+  AVDB_RETURN_IF_ERROR(value.value()->Append(block));
+  return value;
+}
+
+Result<std::shared_ptr<TextStreamValue>> GenerateSubtitles(
+    MediaDataType type, int caption_count, int64_t hold, int64_t gap,
+    const std::string& prefix) {
+  auto value = TextStreamValue::Create(type);
+  if (!value.ok()) return value.status();
+  int64_t at = 0;
+  for (int i = 0; i < caption_count; ++i) {
+    AVDB_RETURN_IF_ERROR(value.value()->AppendSpan(
+        at, hold, prefix + " " + std::to_string(i + 1)));
+    at += hold + gap;
+  }
+  return value;
+}
+
+}  // namespace synthetic
+}  // namespace avdb

@@ -1,0 +1,70 @@
+#ifndef AVDB_MEDIA_SYNTHETIC_H_
+#define AVDB_MEDIA_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+
+#include "media/audio_value.h"
+#include "media/text_stream_value.h"
+#include "media/video_value.h"
+
+namespace avdb {
+
+/// Deterministic synthetic content generators. These stand in for the
+/// paper's newscast / promotional footage (see DESIGN.md §5): content is
+/// only a carrier for the data model, and synthetic frames make codec and
+/// synchronization behaviour exactly reproducible. All generators are pure
+/// functions of their parameters and `seed`.
+namespace synthetic {
+
+/// Visual texture of generated video.
+enum class VideoPattern {
+  kMovingGradient,   ///< Smooth diagonal gradient drifting per frame —
+                     ///< compresses well, exercises DC-heavy paths.
+  kCheckerboard,     ///< Phase-shifting checkerboard — hard edges.
+  kNoise,            ///< Seeded per-pixel noise — worst case for codecs.
+  kMovingBox,        ///< Static background with a moving bright box —
+                     ///< favourable to inter/delta codecs.
+};
+
+/// Generates `frame_count` frames of `pattern` at the geometry/rate of
+/// `type` (must be raw video).
+Result<std::shared_ptr<RawVideoValue>> GenerateVideo(MediaDataType type,
+                                                     int64_t frame_count,
+                                                     VideoPattern pattern,
+                                                     uint64_t seed = 1);
+
+/// One frame of `pattern` at time index `frame_index` (what GenerateVideo
+/// produces at that index) — used by live-source activities (cameras).
+VideoFrame GeneratePatternFrame(int width, int height, int depth_bits,
+                                int64_t frame_index, VideoPattern pattern,
+                                uint64_t seed = 1);
+
+/// Audible texture of generated audio.
+enum class AudioPattern {
+  kTone,          ///< Fixed 440 Hz sine.
+  kChirp,         ///< Rising sweep 200 Hz -> 2 kHz.
+  kSpeechLike,    ///< Amplitude-modulated band-limited noise, speech-ish
+                  ///< envelope — exercises ADPCM adaptation.
+  kSilence,
+};
+
+/// Generates `sample_count` sample frames of `pattern` at the channel
+/// count/rate of `type` (must be raw audio). Stereo channels are decorrelated
+/// by a small phase offset.
+Result<std::shared_ptr<RawAudioValue>> GenerateAudio(MediaDataType type,
+                                                     int64_t sample_count,
+                                                     AudioPattern pattern,
+                                                     uint64_t seed = 1);
+
+/// Generates a subtitle track: `caption_count` captions, each `hold`
+/// elements long with `gap` elements between, texts "<prefix> 1"... at the
+/// rate of `type` (must be text).
+Result<std::shared_ptr<TextStreamValue>> GenerateSubtitles(
+    MediaDataType type, int caption_count, int64_t hold, int64_t gap,
+    const std::string& prefix);
+
+}  // namespace synthetic
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_SYNTHETIC_H_

@@ -1,0 +1,51 @@
+#include "media/text_stream_value.h"
+
+namespace avdb {
+
+Result<std::shared_ptr<TextStreamValue>> TextStreamValue::Create(
+    MediaDataType type) {
+  if (type.kind() != MediaKind::kText) {
+    return Status::InvalidArgument("TextStreamValue requires a text type");
+  }
+  if (!(type.element_rate() > Rational(0))) {
+    return Status::InvalidArgument("text stream needs a positive rate");
+  }
+  return std::shared_ptr<TextStreamValue>(
+      new TextStreamValue(std::move(type)));
+}
+
+Status TextStreamValue::AppendSpan(int64_t first_element,
+                                   int64_t element_count, std::string text) {
+  if (first_element < 0 || element_count <= 0) {
+    return Status::InvalidArgument("span must have positive extent");
+  }
+  if (!spans_.empty()) {
+    const TextSpan& last = spans_.back();
+    if (first_element < last.first_element + last.element_count) {
+      return Status::InvalidArgument(
+          "spans must be appended in order without overlap");
+    }
+  }
+  spans_.push_back({first_element, element_count, std::move(text)});
+  element_count_ =
+      std::max(element_count_, first_element + element_count);
+  return Status::OK();
+}
+
+std::string TextStreamValue::TextAtElement(int64_t element) const {
+  for (const auto& s : spans_) {
+    if (element >= s.first_element &&
+        element < s.first_element + s.element_count) {
+      return s.text;
+    }
+  }
+  return "";
+}
+
+Result<std::string> TextStreamValue::TextAt(WorldTime t) const {
+  auto o = WorldToObject(t);
+  if (!o.ok()) return o.status();
+  return TextAtElement(o.value().ticks());
+}
+
+}  // namespace avdb

@@ -1,0 +1,57 @@
+#ifndef AVDB_MEDIA_TEXT_STREAM_VALUE_H_
+#define AVDB_MEDIA_TEXT_STREAM_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "media/media_value.h"
+
+namespace avdb {
+
+/// One timed caption: text shown from element `first_element` for
+/// `element_count` elements of the stream's own clock.
+struct TextSpan {
+  int64_t first_element;
+  int64_t element_count;
+  std::string text;
+};
+
+/// Timed text — the paper's `TextStreamValue` used for the Newscast
+/// `subtitleTrack` (§4.1). Elements tick at the stream's element rate
+/// (conventionally the video frame rate so subtitles cut on frames);
+/// each element maps to at most one visible span.
+class TextStreamValue final : public MediaValue {
+ public:
+  /// Creates an empty stream ticking at `type.element_rate()`; `type` must
+  /// be a text type with positive rate.
+  static Result<std::shared_ptr<TextStreamValue>> Create(MediaDataType type);
+
+  int64_t ElementCount() const override { return element_count_; }
+
+  /// Appends a span; spans must be non-overlapping and appended in order
+  /// (InvalidArgument otherwise).
+  Status AppendSpan(int64_t first_element, int64_t element_count,
+                    std::string text);
+
+  /// Text visible at element `element`, or "" when none.
+  std::string TextAtElement(int64_t element) const;
+
+  /// Text visible at world instant `t` (through the temporal transform).
+  Result<std::string> TextAt(WorldTime t) const;
+
+  const std::vector<TextSpan>& spans() const { return spans_; }
+
+ private:
+  explicit TextStreamValue(MediaDataType type)
+      : MediaValue(std::move(type)) {}
+
+  std::vector<TextSpan> spans_;
+  int64_t element_count_ = 0;
+};
+
+using TextStreamValuePtr = std::shared_ptr<TextStreamValue>;
+
+}  // namespace avdb
+
+#endif  // AVDB_MEDIA_TEXT_STREAM_VALUE_H_

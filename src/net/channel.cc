@@ -1,0 +1,71 @@
+#include "net/channel.h"
+
+#include "base/logging.h"
+
+namespace avdb {
+
+Channel::Profile Channel::Profile::Ethernet10() {
+  Profile p;
+  p.model = "ethernet-10mbps";
+  p.bandwidth_bytes_per_sec = 10 * 1000 * 1000 / 8;
+  p.propagation_delay_ns = 2 * 1000 * 1000;  // 2 ms campus RTT share
+  return p;
+}
+
+Channel::Profile Channel::Profile::Atm155() {
+  Profile p;
+  p.model = "atm-155mbps";
+  p.bandwidth_bytes_per_sec = 155LL * 1000 * 1000 / 8;
+  p.propagation_delay_ns = 1 * 1000 * 1000;
+  return p;
+}
+
+Channel::Profile Channel::Profile::T1() {
+  Profile p;
+  p.model = "t1-1.5mbps";
+  p.bandwidth_bytes_per_sec = 1544 * 1000 / 8;
+  p.propagation_delay_ns = 8 * 1000 * 1000;
+  return p;
+}
+
+Channel::Channel(std::string name, Profile profile)
+    : name_(std::move(name)), profile_(profile), link_(name_ + ".link") {
+  AVDB_CHECK(profile_.bandwidth_bytes_per_sec > 0)
+      << "channel needs positive bandwidth";
+}
+
+Result<int64_t> Channel::ReserveBandwidth(int64_t bytes_per_sec) {
+  if (bytes_per_sec <= 0) {
+    return Status::InvalidArgument("reservation must be positive");
+  }
+  if (bytes_per_sec > AvailableBandwidth()) {
+    return Status::ResourceExhausted(
+        "channel " + name_ + " has " + std::to_string(AvailableBandwidth()) +
+        " B/s unreserved, need " + std::to_string(bytes_per_sec));
+  }
+  reserved_bytes_per_sec_ += bytes_per_sec;
+  return bytes_per_sec;
+}
+
+void Channel::ReleaseBandwidth(int64_t bytes_per_sec) {
+  reserved_bytes_per_sec_ -= bytes_per_sec;
+  if (reserved_bytes_per_sec_ < 0) reserved_bytes_per_sec_ = 0;
+}
+
+int64_t Channel::SerializationNs(int64_t bytes) const {
+  return bytes * 1000000000LL / profile_.bandwidth_bytes_per_sec;
+}
+
+int64_t Channel::Transfer(int64_t request_ns, int64_t bytes) {
+  const int64_t done = link_.Submit(request_ns, SerializationNs(bytes));
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  return done + profile_.propagation_delay_ns;
+}
+
+int64_t Channel::PeekTransfer(int64_t request_ns, int64_t bytes) const {
+  return link_.PeekCompletion(request_ns, SerializationNs(bytes)) +
+         profile_.propagation_delay_ns;
+}
+
+}  // namespace avdb

@@ -1,0 +1,77 @@
+#ifndef AVDB_NET_CHANNEL_H_
+#define AVDB_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+#include "sched/service_queue.h"
+
+namespace avdb {
+
+/// A simulated network channel between the database site and a client —
+/// stand-in for the paper's broadband ISDN / ATM links (DESIGN.md §5).
+/// Bandwidth is reservable (§4.3: "this statement would fail if
+/// insufficient network bandwidth were available") and transfers serialize
+/// on the link, so an unreserved second stream visibly degrades both.
+class Channel {
+ public:
+  struct Profile {
+    std::string model;
+    int64_t bandwidth_bytes_per_sec = 0;
+    int64_t propagation_delay_ns = 0;
+
+    /// 10 Mb/s shared LAN (≈1.25 MB/s), campus latency.
+    static Profile Ethernet10();
+    /// 155 Mb/s ATM / B-ISDN class link.
+    static Profile Atm155();
+    /// 1.5 Mb/s T1 tail circuit.
+    static Profile T1();
+  };
+
+  Channel(std::string name, Profile profile);
+
+  const std::string& name() const { return name_; }
+  const Profile& profile() const { return profile_; }
+
+  /// Reserves `bytes_per_sec` of the link for a stream; ResourceExhausted
+  /// when the remaining unreserved bandwidth is insufficient.
+  Result<int64_t> ReserveBandwidth(int64_t bytes_per_sec);
+  /// Releases a prior reservation amount.
+  void ReleaseBandwidth(int64_t bytes_per_sec);
+  int64_t ReservedBandwidth() const { return reserved_bytes_per_sec_; }
+  int64_t AvailableBandwidth() const {
+    return profile_.bandwidth_bytes_per_sec - reserved_bytes_per_sec_;
+  }
+
+  /// Models sending `bytes` at `request_ns`: serializes on the link at full
+  /// line rate, then adds propagation delay. Returns delivery time.
+  int64_t Transfer(int64_t request_ns, int64_t bytes);
+
+  /// Delivery time a transfer would get without submitting it.
+  int64_t PeekTransfer(int64_t request_ns, int64_t bytes) const;
+
+  /// Seconds per byte at line rate (for cost estimation).
+  int64_t SerializationNs(int64_t bytes) const;
+
+  struct Stats {
+    int64_t transfers = 0;
+    int64_t bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const ServiceQueue& queue() const { return link_; }
+
+ private:
+  std::string name_;
+  Profile profile_;
+  int64_t reserved_bytes_per_sec_ = 0;
+  ServiceQueue link_;
+  Stats stats_;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+}  // namespace avdb
+
+#endif  // AVDB_NET_CHANNEL_H_

@@ -1,0 +1,82 @@
+#include "sched/admission.h"
+
+namespace avdb {
+
+Status AdmissionController::RegisterPool(const std::string& name,
+                                         double capacity) {
+  if (capacity < 0) {
+    return Status::InvalidArgument("pool capacity must be >= 0: " + name);
+  }
+  if (pools_.count(name) > 0) {
+    return Status::AlreadyExists("pool exists: " + name);
+  }
+  pools_[name] = Pool{capacity, 0};
+  return Status::OK();
+}
+
+bool AdmissionController::HasPool(const std::string& name) const {
+  return pools_.count(name) > 0;
+}
+
+Result<double> AdmissionController::Capacity(const std::string& name) const {
+  auto it = pools_.find(name);
+  if (it == pools_.end()) return Status::NotFound("pool: " + name);
+  return it->second.capacity;
+}
+
+Result<double> AdmissionController::Available(const std::string& name) const {
+  auto it = pools_.find(name);
+  if (it == pools_.end()) return Status::NotFound("pool: " + name);
+  return it->second.capacity - it->second.used;
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(
+    const std::vector<ResourceDemand>& demands) {
+  // Validate first so failure reserves nothing.
+  // Demands on the same pool are summed.
+  std::map<std::string, double> totals;
+  for (const auto& d : demands) {
+    if (d.amount < 0) {
+      return Status::InvalidArgument("negative demand on pool " + d.pool);
+    }
+    totals[d.pool] += d.amount;
+  }
+  for (const auto& [pool_name, amount] : totals) {
+    auto it = pools_.find(pool_name);
+    if (it == pools_.end()) {
+      return Status::NotFound("pool: " + pool_name);
+    }
+    // Small epsilon tolerance so rate arithmetic at the boundary admits.
+    if (it->second.used + amount > it->second.capacity * (1 + 1e-9)) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "pool " + pool_name + " has " +
+          std::to_string(it->second.capacity - it->second.used) + " of " +
+          std::to_string(amount) + " required");
+    }
+  }
+  for (const auto& [pool_name, amount] : totals) {
+    pools_[pool_name].used += amount;
+  }
+  AdmissionTicket ticket;
+  ticket.active_ = true;
+  ticket.id_ = next_ticket_id_++;
+  ticket.demands_ = demands;
+  ++stats_.admitted;
+  return ticket;
+}
+
+void AdmissionController::Release(AdmissionTicket* ticket) {
+  if (ticket == nullptr || !ticket->active_) return;
+  for (const auto& d : ticket->demands_) {
+    auto it = pools_.find(d.pool);
+    if (it != pools_.end()) {
+      it->second.used -= d.amount;
+      if (it->second.used < 0) it->second.used = 0;
+    }
+  }
+  ticket->active_ = false;
+  ticket->demands_.clear();
+}
+
+}  // namespace avdb

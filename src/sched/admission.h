@@ -1,0 +1,81 @@
+#ifndef AVDB_SCHED_ADMISSION_H_
+#define AVDB_SCHED_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace avdb {
+
+/// One resource demand inside an admission request: `amount` units from the
+/// pool named `pool` (e.g. {"disk0.bandwidth", 1.2e6} bytes/s).
+struct ResourceDemand {
+  std::string pool;
+  double amount = 0;
+};
+
+/// A granted admission: releasing it returns every reserved amount. Value
+/// type; movable, not copyable (a ticket is a capability).
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+
+  bool IsActive() const { return active_; }
+  int64_t id() const { return id_; }
+  const std::vector<ResourceDemand>& demands() const { return demands_; }
+
+ private:
+  friend class AdmissionController;
+  bool active_ = false;
+  int64_t id_ = 0;
+  std::vector<ResourceDemand> demands_;
+};
+
+/// §3.3 "scheduling — should allow application involvement": resource
+/// pre-allocation with all-or-nothing semantics. Pools model disk
+/// bandwidth, network bandwidth, buffer memory, decoder cycles, and
+/// exclusive devices (capacity 1). A stream is only started after its whole
+/// demand vector is admitted; requests that would oversubscribe any pool
+/// fail with ResourceExhausted *before* any resource is tied up — the
+/// failure mode the paper's §4.3 pseudo-code attributes to statements 1-3.
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+
+  /// Defines a pool with the given capacity (AlreadyExists on collision).
+  Status RegisterPool(const std::string& name, double capacity);
+
+  bool HasPool(const std::string& name) const;
+  Result<double> Capacity(const std::string& name) const;
+  Result<double> Available(const std::string& name) const;
+
+  /// Atomically reserves every demand (all-or-nothing). On any shortfall
+  /// nothing is reserved and the status names the limiting pool.
+  Result<AdmissionTicket> Admit(const std::vector<ResourceDemand>& demands);
+
+  /// Returns a ticket's reservations to their pools; idempotent.
+  void Release(AdmissionTicket* ticket);
+
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t rejected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pool {
+    double capacity = 0;
+    double used = 0;
+  };
+
+  std::map<std::string, Pool> pools_;
+  int64_t next_ticket_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_SCHED_ADMISSION_H_

@@ -1,0 +1,39 @@
+#include "sched/event_engine.h"
+
+namespace avdb {
+
+void EventEngine::ScheduleAt(int64_t t_ns, Callback cb) {
+  if (t_ns < now_ns()) t_ns = now_ns();
+  queue_.push(Event{t_ns, next_seq_++, std::move(cb)});
+}
+
+bool EventEngine::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out, so
+  // copy the POD fields first and const_cast the callback (safe: the event
+  // is popped immediately after).
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.AdvanceTo(event.time_ns);
+  ++events_run_;
+  event.cb();
+  return true;
+}
+
+int64_t EventEngine::RunUntilIdle(int64_t max_events) {
+  int64_t run = 0;
+  while (run < max_events && RunOne()) ++run;
+  return run;
+}
+
+int64_t EventEngine::RunUntil(int64_t t_ns) {
+  int64_t run = 0;
+  while (!queue_.empty() && queue_.top().time_ns <= t_ns) {
+    RunOne();
+    ++run;
+  }
+  if (t_ns > clock_.now_ns()) clock_.AdvanceTo(t_ns);
+  return run;
+}
+
+}  // namespace avdb

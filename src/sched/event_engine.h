@@ -1,0 +1,84 @@
+#ifndef AVDB_SCHED_EVENT_ENGINE_H_
+#define AVDB_SCHED_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "time/virtual_clock.h"
+#include "time/world_time.h"
+
+namespace avdb {
+
+/// Deterministic discrete-event engine over a VirtualClock. Everything
+/// temporal in the system — stream ticks, device completions, network
+/// deliveries, resynchronization checks — is an event here. Ties on the
+/// timestamp are broken by insertion order, so runs are exactly
+/// reproducible (hour-long media simulates in milliseconds; see DESIGN.md
+/// §5 on time scaling).
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  EventEngine() = default;
+
+  EventEngine(const EventEngine&) = delete;
+  EventEngine& operator=(const EventEngine&) = delete;
+
+  VirtualClock& clock() { return clock_; }
+  int64_t now_ns() const { return clock_.now_ns(); }
+  WorldTime Now() const { return clock_.Now(); }
+
+  /// Schedules `cb` at absolute virtual time `t_ns`; times before "now" are
+  /// clamped to now (the event still runs, immediately next).
+  void ScheduleAt(int64_t t_ns, Callback cb);
+  void ScheduleAt(WorldTime t, Callback cb) {
+    ScheduleAt(VirtualClock::ToNs(t), std::move(cb));
+  }
+
+  /// Schedules `cb` `delta_ns` from now (negative clamps to now).
+  void ScheduleAfter(int64_t delta_ns, Callback cb) {
+    ScheduleAt(now_ns() + (delta_ns < 0 ? 0 : delta_ns), std::move(cb));
+  }
+  void ScheduleAfter(WorldTime delta, Callback cb) {
+    ScheduleAfter(VirtualClock::ToNs(delta), std::move(cb));
+  }
+
+  /// Runs the earliest event (advancing the clock to it). False when empty.
+  bool RunOne();
+
+  /// Runs events until the queue is empty or `max_events` executed.
+  /// Returns the number of events run.
+  int64_t RunUntilIdle(int64_t max_events = 100000000);
+
+  /// Runs all events with timestamps <= `t_ns`, then advances the clock to
+  /// `t_ns` (if it is in the future).
+  int64_t RunUntil(int64_t t_ns);
+  int64_t RunUntil(WorldTime t) { return RunUntil(VirtualClock::ToNs(t)); }
+
+  size_t PendingEvents() const { return queue_.size(); }
+  int64_t EventsRun() const { return events_run_; }
+
+ private:
+  struct Event {
+    int64_t time_ns;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  VirtualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t next_seq_ = 0;
+  int64_t events_run_ = 0;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_SCHED_EVENT_ENGINE_H_

@@ -1,0 +1,18 @@
+#include "sched/jitter.h"
+
+namespace avdb {
+
+int64_t JitterModel::Sample() {
+  double delay = static_cast<double>(params_.mean_ns);
+  if (params_.stddev_ns > 0) {
+    delay += rng_.NextGaussian() * static_cast<double>(params_.stddev_ns);
+  }
+  if (params_.spike_probability > 0 &&
+      rng_.NextBool(params_.spike_probability)) {
+    delay += static_cast<double>(params_.spike_ns);
+  }
+  if (delay < 0) delay = 0;
+  return static_cast<int64_t>(delay);
+}
+
+}  // namespace avdb

@@ -1,0 +1,25 @@
+#include "sched/service_queue.h"
+
+#include <algorithm>
+
+namespace avdb {
+
+int64_t ServiceQueue::Submit(int64_t request_ns, int64_t service_ns) {
+  if (service_ns < 0) service_ns = 0;
+  const int64_t start = std::max(request_ns, free_at_ns_);
+  const int64_t queued = start - request_ns;
+  free_at_ns_ = start + service_ns;
+  ++stats_.requests;
+  stats_.busy_ns += service_ns;
+  stats_.queued_ns += queued;
+  stats_.max_queue_ns = std::max(stats_.max_queue_ns, queued);
+  return free_at_ns_;
+}
+
+int64_t ServiceQueue::PeekCompletion(int64_t request_ns,
+                                     int64_t service_ns) const {
+  if (service_ns < 0) service_ns = 0;
+  return std::max(request_ns, free_at_ns_) + service_ns;
+}
+
+}  // namespace avdb

@@ -1,0 +1,67 @@
+#ifndef AVDB_SCHED_STREAM_STATS_H_
+#define AVDB_SCHED_STREAM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace avdb {
+
+/// Per-stream presentation quality record kept by sink activities: how many
+/// elements arrived, how late, how many missed their deadline outright, and
+/// how long the stream took to start. These are the numbers the benchmark
+/// harness reports for every figure experiment.
+struct StreamStats {
+  int64_t elements_presented = 0;
+  int64_t elements_skipped = 0;
+  int64_t late_elements = 0;      ///< arrived after their ideal time
+  int64_t deadline_misses = 0;    ///< later than the miss threshold
+  int64_t total_lateness_ns = 0;  ///< summed positive lateness
+  int64_t max_lateness_ns = 0;
+  int64_t first_element_ns = -1;  ///< virtual time of first presentation
+  int64_t last_element_ns = -1;
+  int64_t bytes_delivered = 0;
+
+  /// Threshold beyond which a late element counts as a deadline miss.
+  static constexpr int64_t kMissThresholdNs = 50 * 1000 * 1000;  // 50 ms
+
+  /// Records one presentation (`lateness_ns` < 0 means early/on time).
+  void Record(int64_t now_ns, int64_t lateness_ns, int64_t bytes) {
+    ++elements_presented;
+    if (first_element_ns < 0) first_element_ns = now_ns;
+    last_element_ns = now_ns;
+    bytes_delivered += bytes;
+    if (lateness_ns > 0) {
+      ++late_elements;
+      total_lateness_ns += lateness_ns;
+      max_lateness_ns = std::max(max_lateness_ns, lateness_ns);
+      if (lateness_ns > kMissThresholdNs) ++deadline_misses;
+    }
+  }
+
+  double MeanLatenessMs() const {
+    return elements_presented == 0
+               ? 0.0
+               : static_cast<double>(total_lateness_ns) / elements_presented /
+                     1e6;
+  }
+
+  double MissRate() const {
+    const int64_t total = elements_presented + elements_skipped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(deadline_misses) / total;
+  }
+
+  /// Achieved element rate over the active span, elements/second.
+  double AchievedRate() const {
+    if (elements_presented < 2 || last_element_ns <= first_element_ns) {
+      return 0.0;
+    }
+    return static_cast<double>(elements_presented - 1) * 1e9 /
+           static_cast<double>(last_element_ns - first_element_ns);
+  }
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_SCHED_STREAM_STATS_H_

@@ -1,0 +1,92 @@
+#include "sched/sync_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avdb {
+
+Status SyncController::AddTrack(const std::string& track, bool master) {
+  if (tracks_.count(track) > 0) {
+    return Status::AlreadyExists("sync track exists: " + track);
+  }
+  TrackState state;
+  state.master = master || tracks_.empty();
+  if (master) {
+    // Demote any previous master.
+    for (auto& [name, s] : tracks_) s.master = false;
+  }
+  tracks_[track] = state;
+  return Status::OK();
+}
+
+const SyncController::TrackState* SyncController::Master() const {
+  for (const auto& [name, s] : tracks_) {
+    if (s.master) return &s;
+  }
+  return nullptr;
+}
+
+Status SyncController::Report(const std::string& track, int64_t ideal_ns,
+                              int64_t actual_ns) {
+  auto it = tracks_.find(track);
+  if (it == tracks_.end()) return Status::NotFound("sync track: " + track);
+  const double sample = static_cast<double>(actual_ns - ideal_ns);
+  TrackState& s = it->second;
+  if (!s.have_drift) {
+    s.drift_ns = sample;
+    s.have_drift = true;
+  } else {
+    s.drift_ns += params_.drift_alpha * (sample - s.drift_ns);
+  }
+  ++stats_.reports;
+  stats_.max_observed_skew_ns =
+      std::max(stats_.max_observed_skew_ns, CurrentMaxSkewNs());
+  return Status::OK();
+}
+
+Result<int64_t> SyncController::RecommendSkip(const std::string& track,
+                                              int64_t element_period_ns) {
+  auto it = tracks_.find(track);
+  if (it == tracks_.end()) return Status::NotFound("sync track: " + track);
+  if (element_period_ns <= 0) {
+    return Status::InvalidArgument("element period must be positive");
+  }
+  const TrackState& s = it->second;
+  if (s.master || !s.have_drift) return int64_t{0};
+  const TrackState* master = Master();
+  if (master == nullptr || !master->have_drift) return int64_t{0};
+  const double excess = s.drift_ns - master->drift_ns;
+  if (excess <= static_cast<double>(params_.skew_threshold_ns)) {
+    return int64_t{0};
+  }
+  const int64_t skip = static_cast<int64_t>(
+      std::ceil(excess / static_cast<double>(element_period_ns)));
+  ++stats_.resyncs;
+  stats_.elements_skipped += skip;
+  // Skipping advances the track by skip periods; reflect that in drift so
+  // the recommendation is not repeated before new reports arrive.
+  it->second.drift_ns -= static_cast<double>(skip * element_period_ns);
+  return skip;
+}
+
+Result<int64_t> SyncController::DriftNs(const std::string& track) const {
+  auto it = tracks_.find(track);
+  if (it == tracks_.end()) return Status::NotFound("sync track: " + track);
+  return static_cast<int64_t>(it->second.drift_ns);
+}
+
+int64_t SyncController::CurrentMaxSkewNs() const {
+  int64_t max_skew = 0;
+  for (auto i = tracks_.begin(); i != tracks_.end(); ++i) {
+    if (!i->second.have_drift) continue;
+    for (auto j = std::next(i); j != tracks_.end(); ++j) {
+      if (!j->second.have_drift) continue;
+      const int64_t skew = static_cast<int64_t>(
+          std::abs(i->second.drift_ns - j->second.drift_ns));
+      max_skew = std::max(max_skew, skew);
+    }
+  }
+  return max_skew;
+}
+
+}  // namespace avdb

@@ -1,0 +1,169 @@
+#include "storage/block_device.h"
+
+#include "base/logging.h"
+
+namespace avdb {
+
+DeviceProfile DeviceProfile::MagneticDisk() {
+  DeviceProfile p;
+  p.model = "magnetic-disk-1993";
+  p.capacity_bytes = 1000LL * 1024 * 1024;  // ~1 GB
+  p.transfer_bytes_per_sec = 3500 * 1024;   // 3.5 MB/s
+  p.seek_time = WorldTime::FromMillis(12);
+  p.rotational_latency = WorldTime::FromMillis(6);
+  p.exchange_time = WorldTime();
+  p.disc_count = 1;
+  p.exclusive = false;
+  return p;
+}
+
+DeviceProfile DeviceProfile::CdRom() {
+  DeviceProfile p;
+  p.model = "cdrom-2x";
+  p.capacity_bytes = 650LL * 1024 * 1024;
+  p.transfer_bytes_per_sec = 300 * 1024;  // 2x speed
+  p.seek_time = WorldTime::FromMillis(200);
+  p.rotational_latency = WorldTime::FromMillis(60);
+  p.exchange_time = WorldTime();
+  p.disc_count = 1;
+  p.exclusive = false;
+  return p;
+}
+
+DeviceProfile DeviceProfile::VideodiscJukebox() {
+  DeviceProfile p;
+  p.model = "videodisc-jukebox";
+  p.capacity_bytes = 50LL * 1024 * 1024 * 1024;  // 50 GB across discs
+  p.transfer_bytes_per_sec = 4000 * 1024;        // real-time analog video
+  p.seek_time = WorldTime::FromMillis(500);      // track search
+  p.rotational_latency = WorldTime::FromMillis(20);
+  p.exchange_time = WorldTime::FromSeconds(6);   // robot disc swap
+  p.disc_count = 100;
+  p.exclusive = true;  // one playback arm
+  return p;
+}
+
+DeviceProfile DeviceProfile::RamDisk() {
+  DeviceProfile p;
+  p.model = "ram-disk";
+  p.capacity_bytes = 64LL * 1024 * 1024;
+  p.transfer_bytes_per_sec = 40LL * 1024 * 1024;
+  p.seek_time = WorldTime();
+  p.rotational_latency = WorldTime();
+  p.exchange_time = WorldTime();
+  p.disc_count = 1;
+  p.exclusive = false;
+  return p;
+}
+
+BlockDevice::BlockDevice(std::string name, DeviceProfile profile)
+    : name_(std::move(name)), profile_(std::move(profile)) {
+  AVDB_CHECK(profile_.disc_count >= 1) << "device needs at least one disc";
+  AVDB_CHECK(profile_.transfer_bytes_per_sec > 0)
+      << "device needs positive transfer rate";
+  discs_.resize(static_cast<size_t>(profile_.disc_count));
+}
+
+WorldTime BlockDevice::PositionCost(int disc, int64_t offset) const {
+  WorldTime cost;
+  if (disc != current_disc_) {
+    cost += profile_.exchange_time;
+    cost += profile_.seek_time + profile_.rotational_latency;
+  } else if (offset != head_position_) {
+    cost += profile_.seek_time + profile_.rotational_latency;
+  }
+  return cost;
+}
+
+WorldTime BlockDevice::Position(int disc, int64_t offset, bool count_stats) {
+  const WorldTime cost = PositionCost(disc, offset);
+  if (count_stats) {
+    if (disc != current_disc_) {
+      ++stats_.disc_exchanges;
+      ++stats_.seeks;
+    } else if (offset != head_position_) {
+      ++stats_.seeks;
+    }
+  }
+  current_disc_ = disc;
+  head_position_ = offset;
+  return cost;
+}
+
+WorldTime BlockDevice::SequentialReadTime(int64_t length) const {
+  return WorldTime(Rational(length, profile_.transfer_bytes_per_sec));
+}
+
+Result<WorldTime> BlockDevice::Write(int disc, int64_t offset,
+                                     const Buffer& data) {
+  if (disc < 0 || disc >= profile_.disc_count) {
+    return Status::InvalidArgument("bad disc index on " + name_);
+  }
+  const int64_t end = offset + static_cast<int64_t>(data.size());
+  if (offset < 0 || end > profile_.capacity_bytes) {
+    return Status::InvalidArgument("write beyond capacity on " + name_);
+  }
+  auto& disc_bytes = discs_[static_cast<size_t>(disc)];
+  if (static_cast<int64_t>(disc_bytes.size()) < end) {
+    disc_bytes.resize(static_cast<size_t>(end), 0);
+  }
+  std::copy(data.data(), data.data() + data.size(),
+            disc_bytes.begin() + offset);
+
+  WorldTime cost = Position(disc, offset, /*count_stats=*/true);
+  cost += SequentialReadTime(static_cast<int64_t>(data.size()));
+  head_position_ = end;
+  ++stats_.writes;
+  stats_.bytes_written += static_cast<int64_t>(data.size());
+  stats_.busy_time += cost;
+  return cost;
+}
+
+Result<WorldTime> BlockDevice::Read(int disc, int64_t offset, int64_t length,
+                                    Buffer* out) {
+  if (disc < 0 || disc >= profile_.disc_count) {
+    return Status::InvalidArgument("bad disc index on " + name_);
+  }
+  if (offset < 0 || length < 0) {
+    return Status::InvalidArgument("bad read range on " + name_);
+  }
+  const auto& disc_bytes = discs_[static_cast<size_t>(disc)];
+  if (offset + length > static_cast<int64_t>(disc_bytes.size())) {
+    return Status::InvalidArgument("read past written extent on " + name_);
+  }
+  out->Clear();
+  out->AppendBytes(disc_bytes.data() + offset, static_cast<size_t>(length));
+
+  WorldTime cost = Position(disc, offset, /*count_stats=*/true);
+  cost += SequentialReadTime(length);
+  head_position_ = offset + length;
+  ++stats_.reads;
+  stats_.bytes_read += length;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+WorldTime BlockDevice::CostOfRead(int disc, int64_t offset,
+                                  int64_t length) const {
+  return PositionCost(disc, offset) + SequentialReadTime(length);
+}
+
+void BlockDevice::ResetHead() {
+  current_disc_ = 0;
+  head_position_ = 0;
+}
+
+Status BlockDevice::ReserveCapacity(int64_t bytes) {
+  if (used_bytes_ + bytes > profile_.capacity_bytes) {
+    return Status::ResourceExhausted("device " + name_ + " full");
+  }
+  used_bytes_ += bytes;
+  return Status::OK();
+}
+
+void BlockDevice::ReleaseCapacity(int64_t bytes) {
+  used_bytes_ -= bytes;
+  if (used_bytes_ < 0) used_bytes_ = 0;
+}
+
+}  // namespace avdb

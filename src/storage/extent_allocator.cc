@@ -1,0 +1,107 @@
+#include "storage/extent_allocator.h"
+
+#include <algorithm>
+
+namespace avdb {
+
+ExtentAllocator::ExtentAllocator(int disc, int64_t capacity)
+    : disc_(disc), capacity_(capacity) {
+  if (capacity > 0) free_list_.push_back({0, capacity});
+}
+
+int64_t ExtentAllocator::FreeBytes() const {
+  int64_t total = 0;
+  for (const auto& h : free_list_) total += h.length;
+  return total;
+}
+
+int64_t ExtentAllocator::LargestFreeExtent() const {
+  int64_t best = 0;
+  for (const auto& h : free_list_) best = std::max(best, h.length);
+  return best;
+}
+
+Result<Extent> ExtentAllocator::AllocateContiguous(int64_t bytes) {
+  if (bytes <= 0) return Status::InvalidArgument("allocation must be > 0");
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i].length >= bytes) {
+      Extent e{disc_, free_list_[i].offset, bytes};
+      free_list_[i].offset += bytes;
+      free_list_[i].length -= bytes;
+      if (free_list_[i].length == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<int64_t>(i));
+      }
+      return e;
+    }
+  }
+  return Status::ResourceExhausted("no contiguous hole of " +
+                                   std::to_string(bytes) + " bytes");
+}
+
+Result<std::vector<Extent>> ExtentAllocator::Allocate(int64_t bytes) {
+  if (bytes <= 0) return Status::InvalidArgument("allocation must be > 0");
+  if (FreeBytes() < bytes) {
+    return Status::ResourceExhausted("disc full");
+  }
+  // Prefer one contiguous extent.
+  auto contiguous = AllocateContiguous(bytes);
+  if (contiguous.ok()) {
+    return std::vector<Extent>{contiguous.value()};
+  }
+  // Fall back to first-fit over fragments.
+  std::vector<Extent> extents;
+  int64_t remaining = bytes;
+  while (remaining > 0) {
+    // free_list_ is non-empty because FreeBytes() >= remaining.
+    Hole& h = free_list_.front();
+    const int64_t take = std::min(remaining, h.length);
+    extents.push_back({disc_, h.offset, take});
+    h.offset += take;
+    h.length -= take;
+    if (h.length == 0) free_list_.erase(free_list_.begin());
+    remaining -= take;
+  }
+  return extents;
+}
+
+Status ExtentAllocator::Free(const Extent& extent) {
+  if (extent.disc != disc_) {
+    return Status::InvalidArgument("extent belongs to another disc");
+  }
+  if (extent.offset < 0 || extent.length <= 0 ||
+      extent.offset + extent.length > capacity_) {
+    return Status::InvalidArgument("extent out of bounds");
+  }
+  // Find insertion point; reject overlap with existing holes (double free).
+  auto it = std::lower_bound(
+      free_list_.begin(), free_list_.end(), extent.offset,
+      [](const Hole& h, int64_t off) { return h.offset < off; });
+  if (it != free_list_.end() && extent.offset + extent.length > it->offset) {
+    return Status::InvalidArgument("double free (overlaps following hole)");
+  }
+  if (it != free_list_.begin()) {
+    auto prev = it - 1;
+    if (prev->offset + prev->length > extent.offset) {
+      return Status::InvalidArgument("double free (overlaps preceding hole)");
+    }
+  }
+  Hole inserted{extent.offset, extent.length};
+  it = free_list_.insert(it, inserted);
+  // Coalesce with following hole.
+  if (it + 1 != free_list_.end() &&
+      it->offset + it->length == (it + 1)->offset) {
+    it->length += (it + 1)->length;
+    free_list_.erase(it + 1);
+  }
+  // Coalesce with preceding hole.
+  if (it != free_list_.begin()) {
+    auto prev = it - 1;
+    if (prev->offset + prev->length == it->offset) {
+      prev->length += it->length;
+      free_list_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace avdb

@@ -1,0 +1,190 @@
+#include "storage/media_store.h"
+
+#include <algorithm>
+
+namespace avdb {
+
+MediaStore::MediaStore(BlockDevicePtr device,
+                       std::shared_ptr<BufferCache> cache)
+    : device_(std::move(device)), cache_(std::move(cache)) {
+  for (int d = 0; d < device_->profile().disc_count; ++d) {
+    allocators_.push_back(
+        std::make_unique<ExtentAllocator>(d, device_->capacity()));
+  }
+}
+
+Result<WorldTime> MediaStore::Put(const std::string& name,
+                                  const Buffer& data) {
+  if (directory_.count(name) > 0) {
+    return Status::AlreadyExists("blob exists: " + name);
+  }
+  if (data.empty()) return Status::InvalidArgument("empty blob: " + name);
+  AVDB_RETURN_IF_ERROR(
+      device_->ReserveCapacity(static_cast<int64_t>(data.size())));
+
+  // Place on the disc with the largest contiguous hole.
+  int best_disc = -1;
+  int64_t best_hole = -1;
+  for (size_t d = 0; d < allocators_.size(); ++d) {
+    const int64_t hole = allocators_[d]->LargestFreeExtent();
+    if (hole > best_hole) {
+      best_hole = hole;
+      best_disc = static_cast<int>(d);
+    }
+  }
+  auto extents =
+      allocators_[static_cast<size_t>(best_disc)]->Allocate(
+          static_cast<int64_t>(data.size()));
+  if (!extents.ok()) {
+    device_->ReleaseCapacity(static_cast<int64_t>(data.size()));
+    return extents.status();
+  }
+
+  StoredBlob blob;
+  blob.name = name;
+  blob.size_bytes = static_cast<int64_t>(data.size());
+  blob.checksum = data.Hash64();
+  blob.extents = extents.value();
+
+  WorldTime total;
+  int64_t written = 0;
+  for (const Extent& e : blob.extents) {
+    Buffer piece;
+    piece.AppendBytes(data.data() + written, static_cast<size_t>(e.length));
+    auto cost = device_->Write(e.disc, e.offset, piece);
+    if (!cost.ok()) return cost.status();
+    total += cost.value();
+    written += e.length;
+  }
+  directory_[name] = std::move(blob);
+  return total;
+}
+
+Result<MediaStore::ReadResult> MediaStore::Get(const std::string& name) {
+  auto blob = Lookup(name);
+  if (!blob.ok()) return blob.status();
+  // Whole-blob fetches are bulk operations (loads, copies); they bypass the
+  // page cache so they neither pollute it nor pre-warm streaming reads.
+  auto result =
+      ReadRangeUncached(*blob.value(), 0, blob.value()->size_bytes);
+  if (!result.ok()) return result.status();
+  if (result.value().data.Hash64() != blob.value()->checksum) {
+    return Status::DataLoss("checksum mismatch reading blob: " + name);
+  }
+  return result;
+}
+
+Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
+    const StoredBlob& blob, int64_t offset, int64_t length) {
+  ReadResult out;
+  int64_t skipped = 0;   // bytes of blob before the current extent
+  int64_t remaining = length;
+  for (const Extent& e : blob.extents) {
+    if (remaining <= 0) break;
+    const int64_t ext_start = skipped;
+    const int64_t ext_end = skipped + e.length;
+    skipped = ext_end;
+    const int64_t want_start = std::max(offset, ext_start);
+    const int64_t want_end = std::min(offset + length, ext_end);
+    if (want_start >= want_end) continue;
+    Buffer piece;
+    auto cost = device_->Read(e.disc, e.offset + (want_start - ext_start),
+                              want_end - want_start, &piece);
+    if (!cost.ok()) return cost.status();
+    out.duration += cost.value();
+    out.data.AppendBuffer(piece);
+    remaining -= want_end - want_start;
+  }
+  return out;
+}
+
+Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
+                                                     int64_t offset,
+                                                     int64_t length) {
+  auto blob = Lookup(name);
+  if (!blob.ok()) return blob.status();
+  if (offset < 0 || length < 0 ||
+      offset + length > blob.value()->size_bytes) {
+    return Status::InvalidArgument("read range out of blob bounds: " + name);
+  }
+  if (length == 0) return ReadResult{};
+  if (cache_ == nullptr) {
+    return ReadRangeUncached(*blob.value(), offset, length);
+  }
+  // Page-granular caching: assemble the range from cache pages, fetching
+  // missing pages from the device.
+  ReadResult out;
+  const int64_t first_page = offset / kCachePageBytes;
+  const int64_t last_page = (offset + length - 1) / kCachePageBytes;
+  for (int64_t page = first_page; page <= last_page; ++page) {
+    const std::string key =
+        device_->name() + "/" + name + "#" + std::to_string(page);
+    const Buffer* cached = cache_->Get(key);
+    Buffer page_data;
+    if (cached != nullptr) {
+      page_data = *cached;
+    } else {
+      const int64_t page_start = page * kCachePageBytes;
+      const int64_t page_len =
+          std::min(kCachePageBytes, blob.value()->size_bytes - page_start);
+      auto fetched = ReadRangeUncached(*blob.value(), page_start, page_len);
+      if (!fetched.ok()) return fetched.status();
+      out.duration += fetched.value().duration;
+      page_data = std::move(fetched.value().data);
+      cache_->Put(key, page_data);
+    }
+    // Copy the requested slice of this page.
+    const int64_t page_start = page * kCachePageBytes;
+    const int64_t slice_start = std::max(offset, page_start);
+    const int64_t slice_end =
+        std::min(offset + length,
+                 page_start + static_cast<int64_t>(page_data.size()));
+    out.data.AppendBytes(page_data.data() + (slice_start - page_start),
+                         static_cast<size_t>(slice_end - slice_start));
+  }
+  return out;
+}
+
+Status MediaStore::Delete(const std::string& name) {
+  auto it = directory_.find(name);
+  if (it == directory_.end()) return Status::NotFound("blob: " + name);
+  for (const Extent& e : it->second.extents) {
+    AVDB_RETURN_IF_ERROR(
+        allocators_[static_cast<size_t>(e.disc)]->Free(e));
+  }
+  device_->ReleaseCapacity(it->second.size_bytes);
+  if (cache_ != nullptr) {
+    const int64_t pages =
+        (it->second.size_bytes + kCachePageBytes - 1) / kCachePageBytes;
+    for (int64_t p = 0; p < pages; ++p) {
+      cache_->Erase(device_->name() + "/" + name + "#" + std::to_string(p));
+    }
+  }
+  directory_.erase(it);
+  return Status::OK();
+}
+
+bool MediaStore::Contains(const std::string& name) const {
+  return directory_.count(name) > 0;
+}
+
+Result<const StoredBlob*> MediaStore::Lookup(const std::string& name) const {
+  auto it = directory_.find(name);
+  if (it == directory_.end()) return Status::NotFound("blob: " + name);
+  return &it->second;
+}
+
+std::vector<std::string> MediaStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(directory_.size());
+  for (const auto& [name, blob] : directory_) names.push_back(name);
+  return names;
+}
+
+int64_t MediaStore::TotalStoredBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, blob] : directory_) total += blob.size_bytes;
+  return total;
+}
+
+}  // namespace avdb

@@ -1,0 +1,83 @@
+#ifndef AVDB_STORAGE_MEDIA_STORE_H_
+#define AVDB_STORAGE_MEDIA_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/buffer.h"
+#include "base/result.h"
+#include "storage/block_device.h"
+#include "storage/buffer_cache.h"
+#include "storage/extent_allocator.h"
+
+namespace avdb {
+
+/// Directory entry of one stored blob (a serialized media value or any
+/// other byte object) on a device.
+struct StoredBlob {
+  std::string name;
+  int64_t size_bytes = 0;
+  uint64_t checksum = 0;
+  std::vector<Extent> extents;
+};
+
+/// Blob store over one BlockDevice: extent allocation, a write/read path
+/// that charges modeled device time, optional read caching, and checksum
+/// verification on full reads. One MediaStore per device; cross-device
+/// placement lives in DeviceManager.
+class MediaStore {
+ public:
+  /// `cache` may be nullptr (no caching). The cache is shared with the
+  /// caller so multiple stores can draw on one buffer-memory budget.
+  MediaStore(BlockDevicePtr device, std::shared_ptr<BufferCache> cache);
+
+  const BlockDevice& device() const { return *device_; }
+  BlockDevice& device() { return *device_; }
+
+  /// Stores `data` under `name` (AlreadyExists if taken). Returns the
+  /// modeled write duration.
+  Result<WorldTime> Put(const std::string& name, const Buffer& data);
+
+  /// Reads the whole blob, verifying its checksum (DataLoss on mismatch).
+  /// Returns the data and the modeled read duration.
+  struct ReadResult {
+    Buffer data;
+    WorldTime duration;
+  };
+  Result<ReadResult> Get(const std::string& name);
+
+  /// Reads `[offset, offset+length)` of the blob — the streaming fetch path.
+  /// Cached ranges cost zero device time.
+  Result<ReadResult> ReadRange(const std::string& name, int64_t offset,
+                               int64_t length);
+
+  /// Removes the blob and frees its extents.
+  Status Delete(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  Result<const StoredBlob*> Lookup(const std::string& name) const;
+  std::vector<std::string> List() const;
+
+  int64_t TotalStoredBytes() const;
+
+  /// Granularity of cached streaming reads; also the fetch granularity the
+  /// admission controller assumes when costing seeks.
+  static constexpr int64_t kCachePageBytes = 64 * 1024;
+
+ private:
+
+  /// Uncached read of a blob byte range straight from the device.
+  Result<ReadResult> ReadRangeUncached(const StoredBlob& blob, int64_t offset,
+                                       int64_t length);
+
+  BlockDevicePtr device_;
+  std::shared_ptr<BufferCache> cache_;
+  std::vector<std::unique_ptr<ExtentAllocator>> allocators_;  // per disc
+  std::map<std::string, StoredBlob> directory_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_STORAGE_MEDIA_STORE_H_

@@ -1,0 +1,37 @@
+#ifndef AVDB_STORAGE_VALUE_SERIALIZER_H_
+#define AVDB_STORAGE_VALUE_SERIALIZER_H_
+
+#include <memory>
+
+#include "base/buffer.h"
+#include "base/result.h"
+#include "media/audio_value.h"
+#include "media/media_value.h"
+#include "media/text_stream_value.h"
+#include "media/video_value.h"
+
+namespace avdb {
+
+/// Serialization of media values to/from device blobs. Encoded video/audio
+/// round-trip their bitstreams verbatim; raw values store their samples.
+/// The first byte of every blob is a kind tag so `Deserialize` can restore
+/// the right concrete class — applications still only see `MediaValue`.
+namespace value_serializer {
+
+/// Serializes any supported media value (raw/encoded video, raw/encoded
+/// audio, text stream). Unimplemented for other kinds.
+Result<Buffer> Serialize(const MediaValue& value);
+
+/// Restores a value from a blob written by `Serialize`. Encoded values are
+/// reattached to their codec via the default registry.
+Result<MediaValuePtr> Deserialize(const Buffer& blob);
+
+/// Convenience casts with type checking.
+Result<VideoValuePtr> DeserializeVideo(const Buffer& blob);
+Result<AudioValuePtr> DeserializeAudio(const Buffer& blob);
+Result<TextStreamValuePtr> DeserializeText(const Buffer& blob);
+
+}  // namespace value_serializer
+}  // namespace avdb
+
+#endif  // AVDB_STORAGE_VALUE_SERIALIZER_H_

@@ -1,0 +1,82 @@
+#include "time/interval.h"
+
+namespace avdb {
+
+std::string_view AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "unknown";
+}
+
+std::optional<Interval> Interval::Intersect(const Interval& other) const {
+  const WorldTime s = start_ > other.start_ ? start_ : other.start_;
+  const WorldTime e = end_ < other.end_ ? end_ : other.end_;
+  if (!(s < e)) return std::nullopt;
+  return FromEndpoints(s, e);
+}
+
+Interval Interval::Span(const Interval& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  const WorldTime s = start_ < other.start_ ? start_ : other.start_;
+  const WorldTime e = end_ > other.end_ ? end_ : other.end_;
+  return FromEndpoints(s, e);
+}
+
+AllenRelation Interval::RelationTo(const Interval& other) const {
+  if (end_ < other.start_) return AllenRelation::kBefore;
+  if (end_ == other.start_) return AllenRelation::kMeets;
+  if (other.end_ < start_) return AllenRelation::kAfter;
+  if (other.end_ == start_) return AllenRelation::kMetBy;
+  if (start_ == other.start_ && end_ == other.end_)
+    return AllenRelation::kEquals;
+  if (start_ == other.start_) {
+    return end_ < other.end_ ? AllenRelation::kStarts
+                             : AllenRelation::kStartedBy;
+  }
+  if (end_ == other.end_) {
+    return start_ > other.start_ ? AllenRelation::kFinishes
+                                 : AllenRelation::kFinishedBy;
+  }
+  if (start_ > other.start_ && end_ < other.end_) return AllenRelation::kDuring;
+  if (start_ < other.start_ && end_ > other.end_)
+    return AllenRelation::kContains;
+  return start_ < other.start_ ? AllenRelation::kOverlaps
+                               : AllenRelation::kOverlappedBy;
+}
+
+std::string Interval::ToString() const {
+  return "[" + start_.ToString() + ", " + end_.ToString() + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+}  // namespace avdb

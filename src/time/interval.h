@@ -1,0 +1,97 @@
+#ifndef AVDB_TIME_INTERVAL_H_
+#define AVDB_TIME_INTERVAL_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "time/world_time.h"
+
+namespace avdb {
+
+/// The thirteen Allen relations between two intervals; the vocabulary used
+/// by temporal-composition queries ("which tracks overlap the video track?").
+enum class AllenRelation {
+  kBefore,
+  kMeets,
+  kOverlaps,
+  kStarts,
+  kDuring,
+  kFinishes,
+  kEquals,
+  kFinishedBy,
+  kContains,
+  kStartedBy,
+  kOverlappedBy,
+  kMetBy,
+  kAfter,
+};
+
+std::string_view AllenRelationName(AllenRelation r);
+
+/// Half-open interval [start, end) on the world-time axis. The building
+/// block of timelines (Fig. 1): each track of a temporal composite occupies
+/// one interval.
+class Interval {
+ public:
+  /// Empty interval at time zero.
+  Interval() = default;
+  /// [start, start+duration). Negative durations are clamped to empty.
+  Interval(WorldTime start, WorldTime duration)
+      : start_(start),
+        end_(duration.IsNegative() ? start : start + duration) {}
+
+  static Interval FromEndpoints(WorldTime start, WorldTime end) {
+    Interval iv;
+    iv.start_ = start;
+    iv.end_ = end < start ? start : end;
+    return iv;
+  }
+
+  WorldTime start() const { return start_; }
+  WorldTime end() const { return end_; }
+  WorldTime duration() const { return end_ - start_; }
+  bool IsEmpty() const { return !(start_ < end_); }
+
+  /// True when `t` lies inside [start, end).
+  bool Contains(WorldTime t) const { return start_ <= t && t < end_; }
+  /// True when `other` lies fully inside this interval.
+  bool Contains(const Interval& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+  /// True when the two intervals share at least one instant.
+  bool Overlaps(const Interval& other) const {
+    return start_ < other.end_ && other.start_ < end_;
+  }
+
+  /// Common sub-interval, or nullopt when disjoint.
+  std::optional<Interval> Intersect(const Interval& other) const;
+
+  /// Smallest interval covering both.
+  Interval Span(const Interval& other) const;
+
+  /// Interval shifted by `offset`.
+  Interval Translated(WorldTime offset) const {
+    return FromEndpoints(start_ + offset, end_ + offset);
+  }
+
+  /// Allen relation of `this` with respect to `other`. Both intervals must
+  /// be non-empty for the relations to be meaningful.
+  AllenRelation RelationTo(const Interval& other) const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.start_ == b.start_ && a.end_ == b.end_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  WorldTime start_;
+  WorldTime end_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace avdb
+
+#endif  // AVDB_TIME_INTERVAL_H_

@@ -1,0 +1,34 @@
+#include "time/temporal_transform.h"
+
+#include "base/logging.h"
+
+namespace avdb {
+
+TemporalTransform TemporalTransform::Then(const TemporalTransform& next) const {
+  // local2 = (local1 - t2) * s2, local1 = (w - t1) * s1
+  //        = (w - t1 - t2/s1) * s1 * s2
+  AVDB_CHECK(!scale_.IsZero()) << "composing with zero-scale transform";
+  const Rational scale = scale_ * next.scale_;
+  const WorldTime translate =
+      translate_ + WorldTime(next.translate().seconds() / scale_);
+  return TemporalTransform(scale, translate);
+}
+
+TemporalTransform TemporalTransform::Inverted() const {
+  AVDB_CHECK(!scale_.IsZero()) << "inverting zero-scale transform";
+  // w = local/s + t  =>  treat local as the new world axis:
+  // new_local = (w' - (-t*s)) * (1/s)
+  const Rational inv = scale_.Reciprocal();
+  const WorldTime new_translate = WorldTime(-(translate_.seconds() * scale_));
+  return TemporalTransform(inv, new_translate);
+}
+
+std::string TemporalTransform::ToString() const {
+  return "scale=" + scale_.ToString() + " translate=" + translate_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const TemporalTransform& t) {
+  return os << t.ToString();
+}
+
+}  // namespace avdb

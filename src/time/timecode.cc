@@ -1,0 +1,114 @@
+#include "time/timecode.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace avdb {
+
+namespace {
+// Drop-frame drops 2 frame numbers per minute except every 10th minute.
+// With fps==30 that is 2 frames; generalized as fps/15 per SMPTE 12M.
+int DroppedPerMinute(int fps) { return fps / 15; }
+}  // namespace
+
+Timecode Timecode::FromFrameNumber(int64_t frame_number, int fps,
+                                   bool drop_frame) {
+  AVDB_CHECK(fps > 0) << "timecode fps must be positive";
+  if (frame_number < 0) frame_number = 0;
+  return Timecode(frame_number, fps, drop_frame);
+}
+
+Rational Timecode::EffectiveRate() const {
+  if (drop_frame_) return Rational(fps_ * 1000, 1001);
+  return Rational(fps_);
+}
+
+WorldTime Timecode::ToWorldTime() const {
+  return WorldTime(Rational(frame_number_) / EffectiveRate());
+}
+
+Timecode::Fields Timecode::ToFields() const {
+  int64_t display = frame_number_;
+  if (drop_frame_) {
+    // Convert the linear frame count into the (gappy) display numbering.
+    const int drop = DroppedPerMinute(fps_);
+    const int64_t frames_per_min = 60LL * fps_ - drop;
+    const int64_t frames_per_10min = 10LL * frames_per_min + drop;
+    const int64_t d = frame_number_ / frames_per_10min;
+    int64_t m = frame_number_ % frames_per_10min;
+    if (m < fps_ * 60) {
+      // Within the first (non-dropping) minute of the 10-minute block.
+      display = frame_number_ + drop * 9 * d;
+    } else {
+      m -= fps_ * 60;
+      const int64_t extra_minutes = m / frames_per_min + 1;
+      display = frame_number_ + drop * 9 * d + drop * extra_minutes;
+    }
+  }
+  Fields f;
+  f.frames = static_cast<int>(display % fps_);
+  int64_t total_seconds = display / fps_;
+  f.seconds = static_cast<int>(total_seconds % 60);
+  int64_t total_minutes = total_seconds / 60;
+  f.minutes = static_cast<int>(total_minutes % 60);
+  f.hours = static_cast<int>(total_minutes / 60);
+  return f;
+}
+
+std::string Timecode::ToString() const {
+  const Fields f = ToFields();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d%c%02d", f.hours, f.minutes,
+                f.seconds, drop_frame_ ? ';' : ':', f.frames);
+  return buf;
+}
+
+Result<Timecode> Timecode::Parse(std::string_view text, int fps,
+                                 bool drop_frame) {
+  if (fps <= 0) return Status::InvalidArgument("timecode fps must be positive");
+  // Accept hh:mm:ss:ff and hh:mm:ss;ff. The final separator determines
+  // drop-frame if it is ';'.
+  std::string s(text);
+  char last_sep = ':';
+  const size_t semi = s.rfind(';');
+  if (semi != std::string::npos) {
+    last_sep = ';';
+    s[semi] = ':';
+  }
+  const bool df = drop_frame || last_sep == ';';
+  auto parts = StrSplit(s, ':');
+  if (parts.size() != 4) {
+    return Status::InvalidArgument("timecode must have 4 fields: " +
+                                   std::string(text));
+  }
+  int64_t vals[4];
+  for (int i = 0; i < 4; ++i) {
+    auto v = ParseInt64(parts[i]);
+    if (!v.ok()) return v.status();
+    vals[i] = v.value();
+  }
+  const int64_t hh = vals[0], mm = vals[1], ss = vals[2], ff = vals[3];
+  if (hh < 0 || mm < 0 || mm > 59 || ss < 0 || ss > 59 || ff < 0 || ff >= fps) {
+    return Status::InvalidArgument("timecode field out of range: " +
+                                   std::string(text));
+  }
+  if (df) {
+    const int drop = DroppedPerMinute(fps);
+    if (ss == 0 && ff < drop && mm % 10 != 0) {
+      return Status::InvalidArgument(
+          "drop-frame timecode names a dropped frame: " + std::string(text));
+    }
+    const int64_t total_minutes = hh * 60 + mm;
+    const int64_t dropped =
+        drop * (total_minutes - total_minutes / 10);
+    const int64_t frame =
+        ((hh * 3600 + mm * 60 + ss) * fps + ff) - dropped;
+    return Timecode(frame, fps, true);
+  }
+  const int64_t frame = (hh * 3600 + mm * 60 + ss) * fps + ff;
+  return Timecode(frame, fps, false);
+}
+
+}  // namespace avdb

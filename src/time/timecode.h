@@ -1,0 +1,77 @@
+#ifndef AVDB_TIME_TIMECODE_H_
+#define AVDB_TIME_TIMECODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/rational.h"
+#include "base/result.h"
+#include "time/world_time.h"
+
+namespace avdb {
+
+/// SMPTE-style video timecode `hh:mm:ss:ff`. The paper (§4.1) gives video
+/// timecode as the canonical object-time unit for video subclasses. Supports
+/// integer frame rates (24/25/30) and NTSC drop-frame (29.97, written
+/// `hh:mm:ss;ff`), where frame numbers 0 and 1 are skipped at the start of
+/// each minute not divisible by 10 to keep wall clock and timecode aligned.
+class Timecode {
+ public:
+  /// Zero timecode at 30 fps non-drop.
+  Timecode() : frame_number_(0), fps_(30), drop_frame_(false) {}
+
+  /// Frame `frame_number` counted from zero at `fps` frames/second.
+  static Timecode FromFrameNumber(int64_t frame_number, int fps,
+                                  bool drop_frame = false);
+
+  /// Parses "hh:mm:ss:ff" (or ";ff" for drop-frame). Validates field ranges
+  /// and, for drop-frame, rejects the dropped frame numbers.
+  static Result<Timecode> Parse(std::string_view text, int fps,
+                                bool drop_frame = false);
+
+  int64_t frame_number() const { return frame_number_; }
+  int fps() const { return fps_; }
+  bool drop_frame() const { return drop_frame_; }
+
+  /// Effective frame rate: fps for non-drop, fps·1000/1001 for drop-frame.
+  Rational EffectiveRate() const;
+
+  /// Elapsed world time of this frame's start.
+  WorldTime ToWorldTime() const;
+
+  /// Hours/minutes/seconds/frames fields as displayed.
+  struct Fields {
+    int hours;
+    int minutes;
+    int seconds;
+    int frames;
+  };
+  Fields ToFields() const;
+
+  /// "hh:mm:ss:ff" (non-drop) or "hh:mm:ss;ff" (drop-frame).
+  std::string ToString() const;
+
+  Timecode operator+(int64_t frames) const {
+    return FromFrameNumber(frame_number_ + frames, fps_, drop_frame_);
+  }
+  Timecode operator-(int64_t frames) const {
+    return FromFrameNumber(frame_number_ - frames, fps_, drop_frame_);
+  }
+
+  friend bool operator==(const Timecode& a, const Timecode& b) {
+    return a.frame_number_ == b.frame_number_ && a.fps_ == b.fps_ &&
+           a.drop_frame_ == b.drop_frame_;
+  }
+
+ private:
+  Timecode(int64_t frame_number, int fps, bool drop_frame)
+      : frame_number_(frame_number), fps_(fps), drop_frame_(drop_frame) {}
+
+  int64_t frame_number_;
+  int fps_;
+  bool drop_frame_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_TIME_TIMECODE_H_

@@ -1,0 +1,122 @@
+#include "time/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace avdb {
+
+const TimelineEntry* Timeline::Find(const std::string& track) const {
+  for (const auto& e : entries_) {
+    if (e.track == track) return &e;
+  }
+  return nullptr;
+}
+
+TimelineEntry* Timeline::Find(const std::string& track) {
+  for (auto& e : entries_) {
+    if (e.track == track) return &e;
+  }
+  return nullptr;
+}
+
+Status Timeline::AddTrack(const std::string& track, WorldTime start,
+                          WorldTime duration) {
+  if (Find(track) != nullptr) {
+    return Status::AlreadyExists("timeline track exists: " + track);
+  }
+  entries_.push_back({track, Interval(start, duration)});
+  return Status::OK();
+}
+
+Status Timeline::MoveTrack(const std::string& track, WorldTime start,
+                           WorldTime duration) {
+  TimelineEntry* e = Find(track);
+  if (e == nullptr) return Status::NotFound("timeline track: " + track);
+  e->interval = Interval(start, duration);
+  return Status::OK();
+}
+
+Status Timeline::RemoveTrack(const std::string& track) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->track == track) {
+      entries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("timeline track: " + track);
+}
+
+Result<Interval> Timeline::TrackInterval(const std::string& track) const {
+  const TimelineEntry* e = Find(track);
+  if (e == nullptr) return Status::NotFound("timeline track: " + track);
+  return e->interval;
+}
+
+bool Timeline::HasTrack(const std::string& track) const {
+  return Find(track) != nullptr;
+}
+
+std::vector<std::string> Timeline::ActiveAt(WorldTime t) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (e.interval.Contains(t)) out.push_back(e.track);
+  }
+  return out;
+}
+
+Interval Timeline::Span() const {
+  Interval span;
+  for (const auto& e : entries_) span = span.Span(e.interval);
+  return span;
+}
+
+bool Timeline::AllTracksOverlap() const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    for (size_t j = i + 1; j < entries_.size(); ++j) {
+      if (!entries_[i].interval.Overlaps(entries_[j].interval)) return false;
+    }
+  }
+  return true;
+}
+
+Result<AllenRelation> Timeline::Relation(const std::string& a,
+                                         const std::string& b) const {
+  const TimelineEntry* ea = Find(a);
+  if (ea == nullptr) return Status::NotFound("timeline track: " + a);
+  const TimelineEntry* eb = Find(b);
+  if (eb == nullptr) return Status::NotFound("timeline track: " + b);
+  return ea->interval.RelationTo(eb->interval);
+}
+
+std::string Timeline::Render(int columns) const {
+  if (entries_.empty()) return "(empty timeline)\n";
+  if (columns < 10) columns = 10;
+  const Interval span = Span();
+  const double t0 = span.start().ToSecondsF();
+  const double t1 = span.end().ToSecondsF();
+  const double width = t1 > t0 ? t1 - t0 : 1.0;
+
+  size_t name_width = 0;
+  for (const auto& e : entries_) name_width = std::max(name_width, e.track.size());
+
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << e.track << std::string(name_width - e.track.size(), ' ') << " |";
+    const double s = (e.interval.start().ToSecondsF() - t0) / width;
+    const double f = (e.interval.end().ToSecondsF() - t0) / width;
+    const int cs = static_cast<int>(s * columns + 0.5);
+    int cf = static_cast<int>(f * columns + 0.5);
+    if (cf <= cs) cf = cs + 1;
+    for (int c = 0; c < columns; ++c) {
+      os << (c >= cs && c < cf ? '=' : ' ');
+    }
+    os << "| " << e.interval.ToString() << "\n";
+  }
+  os << std::string(name_width, ' ') << "  t0=" << FormatDouble(t0, 3)
+     << "s  t1=" << FormatDouble(t1, 3) << "s\n";
+  return os.str();
+}
+
+}  // namespace avdb

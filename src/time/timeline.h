@@ -1,0 +1,78 @@
+#ifndef AVDB_TIME_TIMELINE_H_
+#define AVDB_TIME_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "time/interval.h"
+#include "time/world_time.h"
+
+namespace avdb {
+
+/// One track's placement on a timeline: the per-instance timing information
+/// of a temporal composite (Fig. 1 of the paper). `track` names an attribute
+/// of the composite ("videoTrack", "englishTrack", ...).
+struct TimelineEntry {
+  std::string track;
+  Interval interval;
+};
+
+/// Per-instance timeline of a temporal composite (the paper's Fig. 1
+/// "timeline diagram"). Maps each named track to the world-time interval
+/// during which it is presented. Track names are unique.
+class Timeline {
+ public:
+  Timeline() = default;
+
+  /// Adds a track placed at [start, start+duration). Fails with
+  /// AlreadyExists if the track name is taken.
+  Status AddTrack(const std::string& track, WorldTime start,
+                  WorldTime duration);
+
+  /// Replaces an existing track's interval (NotFound if absent).
+  Status MoveTrack(const std::string& track, WorldTime start,
+                   WorldTime duration);
+
+  /// Removes a track (NotFound if absent).
+  Status RemoveTrack(const std::string& track);
+
+  /// Interval of `track` (NotFound if absent).
+  Result<Interval> TrackInterval(const std::string& track) const;
+
+  bool HasTrack(const std::string& track) const;
+  size_t TrackCount() const { return entries_.size(); }
+  const std::vector<TimelineEntry>& entries() const { return entries_; }
+
+  /// Names of tracks active at world instant `t`, in insertion order.
+  std::vector<std::string> ActiveAt(WorldTime t) const;
+
+  /// Smallest interval covering every track (empty timeline -> empty span).
+  Interval Span() const;
+
+  /// Total presentation duration: Span().duration().
+  WorldTime Duration() const { return Span().duration(); }
+
+  /// True when every pair of tracks overlaps at least partly — useful as a
+  /// sanity check that a composite is actually temporally correlated.
+  bool AllTracksOverlap() const;
+
+  /// Relation between two named tracks (NotFound if either is absent).
+  Result<AllenRelation> Relation(const std::string& a,
+                                 const std::string& b) const;
+
+  /// ASCII rendering in the style of the paper's Fig. 1: one row per track,
+  /// with '=' marking the active span over a `columns`-wide ruler.
+  std::string Render(int columns = 60) const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+
+  const TimelineEntry* Find(const std::string& track) const;
+  TimelineEntry* Find(const std::string& track);
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_TIME_TIMELINE_H_

@@ -1,0 +1,46 @@
+#ifndef AVDB_TIME_VIRTUAL_CLOCK_H_
+#define AVDB_TIME_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+#include "base/logging.h"
+#include "base/rational.h"
+#include "time/world_time.h"
+
+namespace avdb {
+
+/// Simulation clock counting nanoseconds. All temporal behaviour in the
+/// library — device latencies, stream scheduling, jitter — runs against a
+/// VirtualClock owned by the discrete-event engine, never the host clock,
+/// so every run is deterministic and hour-long media fits in milliseconds
+/// of CPU.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  int64_t now_ns() const { return now_ns_; }
+
+  WorldTime Now() const { return WorldTime(Rational(now_ns_, 1000000000)); }
+
+  /// Advances the clock; time never moves backwards (checked).
+  void AdvanceTo(int64_t t_ns) {
+    AVDB_CHECK(t_ns >= now_ns_) << "virtual clock moved backwards";
+    now_ns_ = t_ns;
+  }
+  void AdvanceBy(int64_t delta_ns) {
+    AVDB_CHECK(delta_ns >= 0) << "negative clock advance";
+    now_ns_ += delta_ns;
+  }
+
+  /// Nanosecond tick of a world-time instant (rounded to nearest).
+  static int64_t ToNs(WorldTime t) {
+    return (t.seconds() * Rational(1000000000)).Rounded();
+  }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_TIME_VIRTUAL_CLOCK_H_

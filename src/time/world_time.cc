@@ -1,0 +1,19 @@
+#include "time/world_time.h"
+
+#include "base/strings.h"
+
+namespace avdb {
+
+std::string WorldTime::ToString() const {
+  return FormatDouble(ToSecondsF(), 3) + "s";
+}
+
+std::ostream& operator<<(std::ostream& os, WorldTime t) {
+  return os << t.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, ObjectTime t) {
+  return os << "@" << t.ticks();
+}
+
+}  // namespace avdb

@@ -1,0 +1,156 @@
+#include "vworld/activities.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace avdb {
+
+// --------------------------------------------------------------- MoveSource --
+
+MoveSource::MoveSource(const std::string& name, ActivityLocation location,
+                       ActivityEnv env, std::vector<Pose> waypoints,
+                       WorldTime duration, Rational rate)
+    : MediaActivity(name, location, env),
+      waypoints_(std::move(waypoints)),
+      duration_(duration),
+      rate_(rate) {
+  out_ = DeclarePort(kPortOut, PortDirection::kOut, MediaDataType::Text(rate));
+}
+
+std::shared_ptr<MoveSource> MoveSource::Create(const std::string& name,
+                                               ActivityLocation location,
+                                               ActivityEnv env,
+                                               std::vector<Pose> waypoints,
+                                               WorldTime duration,
+                                               Rational rate) {
+  AVDB_CHECK(waypoints.size() >= 2) << "path needs at least two waypoints";
+  AVDB_CHECK(rate > Rational(0)) << "pose rate must be positive";
+  return std::shared_ptr<MoveSource>(new MoveSource(
+      name, location, env, std::move(waypoints), duration, rate));
+}
+
+Pose MoveSource::PoseAt(double fraction) const {
+  if (fraction <= 0) return waypoints_.front();
+  if (fraction >= 1) return waypoints_.back();
+  const double scaled = fraction * (waypoints_.size() - 1);
+  const size_t segment = static_cast<size_t>(scaled);
+  const double t = scaled - segment;
+  const Pose& a = waypoints_[segment];
+  const Pose& b = waypoints_[segment + 1];
+  Pose pose;
+  pose.x = a.x + (b.x - a.x) * t;
+  pose.y = a.y + (b.y - a.y) * t;
+  // Shortest angular interpolation.
+  double da = b.angle - a.angle;
+  while (da > M_PI) da -= 2 * M_PI;
+  while (da < -M_PI) da += 2 * M_PI;
+  pose.angle = a.angle + da * t;
+  return pose;
+}
+
+Status MoveSource::OnStart() {
+  const int64_t start_ns = engine()->now_ns();
+  const int64_t gen = generation();
+  engine()->ScheduleAt(start_ns,
+                       [this, start_ns, gen] { Tick(0, start_ns, gen); });
+  return Status::OK();
+}
+
+void MoveSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
+  if (state() != State::kRunning || gen != generation()) return;
+  const int64_t period_ns = (Rational(1000000000) / rate_).Rounded();
+  const int64_t ideal = stream_start_ns + index * period_ns;
+  const int64_t total_ns = VirtualClock::ToNs(duration_);
+  if (index * period_ns > total_ns) {
+    Emit(out_, StreamElement::EndOfStream(index, ideal));
+    SelfStop();
+    return;
+  }
+  const double fraction =
+      total_ns == 0 ? 1.0
+                    : static_cast<double>(index * period_ns) / total_ns;
+  StreamElement element;
+  element.index = index;
+  element.ideal_time_ns = ideal;
+  element.text =
+      std::make_shared<const std::string>(PoseAt(fraction).Serialize());
+  element.size_bytes = static_cast<int64_t>(element.text->size());
+  Emit(out_, std::move(element));
+  engine()->ScheduleAt(ideal + period_ns,
+                       [this, next = index + 1, stream_start_ns, gen] {
+                         Tick(next, stream_start_ns, gen);
+                       });
+}
+
+// ----------------------------------------------------------- RenderActivity --
+
+RenderActivity::RenderActivity(const std::string& name,
+                               ActivityLocation location, ActivityEnv env,
+                               const Scene* scene, Raycaster::Options options,
+                               MediaDataType video_type, CostModel costs)
+    : MediaActivity(name, location, env),
+      raycaster_(scene, options),
+      costs_(costs),
+      render_unit_(name + ".unit"),
+      pose_(scene->DefaultPose()) {
+  pose_in_ = DeclarePort(kPortPose, PortDirection::kIn,
+                         MediaDataType::Text(Rational(30)));
+  video_in_ = DeclarePort(kPortVideo, PortDirection::kIn, video_type);
+  out_ = DeclarePort(kPortOut, PortDirection::kOut,
+                     MediaDataType::RawVideo(options.width, options.height, 8,
+                                             video_type.element_rate()));
+}
+
+std::shared_ptr<RenderActivity> RenderActivity::Create(
+    const std::string& name, ActivityLocation location, ActivityEnv env,
+    const Scene* scene, Raycaster::Options options, MediaDataType video_type,
+    CostModel costs) {
+  AVDB_CHECK(scene != nullptr) << "render needs a scene";
+  return std::shared_ptr<RenderActivity>(new RenderActivity(
+      name, location, env, scene, options, std::move(video_type), costs));
+}
+
+void RenderActivity::OnElement(Port* in, const StreamElement& element) {
+  if (in == pose_in_) {
+    if (element.end_of_stream || element.text == nullptr) return;
+    auto pose = Pose::Parse(*element.text);
+    if (pose.ok()) {
+      pose_ = pose.value();
+    } else {
+      AVDB_LOG(Warning) << name() << ": bad pose: " << pose.status();
+    }
+    return;
+  }
+  AVDB_DCHECK(in == video_in_);
+  if (element.end_of_stream) {
+    Emit(out_, element);
+    SelfStop();
+    return;
+  }
+  if (element.frame == nullptr) {
+    AVDB_LOG(Error) << name() << ": video element without frame";
+    return;
+  }
+  current_video_ = element.frame;
+  VideoFrame rendered = raycaster_.Render(pose_, current_video_.get());
+  const int64_t pixels = static_cast<int64_t>(raycaster_.options().width) *
+                         raycaster_.options().height;
+  const int64_t ready_ns =
+      render_unit_.Submit(engine()->now_ns(), costs_.RenderNs(pixels));
+  StreamElement out_element;
+  out_element.index = element.index;
+  out_element.ideal_time_ns = element.ideal_time_ns;
+  out_element.frame =
+      std::make_shared<const VideoFrame>(std::move(rendered));
+  out_element.size_bytes =
+      static_cast<int64_t>(out_element.frame->SizeBytes());
+  ++frames_rendered_;
+  engine()->ScheduleAt(ready_ns,
+                       [this, out_element = std::move(out_element)] {
+                         if (state() != State::kRunning) return;
+                         Emit(out_, out_element);
+                       });
+}
+
+}  // namespace avdb

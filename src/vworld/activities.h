@@ -1,0 +1,94 @@
+#ifndef AVDB_VWORLD_ACTIVITIES_H_
+#define AVDB_VWORLD_ACTIVITIES_H_
+
+#include <memory>
+#include <vector>
+
+#include "activity/cost_model.h"
+#include "activity/media_activity.h"
+#include "sched/service_queue.h"
+#include "vworld/raycaster.h"
+#include "vworld/scene.h"
+
+namespace avdb {
+
+/// Fig. 4's `move` activity: the user-driven navigation source. Emits the
+/// camera pose (serialized through a text-typed port "pose_out") at a fixed
+/// rate, interpolating along a scripted waypoint path — our deterministic
+/// stand-in for interactive input (DESIGN.md §5).
+class MoveSource : public MediaActivity {
+ public:
+  static constexpr const char* kPortOut = "pose_out";
+
+  /// Walks `waypoints` (at least 2) over `duration`, emitting poses at
+  /// `rate` per second.
+  static std::shared_ptr<MoveSource> Create(const std::string& name,
+                                            ActivityLocation location,
+                                            ActivityEnv env,
+                                            std::vector<Pose> waypoints,
+                                            WorldTime duration,
+                                            Rational rate);
+
+ protected:
+  Status OnStart() override;
+
+ private:
+  MoveSource(const std::string& name, ActivityLocation location,
+             ActivityEnv env, std::vector<Pose> waypoints, WorldTime duration,
+             Rational rate);
+
+  void Tick(int64_t index, int64_t stream_start_ns, int64_t gen);
+  Pose PoseAt(double fraction) const;
+
+  Port* out_;
+  std::vector<Pose> waypoints_;
+  WorldTime duration_;
+  Rational rate_;
+};
+
+/// Fig. 4's `render` activity: "processes two streams — one coming from
+/// the user driven activity, move, the other from a video source — and
+/// generates a stream of raster images." A transformer with ports
+/// "pose_in" (text), "video_in" (raw video) and "video_out" (raw video at
+/// the renderer's geometry). Emits one rendered frame per incoming video
+/// frame using the latest pose; rendering pays modeled time scaled by the
+/// host's CostModel — which is precisely what differs between the
+/// database-side and client-side placements of Fig. 4.
+class RenderActivity : public MediaActivity {
+ public:
+  static constexpr const char* kPortPose = "pose_in";
+  static constexpr const char* kPortVideo = "video_in";
+  static constexpr const char* kPortOut = "video_out";
+
+  /// `video_type` is the incoming wall-video type; output geometry comes
+  /// from `options`.
+  static std::shared_ptr<RenderActivity> Create(
+      const std::string& name, ActivityLocation location, ActivityEnv env,
+      const Scene* scene, Raycaster::Options options,
+      MediaDataType video_type, CostModel costs = {});
+
+  void OnElement(Port* in, const StreamElement& element) override;
+
+  int64_t frames_rendered() const { return frames_rendered_; }
+  const Pose& current_pose() const { return pose_; }
+
+ private:
+  RenderActivity(const std::string& name, ActivityLocation location,
+                 ActivityEnv env, const Scene* scene,
+                 Raycaster::Options options, MediaDataType video_type,
+                 CostModel costs);
+
+  Port* pose_in_;
+  Port* video_in_;
+  Port* out_;
+  Raycaster raycaster_;
+  CostModel costs_;
+  ServiceQueue render_unit_;
+  Pose pose_;
+  std::shared_ptr<const VideoFrame> current_video_;
+  int64_t frames_rendered_ = 0;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_VWORLD_ACTIVITIES_H_

@@ -1,0 +1,87 @@
+#include "vworld/scene.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace avdb {
+
+std::string Pose::Serialize() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.12g %.12g %.12g", x, y, angle);
+  return buf;
+}
+
+Result<Pose> Pose::Parse(const std::string& text) {
+  const auto parts = StrSplit(text, ' ');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("pose needs 'x y angle': " + text);
+  }
+  Pose pose;
+  auto x = ParseDouble(parts[0]);
+  if (!x.ok()) return x.status();
+  auto y = ParseDouble(parts[1]);
+  if (!y.ok()) return y.status();
+  auto angle = ParseDouble(parts[2]);
+  if (!angle.ok()) return angle.status();
+  pose.x = x.value();
+  pose.y = y.value();
+  pose.angle = angle.value();
+  return pose;
+}
+
+Scene::Scene(int width, int height)
+    : width_(width), height_(height),
+      cells_(static_cast<size_t>(width) * height, CellKind::kEmpty) {
+  for (int x = 0; x < width_; ++x) {
+    Set(x, 0, CellKind::kWall).ok();
+    Set(x, height_ - 1, CellKind::kWall).ok();
+  }
+  for (int y = 0; y < height_; ++y) {
+    Set(0, y, CellKind::kWall).ok();
+    Set(width_ - 1, y, CellKind::kWall).ok();
+  }
+}
+
+Scene Scene::MuseumRoom() {
+  Scene scene(16, 12);
+  // Two pillars.
+  scene.Set(5, 4, CellKind::kWall).ok();
+  scene.Set(5, 7, CellKind::kWall).ok();
+  scene.Set(10, 4, CellKind::kWall).ok();
+  scene.Set(10, 7, CellKind::kWall).ok();
+  // The video wall along the east side.
+  for (int y = 3; y <= 8; ++y) {
+    scene.Set(15, y, CellKind::kVideoWall).ok();
+  }
+  return scene;
+}
+
+CellKind Scene::At(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return CellKind::kWall;
+  return cells_[static_cast<size_t>(y) * width_ + x];
+}
+
+Status Scene::Set(int x, int y, CellKind kind) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    return Status::InvalidArgument("cell out of bounds");
+  }
+  cells_[static_cast<size_t>(y) * width_ + x] = kind;
+  return Status::OK();
+}
+
+bool Scene::IsSolid(double x, double y) const {
+  return At(static_cast<int>(std::floor(x)), static_cast<int>(std::floor(y))) !=
+         CellKind::kEmpty;
+}
+
+Pose Scene::DefaultPose() const {
+  Pose pose;
+  pose.x = 2.5;
+  pose.y = height_ / 2.0;
+  pose.angle = 0.0;
+  return pose;
+}
+
+}  // namespace avdb

@@ -1,0 +1,65 @@
+#ifndef AVDB_VWORLD_SCENE_H_
+#define AVDB_VWORLD_SCENE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace avdb {
+
+/// Camera pose in the virtual world: position on the 2D plan plus heading.
+struct Pose {
+  double x = 0;
+  double y = 0;
+  double angle = 0;  ///< radians, 0 = +x axis
+
+  /// Serialized as "x y angle" for transport through text-typed ports.
+  std::string Serialize() const;
+  static Result<Pose> Parse(const std::string& text);
+};
+
+/// Cell contents of the world grid.
+enum class CellKind : uint8_t {
+  kEmpty = 0,
+  kWall,        ///< solid wall, procedurally shaded
+  kVideoWall,   ///< wall whose surface shows the current video frame —
+                ///< §3.2: "the video material could be projected on a wall
+                ///< in the virtual world"
+};
+
+/// The virtual world of Scenario II: a grid-map 2.5D scene (the classic
+/// early-90s representation) in which some wall faces are video surfaces.
+/// Stand-in for the paper's "3D scenes / surface scan data" contents
+/// (DESIGN.md §5) — what matters to the experiment is that rendering
+/// consumes a pose stream and a video stream and produces a raster stream.
+class Scene {
+ public:
+  /// Builds an empty (all-walls-border) world of the given grid size.
+  Scene(int width, int height);
+
+  /// The demo museum room used by examples and benches: a rectangular
+  /// gallery with pillars and one video wall.
+  static Scene MuseumRoom();
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  CellKind At(int x, int y) const;
+  Status Set(int x, int y, CellKind kind);
+
+  /// True when (x, y) in continuous coordinates lies in a solid cell.
+  bool IsSolid(double x, double y) const;
+
+  /// A default camera start inside the room.
+  Pose DefaultPose() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<CellKind> cells_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_VWORLD_SCENE_H_

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/buffer.h"
+#include "base/rational.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace avdb {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::DataLoss("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_FALSE(StatusCodeName(static_cast<StatusCode>(c)).empty());
+  }
+}
+
+Status FailsThrough() {
+  AVDB_RETURN_IF_ERROR(Status::InvalidArgument("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> DoubleOrFail(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return v * 2;
+}
+
+Result<int> Chained(int v) {
+  AVDB_ASSIGN_OR_RETURN(int doubled, DoubleOrFail(v));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  auto r = Chained(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 11);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_EQ(Chained(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Result<std::vector<int>> MakeVector() {
+  return std::vector<int>{1, 2, 3};
+}
+
+TEST(ResultTest, RangeForOverTemporaryValueIsSafe) {
+  // Regression: `value() &&` returns by value so the range-for binding
+  // lifetime-extends the container; a reference return would dangle here.
+  int sum = 0;
+  for (int v : MakeVector().value()) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+// -------------------------------------------------------------- Rational --
+
+TEST(RationalTest, NormalizesToLowestTerms) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(RationalTest, NormalizesSign) {
+  Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(RationalTest, ZeroHasCanonicalForm) {
+  Rational r(0, 17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(RationalTest, NtscFrameTimesAccumulateExactly) {
+  // 30000 NTSC frame durations must sum to exactly 1001 seconds.
+  const Rational frame_duration(1001, 30000);
+  Rational total;
+  for (int i = 0; i < 30000; ++i) total += frame_duration;
+  EXPECT_EQ(total, Rational(1001));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(30000, 1001), Rational(29));
+}
+
+TEST(RationalTest, FloorCeilRound) {
+  EXPECT_EQ(Rational(7, 2).Floor(), 3);
+  EXPECT_EQ(Rational(7, 2).Ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).Rounded(), 4);  // half away from zero
+  EXPECT_EQ(Rational(-7, 2).Floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).Ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).Rounded(), -4);
+  EXPECT_EQ(Rational(5, 3).Rounded(), 2);
+  EXPECT_EQ(Rational(4, 3).Rounded(), 1);
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(5).ToString(), "5");
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, AddSubRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 100; ++i) {
+    const Rational a(rng.NextInRange(-1000, 1000), rng.NextInRange(1, 100));
+    const Rational b(rng.NextInRange(-1000, 1000), rng.NextInRange(1, 100));
+    EXPECT_EQ(a + b - b, a);
+    if (!b.IsZero()) EXPECT_EQ(a * b / b, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------- Buffer --
+
+TEST(BufferTest, AppendAndReadPrimitives) {
+  Buffer b;
+  b.AppendU8(0xAB);
+  b.AppendU16(0x1234);
+  b.AppendU32(0xDEADBEEF);
+  b.AppendU64(0x0123456789ABCDEFULL);
+  b.AppendI64(-42);
+  b.AppendF64(3.25);
+  b.AppendString("hello");
+
+  BufferReader r(b);
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU16().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_EQ(r.ReadF64().value(), 3.25);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, UnderrunReturnsDataLoss) {
+  Buffer b;
+  b.AppendU8(1);
+  BufferReader r(b);
+  EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BufferTest, StringUnderrunDetected) {
+  Buffer b;
+  b.AppendU32(100);  // declares 100 bytes, provides none
+  BufferReader r(b);
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BufferTest, HashDiffersOnContent) {
+  Buffer a;
+  a.AppendString("abc");
+  Buffer b;
+  b.AppendString("abd");
+  EXPECT_NE(a.Hash64(), b.Hash64());
+  Buffer c;
+  c.AppendString("abc");
+  EXPECT_EQ(a.Hash64(), c.Hash64());
+}
+
+TEST(BufferTest, SkipValidatesBounds) {
+  Buffer b(4);
+  BufferReader r(b);
+  EXPECT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(r.Skip(1).code(), StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, Split) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitEmptyInput) {
+  auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -17 ").value(), -17);
+  EXPECT_FALSE(ParseInt64("12abc").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("29.97").value(), 29.97);
+  EXPECT_FALSE(ParseDouble("x").ok());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("video/raw", "video"));
+  EXPECT_FALSE(StartsWith("vid", "video"));
+  EXPECT_TRUE(EndsWith("clip.mpg", ".mpg"));
+  EXPECT_FALSE(EndsWith("g", ".mpg"));
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(StringsTest, JoinAndLower) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(AsciiToLower("CD-Quality"), "cd-quality");
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,556 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "codec/audio_codec.h"
+#include "codec/bitio.h"
+#include "codec/block_transform.h"
+#include "codec/delta_codec.h"
+#include "codec/encoded_value.h"
+#include "codec/inter_codec.h"
+#include "codec/intra_codec.h"
+#include "codec/registry.h"
+#include "codec/scalable_codec.h"
+#include "media/synthetic.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::AudioPattern;
+using synthetic::GenerateAudio;
+using synthetic::GenerateVideo;
+using synthetic::VideoPattern;
+
+// ------------------------------------------------------------------ BitIO --
+
+TEST(BitIoTest, BitsRoundTrip) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.WriteBits(0xFFFF, 16);
+  w.WriteBits(0, 1);
+  w.WriteBits(0x12345, 20);
+  Buffer buf = w.Finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.ReadBits(3).value(), 0b101u);
+  EXPECT_EQ(r.ReadBits(16).value(), 0xFFFFu);
+  EXPECT_EQ(r.ReadBits(1).value(), 0u);
+  EXPECT_EQ(r.ReadBits(20).value(), 0x12345u);
+}
+
+TEST(BitIoTest, UnderrunIsDataLoss) {
+  BitWriter w;
+  w.WriteBits(1, 1);
+  Buffer buf = w.Finish();
+  BitReader r(buf);
+  ASSERT_TRUE(r.ReadBits(8).ok());  // padded byte
+  EXPECT_EQ(r.ReadBits(8).status().code(), StatusCode::kDataLoss);
+}
+
+class VarintPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintPropertyTest, SignedAndUnsignedRoundTrip) {
+  Rng rng(GetParam());
+  BitWriter w;
+  std::vector<uint64_t> unsigned_vals;
+  std::vector<int64_t> signed_vals;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t u = rng.NextU64() >> (rng.NextBelow(64));
+    const int64_t s = static_cast<int64_t>(rng.NextU64()) >>
+                      rng.NextBelow(63);
+    unsigned_vals.push_back(u);
+    signed_vals.push_back(s);
+    w.WriteVarint(u);
+    w.WriteSignedVarint(s);
+  }
+  Buffer buf = w.Finish();
+  BitReader r(buf);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.ReadVarint().value(), unsigned_vals[i]);
+    EXPECT_EQ(r.ReadSignedVarint().value(), signed_vals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintPropertyTest,
+                         ::testing::Values(100, 200, 300));
+
+// -------------------------------------------------------- BlockTransform --
+
+TEST(BlockTransformTest, DctInverseRecoversSpatial) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    block_transform::Block block;
+    for (auto& v : block) {
+      v = static_cast<int16_t>(rng.NextInRange(-128, 127));
+    }
+    const auto coeffs = block_transform::ForwardDct(block);
+    const auto back = block_transform::InverseDct(coeffs);
+    for (int i = 0; i < block_transform::kBlockArea; ++i) {
+      EXPECT_NEAR(back[i], block[i], 2) << "position " << i;
+    }
+  }
+}
+
+TEST(BlockTransformTest, QuantStepsDecreaseWithQuality) {
+  for (int i = 0; i < block_transform::kBlockArea; ++i) {
+    EXPECT_LE(block_transform::QuantStep(i, 90),
+              block_transform::QuantStep(i, 30));
+    EXPECT_GE(block_transform::QuantStep(i, 1), 1);
+  }
+  // Quality 100 is near-lossless: every step is 1 or 2.
+  for (int i = 0; i < block_transform::kBlockArea; ++i) {
+    EXPECT_LE(block_transform::QuantStep(i, 100), 2);
+  }
+}
+
+TEST(BlockTransformTest, PlaneRoundTripAtHighQuality) {
+  const int w = 20, h = 12;  // deliberately not multiples of 8
+  std::vector<int16_t> plane(w * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) plane[y * w + x] = static_cast<int16_t>((x * 9 + y * 5) % 200 - 100);
+  }
+  BitWriter writer;
+  block_transform::EncodePlane(plane, w, h, 100, &writer);
+  Buffer bits = writer.Finish();
+  BitReader reader(bits);
+  auto decoded = block_transform::DecodePlane(w, h, 100, &reader);
+  ASSERT_TRUE(decoded.ok());
+  double err = 0;
+  for (int i = 0; i < w * h; ++i) err += std::abs(decoded.value()[i] - plane[i]);
+  EXPECT_LT(err / (w * h), 3.0);
+}
+
+TEST(BlockTransformTest, TruncatedStreamFailsCleanly) {
+  std::vector<int16_t> plane(64, 50);
+  BitWriter writer;
+  block_transform::EncodePlane(plane, 8, 8, 75, &writer);
+  Buffer bits = writer.Finish();
+  Buffer truncated;
+  truncated.AppendBytes(bits.data(), bits.size() / 2);
+  BitReader reader(truncated);
+  auto decoded = block_transform::DecodePlane(8, 8, 75, &reader);
+  // Either decodes by luck of padding or fails with DataLoss — never crashes.
+  if (!decoded.ok()) {
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+// ------------------------------------------------------------ Video codecs --
+
+struct CodecCase {
+  EncodingFamily family;
+  VideoPattern pattern;
+  int depth_bits;
+};
+
+class VideoCodecRoundTripTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(VideoCodecRoundTripTest, EncodeDecodeWithinTolerance) {
+  const auto& c = GetParam();
+  const auto type = MediaDataType::RawVideo(48, 32, c.depth_bits, Rational(10));
+  auto video = GenerateVideo(type, 15, c.pattern).value();
+  auto codec = CodecRegistry::Default().VideoCodecFor(c.family).value();
+  VideoCodecParams params;
+  params.quality = 85;
+  params.gop_size = 5;
+  auto encoded = codec->Encode(*video, params);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().frames.size(), 15u);
+
+  auto session = codec->NewDecoder(encoded.value());
+  ASSERT_TRUE(session.ok());
+  for (int64_t i = 0; i < 15; ++i) {
+    auto decoded = session.value()->DecodeFrame(i);
+    ASSERT_TRUE(decoded.ok()) << "frame " << i;
+    const double mae =
+        decoded.value().MeanAbsoluteError(video->Frame(i).value()).value();
+    EXPECT_LT(mae, 14.0) << "frame " << i << " family "
+                         << EncodingFamilyName(c.family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndPatterns, VideoCodecRoundTripTest,
+    ::testing::Values(
+        CodecCase{EncodingFamily::kIntra, VideoPattern::kMovingGradient, 8},
+        CodecCase{EncodingFamily::kIntra, VideoPattern::kCheckerboard, 24},
+        CodecCase{EncodingFamily::kInter, VideoPattern::kMovingBox, 8},
+        CodecCase{EncodingFamily::kInter, VideoPattern::kMovingGradient, 24},
+        CodecCase{EncodingFamily::kDelta, VideoPattern::kMovingBox, 8},
+        CodecCase{EncodingFamily::kDelta, VideoPattern::kCheckerboard, 8},
+        CodecCase{EncodingFamily::kScalable, VideoPattern::kMovingGradient,
+                  8},
+        CodecCase{EncodingFamily::kScalable, VideoPattern::kMovingBox, 24}));
+
+TEST(IntraCodecTest, EveryFrameIsAccessPoint) {
+  const auto type = MediaDataType::RawVideo(16, 16, 8, Rational(10));
+  auto video = GenerateVideo(type, 6, VideoPattern::kMovingGradient).value();
+  auto encoded = IntraCodec().Encode(*video, {}).value();
+  for (const auto& f : encoded.frames) EXPECT_TRUE(f.is_intra);
+}
+
+TEST(InterCodecTest, GopStructure) {
+  const auto type = MediaDataType::RawVideo(32, 32, 8, Rational(10));
+  auto video = GenerateVideo(type, 10, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.gop_size = 4;
+  auto encoded = InterCodec().Encode(*video, params).value();
+  for (size_t i = 0; i < encoded.frames.size(); ++i) {
+    EXPECT_EQ(encoded.frames[i].is_intra, i % 4 == 0) << "frame " << i;
+  }
+  EXPECT_EQ(encoded.AccessPointBefore(6).value(), 4);
+  EXPECT_EQ(encoded.AccessPointBefore(3).value(), 0);
+}
+
+TEST(InterCodecTest, CompressesBetterThanIntraOnStaticContent) {
+  const auto type = MediaDataType::RawVideo(64, 48, 8, Rational(10));
+  auto video = GenerateVideo(type, 12, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.quality = 75;
+  params.gop_size = 12;
+  const int64_t inter_bytes =
+      InterCodec().Encode(*video, params).value().TotalBytes();
+  const int64_t intra_bytes =
+      IntraCodec().Encode(*video, params).value().TotalBytes();
+  EXPECT_LT(inter_bytes, intra_bytes);
+}
+
+TEST(InterCodecTest, SeekCostIsGopReentry) {
+  const auto type = MediaDataType::RawVideo(32, 32, 8, Rational(10));
+  auto video = GenerateVideo(type, 20, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.gop_size = 10;
+  auto encoded = InterCodec().Encode(*video, params).value();
+  auto session = InterCodec().NewDecoder(encoded).value();
+  // Jumping straight to frame 15 must decode 10..15 = 6 frames.
+  ASSERT_TRUE(session->DecodeFrame(15).ok());
+  EXPECT_EQ(session->FramesDecodedInternally(), 6);
+  // Sequential next frame costs exactly one more.
+  ASSERT_TRUE(session->DecodeFrame(16).ok());
+  EXPECT_EQ(session->FramesDecodedInternally(), 7);
+  // Backward seek within the same GOP re-enters at the I-frame.
+  ASSERT_TRUE(session->DecodeFrame(12).ok());
+  EXPECT_EQ(session->FramesDecodedInternally(), 10);
+}
+
+TEST(InterCodecTest, RejectsBadParams) {
+  const auto type = MediaDataType::RawVideo(16, 16, 8, Rational(10));
+  auto video = GenerateVideo(type, 2, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.gop_size = 0;
+  EXPECT_FALSE(InterCodec().Encode(*video, params).ok());
+  params.gop_size = 4;
+  params.search_range = 0;
+  EXPECT_FALSE(InterCodec().Encode(*video, params).ok());
+}
+
+TEST(DeltaCodecTest, LosslessAtQuality100OnSmallDeltas) {
+  const auto type = MediaDataType::RawVideo(24, 24, 8, Rational(10));
+  auto video = GenerateVideo(type, 8, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.quality = 100;  // step 1 -> exact deltas
+  auto encoded = DeltaCodec().Encode(*video, params).value();
+  auto session = DeltaCodec().NewDecoder(encoded).value();
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(session->DecodeFrame(i).value(), video->Frame(i).value());
+  }
+}
+
+TEST(DeltaCodecTest, StepForQualityEndpoints) {
+  EXPECT_EQ(DeltaCodec::StepForQuality(100), 1);
+  EXPECT_EQ(DeltaCodec::StepForQuality(1), 16);
+  EXPECT_GT(DeltaCodec::StepForQuality(30), DeltaCodec::StepForQuality(80));
+}
+
+TEST(ScalableCodecTest, FewerLayersFewerBytes) {
+  const auto type = MediaDataType::RawVideo(64, 48, 8, Rational(10));
+  auto video = GenerateVideo(type, 4, VideoPattern::kMovingGradient).value();
+  VideoCodecParams params;
+  params.layer_count = 3;
+  auto encoded = ScalableCodec().Encode(*video, params).value();
+  const int64_t b1 = ScalableCodec::BytesPerFrameAtLayers(encoded, 1).value();
+  const int64_t b2 = ScalableCodec::BytesPerFrameAtLayers(encoded, 2).value();
+  const int64_t b3 = ScalableCodec::BytesPerFrameAtLayers(encoded, 3).value();
+  EXPECT_LT(b1, b2);
+  EXPECT_LT(b2, b3);
+}
+
+TEST(ScalableCodecTest, MoreLayersLessError) {
+  const auto type = MediaDataType::RawVideo(64, 48, 8, Rational(10));
+  auto video = GenerateVideo(type, 3, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.layer_count = 3;
+  params.quality = 85;
+  ScalableCodec codec;
+  auto encoded = codec.Encode(*video, params).value();
+  double prev_mae = 1e9;
+  for (int layers = 1; layers <= 3; ++layers) {
+    auto session = codec.NewDecoderWithLayers(encoded, layers).value();
+    double mae = 0;
+    for (int64_t i = 0; i < 3; ++i) {
+      mae += session->DecodeFrame(i)
+                 .value()
+                 .MeanAbsoluteError(video->Frame(i).value())
+                 .value();
+    }
+    mae /= 3;
+    EXPECT_LT(mae, prev_mae) << layers << " layers";
+    prev_mae = mae;
+  }
+  EXPECT_LT(prev_mae, 8.0);  // full-layer decode is close
+}
+
+TEST(ScalableCodecTest, LayersForResolution) {
+  const auto stored = MediaDataType::RawVideo(640, 480, 8, Rational(30));
+  EXPECT_EQ(ScalableCodec::LayersForResolution(stored, 160, 120), 1);
+  EXPECT_EQ(ScalableCodec::LayersForResolution(stored, 320, 240), 2);
+  EXPECT_EQ(ScalableCodec::LayersForResolution(stored, 640, 480), 3);
+  EXPECT_EQ(ScalableCodec::LayersForResolution(stored, 161, 120), 2);
+}
+
+TEST(ScalableCodecTest, RejectsUnstoredLayerCount) {
+  const auto type = MediaDataType::RawVideo(32, 32, 8, Rational(10));
+  auto video = GenerateVideo(type, 2, VideoPattern::kMovingGradient).value();
+  VideoCodecParams params;
+  params.layer_count = 2;
+  auto encoded = ScalableCodec().Encode(*video, params).value();
+  EXPECT_FALSE(ScalableCodec().NewDecoderWithLayers(encoded, 3).ok());
+  EXPECT_FALSE(ScalableCodec().NewDecoderWithLayers(encoded, 0).ok());
+  EXPECT_TRUE(ScalableCodec().NewDecoderWithLayers(encoded, 2).ok());
+}
+
+// -------------------------------------------------- EncodedVideo storage --
+
+TEST(EncodedVideoTest, SerializeDeserializeRoundTrip) {
+  const auto type = MediaDataType::RawVideo(32, 24, 24, Rational(30000, 1001));
+  auto video = GenerateVideo(type, 5, VideoPattern::kMovingBox).value();
+  VideoCodecParams params;
+  params.gop_size = 3;
+  auto encoded = InterCodec().Encode(*video, params).value();
+  Buffer bytes = encoded.Serialize();
+  auto restored = EncodedVideo::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().family, EncodingFamily::kInter);
+  EXPECT_EQ(restored.value().raw_type, type);
+  EXPECT_EQ(restored.value().params.gop_size, 3);
+  ASSERT_EQ(restored.value().frames.size(), encoded.frames.size());
+  for (size_t i = 0; i < encoded.frames.size(); ++i) {
+    EXPECT_EQ(restored.value().frames[i].data, encoded.frames[i].data);
+    EXPECT_EQ(restored.value().frames[i].is_intra, encoded.frames[i].is_intra);
+  }
+  // Restored stream decodes identically.
+  auto session = InterCodec().NewDecoder(restored.value()).value();
+  EXPECT_TRUE(session->DecodeFrame(4).ok());
+}
+
+TEST(EncodedVideoTest, DeserializeRejectsCorruption) {
+  EXPECT_FALSE(EncodedVideo::Deserialize(Buffer()).ok());
+  Buffer garbage;
+  garbage.AppendU32(0x12345678);
+  EXPECT_FALSE(EncodedVideo::Deserialize(garbage).ok());
+}
+
+// ----------------------------------------------------------- Audio codecs --
+
+class AudioCodecRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<EncodingFamily, AudioPattern>> {};
+
+TEST_P(AudioCodecRoundTripTest, SnrIsReasonable) {
+  const auto [family, pattern] = GetParam();
+  const auto type = MediaDataType::CdAudio();
+  auto audio = GenerateAudio(type, 4096, pattern).value();
+  auto codec = CodecRegistry::Default().AudioCodecFor(family).value();
+  auto encoded = codec->Encode(*audio);
+  ASSERT_TRUE(encoded.ok());
+
+  // Wrap in a value and read back all samples.
+  auto value = EncodedAudioValue::Create(codec, encoded.value()).value();
+  ASSERT_EQ(value->SampleCount(), 4096);
+  auto decoded = value->Samples(0, 4096).value();
+  auto original = audio->Samples(0, 4096).value();
+
+  double signal = 0, noise = 0;
+  for (int f = 0; f < 4096; ++f) {
+    for (int c = 0; c < 2; ++c) {
+      const double s = original.At(f, c);
+      const double e = s - decoded.At(f, c);
+      signal += s * s;
+      noise += e * e;
+    }
+  }
+  if (signal == 0) {
+    EXPECT_LT(noise, 1e6);  // silence should stay near-silent
+  } else {
+    const double snr_db = 10.0 * std::log10(signal / (noise + 1e-9));
+    EXPECT_GT(snr_db, 12.0) << "family " << EncodingFamilyName(family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndPatterns, AudioCodecRoundTripTest,
+    ::testing::Combine(::testing::Values(EncodingFamily::kMulaw,
+                                         EncodingFamily::kAdpcm),
+                       ::testing::Values(AudioPattern::kTone,
+                                         AudioPattern::kChirp,
+                                         AudioPattern::kSpeechLike)));
+
+TEST(MulawCodecTest, ScalarCompandingMonotone) {
+  int16_t prev_decoded = -32768;
+  for (int v = -32000; v <= 32000; v += 997) {
+    const uint8_t m = MulawCodec::CompandSample(static_cast<int16_t>(v));
+    const int16_t back = MulawCodec::ExpandSample(m);
+    EXPECT_GE(back, prev_decoded);  // non-decreasing
+    EXPECT_NEAR(back, v, 1100);     // within one segment step
+    prev_decoded = back;
+  }
+}
+
+TEST(MulawCodecTest, CompressionRatioIsTwo) {
+  auto audio = GenerateAudio(MediaDataType::CdAudio(), 2048,
+                             AudioPattern::kChirp)
+                   .value();
+  auto encoded = MulawCodec().Encode(*audio).value();
+  EXPECT_EQ(encoded.TotalBytes(), audio->StoredBytes() / 2);
+}
+
+TEST(AdpcmCodecTest, CompressionRatioIsFour) {
+  auto audio = GenerateAudio(MediaDataType::CdAudio(), 2048,
+                             AudioPattern::kChirp)
+                   .value();
+  auto encoded = AdpcmCodec().Encode(*audio).value();
+  // 4:1 on the body plus a small per-chunk header.
+  EXPECT_LT(encoded.TotalBytes(), audio->StoredBytes() / 4 + 32);
+}
+
+TEST(EncodedAudioTest, SerializeRoundTrip) {
+  auto audio = GenerateAudio(MediaDataType::VoiceAudio(), 3000,
+                             AudioPattern::kSpeechLike)
+                   .value();
+  auto encoded = AdpcmCodec().Encode(*audio).value();
+  auto restored = EncodedAudio::Deserialize(encoded.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().total_frames, 3000);
+  EXPECT_EQ(restored.value().chunks.size(), encoded.chunks.size());
+  for (size_t i = 0; i < encoded.chunks.size(); ++i) {
+    EXPECT_EQ(restored.value().chunks[i], encoded.chunks[i]);
+  }
+}
+
+TEST(EncodedAudioTest, ChunkBoundarySpanningRead) {
+  auto audio = GenerateAudio(MediaDataType::VoiceAudio(), 3000,
+                             AudioPattern::kTone)
+                   .value();
+  auto codec = std::make_shared<MulawCodec>();
+  auto value =
+      EncodedAudioValue::Create(codec, codec->Encode(*audio).value()).value();
+  // Read a range straddling the 1024-frame chunk boundary.
+  auto block = value->Samples(1000, 100);
+  ASSERT_TRUE(block.ok());
+  auto reference = audio->Samples(1000, 100).value();
+  for (int f = 0; f < 100; ++f) {
+    EXPECT_NEAR(block.value().At(f, 0), reference.At(f, 0), 1100);
+  }
+}
+
+// --------------------------------------------------------- EncodedValue ----
+
+TEST(EncodedVideoValueTest, GenericVideoValueInterface) {
+  const auto type = MediaDataType::RawVideo(32, 32, 8, Rational(10));
+  auto raw = GenerateVideo(type, 10, VideoPattern::kMovingBox).value();
+  auto codec = CodecRegistry::Default()
+                   .VideoCodecFor(EncodingFamily::kInter)
+                   .value();
+  VideoCodecParams params;
+  params.gop_size = 5;
+  auto value =
+      EncodedVideoValue::Create(codec, codec->Encode(*raw, params).value())
+          .value();
+  // Presents as compressed video of matching geometry.
+  EXPECT_EQ(value->type().family(), EncodingFamily::kInter);
+  EXPECT_EQ(value->width(), 32);
+  EXPECT_EQ(value->FrameCount(), 10);
+  EXPECT_LT(value->StoredBytes(), raw->StoredBytes());
+  // Frame access decodes on demand; sequential access is cheap.
+  ASSERT_TRUE(value->Frame(0).ok());
+  ASSERT_TRUE(value->Frame(1).ok());
+  EXPECT_EQ(value->FramesDecodedInternally(), 2);
+  // Temporal interface is inherited.
+  EXPECT_EQ(value->duration(), WorldTime::FromSeconds(1));
+}
+
+TEST(EncodedVideoValueTest, CodecFamilyMismatchRejected) {
+  const auto type = MediaDataType::RawVideo(16, 16, 8, Rational(10));
+  auto raw = GenerateVideo(type, 2, VideoPattern::kMovingBox).value();
+  auto intra = CodecRegistry::Default()
+                   .VideoCodecFor(EncodingFamily::kIntra)
+                   .value();
+  auto encoded = intra->Encode(*raw, {}).value();
+  auto inter = CodecRegistry::Default()
+                   .VideoCodecFor(EncodingFamily::kInter)
+                   .value();
+  EXPECT_FALSE(EncodedVideoValue::Create(inter, encoded).ok());
+}
+
+// --------------------------------------------------------------- Registry --
+
+TEST(CodecRegistryTest, AllFamiliesResolvable) {
+  const auto& reg = CodecRegistry::Default();
+  for (auto family :
+       {EncodingFamily::kIntra, EncodingFamily::kInter, EncodingFamily::kDelta,
+        EncodingFamily::kScalable}) {
+    auto codec = reg.VideoCodecFor(family);
+    ASSERT_TRUE(codec.ok());
+    EXPECT_EQ(codec.value()->family(), family);
+  }
+  for (auto family : {EncodingFamily::kMulaw, EncodingFamily::kAdpcm}) {
+    auto codec = reg.AudioCodecFor(family);
+    ASSERT_TRUE(codec.ok());
+    EXPECT_EQ(codec.value()->family(), family);
+  }
+  EXPECT_FALSE(reg.VideoCodecFor(EncodingFamily::kRaw).ok());
+  EXPECT_FALSE(reg.AudioCodecFor(EncodingFamily::kIntra).ok());
+}
+
+// ------------------------------------------------- Rate/distortion sanity --
+
+TEST(CodecComparisonTest, QualityKnobTradesRateForDistortion) {
+  const auto type = MediaDataType::RawVideo(48, 48, 8, Rational(10));
+  auto video = GenerateVideo(type, 4, VideoPattern::kMovingGradient).value();
+  IntraCodec codec;
+  int64_t prev_bytes = 0;
+  double prev_mae = 1e9;
+  for (int quality : {30, 60, 95}) {
+    VideoCodecParams params;
+    params.quality = quality;
+    auto encoded = codec.Encode(*video, params).value();
+    auto session = codec.NewDecoder(encoded).value();
+    double mae = 0;
+    for (int64_t i = 0; i < 4; ++i) {
+      mae += session->DecodeFrame(i)
+                 .value()
+                 .MeanAbsoluteError(video->Frame(i).value())
+                 .value();
+    }
+    mae /= 4;
+    EXPECT_GT(encoded.TotalBytes(), prev_bytes);  // more quality, more bytes
+    EXPECT_LT(mae, prev_mae);                     // more quality, less error
+    prev_bytes = encoded.TotalBytes();
+    prev_mae = mae;
+  }
+}
+
+TEST(CodecComparisonTest, AllVideoCodecsBeatRawStorage) {
+  const auto type = MediaDataType::RawVideo(64, 48, 8, Rational(10));
+  auto video = GenerateVideo(type, 8, VideoPattern::kMovingBox).value();
+  const int64_t raw_bytes = video->StoredBytes();
+  for (const auto& codec : CodecRegistry::Default().video_codecs()) {
+    VideoCodecParams params;
+    params.quality = 75;
+    auto encoded = codec->Encode(*video, params);
+    ASSERT_TRUE(encoded.ok()) << codec->name();
+    EXPECT_LT(encoded.value().TotalBytes(), raw_bytes) << codec->name();
+  }
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,509 @@
+#include <gtest/gtest.h>
+
+#include "activity/sinks.h"
+#include "codec/encoded_value.h"
+#include "codec/registry.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "media/synthetic.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::AudioPattern;
+using synthetic::GenerateAudio;
+using synthetic::GenerateSubtitles;
+using synthetic::GenerateVideo;
+using synthetic::VideoPattern;
+
+// ----------------------------------------------------------------- Schema --
+
+ClassDef SimpleNewscastClass() {
+  // The paper's §4.1 example class.
+  ClassDef def("SimpleNewscast");
+  EXPECT_TRUE(def.AddAttribute({"title", AttrType::kString, {}, {}}).ok());
+  EXPECT_TRUE(
+      def.AddAttribute({"broadcastSource", AttrType::kString, {}, {}}).ok());
+  EXPECT_TRUE(def.AddAttribute({"keywords", AttrType::kString, {}, {}}).ok());
+  EXPECT_TRUE(
+      def.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok());
+  AttributeDef video{"videoTrack", AttrType::kVideo, {}, {}};
+  video.video_quality = VideoQuality::Parse("48x32x8@10").value();
+  EXPECT_TRUE(def.AddAttribute(video).ok());
+  return def;
+}
+
+ClassDef NewscastClass() {
+  // The paper's tcomp'd Newscast with bilingual audio and subtitles.
+  ClassDef def("Newscast");
+  EXPECT_TRUE(def.AddAttribute({"title", AttrType::kString, {}, {}}).ok());
+  TcompDef clip;
+  clip.name = "clip";
+  clip.tracks.push_back({"videoTrack", AttrType::kVideo, {}, {}});
+  clip.tracks.push_back({"englishTrack", AttrType::kAudio, {}, {}});
+  clip.tracks.push_back({"frenchTrack", AttrType::kAudio, {}, {}});
+  clip.tracks.push_back({"subtitleTrack", AttrType::kText, {}, {}});
+  EXPECT_TRUE(def.AddTcomp(clip).ok());
+  return def;
+}
+
+TEST(SchemaTest, ClassDefinitionRules) {
+  ClassDef def("C");
+  ASSERT_TRUE(def.AddAttribute({"a", AttrType::kInt, {}, {}}).ok());
+  EXPECT_EQ(def.AddAttribute({"a", AttrType::kString, {}, {}}).code(),
+            StatusCode::kAlreadyExists);
+  TcompDef bad;
+  bad.name = "a";  // collides with attribute
+  bad.tracks.push_back({"t", AttrType::kVideo, {}, {}});
+  EXPECT_EQ(def.AddTcomp(bad).code(), StatusCode::kAlreadyExists);
+  TcompDef scalar_track;
+  scalar_track.name = "tc";
+  scalar_track.tracks.push_back({"t", AttrType::kInt, {}, {}});
+  EXPECT_EQ(def.AddTcomp(scalar_track).code(), StatusCode::kInvalidArgument);
+  TcompDef empty;
+  empty.name = "tc";
+  EXPECT_EQ(def.AddTcomp(empty).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ToStringResemblesPaperSyntax) {
+  const std::string text = NewscastClass().ToString();
+  EXPECT_NE(text.find("class Newscast"), std::string::npos);
+  EXPECT_NE(text.find("tcomp clip"), std::string::npos);
+  EXPECT_NE(text.find("VideoValue videoTrack"), std::string::npos);
+  EXPECT_NE(text.find("AudioValue englishTrack"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Query --
+
+TEST(QueryTest, ParseAndRender) {
+  auto p = ParsePredicate(
+      "(title = \"60 Minutes\" and whenBroadcast = '1992-11-22') or "
+      "not rating < 3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()->ToString(),
+            "((title = \"60 Minutes\" and whenBroadcast = \"1992-11-22\") or "
+            "(not rating < 3))");
+}
+
+TEST(QueryTest, SyntaxErrorsNamePosition) {
+  auto p = ParsePredicate("title = ");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("position"), std::string::npos);
+  EXPECT_FALSE(ParsePredicate("title @ 3").ok());
+  EXPECT_FALSE(ParsePredicate("(title = 'x'").ok());
+  EXPECT_FALSE(ParsePredicate("title = 'x' extra").ok());
+  EXPECT_FALSE(ParsePredicate("title = 'unterminated").ok());
+}
+
+TEST(QueryTest, EmptyPredicateIsTrue) {
+  auto p = ParsePredicate("   ");
+  ASSERT_TRUE(p.ok());
+  DbObject object(Oid(1), "C");
+  EXPECT_TRUE(p.value()->Matches(object));
+}
+
+TEST(QueryTest, EvaluationSemantics) {
+  DbObject object(Oid(1), "C");
+  ASSERT_TRUE(object.SetScalar("title", std::string("Evening News")).ok());
+  ASSERT_TRUE(object.SetScalar("rating", int64_t{7}).ok());
+
+  EXPECT_TRUE(
+      ParsePredicate("title = 'Evening News'").value()->Matches(object));
+  EXPECT_TRUE(ParsePredicate("title contains 'News'").value()->Matches(object));
+  EXPECT_FALSE(ParsePredicate("title contains 'news'").value()->Matches(object));
+  EXPECT_TRUE(ParsePredicate("rating > 5").value()->Matches(object));
+  EXPECT_TRUE(ParsePredicate("rating <= 7").value()->Matches(object));
+  EXPECT_FALSE(ParsePredicate("rating != 7").value()->Matches(object));
+  // Unset attribute -> comparison false, not an error.
+  EXPECT_FALSE(ParsePredicate("missing = 1").value()->Matches(object));
+  EXPECT_TRUE(ParsePredicate("not missing = 1").value()->Matches(object));
+  // and/or precedence: and binds tighter.
+  EXPECT_TRUE(ParsePredicate("rating = 0 or rating = 7 and title contains 'News'")
+                  .value()
+                  ->Matches(object));
+}
+
+TEST(QueryTest, EqualityPinExtraction) {
+  std::string attr;
+  ScalarValue value;
+  EXPECT_TRUE(ParsePredicate("a = 'x' and b > 2")
+                  .value()
+                  ->EqualityPin(&attr, &value));
+  EXPECT_EQ(attr, "a");
+  EXPECT_FALSE(
+      ParsePredicate("a = 'x' or b = 'y'").value()->EqualityPin(&attr, &value));
+  EXPECT_FALSE(ParsePredicate("a > 2").value()->EqualityPin(&attr, &value));
+}
+
+// ------------------------------------------------------------------ Locks --
+
+TEST(LockManagerTest, SharedAndExclusiveModes) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(Oid(1), LockMode::kShared, "s1").ok());
+  ASSERT_TRUE(locks.Acquire(Oid(1), LockMode::kShared, "s2").ok());
+  EXPECT_EQ(locks.HolderCount(Oid(1)), 2u);
+  // Exclusive blocked by other sharers.
+  EXPECT_EQ(locks.Acquire(Oid(1), LockMode::kExclusive, "s3").code(),
+            StatusCode::kUnavailable);
+  locks.Release(Oid(1), "s2");
+  // Upgrade by the sole remaining holder succeeds.
+  ASSERT_TRUE(locks.Acquire(Oid(1), LockMode::kExclusive, "s1").ok());
+  EXPECT_TRUE(locks.Holds(Oid(1), LockMode::kExclusive, "s1"));
+  EXPECT_EQ(locks.Acquire(Oid(1), LockMode::kShared, "s2").code(),
+            StatusCode::kUnavailable);
+  locks.ReleaseAll("s1");
+  EXPECT_EQ(locks.HolderCount(Oid(1)), 0u);
+  EXPECT_TRUE(locks.Acquire(Oid(1), LockMode::kShared, "s2").ok());
+}
+
+// --------------------------------------------------------------- Database --
+
+std::shared_ptr<RawVideoValue> TestVideo(int frames = 10) {
+  return GenerateVideo(MediaDataType::RawVideo(48, 32, 8, Rational(10)),
+                       frames, VideoPattern::kMovingBox)
+      .value();
+}
+
+std::unique_ptr<AvDatabase> MakeDb() {
+  auto db = std::make_unique<AvDatabase>();
+  EXPECT_TRUE(db->AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  EXPECT_TRUE(db->AddDevice("disk1", DeviceProfile::MagneticDisk()).ok());
+  EXPECT_TRUE(db->DefineClass(SimpleNewscastClass()).ok());
+  EXPECT_TRUE(db->DefineClass(NewscastClass()).ok());
+  return db;
+}
+
+TEST(AvDatabaseTest, ObjectsAndScalars) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("SimpleNewscast");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(
+      db->SetScalar(oid.value(), "title", std::string("60 Minutes")).ok());
+  EXPECT_EQ(std::get<std::string>(
+                db->GetScalar(oid.value(), "title").value()),
+            "60 Minutes");
+  // Type checking.
+  EXPECT_EQ(db->SetScalar(oid.value(), "title", int64_t{3}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->SetScalar(oid.value(), "nope", int64_t{3}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db->SetScalar(oid.value(), "videoTrack", int64_t{3}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(db->NewObject("Undefined").ok());
+}
+
+TEST(AvDatabaseTest, SelectWithIndexAndScan) {
+  auto db = MakeDb();
+  for (int i = 0; i < 10; ++i) {
+    auto oid = db->NewObject("SimpleNewscast").value();
+    ASSERT_TRUE(db->SetScalar(oid, "title",
+                              std::string(i % 2 == 0 ? "60 Minutes"
+                                                     : "Evening News"))
+                    .ok());
+    ASSERT_TRUE(db->SetScalar(oid, "whenBroadcast",
+                              std::string("1992-11-" +
+                                          std::to_string(10 + i)))
+                    .ok());
+  }
+  // Indexed equality (the §4.3 query).
+  auto hits = db->Select("SimpleNewscast",
+                         "title = \"60 Minutes\" and whenBroadcast = "
+                         "'1992-11-14'");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits.value().size(), 1u);
+  // Scan with range predicate.
+  auto range = db->Select("SimpleNewscast", "whenBroadcast >= '1992-11-15'");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.value().size(), 5u);
+  // All rows.
+  EXPECT_EQ(db->Select("SimpleNewscast", "").value().size(), 10u);
+  // Unknown class.
+  EXPECT_FALSE(db->Select("Nope", "").ok());
+}
+
+TEST(AvDatabaseTest, MediaAttributeStorageAndVersions) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("SimpleNewscast").value();
+  auto v1 = TestVideo(10);
+  ASSERT_TRUE(db->SetMediaAttribute(oid, "videoTrack", *v1, "disk0").ok());
+  EXPECT_EQ(db->WhereIsAttribute(oid, "videoTrack").value(), "disk0");
+
+  // A second store creates version 2; version 1 stays readable.
+  auto v2 = TestVideo(5);
+  ASSERT_TRUE(db->SetMediaAttribute(oid, "videoTrack", *v2, "disk1").ok());
+  auto history = db->MediaHistory(oid, "videoTrack");
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history.value().size(), 2u);
+  EXPECT_EQ(history.value()[0].version, 1);
+  EXPECT_EQ(history.value()[1].device, "disk1");
+
+  auto current = db->LoadMediaAttribute(oid, "videoTrack");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current.value()->ElementCount(), 5);
+  auto old = db->LoadMediaAttribute(oid, "videoTrack", 1);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value()->ElementCount(), 10);
+  EXPECT_FALSE(db->LoadMediaAttribute(oid, "videoTrack", 9).ok());
+}
+
+TEST(AvDatabaseTest, QualityFactorEnforcedOnStore) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("SimpleNewscast").value();
+  // Declared quality is 48x32x8@10; a smaller/slower value cannot satisfy.
+  auto tiny = GenerateVideo(MediaDataType::RawVideo(16, 16, 8, Rational(5)),
+                            5, VideoPattern::kNoise)
+                  .value();
+  EXPECT_EQ(db->SetMediaAttribute(oid, "videoTrack", *tiny, "disk0").code(),
+            StatusCode::kInvalidArgument);
+  // Audio into a video attribute is rejected.
+  auto audio = GenerateAudio(MediaDataType::VoiceAudio(), 100,
+                             AudioPattern::kTone)
+                   .value();
+  EXPECT_EQ(db->SetMediaAttribute(oid, "videoTrack", *audio, "disk0").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AvDatabaseTest, MoveAttributePaysAndRelocates) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("SimpleNewscast").value();
+  ASSERT_TRUE(
+      db->SetMediaAttribute(oid, "videoTrack", *TestVideo(20), "disk0").ok());
+  auto moved = db->MoveAttribute(oid, "videoTrack", "disk1");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_GT(moved.value().ToSecondsF(), 0.0);
+  EXPECT_EQ(db->WhereIsAttribute(oid, "videoTrack").value(), "disk1");
+  // Value still loads after the move.
+  EXPECT_TRUE(db->LoadMediaAttribute(oid, "videoTrack").ok());
+}
+
+TEST(AvDatabaseTest, TcompTracksAndTimeline) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("Newscast").value();
+  auto video = TestVideo(30);  // 3 s at 10 fps
+  auto english = GenerateAudio(MediaDataType::VoiceAudio(), 2 * 8000,
+                               AudioPattern::kSpeechLike)
+                     .value();
+  // Fig. 1: video spans [0, 3s); English audio [1s, 3s).
+  ASSERT_TRUE(db->SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0",
+                                WorldTime(), WorldTime::FromSeconds(3))
+                  .ok());
+  ASSERT_TRUE(db->SetTcompTrack(oid, "clip", "englishTrack", *english,
+                                "disk1", WorldTime::FromSeconds(1),
+                                WorldTime::FromSeconds(2))
+                  .ok());
+  auto tcomp = db->GetTcomp(oid, "clip");
+  ASSERT_TRUE(tcomp.ok());
+  EXPECT_EQ(tcomp.value()->timeline.TrackCount(), 2u);
+  EXPECT_EQ(tcomp.value()->timeline.Duration(), WorldTime::FromSeconds(3));
+  auto rel = tcomp.value()->timeline.Relation("englishTrack", "videoTrack");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value(), AllenRelation::kFinishes);
+  // Track paths resolve for placement queries.
+  EXPECT_EQ(db->WhereIsAttribute(oid, "clip.videoTrack").value(), "disk0");
+  EXPECT_EQ(db->WhereIsAttribute(oid, "clip.englishTrack").value(), "disk1");
+  // Unknown names fail.
+  EXPECT_FALSE(db->SetTcompTrack(oid, "clip", "nope", *video, "disk0",
+                                 WorldTime(), WorldTime::FromSeconds(1))
+                   .ok());
+  EXPECT_FALSE(db->GetTcomp(oid, "nope").ok());
+}
+
+// ----------------------------------------------- §4.3 pseudo-code sequence --
+
+TEST(AvDatabaseTest, PseudoCodeSequencePlaysBack) {
+  auto db = MakeDb();
+  // Populate.
+  auto oid = db->NewObject("SimpleNewscast").value();
+  ASSERT_TRUE(
+      db->SetScalar(oid, "title", std::string("60 Minutes")).ok());
+  ASSERT_TRUE(
+      db->SetScalar(oid, "whenBroadcast", std::string("1992-11-22")).ok());
+  auto video = TestVideo(20);
+  ASSERT_TRUE(db->SetMediaAttribute(oid, "videoTrack", *video, "disk0").ok());
+  ASSERT_TRUE(db->AddChannel("net", Channel::Profile::Ethernet10()).ok());
+
+  // 4: select ... where ... (returns references only).
+  auto hits = db->Select("SimpleNewscast",
+                         "title = \"60 Minutes\" and whenBroadcast = "
+                         "'1992-11-22'");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits.value().size(), 1u);
+  const Oid my_news = hits.value()[0];
+
+  // 1 + 5: new activity VideoSource for ... / bind.
+  auto stream = db->NewSourceFor("app", my_news, "videoTrack");
+  ASSERT_TRUE(stream.ok());
+  // The stream holds a shared lock: an exclusive writer is refused.
+  EXPECT_EQ(db->locks().Acquire(my_news, LockMode::kExclusive, "editor")
+                .code(),
+            StatusCode::kUnavailable);
+
+  // 2: client-side window.
+  auto window = VideoWindow::Create("appSink", ActivityLocation::kClient,
+                                    db->env(),
+                                    VideoQuality(48, 32, 8, Rational(10)));
+  ASSERT_TRUE(db->graph().Add(window).ok());
+
+  // 3: new connection over the network channel.
+  auto connection = db->NewConnection(stream.value().source,
+                                      VideoSource::kPortOut, window.get(),
+                                      VideoWindow::kPortIn, "net");
+  ASSERT_TRUE(connection.ok());
+
+  // 6: start videostream; transfer and application proceed in parallel.
+  ASSERT_TRUE(db->StartStream(stream.value()).ok());
+  db->RunUntilIdle();
+
+  EXPECT_EQ(window->stats().elements_presented, 20);
+  EXPECT_EQ(window->stats().deadline_misses, 0);
+
+  // Stopping returns resources and the lock.
+  ASSERT_TRUE(db->StopStream(stream.value()).ok());
+  EXPECT_TRUE(
+      db->locks().Acquire(my_news, LockMode::kExclusive, "editor").ok());
+}
+
+TEST(AvDatabaseTest, AdmissionRejectsOversubscription) {
+  AvDatabaseConfig config;
+  config.buffer_pool_bytes = 2 * 512 * 1024;  // room for exactly 2 streams
+  AvDatabase db(config);
+  ASSERT_TRUE(db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(db.DefineClass(SimpleNewscastClass()).ok());
+  auto oid = db.NewObject("SimpleNewscast").value();
+  ASSERT_TRUE(
+      db.SetMediaAttribute(oid, "videoTrack", *TestVideo(10), "disk0").ok());
+
+  auto s1 = db.NewSourceFor("a", oid, "videoTrack");
+  ASSERT_TRUE(s1.ok());
+  auto s2 = db.NewSourceFor("b", oid, "videoTrack");
+  ASSERT_TRUE(s2.ok());
+  auto s3 = db.NewSourceFor("c", oid, "videoTrack");
+  EXPECT_EQ(s3.status().code(), StatusCode::kResourceExhausted);
+  // Releasing one admits the next (statement-1 semantics).
+  ASSERT_TRUE(db.StopStream(s1.value()).ok());
+  EXPECT_TRUE(db.NewSourceFor("c", oid, "videoTrack").ok());
+}
+
+TEST(AvDatabaseTest, ChannelBandwidthGatesConnections) {
+  auto db = MakeDb();
+  ASSERT_TRUE(db->AddChannel("t1", Channel::Profile::T1()).ok());
+  auto oid = db->NewObject("SimpleNewscast").value();
+  // 48x32x8@10 raw = 15.4 KB/s; T1 carries ~193 KB/s -> 12 fit, 13th fails.
+  ASSERT_TRUE(
+      db->SetMediaAttribute(oid, "videoTrack", *TestVideo(10), "disk0").ok());
+  int connected = 0;
+  for (int i = 0; i < 14; ++i) {
+    auto stream = db->NewSourceFor("app", oid, "videoTrack");
+    if (!stream.ok()) break;
+    auto window = VideoWindow::Create("w" + std::to_string(i),
+                                      ActivityLocation::kClient, db->env(),
+                                      VideoQuality(48, 32, 8, Rational(10)));
+    ASSERT_TRUE(db->graph().Add(window).ok());
+    auto conn = db->NewConnection(stream.value().source, VideoSource::kPortOut,
+                                  window.get(), VideoWindow::kPortIn, "t1");
+    if (!conn.ok()) {
+      EXPECT_EQ(conn.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++connected;
+  }
+  EXPECT_EQ(connected, 12);
+}
+
+TEST(AvDatabaseTest, ExclusiveDeviceAdmitsOneStream) {
+  auto db = std::make_unique<AvDatabase>();
+  ASSERT_TRUE(db->AddDevice("juke", DeviceProfile::VideodiscJukebox()).ok());
+  ASSERT_TRUE(db->DefineClass(SimpleNewscastClass()).ok());
+  auto oid1 = db->NewObject("SimpleNewscast").value();
+  auto oid2 = db->NewObject("SimpleNewscast").value();
+  ASSERT_TRUE(
+      db->SetMediaAttribute(oid1, "videoTrack", *TestVideo(5), "juke").ok());
+  ASSERT_TRUE(
+      db->SetMediaAttribute(oid2, "videoTrack", *TestVideo(5), "juke").ok());
+  auto s1 = db->NewSourceFor("a", oid1, "videoTrack");
+  ASSERT_TRUE(s1.ok());
+  auto s2 = db->NewSourceFor("b", oid2, "videoTrack");
+  EXPECT_EQ(s2.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AvDatabaseTest, MultiSourcePlaysTcompSynchronized) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("Newscast").value();
+  auto video = TestVideo(20);  // 2 s
+  auto english = GenerateAudio(MediaDataType::VoiceAudio(), 2 * 8000,
+                               AudioPattern::kSpeechLike)
+                     .value();
+  auto subs = GenerateSubtitles(MediaDataType::Text(Rational(10)), 3, 5, 1,
+                                "Headline")
+                  .value();
+  ASSERT_TRUE(db->SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0",
+                                WorldTime(), WorldTime::FromSeconds(2))
+                  .ok());
+  ASSERT_TRUE(db->SetTcompTrack(oid, "clip", "englishTrack", *english,
+                                "disk1", WorldTime(),
+                                WorldTime::FromSeconds(2))
+                  .ok());
+  ASSERT_TRUE(db->SetTcompTrack(oid, "clip", "subtitleTrack", *subs, "disk1",
+                                WorldTime(), WorldTime::FromSeconds(2))
+                  .ok());
+
+  // Client-side MultiSink.
+  auto sink = MultiSink::Create("appSink", ActivityLocation::kClient,
+                                db->env());
+  auto awin = AudioSink::Create("audioOut", ActivityLocation::kClient,
+                                db->env(), AudioQuality::kVoice);
+  auto vwin = VideoWindow::Create("videoOut", ActivityLocation::kClient,
+                                  db->env(),
+                                  VideoQuality(48, 32, 8, Rational(10)));
+  auto twin = TextSink::Create("subsOut", ActivityLocation::kClient,
+                               db->env());
+  ASSERT_TRUE(sink->InstallSynced(awin, "englishTrack", true).ok());
+  ASSERT_TRUE(sink->InstallSynced(vwin, "videoTrack").ok());
+  ASSERT_TRUE(sink->InstallSynced(twin, "subtitleTrack").ok());
+  ASSERT_TRUE(db->graph().Add(sink).ok());
+
+  auto stream = db->NewMultiSourceFor("app", oid, "clip", sink->sync());
+  ASSERT_TRUE(stream.ok());
+
+  // Wire each exposed track port; type the text sink's port first.
+  auto* source = stream.value().source;
+  twin->FindPort(TextSink::kPortIn)
+      .value()
+      ->set_data_type(
+          source->FindPort("subtitleTrack_out").value()->data_type());
+  ASSERT_TRUE(db->NewConnection(source, "videoTrack_out", sink.get(),
+                                "videoTrack_in")
+                  .ok());
+  ASSERT_TRUE(db->NewConnection(source, "englishTrack_out", sink.get(),
+                                "englishTrack_in")
+                  .ok());
+  ASSERT_TRUE(db->NewConnection(source, "subtitleTrack_out", sink.get(),
+                                "subtitleTrack_in")
+                  .ok());
+
+  ASSERT_TRUE(db->StartStream(stream.value()).ok());
+  db->RunUntilIdle();
+
+  EXPECT_EQ(vwin->stats().elements_presented, 20);
+  EXPECT_GT(awin->stats().elements_presented, 10);
+  EXPECT_EQ(twin->presented().size(), 3u);
+  // Everything stayed within a frame of sync.
+  EXPECT_LT(sink->sync()->stats().max_observed_skew_ns, 100 * 1000 * 1000);
+  ASSERT_TRUE(db->StopStream(stream.value()).ok());
+}
+
+TEST(AvDatabaseTest, CloseSessionReleasesEverything) {
+  auto db = MakeDb();
+  auto oid = db->NewObject("SimpleNewscast").value();
+  ASSERT_TRUE(
+      db->SetMediaAttribute(oid, "videoTrack", *TestVideo(10), "disk0").ok());
+  ASSERT_TRUE(db->NewSourceFor("app", oid, "videoTrack").ok());
+  ASSERT_TRUE(db->NewSourceFor("app", oid, "videoTrack").ok());
+  const double before = db->admission().Available("db.buffers").value();
+  ASSERT_TRUE(db->CloseSession("app").ok());
+  EXPECT_GT(db->admission().Available("db.buffers").value(), before);
+  EXPECT_EQ(db->locks().HolderCount(oid), 0u);
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "hyper/hypermedia.h"
+
+namespace avdb {
+namespace {
+
+Document ProjectDoc() {
+  Document doc;
+  doc.name = "project-overview";
+  doc.text = "The Phoenix project shipped in Q3. See [demo] and [talk].";
+  doc.anchors = {"demo", "talk"};
+  return doc;
+}
+
+TEST(HypermediaTest, DocumentsAndAnchors) {
+  HypermediaStore store;
+  ASSERT_TRUE(store.AddDocument(ProjectDoc()).ok());
+  EXPECT_EQ(store.AddDocument(ProjectDoc()).code(),
+            StatusCode::kAlreadyExists);
+  auto doc = store.GetDocument("project-overview");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value()->HasAnchor("demo"));
+  EXPECT_FALSE(doc.value()->HasAnchor("nope"));
+  EXPECT_EQ(store.DocumentNames().size(), 1u);
+}
+
+TEST(HypermediaTest, LinkToAvCueAndFollow) {
+  HypermediaStore store;
+  ASSERT_TRUE(store.AddDocument(ProjectDoc()).ok());
+  Link link;
+  link.from_document = "project-overview";
+  link.anchor = "demo";
+  link.target.kind = LinkTarget::Kind::kAvCue;
+  link.target.oid = Oid(42);
+  link.target.attr_path = "clip.videoTrack";
+  link.target.cue = WorldTime::FromSeconds(90);
+  ASSERT_TRUE(store.AddLink(link).ok());
+
+  auto target = store.Follow("project-overview", "demo");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value().kind, LinkTarget::Kind::kAvCue);
+  EXPECT_EQ(target.value().oid, Oid(42));
+  EXPECT_EQ(target.value().cue, WorldTime::FromSeconds(90));
+  EXPECT_EQ(store.Follow("project-overview", "talk").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HypermediaTest, LinkValidation) {
+  HypermediaStore store;
+  ASSERT_TRUE(store.AddDocument(ProjectDoc()).ok());
+  Link link;
+  link.from_document = "missing";
+  link.anchor = "demo";
+  EXPECT_EQ(store.AddLink(link).code(), StatusCode::kNotFound);
+  link.from_document = "project-overview";
+  link.anchor = "missing-anchor";
+  EXPECT_EQ(store.AddLink(link).code(), StatusCode::kNotFound);
+  // Document links validate the target too.
+  link.anchor = "demo";
+  link.target.kind = LinkTarget::Kind::kDocument;
+  link.target.document = "nowhere";
+  EXPECT_EQ(store.AddLink(link).code(), StatusCode::kNotFound);
+}
+
+TEST(HypermediaTest, OneLinkPerAnchor) {
+  HypermediaStore store;
+  ASSERT_TRUE(store.AddDocument(ProjectDoc()).ok());
+  Link link;
+  link.from_document = "project-overview";
+  link.anchor = "demo";
+  link.target.kind = LinkTarget::Kind::kAvCue;
+  link.target.oid = Oid(1);
+  ASSERT_TRUE(store.AddLink(link).ok());
+  EXPECT_EQ(store.AddLink(link).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(HypermediaTest, Backlinks) {
+  HypermediaStore store;
+  ASSERT_TRUE(store.AddDocument(ProjectDoc()).ok());
+  Document other;
+  other.name = "press-release";
+  other.anchors = {"footage"};
+  ASSERT_TRUE(store.AddDocument(other).ok());
+
+  Link a;
+  a.from_document = "project-overview";
+  a.anchor = "demo";
+  a.target.kind = LinkTarget::Kind::kAvCue;
+  a.target.oid = Oid(7);
+  ASSERT_TRUE(store.AddLink(a).ok());
+  Link b;
+  b.from_document = "press-release";
+  b.anchor = "footage";
+  b.target.kind = LinkTarget::Kind::kAvCue;
+  b.target.oid = Oid(7);
+  ASSERT_TRUE(store.AddLink(b).ok());
+
+  auto backlinks = store.BacklinksTo(Oid(7));
+  EXPECT_EQ(backlinks.size(), 2u);
+  EXPECT_TRUE(store.BacklinksTo(Oid(8)).empty());
+  EXPECT_EQ(store.LinksFrom("project-overview").size(), 1u);
+  EXPECT_EQ(store.LinkCount(), 2u);
+}
+
+}  // namespace
+}  // namespace avdb

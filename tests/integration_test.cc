@@ -1,0 +1,201 @@
+// Cross-module integration scenarios, asserted end to end: the corporate
+// editing workflow and the paper's own Fig. 4 extension ("this example can
+// be extended in a number of ways, for instance by adding multiple
+// clients").
+
+#include <gtest/gtest.h>
+
+#include "activity/sinks.h"
+#include "activity/transformers.h"
+#include "codec/registry.h"
+#include "db/database.h"
+#include "db/similarity.h"
+#include "hyper/hypermedia.h"
+#include "media/media_ops.h"
+#include "media/synthetic.h"
+#include "vworld/activities.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::GenerateVideo;
+using synthetic::VideoPattern;
+
+// ------------------------------------------- corporate workflow, asserted --
+
+TEST(IntegrationTest, CorporateWorkflowEndToEnd) {
+  AvDatabase db;
+  ASSERT_TRUE(db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(db.AddChannel("lan", Channel::Profile::Ethernet10()).ok());
+
+  ClassDef asset("VideoAsset");
+  ASSERT_TRUE(asset.AddAttribute({"title", AttrType::kString, {}, {}}).ok());
+  ASSERT_TRUE(asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok());
+  ASSERT_TRUE(db.DefineClass(asset).ok());
+
+  // Ingest two clips with different codecs on different devices.
+  const auto type = MediaDataType::RawVideo(96, 72, 8, Rational(10));
+  auto clip_a = GenerateVideo(type, 20, VideoPattern::kMovingBox, 1).value();
+  auto clip_b =
+      GenerateVideo(type, 20, VideoPattern::kMovingGradient, 2).value();
+  auto intra =
+      CodecRegistry::Default().VideoCodecFor(EncodingFamily::kIntra).value();
+  auto encoded_a =
+      EncodedVideoValue::Create(intra, intra->Encode(*clip_a, {}).value())
+          .value();
+
+  Oid oid_a = db.NewObject("VideoAsset").value();
+  ASSERT_TRUE(db.SetScalar(oid_a, "title", std::string("launch")).ok());
+  ASSERT_TRUE(db.SetMediaAttribute(oid_a, "footage", *encoded_a, "disk0").ok());
+  Oid oid_b = db.NewObject("VideoAsset").value();
+  ASSERT_TRUE(db.SetScalar(oid_b, "title", std::string("review")).ok());
+  ASSERT_TRUE(db.SetMediaAttribute(oid_b, "footage", *clip_b, "disk1").ok());
+
+  // Hypermedia: a document links into the launch clip at 1 s.
+  HypermediaStore hyper;
+  Document doc;
+  doc.name = "overview";
+  doc.anchors = {"launch"};
+  ASSERT_TRUE(hyper.AddDocument(doc).ok());
+  Link link;
+  link.from_document = "overview";
+  link.anchor = "launch";
+  link.target.kind = LinkTarget::Kind::kAvCue;
+  link.target.oid = oid_a;
+  link.target.attr_path = "footage";
+  link.target.cue = WorldTime::FromSeconds(1);
+  ASSERT_TRUE(hyper.AddLink(link).ok());
+
+  // Follow the link: cued playback over the LAN.
+  auto target = hyper.Follow("overview", "launch").value();
+  auto stream = db.NewSourceFor("browser", target.oid, target.attr_path);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream.value().source->Cue(target.cue).ok());
+  auto window = VideoWindow::Create("win", ActivityLocation::kClient,
+                                    db.env(),
+                                    VideoQuality(96, 72, 8, Rational(10)));
+  ASSERT_TRUE(db.graph().Add(window).ok());
+  ASSERT_TRUE(db.NewConnection(stream.value().source, VideoSource::kPortOut,
+                               window.get(), VideoWindow::kPortIn, "lan")
+                  .ok());
+  ASSERT_TRUE(db.StartStream(stream.value()).ok());
+  db.RunUntilIdle();
+  EXPECT_EQ(window->stats().elements_presented, 10);  // cue skipped 1 s
+  ASSERT_TRUE(db.StopStream(stream.value()).ok());
+
+  // Passive-state editing: dissolve a into b, store as a new asset.
+  auto loaded_a = db.LoadMediaAttribute(oid_a, "footage").value();
+  auto loaded_b = db.LoadMediaAttribute(oid_b, "footage").value();
+  auto video_a = std::dynamic_pointer_cast<VideoValue>(loaded_a);
+  auto video_b = std::dynamic_pointer_cast<VideoValue>(loaded_b);
+  ASSERT_NE(video_a, nullptr);
+  ASSERT_NE(video_b, nullptr);
+  auto montage = media_ops::Dissolve(*video_a, *video_b, 5);
+  ASSERT_TRUE(montage.ok());
+  Oid oid_m = db.NewObject("VideoAsset").value();
+  ASSERT_TRUE(db.SetScalar(oid_m, "title", std::string("montage")).ok());
+  ASSERT_TRUE(
+      db.SetMediaAttribute(oid_m, "footage", *montage.value(), "disk0").ok());
+  EXPECT_EQ(montage.value()->FrameCount(), 35);
+
+  // Content-based retrieval finds the montage near its parents.
+  SimilarityIndex index;
+  for (Oid oid : {oid_a, oid_b, oid_m}) {
+    auto value = db.LoadMediaAttribute(oid, "footage").value();
+    auto video = std::dynamic_pointer_cast<VideoValue>(value);
+    ASSERT_NE(video, nullptr);
+    index.Add(oid, "footage", VideoSignature::Extract(*video).value());
+  }
+  auto matches = index.FindSimilarTo(oid_m, "footage", 2).value();
+  ASSERT_EQ(matches.size(), 2u);
+  // Parents rank, in some order, as the nearest content.
+  EXPECT_TRUE(matches[0].oid == oid_a || matches[0].oid == oid_b);
+
+  // Backup the whole state and restore it elsewhere.
+  auto image = db.SaveBackup().value();
+  AvDatabase restored;
+  ASSERT_TRUE(restored.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(restored.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(restored.RestoreBackup(image).ok());
+  EXPECT_EQ(restored.Select("VideoAsset", "title = 'montage'").value().size(),
+            1u);
+}
+
+// ----------------------------- Fig. 4 extension: multiple clients, one tee --
+
+TEST(IntegrationTest, VirtualWorldServesMultipleClientsThroughTee) {
+  AvDatabase db;
+  ASSERT_TRUE(db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(db.AddChannel("net1", Channel::Profile::Atm155()).ok());
+  ASSERT_TRUE(db.AddChannel("net2", Channel::Profile::Atm155()).ok());
+
+  ClassDef world("WorldAsset");
+  ASSERT_TRUE(world.AddAttribute({"wallVideo", AttrType::kVideo, {}, {}}).ok());
+  ASSERT_TRUE(db.DefineClass(world).ok());
+  const auto vtype = MediaDataType::RawVideo(48, 48, 8, Rational(10));
+  auto wall = GenerateVideo(vtype, 20, VideoPattern::kMovingBox).value();
+  Oid oid = db.NewObject("WorldAsset").value();
+  ASSERT_TRUE(db.SetMediaAttribute(oid, "wallVideo", *wall, "disk0").ok());
+
+  static Scene scene = Scene::MuseumRoom();
+  Raycaster::Options ropts;
+  ropts.width = 96;
+  ropts.height = 72;
+
+  // Database renders once; a tee fans the raster stream to two clients.
+  auto stream = db.NewSourceFor("vr", oid, "wallVideo").value();
+  auto move = MoveSource::Create("move", ActivityLocation::kDatabase,
+                                 db.env(),
+                                 {{2.5, 6.0, 0.0}, {12.0, 6.0, 0.0}},
+                                 WorldTime::FromSeconds(2), Rational(10));
+  auto render = RenderActivity::Create("render", ActivityLocation::kDatabase,
+                                       db.env(), &scene, ropts, vtype,
+                                       CostModel::Accelerated());
+  render->FindPort(RenderActivity::kPortPose)
+      .value()
+      ->set_data_type(
+          move->FindPort(MoveSource::kPortOut).value()->data_type());
+  const auto raster_type =
+      render->FindPort(RenderActivity::kPortOut).value()->data_type();
+  auto tee = VideoTee::Create("tee", ActivityLocation::kDatabase, db.env(),
+                              raster_type, 2);
+  auto client1 = VideoWindow::Create(
+      "client1", ActivityLocation::kClient, db.env(),
+      VideoQuality(96, 72, 8, Rational(10)));
+  auto client2 = VideoWindow::Create(
+      "client2", ActivityLocation::kClient, db.env(),
+      VideoQuality(96, 72, 8, Rational(10)));
+  ASSERT_TRUE(db.graph().Add(move).ok());
+  ASSERT_TRUE(db.graph().Add(render).ok());
+  ASSERT_TRUE(db.graph().Add(tee).ok());
+  ASSERT_TRUE(db.graph().Add(client1).ok());
+  ASSERT_TRUE(db.graph().Add(client2).ok());
+  ASSERT_TRUE(db.NewConnection(stream.source, VideoSource::kPortOut,
+                               render.get(), RenderActivity::kPortVideo)
+                  .ok());
+  ASSERT_TRUE(db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
+                               RenderActivity::kPortPose)
+                  .ok());
+  ASSERT_TRUE(db.NewConnection(render.get(), RenderActivity::kPortOut,
+                               tee.get(), VideoTee::kPortIn)
+                  .ok());
+  ASSERT_TRUE(db.NewConnection(tee.get(), "out_0", client1.get(),
+                               VideoWindow::kPortIn, "net1")
+                  .ok());
+  ASSERT_TRUE(db.NewConnection(tee.get(), "out_1", client2.get(),
+                               VideoWindow::kPortIn, "net2")
+                  .ok());
+  ASSERT_TRUE(db.StartStream(stream).ok());
+  ASSERT_TRUE(move->Start().ok());
+  db.RunUntilIdle();
+
+  // Both clients saw the full walk, identically, one render per frame.
+  EXPECT_EQ(client1->stats().elements_presented, 20);
+  EXPECT_EQ(client2->stats().elements_presented, 20);
+  EXPECT_EQ(client1->last_frame(), client2->last_frame());
+  EXPECT_EQ(render->frames_rendered(), 20);
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "codec/encoded_value.h"
+#include "codec/registry.h"
+#include "media/media_ops.h"
+#include "media/synthetic.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::AudioPattern;
+using synthetic::GenerateAudio;
+using synthetic::GenerateVideo;
+using synthetic::VideoPattern;
+
+const MediaDataType kVideoType =
+    MediaDataType::RawVideo(32, 24, 8, Rational(10));
+
+std::shared_ptr<RawVideoValue> Clip(int frames, uint64_t seed = 1) {
+  return GenerateVideo(kVideoType, frames, VideoPattern::kMovingBox, seed)
+      .value();
+}
+
+// --------------------------------------------------------- video editing --
+
+TEST(MediaOpsTest, ExtractSegment) {
+  auto clip = Clip(20);
+  auto segment = media_ops::ExtractSegment(*clip, 5, 10);
+  ASSERT_TRUE(segment.ok());
+  EXPECT_EQ(segment.value()->FrameCount(), 10);
+  EXPECT_EQ(segment.value()->Frame(0).value(), clip->Frame(5).value());
+  EXPECT_EQ(segment.value()->Frame(9).value(), clip->Frame(14).value());
+  EXPECT_FALSE(media_ops::ExtractSegment(*clip, 15, 10).ok());
+  EXPECT_FALSE(media_ops::ExtractSegment(*clip, -1, 2).ok());
+}
+
+TEST(MediaOpsTest, ExtractFromEncodedValueDecodes) {
+  auto clip = Clip(12);
+  auto codec =
+      CodecRegistry::Default().VideoCodecFor(EncodingFamily::kIntra).value();
+  auto encoded =
+      EncodedVideoValue::Create(codec, codec->Encode(*clip, {}).value())
+          .value();
+  auto segment = media_ops::ExtractSegment(*encoded, 4, 4);
+  ASSERT_TRUE(segment.ok());
+  EXPECT_EQ(segment.value()->FrameCount(), 4);
+  // Decoded content approximates the original.
+  const double mae = segment.value()
+                         ->Frame(0)
+                         .value()
+                         .MeanAbsoluteError(clip->Frame(4).value())
+                         .value();
+  EXPECT_LT(mae, 10.0);
+}
+
+TEST(MediaOpsTest, Concatenate) {
+  auto a = Clip(5, 1);
+  auto b = Clip(7, 2);
+  auto joined = media_ops::Concatenate(*a, *b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value()->FrameCount(), 12);
+  EXPECT_EQ(joined.value()->Frame(0).value(), a->Frame(0).value());
+  EXPECT_EQ(joined.value()->Frame(5).value(), b->Frame(0).value());
+  // Format mismatch rejected.
+  auto other = GenerateVideo(MediaDataType::RawVideo(16, 16, 8, Rational(10)),
+                             3, VideoPattern::kNoise)
+                   .value();
+  EXPECT_FALSE(media_ops::Concatenate(*a, *other).ok());
+}
+
+TEST(MediaOpsTest, DissolveCrossFades) {
+  auto a = Clip(10, 1);
+  auto b = Clip(10, 2);
+  auto dissolved = media_ops::Dissolve(*a, *b, 4);
+  ASSERT_TRUE(dissolved.ok());
+  // Length: |a| + |b| - overlap.
+  EXPECT_EQ(dissolved.value()->FrameCount(), 16);
+  // Head is pure a; tail is pure b.
+  EXPECT_EQ(dissolved.value()->Frame(0).value(), a->Frame(0).value());
+  EXPECT_EQ(dissolved.value()->Frame(15).value(), b->Frame(9).value());
+  // The fade starts at a's frame and ends at b's frame.
+  const VideoFrame first_fade = dissolved.value()->Frame(6).value();
+  EXPECT_EQ(first_fade, a->Frame(6).value());  // t = 0
+  const VideoFrame last_fade = dissolved.value()->Frame(9).value();
+  EXPECT_EQ(last_fade, b->Frame(3).value());  // t = 1
+  // Middle fade frames are a blend (differ from both).
+  const VideoFrame mid = dissolved.value()->Frame(7).value();
+  EXPECT_NE(mid, a->Frame(7).value());
+  EXPECT_NE(mid, b->Frame(1).value());
+  // Bad overlap.
+  EXPECT_FALSE(media_ops::Dissolve(*a, *b, 11).ok());
+}
+
+TEST(MediaOpsTest, InsertClip) {
+  auto base = Clip(10, 1);
+  auto clip = Clip(3, 2);
+  auto spliced = media_ops::InsertClip(*base, *clip, 4);
+  ASSERT_TRUE(spliced.ok());
+  EXPECT_EQ(spliced.value()->FrameCount(), 13);
+  EXPECT_EQ(spliced.value()->Frame(3).value(), base->Frame(3).value());
+  EXPECT_EQ(spliced.value()->Frame(4).value(), clip->Frame(0).value());
+  EXPECT_EQ(spliced.value()->Frame(7).value(), base->Frame(4).value());
+  // Insert at both ends.
+  EXPECT_TRUE(media_ops::InsertClip(*base, *clip, 0).ok());
+  EXPECT_TRUE(media_ops::InsertClip(*base, *clip, 10).ok());
+  EXPECT_FALSE(media_ops::InsertClip(*base, *clip, 11).ok());
+}
+
+// --------------------------------------------------------- audio editing --
+
+TEST(MediaOpsTest, ExtractAndConcatenateAudio) {
+  auto a = GenerateAudio(MediaDataType::VoiceAudio(), 1000,
+                         AudioPattern::kTone)
+               .value();
+  auto b = GenerateAudio(MediaDataType::VoiceAudio(), 500,
+                         AudioPattern::kChirp)
+               .value();
+  auto head = media_ops::ExtractAudio(*a, 0, 250);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head.value()->SampleCount(), 250);
+  auto joined = media_ops::ConcatenateAudio(*head.value(), *b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value()->SampleCount(), 750);
+  // Stitch point carries b's first sample.
+  EXPECT_EQ(joined.value()->Samples(250, 1).value().At(0, 0),
+            b->Samples(0, 1).value().At(0, 0));
+  auto stereo = GenerateAudio(MediaDataType::CdAudio(), 100,
+                              AudioPattern::kTone)
+                    .value();
+  EXPECT_FALSE(media_ops::ConcatenateAudio(*a, *stereo).ok());
+}
+
+TEST(MediaOpsTest, MixAudioSumsAndPads) {
+  auto a = GenerateAudio(MediaDataType::VoiceAudio(), 800,
+                         AudioPattern::kTone, 1)
+               .value();
+  auto b = GenerateAudio(MediaDataType::VoiceAudio(), 400,
+                         AudioPattern::kTone, 1)
+               .value();
+  auto mixed = media_ops::MixAudio(*a, *b, 0.5, 0.5);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed.value()->SampleCount(), 800);
+  // Where both exist: average of equal tones = original tone.
+  auto sample_mixed = mixed.value()->Samples(100, 1).value().At(0, 0);
+  auto sample_a = a->Samples(100, 1).value().At(0, 0);
+  EXPECT_NEAR(sample_mixed, sample_a, 1);
+  // Past b's end: half-gain a only.
+  auto tail_mixed = mixed.value()->Samples(600, 1).value().At(0, 0);
+  auto tail_a = a->Samples(600, 1).value().At(0, 0);
+  EXPECT_NEAR(tail_mixed, tail_a / 2, 1);
+}
+
+TEST(MediaOpsTest, MixAudioSaturatesInsteadOfWrapping) {
+  // Two full-scale constant signals at gain 1 each must clamp, not wrap.
+  auto make_loud = [] {
+    auto value = RawAudioValue::Create(MediaDataType::VoiceAudio()).value();
+    AudioBlock block(1, 100);
+    for (int f = 0; f < 100; ++f) block.Set(f, 0, 30000);
+    EXPECT_TRUE(value->Append(block).ok());
+    return value;
+  };
+  auto a = make_loud();
+  auto b = make_loud();
+  auto mixed = media_ops::MixAudio(*a, *b, 1.0, 1.0);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed.value()->Samples(0, 1).value().At(0, 0), 32767);
+}
+
+}  // namespace
+}  // namespace avdb

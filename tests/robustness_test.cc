@@ -1,0 +1,250 @@
+// Failure-injection and property tests: stored or transmitted bytes may be
+// corrupted arbitrarily; nothing in the decode/deserialize path may crash,
+// hang, or read out of bounds — every failure must surface as a Status
+// (typically DataLoss). Also cross-module invariants under random
+// workloads.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "codec/audio_codec.h"
+#include "codec/registry.h"
+#include "db/database.h"
+#include "media/synthetic.h"
+#include "sched/event_engine.h"
+#include "storage/value_serializer.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::AudioPattern;
+using synthetic::GenerateAudio;
+using synthetic::GenerateVideo;
+using synthetic::VideoPattern;
+
+/// Applies `flips` random byte corruptions.
+Buffer Corrupt(Buffer buffer, Rng* rng, int flips) {
+  for (int i = 0; i < flips && !buffer.empty(); ++i) {
+    const size_t at = rng->NextBelow(buffer.size());
+    buffer[at] = static_cast<uint8_t>(rng->NextU64());
+  }
+  return buffer;
+}
+
+/// Truncates to a random prefix.
+Buffer Truncate(const Buffer& buffer, Rng* rng) {
+  Buffer out;
+  if (buffer.empty()) return out;
+  const size_t keep = rng->NextBelow(buffer.size());
+  out.AppendBytes(buffer.data(), keep);
+  return out;
+}
+
+class CorruptionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionTest, CorruptEncodedVideoNeverCrashes) {
+  Rng rng(GetParam());
+  const auto type = MediaDataType::RawVideo(32, 24, 8, Rational(10));
+  auto raw = GenerateVideo(type, 6, VideoPattern::kMovingBox).value();
+  for (EncodingFamily family :
+       {EncodingFamily::kIntra, EncodingFamily::kInter,
+        EncodingFamily::kDelta, EncodingFamily::kScalable}) {
+    auto codec = CodecRegistry::Default().VideoCodecFor(family).value();
+    VideoCodecParams params;
+    params.gop_size = 3;
+    const Buffer good = codec->Encode(*raw, params).value().Serialize();
+    for (int trial = 0; trial < 20; ++trial) {
+      Buffer bad = rng.NextBool() ? Corrupt(good, &rng, 1 + static_cast<int>(rng.NextBelow(8)))
+                                  : Truncate(good, &rng);
+      auto stream = EncodedVideo::Deserialize(bad);
+      if (!stream.ok()) continue;  // rejected at the container level: fine
+      auto session = codec->NewDecoder(stream.value());
+      if (!session.ok()) continue;
+      // Decoding may succeed (benign corruption) or fail with a Status —
+      // either way, no crash and bounded output.
+      for (size_t i = 0; i < stream.value().frames.size(); ++i) {
+        auto frame = session.value()->DecodeFrame(static_cast<int64_t>(i));
+        if (frame.ok()) {
+          EXPECT_EQ(frame.value().SizeBytes(), 32u * 24u);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CorruptionTest, CorruptEncodedAudioNeverCrashes) {
+  Rng rng(GetParam() * 31);
+  auto raw = GenerateAudio(MediaDataType::VoiceAudio(), 3000,
+                           AudioPattern::kSpeechLike)
+                 .value();
+  for (EncodingFamily family :
+       {EncodingFamily::kMulaw, EncodingFamily::kAdpcm}) {
+    auto codec = CodecRegistry::Default().AudioCodecFor(family).value();
+    const Buffer good = codec->Encode(*raw).value().Serialize();
+    for (int trial = 0; trial < 25; ++trial) {
+      Buffer bad = rng.NextBool() ? Corrupt(good, &rng, 1 + static_cast<int>(rng.NextBelow(8)))
+                                  : Truncate(good, &rng);
+      auto stream = EncodedAudio::Deserialize(bad);
+      if (!stream.ok()) continue;
+      for (size_t c = 0; c < stream.value().chunks.size(); ++c) {
+        codec->DecodeChunk(stream.value(), static_cast<int64_t>(c)).ok();
+      }
+    }
+  }
+}
+
+TEST_P(CorruptionTest, CorruptSerializedValueNeverCrashes) {
+  Rng rng(GetParam() * 77);
+  auto video = GenerateVideo(MediaDataType::RawVideo(16, 16, 8, Rational(10)),
+                             4, VideoPattern::kNoise)
+                   .value();
+  auto audio = GenerateAudio(MediaDataType::CdAudio(), 500,
+                             AudioPattern::kChirp)
+                   .value();
+  auto subs = synthetic::GenerateSubtitles(MediaDataType::Text(Rational(10)),
+                                           2, 3, 1, "x")
+                  .value();
+  for (const MediaValue* value :
+       std::initializer_list<const MediaValue*>{video.get(), audio.get(),
+                                                subs.get()}) {
+    const Buffer good = value_serializer::Serialize(*value).value();
+    for (int trial = 0; trial < 30; ++trial) {
+      Buffer bad = rng.NextBool() ? Corrupt(good, &rng, 1 + static_cast<int>(rng.NextBelow(6)))
+                                  : Truncate(good, &rng);
+      auto restored = value_serializer::Deserialize(bad);
+      if (restored.ok()) {
+        // Benign corruption: the restored value must still be usable.
+        EXPECT_GE(restored.value()->ElementCount(), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(CorruptionTest, StoreDetectsBitrotViaChecksum) {
+  auto device =
+      std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  MediaStore store(device, nullptr);
+  Buffer blob;
+  for (int i = 0; i < 10000; ++i) blob.AppendU8(static_cast<uint8_t>(i));
+  ASSERT_TRUE(store.Put("clip", blob).ok());
+  // Flip a stored byte behind the store's back.
+  Buffer flipped;
+  flipped.AppendU8(0xFF);
+  ASSERT_TRUE(device->Write(0, 123, flipped).ok());
+  auto read = store.Get("clip");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+// ----------------------------------------------------- cross-module invariants --
+
+TEST(InvariantTest, AdmissionLedgerBalancesUnderRandomOps) {
+  Rng rng(99);
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("a", 1000).ok());
+  ASSERT_TRUE(ac.RegisterPool("b", 500).ok());
+  std::vector<AdmissionTicket> live;
+  for (int step = 0; step < 500; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      auto ticket = ac.Admit(
+          {{"a", static_cast<double>(rng.NextInRange(1, 300))},
+           {"b", static_cast<double>(rng.NextInRange(0, 150))}});
+      if (ticket.ok()) live.push_back(std::move(ticket).value());
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      ac.Release(&live[pick]);
+      live.erase(live.begin() + static_cast<int64_t>(pick));
+    }
+    // Invariants: never oversubscribed, never negative.
+    EXPECT_GE(ac.Available("a").value(), -1e-6);
+    EXPECT_GE(ac.Available("b").value(), -1e-6);
+    EXPECT_LE(ac.Available("a").value(), 1000 + 1e-6);
+    EXPECT_LE(ac.Available("b").value(), 500 + 1e-6);
+  }
+  for (auto& ticket : live) ac.Release(&ticket);
+  EXPECT_DOUBLE_EQ(ac.Available("a").value(), 1000);
+  EXPECT_DOUBLE_EQ(ac.Available("b").value(), 500);
+}
+
+TEST(InvariantTest, LockTableConsistentUnderRandomOps) {
+  Rng rng(123);
+  LockManager locks;
+  const std::vector<std::string> owners = {"s1", "s2", "s3"};
+  for (int step = 0; step < 1000; ++step) {
+    const Oid oid(1 + rng.NextBelow(5));
+    const std::string& owner = owners[rng.NextBelow(owners.size())];
+    switch (rng.NextBelow(3)) {
+      case 0:
+        locks.Acquire(oid, LockMode::kShared, owner).ok();
+        break;
+      case 1:
+        locks.Acquire(oid, LockMode::kExclusive, owner).ok();
+        break;
+      case 2:
+        locks.Release(oid, owner);
+        break;
+    }
+    // Invariant: an exclusive holder excludes everyone else.
+    for (uint64_t o = 1; o <= 5; ++o) {
+      const Oid check(o);
+      int exclusive_holders = 0;
+      for (const auto& candidate : owners) {
+        if (locks.Holds(check, LockMode::kExclusive, candidate)) {
+          ++exclusive_holders;
+        }
+      }
+      ASSERT_LE(exclusive_holders, 1);
+      if (exclusive_holders == 1) {
+        ASSERT_EQ(locks.HolderCount(check), 1u);
+      }
+    }
+  }
+}
+
+TEST(InvariantTest, EventEngineTimeNeverRegresses) {
+  Rng rng(7);
+  EventEngine engine;
+  int64_t last_seen = -1;
+  int executed = 0;
+  std::function<void()> observe = [&] {
+    EXPECT_GE(engine.now_ns(), last_seen);
+    last_seen = engine.now_ns();
+    ++executed;
+    if (executed < 300) {
+      // Schedule into the past and the future; past clamps to now.
+      engine.ScheduleAt(engine.now_ns() + rng.NextInRange(-500, 500),
+                        observe);
+    }
+  };
+  engine.ScheduleAt(int64_t{0}, observe);
+  engine.RunUntilIdle();
+  EXPECT_EQ(executed, 300);
+}
+
+TEST(InvariantTest, BackupIsDeterministic) {
+  auto build = [] {
+    auto db = std::make_unique<AvDatabase>();
+    EXPECT_TRUE(db->AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+    ClassDef clip_class("Clip");
+    EXPECT_TRUE(
+        clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok());
+    EXPECT_TRUE(db->DefineClass(clip_class).ok());
+    auto oid = db->NewObject("Clip").value();
+    auto video =
+        GenerateVideo(MediaDataType::RawVideo(16, 16, 8, Rational(10)), 5,
+                      VideoPattern::kMovingBox)
+            .value();
+    EXPECT_TRUE(db->SetMediaAttribute(oid, "footage", *video, "disk0").ok());
+    return db;
+  };
+  auto db1 = build();
+  auto db2 = build();
+  EXPECT_EQ(db1->SaveBackup().value().Hash64(),
+            db2->SaveBackup().value().Hash64());
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.h"
+#include "sched/admission.h"
+#include "sched/event_engine.h"
+#include "sched/jitter.h"
+#include "sched/service_queue.h"
+#include "sched/stream_stats.h"
+#include "sched/sync_controller.h"
+
+namespace avdb {
+namespace {
+
+// ------------------------------------------------------------ EventEngine --
+
+TEST(EventEngineTest, RunsInTimeOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(int64_t{300}, [&] { order.push_back(3); });
+  engine.ScheduleAt(int64_t{100}, [&] { order.push_back(1); });
+  engine.ScheduleAt(int64_t{200}, [&] { order.push_back(2); });
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now_ns(), 300);
+}
+
+TEST(EventEngineTest, TiesBreakByInsertionOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.ScheduleAt(int64_t{100}, [&order, i] { order.push_back(i); });
+  }
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEngineTest, PastEventsClampToNow) {
+  EventEngine engine;
+  engine.clock().AdvanceTo(1000);
+  bool ran = false;
+  engine.ScheduleAt(int64_t{500}, [&] { ran = true; });
+  engine.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(engine.now_ns(), 1000);  // never moved backwards
+}
+
+TEST(EventEngineTest, EventsCanScheduleEvents) {
+  EventEngine engine;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 10) engine.ScheduleAfter(int64_t{100}, tick);
+  };
+  engine.ScheduleAt(int64_t{0}, tick);
+  engine.RunUntilIdle();
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(engine.now_ns(), 900);
+}
+
+TEST(EventEngineTest, RunUntilStopsAtDeadline) {
+  EventEngine engine;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.ScheduleAt(int64_t{i * 100}, [&] { ++count; });
+  }
+  engine.RunUntil(int64_t{500});
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(engine.now_ns(), 500);
+  EXPECT_EQ(engine.PendingEvents(), 5u);
+}
+
+// ----------------------------------------------------------- ServiceQueue --
+
+TEST(ServiceQueueTest, IdleServerServesImmediately) {
+  ServiceQueue q("disk");
+  EXPECT_EQ(q.Submit(1000, 500), 1500);
+  EXPECT_EQ(q.free_at_ns(), 1500);
+}
+
+TEST(ServiceQueueTest, ContentionQueues) {
+  ServiceQueue q("disk");
+  EXPECT_EQ(q.Submit(0, 1000), 1000);
+  EXPECT_EQ(q.Submit(100, 1000), 2000);  // waits 900
+  EXPECT_EQ(q.Submit(5000, 100), 5100);  // server idle again
+  EXPECT_EQ(q.stats().queued_ns, 900);
+  EXPECT_EQ(q.stats().max_queue_ns, 900);
+  EXPECT_EQ(q.stats().busy_ns, 2100);
+}
+
+TEST(ServiceQueueTest, PeekDoesNotAdvance) {
+  ServiceQueue q("x");
+  EXPECT_EQ(q.PeekCompletion(0, 100), 100);
+  EXPECT_EQ(q.PeekCompletion(0, 100), 100);
+  EXPECT_EQ(q.stats().requests, 0);
+}
+
+// -------------------------------------------------------------- Admission --
+
+TEST(AdmissionTest, AllOrNothing) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("disk.bw", 100).ok());
+  ASSERT_TRUE(ac.RegisterPool("net.bw", 50).ok());
+  // First request fits.
+  auto t1 = ac.Admit({{"disk.bw", 60}, {"net.bw", 30}});
+  ASSERT_TRUE(t1.ok());
+  // Second would fit on disk but not net: nothing must be taken.
+  auto t2 = ac.Admit({{"disk.bw", 10}, {"net.bw", 30}});
+  EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(ac.Available("disk.bw").value(), 40.0);
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 20.0);
+  // Releasing the first admits the second.
+  ac.Release(&t1.value());
+  EXPECT_FALSE(t1.value().IsActive());
+  auto t3 = ac.Admit({{"disk.bw", 10}, {"net.bw", 30}});
+  EXPECT_TRUE(t3.ok());
+}
+
+TEST(AdmissionTest, DuplicatePoolDemandsSum) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("buf", 100).ok());
+  EXPECT_FALSE(ac.Admit({{"buf", 60}, {"buf", 60}}).ok());
+  EXPECT_TRUE(ac.Admit({{"buf", 60}, {"buf", 40}}).ok());
+}
+
+TEST(AdmissionTest, ReleaseIsIdempotent) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("p", 10).ok());
+  auto t = ac.Admit({{"p", 10}});
+  ASSERT_TRUE(t.ok());
+  ac.Release(&t.value());
+  ac.Release(&t.value());
+  EXPECT_DOUBLE_EQ(ac.Available("p").value(), 10.0);
+}
+
+TEST(AdmissionTest, UnknownPoolAndBadDemand) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("p", 10).ok());
+  EXPECT_EQ(ac.Admit({{"q", 1}}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ac.Admit({{"p", -1}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ac.RegisterPool("p", 5).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AdmissionTest, ExclusiveDeviceAsUnitPool) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("jukebox.arm", 1).ok());
+  auto t1 = ac.Admit({{"jukebox.arm", 1}});
+  ASSERT_TRUE(t1.ok());
+  EXPECT_FALSE(ac.Admit({{"jukebox.arm", 1}}).ok());
+  ac.Release(&t1.value());
+  EXPECT_TRUE(ac.Admit({{"jukebox.arm", 1}}).ok());
+}
+
+TEST(AdmissionTest, StatsCountOutcomes) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("p", 1).ok());
+  auto t = ac.Admit({{"p", 1}});
+  ASSERT_TRUE(t.ok());
+  ac.Admit({{"p", 1}}).ok();
+  EXPECT_EQ(ac.stats().admitted, 1);
+  EXPECT_EQ(ac.stats().rejected, 1);
+}
+
+// ----------------------------------------------------------------- Jitter --
+
+TEST(JitterTest, NoJitterIsZero) {
+  JitterModel none;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(none.Sample(), 0);
+}
+
+TEST(JitterTest, SamplesAreNonNegativeAndDeterministic) {
+  JitterModel a = JitterModel::Workstation(42);
+  JitterModel b = JitterModel::Workstation(42);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t sa = a.Sample();
+    EXPECT_GE(sa, 0);
+    EXPECT_EQ(sa, b.Sample());
+  }
+}
+
+TEST(JitterTest, SpikesHappenAtConfiguredRate) {
+  JitterModel::Params p;
+  p.spike_probability = 0.5;
+  p.spike_ns = 1000000;
+  JitterModel jm(p, 7);
+  int spikes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (jm.Sample() >= 1000000) ++spikes;
+  }
+  EXPECT_GT(spikes, 800);
+  EXPECT_LT(spikes, 1200);
+}
+
+// --------------------------------------------------------- SyncController --
+
+TEST(SyncControllerTest, FirstTrackBecomesMaster) {
+  SyncController sync;
+  ASSERT_TRUE(sync.AddTrack("audio").ok());
+  ASSERT_TRUE(sync.AddTrack("video").ok());
+  // Master never skips.
+  ASSERT_TRUE(sync.Report("audio", 0, 100000000).ok());
+  ASSERT_TRUE(sync.Report("video", 0, 0).ok());
+  EXPECT_EQ(sync.RecommendSkip("audio", 33000000).value(), 0);
+}
+
+TEST(SyncControllerTest, LaggingTrackToldToSkip) {
+  SyncController::Params params;
+  params.skew_threshold_ns = 40 * 1000 * 1000;
+  params.drift_alpha = 1.0;  // no smoothing: deterministic test
+  SyncController sync(params);
+  ASSERT_TRUE(sync.AddTrack("audio", /*master=*/true).ok());
+  ASSERT_TRUE(sync.AddTrack("video").ok());
+  // Audio on time, video 100 ms late.
+  ASSERT_TRUE(sync.Report("audio", 0, 0).ok());
+  ASSERT_TRUE(sync.Report("video", 0, 100 * 1000 * 1000).ok());
+  const int64_t period = 33 * 1000 * 1000;
+  auto skip = sync.RecommendSkip("video", period);
+  ASSERT_TRUE(skip.ok());
+  EXPECT_GE(skip.value(), 3);  // ceil(100ms / 33ms)
+  EXPECT_EQ(sync.stats().resyncs, 1);
+  // After the (virtual) skip the drift is discounted: no repeat skip.
+  EXPECT_EQ(sync.RecommendSkip("video", period).value(), 0);
+}
+
+TEST(SyncControllerTest, InSyncTracksNotSkipped) {
+  SyncController sync;
+  ASSERT_TRUE(sync.AddTrack("audio", true).ok());
+  ASSERT_TRUE(sync.AddTrack("video").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sync.Report("audio", i * 1000000, i * 1000000 + 500).ok());
+    ASSERT_TRUE(sync.Report("video", i * 1000000, i * 1000000 + 900).ok());
+  }
+  EXPECT_EQ(sync.RecommendSkip("video", 1000000).value(), 0);
+  EXPECT_LT(sync.CurrentMaxSkewNs(), 1000);
+}
+
+TEST(SyncControllerTest, SkewTracksDriftDifference) {
+  SyncController::Params params;
+  params.drift_alpha = 1.0;
+  SyncController sync(params);
+  ASSERT_TRUE(sync.AddTrack("a", true).ok());
+  ASSERT_TRUE(sync.AddTrack("b").ok());
+  ASSERT_TRUE(sync.Report("a", 0, 1000).ok());
+  ASSERT_TRUE(sync.Report("b", 0, 9000).ok());
+  EXPECT_EQ(sync.CurrentMaxSkewNs(), 8000);
+  EXPECT_EQ(sync.stats().max_observed_skew_ns, 8000);
+  EXPECT_EQ(sync.DriftNs("b").value(), 9000);
+}
+
+TEST(SyncControllerTest, ErrorsOnUnknownTrack) {
+  SyncController sync;
+  EXPECT_EQ(sync.Report("x", 0, 0).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(sync.RecommendSkip("x", 100).ok());
+  EXPECT_FALSE(sync.DriftNs("x").ok());
+  ASSERT_TRUE(sync.AddTrack("x").ok());
+  EXPECT_EQ(sync.AddTrack("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(sync.RecommendSkip("x", 0).ok());  // bad period
+}
+
+// ------------------------------------------------------------ StreamStats --
+
+TEST(StreamStatsTest, RecordsLatenessBuckets) {
+  StreamStats stats;
+  stats.Record(1000, -5, 10);                 // on time
+  stats.Record(2000, 10 * 1000 * 1000, 10);   // late but under threshold
+  stats.Record(3000, 80 * 1000 * 1000, 10);   // deadline miss
+  EXPECT_EQ(stats.elements_presented, 3);
+  EXPECT_EQ(stats.late_elements, 2);
+  EXPECT_EQ(stats.deadline_misses, 1);
+  EXPECT_EQ(stats.max_lateness_ns, 80 * 1000 * 1000);
+  EXPECT_EQ(stats.bytes_delivered, 30);
+  EXPECT_EQ(stats.first_element_ns, 1000);
+  EXPECT_NEAR(stats.MissRate(), 1.0 / 3, 1e-9);
+}
+
+TEST(StreamStatsTest, AchievedRate) {
+  StreamStats stats;
+  // 31 elements, one every 33 1/3 ms -> 30/s.
+  for (int i = 0; i <= 30; ++i) {
+    stats.Record(i * 1000000000LL / 30, 0, 1);
+  }
+  EXPECT_NEAR(stats.AchievedRate(), 30.0, 0.1);
+}
+
+// ---------------------------------------------------------------- Channel --
+
+TEST(ChannelTest, TransferSerializesOnLink) {
+  Channel ch("net", Channel::Profile::Ethernet10());
+  const int64_t bytes = 125000;  // 0.1 s at 1.25 MB/s
+  const int64_t d1 = ch.Transfer(0, bytes);
+  EXPECT_EQ(d1, 100 * 1000 * 1000 + ch.profile().propagation_delay_ns);
+  // Second transfer queues behind the first.
+  const int64_t d2 = ch.Transfer(0, bytes);
+  EXPECT_EQ(d2, 200 * 1000 * 1000 + ch.profile().propagation_delay_ns);
+}
+
+TEST(ChannelTest, BandwidthReservation) {
+  Channel ch("net", Channel::Profile::T1());
+  const int64_t cap = ch.profile().bandwidth_bytes_per_sec;
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 2).ok());
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 2).ok());
+  EXPECT_EQ(ch.ReserveBandwidth(1).status().code(),
+            StatusCode::kResourceExhausted);
+  ch.ReleaseBandwidth(cap / 2);
+  EXPECT_TRUE(ch.ReserveBandwidth(cap / 4).ok());
+  EXPECT_FALSE(ch.ReserveBandwidth(0).ok());
+}
+
+TEST(ChannelTest, ProfilesAreOrdered) {
+  EXPECT_GT(Channel::Profile::Atm155().bandwidth_bytes_per_sec,
+            Channel::Profile::Ethernet10().bandwidth_bytes_per_sec);
+  EXPECT_GT(Channel::Profile::Ethernet10().bandwidth_bytes_per_sec,
+            Channel::Profile::T1().bandwidth_bytes_per_sec);
+}
+
+}  // namespace
+}  // namespace avdb

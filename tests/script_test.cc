@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "activity/sinks.h"
+#include "db/script.h"
+#include "media/synthetic.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::GenerateAudio;
+using synthetic::GenerateVideo;
+
+std::unique_ptr<AvDatabase> PopulatedDb() {
+  auto db = std::make_unique<AvDatabase>();
+  EXPECT_TRUE(db->AddDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  EXPECT_TRUE(db->AddDevice("disk1", DeviceProfile::MagneticDisk()).ok());
+  EXPECT_TRUE(db->AddChannel("net", Channel::Profile::Ethernet10()).ok());
+
+  ClassDef simple("SimpleNewscast");
+  EXPECT_TRUE(simple.AddAttribute({"title", AttrType::kString, {}, {}}).ok());
+  EXPECT_TRUE(
+      simple.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok());
+  EXPECT_TRUE(
+      simple.AddAttribute({"videoTrack", AttrType::kVideo, {}, {}}).ok());
+  EXPECT_TRUE(db->DefineClass(simple).ok());
+
+  ClassDef newscast("Newscast");
+  EXPECT_TRUE(newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok());
+  TcompDef clip;
+  clip.name = "clip";
+  clip.tracks.push_back({"videoTrack", AttrType::kVideo, {}, {}});
+  clip.tracks.push_back({"englishTrack", AttrType::kAudio, {}, {}});
+  EXPECT_TRUE(newscast.AddTcomp(clip).ok());
+  EXPECT_TRUE(db->DefineClass(newscast).ok());
+
+  const auto vtype = MediaDataType::RawVideo(160, 120, 8, Rational(10));
+  auto video = GenerateVideo(vtype, 20, synthetic::VideoPattern::kMovingBox)
+                   .value();
+  auto audio = GenerateAudio(MediaDataType::VoiceAudio(), 2 * 8000,
+                             synthetic::AudioPattern::kSpeechLike)
+                   .value();
+
+  Oid simple_oid = db->NewObject("SimpleNewscast").value();
+  EXPECT_TRUE(
+      db->SetScalar(simple_oid, "title", std::string("60 Minutes")).ok());
+  EXPECT_TRUE(db->SetScalar(simple_oid, "whenBroadcast",
+                            std::string("1992-11-22"))
+                  .ok());
+  EXPECT_TRUE(
+      db->SetMediaAttribute(simple_oid, "videoTrack", *video, "disk0").ok());
+
+  Oid tcomp_oid = db->NewObject("Newscast").value();
+  EXPECT_TRUE(db->SetScalar(tcomp_oid, "title", std::string("60 Minutes"))
+                  .ok());
+  EXPECT_TRUE(db->SetTcompTrack(tcomp_oid, "clip", "videoTrack", *video,
+                                "disk0", WorldTime(),
+                                WorldTime::FromSeconds(2))
+                  .ok());
+  EXPECT_TRUE(db->SetTcompTrack(tcomp_oid, "clip", "englishTrack", *audio,
+                                "disk1", WorldTime(),
+                                WorldTime::FromSeconds(2))
+                  .ok());
+  return db;
+}
+
+// The paper's §4.3 first example, statement for statement.
+constexpr const char* kPaperExample1 = R"(
+# statements 1-2: activities
+new activity VideoSource for SimpleNewscast.videoTrack as dbSource
+new activity VideoWindow quality 160x120x8@10 as appSink
+# statement 3: connection (wires once dbSource materializes)
+new connection from dbSource.video_out to appSink.video_in via net as videostream
+# statement 4: query returns references
+myNews = select SimpleNewscast where title = "60 Minutes" and whenBroadcast = '1992-11-22'
+# statement 5: bind (materializes the database source; admission happens here)
+bind myNews.videoTrack to dbSource
+# statement 6: start
+start videostream
+run
+stop videostream
+)";
+
+TEST(ScriptTest, PaperExampleOneRunsVerbatim) {
+  auto db = PopulatedDb();
+  ScriptSession session(db.get(), "script");
+  std::ostringstream log;
+  ASSERT_TRUE(session.ExecuteScript(kPaperExample1, &log).ok()) << log.str();
+
+  auto my_news = session.Variable("myNews");
+  ASSERT_TRUE(my_news.ok());
+  EXPECT_EQ(my_news.value().size(), 1u);
+
+  auto sink = session.Activity("appSink");
+  ASSERT_TRUE(sink.ok());
+  auto* window = dynamic_cast<VideoWindow*>(sink.value());
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->stats().elements_presented, 20);
+  EXPECT_EQ(window->stats().deadline_misses, 0);
+}
+
+TEST(ScriptTest, CueAndTimedRun) {
+  auto db = PopulatedDb();
+  ScriptSession session(db.get(), "script");
+  std::ostringstream log;
+  const char* script = R"(
+new activity VideoSource for SimpleNewscast.videoTrack as src
+new activity VideoWindow quality 160x120x8@10 as win
+new connection from src.video_out to win.video_in as link
+news = select SimpleNewscast
+cue src to 1.0
+bind news.videoTrack to src
+start link
+run 0.6
+pause link
+run 2
+resume link
+run
+)";
+  ASSERT_TRUE(session.ExecuteScript(script, &log).ok()) << log.str();
+  auto* window =
+      dynamic_cast<VideoWindow*>(session.Activity("win").value());
+  // Cued to 1 s of a 2 s clip: only 10 frames total, across pause/resume.
+  EXPECT_EQ(window->stats().elements_presented, 10);
+}
+
+TEST(ScriptTest, MultiSourceTcompPlayback) {
+  auto db = PopulatedDb();
+  ScriptSession session(db.get(), "script");
+  std::ostringstream log;
+  const char* script = R"(
+new activity MultiSource for Newscast.clip as dbSource
+new activity VideoWindow quality 160x120x8@10 as videoOut
+new activity AudioSink quality voice as audioOut
+new connection from dbSource.videoTrack_out to videoOut.video_in as vstream
+new connection from dbSource.englishTrack_out to audioOut.audio_in as astream
+myNews = select Newscast where title = "60 Minutes"
+bind myNews.clip to dbSource
+start vstream
+run
+)";
+  ASSERT_TRUE(session.ExecuteScript(script, &log).ok()) << log.str();
+  auto* window =
+      dynamic_cast<VideoWindow*>(session.Activity("videoOut").value());
+  auto* speaker =
+      dynamic_cast<AudioSink*>(session.Activity("audioOut").value());
+  EXPECT_EQ(window->stats().elements_presented, 20);
+  EXPECT_GT(speaker->stats().elements_presented, 10);
+}
+
+TEST(ScriptTest, ErrorsAreDescriptive) {
+  auto db = PopulatedDb();
+  ScriptSession session(db.get(), "script");
+  EXPECT_EQ(session.Execute("frobnicate the database").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Execute("bind nothing.videoTrack to nowhere")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.Execute("start nothing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      session.Execute("new activity Teleporter for X.y as z").status().code(),
+      StatusCode::kInvalidArgument);
+  // Connection via an unknown channel fails at declaration.
+  ASSERT_TRUE(session
+                  .Execute("new activity VideoWindow quality 160x120x8@10 "
+                           "as win")
+                  .ok());
+  EXPECT_EQ(session
+                .Execute("new connection from a.out to win.video_in via "
+                         "wormhole as c")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Starting before bind is a FailedPrecondition, mirroring the deferred
+  // materialization documented in script.h.
+  ASSERT_TRUE(session
+                  .Execute("new activity VideoSource for "
+                           "SimpleNewscast.videoTrack as src")
+                  .ok());
+  ASSERT_TRUE(session
+                  .Execute("new connection from src.video_out to "
+                           "win.video_in as link")
+                  .ok());
+  EXPECT_EQ(session.Execute("start link").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ScriptTest, SessionDestructorReleasesStreams) {
+  auto db = PopulatedDb();
+  const double buffers_before =
+      db->admission().Available("db.buffers").value();
+  {
+    ScriptSession session(db.get(), "ephemeral");
+    ASSERT_TRUE(session
+                    .Execute("new activity VideoSource for "
+                             "SimpleNewscast.videoTrack as src")
+                    .ok());
+    ASSERT_TRUE(session.Execute("news = select SimpleNewscast").ok());
+    ASSERT_TRUE(session.Execute("bind news.videoTrack to src").ok());
+    EXPECT_LT(db->admission().Available("db.buffers").value(),
+              buffers_before);
+  }
+  EXPECT_DOUBLE_EQ(db->admission().Available("db.buffers").value(),
+                   buffers_before);
+}
+
+}  // namespace
+}  // namespace avdb

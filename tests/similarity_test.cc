@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "codec/registry.h"
+#include "codec/encoded_value.h"
+#include "db/similarity.h"
+#include "media/synthetic.h"
+
+namespace avdb {
+namespace {
+
+using synthetic::GenerateVideo;
+using synthetic::VideoPattern;
+
+const MediaDataType kType = MediaDataType::RawVideo(48, 36, 8, Rational(10));
+
+std::shared_ptr<RawVideoValue> Clip(VideoPattern pattern, uint64_t seed) {
+  return GenerateVideo(kType, 16, pattern, seed).value();
+}
+
+TEST(VideoSignatureTest, IdenticalContentIsDistanceZero) {
+  auto a = Clip(VideoPattern::kMovingBox, 1);
+  auto b = Clip(VideoPattern::kMovingBox, 1);
+  const auto sig_a = VideoSignature::Extract(*a).value();
+  const auto sig_b = VideoSignature::Extract(*b).value();
+  EXPECT_DOUBLE_EQ(sig_a.DistanceTo(sig_b), 0.0);
+  EXPECT_TRUE(sig_a == sig_b);
+}
+
+TEST(VideoSignatureTest, MetricProperties) {
+  const auto a = VideoSignature::Extract(*Clip(VideoPattern::kMovingBox, 1))
+                     .value();
+  const auto b =
+      VideoSignature::Extract(*Clip(VideoPattern::kCheckerboard, 1)).value();
+  const auto c =
+      VideoSignature::Extract(*Clip(VideoPattern::kNoise, 1)).value();
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), b.DistanceTo(a));
+  // Triangle inequality.
+  EXPECT_LE(a.DistanceTo(c), a.DistanceTo(b) + b.DistanceTo(c) + 1e-12);
+  // Distinct content is strictly apart.
+  EXPECT_GT(a.DistanceTo(b), 0.01);
+}
+
+TEST(VideoSignatureTest, CompressionPreservesNeighbourhood) {
+  // The REDI premise: features extracted from a (lossy) stored copy stay
+  // close to the original's features.
+  auto original = Clip(VideoPattern::kMovingBox, 7);
+  auto codec =
+      CodecRegistry::Default().VideoCodecFor(EncodingFamily::kIntra).value();
+  VideoCodecParams params;
+  params.quality = 85;
+  auto encoded = EncodedVideoValue::Create(
+                     codec, codec->Encode(*original, params).value())
+                     .value();
+  const auto sig_raw = VideoSignature::Extract(*original).value();
+  const auto sig_enc = VideoSignature::Extract(*encoded).value();
+  const auto sig_other =
+      VideoSignature::Extract(*Clip(VideoPattern::kCheckerboard, 7)).value();
+  EXPECT_LT(sig_raw.DistanceTo(sig_enc), sig_raw.DistanceTo(sig_other) / 3);
+}
+
+TEST(VideoSignatureTest, SerializeRoundTrip) {
+  const auto sig = VideoSignature::Extract(*Clip(VideoPattern::kNoise, 3))
+                       .value();
+  auto restored = VideoSignature::Deserialize(sig.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(sig == restored.value());
+  EXPECT_FALSE(VideoSignature::Deserialize(Buffer()).ok());
+}
+
+TEST(VideoSignatureTest, EmptyValueRejected) {
+  auto empty = RawVideoValue::Create(kType).value();
+  EXPECT_FALSE(VideoSignature::Extract(*empty).ok());
+}
+
+TEST(SimilarityIndexTest, QueryByExampleRanksByContent) {
+  SimilarityIndex index;
+  // Three "boxes" with different seeds (same style), one checkerboard,
+  // one noise.
+  index.Add(Oid(1), "footage",
+            VideoSignature::Extract(*Clip(VideoPattern::kMovingBox, 1))
+                .value());
+  index.Add(Oid(2), "footage",
+            VideoSignature::Extract(*Clip(VideoPattern::kMovingBox, 2))
+                .value());
+  index.Add(Oid(3), "footage",
+            VideoSignature::Extract(*Clip(VideoPattern::kCheckerboard, 1))
+                .value());
+  index.Add(Oid(4), "footage",
+            VideoSignature::Extract(*Clip(VideoPattern::kNoise, 1)).value());
+  EXPECT_EQ(index.size(), 4u);
+
+  // Query by example with another box clip: boxes first.
+  const auto query =
+      VideoSignature::Extract(*Clip(VideoPattern::kMovingBox, 9)).value();
+  auto matches = index.FindSimilar(query, 4);
+  ASSERT_EQ(matches.size(), 4u);
+  EXPECT_TRUE((matches[0].oid == Oid(1) || matches[0].oid == Oid(2)));
+  EXPECT_TRUE((matches[1].oid == Oid(1) || matches[1].oid == Oid(2)));
+  // Distances ascend.
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i].distance, matches[i - 1].distance);
+  }
+  // k truncates.
+  EXPECT_EQ(index.FindSimilar(query, 2).size(), 2u);
+}
+
+TEST(SimilarityIndexTest, FindSimilarToExcludesSelf) {
+  SimilarityIndex index;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    index.Add(Oid(seed), "footage",
+              VideoSignature::Extract(*Clip(VideoPattern::kMovingBox, seed))
+                  .value());
+  }
+  auto matches = index.FindSimilarTo(Oid(1), "footage", 2);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches.value().size(), 2u);
+  for (const auto& match : matches.value()) {
+    EXPECT_NE(match.oid, Oid(1));
+  }
+  EXPECT_FALSE(index.FindSimilarTo(Oid(99), "footage", 2).ok());
+}
+
+TEST(SimilarityIndexTest, AddReplacesAndRemoveDeletes) {
+  SimilarityIndex index;
+  const auto sig_a =
+      VideoSignature::Extract(*Clip(VideoPattern::kMovingBox, 1)).value();
+  const auto sig_b =
+      VideoSignature::Extract(*Clip(VideoPattern::kNoise, 1)).value();
+  index.Add(Oid(1), "footage", sig_a);
+  index.Add(Oid(1), "footage", sig_b);  // replace
+  EXPECT_EQ(index.size(), 1u);
+  auto matches = index.FindSimilar(sig_b, 1);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+  EXPECT_TRUE(index.Remove(Oid(1), "footage"));
+  EXPECT_FALSE(index.Remove(Oid(1), "footage"));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "codec/inter_codec.h"
+#include "codec/encoded_value.h"
+#include "codec/registry.h"
+#include "media/synthetic.h"
+#include "storage/block_device.h"
+#include "storage/buffer_cache.h"
+#include "storage/device_manager.h"
+#include "storage/extent_allocator.h"
+#include "storage/media_store.h"
+#include "storage/value_serializer.h"
+
+namespace avdb {
+namespace {
+
+Buffer MakeBlob(size_t size, uint8_t seed = 7) {
+  Buffer b;
+  for (size_t i = 0; i < size; ++i) {
+    b.AppendU8(static_cast<uint8_t>(seed + i * 31));
+  }
+  return b;
+}
+
+// ------------------------------------------------------------ BlockDevice --
+
+TEST(BlockDeviceTest, SequentialReadAvoidsSeeks) {
+  BlockDevice dev("d0", DeviceProfile::MagneticDisk());
+  Buffer data = MakeBlob(1024 * 1024);
+  ASSERT_TRUE(dev.Write(0, 0, data).ok());
+  Buffer out;
+  // First read seeks (head is at end of write), second continues.
+  ASSERT_TRUE(dev.Read(0, 0, 512 * 1024, &out).ok());
+  auto second = dev.Read(0, 512 * 1024, 512 * 1024, &out);
+  ASSERT_TRUE(second.ok());
+  // Pure transfer time: 512KB at 3.5MB/s ≈ 146ms, no seek component.
+  EXPECT_EQ(second.value(),
+            dev.SequentialReadTime(512 * 1024));
+  // Only the first read repositioned (the write started at the initial
+  // head position and the second read continued the first).
+  EXPECT_EQ(dev.stats().seeks, 1);
+}
+
+TEST(BlockDeviceTest, InterleavedStreamsPaySeeks) {
+  // The §3.3 placement argument: alternating between two far-apart extents
+  // costs a seek per read.
+  BlockDevice dev("d0", DeviceProfile::MagneticDisk());
+  Buffer a = MakeBlob(256 * 1024, 1);
+  Buffer b = MakeBlob(256 * 1024, 2);
+  ASSERT_TRUE(dev.Write(0, 0, a).ok());
+  ASSERT_TRUE(dev.Write(0, 500 * 1024 * 1024, b).ok());
+  dev.ResetStats();
+  Buffer out;
+  WorldTime interleaved;
+  for (int i = 0; i < 8; ++i) {
+    interleaved += dev.Read(0, i % 2 == 0 ? 0 : 500 * 1024 * 1024, 32 * 1024,
+                            &out)
+                       .value();
+  }
+  EXPECT_EQ(dev.stats().seeks, 8);  // every read repositions
+  // Same volume sequentially is much cheaper.
+  WorldTime sequential = dev.SequentialReadTime(8 * 32 * 1024);
+  EXPECT_GT(interleaved.ToSecondsF(), 2 * sequential.ToSecondsF());
+}
+
+TEST(BlockDeviceTest, JukeboxDiscExchangeIsExpensive) {
+  BlockDevice dev("juke", DeviceProfile::VideodiscJukebox());
+  Buffer data = MakeBlob(64 * 1024);
+  ASSERT_TRUE(dev.Write(0, 0, data).ok());
+  ASSERT_TRUE(dev.Write(5, 0, data).ok());
+  Buffer out;
+  dev.ResetStats();
+  auto same_disc = dev.Read(5, 0, 64 * 1024, &out);
+  ASSERT_TRUE(same_disc.ok());
+  auto other_disc = dev.Read(0, 0, 64 * 1024, &out);
+  ASSERT_TRUE(other_disc.ok());
+  EXPECT_GT(other_disc.value().ToSecondsF(),
+            same_disc.value().ToSecondsF() + 5.0);  // 6 s exchange
+  EXPECT_EQ(dev.stats().disc_exchanges, 1);
+}
+
+TEST(BlockDeviceTest, BoundsAreEnforced) {
+  BlockDevice dev("r0", DeviceProfile::RamDisk());
+  Buffer out;
+  EXPECT_FALSE(dev.Write(1, 0, MakeBlob(16)).ok());   // bad disc
+  EXPECT_FALSE(dev.Write(0, dev.capacity(), MakeBlob(16)).ok());
+  EXPECT_FALSE(dev.Read(0, 0, 16, &out).ok());        // nothing written
+  ASSERT_TRUE(dev.Write(0, 0, MakeBlob(16)).ok());
+  EXPECT_FALSE(dev.Read(0, 8, 16, &out).ok());        // past written extent
+}
+
+TEST(BlockDeviceTest, CapacityReservation) {
+  BlockDevice dev("r0", DeviceProfile::RamDisk());
+  EXPECT_TRUE(dev.ReserveCapacity(dev.capacity()).ok());
+  EXPECT_EQ(dev.ReserveCapacity(1).code(), StatusCode::kResourceExhausted);
+  dev.ReleaseCapacity(1024);
+  EXPECT_TRUE(dev.ReserveCapacity(1024).ok());
+}
+
+TEST(BlockDeviceTest, ReadBackIsBitExact) {
+  BlockDevice dev("d0", DeviceProfile::MagneticDisk());
+  Buffer data = MakeBlob(100000);
+  ASSERT_TRUE(dev.Write(0, 12345, data).ok());
+  Buffer out;
+  ASSERT_TRUE(dev.Read(0, 12345, 100000, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+// -------------------------------------------------------- ExtentAllocator --
+
+TEST(ExtentAllocatorTest, ContiguousFirstFit) {
+  ExtentAllocator alloc(0, 1000);
+  auto a = alloc.AllocateContiguous(300);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().offset, 0);
+  auto b = alloc.AllocateContiguous(300);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().offset, 300);
+  EXPECT_EQ(alloc.FreeBytes(), 400);
+  EXPECT_FALSE(alloc.AllocateContiguous(500).ok());
+}
+
+TEST(ExtentAllocatorTest, FreeCoalesces) {
+  ExtentAllocator alloc(0, 1000);
+  auto a = alloc.AllocateContiguous(200).value();
+  auto b = alloc.AllocateContiguous(200).value();
+  auto c = alloc.AllocateContiguous(200).value();
+  ASSERT_TRUE(alloc.Free(a).ok());
+  ASSERT_TRUE(alloc.Free(c).ok());
+  // [0,200) and [400,1000) — c's extent coalesced with the tail hole.
+  EXPECT_EQ(alloc.FragmentCount(), 2u);
+  ASSERT_TRUE(alloc.Free(b).ok());
+  EXPECT_EQ(alloc.FragmentCount(), 1u);  // fully coalesced
+  EXPECT_EQ(alloc.FreeBytes(), 1000);
+  EXPECT_EQ(alloc.LargestFreeExtent(), 1000);
+}
+
+TEST(ExtentAllocatorTest, DoubleFreeRejected) {
+  ExtentAllocator alloc(0, 1000);
+  auto a = alloc.AllocateContiguous(100).value();
+  ASSERT_TRUE(alloc.Free(a).ok());
+  EXPECT_EQ(alloc.Free(a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExtentAllocatorTest, FragmentedAllocationSpansHoles) {
+  ExtentAllocator alloc(0, 1000);
+  auto a = alloc.AllocateContiguous(400).value();
+  auto b = alloc.AllocateContiguous(200).value();
+  auto c = alloc.AllocateContiguous(400).value();
+  (void)b;
+  ASSERT_TRUE(alloc.Free(a).ok());
+  ASSERT_TRUE(alloc.Free(c).ok());
+  // 800 free but largest hole is 400: must span two extents.
+  auto multi = alloc.Allocate(600);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi.value().size(), 2u);
+  int64_t total = 0;
+  for (const auto& e : multi.value()) total += e.length;
+  EXPECT_EQ(total, 600);
+}
+
+TEST(ExtentAllocatorTest, ExhaustionFails) {
+  ExtentAllocator alloc(0, 100);
+  EXPECT_TRUE(alloc.Allocate(100).ok());
+  EXPECT_EQ(alloc.Allocate(1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+class AllocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorPropertyTest, RandomAllocFreeConservesBytes) {
+  Rng rng(GetParam());
+  ExtentAllocator alloc(0, 100000);
+  std::vector<std::vector<Extent>> live;
+  int64_t live_bytes = 0;
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const int64_t want = rng.NextInRange(1, 2000);
+      auto got = alloc.Allocate(want);
+      if (got.ok()) {
+        live.push_back(got.value());
+        live_bytes += want;
+      }
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      for (const auto& e : live[pick]) {
+        ASSERT_TRUE(alloc.Free(e).ok());
+        live_bytes -= e.length;
+      }
+      live.erase(live.begin() + static_cast<int64_t>(pick));
+    }
+    ASSERT_EQ(alloc.FreeBytes(), 100000 - live_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------------ BufferCache --
+
+TEST(BufferCacheTest, HitAndMiss) {
+  BufferCache cache(1024);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", MakeBlob(100));
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("a")->size(), 100u);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 2);
+}
+
+TEST(BufferCacheTest, LruEviction) {
+  BufferCache cache(250);
+  cache.Put("a", MakeBlob(100));
+  cache.Put("b", MakeBlob(100));
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh a
+  cache.Put("c", MakeBlob(100));       // evicts b (LRU)
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(BufferCacheTest, OversizePageNotCached) {
+  BufferCache cache(100);
+  cache.Put("big", MakeBlob(200));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(BufferCacheTest, ReplaceUpdatesBudget) {
+  BufferCache cache(300);
+  cache.Put("a", MakeBlob(100));
+  cache.Put("a", MakeBlob(200));
+  EXPECT_EQ(cache.used_bytes(), 200);
+  EXPECT_EQ(cache.Get("a")->size(), 200u);
+}
+
+// ------------------------------------------------------------- MediaStore --
+
+TEST(MediaStoreTest, PutGetRoundTrip) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  MediaStore store(dev, nullptr);
+  Buffer blob = MakeBlob(200000);
+  auto put = store.Put("clip", blob);
+  ASSERT_TRUE(put.ok());
+  EXPECT_GT(put.value().ToSecondsF(), 0.0);
+  auto get = store.Get("clip");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get.value().data, blob);
+  EXPECT_EQ(store.Put("clip", blob).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(MediaStoreTest, RangeReads) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  MediaStore store(dev, nullptr);
+  Buffer blob = MakeBlob(100000);
+  ASSERT_TRUE(store.Put("clip", blob).ok());
+  auto range = store.ReadRange("clip", 5000, 1000);
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range.value().data.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(range.value().data[i], blob[5000 + i]);
+  }
+  EXPECT_FALSE(store.ReadRange("clip", 99999, 10).ok());
+  EXPECT_FALSE(store.ReadRange("missing", 0, 10).ok());
+}
+
+TEST(MediaStoreTest, CacheEliminatesRepeatDeviceTime) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  auto cache = std::make_shared<BufferCache>(8 * 1024 * 1024);
+  MediaStore store(dev, cache);
+  ASSERT_TRUE(store.Put("clip", MakeBlob(200000)).ok());
+  auto cold = store.ReadRange("clip", 0, 65536);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold.value().duration.ToSecondsF(), 0.0);
+  auto warm = store.ReadRange("clip", 0, 65536);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().duration, WorldTime());
+  EXPECT_EQ(warm.value().data, cold.value().data);
+}
+
+TEST(MediaStoreTest, DeleteFreesSpaceAndCache) {
+  auto dev = std::make_shared<BlockDevice>("r0", DeviceProfile::RamDisk());
+  auto cache = std::make_shared<BufferCache>(1024 * 1024);
+  MediaStore store(dev, cache);
+  ASSERT_TRUE(store.Put("clip", MakeBlob(50000)).ok());
+  ASSERT_TRUE(store.ReadRange("clip", 0, 1000).ok());
+  const int64_t used_before = dev->used_bytes();
+  ASSERT_TRUE(store.Delete("clip").ok());
+  EXPECT_LT(dev->used_bytes(), used_before);
+  EXPECT_FALSE(store.Contains("clip"));
+  EXPECT_EQ(store.Delete("clip").code(), StatusCode::kNotFound);
+  // Same name can be stored again after deletion.
+  EXPECT_TRUE(store.Put("clip", MakeBlob(50000, 9)).ok());
+}
+
+TEST(MediaStoreTest, ListAndTotals) {
+  auto dev = std::make_shared<BlockDevice>("r0", DeviceProfile::RamDisk());
+  MediaStore store(dev, nullptr);
+  ASSERT_TRUE(store.Put("a", MakeBlob(100)).ok());
+  ASSERT_TRUE(store.Put("b", MakeBlob(200)).ok());
+  EXPECT_EQ(store.List().size(), 2u);
+  EXPECT_EQ(store.TotalStoredBytes(), 300);
+}
+
+// ---------------------------------------------------------- DeviceManager --
+
+TEST(DeviceManagerTest, PlacementIsClientVisible) {
+  DeviceManager dm;
+  ASSERT_TRUE(dm.CreateDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(dm.CreateDevice("disk1", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(dm.Store("clip", MakeBlob(10000), "disk0").ok());
+  EXPECT_EQ(dm.WhereIs("clip").value(), "disk0");
+  EXPECT_EQ(dm.WhereIs("nope").status().code(), StatusCode::kNotFound);
+  // Global namespace: same blob name on another device is rejected.
+  EXPECT_EQ(dm.Store("clip", MakeBlob(1), "disk1").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DeviceManagerTest, CopyPaysReadPlusWrite) {
+  DeviceManager dm(0);  // no cache: full device costs visible
+  ASSERT_TRUE(dm.CreateDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(dm.CreateDevice("disk1", DeviceProfile::MagneticDisk()).ok());
+  Buffer blob = MakeBlob(2 * 1024 * 1024);
+  ASSERT_TRUE(dm.Store("clip", blob, "disk0").ok());
+  auto copy = dm.Copy("clip", "disk1", "clip-copy");
+  ASSERT_TRUE(copy.ok());
+  // 2MB read at 3.5MB/s + 2MB write: over a second of modeled time — the
+  // "destroys interactivity" cost from §3.3.
+  EXPECT_GT(copy.value().ToSecondsF(), 1.0);
+  auto fetched = dm.Fetch("clip-copy");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().data, blob);
+}
+
+TEST(DeviceManagerTest, FetchRangeRoutesToHolder) {
+  DeviceManager dm;
+  ASSERT_TRUE(dm.CreateDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  ASSERT_TRUE(dm.CreateDevice("cdrom", DeviceProfile::CdRom()).ok());
+  ASSERT_TRUE(dm.Store("clip", MakeBlob(5000), "cdrom").ok());
+  auto range = dm.FetchRange("clip", 100, 50);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.value().data.size(), 50u);
+}
+
+TEST(DeviceManagerTest, DuplicateDeviceRejected) {
+  DeviceManager dm;
+  ASSERT_TRUE(dm.CreateDevice("d", DeviceProfile::RamDisk()).ok());
+  EXPECT_EQ(dm.CreateDevice("d", DeviceProfile::RamDisk()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+// -------------------------------------------------------- ValueSerializer --
+
+TEST(ValueSerializerTest, RawVideoRoundTrip) {
+  auto video = synthetic::GenerateVideo(
+                   MediaDataType::RawVideo(24, 16, 24, Rational(30000, 1001)),
+                   7, synthetic::VideoPattern::kMovingBox)
+                   .value();
+  auto blob = value_serializer::Serialize(*video);
+  ASSERT_TRUE(blob.ok());
+  auto restored = value_serializer::DeserializeVideo(blob.value());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->FrameCount(), 7);
+  EXPECT_EQ(restored.value()->type(), video->type());
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(restored.value()->Frame(i).value(), video->Frame(i).value());
+  }
+}
+
+TEST(ValueSerializerTest, EncodedVideoRoundTrip) {
+  auto raw = synthetic::GenerateVideo(
+                 MediaDataType::RawVideo(32, 32, 8, Rational(10)), 6,
+                 synthetic::VideoPattern::kMovingBox)
+                 .value();
+  auto codec =
+      CodecRegistry::Default().VideoCodecFor(EncodingFamily::kInter).value();
+  VideoCodecParams params;
+  params.gop_size = 3;
+  auto value =
+      EncodedVideoValue::Create(codec, codec->Encode(*raw, params).value())
+          .value();
+  auto blob = value_serializer::Serialize(*value);
+  ASSERT_TRUE(blob.ok());
+  auto restored = value_serializer::DeserializeVideo(blob.value());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->type().family(), EncodingFamily::kInter);
+  // Decodes identically to the original encoded value.
+  EXPECT_EQ(restored.value()->Frame(5).value(), value->Frame(5).value());
+}
+
+TEST(ValueSerializerTest, RawAudioRoundTrip) {
+  auto audio = synthetic::GenerateAudio(MediaDataType::CdAudio(), 500,
+                                        synthetic::AudioPattern::kChirp)
+                   .value();
+  auto blob = value_serializer::Serialize(*audio);
+  ASSERT_TRUE(blob.ok());
+  auto restored = value_serializer::DeserializeAudio(blob.value());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->SampleCount(), 500);
+  EXPECT_EQ(restored.value()->Samples(0, 500).value(),
+            audio->Samples(0, 500).value());
+}
+
+TEST(ValueSerializerTest, TextRoundTrip) {
+  auto text = synthetic::GenerateSubtitles(MediaDataType::Text(Rational(30)),
+                                           4, 30, 10, "Cap")
+                  .value();
+  auto blob = value_serializer::Serialize(*text);
+  ASSERT_TRUE(blob.ok());
+  auto restored = value_serializer::DeserializeText(blob.value());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->spans().size(), 4u);
+  EXPECT_EQ(restored.value()->TextAtElement(0), "Cap 1");
+}
+
+TEST(ValueSerializerTest, KindMismatchDetected) {
+  auto audio = synthetic::GenerateAudio(MediaDataType::VoiceAudio(), 100,
+                                        synthetic::AudioPattern::kTone)
+                   .value();
+  auto blob = value_serializer::Serialize(*audio).value();
+  EXPECT_FALSE(value_serializer::DeserializeVideo(blob).ok());
+  EXPECT_FALSE(value_serializer::DeserializeText(blob).ok());
+  EXPECT_TRUE(value_serializer::DeserializeAudio(blob).ok());
+}
+
+TEST(ValueSerializerTest, CorruptBlobFailsCleanly) {
+  EXPECT_FALSE(value_serializer::Deserialize(Buffer()).ok());
+  Buffer junk;
+  junk.AppendU8(99);
+  EXPECT_FALSE(value_serializer::Deserialize(junk).ok());
+}
+
+// --------------------------------------------- Stored media through store --
+
+TEST(StoredMediaTest, FullPipelineStoreFetchDecode) {
+  // Encode -> serialize -> store on simulated disk -> fetch -> decode.
+  DeviceManager dm;
+  ASSERT_TRUE(dm.CreateDevice("disk0", DeviceProfile::MagneticDisk()).ok());
+  auto raw = synthetic::GenerateVideo(
+                 MediaDataType::RawVideo(32, 24, 8, Rational(15)), 10,
+                 synthetic::VideoPattern::kMovingGradient)
+                 .value();
+  auto codec =
+      CodecRegistry::Default().VideoCodecFor(EncodingFamily::kIntra).value();
+  auto value =
+      EncodedVideoValue::Create(codec, codec->Encode(*raw, {}).value())
+          .value();
+  auto blob = value_serializer::Serialize(*value).value();
+  ASSERT_TRUE(dm.Store("newscast", blob, "disk0").ok());
+
+  auto fetched = dm.Fetch("newscast");
+  ASSERT_TRUE(fetched.ok());
+  auto restored = value_serializer::DeserializeVideo(fetched.value().data);
+  ASSERT_TRUE(restored.ok());
+  auto frame = restored.value()->Frame(9);
+  ASSERT_TRUE(frame.ok());
+  const double mae = frame.value().MeanAbsoluteError(raw->Frame(9).value()).value();
+  EXPECT_LT(mae, 10.0);
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "time/interval.h"
+#include "time/timecode.h"
+#include "time/timeline.h"
+#include "time/temporal_transform.h"
+#include "time/virtual_clock.h"
+#include "time/world_time.h"
+
+namespace avdb {
+namespace {
+
+// ------------------------------------------------------------- WorldTime --
+
+TEST(WorldTimeTest, Factories) {
+  EXPECT_EQ(WorldTime::FromSeconds(2).seconds(), Rational(2));
+  EXPECT_EQ(WorldTime::FromMillis(1500).seconds(), Rational(3, 2));
+  EXPECT_EQ(WorldTime::FromMicros(250000).seconds(), Rational(1, 4));
+}
+
+TEST(WorldTimeTest, FromElementsAtNtscRate) {
+  // 30000 frames at 30000/1001 fps last exactly 1001 s.
+  const WorldTime t =
+      WorldTime::FromElements(30000, Rational(30000, 1001));
+  EXPECT_EQ(t.seconds(), Rational(1001));
+}
+
+TEST(WorldTimeTest, ArithmeticAndOrdering) {
+  const WorldTime a = WorldTime::FromMillis(500);
+  const WorldTime b = WorldTime::FromMillis(250);
+  EXPECT_EQ((a + b).ToMillis(), 750);
+  EXPECT_EQ((a - b).ToMillis(), 250);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a * Rational(2), WorldTime::FromSeconds(1));
+}
+
+TEST(WorldTimeTest, ToStringFormatsSeconds) {
+  EXPECT_EQ(WorldTime::FromMillis(2500).ToString(), "2.500s");
+}
+
+// --------------------------------------------------- TemporalTransform ----
+
+TEST(TemporalTransformTest, IdentityMapsThrough) {
+  const TemporalTransform id;
+  const WorldTime t = WorldTime::FromMillis(1234);
+  EXPECT_EQ(id.ToLocal(t), t);
+  EXPECT_EQ(id.ToWorld(t), t);
+}
+
+TEST(TemporalTransformTest, TranslationShifts) {
+  const auto tr = TemporalTransform::Translation(WorldTime::FromSeconds(10));
+  EXPECT_EQ(tr.ToLocal(WorldTime::FromSeconds(12)), WorldTime::FromSeconds(2));
+  EXPECT_EQ(tr.ToWorld(WorldTime::FromSeconds(2)), WorldTime::FromSeconds(12));
+}
+
+TEST(TemporalTransformTest, ScalingSpeedsUp) {
+  // Scale 2 = playing at double speed: world second 1 shows local second 2.
+  const auto tr = TemporalTransform::Scaling(Rational(2));
+  EXPECT_EQ(tr.ToLocal(WorldTime::FromSeconds(1)), WorldTime::FromSeconds(2));
+}
+
+TEST(TemporalTransformTest, InverseRoundTrips) {
+  const TemporalTransform tr(Rational(3, 2), WorldTime::FromMillis(400));
+  const TemporalTransform inv = tr.Inverted();
+  const WorldTime t = WorldTime::FromMillis(1250);
+  EXPECT_EQ(inv.ToLocal(tr.ToLocal(t)), t);
+  EXPECT_EQ(tr.ToLocal(inv.ToLocal(t)), t);
+}
+
+TEST(TemporalTransformTest, CompositionMatchesSequentialApplication) {
+  const TemporalTransform a(Rational(2), WorldTime::FromSeconds(1));
+  const TemporalTransform b(Rational(1, 3), WorldTime::FromSeconds(5));
+  const TemporalTransform ab = a.Then(b);
+  for (int ms : {0, 700, 1500, 9100}) {
+    const WorldTime t = WorldTime::FromMillis(ms);
+    EXPECT_EQ(ab.ToLocal(t), b.ToLocal(a.ToLocal(t))) << "at " << ms << "ms";
+  }
+}
+
+TEST(TemporalTransformTest, WorldObjectConversion) {
+  // A 30 fps value placed at world t=2s.
+  const auto tr = TemporalTransform::Translation(WorldTime::FromSeconds(2));
+  const Rational rate(30);
+  EXPECT_EQ(tr.WorldToObject(WorldTime::FromSeconds(2), rate).ticks(), 0);
+  EXPECT_EQ(tr.WorldToObject(WorldTime::FromSeconds(3), rate).ticks(), 30);
+  EXPECT_EQ(tr.ObjectToWorld(ObjectTime(30), rate),
+            WorldTime::FromSeconds(3));
+}
+
+class TransformPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransformPropertyTest, ObjectWorldRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const TemporalTransform tr(
+        Rational(rng.NextInRange(1, 8), rng.NextInRange(1, 8)),
+        WorldTime::FromMillis(rng.NextInRange(-5000, 5000)));
+    const Rational rate(rng.NextInRange(1, 60));
+    const ObjectTime o(rng.NextInRange(0, 10000));
+    // ObjectToWorld then WorldToObject is exact at element boundaries.
+    EXPECT_EQ(tr.WorldToObject(tr.ObjectToWorld(o, rate), rate), o);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformPropertyTest,
+                         ::testing::Values(10, 20, 30));
+
+// --------------------------------------------------------------- Timecode --
+
+TEST(TimecodeTest, NonDropFormatting) {
+  EXPECT_EQ(Timecode::FromFrameNumber(0, 30).ToString(), "00:00:00:00");
+  EXPECT_EQ(Timecode::FromFrameNumber(29, 30).ToString(), "00:00:00:29");
+  EXPECT_EQ(Timecode::FromFrameNumber(30, 30).ToString(), "00:00:01:00");
+  EXPECT_EQ(Timecode::FromFrameNumber(30 * 3600, 30).ToString(),
+            "01:00:00:00");
+}
+
+TEST(TimecodeTest, NonDropParseRoundTrip) {
+  auto tc = Timecode::Parse("01:02:03:14", 30);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc.value().frame_number(), ((3600 + 120 + 3) * 30) + 14);
+  EXPECT_EQ(tc.value().ToString(), "01:02:03:14");
+}
+
+TEST(TimecodeTest, ParseRejectsBadFields) {
+  EXPECT_FALSE(Timecode::Parse("00:61:00:00", 30).ok());
+  EXPECT_FALSE(Timecode::Parse("00:00:00:30", 30).ok());
+  EXPECT_FALSE(Timecode::Parse("00:00:00", 30).ok());
+  EXPECT_FALSE(Timecode::Parse("xx:00:00:00", 30).ok());
+}
+
+TEST(TimecodeTest, DropFrameSkipsFrameNumbers) {
+  // First dropped codes: 00:01:00;00 and 00:01:00;01 do not exist.
+  EXPECT_FALSE(Timecode::Parse("00:01:00;00", 30).ok());
+  EXPECT_FALSE(Timecode::Parse("00:01:00;01", 30).ok());
+  EXPECT_TRUE(Timecode::Parse("00:01:00;02", 30).ok());
+  // Minute 10 keeps its leading codes.
+  EXPECT_TRUE(Timecode::Parse("00:10:00;00", 30).ok());
+}
+
+TEST(TimecodeTest, DropFrameLinearDisplayRoundTrip) {
+  // Every linear frame number must format to a code that parses back to it.
+  for (int64_t frame : {0LL, 1799LL, 1800LL, 17981LL, 17982LL, 53945LL,
+                        107891LL, 107892LL}) {
+    const Timecode tc = Timecode::FromFrameNumber(frame, 30, true);
+    auto parsed = Timecode::Parse(tc.ToString(), 30);
+    ASSERT_TRUE(parsed.ok()) << tc.ToString();
+    EXPECT_EQ(parsed.value().frame_number(), frame) << tc.ToString();
+  }
+}
+
+TEST(TimecodeTest, DropFrameTracksWallClock) {
+  // After exactly 1 hour of drop-frame video the timecode should read very
+  // close to 01:00:00;00 (that is the point of drop-frame).
+  const Rational rate(30000, 1001);
+  const int64_t frames_in_hour = (rate * Rational(3600)).Rounded();
+  const Timecode tc = Timecode::FromFrameNumber(frames_in_hour, 30, true);
+  const auto f = tc.ToFields();
+  EXPECT_EQ(f.hours, 1);
+  EXPECT_EQ(f.minutes, 0);
+  EXPECT_EQ(f.seconds, 0);
+  EXPECT_LE(f.frames, 1);  // within one frame of the hour mark
+}
+
+TEST(TimecodeTest, EffectiveRate) {
+  EXPECT_EQ(Timecode::FromFrameNumber(0, 30, false).EffectiveRate(),
+            Rational(30));
+  EXPECT_EQ(Timecode::FromFrameNumber(0, 30, true).EffectiveRate(),
+            Rational(30000, 1001));
+}
+
+TEST(TimecodeTest, ToWorldTime) {
+  EXPECT_EQ(Timecode::FromFrameNumber(60, 30).ToWorldTime(),
+            WorldTime::FromSeconds(2));
+}
+
+// --------------------------------------------------------------- Interval --
+
+Interval MakeIv(int start_ms, int end_ms) {
+  return Interval::FromEndpoints(WorldTime::FromMillis(start_ms),
+                                 WorldTime::FromMillis(end_ms));
+}
+
+TEST(IntervalTest, BasicAccessors) {
+  const Interval iv = MakeIv(1000, 3500);
+  EXPECT_EQ(iv.start().ToMillis(), 1000);
+  EXPECT_EQ(iv.end().ToMillis(), 3500);
+  EXPECT_EQ(iv.duration().ToMillis(), 2500);
+  EXPECT_FALSE(iv.IsEmpty());
+}
+
+TEST(IntervalTest, NegativeDurationClampsToEmpty) {
+  const Interval iv(WorldTime::FromSeconds(5), WorldTime::FromSeconds(-1));
+  EXPECT_TRUE(iv.IsEmpty());
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  const Interval iv = MakeIv(1000, 2000);
+  EXPECT_TRUE(iv.Contains(WorldTime::FromMillis(1000)));
+  EXPECT_TRUE(iv.Contains(WorldTime::FromMillis(1999)));
+  EXPECT_FALSE(iv.Contains(WorldTime::FromMillis(2000)));
+}
+
+TEST(IntervalTest, IntersectAndSpan) {
+  const Interval a = MakeIv(0, 1000);
+  const Interval b = MakeIv(600, 1500);
+  auto i = a.Intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, MakeIv(600, 1000));
+  EXPECT_EQ(a.Span(b), MakeIv(0, 1500));
+  EXPECT_FALSE(a.Intersect(MakeIv(2000, 3000)).has_value());
+}
+
+struct AllenCase {
+  int a_start, a_end, b_start, b_end;
+  AllenRelation expected;
+};
+
+class AllenRelationTest : public ::testing::TestWithParam<AllenCase> {};
+
+TEST_P(AllenRelationTest, RelationIsCorrect) {
+  const auto& c = GetParam();
+  EXPECT_EQ(MakeIv(c.a_start, c.a_end).RelationTo(MakeIv(c.b_start, c.b_end)),
+            c.expected)
+      << AllenRelationName(c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, AllenRelationTest,
+    ::testing::Values(
+        AllenCase{0, 1, 2, 3, AllenRelation::kBefore},
+        AllenCase{0, 2, 2, 3, AllenRelation::kMeets},
+        AllenCase{0, 2, 1, 3, AllenRelation::kOverlaps},
+        AllenCase{1, 2, 1, 3, AllenRelation::kStarts},
+        AllenCase{1, 2, 0, 3, AllenRelation::kDuring},
+        AllenCase{2, 3, 0, 3, AllenRelation::kFinishes},
+        AllenCase{1, 2, 1, 2, AllenRelation::kEquals},
+        AllenCase{0, 3, 2, 3, AllenRelation::kFinishedBy},
+        AllenCase{0, 3, 1, 2, AllenRelation::kContains},
+        AllenCase{1, 3, 1, 2, AllenRelation::kStartedBy},
+        AllenCase{1, 3, 0, 2, AllenRelation::kOverlappedBy},
+        AllenCase{2, 3, 0, 2, AllenRelation::kMetBy},
+        AllenCase{2, 3, 0, 1, AllenRelation::kAfter}));
+
+TEST(AllenRelationTest, RelationsAreMutuallyInverse) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const int a0 = static_cast<int>(rng.NextInRange(0, 50));
+    const int a1 = a0 + 1 + static_cast<int>(rng.NextInRange(0, 50));
+    const int b0 = static_cast<int>(rng.NextInRange(0, 50));
+    const int b1 = b0 + 1 + static_cast<int>(rng.NextInRange(0, 50));
+    const Interval a = MakeIv(a0, a1);
+    const Interval b = MakeIv(b0, b1);
+    // Exactly one of the 13 relations holds each way, and the two are
+    // converses: a before b <=> b after a, etc.
+    const AllenRelation ab = a.RelationTo(b);
+    const AllenRelation ba = b.RelationTo(a);
+    const auto converse = [](AllenRelation r) {
+      switch (r) {
+        case AllenRelation::kBefore: return AllenRelation::kAfter;
+        case AllenRelation::kMeets: return AllenRelation::kMetBy;
+        case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+        case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+        case AllenRelation::kDuring: return AllenRelation::kContains;
+        case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+        case AllenRelation::kEquals: return AllenRelation::kEquals;
+        case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+        case AllenRelation::kContains: return AllenRelation::kDuring;
+        case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+        case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+        case AllenRelation::kMetBy: return AllenRelation::kMeets;
+        case AllenRelation::kAfter: return AllenRelation::kBefore;
+      }
+      return AllenRelation::kEquals;
+    };
+    EXPECT_EQ(ba, converse(ab));
+  }
+}
+
+// --------------------------------------------------------------- Timeline --
+
+Timeline Fig1Timeline() {
+  // The paper's Fig. 1: videoTrack spans [t0, t2); the audio and subtitle
+  // tracks last from t1 until t2. Using t0=0s, t1=2s, t2=10s.
+  Timeline tl;
+  EXPECT_TRUE(tl.AddTrack("videoTrack", WorldTime::FromSeconds(0),
+                          WorldTime::FromSeconds(10))
+                  .ok());
+  EXPECT_TRUE(tl.AddTrack("englishTrack", WorldTime::FromSeconds(2),
+                          WorldTime::FromSeconds(8))
+                  .ok());
+  EXPECT_TRUE(tl.AddTrack("frenchTrack", WorldTime::FromSeconds(2),
+                          WorldTime::FromSeconds(8))
+                  .ok());
+  EXPECT_TRUE(tl.AddTrack("subtitleTrack", WorldTime::FromSeconds(2),
+                          WorldTime::FromSeconds(8))
+                  .ok());
+  return tl;
+}
+
+TEST(TimelineTest, Fig1Structure) {
+  Timeline tl = Fig1Timeline();
+  EXPECT_EQ(tl.TrackCount(), 4u);
+  EXPECT_EQ(tl.Span(), Interval(WorldTime::FromSeconds(0),
+                                WorldTime::FromSeconds(10)));
+  EXPECT_EQ(tl.Duration(), WorldTime::FromSeconds(10));
+  EXPECT_TRUE(tl.AllTracksOverlap());
+}
+
+TEST(TimelineTest, ActiveAtRespectsTrackIntervals) {
+  Timeline tl = Fig1Timeline();
+  EXPECT_EQ(tl.ActiveAt(WorldTime::FromSeconds(1)).size(), 1u);
+  EXPECT_EQ(tl.ActiveAt(WorldTime::FromSeconds(5)).size(), 4u);
+  EXPECT_EQ(tl.ActiveAt(WorldTime::FromSeconds(10)).size(), 0u);
+}
+
+TEST(TimelineTest, DuplicateTrackRejected) {
+  Timeline tl = Fig1Timeline();
+  EXPECT_EQ(tl.AddTrack("videoTrack", WorldTime(), WorldTime::FromSeconds(1))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TimelineTest, MoveAndRemove) {
+  Timeline tl = Fig1Timeline();
+  ASSERT_TRUE(tl.MoveTrack("subtitleTrack", WorldTime::FromSeconds(3),
+                           WorldTime::FromSeconds(4))
+                  .ok());
+  EXPECT_EQ(tl.TrackInterval("subtitleTrack").value(),
+            Interval(WorldTime::FromSeconds(3), WorldTime::FromSeconds(4)));
+  ASSERT_TRUE(tl.RemoveTrack("subtitleTrack").ok());
+  EXPECT_EQ(tl.TrackCount(), 3u);
+  EXPECT_EQ(tl.RemoveTrack("subtitleTrack").code(), StatusCode::kNotFound);
+}
+
+TEST(TimelineTest, RelationBetweenTracks) {
+  Timeline tl = Fig1Timeline();
+  auto rel = tl.Relation("englishTrack", "videoTrack");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value(), AllenRelation::kFinishes);
+  EXPECT_FALSE(tl.Relation("nope", "videoTrack").ok());
+}
+
+TEST(TimelineTest, RenderContainsEveryTrack) {
+  Timeline tl = Fig1Timeline();
+  const std::string art = tl.Render(40);
+  EXPECT_NE(art.find("videoTrack"), std::string::npos);
+  EXPECT_NE(art.find("subtitleTrack"), std::string::npos);
+  EXPECT_NE(art.find('='), std::string::npos);
+}
+
+TEST(TimelineTest, EmptyTimelineRenders) {
+  Timeline tl;
+  EXPECT_EQ(tl.Render(), "(empty timeline)\n");
+  EXPECT_TRUE(tl.Span().IsEmpty());
+}
+
+// ----------------------------------------------------------- VirtualClock --
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_ns(), 0);
+  clock.AdvanceBy(500);
+  clock.AdvanceTo(1500);
+  EXPECT_EQ(clock.now_ns(), 1500);
+  EXPECT_EQ(clock.Now(), WorldTime(Rational(1500, 1000000000)));
+}
+
+TEST(VirtualClockTest, ToNsRounds) {
+  EXPECT_EQ(VirtualClock::ToNs(WorldTime::FromMillis(1)), 1000000);
+  EXPECT_EQ(VirtualClock::ToNs(WorldTime(Rational(1, 3))), 333333333);
+}
+
+}  // namespace
+}  // namespace avdb

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "activity/graph.h"
+#include "activity/sinks.h"
+#include "activity/sources.h"
+#include "media/synthetic.h"
+#include "vworld/activities.h"
+#include "vworld/raycaster.h"
+#include "vworld/scene.h"
+
+namespace avdb {
+namespace {
+
+// ------------------------------------------------------------------- Pose --
+
+TEST(PoseTest, SerializeParseRoundTrip) {
+  Pose pose{3.25, -1.5, 0.7853981};
+  auto parsed = Pose::Parse(pose.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed.value().x, pose.x, 1e-9);
+  EXPECT_NEAR(parsed.value().y, pose.y, 1e-9);
+  EXPECT_NEAR(parsed.value().angle, pose.angle, 1e-9);
+  EXPECT_FALSE(Pose::Parse("1 2").ok());
+  EXPECT_FALSE(Pose::Parse("a b c").ok());
+}
+
+// ------------------------------------------------------------------ Scene --
+
+TEST(SceneTest, BorderIsWalled) {
+  Scene scene(8, 6);
+  EXPECT_EQ(scene.At(0, 0), CellKind::kWall);
+  EXPECT_EQ(scene.At(7, 5), CellKind::kWall);
+  EXPECT_EQ(scene.At(3, 3), CellKind::kEmpty);
+  // Out of bounds reads as wall (rays can never escape).
+  EXPECT_EQ(scene.At(-1, 2), CellKind::kWall);
+  EXPECT_EQ(scene.At(100, 2), CellKind::kWall);
+}
+
+TEST(SceneTest, MuseumRoomHasVideoWall) {
+  Scene scene = Scene::MuseumRoom();
+  EXPECT_EQ(scene.At(15, 5), CellKind::kVideoWall);
+  EXPECT_EQ(scene.At(5, 4), CellKind::kWall);
+  EXPECT_FALSE(scene.IsSolid(scene.DefaultPose().x, scene.DefaultPose().y));
+}
+
+TEST(SceneTest, SetValidatesBounds) {
+  Scene scene(4, 4);
+  EXPECT_TRUE(scene.Set(1, 1, CellKind::kWall).ok());
+  EXPECT_FALSE(scene.Set(9, 1, CellKind::kWall).ok());
+}
+
+// -------------------------------------------------------------- Raycaster --
+
+TEST(RaycasterTest, RendersExpectedGeometry) {
+  Scene scene = Scene::MuseumRoom();
+  Raycaster::Options options;
+  options.width = 80;
+  options.height = 60;
+  Raycaster caster(&scene, options);
+  const VideoFrame frame = caster.Render(scene.DefaultPose(), nullptr);
+  EXPECT_EQ(frame.width(), 80);
+  EXPECT_EQ(frame.height(), 60);
+  // Ceiling darker than floor by construction.
+  EXPECT_LT(frame.At(40, 0), frame.At(40, 59));
+}
+
+TEST(RaycasterTest, CloserWallsAreTaller) {
+  Scene scene(20, 10);
+  Raycaster::Options options;
+  options.width = 40;
+  options.height = 40;
+  Raycaster caster(&scene, options);
+  // Looking +x from two distances at the east wall.
+  const VideoFrame near = caster.Render({17.5, 5.0, 0.0}, nullptr);
+  const VideoFrame far = caster.Render({2.5, 5.0, 0.0}, nullptr);
+  // Count wall-ish (non-ceiling) pixels in the center column.
+  auto wall_height = [](const VideoFrame& f) {
+    int count = 0;
+    for (int y = 0; y < f.height(); ++y) {
+      const uint8_t v = f.At(f.width() / 2, y);
+      if (v != 40 && v != 70) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(wall_height(near), wall_height(far));
+}
+
+TEST(RaycasterTest, VideoWallShowsVideoContent) {
+  Scene scene = Scene::MuseumRoom();
+  Raycaster::Options options;
+  options.width = 60;
+  options.height = 40;
+  Raycaster caster(&scene, options);
+  // Stand close, facing the video wall (east).
+  const Pose pose{13.5, 5.5, 0.0};
+  VideoFrame bright(32, 32, 8);
+  for (auto& b : bright.data()) b = 255;
+  VideoFrame dark(32, 32, 8);
+
+  const VideoFrame with_bright = caster.Render(pose, &bright);
+  const VideoFrame with_dark = caster.Render(pose, &dark);
+  // Center pixel lands on the video wall: bright texture -> brighter pixel.
+  EXPECT_GT(with_bright.At(30, 20), with_dark.At(30, 20) + 50);
+  // Renders differ only because of the projected video.
+  EXPECT_NE(with_bright, with_dark);
+}
+
+TEST(RaycasterTest, DeterministicRendering) {
+  Scene scene = Scene::MuseumRoom();
+  Raycaster caster(&scene, {});
+  const VideoFrame a = caster.Render(scene.DefaultPose(), nullptr);
+  const VideoFrame b = caster.Render(scene.DefaultPose(), nullptr);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------- MoveSource --
+
+TEST(MoveSourceTest, EmitsInterpolatedPath) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  Scene scene = Scene::MuseumRoom();
+  auto move = MoveSource::Create(
+      "move", ActivityLocation::kClient, env,
+      {{2.0, 2.0, 0.0}, {10.0, 2.0, 0.0}}, WorldTime::FromSeconds(2),
+      Rational(10));
+  auto sink = TextSink::Create("poses", ActivityLocation::kClient, env);
+  sink->FindPort(TextSink::kPortIn)
+      .value()
+      ->set_data_type(move->FindPort(MoveSource::kPortOut).value()->data_type());
+  ASSERT_TRUE(graph.Add(move).ok());
+  ASSERT_TRUE(graph.Add(sink).ok());
+  ASSERT_TRUE(graph.Connect(move.get(), MoveSource::kPortOut, sink.get(),
+                            TextSink::kPortIn)
+                  .ok());
+  ASSERT_TRUE(graph.StartAll().ok());
+  graph.RunUntilIdle();
+  // 2 s at 10 poses/s inclusive of the endpoint: 21 poses.
+  ASSERT_EQ(sink->presented().size(), 21u);
+  auto first = Pose::Parse(sink->presented().front()).value();
+  auto mid = Pose::Parse(sink->presented()[10]).value();
+  auto last = Pose::Parse(sink->presented().back()).value();
+  EXPECT_NEAR(first.x, 2.0, 1e-6);
+  EXPECT_NEAR(mid.x, 6.0, 0.5);
+  EXPECT_NEAR(last.x, 10.0, 1e-6);
+}
+
+// ---------------------------------------------------------- RenderActivity --
+
+TEST(RenderActivityTest, Fig4GraphRendersNavigableScene) {
+  // move + video source -> render -> window: the full Fig. 4 graph.
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  Scene scene = Scene::MuseumRoom();
+
+  const auto vtype = MediaDataType::RawVideo(32, 32, 8, Rational(10));
+  auto wall_video =
+      synthetic::GenerateVideo(vtype, 20, synthetic::VideoPattern::kMovingBox)
+          .value();
+  auto video_src = VideoSource::Create("videoSrc",
+                                       ActivityLocation::kDatabase, env);
+  ASSERT_TRUE(video_src->Bind(wall_video, VideoSource::kPortOut).ok());
+
+  auto move = MoveSource::Create(
+      "move", ActivityLocation::kDatabase, env,
+      {{2.5, 6.0, 0.0}, {13.0, 5.5, 0.0}}, WorldTime::FromSeconds(2),
+      Rational(10));
+
+  Raycaster::Options ropts;
+  ropts.width = 80;
+  ropts.height = 60;
+  auto render = RenderActivity::Create("render", ActivityLocation::kDatabase,
+                                       env, &scene, ropts, vtype);
+  // Pose port types must agree.
+  render->FindPort(RenderActivity::kPortPose)
+      .value()
+      ->set_data_type(move->FindPort(MoveSource::kPortOut).value()->data_type());
+
+  auto window = VideoWindow::Create("display", ActivityLocation::kClient, env,
+                                    VideoQuality(80, 60, 8, Rational(10)));
+
+  ASSERT_TRUE(graph.Add(video_src).ok());
+  ASSERT_TRUE(graph.Add(move).ok());
+  ASSERT_TRUE(graph.Add(render).ok());
+  ASSERT_TRUE(graph.Add(window).ok());
+  ASSERT_TRUE(graph.Connect(move.get(), MoveSource::kPortOut, render.get(),
+                            RenderActivity::kPortPose)
+                  .ok());
+  ASSERT_TRUE(graph.Connect(video_src.get(), VideoSource::kPortOut,
+                            render.get(), RenderActivity::kPortVideo)
+                  .ok());
+  ASSERT_TRUE(graph.Connect(render.get(), RenderActivity::kPortOut,
+                            window.get(), VideoWindow::kPortIn)
+                  .ok());
+  ASSERT_TRUE(graph.StartAll().ok());
+  graph.RunUntilIdle();
+
+  EXPECT_EQ(render->frames_rendered(), 20);
+  EXPECT_EQ(window->stats().elements_presented, 20);
+  // The camera moved, so the pose updated away from the start.
+  EXPECT_GT(render->current_pose().x, 10.0);
+  // Rendered frame is the raycaster geometry, not the wall video geometry.
+  EXPECT_EQ(window->last_frame().width(), 80);
+}
+
+}  // namespace
+}  // namespace avdb
