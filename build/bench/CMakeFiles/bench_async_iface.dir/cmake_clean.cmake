@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_iface.dir/bench_async_iface.cpp.o"
+  "CMakeFiles/bench_async_iface.dir/bench_async_iface.cpp.o.d"
+  "bench_async_iface"
+  "bench_async_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dbapp.dir/bench_fig3_dbapp.cpp.o"
+  "CMakeFiles/bench_fig3_dbapp.dir/bench_fig3_dbapp.cpp.o.d"
+  "bench_fig3_dbapp"
+  "bench_fig3_dbapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dbapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

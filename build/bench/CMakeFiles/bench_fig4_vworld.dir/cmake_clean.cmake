@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vworld.dir/bench_fig4_vworld.cpp.o"
+  "CMakeFiles/bench_fig4_vworld.dir/bench_fig4_vworld.cpp.o.d"
+  "bench_fig4_vworld"
+  "bench_fig4_vworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

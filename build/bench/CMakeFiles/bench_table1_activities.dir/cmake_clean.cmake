@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_activities.dir/bench_table1_activities.cpp.o"
+  "CMakeFiles/bench_table1_activities.dir/bench_table1_activities.cpp.o.d"
+  "bench_table1_activities"
+  "bench_table1_activities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_activities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/archive_maintenance.cpp" "examples/CMakeFiles/archive_maintenance.dir/archive_maintenance.cpp.o" "gcc" "examples/CMakeFiles/archive_maintenance.dir/archive_maintenance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/avdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/avdb_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/avdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/avdb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/avdb_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/avdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/avdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/avdb_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_maintenance.dir/archive_maintenance.cpp.o"
+  "CMakeFiles/archive_maintenance.dir/archive_maintenance.cpp.o.d"
+  "archive_maintenance"
+  "archive_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_av.dir/corporate_av.cpp.o"
+  "CMakeFiles/corporate_av.dir/corporate_av.cpp.o.d"
+  "corporate_av"
+  "corporate_av.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_av.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

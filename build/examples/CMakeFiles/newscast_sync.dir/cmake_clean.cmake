@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newscast_sync.dir/newscast_sync.cpp.o"
+  "CMakeFiles/newscast_sync.dir/newscast_sync.cpp.o.d"
+  "newscast_sync"
+  "newscast_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newscast_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

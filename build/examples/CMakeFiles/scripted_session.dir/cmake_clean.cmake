@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_session.dir/scripted_session.cpp.o"
+  "CMakeFiles/scripted_session.dir/scripted_session.cpp.o.d"
+  "scripted_session"
+  "scripted_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

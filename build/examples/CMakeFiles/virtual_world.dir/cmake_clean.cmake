@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_world.dir/virtual_world.cpp.o"
+  "CMakeFiles/virtual_world.dir/virtual_world.cpp.o.d"
+  "virtual_world"
+  "virtual_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activity/composite.cc" "src/activity/CMakeFiles/avdb_activity.dir/composite.cc.o" "gcc" "src/activity/CMakeFiles/avdb_activity.dir/composite.cc.o.d"
+  "/root/repo/src/activity/graph.cc" "src/activity/CMakeFiles/avdb_activity.dir/graph.cc.o" "gcc" "src/activity/CMakeFiles/avdb_activity.dir/graph.cc.o.d"
+  "/root/repo/src/activity/media_activity.cc" "src/activity/CMakeFiles/avdb_activity.dir/media_activity.cc.o" "gcc" "src/activity/CMakeFiles/avdb_activity.dir/media_activity.cc.o.d"
+  "/root/repo/src/activity/sinks.cc" "src/activity/CMakeFiles/avdb_activity.dir/sinks.cc.o" "gcc" "src/activity/CMakeFiles/avdb_activity.dir/sinks.cc.o.d"
+  "/root/repo/src/activity/sources.cc" "src/activity/CMakeFiles/avdb_activity.dir/sources.cc.o" "gcc" "src/activity/CMakeFiles/avdb_activity.dir/sources.cc.o.d"
+  "/root/repo/src/activity/transformers.cc" "src/activity/CMakeFiles/avdb_activity.dir/transformers.cc.o" "gcc" "src/activity/CMakeFiles/avdb_activity.dir/transformers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/avdb_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/avdb_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/avdb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/avdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/avdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/avdb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_activity.dir/composite.cc.o"
+  "CMakeFiles/avdb_activity.dir/composite.cc.o.d"
+  "CMakeFiles/avdb_activity.dir/graph.cc.o"
+  "CMakeFiles/avdb_activity.dir/graph.cc.o.d"
+  "CMakeFiles/avdb_activity.dir/media_activity.cc.o"
+  "CMakeFiles/avdb_activity.dir/media_activity.cc.o.d"
+  "CMakeFiles/avdb_activity.dir/sinks.cc.o"
+  "CMakeFiles/avdb_activity.dir/sinks.cc.o.d"
+  "CMakeFiles/avdb_activity.dir/sources.cc.o"
+  "CMakeFiles/avdb_activity.dir/sources.cc.o.d"
+  "CMakeFiles/avdb_activity.dir/transformers.cc.o"
+  "CMakeFiles/avdb_activity.dir/transformers.cc.o.d"
+  "libavdb_activity.a"
+  "libavdb_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_base.dir/buffer.cc.o"
+  "CMakeFiles/avdb_base.dir/buffer.cc.o.d"
+  "CMakeFiles/avdb_base.dir/logging.cc.o"
+  "CMakeFiles/avdb_base.dir/logging.cc.o.d"
+  "CMakeFiles/avdb_base.dir/rational.cc.o"
+  "CMakeFiles/avdb_base.dir/rational.cc.o.d"
+  "CMakeFiles/avdb_base.dir/rng.cc.o"
+  "CMakeFiles/avdb_base.dir/rng.cc.o.d"
+  "CMakeFiles/avdb_base.dir/status.cc.o"
+  "CMakeFiles/avdb_base.dir/status.cc.o.d"
+  "CMakeFiles/avdb_base.dir/strings.cc.o"
+  "CMakeFiles/avdb_base.dir/strings.cc.o.d"
+  "libavdb_base.a"
+  "libavdb_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

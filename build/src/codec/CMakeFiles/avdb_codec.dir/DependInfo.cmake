@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/audio_codec.cc" "src/codec/CMakeFiles/avdb_codec.dir/audio_codec.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/audio_codec.cc.o.d"
+  "/root/repo/src/codec/bitio.cc" "src/codec/CMakeFiles/avdb_codec.dir/bitio.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/bitio.cc.o.d"
+  "/root/repo/src/codec/block_transform.cc" "src/codec/CMakeFiles/avdb_codec.dir/block_transform.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/block_transform.cc.o.d"
+  "/root/repo/src/codec/delta_codec.cc" "src/codec/CMakeFiles/avdb_codec.dir/delta_codec.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/delta_codec.cc.o.d"
+  "/root/repo/src/codec/encoded_value.cc" "src/codec/CMakeFiles/avdb_codec.dir/encoded_value.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/encoded_value.cc.o.d"
+  "/root/repo/src/codec/inter_codec.cc" "src/codec/CMakeFiles/avdb_codec.dir/inter_codec.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/inter_codec.cc.o.d"
+  "/root/repo/src/codec/intra_codec.cc" "src/codec/CMakeFiles/avdb_codec.dir/intra_codec.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/intra_codec.cc.o.d"
+  "/root/repo/src/codec/registry.cc" "src/codec/CMakeFiles/avdb_codec.dir/registry.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/registry.cc.o.d"
+  "/root/repo/src/codec/scalable_codec.cc" "src/codec/CMakeFiles/avdb_codec.dir/scalable_codec.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/scalable_codec.cc.o.d"
+  "/root/repo/src/codec/video_codec.cc" "src/codec/CMakeFiles/avdb_codec.dir/video_codec.cc.o" "gcc" "src/codec/CMakeFiles/avdb_codec.dir/video_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/avdb_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/avdb_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

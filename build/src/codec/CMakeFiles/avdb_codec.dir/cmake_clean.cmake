@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_codec.dir/audio_codec.cc.o"
+  "CMakeFiles/avdb_codec.dir/audio_codec.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/bitio.cc.o"
+  "CMakeFiles/avdb_codec.dir/bitio.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/block_transform.cc.o"
+  "CMakeFiles/avdb_codec.dir/block_transform.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/delta_codec.cc.o"
+  "CMakeFiles/avdb_codec.dir/delta_codec.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/encoded_value.cc.o"
+  "CMakeFiles/avdb_codec.dir/encoded_value.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/inter_codec.cc.o"
+  "CMakeFiles/avdb_codec.dir/inter_codec.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/intra_codec.cc.o"
+  "CMakeFiles/avdb_codec.dir/intra_codec.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/registry.cc.o"
+  "CMakeFiles/avdb_codec.dir/registry.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/scalable_codec.cc.o"
+  "CMakeFiles/avdb_codec.dir/scalable_codec.cc.o.d"
+  "CMakeFiles/avdb_codec.dir/video_codec.cc.o"
+  "CMakeFiles/avdb_codec.dir/video_codec.cc.o.d"
+  "libavdb_codec.a"
+  "libavdb_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_db.dir/backup.cc.o"
+  "CMakeFiles/avdb_db.dir/backup.cc.o.d"
+  "CMakeFiles/avdb_db.dir/database.cc.o"
+  "CMakeFiles/avdb_db.dir/database.cc.o.d"
+  "CMakeFiles/avdb_db.dir/lock_manager.cc.o"
+  "CMakeFiles/avdb_db.dir/lock_manager.cc.o.d"
+  "CMakeFiles/avdb_db.dir/object.cc.o"
+  "CMakeFiles/avdb_db.dir/object.cc.o.d"
+  "CMakeFiles/avdb_db.dir/query.cc.o"
+  "CMakeFiles/avdb_db.dir/query.cc.o.d"
+  "CMakeFiles/avdb_db.dir/schema.cc.o"
+  "CMakeFiles/avdb_db.dir/schema.cc.o.d"
+  "CMakeFiles/avdb_db.dir/script.cc.o"
+  "CMakeFiles/avdb_db.dir/script.cc.o.d"
+  "CMakeFiles/avdb_db.dir/similarity.cc.o"
+  "CMakeFiles/avdb_db.dir/similarity.cc.o.d"
+  "libavdb_db.a"
+  "libavdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavdb_db.a"
+)

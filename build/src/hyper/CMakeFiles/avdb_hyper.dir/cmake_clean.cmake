@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_hyper.dir/hypermedia.cc.o"
+  "CMakeFiles/avdb_hyper.dir/hypermedia.cc.o.d"
+  "libavdb_hyper.a"
+  "libavdb_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio_value.cc" "src/media/CMakeFiles/avdb_media.dir/audio_value.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/audio_value.cc.o.d"
+  "/root/repo/src/media/frame.cc" "src/media/CMakeFiles/avdb_media.dir/frame.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/frame.cc.o.d"
+  "/root/repo/src/media/image_value.cc" "src/media/CMakeFiles/avdb_media.dir/image_value.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/image_value.cc.o.d"
+  "/root/repo/src/media/media_ops.cc" "src/media/CMakeFiles/avdb_media.dir/media_ops.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/media_ops.cc.o.d"
+  "/root/repo/src/media/media_type.cc" "src/media/CMakeFiles/avdb_media.dir/media_type.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/media_type.cc.o.d"
+  "/root/repo/src/media/media_value.cc" "src/media/CMakeFiles/avdb_media.dir/media_value.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/media_value.cc.o.d"
+  "/root/repo/src/media/quality.cc" "src/media/CMakeFiles/avdb_media.dir/quality.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/quality.cc.o.d"
+  "/root/repo/src/media/synthetic.cc" "src/media/CMakeFiles/avdb_media.dir/synthetic.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/synthetic.cc.o.d"
+  "/root/repo/src/media/text_stream_value.cc" "src/media/CMakeFiles/avdb_media.dir/text_stream_value.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/text_stream_value.cc.o.d"
+  "/root/repo/src/media/video_value.cc" "src/media/CMakeFiles/avdb_media.dir/video_value.cc.o" "gcc" "src/media/CMakeFiles/avdb_media.dir/video_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/avdb_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

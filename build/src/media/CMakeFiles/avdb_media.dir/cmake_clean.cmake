@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_media.dir/audio_value.cc.o"
+  "CMakeFiles/avdb_media.dir/audio_value.cc.o.d"
+  "CMakeFiles/avdb_media.dir/frame.cc.o"
+  "CMakeFiles/avdb_media.dir/frame.cc.o.d"
+  "CMakeFiles/avdb_media.dir/image_value.cc.o"
+  "CMakeFiles/avdb_media.dir/image_value.cc.o.d"
+  "CMakeFiles/avdb_media.dir/media_ops.cc.o"
+  "CMakeFiles/avdb_media.dir/media_ops.cc.o.d"
+  "CMakeFiles/avdb_media.dir/media_type.cc.o"
+  "CMakeFiles/avdb_media.dir/media_type.cc.o.d"
+  "CMakeFiles/avdb_media.dir/media_value.cc.o"
+  "CMakeFiles/avdb_media.dir/media_value.cc.o.d"
+  "CMakeFiles/avdb_media.dir/quality.cc.o"
+  "CMakeFiles/avdb_media.dir/quality.cc.o.d"
+  "CMakeFiles/avdb_media.dir/synthetic.cc.o"
+  "CMakeFiles/avdb_media.dir/synthetic.cc.o.d"
+  "CMakeFiles/avdb_media.dir/text_stream_value.cc.o"
+  "CMakeFiles/avdb_media.dir/text_stream_value.cc.o.d"
+  "CMakeFiles/avdb_media.dir/video_value.cc.o"
+  "CMakeFiles/avdb_media.dir/video_value.cc.o.d"
+  "libavdb_media.a"
+  "libavdb_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavdb_media.a"
+)

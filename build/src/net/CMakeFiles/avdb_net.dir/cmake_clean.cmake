@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_net.dir/channel.cc.o"
+  "CMakeFiles/avdb_net.dir/channel.cc.o.d"
+  "libavdb_net.a"
+  "libavdb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

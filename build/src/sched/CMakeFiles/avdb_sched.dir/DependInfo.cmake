@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/admission.cc" "src/sched/CMakeFiles/avdb_sched.dir/admission.cc.o" "gcc" "src/sched/CMakeFiles/avdb_sched.dir/admission.cc.o.d"
+  "/root/repo/src/sched/event_engine.cc" "src/sched/CMakeFiles/avdb_sched.dir/event_engine.cc.o" "gcc" "src/sched/CMakeFiles/avdb_sched.dir/event_engine.cc.o.d"
+  "/root/repo/src/sched/jitter.cc" "src/sched/CMakeFiles/avdb_sched.dir/jitter.cc.o" "gcc" "src/sched/CMakeFiles/avdb_sched.dir/jitter.cc.o.d"
+  "/root/repo/src/sched/service_queue.cc" "src/sched/CMakeFiles/avdb_sched.dir/service_queue.cc.o" "gcc" "src/sched/CMakeFiles/avdb_sched.dir/service_queue.cc.o.d"
+  "/root/repo/src/sched/sync_controller.cc" "src/sched/CMakeFiles/avdb_sched.dir/sync_controller.cc.o" "gcc" "src/sched/CMakeFiles/avdb_sched.dir/sync_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/avdb_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

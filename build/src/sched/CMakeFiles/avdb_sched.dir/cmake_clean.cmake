@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_sched.dir/admission.cc.o"
+  "CMakeFiles/avdb_sched.dir/admission.cc.o.d"
+  "CMakeFiles/avdb_sched.dir/event_engine.cc.o"
+  "CMakeFiles/avdb_sched.dir/event_engine.cc.o.d"
+  "CMakeFiles/avdb_sched.dir/jitter.cc.o"
+  "CMakeFiles/avdb_sched.dir/jitter.cc.o.d"
+  "CMakeFiles/avdb_sched.dir/service_queue.cc.o"
+  "CMakeFiles/avdb_sched.dir/service_queue.cc.o.d"
+  "CMakeFiles/avdb_sched.dir/sync_controller.cc.o"
+  "CMakeFiles/avdb_sched.dir/sync_controller.cc.o.d"
+  "libavdb_sched.a"
+  "libavdb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

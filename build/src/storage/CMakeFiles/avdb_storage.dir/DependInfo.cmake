@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/avdb_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/avdb_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/storage/CMakeFiles/avdb_storage.dir/buffer_cache.cc.o" "gcc" "src/storage/CMakeFiles/avdb_storage.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/device_manager.cc" "src/storage/CMakeFiles/avdb_storage.dir/device_manager.cc.o" "gcc" "src/storage/CMakeFiles/avdb_storage.dir/device_manager.cc.o.d"
+  "/root/repo/src/storage/extent_allocator.cc" "src/storage/CMakeFiles/avdb_storage.dir/extent_allocator.cc.o" "gcc" "src/storage/CMakeFiles/avdb_storage.dir/extent_allocator.cc.o.d"
+  "/root/repo/src/storage/media_store.cc" "src/storage/CMakeFiles/avdb_storage.dir/media_store.cc.o" "gcc" "src/storage/CMakeFiles/avdb_storage.dir/media_store.cc.o.d"
+  "/root/repo/src/storage/value_serializer.cc" "src/storage/CMakeFiles/avdb_storage.dir/value_serializer.cc.o" "gcc" "src/storage/CMakeFiles/avdb_storage.dir/value_serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/avdb_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/avdb_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/avdb_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

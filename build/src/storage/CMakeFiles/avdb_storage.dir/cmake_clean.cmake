@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_storage.dir/block_device.cc.o"
+  "CMakeFiles/avdb_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/avdb_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/avdb_storage.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/avdb_storage.dir/device_manager.cc.o"
+  "CMakeFiles/avdb_storage.dir/device_manager.cc.o.d"
+  "CMakeFiles/avdb_storage.dir/extent_allocator.cc.o"
+  "CMakeFiles/avdb_storage.dir/extent_allocator.cc.o.d"
+  "CMakeFiles/avdb_storage.dir/media_store.cc.o"
+  "CMakeFiles/avdb_storage.dir/media_store.cc.o.d"
+  "CMakeFiles/avdb_storage.dir/value_serializer.cc.o"
+  "CMakeFiles/avdb_storage.dir/value_serializer.cc.o.d"
+  "libavdb_storage.a"
+  "libavdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/time/interval.cc" "src/time/CMakeFiles/avdb_time.dir/interval.cc.o" "gcc" "src/time/CMakeFiles/avdb_time.dir/interval.cc.o.d"
+  "/root/repo/src/time/temporal_transform.cc" "src/time/CMakeFiles/avdb_time.dir/temporal_transform.cc.o" "gcc" "src/time/CMakeFiles/avdb_time.dir/temporal_transform.cc.o.d"
+  "/root/repo/src/time/timecode.cc" "src/time/CMakeFiles/avdb_time.dir/timecode.cc.o" "gcc" "src/time/CMakeFiles/avdb_time.dir/timecode.cc.o.d"
+  "/root/repo/src/time/timeline.cc" "src/time/CMakeFiles/avdb_time.dir/timeline.cc.o" "gcc" "src/time/CMakeFiles/avdb_time.dir/timeline.cc.o.d"
+  "/root/repo/src/time/world_time.cc" "src/time/CMakeFiles/avdb_time.dir/world_time.cc.o" "gcc" "src/time/CMakeFiles/avdb_time.dir/world_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/avdb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

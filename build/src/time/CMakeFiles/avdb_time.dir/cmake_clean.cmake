@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_time.dir/interval.cc.o"
+  "CMakeFiles/avdb_time.dir/interval.cc.o.d"
+  "CMakeFiles/avdb_time.dir/temporal_transform.cc.o"
+  "CMakeFiles/avdb_time.dir/temporal_transform.cc.o.d"
+  "CMakeFiles/avdb_time.dir/timecode.cc.o"
+  "CMakeFiles/avdb_time.dir/timecode.cc.o.d"
+  "CMakeFiles/avdb_time.dir/timeline.cc.o"
+  "CMakeFiles/avdb_time.dir/timeline.cc.o.d"
+  "CMakeFiles/avdb_time.dir/world_time.cc.o"
+  "CMakeFiles/avdb_time.dir/world_time.cc.o.d"
+  "libavdb_time.a"
+  "libavdb_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

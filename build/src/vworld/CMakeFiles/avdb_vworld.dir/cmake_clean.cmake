@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avdb_vworld.dir/activities.cc.o"
+  "CMakeFiles/avdb_vworld.dir/activities.cc.o.d"
+  "CMakeFiles/avdb_vworld.dir/raycaster.cc.o"
+  "CMakeFiles/avdb_vworld.dir/raycaster.cc.o.d"
+  "CMakeFiles/avdb_vworld.dir/scene.cc.o"
+  "CMakeFiles/avdb_vworld.dir/scene.cc.o.d"
+  "libavdb_vworld.a"
+  "libavdb_vworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avdb_vworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for avdb_vworld.
+# This may be replaced when dependencies are built.

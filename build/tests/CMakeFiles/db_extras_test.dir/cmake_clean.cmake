@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_extras_test.dir/db_extras_test.cc.o"
+  "CMakeFiles/db_extras_test.dir/db_extras_test.cc.o.d"
+  "db_extras_test"
+  "db_extras_test.pdb"
+  "db_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_ops_test.dir/media_ops_test.cc.o"
+  "CMakeFiles/media_ops_test.dir/media_ops_test.cc.o.d"
+  "media_ops_test"
+  "media_ops_test.pdb"
+  "media_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

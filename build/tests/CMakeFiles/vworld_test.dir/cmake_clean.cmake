@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vworld_test.dir/vworld_test.cc.o"
+  "CMakeFiles/vworld_test.dir/vworld_test.cc.o.d"
+  "vworld_test"
+  "vworld_test.pdb"
+  "vworld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vworld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
