@@ -72,6 +72,9 @@ Result<Connection*> ActivityGraph::Connect(MediaActivity* from,
 }
 
 Status ActivityGraph::Disconnect(Connection* connection) {
+  if (connection == nullptr) {
+    return Status::NotFound("connection not in this graph");
+  }
   auto it = std::find_if(
       connections_.begin(), connections_.end(),
       [connection](const auto& c) { return c.get() == connection; });

@@ -1,0 +1,10 @@
+#include "base/buffer_pool.h"
+
+namespace avdb {
+
+BufferPool& BufferPool::Shared() {
+  static BufferPool* pool = new BufferPool(/*max_free_per_class=*/64);
+  return *pool;
+}
+
+}  // namespace avdb

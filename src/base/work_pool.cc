@@ -1,0 +1,73 @@
+#include "base/work_pool.h"
+
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace avdb {
+
+WorkPool::WorkPool(int workers) {
+  if (workers < 0) workers = 0;
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::future<void> WorkPool::Submit(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Post([packaged] { (*packaged)(); });
+  return future;
+}
+
+WorkPool& WorkPool::Shared() {
+  static WorkPool* pool = [] {
+    int workers = 0;
+    if (const char* env = std::getenv("AVDB_POOL_WORKERS")) {
+      auto parsed = ParseInt64(env);
+      if (parsed.ok()) workers = static_cast<int>(parsed.value());
+    }
+    if (workers <= 0) {
+      workers = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (workers < 1) workers = 1;
+    if (workers > 16) workers = 16;
+    return new WorkPool(workers);
+  }();
+  return *pool;
+}
+
+}  // namespace avdb

@@ -1,0 +1,157 @@
+#ifndef AVDB_BASE_WORK_POOL_H_
+#define AVDB_BASE_WORK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace avdb {
+
+/// Fixed-size worker-thread pool for CPU-bound data-parallel work (the
+/// codec transformers of Table 1 are the dominant consumers). The pool is
+/// deliberately simple: a locked FIFO of tasks, `workers` threads draining
+/// it, and a deterministic fork/join helper (`ParallelFor`/`ParallelMap`)
+/// layered on top.
+///
+/// Design rules:
+///  - The *calling* thread of `ParallelFor` always participates in the
+///    work loop, so completion never depends on a worker being free. This
+///    makes nested `ParallelFor` calls (a frame-parallel encode whose
+///    per-frame kernel is itself plane-parallel) deadlock-free by
+///    construction: the nesting lane can finish all inner work alone.
+///  - Results are joined in index order, so parallel output is always
+///    byte-identical to the serial loop regardless of scheduling.
+///  - This pool is for *real-time* CPU work only. Activities on the
+///    virtual-time EventEngine must never block on it mid-event; codec
+///    calls use it internally and return only when all work is done, so
+///    virtual-time semantics are unaffected (see DESIGN.md, "Concurrency
+///    model").
+class WorkPool {
+ public:
+  /// Spawns `workers` threads (0 is legal: every helper then runs inline
+  /// on the calling thread).
+  explicit WorkPool(int workers);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task. The future resolves after the task ran; an
+  /// exception escaping the task is captured and rethrown by `get()`.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Process-wide pool. Sized from the AVDB_POOL_WORKERS environment
+  /// variable when set, else std::thread::hardware_concurrency(), clamped
+  /// to [1, 16]. Created on first use and never destroyed.
+  static WorkPool& Shared();
+
+  /// Runs fn(i) for every i in [0, n), using at most `width` concurrent
+  /// lanes (the calling thread counts as one lane and always
+  /// participates). Blocks until every index has completed. width <= 1 or
+  /// n <= 1 degrades to a plain serial loop on the caller. The first
+  /// exception thrown by `fn` aborts remaining indices and is rethrown
+  /// here once in-flight lanes have drained.
+  template <typename Fn>
+  void ParallelFor(int width, int64_t n, Fn&& fn) {
+    if (n <= 0) return;
+    if (width > n) width = static_cast<int>(n);
+    if (width <= 1 || worker_count() == 0) {
+      for (int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    // The body is held by shared_ptr so a lane task that is only dequeued
+    // after this call returned (possible when the queue is backed up) can
+    // still run its no-op claim check safely.
+    auto body = std::make_shared<std::decay_t<Fn>>(std::forward<Fn>(fn));
+    auto lane = [state, body] {
+      state->in_flight.fetch_add(1, std::memory_order_acq_rel);
+      for (;;) {
+        if (state->abort.load(std::memory_order_relaxed)) break;
+        const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= state->n) break;
+        try {
+          (*body)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(state->mu);
+            if (!state->error) state->error = std::current_exception();
+          }
+          state->abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      state->cv.notify_all();
+    };
+    for (int l = 1; l < width; ++l) Post(lane);
+    lane();  // caller participates and can finish all work alone
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [&] {
+        if (state->in_flight.load(std::memory_order_acquire) != 0) {
+          return false;
+        }
+        return state->next.load(std::memory_order_relaxed) >= state->n ||
+               state->abort.load(std::memory_order_relaxed);
+      });
+      if (state->error) std::rethrow_exception(state->error);
+    }
+  }
+
+  /// Ordered-join map: returns {fn(0), fn(1), ..., fn(n-1)} with element i
+  /// always at index i, independent of which lane computed it — the
+  /// property the codecs rely on for bit-exact parallel output. `T` only
+  /// needs to be movable.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(int width, int64_t n, Fn&& fn) {
+    std::vector<std::optional<T>> slots(static_cast<size_t>(n));
+    ParallelFor(width, n,
+                [&](int64_t i) { slots[static_cast<size_t>(i)].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(static_cast<size_t>(n));
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  struct ForState {
+    std::atomic<int64_t> next{0};
+    std::atomic<int> in_flight{0};
+    std::atomic<bool> abort{false};
+    int64_t n = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+
+  /// Fire-and-forget enqueue (no future) used by ParallelFor lanes.
+  void Post(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_BASE_WORK_POOL_H_

@@ -2,6 +2,21 @@
 
 namespace avdb {
 
+Result<std::vector<VideoFrame>> VideoDecoderSession::DecodeRange(
+    int64_t first, int64_t count) {
+  if (first < 0 || count < 0) {
+    return Status::InvalidArgument("bad decode range");
+  }
+  std::vector<VideoFrame> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    auto frame = DecodeFrame(first + i);
+    if (!frame.ok()) return frame.status();
+    out.push_back(std::move(frame).value());
+  }
+  return out;
+}
+
 int64_t EncodedFrame::SizeBytes() const {
   int64_t total = static_cast<int64_t>(data.size());
   for (const auto& l : layers) total += static_cast<int64_t>(l.size());
@@ -78,6 +93,16 @@ Result<EncodedVideo> EncodedVideo::Deserialize(const Buffer& buffer) {
   if (depth.value() != 8 && depth.value() != 24) {
     return Status::DataLoss("bad stored depth");
   }
+  if (width.value() <= 0 || height.value() <= 0) {
+    return Status::DataLoss("bad stored video geometry");
+  }
+  // Decoders allocate width*height planes before reading a single payload
+  // byte, so implausible (corrupt) geometry must be rejected here rather
+  // than surfacing as an allocation failure downstream.
+  if (static_cast<int64_t>(width.value()) * height.value() >
+      (int64_t{1} << 26)) {
+    return Status::DataLoss("implausible stored video geometry");
+  }
   v.raw_type =
       MediaDataType::RawVideo(width.value(), height.value(), depth.value(),
                               Rational(rate_num.value(), rate_den.value()));
@@ -97,6 +122,13 @@ Result<EncodedVideo> EncodedVideo::Deserialize(const Buffer& buffer) {
 
   auto count = r.ReadU32();
   if (!count.ok()) return count.status();
+  // Every stored frame needs at least its is_intra byte, so a count beyond
+  // the remaining payload is corrupt — reject before reserving, and size
+  // every buffer only after checking the bytes are actually present, so a
+  // corrupt length field surfaces as DataLoss instead of a huge alloc.
+  if (count.value() > r.remaining()) {
+    return Status::DataLoss("frame count exceeds payload");
+  }
   v.frames.reserve(count.value());
   for (uint32_t i = 0; i < count.value(); ++i) {
     EncodedFrame f;
@@ -105,6 +137,9 @@ Result<EncodedVideo> EncodedVideo::Deserialize(const Buffer& buffer) {
     f.is_intra = intra.value() != 0;
     auto size = r.ReadU32();
     if (!size.ok()) return size.status();
+    if (size.value() > r.remaining()) {
+      return Status::DataLoss("frame size exceeds payload");
+    }
     f.data.Resize(size.value());
     AVDB_RETURN_IF_ERROR(r.ReadBytes(f.data.data(), size.value()));
     auto layer_count = r.ReadU8();
@@ -112,6 +147,9 @@ Result<EncodedVideo> EncodedVideo::Deserialize(const Buffer& buffer) {
     for (uint8_t l = 0; l < layer_count.value(); ++l) {
       auto lsize = r.ReadU32();
       if (!lsize.ok()) return lsize.status();
+      if (lsize.value() > r.remaining()) {
+        return Status::DataLoss("layer size exceeds payload");
+      }
       Buffer layer;
       layer.Resize(lsize.value());
       AVDB_RETURN_IF_ERROR(r.ReadBytes(layer.data(), lsize.value()));

@@ -16,11 +16,17 @@ VideoFrame::VideoFrame(int width, int height, int depth_bits)
 }
 
 std::vector<uint8_t> VideoFrame::ExtractPlane(int p) const {
+  std::vector<uint8_t> plane;
+  ExtractPlaneInto(p, &plane);
+  return plane;
+}
+
+void VideoFrame::ExtractPlaneInto(int p, std::vector<uint8_t>* out) const {
   const int bpp = bytes_per_pixel();
   AVDB_CHECK(p >= 0 && p < bpp) << "plane index out of range";
-  std::vector<uint8_t> plane(static_cast<size_t>(width_) * height_);
+  out->resize(static_cast<size_t>(width_) * height_);
+  std::vector<uint8_t>& plane = *out;
   for (size_t i = 0; i < plane.size(); ++i) plane[i] = data_[i * bpp + p];
-  return plane;
 }
 
 Status VideoFrame::SetPlane(int p, const std::vector<uint8_t>& plane) {

@@ -41,6 +41,10 @@ class VideoFrame {
 
   /// Copies out component plane `p` as a width×height byte array.
   std::vector<uint8_t> ExtractPlane(int p) const;
+  /// Same, but into a caller-provided (possibly pooled) block, which is
+  /// resized to width·height — the allocation-free path the codec inner
+  /// loops use.
+  void ExtractPlaneInto(int p, std::vector<uint8_t>* out) const;
   /// Overwrites component plane `p`; `plane` must have width·height bytes.
   Status SetPlane(int p, const std::vector<uint8_t>& plane);
 

@@ -106,6 +106,54 @@ TEST(ActivityGraphTest, ConnectEnforcesTypeRule) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(ActivityGraphTest, DisconnectFreesBothPortsForReconnect) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  auto source = VideoSource::Create("src", ActivityLocation::kDatabase, env);
+  ASSERT_TRUE(source->Bind(SmallVideo(), VideoSource::kPortOut).ok());
+  auto window = VideoWindow::Create("win", ActivityLocation::kClient, env,
+                                    MatchingQuality(SmallVideoType()));
+  ASSERT_TRUE(graph.Add(source).ok());
+  ASSERT_TRUE(graph.Add(window).ok());
+  auto first = graph.Connect(source.get(), VideoSource::kPortOut,
+                             window.get(), VideoWindow::kPortIn);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(graph.Disconnect(first.value()).ok());
+
+  // Both ends must be free again: rewiring the same pair succeeds and the
+  // rebuilt graph validates and plays.
+  auto second = graph.Connect(source.get(), VideoSource::kPortOut,
+                              window.get(), VideoWindow::kPortIn);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(graph.Validate().ok());
+  ASSERT_TRUE(graph.StartAll().ok());
+  graph.RunUntilIdle();
+  EXPECT_EQ(window->stats().elements_presented, 10);
+}
+
+TEST(ActivityGraphTest, DisconnectRejectsUnknownAndNull) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  EXPECT_EQ(graph.Disconnect(nullptr).code(), StatusCode::kNotFound);
+
+  auto source = VideoSource::Create("src", ActivityLocation::kDatabase, env);
+  ASSERT_TRUE(source->Bind(SmallVideo(), VideoSource::kPortOut).ok());
+  auto window = VideoWindow::Create("win", ActivityLocation::kClient, env,
+                                    MatchingQuality(SmallVideoType()));
+  ASSERT_TRUE(graph.Add(source).ok());
+  ASSERT_TRUE(graph.Add(window).ok());
+  auto conn = graph.Connect(source.get(), VideoSource::kPortOut,
+                            window.get(), VideoWindow::kPortIn);
+  ASSERT_TRUE(conn.ok());
+  Connection* dangling = conn.value();
+  ASSERT_TRUE(graph.Disconnect(dangling).ok());
+  // A second disconnect of the same (now destroyed) connection is NotFound,
+  // not a crash or silent success.
+  EXPECT_EQ(graph.Disconnect(dangling).code(), StatusCode::kNotFound);
+}
+
 TEST(ActivityGraphTest, ValidateFindsDanglingInputs) {
   EventEngine engine;
   ActivityEnv env{&engine, nullptr};
