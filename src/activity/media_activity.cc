@@ -137,10 +137,16 @@ Port* MediaActivity::DeclarePort(const std::string& name,
 }
 
 void MediaActivity::Raise(const std::string& kind, int64_t element_index) {
+  Raise(kind, element_index, std::string());
+}
+
+void MediaActivity::Raise(const std::string& kind, int64_t element_index,
+                          std::string detail) {
   ActivityEvent event;
   event.kind = kind;
   event.element_index = element_index;
   event.time_ns = env_.engine != nullptr ? env_.engine->now_ns() : 0;
+  event.detail = std::move(detail);
   auto [begin, end] = handlers_.equal_range(kind);
   for (auto it = begin; it != end; ++it) it->second(event);
 }

@@ -39,6 +39,10 @@ struct ActivityEvent {
   std::string kind;
   int64_t element_index = 0;
   int64_t time_ns = 0;
+  /// Free-form context for robustness events (FAULT_RETRY, QUALITY_CHANGED,
+  /// ...): what happened and why, e.g. "layers 3->2" or "2 retries
+  /// absorbed". Empty for plain per-element events.
+  std::string detail;
 };
 
 using ActivityEventHandler = std::function<void(const ActivityEvent&)>;
@@ -144,6 +148,8 @@ class MediaActivity {
 
   /// Raises an event to all registered handlers.
   void Raise(const std::string& kind, int64_t element_index);
+  void Raise(const std::string& kind, int64_t element_index,
+             std::string detail);
 
   /// Sends an element out of `out`: routes through the port's connection
   /// (modeled transfer + jitter) and schedules delivery at the peer. No-op

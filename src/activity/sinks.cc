@@ -59,6 +59,9 @@ void VideoWindow::OnElement(Port* in, const StreamElement& element) {
   }
   const int64_t lateness = LatenessNs(*engine(), element);
   stats_.Record(PresentationNs(*engine(), element), lateness, element.size_bytes);
+  if (options_.degrade != nullptr) {
+    options_.degrade->ReportLateness(engine()->now_ns(), lateness);
+  }
   last_frame_ = *element.frame;
   if (options_.sync != nullptr && !options_.sync_track.empty()) {
     options_.sync
@@ -113,6 +116,9 @@ void AudioSink::OnElement(Port* in, const StreamElement& element) {
   }
   const int64_t lateness = LatenessNs(*engine(), element);
   stats_.Record(PresentationNs(*engine(), element), lateness, element.size_bytes);
+  if (options_.degrade != nullptr) {
+    options_.degrade->ReportLateness(engine()->now_ns(), lateness);
+  }
   if (options_.sync != nullptr && !options_.sync_track.empty()) {
     options_.sync
         ->Report(options_.sync_track, element.ideal_time_ns,

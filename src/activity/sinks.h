@@ -8,6 +8,7 @@
 #include "media/audio_value.h"
 #include "media/quality.h"
 #include "media/video_value.h"
+#include "sched/degradation.h"
 #include "sched/stream_stats.h"
 #include "sched/sync_controller.h"
 #include "storage/media_store.h"
@@ -20,6 +21,10 @@ struct SinkOptions {
   /// controller so lagging tracks can be resynchronized.
   SyncController* sync = nullptr;
   std::string sync_track;
+  /// When set, each element's lateness feeds the shared degradation
+  /// controller — the sink is the ladder's deadline-pressure sensor, the
+  /// source its actuator.
+  DegradationController* degrade = nullptr;
 };
 
 /// Table 1's "video window": a sink presenting raw frames on a (virtual)

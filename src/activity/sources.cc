@@ -26,6 +26,11 @@ VideoSource::VideoSource(const std::string& name, ActivityLocation location,
                      MediaDataType::RawVideo(0, 0, 8, Rational(1)));
   DeclareEvent(kEachFrame);
   DeclareEvent(kLastFrame);
+  DeclareEvent(kFaultRetry);
+  DeclareEvent(kFrameDropped);
+  DeclareEvent(kQualityChanged);
+  DeclareEvent(kStreamPaused);
+  DeclareEvent(kStreamAborted);
 }
 
 std::shared_ptr<VideoSource> VideoSource::Create(const std::string& name,
@@ -49,10 +54,27 @@ Status VideoSource::Bind(MediaValuePtr value, const std::string& port_name) {
     return Status::InvalidArgument("VideoSource requires a VideoValue");
   }
   value_ = video;
+  layout_value_ = video;
   encoded_ = std::dynamic_pointer_cast<EncodedVideoValue>(video);
   if (emit_encoded_ && encoded_ == nullptr) {
     return Status::InvalidArgument(
         "encoded-chunk output requires an encoded value");
+  }
+  // Quality fallback needs a layer-scalable representation decoded
+  // internally; chunk passthrough must forward the stored bytes verbatim.
+  scalable_stream_ = nullptr;
+  nominal_layers_ = 0;
+  active_layers_ = 0;
+  if (!emit_encoded_) {
+    if (auto view = std::dynamic_pointer_cast<ScalableVideoView>(video)) {
+      scalable_stream_ = &view->encoded();
+      nominal_layers_ = active_layers_ = view->layers();
+    } else if (encoded_ != nullptr &&
+               encoded_->encoded().family == EncodingFamily::kScalable) {
+      scalable_stream_ = &encoded_->encoded();
+      nominal_layers_ = active_layers_ =
+          encoded_->encoded().params.layer_count;
+    }
   }
   // §4.3: configure the port type from the bound representation.
   if (emit_encoded_) {
@@ -99,9 +121,39 @@ int64_t VideoSource::FrameBytes(int64_t i) const {
 }
 
 int64_t VideoSource::FrameOffset(int64_t i) const {
+  // Offsets come from the *bound* value's layout: a degraded view reads a
+  // prefix of each stored frame, it does not repack the blob.
   int64_t offset = 0;
-  for (int64_t f = 0; f < i; ++f) offset += value_->StoredFrameBytes(f);
+  for (int64_t f = 0; f < i; ++f) offset += layout_value_->StoredFrameBytes(f);
   return offset;
+}
+
+bool VideoSource::ApplyQualityStep(int delta) {
+  if (scalable_stream_ == nullptr || nominal_layers_ == 0) return false;
+  const int target = active_layers_ + delta;
+  if (target < 1 || target > nominal_layers_) return false;
+  if (target == nominal_layers_) {
+    // Fully recovered: the bound value is exactly the nominal view.
+    value_ = layout_value_;
+    active_layers_ = target;
+    return true;
+  }
+  auto view = ScalableVideoView::Create(*scalable_stream_, target);
+  if (!view.ok()) return false;
+  value_ = std::move(view).value();
+  active_layers_ = target;
+  return true;
+}
+
+void VideoSource::DropElement(int64_t index, int64_t stream_start_ns,
+                              const std::string& why) {
+  if (options_.degrade != nullptr) {
+    options_.degrade->AcknowledgeAction(DegradeAction::kDropFrame,
+                                        engine()->now_ns());
+  }
+  Raise(kFrameDropped, index, why);
+  next_index_ = index + 1;
+  ScheduleTick(next_index_, stream_start_ns);
 }
 
 Status VideoSource::OnStart() {
@@ -147,6 +199,76 @@ void VideoSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
     return;
   }
 
+  // Graceful-degradation ladder: act on deadline pressure *before* paying
+  // any fetch cost for this frame.
+  const int64_t now_ns = engine()->now_ns();
+  if (options_.degrade != nullptr) {
+    const DegradeAction action = options_.degrade->Recommend(now_ns);
+    switch (action) {
+      case DegradeAction::kAbort: {
+        options_.degrade->AcknowledgeAction(action, now_ns);
+        Raise(kStreamAborted, index,
+              std::to_string(options_.degrade->ConsecutiveFaults()) +
+                  " consecutive faults");
+        Emit(out_, StreamElement::EndOfStream(
+                       index, stream_start_ns + index * PeriodNs()));
+        SelfStop();
+        return;
+      }
+      case DegradeAction::kPause: {
+        // Re-anchor the stream epoch so this frame presents one preroll
+        // from now: downstream lateness restarts from zero instead of
+        // compounding frame after frame.
+        const int64_t new_start = now_ns +
+                                  VirtualClock::ToNs(options_.preroll) -
+                                  index * PeriodNs();
+        options_.degrade->AcknowledgeAction(action, now_ns);
+        Raise(kStreamPaused, index,
+              "epoch shifted " +
+                  std::to_string((new_start - stream_start_ns) / 1000000) +
+                  " ms");
+        ScheduleTick(index, new_start);
+        return;
+      }
+      case DegradeAction::kLowerQuality:
+        if (ApplyQualityStep(-1)) {
+          options_.degrade->AcknowledgeAction(action, now_ns);
+          Raise(kQualityChanged, index,
+                "layers " + std::to_string(active_layers_ + 1) + "->" +
+                    std::to_string(active_layers_));
+        } else {
+          // Nothing left to shed but the frame itself.
+          DropElement(index, stream_start_ns, "no lower quality available");
+          return;
+        }
+        break;
+      case DegradeAction::kRaiseQuality:
+        if (ApplyQualityStep(+1)) {
+          options_.degrade->AcknowledgeAction(action, now_ns);
+          Raise(kQualityChanged, index,
+                "layers " + std::to_string(active_layers_ - 1) + "->" +
+                    std::to_string(active_layers_));
+        }
+        break;
+      case DegradeAction::kDropFrame:
+        DropElement(index, stream_start_ns, "deadline pressure");
+        return;
+      case DegradeAction::kNone:
+        break;
+    }
+    // Proactive shedding: a fetch that would queue behind this much device
+    // backlog cannot present on time, so skip it without paying the cost.
+    if (options_.device_queue != nullptr) {
+      const int64_t backlog = options_.device_queue->BacklogNs(now_ns);
+      if (backlog > options_.degrade->policy().pause_threshold_ns) {
+        DropElement(index, stream_start_ns,
+                    "device backlog " + std::to_string(backlog / 1000000) +
+                        " ms");
+        return;
+      }
+    }
+  }
+
   const int64_t ideal = stream_start_ns + index * PeriodNs();
   int64_t ready_ns = engine()->now_ns();
 
@@ -156,9 +278,26 @@ void VideoSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
                                           FrameOffset(index),
                                           FrameBytes(index));
     if (!read.ok()) {
+      // The store's retry policy already absorbed what it could; this
+      // failure is terminal for the *frame*. With degradation the stream
+      // sheds it and carries on; without, it stops (pre-fault-model
+      // behavior).
+      if (options_.degrade != nullptr) {
+        options_.degrade->ReportFault(now_ns);
+        DropElement(index, stream_start_ns,
+                    "fetch failed: " + read.status().message());
+        return;
+      }
       AVDB_LOG(Error) << name() << ": read failed: " << read.status();
       SelfStop();
       return;
+    }
+    if (read.value().retries > 0) {
+      Raise(kFaultRetry, index,
+            std::to_string(read.value().retries) + " retries absorbed");
+    }
+    if (options_.degrade != nullptr) {
+      options_.degrade->ReportFaultRecovered();
     }
     const int64_t service_ns =
         VirtualClock::ToNs(read.value().duration);
@@ -181,6 +320,12 @@ void VideoSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
   } else {
     auto frame = value_->Frame(index);
     if (!frame.ok()) {
+      if (options_.degrade != nullptr) {
+        options_.degrade->ReportFault(now_ns);
+        DropElement(index, stream_start_ns,
+                    "decode failed: " + frame.status().message());
+        return;
+      }
       AVDB_LOG(Error) << name() << ": decode failed: " << frame.status();
       SelfStop();
       return;
@@ -221,6 +366,9 @@ AudioSource::AudioSource(const std::string& name, ActivityLocation location,
                      MediaDataType::RawAudio(1, Rational(8000)));
   DeclareEvent(kEachBlock);
   DeclareEvent(kLastBlock);
+  DeclareEvent(kFaultRetry);
+  DeclareEvent(kBlockDropped);
+  DeclareEvent(kStreamAborted);
 }
 
 std::shared_ptr<AudioSource> AudioSource::Create(const std::string& name,
@@ -336,9 +484,44 @@ void AudioSource::Tick(int64_t block_index, int64_t stream_start_ns,
         options_.blob_name, block_index * stored_bytes_per_block,
         stored_bytes_per_block);
     if (!read.ok()) {
+      if (options_.degrade != nullptr) {
+        const int64_t now_ns = engine()->now_ns();
+        options_.degrade->ReportFault(now_ns);
+        if (options_.degrade->Recommend(now_ns) == DegradeAction::kAbort) {
+          options_.degrade->AcknowledgeAction(DegradeAction::kAbort, now_ns);
+          Raise(kStreamAborted, block_index,
+                std::to_string(options_.degrade->ConsecutiveFaults()) +
+                    " consecutive faults");
+          Emit(out_, StreamElement::EndOfStream(
+                         block_index,
+                         stream_start_ns + block_index * PeriodNs()));
+          SelfStop();
+          return;
+        }
+        // One block of silence beats a stalled stream; carry on.
+        options_.degrade->AcknowledgeAction(DegradeAction::kDropFrame,
+                                            now_ns);
+        Raise(kBlockDropped, block_index,
+              "fetch failed: " + read.status().message());
+        next_block_ = block_index + 1;
+        const int64_t retry_at = stream_start_ns + next_block_ * PeriodNs() -
+                                 VirtualClock::ToNs(options_.preroll);
+        engine()->ScheduleAt(retry_at,
+                             [this, next = next_block_, stream_start_ns, gen] {
+                               Tick(next, stream_start_ns, gen);
+                             });
+        return;
+      }
       AVDB_LOG(Error) << name() << ": read failed: " << read.status();
       SelfStop();
       return;
+    }
+    if (read.value().retries > 0) {
+      Raise(kFaultRetry, block_index,
+            std::to_string(read.value().retries) + " retries absorbed");
+    }
+    if (options_.degrade != nullptr) {
+      options_.degrade->ReportFaultRecovered();
     }
     const int64_t service_ns = VirtualClock::ToNs(read.value().duration);
     ready_ns = options_.device_queue != nullptr

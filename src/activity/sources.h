@@ -7,10 +7,12 @@
 #include "activity/cost_model.h"
 #include "activity/media_activity.h"
 #include "codec/encoded_value.h"
+#include "codec/scalable_codec.h"
 #include "media/audio_value.h"
 #include "media/synthetic.h"
 #include "media/text_stream_value.h"
 #include "media/video_value.h"
+#include "sched/degradation.h"
 #include "sched/service_queue.h"
 #include "sched/sync_controller.h"
 #include "storage/media_store.h"
@@ -37,6 +39,12 @@ struct SourceOptions {
   std::string sync_track;
   /// Processing-cost model for any internal decode.
   CostModel costs;
+  /// When set, the source degrades instead of stalling: it consults the
+  /// controller's ladder each tick (drop frame / lower quality / pause /
+  /// abort), tolerates post-retry fetch failures as dropped elements, and
+  /// surfaces every step as a typed event. When null (the default) fetch
+  /// failures stop the stream exactly as before.
+  DegradationController* degrade = nullptr;
 };
 
 /// The paper's `VideoSource` (§4.2/§4.3): a source activity producing the
@@ -55,6 +63,13 @@ class VideoSource : public MediaActivity {
   static constexpr const char* kEachFrame = "EACH_FRAME";
   static constexpr const char* kLastFrame = "LAST_FRAME";
   static constexpr const char* kPortOut = "video_out";
+  // Robustness events (raised only when options.degrade is set, except
+  // FAULT_RETRY which reports any absorbed storage retries).
+  static constexpr const char* kFaultRetry = "FAULT_RETRY";
+  static constexpr const char* kFrameDropped = "FRAME_DROPPED";
+  static constexpr const char* kQualityChanged = "QUALITY_CHANGED";
+  static constexpr const char* kStreamPaused = "STREAM_PAUSED";
+  static constexpr const char* kStreamAborted = "STREAM_ABORTED";
 
   /// `emit_encoded` selects chunk output for encoded bound values.
   static std::shared_ptr<VideoSource> Create(const std::string& name,
@@ -73,6 +88,12 @@ class VideoSource : public MediaActivity {
   const VideoValuePtr& bound_value() const { return value_; }
   int64_t next_index() const { return next_index_; }
 
+  /// Scalable layers currently decoded / at bind time. Equal unless the
+  /// degradation ladder stepped quality down; 0 when the bound value is not
+  /// layer-scalable.
+  int active_layers() const { return active_layers_; }
+  int nominal_layers() const { return nominal_layers_; }
+
   Status ConfigureSync(SyncController* sync,
                        const std::string& track) override;
 
@@ -86,17 +107,33 @@ class VideoSource : public MediaActivity {
   void ScheduleTick(int64_t index, int64_t stream_start_ns);
   void Tick(int64_t index, int64_t stream_start_ns, int64_t gen);
   int64_t PeriodNs() const;
-  /// Byte size of frame `i` in the stored representation.
+  /// Byte size of frame `i` in the *active* representation (a degraded view
+  /// reads fewer bytes than the stored frame occupies).
   int64_t FrameBytes(int64_t i) const;
   /// Byte offset of frame `i` within the stored blob (approximate layout:
-  /// frames in sequence).
+  /// frames in sequence, at the *bound* value's full frame sizes — quality
+  /// steps change how many bytes are read, never where frames live).
   int64_t FrameOffset(int64_t i) const;
+  /// Steps the active scalable view by `delta` layers (-1 lower, +1 raise).
+  /// Returns false when the value is not scalable or already at the bound.
+  bool ApplyQualityStep(int delta);
+  /// Drops element `index` (ladder decision or tolerated fetch failure) and
+  /// schedules the next tick.
+  void DropElement(int64_t index, int64_t stream_start_ns,
+                   const std::string& why);
 
   SourceOptions options_;
   bool emit_encoded_;
   Port* out_;
   VideoValuePtr value_;
+  /// The originally bound value — owns the blob layout (FrameOffset) and
+  /// the nominal quality the ladder recovers toward.
+  VideoValuePtr layout_value_;
   std::shared_ptr<EncodedVideoValue> encoded_;  // set when value is encoded
+  /// Scalable stream backing quality steps (nullptr when not scalable).
+  const EncodedVideo* scalable_stream_ = nullptr;
+  int nominal_layers_ = 0;
+  int active_layers_ = 0;
   ServiceQueue decode_unit_;
   int64_t next_index_ = 0;
 };
@@ -110,6 +147,9 @@ class AudioSource : public MediaActivity {
   static constexpr const char* kEachBlock = "EACH_BLOCK";
   static constexpr const char* kLastBlock = "LAST_BLOCK";
   static constexpr const char* kPortOut = "audio_out";
+  static constexpr const char* kFaultRetry = "FAULT_RETRY";
+  static constexpr const char* kBlockDropped = "BLOCK_DROPPED";
+  static constexpr const char* kStreamAborted = "STREAM_ABORTED";
   static constexpr int kBlockFrames = 1024;
 
   static std::shared_ptr<AudioSource> Create(const std::string& name,

@@ -1,0 +1,80 @@
+#include "base/fault_injector.h"
+
+#include <cstdio>
+
+namespace avdb {
+
+FaultSpec FaultSpec::TransientReads(double p) {
+  FaultSpec spec;
+  spec.read_error_rate = p;
+  spec.latency_spike_rate = p / 2;
+  spec.latency_spike_ns = 30 * 1000 * 1000;  // 30 ms bus hiccup
+  return spec;
+}
+
+bool FaultSpec::Enabled() const {
+  return read_error_rate > 0 || latency_spike_rate > 0 ||
+         stuck_head_rate > 0 || exchange_failure_rate > 0 ||
+         bandwidth_collapse_rate > 0;
+}
+
+std::string FaultSpec::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "read=%.3f spike=%.3f/%lldns stuck=%.3f exch=%.3f "
+                "collapse=%.3f@%.2f",
+                read_error_rate, latency_spike_rate,
+                static_cast<long long>(latency_spike_ns), stuck_head_rate,
+                exchange_failure_rate, bandwidth_collapse_rate,
+                bandwidth_collapse_factor);
+  return buf;
+}
+
+FaultDecision FaultInjector::OnDeviceRead(bool needs_exchange) {
+  // A fixed draw order per decision keeps the trace a pure function of the
+  // call sequence even as individual rates change between specs.
+  const bool read_error = rng_.NextBool(spec_.read_error_rate);
+  const bool exchange_failure = rng_.NextBool(spec_.exchange_failure_rate);
+  const bool spike = rng_.NextBool(spec_.latency_spike_rate);
+  const bool stuck = rng_.NextBool(spec_.stuck_head_rate);
+
+  FaultDecision decision;
+  ++stats_.decisions;
+  if (needs_exchange && exchange_failure) {
+    decision.fail = true;
+    decision.kind = "exchange";
+    ++stats_.exchange_failures;
+    return decision;
+  }
+  if (read_error) {
+    decision.fail = true;
+    decision.kind = "read-error";
+    ++stats_.read_errors;
+    return decision;
+  }
+  if (stuck) {
+    decision.extra_latency_ns += spec_.stuck_head_stall_ns;
+    decision.kind = "stuck-head";
+    ++stats_.stuck_heads;
+  }
+  if (spike) {
+    decision.extra_latency_ns += spec_.latency_spike_ns;
+    if (decision.kind[0] == '\0') decision.kind = "spike";
+    ++stats_.latency_spikes;
+  }
+  stats_.extra_latency_ns += decision.extra_latency_ns;
+  return decision;
+}
+
+double FaultInjector::OnTransfer() {
+  ++stats_.transfers;
+  const bool collapse = rng_.NextBool(spec_.bandwidth_collapse_rate);
+  if (!collapse || spec_.bandwidth_collapse_factor >= 1.0 ||
+      spec_.bandwidth_collapse_factor <= 0.0) {
+    return 1.0;
+  }
+  ++stats_.collapses;
+  return 1.0 / spec_.bandwidth_collapse_factor;
+}
+
+}  // namespace avdb

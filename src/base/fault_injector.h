@@ -1,0 +1,104 @@
+#ifndef AVDB_BASE_FAULT_INJECTOR_H_
+#define AVDB_BASE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+
+namespace avdb {
+
+/// Configuration of a deterministic adversary for the simulated hardware:
+/// each field is the per-operation probability (or magnitude) of one fault
+/// class. All delays are virtual nanoseconds — faults cost simulated
+/// WorldTime, never host time, so faulty runs replay exactly.
+///
+/// The fault classes mirror what the paper's §3.3 resource discussion takes
+/// for granted can go wrong on 1993 hardware: transient SCSI/read errors,
+/// latency spikes from bus contention, a jukebox arm failing a disc swap,
+/// a stuck head that stalls the stream, and a network whose effective rate
+/// collapses under cross traffic.
+struct FaultSpec {
+  /// P(one device read fails with Unavailable) — transient I/O error.
+  double read_error_rate = 0.0;
+  /// P(one device read is slowed by `latency_spike_ns`).
+  double latency_spike_rate = 0.0;
+  int64_t latency_spike_ns = 0;
+  /// P(one device read stalls for `stuck_head_stall_ns`) — recalibration.
+  double stuck_head_rate = 0.0;
+  int64_t stuck_head_stall_ns = 0;
+  /// P(a read that needs a disc exchange fails with Unavailable) — the
+  /// jukebox robot missing a swap. Only consulted on exchange reads.
+  double exchange_failure_rate = 0.0;
+  /// P(one channel transfer runs at `bandwidth_collapse_factor` of line
+  /// rate) — congestion collapse on the shared link.
+  double bandwidth_collapse_rate = 0.0;
+  /// Effective-rate multiplier during a collapse, in (0, 1].
+  double bandwidth_collapse_factor = 1.0;
+
+  /// All-zero spec: injecting with it never perturbs anything.
+  static FaultSpec None() { return FaultSpec{}; }
+
+  /// Uniform transient-read-fault profile at probability `p` with mild
+  /// latency spikes — the knob the fault-rate sweeps turn.
+  static FaultSpec TransientReads(double p);
+
+  /// True when any fault class can fire.
+  bool Enabled() const;
+
+  std::string ToString() const;
+};
+
+/// Outcome of consulting the injector for one device operation.
+struct FaultDecision {
+  /// The operation fails with Unavailable (retry may succeed).
+  bool fail = false;
+  /// Extra modeled latency charged to the operation (spikes, stalls).
+  int64_t extra_latency_ns = 0;
+  /// Label of the fault class that fired ("", "read-error", "exchange",
+  /// "spike", "stuck-head") for logs and typed notifications.
+  const char* kind = "";
+};
+
+/// Deterministic, seeded fault source shared by simulated devices and
+/// channels. Every decision draws a fixed number of variates from one
+/// explicitly seeded Rng in a fixed order, so the fault trace is a pure
+/// function of (seed, spec, call sequence): two runs with equal seeds see
+/// byte-identical fault schedules — the property the robustness tests pin.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec, uint64_t seed = 1)
+      : spec_(spec), rng_(seed) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Decision for one device read. `needs_exchange` marks reads that cross
+  /// discs (eligible for disc-exchange failure).
+  FaultDecision OnDeviceRead(bool needs_exchange);
+
+  /// Slowdown factor (>= 1) applied to one transfer's serialization time;
+  /// 1.0 when no collapse fires.
+  double OnTransfer();
+
+  struct Stats {
+    int64_t decisions = 0;          ///< device reads consulted
+    int64_t read_errors = 0;
+    int64_t exchange_failures = 0;
+    int64_t latency_spikes = 0;
+    int64_t stuck_heads = 0;
+    int64_t transfers = 0;          ///< channel transfers consulted
+    int64_t collapses = 0;
+    int64_t extra_latency_ns = 0;   ///< total injected delay
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_BASE_FAULT_INJECTOR_H_

@@ -1,0 +1,38 @@
+#include "base/retry.h"
+
+#include <string>
+
+namespace avdb {
+
+int64_t RetryPolicy::BackoffNs(int retry) const {
+  if (retry <= 0) return 0;
+  double backoff = static_cast<double>(initial_backoff_ns);
+  for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
+  const double cap = static_cast<double>(max_backoff_ns);
+  if (backoff > cap) backoff = cap;
+  return static_cast<int64_t>(backoff);
+}
+
+Status RetryState::BeforeRetry(const Status& failure) {
+  if (failure.ok()) {
+    return Status::Internal("BeforeRetry called with OK status");
+  }
+  if (!IsRetryable(failure)) return failure;
+  if (retries_ + 1 >= policy_.max_attempts) {
+    return Status(failure.code(),
+                  failure.message() + " (after " +
+                      std::to_string(policy_.max_attempts) + " attempts)");
+  }
+  const int64_t backoff = policy_.BackoffNs(retries_ + 1);
+  if (charged_ns_ + backoff > policy_.deadline_ns) {
+    return Status::DeadlineExceeded(
+        "retry budget of " + std::to_string(policy_.deadline_ns) +
+        "ns exhausted after " + std::to_string(retries_ + 1) +
+        " attempts: " + failure.message());
+  }
+  ++retries_;
+  charged_ns_ += backoff;
+  return Status::OK();
+}
+
+}  // namespace avdb

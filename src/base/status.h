@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition,///< Object is in the wrong state for the request.
   kResourceExhausted, ///< Admission control or allocator refused the request.
   kUnavailable,       ///< Device or channel is busy / exclusively held.
+  kDeadlineExceeded,  ///< Operation (with retries) blew its time budget.
   kDataLoss,          ///< Stored bytes failed validation.
   kUnimplemented,     ///< Declared but not supported by this component.
   kInternal,          ///< Invariant violation inside the library.
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));

@@ -29,7 +29,10 @@ Channel::Profile Channel::Profile::T1() {
 }
 
 Channel::Channel(std::string name, Profile profile)
-    : name_(std::move(name)), profile_(profile), link_(name_ + ".link") {
+    : name_(std::move(name)),
+      profile_(profile),
+      line_rate_bytes_per_sec_(profile.bandwidth_bytes_per_sec),
+      link_(name_ + ".link") {
   AVDB_CHECK(profile_.bandwidth_bytes_per_sec > 0)
       << "channel needs positive bandwidth";
 }
@@ -48,16 +51,39 @@ Result<int64_t> Channel::ReserveBandwidth(int64_t bytes_per_sec) {
 }
 
 void Channel::ReleaseBandwidth(int64_t bytes_per_sec) {
+  if (bytes_per_sec > reserved_bytes_per_sec_) {
+    AVDB_LOG(Warning) << "channel " << name_ << ": released "
+                      << bytes_per_sec << " B/s but only "
+                      << reserved_bytes_per_sec_
+                      << " B/s reserved; clamping at zero";
+    ++stats_.over_releases;
+    reserved_bytes_per_sec_ = 0;
+    return;
+  }
   reserved_bytes_per_sec_ -= bytes_per_sec;
-  if (reserved_bytes_per_sec_ < 0) reserved_bytes_per_sec_ = 0;
+}
+
+int64_t Channel::SetLineRate(int64_t bytes_per_sec) {
+  AVDB_CHECK(bytes_per_sec > 0) << "line rate must stay positive";
+  line_rate_bytes_per_sec_ = bytes_per_sec;
+  return OversubscribedBandwidth();
 }
 
 int64_t Channel::SerializationNs(int64_t bytes) const {
-  return bytes * 1000000000LL / profile_.bandwidth_bytes_per_sec;
+  return bytes * 1000000000LL / line_rate_bytes_per_sec_;
 }
 
 int64_t Channel::Transfer(int64_t request_ns, int64_t bytes) {
-  const int64_t done = link_.Submit(request_ns, SerializationNs(bytes));
+  int64_t serialization_ns = SerializationNs(bytes);
+  if (fault_injector_ != nullptr) {
+    const double slowdown = fault_injector_->OnTransfer();
+    if (slowdown > 1.0) {
+      serialization_ns = static_cast<int64_t>(
+          static_cast<double>(serialization_ns) * slowdown);
+      ++stats_.collapsed_transfers;
+    }
+  }
+  const int64_t done = link_.Submit(request_ns, serialization_ns);
   ++stats_.transfers;
   stats_.bytes += bytes;
   return done + profile_.propagation_delay_ns;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "base/fault_injector.h"
 #include "base/result.h"
 #include "sched/service_queue.h"
 
@@ -38,12 +39,36 @@ class Channel {
   /// Reserves `bytes_per_sec` of the link for a stream; ResourceExhausted
   /// when the remaining unreserved bandwidth is insufficient.
   Result<int64_t> ReserveBandwidth(int64_t bytes_per_sec);
-  /// Releases a prior reservation amount.
+  /// Releases a prior reservation amount. Releasing more than is currently
+  /// reserved clamps the total at zero and logs the over-release — a caller
+  /// bug the accounting must survive, not propagate.
   void ReleaseBandwidth(int64_t bytes_per_sec);
   int64_t ReservedBandwidth() const { return reserved_bytes_per_sec_; }
+  /// Unreserved line rate, never negative: when a fault shrinks the line
+  /// rate below what is already reserved, availability is zero (not a
+  /// negative number that could admit a new stream via a signed compare)
+  /// and the shortfall shows up in OversubscribedBandwidth().
   int64_t AvailableBandwidth() const {
-    return profile_.bandwidth_bytes_per_sec - reserved_bytes_per_sec_;
+    const int64_t avail = line_rate_bytes_per_sec_ - reserved_bytes_per_sec_;
+    return avail > 0 ? avail : 0;
   }
+  /// Reserved bandwidth in excess of the current line rate (zero in normal
+  /// operation; positive after a mid-stream rate collapse until callers
+  /// re-admit at reduced demand).
+  int64_t OversubscribedBandwidth() const {
+    const int64_t over = reserved_bytes_per_sec_ - line_rate_bytes_per_sec_;
+    return over > 0 ? over : 0;
+  }
+
+  /// Current effective line rate; equals profile().bandwidth_bytes_per_sec
+  /// until a revocation fault shrinks it.
+  int64_t LineRate() const { return line_rate_bytes_per_sec_; }
+  /// Changes the effective line rate mid-simulation (models a revoked or
+  /// degraded reservation: link failover, competing traffic class). Returns
+  /// the number of reserved bytes/sec now in excess of the new rate so the
+  /// caller can revoke/readmit streams. Existing reservations stay counted;
+  /// only future transfers serialize at the new rate.
+  int64_t SetLineRate(int64_t bytes_per_sec);
 
   /// Models sending `bytes` at `request_ns`: serializes on the link at full
   /// line rate, then adds propagation delay. Returns delivery time.
@@ -55,9 +80,20 @@ class Channel {
   /// Seconds per byte at line rate (for cost estimation).
   int64_t SerializationNs(int64_t bytes) const;
 
+  /// Attaches a fault injector consulted on every Transfer (non-owning;
+  /// nullptr detaches). An injected bandwidth collapse multiplies that
+  /// transfer's serialization time. With no injector the transfer path is
+  /// exactly the fault-free one.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   struct Stats {
     int64_t transfers = 0;
     int64_t bytes = 0;
+    int64_t over_releases = 0;       ///< ReleaseBandwidth clamps at zero
+    int64_t collapsed_transfers = 0; ///< transfers slowed by injected faults
   };
   const Stats& stats() const { return stats_; }
   const ServiceQueue& queue() const { return link_; }
@@ -65,8 +101,10 @@ class Channel {
  private:
   std::string name_;
   Profile profile_;
+  int64_t line_rate_bytes_per_sec_ = 0;
   int64_t reserved_bytes_per_sec_ = 0;
   ServiceQueue link_;
+  FaultInjector* fault_injector_ = nullptr;
   Stats stats_;
 };
 

@@ -27,7 +27,29 @@ Result<double> AdmissionController::Capacity(const std::string& name) const {
 Result<double> AdmissionController::Available(const std::string& name) const {
   auto it = pools_.find(name);
   if (it == pools_.end()) return Status::NotFound("pool: " + name);
-  return it->second.capacity - it->second.used;
+  const double avail = it->second.capacity - it->second.used;
+  return avail > 0 ? avail : 0.0;
+}
+
+Result<double> AdmissionController::Oversubscription(
+    const std::string& name) const {
+  auto it = pools_.find(name);
+  if (it == pools_.end()) return Status::NotFound("pool: " + name);
+  const double over = it->second.used - it->second.capacity;
+  return over > 0 ? over : 0.0;
+}
+
+Result<double> AdmissionController::SetPoolCapacity(const std::string& name,
+                                                    double capacity) {
+  if (capacity < 0) {
+    return Status::InvalidArgument("pool capacity must be >= 0: " + name);
+  }
+  auto it = pools_.find(name);
+  if (it == pools_.end()) return Status::NotFound("pool: " + name);
+  if (capacity < it->second.capacity) ++stats_.revocations;
+  it->second.capacity = capacity;
+  const double over = it->second.used - capacity;
+  return over > 0 ? over : 0.0;
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(
@@ -77,6 +99,14 @@ void AdmissionController::Release(AdmissionTicket* ticket) {
   }
   ticket->active_ = false;
   ticket->demands_.clear();
+}
+
+Result<AdmissionTicket> AdmissionController::Readmit(
+    AdmissionTicket* old_ticket, const std::vector<ResourceDemand>& demands) {
+  Release(old_ticket);
+  auto ticket = Admit(demands);
+  if (ticket.ok()) ++stats_.readmitted;
+  return ticket;
 }
 
 }  // namespace avdb

@@ -50,7 +50,21 @@ class AdmissionController {
 
   bool HasPool(const std::string& name) const;
   Result<double> Capacity(const std::string& name) const;
+  /// Unreserved capacity, clamped at zero: a mid-stream capacity revocation
+  /// can leave a pool oversubscribed, and availability must then read as
+  /// "nothing", not a negative number. The shortfall is reported by
+  /// Oversubscription().
   Result<double> Available(const std::string& name) const;
+  /// Reserved amount in excess of the pool's (possibly revoked) capacity;
+  /// zero in normal operation.
+  Result<double> Oversubscription(const std::string& name) const;
+
+  /// Changes a pool's capacity mid-simulation — the revocation hook (a
+  /// fault shrank a link, a device went degraded). Existing tickets keep
+  /// their reservations; the pool may come out oversubscribed, which the
+  /// return value reports so the caller can readmit streams at reduced
+  /// demand.
+  Result<double> SetPoolCapacity(const std::string& name, double capacity);
 
   /// Atomically reserves every demand (all-or-nothing). On any shortfall
   /// nothing is reserved and the status names the limiting pool.
@@ -59,9 +73,19 @@ class AdmissionController {
   /// Returns a ticket's reservations to their pools; idempotent.
   void Release(AdmissionTicket* ticket);
 
+  /// Atomically trades `old_ticket` for a new admission of `demands` — the
+  /// reduced-demand re-admission path after a revocation. The old ticket is
+  /// released first (its reservation is already invalid once capacity was
+  /// revoked); if the new demands still don't fit, the error returns with
+  /// the old ticket *released* and the caller must stop the stream.
+  Result<AdmissionTicket> Readmit(AdmissionTicket* old_ticket,
+                                  const std::vector<ResourceDemand>& demands);
+
   struct Stats {
     int64_t admitted = 0;
     int64_t rejected = 0;
+    int64_t readmitted = 0;   ///< successful reduced-demand re-admissions
+    int64_t revocations = 0;  ///< SetPoolCapacity calls that shrank a pool
   };
   const Stats& stats() const { return stats_; }
 

@@ -1,0 +1,105 @@
+#include "sched/degradation.h"
+
+#include <algorithm>
+
+namespace avdb {
+
+const char* DegradeActionName(DegradeAction action) {
+  switch (action) {
+    case DegradeAction::kNone: return "none";
+    case DegradeAction::kDropFrame: return "drop-frame";
+    case DegradeAction::kLowerQuality: return "lower-quality";
+    case DegradeAction::kRaiseQuality: return "raise-quality";
+    case DegradeAction::kPause: return "pause";
+    case DegradeAction::kAbort: return "abort";
+  }
+  return "unknown";
+}
+
+void DegradationController::ReportLateness(int64_t now_ns,
+                                           int64_t lateness_ns) {
+  (void)now_ns;  // kept in the signature for future rate-based detectors
+  const double sample =
+      static_cast<double>(lateness_ns > 0 ? lateness_ns : 0);
+  if (!have_lateness_) {
+    smoothed_lateness_ns_ = sample;
+    have_lateness_ = true;
+  } else {
+    smoothed_lateness_ns_ +=
+        policy_.ewma_alpha * (sample - smoothed_lateness_ns_);
+  }
+  ++stats_.lateness_reports;
+  stats_.max_smoothed_lateness_ns =
+      std::max(stats_.max_smoothed_lateness_ns, SmoothedLatenessNs());
+}
+
+void DegradationController::ReportFault(int64_t now_ns) {
+  (void)now_ns;
+  ++consecutive_faults_;
+  ++stats_.faults;
+}
+
+void DegradationController::ReportFaultRecovered() {
+  consecutive_faults_ = 0;
+}
+
+DegradeAction DegradationController::Recommend(int64_t now_ns) const {
+  if (consecutive_faults_ >= policy_.max_consecutive_faults) {
+    return DegradeAction::kAbort;
+  }
+  const int64_t smoothed = SmoothedLatenessNs();
+  if (smoothed >= policy_.pause_threshold_ns && DwellElapsed(now_ns)) {
+    return DegradeAction::kPause;
+  }
+  if (smoothed >= policy_.lower_threshold_ns &&
+      steps_below_nominal_ < policy_.max_lower_steps &&
+      DwellElapsed(now_ns)) {
+    return DegradeAction::kLowerQuality;
+  }
+  if (smoothed >= policy_.drop_threshold_ns) {
+    return DegradeAction::kDropFrame;
+  }
+  if (smoothed <= policy_.recover_threshold_ns && steps_below_nominal_ > 0 &&
+      have_lateness_ && DwellElapsed(now_ns)) {
+    return DegradeAction::kRaiseQuality;
+  }
+  return DegradeAction::kNone;
+}
+
+void DegradationController::AcknowledgeAction(DegradeAction action,
+                                              int64_t now_ns) {
+  switch (action) {
+    case DegradeAction::kNone:
+      break;
+    case DegradeAction::kDropFrame:
+      // A shed frame gives the pipeline one free period, and — since it is
+      // never presented — the sink will send no lateness report for it.
+      // Decay the EWMA with a zero sample here, or the pressure signal
+      // freezes above the drop threshold and the ladder sheds every
+      // remaining frame.
+      smoothed_lateness_ns_ -= policy_.ewma_alpha * smoothed_lateness_ns_;
+      ++stats_.drops_taken;
+      break;
+    case DegradeAction::kLowerQuality:
+      ++steps_below_nominal_;
+      last_switch_ns_ = now_ns;
+      ++stats_.lowers_taken;
+      break;
+    case DegradeAction::kRaiseQuality:
+      if (steps_below_nominal_ > 0) --steps_below_nominal_;
+      last_switch_ns_ = now_ns;
+      ++stats_.raises_taken;
+      break;
+    case DegradeAction::kPause:
+      smoothed_lateness_ns_ = 0;
+      have_lateness_ = false;
+      last_switch_ns_ = now_ns;
+      ++stats_.pauses_taken;
+      break;
+    case DegradeAction::kAbort:
+      ++stats_.aborts_taken;
+      break;
+  }
+}
+
+}  // namespace avdb

@@ -1,0 +1,120 @@
+#ifndef AVDB_SCHED_DEGRADATION_H_
+#define AVDB_SCHED_DEGRADATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace avdb {
+
+/// One rung of the graceful-degradation ladder. Ordered by severity: a
+/// stream under deadline pressure first sheds individual frames, then drops
+/// to a lower quality factor, then pauses to let backlog drain, and only
+/// aborts when faults persist beyond the policy's patience. kRaiseQuality
+/// is the recovery direction once pressure subsides.
+enum class DegradeAction {
+  kNone = 0,
+  kDropFrame,
+  kLowerQuality,
+  kRaiseQuality,
+  kPause,
+  kAbort,
+};
+
+const char* DegradeActionName(DegradeAction action);
+
+/// Thresholds and damping for the ladder. All lateness thresholds compare
+/// against the *smoothed* (EWMA) lateness so a single jitter spike does not
+/// trigger a quality switch; the dwell time keeps switches from
+/// oscillating.
+struct DegradationPolicy {
+  /// EWMA smoothing factor for reported lateness.
+  double ewma_alpha = 0.3;
+  /// Smoothed lateness beyond which individual frames are shed.
+  int64_t drop_threshold_ns = 20 * 1000 * 1000;      // 20 ms
+  /// Smoothed lateness beyond which a quality step-down is recommended.
+  int64_t lower_threshold_ns = 60 * 1000 * 1000;     // 60 ms
+  /// Smoothed lateness beyond which the stream should pause and re-anchor.
+  int64_t pause_threshold_ns = 250 * 1000 * 1000;    // 250 ms
+  /// Smoothed lateness below which a quality step back up is allowed.
+  int64_t recover_threshold_ns = 5 * 1000 * 1000;    // 5 ms
+  /// Minimum virtual time between quality switches (and after a pause)
+  /// before the next switch may fire.
+  int64_t dwell_ns = 500 * 1000 * 1000;              // 500 ms
+  /// How many quality steps below nominal the stream may sink (for a
+  /// 3-layer scalable encoding: 2).
+  int max_lower_steps = 2;
+  /// Consecutive unrecovered faults before the stream is abandoned.
+  int max_consecutive_faults = 8;
+
+  static DegradationPolicy Default() { return DegradationPolicy{}; }
+};
+
+/// Deadline-pressure detector + degradation ladder shared between a sink
+/// (which reports per-element lateness) and its source (which consults
+/// `Recommend` each tick and acknowledges the actions it takes). Pure
+/// bookkeeping in virtual time — deterministic, no clock or RNG of its own.
+class DegradationController {
+ public:
+  DegradationController() : DegradationController(DegradationPolicy{}) {}
+  explicit DegradationController(DegradationPolicy policy)
+      : policy_(policy) {}
+
+  const DegradationPolicy& policy() const { return policy_; }
+
+  /// Sink side: one element presented with the given (positive = late)
+  /// lateness. Early/on-time elements pull the EWMA toward zero.
+  void ReportLateness(int64_t now_ns, int64_t lateness_ns);
+
+  /// Source side: a fetch failed even after retries (one strike), or
+  /// succeeded again (strikes reset).
+  void ReportFault(int64_t now_ns);
+  void ReportFaultRecovered();
+
+  /// The rung the stream should act on right now. Severity wins: abort >
+  /// pause > lower > drop > raise > none. Quality moves (lower/raise/pause)
+  /// respect the dwell timer; frame drops do not, since shedding one frame
+  /// is cheap and reversible.
+  DegradeAction Recommend(int64_t now_ns) const;
+
+  /// The source reports the action it actually took so the controller can
+  /// advance its ladder position and arm the dwell timer. kPause also
+  /// resets the smoothed lateness: the pause re-anchors the stream epoch,
+  /// so pre-pause lateness no longer describes the stream.
+  void AcknowledgeAction(DegradeAction action, int64_t now_ns);
+
+  /// Quality steps currently below nominal (0 = full quality).
+  int StepsBelowNominal() const { return steps_below_nominal_; }
+  int ConsecutiveFaults() const { return consecutive_faults_; }
+  int64_t SmoothedLatenessNs() const {
+    return static_cast<int64_t>(smoothed_lateness_ns_);
+  }
+
+  struct Stats {
+    int64_t lateness_reports = 0;
+    int64_t faults = 0;
+    int64_t drops_taken = 0;
+    int64_t lowers_taken = 0;
+    int64_t raises_taken = 0;
+    int64_t pauses_taken = 0;
+    int64_t aborts_taken = 0;
+    int64_t max_smoothed_lateness_ns = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool DwellElapsed(int64_t now_ns) const {
+    return now_ns - last_switch_ns_ >= policy_.dwell_ns;
+  }
+
+  DegradationPolicy policy_;
+  double smoothed_lateness_ns_ = 0;
+  bool have_lateness_ = false;
+  int steps_below_nominal_ = 0;
+  int consecutive_faults_ = 0;
+  int64_t last_switch_ns_ = -(1LL << 62);  // dwell open at stream start
+  Stats stats_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_SCHED_DEGRADATION_H_

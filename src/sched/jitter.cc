@@ -10,9 +10,14 @@ int64_t JitterModel::Sample() {
   if (params_.spike_probability > 0 &&
       rng_.NextBool(params_.spike_probability)) {
     delay += static_cast<double>(params_.spike_ns);
+    ++stats_.spikes;
   }
   if (delay < 0) delay = 0;
-  return static_cast<int64_t>(delay);
+  const int64_t sample = static_cast<int64_t>(delay);
+  ++stats_.samples;
+  stats_.total_ns += sample;
+  if (sample > stats_.max_ns) stats_.max_ns = sample;
+  return sample;
 }
 
 }  // namespace avdb

@@ -45,9 +45,18 @@ class JitterModel {
 
   const Params& params() const { return params_; }
 
+  struct Stats {
+    int64_t samples = 0;
+    int64_t spikes = 0;        ///< samples that included a spike
+    int64_t total_ns = 0;
+    int64_t max_ns = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   Params params_;
   Rng rng_;
+  Stats stats_;
 };
 
 }  // namespace avdb

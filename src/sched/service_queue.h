@@ -29,6 +29,12 @@ class ServiceQueue {
   /// Time the server becomes free.
   int64_t free_at_ns() const { return free_at_ns_; }
 
+  /// Work already queued ahead of a request arriving at `now_ns` — the
+  /// backlog a source inspects to shed load *before* committing a fetch.
+  int64_t BacklogNs(int64_t now_ns) const {
+    return free_at_ns_ > now_ns ? free_at_ns_ - now_ns : 0;
+  }
+
   struct Stats {
     int64_t requests = 0;
     int64_t busy_ns = 0;     ///< total service time

@@ -21,9 +21,14 @@ struct StreamStats {
   int64_t first_element_ns = -1;  ///< virtual time of first presentation
   int64_t last_element_ns = -1;
   int64_t bytes_delivered = 0;
+  /// EWMA of positive lateness — the deadline-pressure signal degradation
+  /// control reads. One spike barely moves it; sustained lag raises it.
+  double smoothed_lateness_ns = 0;
 
   /// Threshold beyond which a late element counts as a deadline miss.
   static constexpr int64_t kMissThresholdNs = 50 * 1000 * 1000;  // 50 ms
+  /// Smoothing factor for `smoothed_lateness_ns`.
+  static constexpr double kLatenessAlpha = 0.3;
 
   /// Records one presentation (`lateness_ns` < 0 means early/on time).
   void Record(int64_t now_ns, int64_t lateness_ns, int64_t bytes) {
@@ -31,6 +36,10 @@ struct StreamStats {
     if (first_element_ns < 0) first_element_ns = now_ns;
     last_element_ns = now_ns;
     bytes_delivered += bytes;
+    smoothed_lateness_ns +=
+        kLatenessAlpha *
+        (static_cast<double>(lateness_ns > 0 ? lateness_ns : 0) -
+         smoothed_lateness_ns);
     if (lateness_ns > 0) {
       ++late_elements;
       total_lateness_ns += lateness_ns;

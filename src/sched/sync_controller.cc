@@ -19,6 +19,17 @@ Status SyncController::AddTrack(const std::string& track, bool master) {
   return Status::OK();
 }
 
+Status SyncController::RemoveTrack(const std::string& track) {
+  auto it = tracks_.find(track);
+  if (it == tracks_.end()) return Status::NotFound("sync track: " + track);
+  const bool was_master = it->second.master;
+  tracks_.erase(it);
+  if (was_master && !tracks_.empty()) {
+    tracks_.begin()->second.master = true;
+  }
+  return Status::OK();
+}
+
 const SyncController::TrackState* SyncController::Master() const {
   for (const auto& [name, s] : tracks_) {
     if (s.master) return &s;

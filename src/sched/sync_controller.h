@@ -34,6 +34,11 @@ class SyncController {
   /// track added becomes master if none is flagged.
   Status AddTrack(const std::string& track, bool master = false);
 
+  /// Removes a track (e.g. when its stream aborts under persistent faults)
+  /// so the survivors stop chasing a dead peer's drift. If the master is
+  /// removed, the first remaining track is promoted.
+  Status RemoveTrack(const std::string& track);
+
   bool HasTrack(const std::string& track) const {
     return tracks_.count(track) > 0;
   }

@@ -131,10 +131,30 @@ Result<WorldTime> BlockDevice::Read(int disc, int64_t offset, int64_t length,
   if (offset + length > static_cast<int64_t>(disc_bytes.size())) {
     return Status::InvalidArgument("read past written extent on " + name_);
   }
+
+  // Fault injection happens before any state changes: a failed attempt
+  // leaves the head where it was (the arm never completed the motion), so
+  // a retry of an exchange read is itself an exchange read again.
+  WorldTime injected;
+  if (fault_injector_ != nullptr) {
+    const FaultDecision decision =
+        fault_injector_->OnDeviceRead(/*needs_exchange=*/disc !=
+                                      current_disc_);
+    if (decision.fail) {
+      ++stats_.injected_faults;
+      return Status::Unavailable(std::string("injected ") + decision.kind +
+                                 " fault on " + name_);
+    }
+    if (decision.extra_latency_ns > 0) {
+      injected = WorldTime::FromNanos(decision.extra_latency_ns);
+      stats_.injected_latency += injected;
+    }
+  }
+
   out->Clear();
   out->AppendBytes(disc_bytes.data() + offset, static_cast<size_t>(length));
 
-  WorldTime cost = Position(disc, offset, /*count_stats=*/true);
+  WorldTime cost = injected + Position(disc, offset, /*count_stats=*/true);
   cost += SequentialReadTime(length);
   head_position_ = offset + length;
   ++stats_.reads;

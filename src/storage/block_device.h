@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/buffer.h"
+#include "base/fault_injector.h"
 #include "base/result.h"
 #include "time/world_time.h"
 
@@ -86,6 +87,14 @@ class BlockDevice {
   /// Resets head/disc state (e.g. between experiments).
   void ResetHead();
 
+  /// Attaches a fault injector consulted on every read (non-owning; nullptr
+  /// detaches). With no injector — the default — the read path is exactly
+  /// the fault-free one: zero extra work, byte-identical timing.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   /// Bookkeeping for allocators: reserve/free capacity.
   Status ReserveCapacity(int64_t bytes);
   void ReleaseCapacity(int64_t bytes);
@@ -98,6 +107,8 @@ class BlockDevice {
     int64_t bytes_written = 0;
     int64_t seeks = 0;
     int64_t disc_exchanges = 0;
+    int64_t injected_faults = 0;     ///< reads failed by the injector
+    WorldTime injected_latency;      ///< spike/stall time added by faults
     WorldTime busy_time;
   };
   const Stats& stats() const { return stats_; }
@@ -116,6 +127,7 @@ class BlockDevice {
   int current_disc_ = 0;
   int64_t head_position_ = 0;
 
+  FaultInjector* fault_injector_ = nullptr;
   Stats stats_;
 };
 

@@ -74,6 +74,27 @@ Result<MediaStore::ReadResult> MediaStore::Get(const std::string& name) {
   return result;
 }
 
+Result<WorldTime> MediaStore::DeviceReadWithRetry(int disc, int64_t offset,
+                                                  int64_t length, Buffer* out,
+                                                  int64_t* retries) {
+  RetryState state(retry_policy_);
+  for (;;) {
+    auto cost = device_->Read(disc, offset, length, out);
+    if (cost.ok()) {
+      return cost.value() + WorldTime::FromNanos(state.charged_ns());
+    }
+    const int64_t charged_before = state.charged_ns();
+    const Status verdict = state.BeforeRetry(cost.status());
+    if (!verdict.ok()) {
+      ++stats_.exhausted;
+      return verdict;
+    }
+    ++stats_.retries;
+    stats_.backoff_ns += state.charged_ns() - charged_before;
+    if (retries != nullptr) ++*retries;
+  }
+}
+
 Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
     const StoredBlob& blob, int64_t offset, int64_t length) {
   ReadResult out;
@@ -88,8 +109,10 @@ Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
     const int64_t want_end = std::min(offset + length, ext_end);
     if (want_start >= want_end) continue;
     Buffer piece;
-    auto cost = device_->Read(e.disc, e.offset + (want_start - ext_start),
-                              want_end - want_start, &piece);
+    auto cost = DeviceReadWithRetry(e.disc,
+                                    e.offset + (want_start - ext_start),
+                                    want_end - want_start, &piece,
+                                    &out.retries);
     if (!cost.ok()) return cost.status();
     out.duration += cost.value();
     out.data.AppendBuffer(piece);
@@ -130,6 +153,7 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
       auto fetched = ReadRangeUncached(*blob.value(), page_start, page_len);
       if (!fetched.ok()) return fetched.status();
       out.duration += fetched.value().duration;
+      out.retries += fetched.value().retries;
       page_data = std::move(fetched.value().data);
       cache_->Put(key, page_data);
     }

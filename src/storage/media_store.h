@@ -8,6 +8,7 @@
 
 #include "base/buffer.h"
 #include "base/result.h"
+#include "base/retry.h"
 #include "storage/block_device.h"
 #include "storage/buffer_cache.h"
 #include "storage/extent_allocator.h"
@@ -45,6 +46,9 @@ class MediaStore {
   struct ReadResult {
     Buffer data;
     WorldTime duration;
+    /// Transient device faults absorbed by the retry policy while
+    /// producing this result (their backoff is part of `duration`).
+    int64_t retries = 0;
   };
   Result<ReadResult> Get(const std::string& name);
 
@@ -66,16 +70,42 @@ class MediaStore {
   /// admission controller assumes when costing seeks.
   static constexpr int64_t kCachePageBytes = 64 * 1024;
 
+  /// Retry discipline applied to every device read issued by this store.
+  /// Transient (Unavailable) failures are retried with exponential backoff
+  /// charged in modeled time; the per-operation deadline bounds how long a
+  /// stream can be held up before the error surfaces. Defaults to a modest
+  /// always-on policy — with a fault-free device it never engages, so the
+  /// read path is byte-identical to the no-retry one.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  struct Stats {
+    int64_t retries = 0;          ///< transient faults absorbed
+    int64_t exhausted = 0;        ///< reads failed after all attempts
+    int64_t backoff_ns = 0;       ///< modeled time charged to backoff
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
  private:
 
   /// Uncached read of a blob byte range straight from the device.
   Result<ReadResult> ReadRangeUncached(const StoredBlob& blob, int64_t offset,
                                        int64_t length);
 
+  /// One device read under the retry policy. On success the returned
+  /// duration includes backoff waits; `retries` is incremented per absorbed
+  /// fault.
+  Result<WorldTime> DeviceReadWithRetry(int disc, int64_t offset,
+                                        int64_t length, Buffer* out,
+                                        int64_t* retries);
+
   BlockDevicePtr device_;
   std::shared_ptr<BufferCache> cache_;
   std::vector<std::unique_ptr<ExtentAllocator>> allocators_;  // per disc
   std::map<std::string, StoredBlob> directory_;
+  RetryPolicy retry_policy_;
+  Stats stats_;
 };
 
 }  // namespace avdb

@@ -259,5 +259,17 @@ Result<TextStreamValuePtr> DeserializeText(const Buffer& blob) {
   return text;
 }
 
+Result<LoadResult> Load(MediaStore& store, const std::string& name) {
+  auto read = store.Get(name);
+  if (!read.ok()) return read.status();
+  auto value = Deserialize(read.value().data);
+  if (!value.ok()) return value.status();
+  LoadResult out;
+  out.value = std::move(value.value());
+  out.duration = read.value().duration;
+  out.retries = read.value().retries;
+  return out;
+}
+
 }  // namespace value_serializer
 }  // namespace avdb

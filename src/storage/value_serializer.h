@@ -9,6 +9,7 @@
 #include "media/media_value.h"
 #include "media/text_stream_value.h"
 #include "media/video_value.h"
+#include "storage/media_store.h"
 
 namespace avdb {
 
@@ -30,6 +31,16 @@ Result<MediaValuePtr> Deserialize(const Buffer& blob);
 Result<VideoValuePtr> DeserializeVideo(const Buffer& blob);
 Result<AudioValuePtr> DeserializeAudio(const Buffer& blob);
 Result<TextStreamValuePtr> DeserializeText(const Buffer& blob);
+
+/// Fetches blob `name` from `store` and deserializes it. The fetch goes
+/// through the store's retry policy, so transient device faults are
+/// absorbed; `duration` (and `retries`) report what the load cost.
+struct LoadResult {
+  MediaValuePtr value;
+  WorldTime duration;
+  int64_t retries = 0;
+};
+Result<LoadResult> Load(MediaStore& store, const std::string& name);
 
 }  // namespace value_serializer
 }  // namespace avdb

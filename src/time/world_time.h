@@ -29,6 +29,9 @@ class WorldTime {
   static WorldTime FromMicros(int64_t us) {
     return WorldTime(Rational(us, 1000000));
   }
+  static WorldTime FromNanos(int64_t ns) {
+    return WorldTime(Rational(ns, 1000000000));
+  }
   /// Duration of `count` media elements at `rate` elements/second.
   static WorldTime FromElements(int64_t count, Rational rate) {
     return WorldTime(Rational(count) / rate);

@@ -4,6 +4,7 @@
 
 #include "net/channel.h"
 #include "sched/admission.h"
+#include "sched/degradation.h"
 #include "sched/event_engine.h"
 #include "sched/jitter.h"
 #include "sched/service_queue.h"
@@ -312,6 +313,246 @@ TEST(ChannelTest, ProfilesAreOrdered) {
             Channel::Profile::Ethernet10().bandwidth_bytes_per_sec);
   EXPECT_GT(Channel::Profile::Ethernet10().bandwidth_bytes_per_sec,
             Channel::Profile::T1().bandwidth_bytes_per_sec);
+}
+
+TEST(ChannelTest, OverReleaseClampsAtZeroAndCounts) {
+  Channel ch("net", Channel::Profile::T1());
+  const int64_t cap = ch.profile().bandwidth_bytes_per_sec;
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 4).ok());
+  // Releasing more than is reserved is a caller bug the accounting must
+  // survive: total clamps at zero, the incident is counted, and the full
+  // line rate is available again.
+  ch.ReleaseBandwidth(cap);
+  EXPECT_EQ(ch.ReservedBandwidth(), 0);
+  EXPECT_EQ(ch.AvailableBandwidth(), cap);
+  EXPECT_EQ(ch.stats().over_releases, 1);
+  // A sane release after the clamp stays sane.
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 2).ok());
+  ch.ReleaseBandwidth(cap / 2);
+  EXPECT_EQ(ch.ReservedBandwidth(), 0);
+  EXPECT_EQ(ch.stats().over_releases, 1);
+}
+
+TEST(ChannelTest, RevocationKeepsAvailabilityNonNegative) {
+  Channel ch("net", Channel::Profile::Ethernet10());
+  const int64_t cap = ch.profile().bandwidth_bytes_per_sec;
+  ASSERT_TRUE(ch.ReserveBandwidth(3 * cap / 4).ok());
+  // The link loses half its rate mid-stream: reservations now exceed the
+  // line. Availability must clamp at zero — a negative value would admit a
+  // new stream through a signed compare — and the shortfall must be visible.
+  const int64_t excess = ch.SetLineRate(cap / 2);
+  EXPECT_EQ(excess, 3 * cap / 4 - cap / 2);
+  EXPECT_EQ(ch.AvailableBandwidth(), 0);
+  EXPECT_EQ(ch.OversubscribedBandwidth(), excess);
+  EXPECT_EQ(ch.ReservedBandwidth(), 3 * cap / 4);
+  // Reduced-demand readmission resolves the oversubscription.
+  ch.ReleaseBandwidth(3 * cap / 4);
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 4).ok());
+  EXPECT_EQ(ch.OversubscribedBandwidth(), 0);
+  EXPECT_EQ(ch.AvailableBandwidth(), cap / 2 - cap / 4);
+  // Restoring the line rate restores availability.
+  EXPECT_EQ(ch.SetLineRate(cap), 0);
+  EXPECT_EQ(ch.AvailableBandwidth(), cap - cap / 4);
+}
+
+TEST(AdmissionTest, RevocationSurfacesOversubscription) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("net.bw", 1000).ok());
+  auto ticket = ac.Admit({{"net.bw", 800}});
+  ASSERT_TRUE(ticket.ok());
+  // Capacity revoked below the reserved amount: availability reads zero
+  // (never negative) and the shortfall is reported.
+  auto over = ac.SetPoolCapacity("net.bw", 500);
+  ASSERT_TRUE(over.ok());
+  EXPECT_DOUBLE_EQ(over.value(), 300);
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 0);
+  EXPECT_DOUBLE_EQ(ac.Oversubscription("net.bw").value(), 300);
+  EXPECT_EQ(ac.stats().revocations, 1);
+  // Growing capacity is not a revocation.
+  ASSERT_TRUE(ac.SetPoolCapacity("net.bw", 900).ok());
+  EXPECT_EQ(ac.stats().revocations, 1);
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 100);
+  ac.Release(&ticket.value());
+  EXPECT_EQ(ac.SetPoolCapacity("nope", 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ac.SetPoolCapacity("net.bw", -1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AdmissionTest, ReadmitTradesTicketAtReducedDemand) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("net.bw", 1000).ok());
+  auto ticket = ac.Admit({{"net.bw", 800}});
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(ac.SetPoolCapacity("net.bw", 400).ok());
+  auto traded = ac.Readmit(&ticket.value(), {{"net.bw", 300}});
+  ASSERT_TRUE(traded.ok());
+  EXPECT_FALSE(ticket.value().IsActive());
+  EXPECT_TRUE(traded.value().IsActive());
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 100);
+  EXPECT_DOUBLE_EQ(ac.Oversubscription("net.bw").value(), 0);
+  EXPECT_EQ(ac.stats().readmitted, 1);
+  ac.Release(&traded.value());
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 400);
+}
+
+TEST(AdmissionTest, ReadmitFailureReleasesOldTicket) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("net.bw", 1000).ok());
+  auto ticket = ac.Admit({{"net.bw", 800}});
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(ac.SetPoolCapacity("net.bw", 400).ok());
+  // Asking for more than the shrunken pool can hold fails — and per the
+  // contract the old (already-invalid) reservation stays released: the
+  // caller must stop the stream, not keep squatting on revoked capacity.
+  auto traded = ac.Readmit(&ticket.value(), {{"net.bw", 500}});
+  ASSERT_FALSE(traded.ok());
+  EXPECT_EQ(traded.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(ticket.value().IsActive());
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 400);
+  EXPECT_EQ(ac.stats().readmitted, 0);
+}
+
+// ------------------------------------------------------------ Degradation --
+
+constexpr int64_t kMs = 1000 * 1000;
+
+TEST(DegradationTest, QuietStreamRecommendsNothing) {
+  DegradationController dc;
+  EXPECT_EQ(dc.Recommend(0), DegradeAction::kNone);
+  for (int i = 0; i < 10; ++i) dc.ReportLateness(i * 100 * kMs, 0);
+  EXPECT_EQ(dc.Recommend(1000 * kMs), DegradeAction::kNone);
+  EXPECT_EQ(dc.SmoothedLatenessNs(), 0);
+}
+
+TEST(DegradationTest, LadderEscalatesWithSmoothedLateness) {
+  DegradationController dc;
+  // One 100 ms spike smooths to 100 ms (first sample seeds the EWMA):
+  // above the 60 ms lower-quality threshold, below the 250 ms pause one.
+  dc.ReportLateness(0, 100 * kMs);
+  EXPECT_EQ(dc.Recommend(0), DegradeAction::kLowerQuality);
+  dc.AcknowledgeAction(DegradeAction::kLowerQuality, 0);
+  EXPECT_EQ(dc.StepsBelowNominal(), 1);
+  // Pressure between drop and lower thresholds, dwell still armed: shed
+  // frames (cheap, reversible, no dwell).
+  dc.ReportLateness(1, 30 * kMs);
+  dc.ReportLateness(2, 30 * kMs);
+  EXPECT_EQ(dc.Recommend(3), DegradeAction::kDropFrame);
+  // Sustained heavy pressure past the dwell: pause and re-anchor.
+  for (int i = 0; i < 10; ++i) dc.ReportLateness(i, 400 * kMs);
+  EXPECT_EQ(dc.Recommend(600 * kMs), DegradeAction::kPause);
+}
+
+TEST(DegradationTest, DwellBlocksImmediateSecondSwitch) {
+  DegradationController dc;
+  dc.ReportLateness(0, 100 * kMs);
+  ASSERT_EQ(dc.Recommend(0), DegradeAction::kLowerQuality);
+  dc.AcknowledgeAction(DegradeAction::kLowerQuality, 0);
+  // Still above the lower threshold, but inside the dwell window the ladder
+  // may only shed frames, not switch quality again.
+  dc.ReportLateness(1, 100 * kMs);
+  EXPECT_EQ(dc.Recommend(100 * kMs), DegradeAction::kDropFrame);
+  // After the dwell elapses the second step down is allowed...
+  dc.ReportLateness(2, 100 * kMs);
+  EXPECT_EQ(dc.Recommend(600 * kMs), DegradeAction::kLowerQuality);
+  dc.AcknowledgeAction(DegradeAction::kLowerQuality, 600 * kMs);
+  EXPECT_EQ(dc.StepsBelowNominal(), 2);
+  // ...but never below the policy floor (max_lower_steps = 2).
+  dc.ReportLateness(3, 100 * kMs);
+  EXPECT_EQ(dc.Recommend(2000 * kMs), DegradeAction::kDropFrame);
+}
+
+TEST(DegradationTest, AcknowledgedDropDecaysPressure) {
+  DegradationController dc;
+  dc.ReportLateness(0, 50 * kMs);
+  ASSERT_EQ(dc.Recommend(0), DegradeAction::kDropFrame);
+  // A dropped frame is never presented, so the sink will not report it.
+  // The acknowledgement itself must decay the EWMA or the ladder would shed
+  // every remaining frame of the stream.
+  int drops = 0;
+  while (dc.Recommend(0) == DegradeAction::kDropFrame) {
+    dc.AcknowledgeAction(DegradeAction::kDropFrame, 0);
+    ++drops;
+    ASSERT_LT(drops, 100);
+  }
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(dc.SmoothedLatenessNs(), 20 * kMs);
+  EXPECT_EQ(dc.stats().drops_taken, drops);
+}
+
+TEST(DegradationTest, PauseResetsPressure) {
+  DegradationController dc;
+  for (int i = 0; i < 10; ++i) dc.ReportLateness(i, 400 * kMs);
+  ASSERT_EQ(dc.Recommend(0), DegradeAction::kPause);
+  dc.AcknowledgeAction(DegradeAction::kPause, 0);
+  // The pause re-anchored the epoch: pre-pause lateness no longer describes
+  // the stream, and no second pause fires without fresh evidence.
+  EXPECT_EQ(dc.SmoothedLatenessNs(), 0);
+  EXPECT_EQ(dc.Recommend(1000 * kMs), DegradeAction::kNone);
+  EXPECT_EQ(dc.stats().pauses_taken, 1);
+}
+
+TEST(DegradationTest, ConsecutiveFaultsRecommendAbort) {
+  DegradationPolicy policy;
+  policy.max_consecutive_faults = 3;
+  DegradationController dc(policy);
+  dc.ReportFault(0);
+  dc.ReportFault(1);
+  EXPECT_NE(dc.Recommend(2), DegradeAction::kAbort);
+  // A recovery resets the strike count...
+  dc.ReportFaultRecovered();
+  dc.ReportFault(3);
+  dc.ReportFault(4);
+  EXPECT_NE(dc.Recommend(5), DegradeAction::kAbort);
+  // ...but three unbroken strikes abandon the stream.
+  dc.ReportFault(6);
+  EXPECT_EQ(dc.Recommend(7), DegradeAction::kAbort);
+  EXPECT_EQ(dc.ConsecutiveFaults(), 3);
+}
+
+TEST(DegradationTest, RecoveryRaisesQualityTowardNominal) {
+  DegradationController dc;
+  dc.ReportLateness(0, 100 * kMs);
+  ASSERT_EQ(dc.Recommend(0), DegradeAction::kLowerQuality);
+  dc.AcknowledgeAction(DegradeAction::kLowerQuality, 0);
+  // Pressure subsides below the recovery threshold; once the dwell opens,
+  // quality steps back up, and only as far as nominal.
+  for (int i = 0; i < 30; ++i) dc.ReportLateness(i, 0);
+  ASSERT_LE(dc.SmoothedLatenessNs(), 5 * kMs);
+  EXPECT_EQ(dc.Recommend(100 * kMs), DegradeAction::kNone);  // dwell armed
+  EXPECT_EQ(dc.Recommend(600 * kMs), DegradeAction::kRaiseQuality);
+  dc.AcknowledgeAction(DegradeAction::kRaiseQuality, 600 * kMs);
+  EXPECT_EQ(dc.StepsBelowNominal(), 0);
+  EXPECT_EQ(dc.Recommend(1200 * kMs), DegradeAction::kNone);
+  EXPECT_EQ(dc.stats().lowers_taken, 1);
+  EXPECT_EQ(dc.stats().raises_taken, 1);
+}
+
+TEST(SyncControllerTest, RemoveTrackPromotesNewMaster) {
+  SyncController sync;
+  ASSERT_TRUE(sync.AddTrack("audio", /*master=*/true).ok());
+  ASSERT_TRUE(sync.AddTrack("video").ok());
+  EXPECT_EQ(sync.RemoveTrack("nope").code(), StatusCode::kNotFound);
+  // The master's stream aborted under persistent faults: the survivor is
+  // promoted so RecommendSkip keeps a reference point.
+  ASSERT_TRUE(sync.RemoveTrack("audio").ok());
+  EXPECT_FALSE(sync.HasTrack("audio"));
+  ASSERT_TRUE(sync.Report("video", 0, 0).ok());
+  EXPECT_EQ(sync.RecommendSkip("video", 33 * kMs).value(), 0);  // master now
+  ASSERT_TRUE(sync.RemoveTrack("video").ok());
+  EXPECT_EQ(sync.Report("video", 0, 0).code(), StatusCode::kNotFound);
+}
+
+TEST(JitterTest, StatsTrackSamplesAndSpikes) {
+  JitterModel::Params p;
+  p.spike_probability = 1.0;
+  p.spike_ns = 5 * kMs;
+  JitterModel jm(p, 3);
+  for (int i = 0; i < 10; ++i) jm.Sample();
+  EXPECT_EQ(jm.stats().samples, 10);
+  EXPECT_EQ(jm.stats().spikes, 10);
+  EXPECT_GE(jm.stats().max_ns, 5 * kMs);
+  EXPECT_GE(jm.stats().total_ns, 50 * kMs);
 }
 
 }  // namespace
