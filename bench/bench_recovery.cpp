@@ -1,0 +1,278 @@
+// Durability bench — DESIGN.md §9 "Durability model".
+//
+// Three measurements, all host time (the journal and checksum machinery is
+// pure CPU overhead; modeled device time is charged identically either way):
+//
+//   1. Recovery time vs journal length: Recover() replays the journal and
+//      re-reserves every extent; its cost must scale with the journal, not
+//      with stored bytes.
+//   2. Scrub throughput: page-by-page verification of every stored byte.
+//   3. Zero-fault page-checksum overhead on Get/ReadRange: with no injector
+//      attached, verification must cost < 5% of a mixed read workload
+//      (acceptance gate — exit code 1 on violation).
+//
+// Output: BENCH_recovery.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "storage/block_device.h"
+#include "storage/buffer_cache.h"
+#include "storage/media_store.h"
+
+using namespace avdb;
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Buffer RandomBlob(Rng* rng, int64_t size) {
+  Buffer b;
+  b.Resize(static_cast<size_t>(size));
+  for (int64_t i = 0; i + 8 <= size; i += 8) {
+    const uint64_t v = rng->NextU64();
+    std::memcpy(b.data() + i, &v, 8);
+  }
+  return b;
+}
+
+// --- 1. recovery time vs journal length ------------------------------------
+
+struct RecoveryPoint {
+  int ops = 0;
+  int64_t records = 0;
+  int64_t journal_bytes = 0;
+  int64_t blobs = 0;
+  double recover_us = 0;
+};
+
+RecoveryPoint MeasureRecovery(int ops) {
+  auto dev = std::make_shared<BlockDevice>("bench",
+                                           DeviceProfile::MagneticDisk());
+  Rng rng(42);
+  {
+    MediaStore store(dev, nullptr);
+    store.Mount(/*journal_bytes=*/1024 * 1024).value();
+    // Put-heavy churn: every third op deletes the previous blob, so the
+    // journal carries a mix of put and delete records.
+    for (int i = 0; i < ops; ++i) {
+      if (i % 3 == 2) {
+        store.Delete("b" + std::to_string(i - 1)).ok();
+      } else {
+        store.Put("b" + std::to_string(i), RandomBlob(&rng, 16 * 1024)).ok();
+      }
+    }
+  }
+  MediaStore revived(dev, nullptr);
+  RecoveryPoint point;
+  point.ops = ops;
+  // Recover() is idempotent: time repeated runs and keep the fastest.
+  double best_ms = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double t0 = NowMs();
+    auto report = revived.Recover();
+    const double t1 = NowMs();
+    if (!report.ok()) {
+      std::printf("RECOVERY FAILED: %s\n", report.status().message().c_str());
+      std::exit(1);
+    }
+    best_ms = std::min(best_ms, t1 - t0);
+    point.records = report.value().records_replayed;
+    point.journal_bytes = report.value().journal_bytes_scanned;
+    point.blobs = report.value().blobs;
+  }
+  point.recover_us = best_ms * 1000.0;
+  return point;
+}
+
+// --- 2. scrub throughput ----------------------------------------------------
+
+struct ScrubPoint {
+  int64_t bytes = 0;
+  int64_t pages = 0;
+  double host_ms = 0;
+  double mb_per_s = 0;
+  int64_t corrupt_found = 0;  // sanity: 1 after the deliberate corruption
+};
+
+ScrubPoint MeasureScrub() {
+  auto dev = std::make_shared<BlockDevice>("bench",
+                                           DeviceProfile::MagneticDisk());
+  MediaStore store(dev, nullptr);
+  store.Mount().value();
+  Rng rng(7);
+  constexpr int kBlobs = 32;
+  constexpr int64_t kBlobBytes = 2 * 1024 * 1024;
+  for (int i = 0; i < kBlobs; ++i) {
+    store.Put("s" + std::to_string(i), RandomBlob(&rng, kBlobBytes)).value();
+  }
+  ScrubPoint point;
+  point.bytes = kBlobs * kBlobBytes;
+  const double t0 = NowMs();
+  auto clean = store.Scrub();
+  const double t1 = NowMs();
+  point.host_ms = t1 - t0;
+  point.pages = clean.value().pages_scanned;
+  point.mb_per_s =
+      static_cast<double>(point.bytes) / (1024.0 * 1024.0) /
+      (point.host_ms / 1000.0);
+  // Sanity (untimed): a flipped media byte is found and quarantined.
+  Buffer junk(1, 0xFF);
+  auto blob = store.Lookup("s0").value();
+  dev->Write(0, blob->extents[0].offset + 99, junk).value();
+  auto dirty = store.Scrub();
+  point.corrupt_found =
+      static_cast<int64_t>(dirty.value().corrupt_pages.size());
+  return point;
+}
+
+// --- 3. zero-fault read overhead gate ---------------------------------------
+
+struct OverheadPoint {
+  double verify_on_ms = 0;
+  double verify_off_ms = 0;
+  double overhead_pct = 0;
+};
+
+double RunReadWorkload(MediaStore* store, int blobs, int64_t blob_bytes) {
+  // Mixed workload: one bulk Get per blob (uncached) plus a sweep of ranged
+  // reads (first pass fetches pages into cache, later passes hit).
+  double total = 0;
+  const double t0 = NowMs();
+  for (int i = 0; i < blobs; ++i) {
+    auto got = store->Get("o" + std::to_string(i));
+    if (!got.ok()) {
+      std::printf("GET FAILED: %s\n", got.status().message().c_str());
+      std::exit(1);
+    }
+    total += static_cast<double>(got.value().data.size());
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < blobs; ++i) {
+      for (int64_t off = 0; off + 256 * 1024 <= blob_bytes;
+           off += 256 * 1024) {
+        auto range =
+            store->ReadRange("o" + std::to_string(i), off, 256 * 1024);
+        if (!range.ok()) {
+          std::printf("READRANGE FAILED: %s\n",
+                      range.status().message().c_str());
+          std::exit(1);
+        }
+        total += static_cast<double>(range.value().data.size());
+      }
+    }
+  }
+  (void)total;
+  return NowMs() - t0;
+}
+
+OverheadPoint MeasureOverhead() {
+  constexpr int kBlobs = 8;
+  constexpr int64_t kBlobBytes = 4 * 1024 * 1024;
+  auto dev = std::make_shared<BlockDevice>("bench",
+                                           DeviceProfile::MagneticDisk());
+  auto cache = std::make_shared<BufferCache>(64 * 1024 * 1024);
+  MediaStore store(dev, cache);  // unmounted: pure read-path comparison
+  Rng rng(3);
+  for (int i = 0; i < kBlobs; ++i) {
+    store.Put("o" + std::to_string(i), RandomBlob(&rng, kBlobBytes)).value();
+  }
+  OverheadPoint point;
+  double on = 1e18, off = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    store.set_verify_pages(true);
+    on = std::min(on, RunReadWorkload(&store, kBlobs, kBlobBytes));
+    store.set_verify_pages(false);
+    off = std::min(off, RunReadWorkload(&store, kBlobs, kBlobBytes));
+  }
+  store.set_verify_pages(true);
+  point.verify_on_ms = on;
+  point.verify_off_ms = off;
+  point.overhead_pct = (on - off) / off * 100.0;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== recovery time vs journal length ==\n");
+  std::printf("%6s %8s %14s %6s %12s\n", "ops", "records", "journal_bytes",
+              "blobs", "recover_us");
+  std::vector<RecoveryPoint> recovery;
+  for (int ops : {8, 32, 128, 512}) {
+    recovery.push_back(MeasureRecovery(ops));
+    const RecoveryPoint& p = recovery.back();
+    std::printf("%6d %8lld %14lld %6lld %12.1f\n", p.ops,
+                static_cast<long long>(p.records),
+                static_cast<long long>(p.journal_bytes),
+                static_cast<long long>(p.blobs), p.recover_us);
+  }
+
+  std::printf("\n== scrub throughput ==\n");
+  const ScrubPoint scrub = MeasureScrub();
+  std::printf("%lld bytes in %.1f ms -> %.0f MB/s (corrupt pages found on "
+              "dirty pass: %lld)\n",
+              static_cast<long long>(scrub.bytes), scrub.host_ms,
+              scrub.mb_per_s, static_cast<long long>(scrub.corrupt_found));
+
+  std::printf("\n== zero-fault read overhead (page checksums on vs off) ==\n");
+  const OverheadPoint overhead = MeasureOverhead();
+  std::printf("verify on %.1f ms, off %.1f ms -> overhead %.2f%%\n",
+              overhead.verify_on_ms, overhead.verify_off_ms,
+              overhead.overhead_pct);
+
+  FILE* out = std::fopen("BENCH_recovery.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"recovery_scaling\": [\n");
+    for (size_t i = 0; i < recovery.size(); ++i) {
+      const RecoveryPoint& p = recovery[i];
+      std::fprintf(out,
+                   "    {\"ops\": %d, \"records\": %lld, \"journal_bytes\": "
+                   "%lld, \"blobs\": %lld, \"recover_us\": %.1f}%s\n",
+                   p.ops, static_cast<long long>(p.records),
+                   static_cast<long long>(p.journal_bytes),
+                   static_cast<long long>(p.blobs), p.recover_us,
+                   i + 1 < recovery.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"scrub\": {\"bytes\": %lld, \"pages\": %lld, "
+                 "\"host_ms\": %.2f, \"mb_per_s\": %.1f, "
+                 "\"corrupt_found\": %lld},\n",
+                 static_cast<long long>(scrub.bytes),
+                 static_cast<long long>(scrub.pages), scrub.host_ms,
+                 scrub.mb_per_s, static_cast<long long>(scrub.corrupt_found));
+    std::fprintf(out,
+                 "  \"read_overhead\": {\"verify_on_ms\": %.2f, "
+                 "\"verify_off_ms\": %.2f, \"overhead_pct\": %.2f, "
+                 "\"gate_pct\": 5.0}\n}\n",
+                 overhead.verify_on_ms, overhead.verify_off_ms,
+                 overhead.overhead_pct);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_recovery.json\n");
+  }
+
+  // Acceptance gates.
+  int failures = 0;
+  auto gate = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("ACCEPTANCE FAIL: %s\n", what);
+      ++failures;
+    }
+  };
+  gate(overhead.overhead_pct < 5.0,
+       "page-checksum overhead on Get/ReadRange < 5%");
+  gate(scrub.corrupt_found == 1, "scrub finds the one corrupted page");
+  gate(recovery.back().records >= 512,
+       "512-op journal replayed in full");
+  if (failures == 0) std::printf("\nAll acceptance gates passed.\n");
+  return failures == 0 ? 0 : 1;
+}

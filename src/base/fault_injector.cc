@@ -12,25 +12,46 @@ FaultSpec FaultSpec::TransientReads(double p) {
   return spec;
 }
 
+FaultSpec FaultSpec::PowerCut(int64_t nth_write) {
+  FaultSpec spec;
+  spec.power_cut_at_write = nth_write;
+  return spec;
+}
+
 bool FaultSpec::Enabled() const {
   return read_error_rate > 0 || latency_spike_rate > 0 ||
          stuck_head_rate > 0 || exchange_failure_rate > 0 ||
-         bandwidth_collapse_rate > 0;
+         bandwidth_collapse_rate > 0 || WritesEnabled();
+}
+
+bool FaultSpec::WritesEnabled() const {
+  return torn_write_rate > 0 || dropped_write_rate > 0 ||
+         write_bit_flip_rate > 0 || power_cut_at_write > 0;
 }
 
 std::string FaultSpec::ToString() const {
-  char buf[160];
+  char buf[240];
   std::snprintf(buf, sizeof(buf),
                 "read=%.3f spike=%.3f/%lldns stuck=%.3f exch=%.3f "
-                "collapse=%.3f@%.2f",
+                "collapse=%.3f@%.2f torn=%.3f drop=%.3f flip=%.3f cut@%lld",
                 read_error_rate, latency_spike_rate,
                 static_cast<long long>(latency_spike_ns), stuck_head_rate,
                 exchange_failure_rate, bandwidth_collapse_rate,
-                bandwidth_collapse_factor);
+                bandwidth_collapse_factor, torn_write_rate, dropped_write_rate,
+                write_bit_flip_rate,
+                static_cast<long long>(power_cut_at_write));
   return buf;
 }
 
 FaultDecision FaultInjector::OnDeviceRead(bool needs_exchange) {
+  if (powered_off_) {
+    FaultDecision decision;
+    decision.fail = true;
+    decision.kind = "power-off";
+    ++stats_.decisions;
+    ++stats_.read_errors;
+    return decision;
+  }
   // A fixed draw order per decision keeps the trace a pure function of the
   // call sequence even as individual rates change between specs.
   const bool read_error = rng_.NextBool(spec_.read_error_rate);
@@ -63,6 +84,65 @@ FaultDecision FaultInjector::OnDeviceRead(bool needs_exchange) {
     ++stats_.latency_spikes;
   }
   stats_.extra_latency_ns += decision.extra_latency_ns;
+  return decision;
+}
+
+WriteFaultDecision FaultInjector::OnDeviceWrite(int64_t length) {
+  WriteFaultDecision decision;
+  if (!spec_.WritesEnabled()) return decision;
+  if (powered_off_) {
+    decision.fail = true;
+    decision.persist_bytes = 0;
+    decision.kind = "power-off";
+    ++stats_.write_decisions;
+    return decision;
+  }
+  ++stats_.write_decisions;
+  ++writes_seen_;
+  // Fixed draw order, always five variates, so the trace stays a pure
+  // function of (seed, spec, call sequence).
+  const bool torn = rng_.NextBool(spec_.torn_write_rate);
+  const bool dropped = rng_.NextBool(spec_.dropped_write_rate);
+  const bool flip = rng_.NextBool(spec_.write_bit_flip_rate);
+  const double fraction = rng_.NextDouble();
+  const uint64_t position = rng_.NextU64();
+
+  if (spec_.power_cut_at_write > 0 &&
+      writes_seen_ >= spec_.power_cut_at_write) {
+    // The in-flight write persists a strict prefix (possibly empty), then
+    // the lights go out.
+    decision.fail = true;
+    decision.power_cut = true;
+    decision.persist_bytes =
+        length <= 0 ? 0 : static_cast<int64_t>(fraction * length);
+    if (decision.persist_bytes >= length) decision.persist_bytes = length - 1;
+    decision.kind = "power-cut";
+    powered_off_ = true;
+    ++stats_.power_cuts;
+    return decision;
+  }
+  if (torn) {
+    decision.fail = true;
+    decision.persist_bytes =
+        length <= 0 ? 0 : static_cast<int64_t>(fraction * length);
+    if (decision.persist_bytes >= length) decision.persist_bytes = length - 1;
+    decision.kind = "torn-write";
+    ++stats_.torn_writes;
+    return decision;
+  }
+  if (dropped) {
+    decision.persist_bytes = 0;  // reports success; nothing reaches media
+    decision.kind = "dropped-write";
+    ++stats_.dropped_writes;
+    return decision;
+  }
+  if (flip) {
+    decision.bit_flip = true;
+    decision.flip_offset = position;
+    decision.flip_mask = static_cast<uint8_t>(1u << (position % 8));
+    decision.kind = "bit-flip";
+    ++stats_.write_bit_flips;
+  }
   return decision;
 }
 

@@ -36,6 +36,28 @@ struct FaultSpec {
   /// Effective-rate multiplier during a collapse, in (0, 1].
   double bandwidth_collapse_factor = 1.0;
 
+  // --- write-path faults ---------------------------------------------------
+  // Where read faults threaten liveness, write faults threaten *custody*:
+  // bytes the client handed over silently fail to reach the platter. Torn
+  // and power-cut writes surface an error at write time; dropped and
+  // bit-flipped writes report success and are only caught later by page
+  // checksums (Get/ReadRange/Scrub).
+
+  /// P(one device write persists only a strict prefix and fails with
+  /// Unavailable) — an I/O error mid-transfer.
+  double torn_write_rate = 0.0;
+  /// P(one device write persists nothing but *reports success*) — a lost
+  /// write (e.g. dead cache battery). Silent until a checksum catches it.
+  double dropped_write_rate = 0.0;
+  /// P(one device write persists with a single flipped bit, reporting
+  /// success) — media corruption in flight. Silent until checked.
+  double write_bit_flip_rate = 0.0;
+  /// Deterministic power cut: the Nth consulted write (1-based) persists
+  /// only a strict prefix, then the device is frozen — every later read or
+  /// write fails with Unavailable until the injector is detached (the
+  /// "reboot"). 0 disables.
+  int64_t power_cut_at_write = 0;
+
   /// All-zero spec: injecting with it never perturbs anything.
   static FaultSpec None() { return FaultSpec{}; }
 
@@ -43,8 +65,16 @@ struct FaultSpec {
   /// latency spikes — the knob the fault-rate sweeps turn.
   static FaultSpec TransientReads(double p);
 
+  /// Power-cut-only spec: cut at the `nth_write`-th device write.
+  static FaultSpec PowerCut(int64_t nth_write);
+
   /// True when any fault class can fire.
   bool Enabled() const;
+
+  /// True when any *write* fault class can fire. Writes consult the rng
+  /// only when this holds, so read-only fault traces are unchanged by the
+  /// presence of (fault-free) writes in the call sequence.
+  bool WritesEnabled() const;
 
   std::string ToString() const;
 };
@@ -56,7 +86,27 @@ struct FaultDecision {
   /// Extra modeled latency charged to the operation (spikes, stalls).
   int64_t extra_latency_ns = 0;
   /// Label of the fault class that fired ("", "read-error", "exchange",
-  /// "spike", "stuck-head") for logs and typed notifications.
+  /// "spike", "stuck-head", "power-off") for logs and typed notifications.
+  const char* kind = "";
+};
+
+/// Outcome of consulting the injector for one device write.
+struct WriteFaultDecision {
+  /// The write fails with Unavailable (torn, power-cut, powered-off).
+  /// Silent faults (drop, bit flip) leave this false.
+  bool fail = false;
+  /// Bytes of the write that actually persist; -1 means all of them.
+  /// 0 with `fail == false` is a dropped (lost) write.
+  int64_t persist_bytes = -1;
+  /// One bit of the persisted bytes is flipped: byte `flip_offset %
+  /// persisted-length`, mask `flip_mask`.
+  bool bit_flip = false;
+  uint64_t flip_offset = 0;
+  uint8_t flip_mask = 1;
+  /// This write tripped the power cut: the device freezes after it.
+  bool power_cut = false;
+  /// "", "torn-write", "dropped-write", "bit-flip", "power-cut",
+  /// "power-off".
   const char* kind = "";
 };
 
@@ -73,12 +123,22 @@ class FaultInjector {
   const FaultSpec& spec() const { return spec_; }
 
   /// Decision for one device read. `needs_exchange` marks reads that cross
-  /// discs (eligible for disc-exchange failure).
+  /// discs (eligible for disc-exchange failure). After a power cut every
+  /// read fails ("power-off") without drawing from the rng.
   FaultDecision OnDeviceRead(bool needs_exchange);
+
+  /// Decision for one device write of `length` bytes. Draws nothing (and
+  /// fires nothing) unless the spec enables write faults, so read-only
+  /// traces are unaffected by interleaved writes.
+  WriteFaultDecision OnDeviceWrite(int64_t length);
 
   /// Slowdown factor (>= 1) applied to one transfer's serialization time;
   /// 1.0 when no collapse fires.
   double OnTransfer();
+
+  /// True once the deterministic power cut has fired; every subsequent
+  /// device operation fails until the injector is detached (reboot).
+  bool powered_off() const { return powered_off_; }
 
   struct Stats {
     int64_t decisions = 0;          ///< device reads consulted
@@ -89,6 +149,11 @@ class FaultInjector {
     int64_t transfers = 0;          ///< channel transfers consulted
     int64_t collapses = 0;
     int64_t extra_latency_ns = 0;   ///< total injected delay
+    int64_t write_decisions = 0;    ///< device writes consulted (and drawn)
+    int64_t torn_writes = 0;
+    int64_t dropped_writes = 0;
+    int64_t write_bit_flips = 0;
+    int64_t power_cuts = 0;         ///< 0 or 1
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -97,6 +162,8 @@ class FaultInjector {
   FaultSpec spec_;
   Rng rng_;
   Stats stats_;
+  int64_t writes_seen_ = 0;  ///< writes consulted while write faults enabled
+  bool powered_off_ = false;
 };
 
 }  // namespace avdb

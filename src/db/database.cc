@@ -94,6 +94,10 @@ Result<BlockDevice*> AvDatabase::AddDevice(const std::string& name,
   const int64_t bandwidth = profile.transfer_bytes_per_sec;
   auto device = devices_.CreateDevice(name, std::move(profile));
   if (!device.ok()) return device.status();
+  if (config_.durable_storage) {
+    auto mounted = devices_.MountStore(name, config_.journal_bytes);
+    if (!mounted.ok()) return mounted.status();
+  }
   AVDB_RETURN_IF_ERROR(admission_.RegisterPool(
       name + ".bandwidth", static_cast<double>(bandwidth)));
   if (exclusive) {

@@ -41,6 +41,13 @@ struct AvDatabaseConfig {
   CostModel costs = CostModel::Accelerated();
   /// Fetch lead time handed to database-resident sources.
   WorldTime source_preroll = WorldTime::FromMillis(80);
+  /// When true every added device's store is mounted for durability: its
+  /// directory is journaled on-device (format on first open, recover on
+  /// reopen) and survives crashes. Off by default — an unmounted store is
+  /// byte-identical to the pre-journal storage format.
+  bool durable_storage = false;
+  /// Journal region size per device when `durable_storage` is set.
+  int64_t journal_bytes = MediaStore::kDefaultJournalBytes;
 };
 
 /// A started stream: the admission ticket and reservations it holds, so

@@ -104,11 +104,38 @@ Result<WorldTime> BlockDevice::Write(int disc, int64_t offset,
     return Status::InvalidArgument("write beyond capacity on " + name_);
   }
   auto& disc_bytes = discs_[static_cast<size_t>(disc)];
+
+  // Fault injection decides how much of the write reaches the media before
+  // any state changes. Torn and power-cut writes persist a prefix and fail
+  // (a failed write leaves the head where it was); dropped and bit-flipped
+  // writes persist wrong bytes but report success — silent until a
+  // checksum catches them.
+  int64_t persist = static_cast<int64_t>(data.size());
+  WriteFaultDecision decision;
+  if (fault_injector_ != nullptr) {
+    decision = fault_injector_->OnDeviceWrite(persist);
+    if (decision.persist_bytes >= 0) persist = decision.persist_bytes;
+  }
+  // The whole target range becomes addressable either way: sectors past a
+  // torn/dropped prefix keep their old contents (zeros when never written),
+  // which is what a later checksum verification must be able to read.
   if (static_cast<int64_t>(disc_bytes.size()) < end) {
     disc_bytes.resize(static_cast<size_t>(end), 0);
   }
-  std::copy(data.data(), data.data() + data.size(),
-            disc_bytes.begin() + offset);
+  if (persist > 0) {
+    std::copy(data.data(), data.data() + persist,
+              disc_bytes.begin() + offset);
+    if (decision.bit_flip) {
+      const int64_t at = static_cast<int64_t>(
+          decision.flip_offset % static_cast<uint64_t>(persist));
+      disc_bytes[static_cast<size_t>(offset + at)] ^= decision.flip_mask;
+    }
+  }
+  if (decision.fail) {
+    ++stats_.injected_write_faults;
+    return Status::Unavailable(std::string("injected ") + decision.kind +
+                               " fault on " + name_);
+  }
 
   WorldTime cost = Position(disc, offset, /*count_stats=*/true);
   cost += SequentialReadTime(static_cast<int64_t>(data.size()));

@@ -68,7 +68,10 @@ class BlockDevice {
 
   /// Writes `data` at byte `offset` on `disc`, growing the backing store as
   /// needed. Returns the modeled duration. InvalidArgument when the write
-  /// exceeds capacity or names a bad disc.
+  /// exceeds capacity or names a bad disc. With a fault injector attached,
+  /// the write may tear (a prefix persists, Unavailable returned), drop or
+  /// bit-flip silently (success reported, media wrong), or trip the
+  /// deterministic power cut (prefix persists, device frozen).
   Result<WorldTime> Write(int disc, int64_t offset, const Buffer& data);
 
   /// Reads `length` bytes from `offset` on `disc` into `out`. Returns the
@@ -87,9 +90,10 @@ class BlockDevice {
   /// Resets head/disc state (e.g. between experiments).
   void ResetHead();
 
-  /// Attaches a fault injector consulted on every read (non-owning; nullptr
-  /// detaches). With no injector — the default — the read path is exactly
-  /// the fault-free one: zero extra work, byte-identical timing.
+  /// Attaches a fault injector consulted on every read and write
+  /// (non-owning; nullptr detaches — after a power cut, detaching is the
+  /// "reboot"). With no injector — the default — both paths are exactly
+  /// the fault-free ones: zero extra work, byte-identical bytes and timing.
   void set_fault_injector(FaultInjector* injector) {
     fault_injector_ = injector;
   }
@@ -108,6 +112,7 @@ class BlockDevice {
     int64_t seeks = 0;
     int64_t disc_exchanges = 0;
     int64_t injected_faults = 0;     ///< reads failed by the injector
+    int64_t injected_write_faults = 0;  ///< writes failed (torn, power-cut)
     WorldTime injected_latency;      ///< spike/stall time added by faults
     WorldTime busy_time;
   };

@@ -64,6 +64,39 @@ Result<std::vector<Extent>> ExtentAllocator::Allocate(int64_t bytes) {
   return extents;
 }
 
+Status ExtentAllocator::Reserve(const Extent& extent) {
+  if (extent.disc != disc_) {
+    return Status::InvalidArgument("extent belongs to another disc");
+  }
+  if (extent.offset < 0 || extent.length <= 0 ||
+      extent.offset + extent.length > capacity_) {
+    return Status::InvalidArgument("extent out of bounds");
+  }
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    Hole& h = free_list_[i];
+    if (extent.offset < h.offset ||
+        extent.offset + extent.length > h.offset + h.length) {
+      continue;
+    }
+    // Split the hole around the reserved range.
+    const Hole before{h.offset, extent.offset - h.offset};
+    const Hole after{extent.offset + extent.length,
+                     h.offset + h.length - (extent.offset + extent.length)};
+    free_list_.erase(free_list_.begin() + static_cast<int64_t>(i));
+    if (after.length > 0) {
+      free_list_.insert(free_list_.begin() + static_cast<int64_t>(i), after);
+    }
+    if (before.length > 0) {
+      free_list_.insert(free_list_.begin() + static_cast<int64_t>(i), before);
+    }
+    return Status::OK();
+  }
+  return Status::FailedPrecondition(
+      "extent [" + std::to_string(extent.offset) + "+" +
+      std::to_string(extent.length) + ") on disc " + std::to_string(disc_) +
+      " is not free (double-referenced)");
+}
+
 Status ExtentAllocator::Free(const Extent& extent) {
   if (extent.disc != disc_) {
     return Status::InvalidArgument("extent belongs to another disc");

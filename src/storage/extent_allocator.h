@@ -47,6 +47,12 @@ class ExtentAllocator {
   /// InvalidArgument when the range is out of bounds or double-freed.
   Status Free(const Extent& extent);
 
+  /// Carves a *specific* range out of the free list — the recovery path
+  /// re-marking a journaled extent as allocated, and the mount path
+  /// withholding the metadata region. FailedPrecondition when any part of
+  /// the range is already allocated (a double-referenced extent).
+  Status Reserve(const Extent& extent);
+
  private:
   struct Hole {
     int64_t offset;

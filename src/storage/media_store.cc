@@ -1,8 +1,178 @@
 #include "storage/media_store.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
 
 namespace avdb {
+namespace {
+
+// --- on-device metadata layout (disc 0) ------------------------------------
+//
+//   [0, 512)        superblock slot 0
+//   [512, 1024)     superblock slot 1
+//   [1024, 1024+J)  journal half 0
+//   [1024+J, 1024+2J) journal half 1
+//   [MetaBytes, ..) data region
+//
+// The active superblock is the slot with the highest valid sequence; slot
+// index is sequence % 2, so a torn superblock write can only damage the slot
+// being replaced, never the one currently trusted. See DESIGN.md §9.
+
+constexpr int64_t kSuperblockSlotBytes = 512;
+constexpr int64_t kJournalOffset = 2 * kSuperblockSlotBytes;
+constexpr uint64_t kSuperblockMagic = 0x3130425344425641ULL;  // "AVDBSB01" LE
+constexpr uint32_t kSuperblockVersion = 1;
+constexpr uint32_t kRecordMagic = 0x4C4E524AU;  // "JRNL" LE
+/// magic u32 + payload_len u32 + generation u64 + payload checksum u64.
+constexpr int64_t kRecordHeaderBytes = 24;
+constexpr int64_t kMinJournalBytes = 16 * 1024;
+
+/// Journal record payload types (first payload byte).
+enum RecordType : uint8_t {
+  kBeginPut = 1,     ///< blob metadata; extents allocated, data in flight
+  kCommitPut = 2,    ///< name; the blob's data writes all completed
+  kBeginDelete = 3,  ///< name; extents about to be freed
+  kCommitDelete = 4, ///< name; the delete completed
+  kCheckpoint = 5,   ///< full directory snapshot (written at compaction)
+  kQuarantine = 6,   ///< name; Scrub found corrupt pages
+};
+
+struct Superblock {
+  uint64_t sequence = 0;
+  int active_half = 0;
+  int64_t journal_half_bytes = 0;
+};
+
+Buffer EncodeSuperblock(const Superblock& sb) {
+  Buffer out;
+  out.AppendU64(kSuperblockMagic);
+  out.AppendU32(kSuperblockVersion);
+  out.AppendU64(sb.sequence);
+  out.AppendU8(static_cast<uint8_t>(sb.active_half));
+  out.AppendI64(sb.journal_half_bytes);
+  out.AppendU64(FastHash64(out.data(), out.size()));
+  return out;
+}
+
+Result<Superblock> ParseSuperblock(const Buffer& raw) {
+  BufferReader reader(raw);
+  auto magic64 = reader.ReadU64();
+  if (!magic64.ok() || magic64.value() != kSuperblockMagic) {
+    return Status::DataLoss("bad superblock magic");
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok() || version.value() != kSuperblockVersion) {
+    return Status::DataLoss("unknown superblock version");
+  }
+  auto sequence = reader.ReadU64();
+  auto half = reader.ReadU8();
+  auto half_bytes = reader.ReadI64();
+  if (!sequence.ok() || !half.ok() || !half_bytes.ok()) {
+    return Status::DataLoss("short superblock");
+  }
+  const size_t checked = reader.position();
+  auto checksum = reader.ReadU64();
+  if (!checksum.ok() ||
+      checksum.value() != FastHash64(raw.data(), checked)) {
+    return Status::DataLoss("superblock checksum mismatch");
+  }
+  if (sequence.value() == 0 || half.value() > 1 ||
+      half_bytes.value() < kMinJournalBytes / 2) {
+    return Status::DataLoss("superblock fields out of range");
+  }
+  Superblock sb;
+  sb.sequence = sequence.value();
+  sb.active_half = half.value();
+  sb.journal_half_bytes = half_bytes.value();
+  return sb;
+}
+
+void AppendBlobMeta(Buffer* out, const StoredBlob& blob) {
+  out->AppendString(blob.name);
+  out->AppendI64(blob.size_bytes);
+  out->AppendU64(blob.checksum);
+  out->AppendU8(blob.quarantined ? 1 : 0);
+  out->AppendU32(static_cast<uint32_t>(blob.page_checksums.size()));
+  for (uint64_t sum : blob.page_checksums) out->AppendU64(sum);
+  out->AppendU32(static_cast<uint32_t>(blob.extents.size()));
+  for (const Extent& e : blob.extents) {
+    out->AppendI32(e.disc);
+    out->AppendI64(e.offset);
+    out->AppendI64(e.length);
+  }
+}
+
+Result<StoredBlob> ReadBlobMeta(BufferReader* r) {
+  StoredBlob blob;
+  auto name = r->ReadString();
+  auto size = r->ReadI64();
+  auto checksum = r->ReadU64();
+  auto quarantined = r->ReadU8();
+  if (!name.ok() || !size.ok() || !checksum.ok() || !quarantined.ok()) {
+    return Status::DataLoss("short blob metadata in journal");
+  }
+  blob.name = std::move(name.value());
+  blob.size_bytes = size.value();
+  blob.checksum = checksum.value();
+  blob.quarantined = quarantined.value() != 0;
+  auto page_count = r->ReadU32();
+  if (!page_count.ok()) return Status::DataLoss("short blob metadata");
+  blob.page_checksums.reserve(page_count.value());
+  for (uint32_t i = 0; i < page_count.value(); ++i) {
+    auto sum = r->ReadU64();
+    if (!sum.ok()) return Status::DataLoss("short page-checksum list");
+    blob.page_checksums.push_back(sum.value());
+  }
+  auto extent_count = r->ReadU32();
+  if (!extent_count.ok()) return Status::DataLoss("short blob metadata");
+  int64_t extent_bytes = 0;
+  for (uint32_t i = 0; i < extent_count.value(); ++i) {
+    auto disc = r->ReadI32();
+    auto offset = r->ReadI64();
+    auto length = r->ReadI64();
+    if (!disc.ok() || !offset.ok() || !length.ok()) {
+      return Status::DataLoss("short extent list");
+    }
+    blob.extents.push_back({disc.value(), offset.value(), length.value()});
+    extent_bytes += length.value();
+  }
+  const int64_t expected_pages =
+      (blob.size_bytes + MediaStore::kCachePageBytes - 1) /
+      MediaStore::kCachePageBytes;
+  if (blob.size_bytes <= 0 || extent_bytes != blob.size_bytes ||
+      static_cast<int64_t>(blob.page_checksums.size()) != expected_pages) {
+    return Status::DataLoss("inconsistent blob metadata for: " + blob.name);
+  }
+  return blob;
+}
+
+/// Frames a record: header (magic, length, generation, payload checksum)
+/// followed by the payload.
+Buffer FrameRecord(uint64_t generation, const Buffer& payload) {
+  Buffer rec;
+  rec.Reserve(static_cast<size_t>(kRecordHeaderBytes) + payload.size());
+  rec.AppendU32(kRecordMagic);
+  rec.AppendU32(static_cast<uint32_t>(payload.size()));
+  rec.AppendU64(generation);
+  rec.AppendU64(FastHash64(payload.data(), payload.size()));
+  rec.AppendBuffer(payload);
+  return rec;
+}
+
+int64_t FramedSize(const Buffer& payload) {
+  return kRecordHeaderBytes + static_cast<int64_t>(payload.size());
+}
+
+Buffer NamePayload(RecordType type, const std::string& name) {
+  Buffer payload;
+  payload.AppendU8(type);
+  payload.AppendString(name);
+  return payload;
+}
+
+}  // namespace
 
 MediaStore::MediaStore(BlockDevicePtr device,
                        std::shared_ptr<BufferCache> cache)
@@ -11,6 +181,338 @@ MediaStore::MediaStore(BlockDevicePtr device,
     allocators_.push_back(
         std::make_unique<ExtentAllocator>(d, device_->capacity()));
   }
+}
+
+int64_t MediaStore::MetaBytes() const {
+  return kJournalOffset + 2 * journal_half_bytes_;
+}
+
+int64_t MediaStore::metadata_bytes() const {
+  return mounted_ ? MetaBytes() : 0;
+}
+
+int64_t MediaStore::JournalHalfStart(int half) const {
+  return kJournalOffset + static_cast<int64_t>(half) * journal_half_bytes_;
+}
+
+Status MediaStore::ReadBestSuperblock(uint64_t* sequence, int* active_half,
+                                      int64_t* half_bytes, bool* found) {
+  *found = false;
+  for (int slot = 0; slot < 2; ++slot) {
+    Buffer raw;
+    int64_t retries = 0;
+    auto read = DeviceReadWithRetry(0, slot * kSuperblockSlotBytes,
+                                    kSuperblockSlotBytes, &raw, &retries);
+    if (!read.ok()) {
+      // Never-written slot (fresh device) reads fail InvalidArgument — that
+      // is "no superblock here". Anything else means the device itself is
+      // failing; surface it rather than risk formatting over real data.
+      if (read.status().code() == StatusCode::kInvalidArgument) continue;
+      return read.status();
+    }
+    auto sb = ParseSuperblock(raw);
+    if (!sb.ok()) continue;  // torn or garbage slot: the other one decides
+    if (!*found || sb.value().sequence > *sequence) {
+      *found = true;
+      *sequence = sb.value().sequence;
+      *active_half = sb.value().active_half;
+      *half_bytes = sb.value().journal_half_bytes;
+    }
+  }
+  return Status::OK();
+}
+
+Status MediaStore::WriteSuperblock(uint64_t sequence, int active_half,
+                                   WorldTime* cost) {
+  Superblock sb;
+  sb.sequence = sequence;
+  sb.active_half = active_half;
+  sb.journal_half_bytes = journal_half_bytes_;
+  Buffer encoded = EncodeSuperblock(sb);
+  // Pad to the slot stride so the write never leaves stale bytes of an
+  // older, longer encoding behind the new one.
+  encoded.Resize(static_cast<size_t>(kSuperblockSlotBytes), 0);
+  auto written = device_->Write(
+      0, static_cast<int64_t>(sequence % 2) * kSuperblockSlotBytes, encoded);
+  if (!written.ok()) return written.status();
+  *cost += written.value();
+  return Status::OK();
+}
+
+Result<MediaStore::RecoveryReport> MediaStore::Format(int64_t journal_bytes) {
+  if (!directory_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot format: store already holds unmounted blobs");
+  }
+  if (journal_bytes < kMinJournalBytes || journal_bytes % 2 != 0) {
+    return Status::InvalidArgument("journal must be >= " +
+                                   std::to_string(kMinJournalBytes) +
+                                   " bytes and even");
+  }
+  const int64_t meta = kJournalOffset + journal_bytes;
+  if (meta > device_->capacity() / 2) {
+    return Status::InvalidArgument("journal too large for device " +
+                                   device_->name());
+  }
+  journal_half_bytes_ = journal_bytes / 2;
+
+  // Zero the journal region so recovery scans always find readable bytes
+  // and stop at the first non-record. This also makes superblock slot reads
+  // addressable (the device zero-fills everything below the write's end).
+  WorldTime cost;
+  Buffer zeros(static_cast<size_t>(journal_bytes), 0);
+  auto zeroed = device_->Write(0, kJournalOffset, zeros);
+  if (!zeroed.ok()) {
+    journal_half_bytes_ = 0;
+    return zeroed.status();
+  }
+  cost += zeroed.value();
+  Status sb = WriteSuperblock(/*sequence=*/1, /*active_half=*/0, &cost);
+  if (!sb.ok()) {
+    journal_half_bytes_ = 0;
+    return sb;
+  }
+
+  generation_ = 1;
+  active_half_ = 0;
+  journal_append_ = JournalHalfStart(0);
+  mounted_ = true;
+  // The metadata region is never allocatable for blob data.
+  Status reserved = allocators_[0]->Reserve({0, 0, MetaBytes()});
+  AVDB_CHECK(reserved.ok()) << "fresh allocator rejected metadata reserve: "
+                            << reserved.message();
+  RecoveryReport report;
+  report.formatted = true;
+  return report;
+}
+
+Result<MediaStore::RecoveryReport> MediaStore::Mount(int64_t journal_bytes) {
+  uint64_t sequence = 0;
+  int active_half = 0;
+  int64_t half_bytes = 0;
+  bool found = false;
+  AVDB_RETURN_IF_ERROR(
+      ReadBestSuperblock(&sequence, &active_half, &half_bytes, &found));
+  if (found) return Recover();
+  return Format(journal_bytes);
+}
+
+Result<MediaStore::RecoveryReport> MediaStore::Recover() {
+  uint64_t sequence = 0;
+  int active_half = 0;
+  int64_t half_bytes = 0;
+  bool found = false;
+  AVDB_RETURN_IF_ERROR(
+      ReadBestSuperblock(&sequence, &active_half, &half_bytes, &found));
+  if (!found) {
+    return Status::DataLoss("no valid superblock on " + device_->name());
+  }
+  journal_half_bytes_ = half_bytes;
+  if (MetaBytes() > device_->capacity()) {
+    return Status::DataLoss("superblock journal size exceeds capacity");
+  }
+
+  // Scan the active half. The scan stops at the first record whose magic,
+  // length, generation, or checksum does not hold — everything past a torn
+  // append is by construction unreadable as a record.
+  Buffer half;
+  int64_t retries = 0;
+  auto scan = DeviceReadWithRetry(0, JournalHalfStart(active_half),
+                                  journal_half_bytes_, &half, &retries);
+  if (!scan.ok()) {
+    return Status::DataLoss("journal unreadable on " + device_->name() +
+                            ": " + scan.status().message());
+  }
+
+  RecoveryReport report;
+  std::map<std::string, StoredBlob> dir;
+  std::map<std::string, StoredBlob> pending_puts;
+  std::map<std::string, bool> pending_deletes;
+  int64_t pos = 0;
+  while (pos + kRecordHeaderBytes <= static_cast<int64_t>(half.size())) {
+    BufferReader header(half.data() + pos,
+                        static_cast<size_t>(kRecordHeaderBytes));
+    const uint32_t magic = header.ReadU32().value();
+    const uint32_t payload_len = header.ReadU32().value();
+    const uint64_t generation = header.ReadU64().value();
+    const uint64_t checksum = header.ReadU64().value();
+    if (magic != kRecordMagic || generation != sequence) break;
+    const int64_t payload_end =
+        pos + kRecordHeaderBytes + static_cast<int64_t>(payload_len);
+    if (payload_end > static_cast<int64_t>(half.size())) break;
+    const uint8_t* payload = half.data() + pos + kRecordHeaderBytes;
+    if (FastHash64(payload, payload_len) != checksum) break;
+
+    BufferReader body(payload, payload_len);
+    auto type = body.ReadU8();
+    if (!type.ok()) break;
+    switch (type.value()) {
+      case kBeginPut: {
+        auto meta = ReadBlobMeta(&body);
+        if (!meta.ok()) return meta.status();
+        pending_puts[meta.value().name] = std::move(meta.value());
+        break;
+      }
+      case kCommitPut: {
+        auto name = body.ReadString();
+        if (!name.ok()) return name.status();
+        auto it = pending_puts.find(name.value());
+        if (it == pending_puts.end()) {
+          return Status::DataLoss("journal commit without begin for: " +
+                                  name.value());
+        }
+        dir[name.value()] = std::move(it->second);
+        pending_puts.erase(it);
+        break;
+      }
+      case kBeginDelete: {
+        auto name = body.ReadString();
+        if (!name.ok()) return name.status();
+        pending_deletes[name.value()] = true;
+        break;
+      }
+      case kCommitDelete: {
+        auto name = body.ReadString();
+        if (!name.ok()) return name.status();
+        pending_deletes.erase(name.value());
+        dir.erase(name.value());
+        break;
+      }
+      case kCheckpoint: {
+        auto count = body.ReadU32();
+        if (!count.ok()) return count.status();
+        dir.clear();
+        pending_puts.clear();
+        pending_deletes.clear();
+        for (uint32_t i = 0; i < count.value(); ++i) {
+          auto meta = ReadBlobMeta(&body);
+          if (!meta.ok()) return meta.status();
+          dir[meta.value().name] = std::move(meta.value());
+        }
+        break;
+      }
+      case kQuarantine: {
+        auto name = body.ReadString();
+        if (!name.ok()) return name.status();
+        auto it = dir.find(name.value());
+        if (it != dir.end()) it->second.quarantined = true;
+        break;
+      }
+      default:
+        return Status::DataLoss("unknown journal record type " +
+                                std::to_string(type.value()));
+    }
+    ++report.records_replayed;
+    pos = payload_end;
+  }
+  report.puts_rolled_back = static_cast<int64_t>(pending_puts.size());
+  // A BeginDelete without CommitDelete rolls back: the blob's extents were
+  // never guaranteed freed, so the entry stays and keeps its space.
+  report.deletes_rolled_back = static_cast<int64_t>(pending_deletes.size());
+
+  // Rebuild allocators from scratch: reserve the metadata region plus every
+  // committed blob's extents. Anything else (orphans from rolled-back puts)
+  // is implicitly free again.
+  std::vector<std::unique_ptr<ExtentAllocator>> fresh;
+  for (int d = 0; d < device_->profile().disc_count; ++d) {
+    fresh.push_back(std::make_unique<ExtentAllocator>(d, device_->capacity()));
+  }
+  Status meta_reserved = fresh[0]->Reserve({0, 0, MetaBytes()});
+  AVDB_CHECK(meta_reserved.ok()) << meta_reserved.message();
+  int64_t stored = 0;
+  for (const auto& [name, blob] : dir) {
+    stored += blob.size_bytes;
+    for (const Extent& e : blob.extents) {
+      if (e.disc < 0 || e.disc >= device_->profile().disc_count) {
+        return Status::DataLoss("journal names bad disc for: " + name);
+      }
+      Status reserved = fresh[static_cast<size_t>(e.disc)]->Reserve(e);
+      if (!reserved.ok()) {
+        return Status::DataLoss("journal names a double-referenced extent (" +
+                                name + "): " + reserved.message());
+      }
+    }
+  }
+
+  // Point of no return: install the recovered state.
+  device_->ReleaseCapacity(device_->used_bytes());
+  Status capacity = device_->ReserveCapacity(stored);
+  AVDB_CHECK(capacity.ok()) << "recovered directory exceeds capacity";
+  allocators_ = std::move(fresh);
+  directory_ = std::move(dir);
+  generation_ = sequence;
+  active_half_ = active_half;
+  journal_append_ = JournalHalfStart(active_half) + pos;
+  mounted_ = true;
+  // Cached pages may predate the crash; drop them rather than trust them.
+  if (cache_ != nullptr) cache_->Clear();
+
+  report.blobs = static_cast<int64_t>(directory_.size());
+  report.journal_bytes_scanned = pos;
+  return report;
+}
+
+Status MediaStore::AppendJournal(const Buffer& payload, WorldTime* cost) {
+  Buffer record = FrameRecord(generation_, payload);
+  const int64_t half_end = JournalHalfStart(active_half_) + journal_half_bytes_;
+  if (journal_append_ + static_cast<int64_t>(record.size()) > half_end) {
+    return Status::Internal("journal append without reserved space");
+  }
+  auto written = device_->Write(0, journal_append_, record);
+  if (!written.ok()) return written.status();
+  *cost += written.value();
+  journal_append_ += static_cast<int64_t>(record.size());
+  ++stats_.journal_records;
+  return Status::OK();
+}
+
+Status MediaStore::EnsureJournalSpace(int64_t payload_bytes, WorldTime* cost) {
+  // Callers reserve every record of one logical operation at once (begin +
+  // commit), so an operation's records never straddle a compaction.
+  const int64_t framed = payload_bytes + 2 * kRecordHeaderBytes;
+  const int64_t half_end = JournalHalfStart(active_half_) + journal_half_bytes_;
+  if (journal_append_ + framed <= half_end) return Status::OK();
+
+  // Compact: write a checkpoint of the whole directory — stamped with the
+  // *next* generation — into the other half, then flip the superblock.
+  // Until the superblock write completes, recovery still reads the old half;
+  // a crash anywhere in between loses nothing.
+  Buffer payload;
+  payload.AppendU8(kCheckpoint);
+  payload.AppendU32(static_cast<uint32_t>(directory_.size()));
+  for (const auto& [name, blob] : directory_) AppendBlobMeta(&payload, blob);
+  Buffer record = FrameRecord(generation_ + 1, payload);
+  if (static_cast<int64_t>(record.size()) + framed > journal_half_bytes_) {
+    return Status::ResourceExhausted(
+        "directory checkpoint does not fit the journal half; mount with a "
+        "larger journal");
+  }
+  const int other = 1 - active_half_;
+  auto written = device_->Write(0, JournalHalfStart(other), record);
+  if (!written.ok()) return written.status();
+  *cost += written.value();
+  AVDB_RETURN_IF_ERROR(WriteSuperblock(generation_ + 1, other, cost));
+  generation_ += 1;
+  active_half_ = other;
+  journal_append_ = JournalHalfStart(other) + static_cast<int64_t>(record.size());
+  ++stats_.journal_records;
+  ++stats_.journal_compactions;
+  return Status::OK();
+}
+
+Status MediaStore::JournalQuarantine(const std::string& name, WorldTime* cost) {
+  Buffer payload = NamePayload(kQuarantine, name);
+  AVDB_RETURN_IF_ERROR(
+      EnsureJournalSpace(static_cast<int64_t>(payload.size()), cost));
+  return AppendJournal(payload, cost);
+}
+
+void MediaStore::RollbackAllocation(const StoredBlob& blob) {
+  for (const Extent& e : blob.extents) {
+    Status freed = allocators_[static_cast<size_t>(e.disc)]->Free(e);
+    AVDB_CHECK(freed.ok()) << "rollback free failed: " << freed.message();
+  }
+  device_->ReleaseCapacity(blob.size_bytes);
 }
 
 Result<WorldTime> MediaStore::Put(const std::string& name,
@@ -45,30 +547,119 @@ Result<WorldTime> MediaStore::Put(const std::string& name,
   blob.size_bytes = static_cast<int64_t>(data.size());
   blob.checksum = data.Hash64();
   blob.extents = extents.value();
+  for (int64_t off = 0; off < blob.size_bytes; off += kCachePageBytes) {
+    const int64_t len = std::min(kCachePageBytes, blob.size_bytes - off);
+    blob.page_checksums.push_back(
+        FastHash64(data.data() + off, static_cast<size_t>(len)));
+  }
 
   WorldTime total;
+  Buffer commit_payload;
+  if (mounted_) {
+    Buffer begin_payload;
+    begin_payload.AppendU8(kBeginPut);
+    AppendBlobMeta(&begin_payload, blob);
+    commit_payload = NamePayload(kCommitPut, name);
+    Status journaled = EnsureJournalSpace(
+        static_cast<int64_t>(begin_payload.size() + commit_payload.size()),
+        &total);
+    if (journaled.ok()) journaled = AppendJournal(begin_payload, &total);
+    if (!journaled.ok()) {
+      RollbackAllocation(blob);
+      return journaled;
+    }
+  }
+
   int64_t written = 0;
   for (const Extent& e : blob.extents) {
     Buffer piece;
     piece.AppendBytes(data.data() + written, static_cast<size_t>(e.length));
     auto cost = device_->Write(e.disc, e.offset, piece);
-    if (!cost.ok()) return cost.status();
+    if (!cost.ok()) {
+      // Failed Put stays atomic: extents back to the free list, capacity
+      // released, name never installed. A dangling BeginPut record (when
+      // mounted) is rolled back by the next Recover.
+      RollbackAllocation(blob);
+      return cost.status();
+    }
     total += cost.value();
     written += e.length;
+  }
+
+  if (mounted_) {
+    Status journaled = AppendJournal(commit_payload, &total);
+    if (!journaled.ok()) {
+      RollbackAllocation(blob);
+      return journaled;
+    }
   }
   directory_[name] = std::move(blob);
   return total;
 }
 
+Status MediaStore::VerifyPage(const StoredBlob& blob, int64_t page,
+                              const Buffer& data) {
+  if (!verify_pages_ ||
+      page >= static_cast<int64_t>(blob.page_checksums.size())) {
+    return Status::OK();
+  }
+  ++stats_.pages_verified;
+  if (FastHash64(data.data(), data.size()) !=
+      blob.page_checksums[static_cast<size_t>(page)]) {
+    ++stats_.page_mismatches;
+    return Status::DataLoss("page " + std::to_string(page) +
+                            " checksum mismatch in blob: " + blob.name);
+  }
+  return Status::OK();
+}
+
+Status MediaStore::VerifyCoveredPages(const StoredBlob& blob, int64_t offset,
+                                      const Buffer& data) {
+  if (!verify_pages_ || blob.page_checksums.empty() || data.empty()) {
+    return Status::OK();
+  }
+  const int64_t end = offset + static_cast<int64_t>(data.size());
+  const int64_t first_page = offset / kCachePageBytes;
+  const int64_t last_page = (end - 1) / kCachePageBytes;
+  for (int64_t page = first_page; page <= last_page; ++page) {
+    const int64_t page_start = page * kCachePageBytes;
+    const int64_t page_end =
+        std::min(page_start + kCachePageBytes, blob.size_bytes);
+    if (page_start < offset || page_end > end) continue;  // partial coverage
+    Buffer view;
+    view.AppendBytes(data.data() + (page_start - offset),
+                     static_cast<size_t>(page_end - page_start));
+    AVDB_RETURN_IF_ERROR(VerifyPage(blob, page, view));
+  }
+  return Status::OK();
+}
+
 Result<MediaStore::ReadResult> MediaStore::Get(const std::string& name) {
   auto blob = Lookup(name);
   if (!blob.ok()) return blob.status();
+  if (blob.value()->quarantined) {
+    return Status::DataLoss("blob quarantined by scrub: " + name);
+  }
   // Whole-blob fetches are bulk operations (loads, copies); they bypass the
   // page cache so they neither pollute it nor pre-warm streaming reads.
   auto result =
       ReadRangeUncached(*blob.value(), 0, blob.value()->size_bytes);
   if (!result.ok()) return result.status();
-  if (result.value().data.Hash64() != blob.value()->checksum) {
+  // When the page checksums cover every byte of the blob, they subsume the
+  // legacy whole-blob hash (equal pages in order imply an equal blob) and
+  // run several times faster, so the legacy check is skipped. It remains
+  // the fallback when page verification is off or the entry predates page
+  // checksums.
+  const int64_t expected_pages =
+      (blob.value()->size_bytes + kCachePageBytes - 1) / kCachePageBytes;
+  const bool pages_cover =
+      verify_pages_ &&
+      static_cast<int64_t>(blob.value()->page_checksums.size()) ==
+          expected_pages;
+  if (pages_cover) {
+    AVDB_RETURN_IF_ERROR(VerifyCoveredPages(*blob.value(), 0,
+                                            result.value().data));
+  } else if (result.value().data.Hash64() != blob.value()->checksum) {
     return Status::DataLoss("checksum mismatch reading blob: " + name);
   }
   return result;
@@ -131,11 +722,24 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
     return Status::InvalidArgument("read range out of blob bounds: " + name);
   }
   if (length == 0) return ReadResult{};
+  if (blob.value()->quarantined) {
+    return Status::DataLoss("blob quarantined by scrub: " + name);
+  }
   if (cache_ == nullptr) {
-    return ReadRangeUncached(*blob.value(), offset, length);
+    auto result = ReadRangeUncached(*blob.value(), offset, length);
+    if (!result.ok()) return result.status();
+    // The uncached path reads exactly the requested bytes (its I/O pattern
+    // is part of the admission model), so only pages the range fully covers
+    // can be verified here.
+    AVDB_RETURN_IF_ERROR(VerifyCoveredPages(*blob.value(), offset,
+                                            result.value().data));
+    return result;
   }
   // Page-granular caching: assemble the range from cache pages, fetching
-  // missing pages from the device.
+  // missing pages from the device. Every page this range touches is whole
+  // in hand, so each one is verified — at fetch time before it enters the
+  // cache, and again when served from cache (a cheap memory hash that
+  // catches corruption of the cached copy itself).
   ReadResult out;
   const int64_t first_page = offset / kCachePageBytes;
   const int64_t last_page = (offset + length - 1) / kCachePageBytes;
@@ -143,9 +747,11 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
     const std::string key =
         device_->name() + "/" + name + "#" + std::to_string(page);
     const Buffer* cached = cache_->Get(key);
-    Buffer page_data;
+    Buffer fetched_data;
+    const Buffer* page_data = nullptr;  // no page copy on either path
     if (cached != nullptr) {
-      page_data = *cached;
+      AVDB_RETURN_IF_ERROR(VerifyPage(*blob.value(), page, *cached));
+      page_data = cached;
     } else {
       const int64_t page_start = page * kCachePageBytes;
       const int64_t page_len =
@@ -154,16 +760,18 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
       if (!fetched.ok()) return fetched.status();
       out.duration += fetched.value().duration;
       out.retries += fetched.value().retries;
-      page_data = std::move(fetched.value().data);
-      cache_->Put(key, page_data);
+      fetched_data = std::move(fetched.value().data);
+      AVDB_RETURN_IF_ERROR(VerifyPage(*blob.value(), page, fetched_data));
+      cache_->Put(key, fetched_data);
+      page_data = &fetched_data;
     }
     // Copy the requested slice of this page.
     const int64_t page_start = page * kCachePageBytes;
     const int64_t slice_start = std::max(offset, page_start);
     const int64_t slice_end =
         std::min(offset + length,
-                 page_start + static_cast<int64_t>(page_data.size()));
-    out.data.AppendBytes(page_data.data() + (slice_start - page_start),
+                 page_start + static_cast<int64_t>(page_data->size()));
+    out.data.AppendBytes(page_data->data() + (slice_start - page_start),
                          static_cast<size_t>(slice_end - slice_start));
   }
   return out;
@@ -172,6 +780,16 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
 Status MediaStore::Delete(const std::string& name) {
   auto it = directory_.find(name);
   if (it == directory_.end()) return Status::NotFound("blob: " + name);
+  if (mounted_) {
+    WorldTime cost;
+    Buffer begin_payload = NamePayload(kBeginDelete, name);
+    Buffer commit_payload = NamePayload(kCommitDelete, name);
+    AVDB_RETURN_IF_ERROR(EnsureJournalSpace(
+        static_cast<int64_t>(begin_payload.size() + commit_payload.size()),
+        &cost));
+    AVDB_RETURN_IF_ERROR(AppendJournal(begin_payload, &cost));
+    AVDB_RETURN_IF_ERROR(AppendJournal(commit_payload, &cost));
+  }
   for (const Extent& e : it->second.extents) {
     AVDB_RETURN_IF_ERROR(
         allocators_[static_cast<size_t>(e.disc)]->Free(e));
@@ -186,6 +804,46 @@ Status MediaStore::Delete(const std::string& name) {
   }
   directory_.erase(it);
   return Status::OK();
+}
+
+Result<MediaStore::ScrubReport> MediaStore::Scrub() {
+  ScrubReport report;
+  for (auto& [name, blob] : directory_) {
+    if (blob.quarantined) continue;
+    ++report.blobs_scanned;
+    bool corrupt = false;
+    for (int64_t page = 0; page * kCachePageBytes < blob.size_bytes; ++page) {
+      const int64_t page_start = page * kCachePageBytes;
+      const int64_t page_len =
+          std::min(kCachePageBytes, blob.size_bytes - page_start);
+      auto read = ReadRangeUncached(blob, page_start, page_len);
+      if (!read.ok()) {
+        ++report.read_failures;
+        corrupt = true;
+        continue;
+      }
+      report.duration += read.value().duration;
+      ++report.pages_scanned;
+      // Scrub always verifies, independent of the verify_pages_ knob — a
+      // scrub with verification off would be a no-op walk.
+      if (page < static_cast<int64_t>(blob.page_checksums.size()) &&
+          FastHash64(read.value().data.data(), read.value().data.size()) !=
+              blob.page_checksums[static_cast<size_t>(page)]) {
+        report.corrupt_pages.emplace_back(name, page);
+        corrupt = true;
+      }
+    }
+    if (corrupt) {
+      blob.quarantined = true;
+      report.quarantined.push_back(name);
+      if (mounted_) {
+        WorldTime cost;
+        AVDB_RETURN_IF_ERROR(JournalQuarantine(name, &cost));
+        report.duration += cost;
+      }
+    }
+  }
+  return report;
 }
 
 bool MediaStore::Contains(const std::string& name) const {
@@ -208,6 +866,12 @@ std::vector<std::string> MediaStore::List() const {
 int64_t MediaStore::TotalStoredBytes() const {
   int64_t total = 0;
   for (const auto& [name, blob] : directory_) total += blob.size_bytes;
+  return total;
+}
+
+int64_t MediaStore::FreeDataBytes() const {
+  int64_t total = 0;
+  for (const auto& alloc : allocators_) total += alloc->FreeBytes();
   return total;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/buffer.h"
@@ -20,14 +21,27 @@ namespace avdb {
 struct StoredBlob {
   std::string name;
   int64_t size_bytes = 0;
-  uint64_t checksum = 0;
+  uint64_t checksum = 0;  ///< whole-blob FNV (legacy, still verified by Get)
+  /// FastHash64 of each kCachePageBytes-sized page of the blob's byte
+  /// space (final page may be short), so ranged reads verify exactly the
+  /// pages they touch.
+  std::vector<uint64_t> page_checksums;
+  /// Set when Scrub found corrupt pages: reads fail fast with DataLoss
+  /// while the rest of the store stays serviceable.
+  bool quarantined = false;
   std::vector<Extent> extents;
 };
 
 /// Blob store over one BlockDevice: extent allocation, a write/read path
 /// that charges modeled device time, optional read caching, and checksum
-/// verification on full reads. One MediaStore per device; cross-device
-/// placement lives in DeviceManager.
+/// verification (whole-blob on Get, per-page on every verified read). One
+/// MediaStore per device; cross-device placement lives in DeviceManager.
+///
+/// Durability is opt-in via Mount(): a mounted store keeps a checksummed
+/// dual-slot superblock and a begin/commit write-ahead journal on disc 0,
+/// so a new MediaStore over the same (crashed) device can Recover() the
+/// directory. An unmounted store keeps the directory in RAM only and its
+/// on-device byte stream is byte-identical to the pre-journal code.
 class MediaStore {
  public:
   /// `cache` may be nullptr (no caching). The cache is shared with the
@@ -38,11 +52,14 @@ class MediaStore {
   BlockDevice& device() { return *device_; }
 
   /// Stores `data` under `name` (AlreadyExists if taken). Returns the
-  /// modeled write duration.
+  /// modeled write duration (journal records included when mounted). A
+  /// failed Put is atomic: no directory entry, no allocated extents, no
+  /// reserved capacity survive it.
   Result<WorldTime> Put(const std::string& name, const Buffer& data);
 
-  /// Reads the whole blob, verifying its checksum (DataLoss on mismatch).
-  /// Returns the data and the modeled read duration.
+  /// Reads the whole blob, verifying its per-page and whole-blob checksums
+  /// (DataLoss naming the first bad page on mismatch). Returns the data
+  /// and the modeled read duration.
   struct ReadResult {
     Buffer data;
     WorldTime duration;
@@ -53,7 +70,10 @@ class MediaStore {
   Result<ReadResult> Get(const std::string& name);
 
   /// Reads `[offset, offset+length)` of the blob — the streaming fetch path.
-  /// Cached ranges cost zero device time.
+  /// Cached ranges cost zero device time. Every page the range touches is
+  /// verified against its stored checksum (on the cached path both when a
+  /// page is fetched and when it is served from cache); a corrupt page
+  /// surfaces as DataLoss.
   Result<ReadResult> ReadRange(const std::string& name, int64_t offset,
                                int64_t length);
 
@@ -65,10 +85,70 @@ class MediaStore {
   std::vector<std::string> List() const;
 
   int64_t TotalStoredBytes() const;
+  /// Bytes still allocatable for blob data (metadata region excluded).
+  int64_t FreeDataBytes() const;
+  /// On-device bytes withheld for superblock + journal (0 until mounted).
+  int64_t metadata_bytes() const;
 
   /// Granularity of cached streaming reads; also the fetch granularity the
   /// admission controller assumes when costing seeks.
   static constexpr int64_t kCachePageBytes = 64 * 1024;
+
+  // --- durability ----------------------------------------------------------
+
+  /// Default size of the on-device journal region (two halves; metadata
+  /// compaction flips between them).
+  static constexpr int64_t kDefaultJournalBytes = 256 * 1024;
+
+  /// What Mount()/Recover() did, for operators and tests.
+  struct RecoveryReport {
+    bool formatted = false;         ///< fresh device: superblock written
+    int64_t records_replayed = 0;   ///< valid journal records applied
+    int64_t puts_rolled_back = 0;   ///< BeginPut without CommitPut
+    int64_t deletes_rolled_back = 0;///< BeginDelete without CommitDelete
+    int64_t blobs = 0;              ///< directory entries after recovery
+    int64_t journal_bytes_scanned = 0;
+  };
+
+  /// Enables durability. A fresh device (no valid superblock) is formatted
+  /// with a `journal_bytes`-sized journal; a previously mounted device is
+  /// recovered (see Recover). Must be called before the first Put — a
+  /// store that already holds unmounted blobs refuses to mount.
+  Result<RecoveryReport> Mount(int64_t journal_bytes = kDefaultJournalBytes);
+
+  /// Rebuilds the directory from the on-device superblock + journal:
+  /// replays committed records, rolls back torn (begun, uncommitted) ones,
+  /// frees orphaned extents and re-reserves referenced ones. Idempotent —
+  /// recovering a recovered store is a no-op and reports the same state.
+  /// Writes nothing to the device. DataLoss when no superblock slot is
+  /// valid or the journal names a double-referenced extent.
+  Result<RecoveryReport> Recover();
+
+  bool mounted() const { return mounted_; }
+
+  /// Findings of one Scrub() pass.
+  struct ScrubReport {
+    int64_t blobs_scanned = 0;
+    int64_t pages_scanned = 0;
+    /// (blob name, page index) of every checksum mismatch found.
+    std::vector<std::pair<std::string, int64_t>> corrupt_pages;
+    /// Blobs quarantined by this pass (had at least one corrupt page).
+    std::vector<std::string> quarantined;
+    int64_t read_failures = 0;  ///< pages unreadable even after retries
+    WorldTime duration;         ///< modeled device time spent scanning
+  };
+
+  /// Walks every blob page by page, verifies checksums, and quarantines
+  /// blobs with corrupt pages (journaled when mounted, so quarantine
+  /// survives recovery). The store stays serviceable: healthy blobs keep
+  /// reading, quarantined ones fail fast with DataLoss.
+  Result<ScrubReport> Scrub();
+
+  /// Disables per-page checksum verification on reads (Get still checks
+  /// the whole-blob hash). For benchmarking the verification cost and for
+  /// emergency reads of known-damaged media; defaults to on.
+  void set_verify_pages(bool verify) { verify_pages_ = verify; }
+  bool verify_pages() const { return verify_pages_; }
 
   /// Retry discipline applied to every device read issued by this store.
   /// Transient (Unavailable) failures are retried with exponential backoff
@@ -83,12 +163,15 @@ class MediaStore {
     int64_t retries = 0;          ///< transient faults absorbed
     int64_t exhausted = 0;        ///< reads failed after all attempts
     int64_t backoff_ns = 0;       ///< modeled time charged to backoff
+    int64_t pages_verified = 0;   ///< page checksums checked on reads
+    int64_t page_mismatches = 0;  ///< page checks that failed (DataLoss)
+    int64_t journal_records = 0;  ///< records appended since mount
+    int64_t journal_compactions = 0;
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
  private:
-
   /// Uncached read of a blob byte range straight from the device.
   Result<ReadResult> ReadRangeUncached(const StoredBlob& blob, int64_t offset,
                                        int64_t length);
@@ -100,12 +183,53 @@ class MediaStore {
                                         int64_t length, Buffer* out,
                                         int64_t* retries);
 
+  /// Verifies `data` (= blob bytes [offset, offset+len)) against the
+  /// entry's page checksums for every page fully contained in the range.
+  Status VerifyCoveredPages(const StoredBlob& blob, int64_t offset,
+                            const Buffer& data);
+  /// Verifies one whole page (index `page`) of the blob.
+  Status VerifyPage(const StoredBlob& blob, int64_t page, const Buffer& data);
+
+  /// Undoes a Put in flight: frees the blob's extents and releases its
+  /// reserved capacity.
+  void RollbackAllocation(const StoredBlob& blob);
+
+  // --- journal machinery (all no-ops until mounted) ------------------------
+
+  /// First byte of the metadata region's end == first allocatable data byte
+  /// on disc 0.
+  int64_t MetaBytes() const;
+  int64_t JournalHalfStart(int half) const;
+
+  Result<RecoveryReport> Format(int64_t journal_bytes);
+  /// Reads both superblock slots and returns the one with the highest valid
+  /// sequence. `*found` is false when neither slot parses (fresh device).
+  /// Errors only when the device itself is failing (so Mount never formats
+  /// over a device that is merely unreadable right now).
+  Status ReadBestSuperblock(uint64_t* sequence, int* active_half,
+                            int64_t* half_bytes, bool* found);
+  /// Appends one checksummed record; `cost` accumulates modeled time.
+  Status AppendJournal(const Buffer& payload, WorldTime* cost);
+  /// Guarantees `payload_bytes` of record payload (plus headers) fit in
+  /// the active half, compacting (checkpoint + superblock flip) if needed.
+  Status EnsureJournalSpace(int64_t payload_bytes, WorldTime* cost);
+  Status WriteSuperblock(uint64_t sequence, int active_half, WorldTime* cost);
+  /// Marks `name` quarantined in the journal (mounted stores only).
+  Status JournalQuarantine(const std::string& name, WorldTime* cost);
+
   BlockDevicePtr device_;
   std::shared_ptr<BufferCache> cache_;
   std::vector<std::unique_ptr<ExtentAllocator>> allocators_;  // per disc
   std::map<std::string, StoredBlob> directory_;
   RetryPolicy retry_policy_;
   Stats stats_;
+
+  bool mounted_ = false;
+  bool verify_pages_ = true;
+  uint64_t generation_ = 0;      ///< superblock sequence == record generation
+  int active_half_ = 0;
+  int64_t journal_half_bytes_ = 0;
+  int64_t journal_append_ = 0;   ///< absolute disc-0 offset of next record
 };
 
 }  // namespace avdb

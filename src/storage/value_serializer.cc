@@ -271,5 +271,12 @@ Result<LoadResult> Load(MediaStore& store, const std::string& name) {
   return out;
 }
 
+Result<WorldTime> Store(MediaStore& store, const std::string& name,
+                        const MediaValue& value) {
+  auto blob = Serialize(value);
+  if (!blob.ok()) return blob.status();
+  return store.Put(name, blob.value());
+}
+
 }  // namespace value_serializer
 }  // namespace avdb

@@ -42,6 +42,13 @@ struct LoadResult {
 };
 Result<LoadResult> Load(MediaStore& store, const std::string& name);
 
+/// Serializes `value` and stores it as blob `name` — the write-side twin of
+/// `Load`. A mounted store journals the Put, so a crash mid-store either
+/// keeps the whole value or leaves no trace of it. Returns the modeled
+/// write duration.
+Result<WorldTime> Store(MediaStore& store, const std::string& name,
+                        const MediaValue& value);
+
 }  // namespace value_serializer
 }  // namespace avdb
 

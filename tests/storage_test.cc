@@ -461,5 +461,404 @@ TEST(StoredMediaTest, FullPipelineStoreFetchDecode) {
   EXPECT_LT(mae, 10.0);
 }
 
+// ---------------------------------------------------- write-path faults --
+
+TEST(BlockDeviceWriteFaultTest, TornWritePersistsStrictPrefix) {
+  BlockDevice dev("d0", DeviceProfile::RamDisk());
+  FaultSpec spec;
+  spec.torn_write_rate = 1.0;
+  FaultInjector injector(spec, /*seed=*/42);
+  dev.set_fault_injector(&injector);
+  Buffer data(1000, 0xAB);
+  auto write = dev.Write(0, 0, data);
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dev.stats().injected_write_faults, 1);
+  EXPECT_EQ(dev.stats().writes, 0);  // a failed write is not a write
+  dev.set_fault_injector(nullptr);
+  // The whole target range is addressable; a strict prefix holds the data,
+  // the tail stayed zero.
+  Buffer out;
+  ASSERT_TRUE(dev.Read(0, 0, 1000, &out).ok());
+  size_t persisted = 0;
+  while (persisted < out.size() && out[persisted] == 0xAB) ++persisted;
+  EXPECT_LT(persisted, 1000u);
+  for (size_t i = persisted; i < out.size(); ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(BlockDeviceWriteFaultTest, DroppedWriteReportsSuccessPersistsNothing) {
+  BlockDevice dev("d0", DeviceProfile::RamDisk());
+  FaultSpec spec;
+  spec.dropped_write_rate = 1.0;
+  FaultInjector injector(spec, /*seed=*/7);
+  dev.set_fault_injector(&injector);
+  Buffer data(512, 0xCD);
+  ASSERT_TRUE(dev.Write(0, 0, data).ok());  // the lie: success reported
+  EXPECT_EQ(injector.stats().dropped_writes, 1);
+  dev.set_fault_injector(nullptr);
+  Buffer out;
+  ASSERT_TRUE(dev.Read(0, 0, 512, &out).ok());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(BlockDeviceWriteFaultTest, BitFlipCorruptsExactlyOneBit) {
+  BlockDevice dev("d0", DeviceProfile::RamDisk());
+  FaultSpec spec;
+  spec.write_bit_flip_rate = 1.0;
+  FaultInjector injector(spec, /*seed=*/11);
+  dev.set_fault_injector(&injector);
+  Buffer data = MakeBlob(4096);
+  ASSERT_TRUE(dev.Write(0, 0, data).ok());
+  EXPECT_EQ(injector.stats().write_bit_flips, 1);
+  dev.set_fault_injector(nullptr);
+  Buffer out;
+  ASSERT_TRUE(dev.Read(0, 0, 4096, &out).ok());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint8_t diff = out[i] ^ data[i];
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST(BlockDeviceWriteFaultTest, PowerCutFreezesDeviceUntilDetach) {
+  BlockDevice dev("d0", DeviceProfile::RamDisk());
+  FaultInjector injector(FaultSpec::PowerCut(2), /*seed=*/3);
+  dev.set_fault_injector(&injector);
+  Buffer a(256, 0x11), b(256, 0x22);
+  ASSERT_TRUE(dev.Write(0, 0, a).ok());
+  auto cut = dev.Write(0, 256, b);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_NE(cut.status().message().find("power-cut"), std::string::npos);
+  EXPECT_TRUE(injector.powered_off());
+  // Frozen: neither reads nor writes go through.
+  Buffer out;
+  EXPECT_FALSE(dev.Read(0, 0, 256, &out).ok());
+  EXPECT_FALSE(dev.Write(0, 512, a).ok());
+  // Reboot (detach): pre-cut data intact, the cut write is a strict prefix.
+  dev.set_fault_injector(nullptr);
+  ASSERT_TRUE(dev.Read(0, 0, 256, &out).ok());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 0x11);
+  ASSERT_TRUE(dev.Read(0, 256, 256, &out).ok());
+  size_t persisted = 0;
+  while (persisted < out.size() && out[persisted] == 0x22) ++persisted;
+  EXPECT_LT(persisted, 256u);
+}
+
+TEST(BlockDeviceWriteFaultTest, WriteFaultsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    BlockDevice dev("d0", DeviceProfile::RamDisk());
+    FaultSpec spec;
+    spec.torn_write_rate = 0.3;
+    spec.dropped_write_rate = 0.2;
+    FaultInjector injector(spec, seed);
+    dev.set_fault_injector(&injector);
+    std::vector<bool> outcomes;
+    Buffer data(128, 0x5A);
+    for (int i = 0; i < 50; ++i) {
+      outcomes.push_back(dev.Write(0, i * 128, data).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+// ------------------------------------------------------------ durability --
+
+TEST(MediaStoreDurabilityTest, UnmountedStoreIsByteIdentical) {
+  // Acceptance pin: without Mount() the on-device byte stream is exactly
+  // the pre-journal format — blob bytes at the allocated extent, nothing
+  // else on the media.
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  MediaStore store(dev, nullptr);
+  EXPECT_FALSE(store.mounted());
+  EXPECT_EQ(store.metadata_bytes(), 0);
+  Buffer data = MakeBlob(100 * 1024);
+  ASSERT_TRUE(store.Put("clip", data).ok());
+  auto blob = store.Lookup("clip").value();
+  ASSERT_EQ(blob->extents.size(), 1u);
+  EXPECT_EQ(blob->extents[0].offset, 0);  // first fit from byte zero
+  Buffer raw;
+  ASSERT_TRUE(dev->Read(0, 0, 100 * 1024, &raw).ok());
+  EXPECT_EQ(raw, data);
+}
+
+TEST(MediaStoreDurabilityTest, MountFormatsFreshDeviceOnce) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  MediaStore store(dev, nullptr);
+  auto mounted = store.Mount();
+  ASSERT_TRUE(mounted.ok());
+  EXPECT_TRUE(mounted.value().formatted);
+  EXPECT_TRUE(store.mounted());
+  EXPECT_EQ(store.metadata_bytes(),
+            1024 + MediaStore::kDefaultJournalBytes);
+  EXPECT_EQ(store.FreeDataBytes(),
+            dev->capacity() - store.metadata_bytes());
+  // A second Mount over the same device recovers instead of reformatting.
+  MediaStore again(dev, nullptr);
+  auto remounted = again.Mount();
+  ASSERT_TRUE(remounted.ok());
+  EXPECT_FALSE(remounted.value().formatted);
+}
+
+TEST(MediaStoreDurabilityTest, DirectorySurvivesRemount) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  Buffer a = MakeBlob(90 * 1024, 1), b = MakeBlob(40 * 1024, 2);
+  {
+    MediaStore store(dev, nullptr);
+    ASSERT_TRUE(store.Mount().ok());
+    ASSERT_TRUE(store.Put("a", a).ok());
+    ASSERT_TRUE(store.Put("b", b).ok());
+    ASSERT_TRUE(store.Put("gone", MakeBlob(8 * 1024, 3)).ok());
+    ASSERT_TRUE(store.Delete("gone").ok());
+  }  // the store object dies; only the device bytes remain
+  MediaStore revived(dev, nullptr);
+  auto report = revived.Mount();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().blobs, 2);
+  EXPECT_EQ(revived.List(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(revived.Get("a").value().data, a);
+  EXPECT_EQ(revived.Get("b").value().data, b);
+  EXPECT_EQ(revived.TotalStoredBytes(), 130 * 1024);
+  EXPECT_EQ(revived.FreeDataBytes(),
+            dev->capacity() - revived.metadata_bytes() - 130 * 1024);
+}
+
+TEST(MediaStoreDurabilityTest, FailedPutIsAtomic) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  MediaStore store(dev, nullptr);
+  ASSERT_TRUE(store.Mount().ok());
+  ASSERT_TRUE(store.Put("keeper", MakeBlob(32 * 1024)).ok());
+  const int64_t free_before = store.FreeDataBytes();
+  const int64_t used_before = dev->used_bytes();
+
+  FaultSpec spec;
+  spec.torn_write_rate = 1.0;  // every write tears: the Put cannot land
+  FaultInjector injector(spec, /*seed=*/5);
+  dev->set_fault_injector(&injector);
+  auto put = store.Put("doomed", MakeBlob(64 * 1024));
+  dev->set_fault_injector(nullptr);
+  ASSERT_FALSE(put.ok());
+
+  // No trace: name absent, extents back on the free list, capacity ledger
+  // unchanged — and the space is actually reusable.
+  EXPECT_FALSE(store.Contains("doomed"));
+  EXPECT_EQ(store.TotalStoredBytes(), 32 * 1024);
+  EXPECT_EQ(store.FreeDataBytes(), free_before);
+  EXPECT_EQ(dev->used_bytes(), used_before);
+  ASSERT_TRUE(store.Put("doomed", MakeBlob(64 * 1024)).ok());
+}
+
+TEST(MediaStoreDurabilityTest, PowerCutMidPutRollsBackOnRecovery) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  Buffer safe = MakeBlob(48 * 1024, 9);
+  {
+    MediaStore store(dev, nullptr);
+    ASSERT_TRUE(store.Mount().ok());
+    ASSERT_TRUE(store.Put("safe", safe).ok());
+    // Cut during the doomed Put's data write (write 1 = journal begin,
+    // write 2 = blob data).
+    FaultInjector injector(FaultSpec::PowerCut(2), /*seed=*/1);
+    dev->set_fault_injector(&injector);
+    EXPECT_FALSE(store.Put("doomed", MakeBlob(30 * 1024)).ok());
+    dev->set_fault_injector(nullptr);  // reboot
+  }
+  MediaStore revived(dev, nullptr);
+  auto report = revived.Mount();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().puts_rolled_back, 1);
+  EXPECT_EQ(report.value().blobs, 1);
+  EXPECT_FALSE(revived.Contains("doomed"));
+  EXPECT_EQ(revived.Get("safe").value().data, safe);
+  EXPECT_EQ(revived.FreeDataBytes(),
+            dev->capacity() - revived.metadata_bytes() - 48 * 1024);
+}
+
+TEST(MediaStoreDurabilityTest, RecoverIsIdempotent) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  MediaStore store(dev, nullptr);
+  ASSERT_TRUE(store.Mount().ok());
+  ASSERT_TRUE(store.Put("x", MakeBlob(20 * 1024)).ok());
+  auto first = store.Recover();
+  ASSERT_TRUE(first.ok());
+  auto second = store.Recover();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().blobs, second.value().blobs);
+  EXPECT_EQ(first.value().records_replayed, second.value().records_replayed);
+  EXPECT_EQ(first.value().journal_bytes_scanned,
+            second.value().journal_bytes_scanned);
+  EXPECT_TRUE(store.Contains("x"));
+}
+
+TEST(MediaStoreDurabilityTest, JournalCompactionKeepsDirectory) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  Buffer keep = MakeBlob(12 * 1024, 4);
+  {
+    MediaStore store(dev, nullptr);
+    // Smallest journal: 8 KiB halves fill after a few dozen records.
+    ASSERT_TRUE(store.Mount(/*journal_bytes=*/16 * 1024).ok());
+    ASSERT_TRUE(store.Put("keep", keep).ok());
+    for (int i = 0; i < 200; ++i) {
+      const std::string name = "churn" + std::to_string(i);
+      ASSERT_TRUE(store.Put(name, MakeBlob(2048)).ok());
+      ASSERT_TRUE(store.Delete(name).ok());
+    }
+    EXPECT_GT(store.stats().journal_compactions, 0);
+  }
+  MediaStore revived(dev, nullptr);
+  auto report = revived.Mount();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().blobs, 1);
+  EXPECT_EQ(revived.Get("keep").value().data, keep);
+}
+
+// -------------------------------------------------- page checksums/scrub --
+
+TEST(MediaStoreChecksumTest, CorruptPageFailsOnlyTouchingReads) {
+  // Satellite regression: corrupt one on-device page; a read touching it
+  // fails DataLoss, a read of other pages still succeeds.
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  auto cache = std::make_shared<BufferCache>(8 * 1024 * 1024);
+  MediaStore store(dev, cache);
+  const int64_t kPage = MediaStore::kCachePageBytes;
+  Buffer data = MakeBlob(static_cast<size_t>(3 * kPage));
+  ASSERT_TRUE(store.Put("clip", data).ok());
+  // Flip a byte inside page 1 directly on the media.
+  auto blob = store.Lookup("clip").value();
+  ASSERT_EQ(blob->extents.size(), 1u);
+  Buffer junk(1, 0xFF);
+  ASSERT_TRUE(dev->Write(0, blob->extents[0].offset + kPage + 10, junk).ok());
+
+  auto bad = store.ReadRange("clip", kPage + 5, 100);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad.status().message().find("page 1"), std::string::npos);
+  auto good = store.ReadRange("clip", 0, kPage);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().data.size(), static_cast<size_t>(kPage));
+  // Get reads every page, so it must fail too (page check fires before the
+  // legacy whole-blob hash).
+  EXPECT_EQ(store.Get("clip").status().code(), StatusCode::kDataLoss);
+  EXPECT_GT(store.stats().page_mismatches, 0);
+}
+
+TEST(MediaStoreChecksumTest, CachedPageHitIsVerified) {
+  // The cache hit path re-verifies: a corrupted *cached* copy must not be
+  // served even though the media is clean.
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  auto cache = std::make_shared<BufferCache>(8 * 1024 * 1024);
+  MediaStore store(dev, cache);
+  const int64_t kPage = MediaStore::kCachePageBytes;
+  Buffer data = MakeBlob(static_cast<size_t>(2 * kPage));
+  ASSERT_TRUE(store.Put("clip", data).ok());
+  ASSERT_TRUE(store.ReadRange("clip", 0, kPage).ok());  // warm page 0
+  // Poison the cached copy under the store's key.
+  Buffer poisoned;
+  poisoned.AppendBytes(data.data(), static_cast<size_t>(kPage));
+  poisoned[123] ^= 0x01;
+  cache->Put("d0/clip#0", poisoned);
+  auto hit = store.ReadRange("clip", 0, kPage);
+  ASSERT_FALSE(hit.ok());
+  EXPECT_EQ(hit.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MediaStoreChecksumTest, VerifyPagesKnobDisablesReadChecks) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  MediaStore store(dev, nullptr);
+  const int64_t kPage = MediaStore::kCachePageBytes;
+  Buffer data = MakeBlob(static_cast<size_t>(kPage));
+  ASSERT_TRUE(store.Put("clip", data).ok());
+  auto blob = store.Lookup("clip").value();
+  Buffer junk(1, 0xFF);
+  ASSERT_TRUE(dev->Write(0, blob->extents[0].offset + 10, junk).ok());
+  store.set_verify_pages(false);
+  // Page checks off: the ranged read returns (corrupt) bytes...
+  EXPECT_TRUE(store.ReadRange("clip", 0, kPage).ok());
+  // ...but Get's legacy whole-blob hash still catches it.
+  EXPECT_EQ(store.Get("clip").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.stats().pages_verified, 0);
+}
+
+TEST(MediaStoreScrubTest, ScrubQuarantinesCorruptBlobAndSurvivesRemount) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  Buffer good_data = MakeBlob(80 * 1024, 1);
+  {
+    MediaStore store(dev, nullptr);
+    ASSERT_TRUE(store.Mount().ok());
+    ASSERT_TRUE(store.Put("good", good_data).ok());
+    ASSERT_TRUE(store.Put("bad", MakeBlob(80 * 1024, 2)).ok());
+    auto blob = store.Lookup("bad").value();
+    Buffer junk(1, 0xFF);
+    ASSERT_TRUE(dev->Write(0, blob->extents[0].offset + 5, junk).ok());
+
+    auto scrub = store.Scrub();
+    ASSERT_TRUE(scrub.ok());
+    EXPECT_EQ(scrub.value().blobs_scanned, 2);
+    ASSERT_EQ(scrub.value().corrupt_pages.size(), 1u);
+    EXPECT_EQ(scrub.value().corrupt_pages[0].first, "bad");
+    EXPECT_EQ(scrub.value().corrupt_pages[0].second, 0);
+    EXPECT_EQ(scrub.value().quarantined,
+              std::vector<std::string>{"bad"});
+    // Quarantined: fails fast; the store stays serviceable.
+    EXPECT_EQ(store.Get("bad").status().code(), StatusCode::kDataLoss);
+    EXPECT_EQ(store.ReadRange("bad", 0, 64).status().code(),
+              StatusCode::kDataLoss);
+    EXPECT_EQ(store.Get("good").value().data, good_data);
+    // A second scrub skips the quarantined blob.
+    auto again = store.Scrub();
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().blobs_scanned, 1);
+    EXPECT_TRUE(again.value().corrupt_pages.empty());
+  }
+  // The quarantine record was journaled: it survives a remount.
+  MediaStore revived(dev, nullptr);
+  ASSERT_TRUE(revived.Mount().ok());
+  EXPECT_TRUE(revived.Lookup("bad").value()->quarantined);
+  EXPECT_FALSE(revived.Lookup("good").value()->quarantined);
+  EXPECT_EQ(revived.Get("good").value().data, good_data);
+}
+
+TEST(DeviceManagerTest, MountStoreFormatsAndRecovers) {
+  auto dev = std::make_shared<BlockDevice>("disk0", DeviceProfile::RamDisk());
+  {
+    DeviceManager dm;
+    ASSERT_TRUE(dm.AddDevice(dev).ok());
+    auto mounted = dm.MountStore("disk0");
+    ASSERT_TRUE(mounted.ok());
+    EXPECT_TRUE(mounted.value().formatted);
+    ASSERT_TRUE(dm.Store("clip", MakeBlob(16 * 1024), "disk0").ok());
+    EXPECT_FALSE(dm.MountStore("nope").ok());
+  }
+  DeviceManager reopened;
+  ASSERT_TRUE(reopened.AddDevice(dev).ok());
+  auto recovered = reopened.MountStore("disk0");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.value().formatted);
+  EXPECT_EQ(recovered.value().blobs, 1);
+  EXPECT_TRUE(reopened.Fetch("clip").ok());
+}
+
+TEST(ValueSerializerTest, StoreThenLoadAfterRemount) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::RamDisk());
+  auto raw = synthetic::GenerateVideo(
+                 MediaDataType::RawVideo(16, 12, 8, Rational(15)), 4,
+                 synthetic::VideoPattern::kMovingGradient)
+                 .value();
+  {
+    MediaStore store(dev, nullptr);
+    ASSERT_TRUE(store.Mount().ok());
+    ASSERT_TRUE(value_serializer::Store(store, "clip", *raw).ok());
+  }
+  MediaStore revived(dev, nullptr);
+  ASSERT_TRUE(revived.Mount().ok());
+  auto loaded = value_serializer::Load(revived, "clip");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().value->kind(), MediaKind::kVideo);
+}
+
 }  // namespace
 }  // namespace avdb
