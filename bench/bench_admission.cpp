@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "db/database.h"
 #include "media/synthetic.h"
 
@@ -34,10 +35,10 @@ struct Outcome {
 
 Outcome Run(int clients, bool admission_enabled) {
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
   ClassDef clip_class("Clip");
-  clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(clip_class).ok();
+  AVDB_MUST(clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(clip_class));
 
   // Each client plays its own object (separate extents -> seeks between
   // concurrent readers, as on a real spindle).
@@ -48,7 +49,7 @@ Outcome Run(int clients, bool admission_enabled) {
                      static_cast<uint64_t>(i + 1))
                      .value();
     Oid oid = db.NewObject("Clip").value();
-    db.SetMediaAttribute(oid, "footage", *value, "disk0").ok();
+    AVDB_MUST(db.SetMediaAttribute(oid, "footage", *value, "disk0"));
     oids.push_back(oid);
   }
 
@@ -73,8 +74,8 @@ Outcome Run(int clients, bool admission_enabled) {
       auto source = VideoSource::Create("src" + std::to_string(i),
                                         ActivityLocation::kDatabase, db.env(),
                                         options);
-      source->Bind(value, VideoSource::kPortOut).ok();
-      db.graph().Add(source).ok();
+      AVDB_MUST(source->Bind(value, VideoSource::kPortOut));
+      AVDB_MUST(db.graph().Add(source));
       StreamHandle handle;
       handle.source = source.get();
       stream = handle;
@@ -82,18 +83,17 @@ Outcome Run(int clients, bool admission_enabled) {
     auto window = VideoWindow::Create("win" + std::to_string(i),
                                       ActivityLocation::kClient, db.env(),
                                       VideoQuality(320, 240, 8, Rational(15)));
-    db.graph().Add(window).ok();
-    db.graph()
+    AVDB_MUST(db.graph().Add(window));
+    AVDB_MUST(db.graph()
         .Connect(stream.value().source, VideoSource::kPortOut, window.get(),
-                 VideoWindow::kPortIn)
-        .ok();
+                 VideoWindow::kPortIn));
     windows.push_back(window);
     streams.push_back(stream.value());
     ++outcome.admitted;
   }
   // Start everything that was admitted.
   for (const auto& a : db.graph().activities()) {
-    if (a->state() == MediaActivity::State::kIdle) a->Start().ok();
+    if (a->state() == MediaActivity::State::kIdle) AVDB_MUST(a->Start());
   }
   db.RunUntilIdle();
 

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "db/database.h"
 #include "media/synthetic.h"
@@ -47,16 +48,16 @@ int main() {
   // --- A: issue-request / receive-reply ---------------------------------------
   {
     AvDatabase db;
-    db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+    AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
     auto channel = db.AddChannel("net", Channel::Profile::Ethernet10()).value();
     ClassDef clip_class("Clip");
-    clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-    db.DefineClass(clip_class).ok();
+    AVDB_MUST(clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+    AVDB_MUST(db.DefineClass(clip_class));
     auto value = synthetic::GenerateVideo(
                      kType, kFrames, synthetic::VideoPattern::kMovingBox)
                      .value();
     Oid oid = db.NewObject("Clip").value();
-    db.SetMediaAttribute(oid, "footage", *value, "disk0").ok();
+    AVDB_MUST(db.SetMediaAttribute(oid, "footage", *value, "disk0"));
 
     // The reply contains all the data: read the whole blob from disk, then
     // ship it across the network in one transfer; the client blocks.
@@ -76,26 +77,25 @@ int main() {
   // --- B: bind / connect / start (the paper's interface) ----------------------
   {
     AvDatabase db;
-    db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-    db.AddChannel("net", Channel::Profile::Ethernet10()).ok();
+    AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+    AVDB_MUST(db.AddChannel("net", Channel::Profile::Ethernet10()));
     ClassDef clip_class("Clip");
-    clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-    db.DefineClass(clip_class).ok();
+    AVDB_MUST(clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+    AVDB_MUST(db.DefineClass(clip_class));
     auto value = synthetic::GenerateVideo(
                      kType, kFrames, synthetic::VideoPattern::kMovingBox)
                      .value();
     Oid oid = db.NewObject("Clip").value();
-    db.SetMediaAttribute(oid, "footage", *value, "disk0").ok();
+    AVDB_MUST(db.SetMediaAttribute(oid, "footage", *value, "disk0"));
 
     auto stream = db.NewSourceFor("client", oid, "footage").value();
     auto window =
         VideoWindow::Create("win", ActivityLocation::kClient, db.env(),
                             VideoQuality(320, 240, 8, Rational(15)));
-    db.graph().Add(window).ok();
-    db.NewConnection(stream.source, VideoSource::kPortOut, window.get(),
-                     VideoWindow::kPortIn, "net")
-        .ok();
-    db.StartStream(stream).ok();
+    AVDB_MUST(db.graph().Add(window));
+    AVDB_MUST(db.NewConnection(stream.source, VideoSource::kPortOut, window.get(),
+                     VideoWindow::kPortIn, "net"));
+    AVDB_MUST(db.StartStream(stream));
     db.RunUntilIdle();
     streamed.first_frame_s = window->stats().first_element_ns / 1e9;
     streamed.blocked_s = 0;  // the interface never blocks the client

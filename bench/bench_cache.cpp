@@ -13,6 +13,7 @@
 #include "activity/graph.h"
 #include "activity/sinks.h"
 #include "activity/sources.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "media/synthetic.h"
 #include "sched/event_engine.h"
@@ -46,7 +47,7 @@ CacheReport Run(int64_t cache_bytes) {
   auto value = synthetic::GenerateVideo(kType, kFrames,
                                         synthetic::VideoPattern::kMovingBox)
                    .value();
-  store.Put("clip", value_serializer::Serialize(*value).value()).ok();
+  AVDB_MUST(store.Put("clip", value_serializer::Serialize(*value).value()));
 
   for (int client = 0; client < 2; ++client) {
     SourceOptions options;
@@ -58,17 +59,16 @@ CacheReport Run(int64_t cache_bytes) {
     auto source = VideoSource::Create("src" + std::to_string(client),
                                       ActivityLocation::kDatabase, env,
                                       options);
-    source->Bind(value, VideoSource::kPortOut).ok();
+    AVDB_MUST(source->Bind(value, VideoSource::kPortOut));
     auto window = VideoWindow::Create(
         "win" + std::to_string(client), ActivityLocation::kClient, env,
         VideoQuality(176, 144, 8, Rational(10)));
-    graph.Add(source).ok();
-    graph.Add(window).ok();
-    graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
-                  VideoWindow::kPortIn)
-        .ok();
+    AVDB_MUST(graph.Add(source));
+    AVDB_MUST(graph.Add(window));
+    AVDB_MUST(graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
+                  VideoWindow::kPortIn));
   }
-  graph.StartAll().ok();
+  AVDB_MUST(graph.StartAll());
   graph.RunUntilIdle();
 
   CacheReport report;

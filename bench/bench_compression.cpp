@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "base/logging.h"
 #include "base/strings.h"
 #include "codec/registry.h"
 #include "db/database.h"
@@ -31,10 +32,10 @@ int AdmittedStreams(const MediaValue& value) {
   config.decoder_units = 64;
   config.buffer_pool_bytes = 64LL * 1024 * 1024;
   AvDatabase db(config);
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
   ClassDef clip_class("Clip");
-  clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(clip_class).ok();
+  AVDB_MUST(clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(clip_class));
   int admitted = 0;
   for (int i = 0; i < 64; ++i) {
     Oid oid = db.NewObject("Clip").value();

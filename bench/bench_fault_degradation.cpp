@@ -32,6 +32,7 @@
 #include "activity/sinks.h"
 #include "activity/sources.h"
 #include "base/fault_injector.h"
+#include "base/logging.h"
 #include "codec/encoded_value.h"
 #include "codec/scalable_codec.h"
 #include "media/synthetic.h"
@@ -110,7 +111,7 @@ RunReport RunSweepPoint(const std::shared_ptr<EncodedVideoValue>& clip,
       std::make_shared<BlockDevice>("disk0", DeviceProfile::MagneticDisk());
   MediaStore store(device, nullptr);
   ServiceQueue queue("disk0");
-  store.Put("clip", value_serializer::Serialize(*clip).value()).ok();
+  AVDB_MUST(store.Put("clip", value_serializer::Serialize(*clip).value()));
 
   FaultInjector injector(SweepSpec(fault_rate), kSeed);
   if (fault_rate > 0) device->set_fault_injector(&injector);
@@ -124,7 +125,7 @@ RunReport RunSweepPoint(const std::shared_ptr<EncodedVideoValue>& clip,
   source_options.degrade = &degrade;
   auto source = VideoSource::Create("src", ActivityLocation::kDatabase, env,
                                     source_options);
-  source->Bind(clip, VideoSource::kPortOut).ok();
+  AVDB_MUST(source->Bind(clip, VideoSource::kPortOut));
 
   SinkOptions sink_options;
   sink_options.degrade = &degrade;
@@ -133,28 +134,27 @@ RunReport RunSweepPoint(const std::shared_ptr<EncodedVideoValue>& clip,
                           VideoQuality(176, 144, 8, Rational(10)),
                           sink_options);
 
-  source->Catch(VideoSource::kFaultRetry, [&](const ActivityEvent&) {
+  AVDB_MUST(source->Catch(VideoSource::kFaultRetry, [&](const ActivityEvent&) {
     ++report.fault_retry_events;
-  }).ok();
-  source->Catch(VideoSource::kFrameDropped, [&](const ActivityEvent&) {
+  }));
+  AVDB_MUST(source->Catch(VideoSource::kFrameDropped, [&](const ActivityEvent&) {
     ++report.dropped;
-  }).ok();
+  }));
   VideoSource* source_raw = source.get();
-  source->Catch(VideoSource::kQualityChanged, [&](const ActivityEvent&) {
+  AVDB_MUST(source->Catch(VideoSource::kQualityChanged, [&](const ActivityEvent&) {
     if (source_raw->active_layers() < report.min_layers) {
       report.min_layers = source_raw->active_layers();
     }
-  }).ok();
-  window->Catch(VideoWindow::kLastFrame, [&](const ActivityEvent&) {
+  }));
+  AVDB_MUST(window->Catch(VideoWindow::kLastFrame, [&](const ActivityEvent&) {
     report.completed = true;
-  }).ok();
+  }));
 
-  graph.Add(source).ok();
-  graph.Add(window).ok();
-  graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
-                VideoWindow::kPortIn)
-      .ok();
-  graph.StartAll().ok();
+  AVDB_MUST(graph.Add(source));
+  AVDB_MUST(graph.Add(window));
+  AVDB_MUST(graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
+                VideoWindow::kPortIn));
+  AVDB_MUST(graph.StartAll());
   graph.RunUntilIdle();
 
   const StreamStats& stats = window->stats();
@@ -203,7 +203,7 @@ RevocationReport RunRevocation(const std::shared_ptr<EncodedVideoValue>& clip) {
       std::make_shared<BlockDevice>("disk0", DeviceProfile::MagneticDisk());
   MediaStore store(device, nullptr);
   ServiceQueue queue("disk0");
-  store.Put("clip", value_serializer::Serialize(*clip).value()).ok();
+  AVDB_MUST(store.Put("clip", value_serializer::Serialize(*clip).value()));
 
   // A light background fault load keeps the retry path warm; the main event
   // is the deterministic revocation below.
@@ -227,7 +227,7 @@ RevocationReport RunRevocation(const std::shared_ptr<EncodedVideoValue>& clip) {
   source_options.degrade = &degrade;
   auto source = VideoSource::Create("src", ActivityLocation::kDatabase, env,
                                     source_options);
-  source->Bind(clip, VideoSource::kPortOut).ok();
+  AVDB_MUST(source->Bind(clip, VideoSource::kPortOut));
 
   SinkOptions sink_options;
   sink_options.degrade = &degrade;
@@ -235,12 +235,12 @@ RevocationReport RunRevocation(const std::shared_ptr<EncodedVideoValue>& clip) {
       VideoWindow::Create("win", ActivityLocation::kClient, env,
                           VideoQuality(176, 144, 8, Rational(10)),
                           sink_options);
-  source->Catch(VideoSource::kFrameDropped, [&](const ActivityEvent&) {
+  AVDB_MUST(source->Catch(VideoSource::kFrameDropped, [&](const ActivityEvent&) {
     ++report.dropped;
-  }).ok();
-  window->Catch(VideoWindow::kLastFrame, [&](const ActivityEvent&) {
+  }));
+  AVDB_MUST(window->Catch(VideoWindow::kLastFrame, [&](const ActivityEvent&) {
     report.completed = true;
-  }).ok();
+  }));
 
   // Admission: the stream's raw-frame rate on the wire.
   const double frame_bytes = 176.0 * 144.0;  // raw 8-bit frames on the wire
@@ -248,18 +248,16 @@ RevocationReport RunRevocation(const std::shared_ptr<EncodedVideoValue>& clip) {
   report.demand_before = demand;
   report.line_rate_before = channel->LineRate();
   AdmissionController admission;
-  admission.RegisterPool("net.bw", static_cast<double>(channel->LineRate()))
-      .ok();
+  AVDB_MUST(admission.RegisterPool("net.bw", static_cast<double>(channel->LineRate())));
   AdmissionTicket ticket =
       admission.Admit({{"net.bw", demand}}).value();
   channel->ReserveBandwidth(static_cast<int64_t>(demand)).value();
   report.available_floor = channel->AvailableBandwidth();
 
-  graph.Add(source).ok();
-  graph.Add(window).ok();
-  graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
-                VideoWindow::kPortIn, channel)
-      .ok();
+  AVDB_MUST(graph.Add(source));
+  AVDB_MUST(graph.Add(window));
+  AVDB_MUST(graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
+                VideoWindow::kPortIn, channel));
 
   // t = 10 s: the link loses 7/8 of its rate (failover onto a loaded
   // backup). Revoke, surface the oversubscription, readmit at a demand the
@@ -283,7 +281,7 @@ RevocationReport RunRevocation(const std::shared_ptr<EncodedVideoValue>& clip) {
       ticket = std::move(readmit).value();
       report.readmitted = true;
       report.demand_after = reduced;
-      channel->ReserveBandwidth(static_cast<int64_t>(reduced)).ok();
+      AVDB_MUST(channel->ReserveBandwidth(static_cast<int64_t>(reduced)));
     }
     report.oversub_after_readmit = channel->OversubscribedBandwidth();
     if (channel->AvailableBandwidth() < report.available_floor) {
@@ -291,7 +289,7 @@ RevocationReport RunRevocation(const std::shared_ptr<EncodedVideoValue>& clip) {
     }
   });
 
-  graph.StartAll().ok();
+  AVDB_MUST(graph.StartAll());
   graph.RunUntilIdle();
 
   report.presented = window->stats().elements_presented;

@@ -13,6 +13,7 @@
 
 #include "activity/composite.h"
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "db/database.h"
 #include "media/synthetic.h"
@@ -41,30 +42,29 @@ RunReport Run(bool resync_enabled, uint64_t jitter_seed,
   AvDatabaseConfig config;
   config.jitter_seed = jitter_seed;
   AvDatabase db(config);
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
   // In the stressed configuration the video track crosses a T1 that barely
   // carries its 192 KB/s, pre-loaded with a burst, so the track starts
   // behind and stays behind unless resynchronization skips it forward. The
   // clean configuration uses a comfortable Ethernet link.
-  db.AddChannel("video-link", congested_video_link
+  AVDB_MUST(db.AddChannel("video-link", congested_video_link
                                   ? Channel::Profile::T1()
-                                  : Channel::Profile::Ethernet10())
-      .ok();
+                                  : Channel::Profile::Ethernet10()));
   if (congested_video_link) {
     db.GetChannel("video-link").value()->Transfer(0, 150 * 1000);
   }
 
   ClassDef newscast("Newscast");
-  newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
+  AVDB_MUST(newscast.AddAttribute({"title", AttrType::kString, {}, {}}));
   TcompDef clip;
   clip.name = "clip";
   clip.tracks.push_back({"videoTrack", AttrType::kVideo, {}, {}});
   clip.tracks.push_back({"englishTrack", AttrType::kAudio, {}, {}});
   clip.tracks.push_back({"frenchTrack", AttrType::kAudio, {}, {}});
   clip.tracks.push_back({"subtitleTrack", AttrType::kText, {}, {}});
-  newscast.AddTcomp(clip).ok();
-  db.DefineClass(newscast).ok();
+  AVDB_MUST(newscast.AddTcomp(clip));
+  AVDB_MUST(db.DefineClass(newscast));
 
   const auto vtype = MediaDataType::RawVideo(160, 120, 8, Rational(10));
   auto video = synthetic::GenerateVideo(vtype, 60,
@@ -84,20 +84,16 @@ RunReport Run(bool resync_enabled, uint64_t jitter_seed,
           .value();
 
   Oid oid = db.NewObject("Newscast").value();
-  db.SetScalar(oid, "title", std::string("Fig1")).ok();
+  AVDB_MUST(db.SetScalar(oid, "title", std::string("Fig1")));
   // The Fig. 1 shape: video spans the whole clip, other tracks [t1, t2).
-  db.SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0", WorldTime(),
-                   WorldTime::FromSeconds(6))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "englishTrack", *english, "disk1",
-                   WorldTime::FromSeconds(2), WorldTime::FromSeconds(4))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "frenchTrack", *french, "disk1",
-                   WorldTime::FromSeconds(2), WorldTime::FromSeconds(4))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "subtitleTrack", *subtitles, "disk1",
-                   WorldTime::FromSeconds(2), WorldTime::FromSeconds(4))
-      .ok();
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0", WorldTime(),
+                   WorldTime::FromSeconds(6)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "englishTrack", *english, "disk1",
+                   WorldTime::FromSeconds(2), WorldTime::FromSeconds(4)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "frenchTrack", *french, "disk1",
+                   WorldTime::FromSeconds(2), WorldTime::FromSeconds(4)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "subtitleTrack", *subtitles, "disk1",
+                   WorldTime::FromSeconds(2), WorldTime::FromSeconds(4)));
 
   static bool printed_timeline = false;
   if (!printed_timeline) {
@@ -124,11 +120,11 @@ RunReport Run(bool resync_enabled, uint64_t jitter_seed,
                                     db.env(),
                                     VideoQuality(160, 120, 8, Rational(10)));
   auto subs = TextSink::Create("subs", ActivityLocation::kClient, db.env());
-  sink->InstallSynced(audio_en, "englishTrack", /*master=*/true).ok();
-  sink->InstallSynced(audio_fr, "frenchTrack").ok();
-  sink->InstallSynced(window, "videoTrack").ok();
-  sink->InstallSynced(subs, "subtitleTrack").ok();
-  db.graph().Add(sink).ok();
+  AVDB_MUST(sink->InstallSynced(audio_en, "englishTrack", /*master=*/true));
+  AVDB_MUST(sink->InstallSynced(audio_fr, "frenchTrack"));
+  AVDB_MUST(sink->InstallSynced(window, "videoTrack"));
+  AVDB_MUST(sink->InstallSynced(subs, "subtitleTrack"));
+  AVDB_MUST(db.graph().Add(sink));
 
   auto stream = db.NewMultiSourceFor("bench", oid, "clip", sink->sync());
   if (!stream.ok()) {
@@ -140,19 +136,15 @@ RunReport Run(bool resync_enabled, uint64_t jitter_seed,
       .value()
       ->set_data_type(
           source->FindPort("subtitleTrack_out").value()->data_type());
-  db.graph()
+  AVDB_MUST(db.graph()
       .Connect(source->FindPort("videoTrack_out").value()->owner(),
                "video_out", sink.get(), "videoTrack_in",
-               db.GetChannel("video-link").value())
-      .ok();
-  db.NewConnection(source, "englishTrack_out", sink.get(), "englishTrack_in")
-      .ok();
-  db.NewConnection(source, "frenchTrack_out", sink.get(), "frenchTrack_in")
-      .ok();
-  db.NewConnection(source, "subtitleTrack_out", sink.get(),
-                   "subtitleTrack_in")
-      .ok();
-  db.StartStream(stream.value()).ok();
+               db.GetChannel("video-link").value()));
+  AVDB_MUST(db.NewConnection(source, "englishTrack_out", sink.get(), "englishTrack_in"));
+  AVDB_MUST(db.NewConnection(source, "frenchTrack_out", sink.get(), "frenchTrack_in"));
+  AVDB_MUST(db.NewConnection(source, "subtitleTrack_out", sink.get(),
+                   "subtitleTrack_in"));
+  AVDB_MUST(db.StartStream(stream.value()));
   db.RunUntilIdle();
 
   RunReport report;
@@ -177,7 +169,7 @@ RunReport Run(bool resync_enabled, uint64_t jitter_seed,
   add_track("englishTrack", audio_en->stats(), preroll_s + 2.0);
   add_track("frenchTrack", audio_fr->stats(), preroll_s + 2.0);
   add_track("subtitleTrack", subs->stats(), preroll_s + 2.0);
-  db.StopStream(stream.value()).ok();
+  AVDB_MUST(db.StopStream(stream.value()));
   return report;
 }
 

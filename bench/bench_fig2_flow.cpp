@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "base/logging.h"
+
 #include "activity/composite.h"
 #include "activity/graph.h"
 #include "activity/sinks.h"
@@ -62,27 +64,25 @@ FlowReport RunFlat(bool print_topology) {
 
   auto reader = VideoSource::Create("read", ActivityLocation::kDatabase, env,
                                     {}, /*emit_encoded=*/true);
-  reader->Bind(clip, VideoSource::kPortOut).ok();
+  AVDB_MUST(reader->Bind(clip, VideoSource::kPortOut));
   auto decoder =
       VideoDecoderActivity::Create("decode", ActivityLocation::kDatabase, env);
-  decoder->Bind(clip, VideoDecoderActivity::kPortIn).ok();
+  AVDB_MUST(decoder->Bind(clip, VideoDecoderActivity::kPortIn));
   auto display =
       VideoWindow::Create("display", ActivityLocation::kClient, env,
                           VideoQuality(176, 144, 8, Rational(10)));
-  graph.Add(reader).ok();
-  graph.Add(decoder).ok();
-  graph.Add(display).ok();
-  graph.Connect(reader.get(), VideoSource::kPortOut, decoder.get(),
-                VideoDecoderActivity::kPortIn)
-      .ok();
-  graph.Connect(decoder.get(), VideoDecoderActivity::kPortOut, display.get(),
-                VideoWindow::kPortIn)
-      .ok();
+  AVDB_MUST(graph.Add(reader));
+  AVDB_MUST(graph.Add(decoder));
+  AVDB_MUST(graph.Add(display));
+  AVDB_MUST(graph.Connect(reader.get(), VideoSource::kPortOut, decoder.get(),
+                     VideoDecoderActivity::kPortIn));
+  AVDB_MUST(graph.Connect(decoder.get(), VideoDecoderActivity::kPortOut,
+                     display.get(), VideoWindow::kPortIn));
   if (print_topology) {
     std::cout << "Fig. 2 top — simple activities in a chain:\n"
               << graph.Describe() << "\n";
   }
-  graph.StartAll().ok();
+  AVDB_MUST(graph.StartAll());
   graph.RunUntilIdle();
 
   FlowReport report;
@@ -105,29 +105,28 @@ FlowReport RunComposite(bool print_topology) {
       CompositeActivity::Create("source", ActivityLocation::kDatabase, env);
   auto reader = VideoSource::Create("read", ActivityLocation::kDatabase, env,
                                     {}, /*emit_encoded=*/true);
-  reader->Bind(clip, VideoSource::kPortOut).ok();
+  AVDB_MUST(reader->Bind(clip, VideoSource::kPortOut));
   auto decoder =
       VideoDecoderActivity::Create("decode", ActivityLocation::kDatabase, env);
-  decoder->Bind(clip, VideoDecoderActivity::kPortIn).ok();
-  source->Install(reader).ok();
-  source->Install(decoder).ok();
-  source->ConnectChildren("read", VideoSource::kPortOut, "decode",
-                          VideoDecoderActivity::kPortIn)
-      .ok();
-  source->ExposePort("decode", VideoDecoderActivity::kPortOut, "out").ok();
+  AVDB_MUST(decoder->Bind(clip, VideoDecoderActivity::kPortIn));
+  AVDB_MUST(source->Install(reader));
+  AVDB_MUST(source->Install(decoder));
+  AVDB_MUST(source->ConnectChildren("read", VideoSource::kPortOut, "decode",
+                               VideoDecoderActivity::kPortIn));
+  AVDB_MUST(source->ExposePort("decode", VideoDecoderActivity::kPortOut, "out"));
 
   auto display =
       VideoWindow::Create("display", ActivityLocation::kClient, env,
                           VideoQuality(176, 144, 8, Rational(10)));
-  graph.Add(source).ok();
-  graph.Add(display).ok();
-  graph.Connect(source.get(), "out", display.get(), VideoWindow::kPortIn)
-      .ok();
+  AVDB_MUST(graph.Add(source));
+  AVDB_MUST(graph.Add(display));
+  AVDB_MUST(graph.Connect(source.get(), "out", display.get(),
+                     VideoWindow::kPortIn));
   if (print_topology) {
     std::cout << "Fig. 2 bottom — read and decode grouped in a composite:\n"
               << graph.Describe() << "\n";
   }
-  graph.StartAll().ok();
+  AVDB_MUST(graph.StartAll());
   graph.RunUntilIdle();
 
   FlowReport report;

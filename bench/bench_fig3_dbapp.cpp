@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "codec/registry.h"
 #include "db/database.h"
@@ -31,15 +32,15 @@ int main() {
                "==============================================================\n\n";
 
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
-  db.AddChannel("net", Channel::Profile::Ethernet10()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddChannel("net", Channel::Profile::Ethernet10()));
 
   ClassDef newscast("SimpleNewscast");
-  newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
-  newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok();
-  newscast.AddAttribute({"videoTrack", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(newscast).ok();
+  AVDB_MUST(newscast.AddAttribute({"title", AttrType::kString, {}, {}}));
+  AVDB_MUST(newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}));
+  AVDB_MUST(newscast.AddAttribute({"videoTrack", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(newscast));
 
   // Populate a catalog; one entry carries real (encoded) footage.
   const auto vtype = MediaDataType::RawVideo(176, 144, 8, Rational(10));
@@ -57,17 +58,14 @@ int main() {
   Oid target;
   for (int i = 0; i < kCatalogSize; ++i) {
     Oid oid = db.NewObject("SimpleNewscast").value();
-    db.SetScalar(oid, "title",
+    AVDB_MUST(db.SetScalar(oid, "title",
                  std::string(i == 137 ? "60 Minutes"
-                                      : "Broadcast #" + std::to_string(i)))
-        .ok();
-    db.SetScalar(oid, "whenBroadcast",
-                 std::string("1992-11-" + std::to_string(1 + i % 28)))
-        .ok();
+                                      : "Broadcast #" + std::to_string(i))));
+    AVDB_MUST(db.SetScalar(oid, "whenBroadcast",
+                 std::string("1992-11-" + std::to_string(1 + i % 28))));
     if (i == 137) {
-      db.SetMediaAttribute(oid, "videoTrack", *footage,
-                           i % 2 == 0 ? "disk0" : "disk1")
-          .ok();
+      AVDB_MUST(db.SetMediaAttribute(oid, "videoTrack", *footage,
+                           i % 2 == 0 ? "disk0" : "disk1"));
       target = oid;
     }
   }
@@ -91,15 +89,14 @@ int main() {
   auto window = VideoWindow::Create("appSink", ActivityLocation::kClient,
                                     db.env(),
                                     VideoQuality(176, 144, 8, Rational(10)));
-  db.graph().Add(window).ok();
-  db.NewConnection(stream.value().source, VideoSource::kPortOut, window.get(),
-                   VideoWindow::kPortIn, "net")
-      .ok();
+  AVDB_MUST(db.graph().Add(window));
+  AVDB_MUST(db.NewConnection(stream.value().source, VideoSource::kPortOut, window.get(),
+                   VideoWindow::kPortIn, "net"));
 
   // The client interleaves its own work with the running stream: issue
   // three more queries *while* the transfer proceeds, proving the
   // asynchronous, stream-based interface (§3.3).
-  db.StartStream(stream.value()).ok();
+  AVDB_MUST(db.StartStream(stream.value()));
   int64_t interleaved_queries = 0;
   for (int tick = 1; tick <= 4; ++tick) {
     db.RunUntil(WorldTime::FromMillis(tick * 1000));
@@ -147,6 +144,6 @@ int main() {
               static_cast<long long>(channel->AvailableBandwidth()),
               static_cast<long long>(
                   channel->profile().bandwidth_bytes_per_sec));
-  db.StopStream(stream.value()).ok();
+  AVDB_MUST(db.StopStream(stream.value()));
   return stats.elements_presented == 50 ? 0 : 1;
 }

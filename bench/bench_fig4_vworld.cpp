@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "db/database.h"
 #include "media/synthetic.h"
 #include "vworld/activities.h"
@@ -27,19 +28,19 @@ struct CellResult {
 CellResult RunPlacement(bool render_at_db, double client_speed_factor,
                         Channel::Profile net_profile) {
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddChannel("net", net_profile).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddChannel("net", net_profile));
 
   ClassDef world_class("WorldAsset");
-  world_class.AddAttribute({"wallVideo", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(world_class).ok();
+  AVDB_MUST(world_class.AddAttribute({"wallVideo", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(world_class));
 
   const auto vtype = MediaDataType::RawVideo(64, 64, 8, Rational(10));
   auto wall = synthetic::GenerateVideo(vtype, 40,
                                        synthetic::VideoPattern::kMovingBox)
                   .value();
   Oid oid = db.NewObject("WorldAsset").value();
-  db.SetMediaAttribute(oid, "wallVideo", *wall, "disk0").ok();
+  AVDB_MUST(db.SetMediaAttribute(oid, "wallVideo", *wall, "disk0"));
 
   static Scene scene = Scene::MuseumRoom();
   Raycaster::Options ropts;
@@ -70,37 +71,31 @@ CellResult RunPlacement(bool render_at_db, double client_speed_factor,
       VideoWindow::Create("display", ActivityLocation::kClient, db.env(),
                           VideoQuality(ropts.width, ropts.height, 8,
                                        Rational(10)));
-  db.graph().Add(move).ok();
-  db.graph().Add(render).ok();
-  db.graph().Add(display).ok();
+  AVDB_MUST(db.graph().Add(move));
+  AVDB_MUST(db.graph().Add(render));
+  AVDB_MUST(db.graph().Add(display));
 
   if (render_at_db) {
-    db.NewConnection(stream.source, VideoSource::kPortOut, render.get(),
-                     RenderActivity::kPortVideo)
-        .ok();
-    db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
-                     RenderActivity::kPortPose)
-        .ok();
+    AVDB_MUST(db.NewConnection(stream.source, VideoSource::kPortOut, render.get(),
+                     RenderActivity::kPortVideo));
+    AVDB_MUST(db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
+                     RenderActivity::kPortPose));
     // Rendered rasters cross the network. NOTE: no admission reservation —
     // we want to observe saturation, not be refused.
-    db.graph()
+    AVDB_MUST(db.graph()
         .Connect(render.get(), RenderActivity::kPortOut, display.get(),
-                 VideoWindow::kPortIn, db.GetChannel("net").value())
-        .ok();
+                 VideoWindow::kPortIn, db.GetChannel("net").value()));
   } else {
-    db.graph()
+    AVDB_MUST(db.graph()
         .Connect(stream.source, VideoSource::kPortOut, render.get(),
-                 RenderActivity::kPortVideo, db.GetChannel("net").value())
-        .ok();
-    db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
-                     RenderActivity::kPortPose)
-        .ok();
-    db.NewConnection(render.get(), RenderActivity::kPortOut, display.get(),
-                     VideoWindow::kPortIn)
-        .ok();
+                 RenderActivity::kPortVideo, db.GetChannel("net").value()));
+    AVDB_MUST(db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
+                     RenderActivity::kPortPose));
+    AVDB_MUST(db.NewConnection(render.get(), RenderActivity::kPortOut, display.get(),
+                     VideoWindow::kPortIn));
   }
-  db.StartStream(stream).ok();
-  move->Start().ok();
+  AVDB_MUST(db.StartStream(stream));
+  AVDB_MUST(move->Start());
   db.RunUntilIdle();
 
   CellResult result;

@@ -19,6 +19,7 @@
 
 #include "activity/sinks.h"
 #include "activity/transformers.h"
+#include "base/logging.h"
 #include "db/database.h"
 #include "media/synthetic.h"
 
@@ -41,12 +42,12 @@ struct MixReport {
 
 MixReport Run(bool two_devices, bool copy_first) {
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
 
   ClassDef clip_class("Clip");
-  clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(clip_class).ok();
+  AVDB_MUST(clip_class.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(clip_class));
 
   auto value_a = synthetic::GenerateVideo(
                      kType, kFrames, synthetic::VideoPattern::kMovingBox, 1)
@@ -57,10 +58,9 @@ MixReport Run(bool two_devices, bool copy_first) {
                      .value();
   Oid oid_a = db.NewObject("Clip").value();
   Oid oid_b = db.NewObject("Clip").value();
-  db.SetMediaAttribute(oid_a, "footage", *value_a, "disk0").ok();
-  db.SetMediaAttribute(oid_b, "footage", *value_b,
-                       two_devices ? "disk1" : "disk0")
-      .ok();
+  AVDB_MUST(db.SetMediaAttribute(oid_a, "footage", *value_a, "disk0"));
+  AVDB_MUST(db.SetMediaAttribute(oid_b, "footage", *value_b,
+                       two_devices ? "disk1" : "disk0"));
 
   MixReport report;
   if (copy_first) {
@@ -87,8 +87,8 @@ MixReport Run(bool two_devices, bool copy_first) {
     options.device_queue = db.DeviceQueue(version.device).value();
     auto source = VideoSource::Create(name, ActivityLocation::kDatabase,
                                       db.env(), options);
-    source->Bind(value, VideoSource::kPortOut).ok();
-    db.graph().Add(source).ok();
+    AVDB_MUST(source->Bind(value, VideoSource::kPortOut));
+    AVDB_MUST(db.graph().Add(source));
     StreamHandle handle;
     handle.source = source.get();
     return handle;
@@ -100,26 +100,23 @@ MixReport Run(bool two_devices, bool copy_first) {
   auto window = VideoWindow::Create("monitor", ActivityLocation::kClient,
                                     db.env(),
                                     VideoQuality(320, 240, 8, Rational(15)));
-  db.graph().Add(mixer).ok();
-  db.graph().Add(window).ok();
-  db.NewConnection(stream_a.source, VideoSource::kPortOut, mixer.get(),
-                   VideoMixer::kPortInA)
-      .ok();
-  db.NewConnection(stream_b.source, VideoSource::kPortOut, mixer.get(),
-                   VideoMixer::kPortInB)
-      .ok();
-  db.NewConnection(mixer.get(), VideoMixer::kPortOut, window.get(),
-                   VideoWindow::kPortIn)
-      .ok();
+  AVDB_MUST(db.graph().Add(mixer));
+  AVDB_MUST(db.graph().Add(window));
+  AVDB_MUST(db.NewConnection(stream_a.source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInA));
+  AVDB_MUST(db.NewConnection(stream_b.source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInB));
+  AVDB_MUST(db.NewConnection(mixer.get(), VideoMixer::kPortOut, window.get(),
+                   VideoWindow::kPortIn));
   // Start sinks/transformers first, then the (hand-built) sources.
   for (const auto& a : db.graph().activities()) {
     if (a->state() == MediaActivity::State::kIdle &&
         a->Kind() != ActivityKind::kSource) {
-      a->Start().ok();
+      AVDB_MUST(a->Start());
     }
   }
-  stream_a.source->Start().ok();
-  stream_b.source->Start().ok();
+  AVDB_MUST(stream_a.source->Start());
+  AVDB_MUST(stream_b.source->Start());
   db.RunUntilIdle();
 
   report.fps = window->stats().AchievedRate();

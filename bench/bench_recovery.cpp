@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/logging.h"
 #include "base/rng.h"
 #include "storage/block_device.h"
 #include "storage/buffer_cache.h"
@@ -64,10 +65,14 @@ RecoveryPoint MeasureRecovery(int ops) {
     // Put-heavy churn: every third op deletes the previous blob, so the
     // journal carries a mix of put and delete records.
     for (int i = 0; i < ops; ++i) {
+      // A failed op here would silently shrink the journal the benchmark
+      // claims to measure — abort loudly instead.
       if (i % 3 == 2) {
-        store.Delete("b" + std::to_string(i - 1)).ok();
+        AVDB_CHECK(store.Delete("b" + std::to_string(i - 1)).ok());
       } else {
-        store.Put("b" + std::to_string(i), RandomBlob(&rng, 16 * 1024)).ok();
+        AVDB_CHECK(
+            store.Put("b" + std::to_string(i), RandomBlob(&rng, 16 * 1024))
+                .ok());
       }
     }
   }

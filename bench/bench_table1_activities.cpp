@@ -14,6 +14,7 @@
 #include "activity/sinks.h"
 #include "activity/sources.h"
 #include "activity/transformers.h"
+#include "base/logging.h"
 #include "codec/registry.h"
 #include "media/synthetic.h"
 #include "storage/media_store.h"
@@ -77,7 +78,7 @@ int main() {
   auto device =
       std::make_shared<BlockDevice>("disk", DeviceProfile::MagneticDisk());
   MediaStore store(device, nullptr);
-  store.Put("clip", encoded_stream.Serialize()).ok();
+  AVDB_MUST(store.Put("clip", encoded_stream.Serialize()));
 
   // --- Instantiate every row of Table 1 -------------------------------------
   auto digitizer = VideoDigitizer::Create("digitizer",
@@ -90,13 +91,13 @@ int main() {
   auto reader = VideoSource::Create("reader", ActivityLocation::kDatabase,
                                     env, reader_options,
                                     /*emit_encoded=*/true);
-  reader->Bind(encoded, VideoSource::kPortOut).ok();
+  AVDB_MUST(reader->Bind(encoded, VideoSource::kPortOut));
   auto encoder = VideoEncoderActivity::Create(
       "encoder", ActivityLocation::kDatabase, env, kQcif, 75);
   auto decoder =
       VideoDecoderActivity::Create("decoder", ActivityLocation::kDatabase,
                                    env);
-  decoder->Bind(encoded, VideoDecoderActivity::kPortIn).ok();
+  AVDB_MUST(decoder->Bind(encoded, VideoDecoderActivity::kPortIn));
   auto mixer = VideoMixer::Create("mixer", ActivityLocation::kDatabase, env,
                                   kQcif, 0.5);
   auto tee = VideoTee::Create("tee", ActivityLocation::kDatabase, env, kQcif,
@@ -118,14 +119,14 @@ int main() {
     const auto& ef =
         encoded_stream.frames[static_cast<size_t>(i) %
                               encoded_stream.frames.size()];
-    store.ReadRange("clip", 0, ef.SizeBytes()).ok();
+    AVDB_MUST(store.ReadRange("clip", 0, ef.SizeBytes()));
   });
   const double fps_encode = MeasureFps(40, [&](int) {
     IntraCodec::EncodeFrame(frame, 75);
   });
   auto session = intra->NewDecoder(encoded_stream).value();
   const double fps_decode = MeasureFps(60, [&](int i) {
-    session->DecodeFrame(i % 30).ok();
+    AVDB_MUST(session->DecodeFrame(i % 30));
   });
   const double fps_mix = MeasureFps(100, [&](int) {
     VideoFrame out(176, 144, 8);

@@ -13,6 +13,7 @@
 
 #include "activity/sinks.h"
 #include "activity/sources.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "codec/scalable_codec.h"
 #include "db/database.h"
@@ -24,13 +25,13 @@ int main() {
   std::cout << "=== avdb: archive maintenance (versions, quality, backup) ===\n\n";
 
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
 
   ClassDef asset("VideoAsset");
-  asset.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
-  asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(asset).ok();
+  AVDB_MUST(asset.AddAttribute({"title", AttrType::kString, {}, {}}));
+  AVDB_MUST(asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(asset));
 
   // --- 1: ingest as a scalable representation --------------------------------
   const auto type = MediaDataType::RawVideo(320, 240, 8, Rational(10));
@@ -45,8 +46,8 @@ int main() {
                                           codec.Encode(*raw, params).value())
                     .value();
   Oid oid = db.NewObject("VideoAsset").value();
-  db.SetScalar(oid, "title", std::string("Phoenix promo")).ok();
-  db.SetMediaAttribute(oid, "footage", *stored, "disk0").ok();
+  AVDB_MUST(db.SetScalar(oid, "title", std::string("Phoenix promo")));
+  AVDB_MUST(db.SetMediaAttribute(oid, "footage", *stored, "disk0"));
   std::cout << "ingested " << stored->Describe() << "\n\n";
 
   // --- 2: one stored value, two quality factors -------------------------------
@@ -68,11 +69,10 @@ int main() {
     view.window = VideoWindow::Create(
         std::string("win-") + view.quality, ActivityLocation::kClient,
         db.env(), VideoQuality(320, 240, 8, Rational(10)));
-    db.graph().Add(view.window).ok();
-    db.NewConnection(view.stream.source, VideoSource::kPortOut,
-                     view.window.get(), VideoWindow::kPortIn)
-        .ok();
-    db.StartStream(view.stream).ok();
+    AVDB_MUST(db.graph().Add(view.window));
+    AVDB_MUST(db.NewConnection(view.stream.source, VideoSource::kPortOut,
+                     view.window.get(), VideoWindow::kPortIn));
+    AVDB_MUST(db.StartStream(view.stream));
   }
   db.RunUntilIdle();
   for (auto& view : views) {
@@ -83,7 +83,7 @@ int main() {
               << FormatBytes(static_cast<uint64_t>(
                      source->bound_value()->StoredBytes()))
               << " (" << source->bound_value()->Describe() << ")\n";
-    db.StopStream(view.stream).ok();
+    AVDB_MUST(db.StopStream(view.stream));
   }
 
   // --- 3: re-record from a live feed -> version 2 ------------------------------
@@ -95,15 +95,14 @@ int main() {
                                        type,
                                        synthetic::VideoPattern::kCheckerboard,
                                        24);
-  db.graph().Add(camera).ok();
-  db.graph()
+  AVDB_MUST(db.graph().Add(camera));
+  AVDB_MUST(db.graph()
       .Connect(camera.get(), VideoDigitizer::kPortOut, recorder.get(),
-               VideoWriter::kPortIn)
-      .ok();
-  recorder->Start().ok();
-  camera->Start().ok();
+               VideoWriter::kPortIn));
+  AVDB_MUST(recorder->Start());
+  AVDB_MUST(camera->Start());
   db.RunUntilIdle();
-  db.CloseSession("studio").ok();
+  AVDB_MUST(db.CloseSession("studio"));
   // Keep the Result alive for the loop (value() on a temporary dangles).
   const auto versions = db.MediaHistory(oid, "footage").value();
   for (const MediaVersion& v : versions) {
@@ -123,8 +122,8 @@ int main() {
             << "\n";
 
   AvDatabase rebuilt;
-  rebuilt.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  rebuilt.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
+  AVDB_MUST(rebuilt.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(rebuilt.AddDevice("disk1", DeviceProfile::MagneticDisk()));
   if (!rebuilt.RestoreBackup(image.value()).ok()) {
     std::cerr << "restore failed\n";
     return 1;

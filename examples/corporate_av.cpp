@@ -13,8 +13,9 @@
 
 #include "activity/sinks.h"
 #include "activity/transformers.h"
-#include "codec/registry.h"
+#include "base/logging.h"
 #include "base/strings.h"
+#include "codec/registry.h"
 #include "db/database.h"
 #include "db/similarity.h"
 #include "hyper/hypermedia.h"
@@ -51,18 +52,18 @@ int main() {
   std::cout << "=== avdb: Scenario I — the corporate AV database ===\n\n";
 
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
-  db.AddChannel("lan", Channel::Profile::Ethernet10()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddChannel("lan", Channel::Profile::Ethernet10()));
 
   // --- Schema -----------------------------------------------------------------
   ClassDef video_asset("VideoAsset");
-  video_asset.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
-  video_asset.AddAttribute({"category", AttrType::kString, {}, {}}).ok();
-  video_asset.AddAttribute({"project", AttrType::kString, {}, {}}).ok();
-  video_asset.AddAttribute({"recorded", AttrType::kDate, {}, {}}).ok();
-  video_asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(video_asset).ok();
+  AVDB_MUST(video_asset.AddAttribute({"title", AttrType::kString, {}, {}}));
+  AVDB_MUST(video_asset.AddAttribute({"category", AttrType::kString, {}, {}}));
+  AVDB_MUST(video_asset.AddAttribute({"project", AttrType::kString, {}, {}}));
+  AVDB_MUST(video_asset.AddAttribute({"recorded", AttrType::kDate, {}, {}}));
+  AVDB_MUST(video_asset.AddAttribute({"footage", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(video_asset));
 
   // --- Populate the archive ------------------------------------------------------
   const auto cif = MediaDataType::RawVideo(176, 144, 8, Rational(10));
@@ -91,10 +92,10 @@ int main() {
   uint64_t seed = 1;
   for (const Asset& a : assets) {
     Oid oid = db.NewObject("VideoAsset").value();
-    db.SetScalar(oid, "title", std::string(a.title)).ok();
-    db.SetScalar(oid, "category", std::string(a.category)).ok();
-    db.SetScalar(oid, "project", std::string(a.project)).ok();
-    db.SetScalar(oid, "recorded", std::string(a.recorded)).ok();
+    AVDB_MUST(db.SetScalar(oid, "title", std::string(a.title)));
+    AVDB_MUST(db.SetScalar(oid, "category", std::string(a.category)));
+    AVDB_MUST(db.SetScalar(oid, "project", std::string(a.project)));
+    AVDB_MUST(db.SetScalar(oid, "recorded", std::string(a.recorded)));
     const Status status =
         Ingest(db, oid, "footage", cif, 30, a.pattern, a.family, a.device,
                seed++);
@@ -117,7 +118,7 @@ int main() {
       "Project Phoenix overview. Watch the [launch] video or the full "
       "[design-review].";
   overview.anchors = {"launch", "design-review"};
-  hypermedia.AddDocument(overview).ok();
+  AVDB_MUST(hypermedia.AddDocument(overview));
 
   Link launch_link;
   launch_link.from_document = "phoenix-overview";
@@ -126,7 +127,7 @@ int main() {
   launch_link.target.oid = oids[0];
   launch_link.target.attr_path = "footage";
   launch_link.target.cue = WorldTime::FromSeconds(1);
-  hypermedia.AddLink(launch_link).ok();
+  AVDB_MUST(hypermedia.AddLink(launch_link));
 
   Link review_link;
   review_link.from_document = "phoenix-overview";
@@ -135,7 +136,7 @@ int main() {
   review_link.target.oid = oids[1];
   review_link.target.attr_path = "footage";
   review_link.target.cue = WorldTime();
-  hypermedia.AddLink(review_link).ok();
+  AVDB_MUST(hypermedia.AddLink(review_link));
 
   // --- Query the archive -------------------------------------------------------
   auto phoenix = db.Select("VideoAsset", "project = 'Phoenix'");
@@ -154,29 +155,28 @@ int main() {
     std::cerr << "playback failed: " << stream.status() << "\n";
     return 1;
   }
-  stream.value().source->Cue(target.cue).ok();
+  AVDB_MUST(stream.value().source->Cue(target.cue));
   auto window =
       VideoWindow::Create("browserWindow", ActivityLocation::kClient, db.env(),
                           VideoQuality(176, 144, 8, Rational(10)));
-  db.graph().Add(window).ok();
-  db.NewConnection(stream.value().source, VideoSource::kPortOut, window.get(),
-                   VideoWindow::kPortIn, "lan")
-      .ok();
-  db.StartStream(stream.value()).ok();
+  AVDB_MUST(db.graph().Add(window));
+  AVDB_MUST(db.NewConnection(stream.value().source, VideoSource::kPortOut, window.get(),
+                   VideoWindow::kPortIn, "lan"));
+  AVDB_MUST(db.StartStream(stream.value()));
   db.RunUntilIdle();
   std::cout << "cued playback presented "
             << window->stats().elements_presented
             << " frames (cue skipped the first second)\n";
-  db.StopStream(stream.value()).ok();
+  AVDB_MUST(db.StopStream(stream.value()));
 
   // --- Non-linear editing: dissolve launch video into the demo reel ------------
   std::cout << "\nediting: dissolve \"Phoenix launch\" with \"Griffin demo\" "
                "(VideoMixer)\n";
   // The editor takes an exclusive lock on the asset being produced.
   Oid edited = db.NewObject("VideoAsset").value();
-  db.SetScalar(edited, "title", std::string("Phoenix/Griffin montage")).ok();
-  db.SetScalar(edited, "category", std::string("promo")).ok();
-  db.locks().Acquire(edited, LockMode::kExclusive, "editor").ok();
+  AVDB_MUST(db.SetScalar(edited, "title", std::string("Phoenix/Griffin montage")));
+  AVDB_MUST(db.SetScalar(edited, "category", std::string("promo")));
+  AVDB_MUST(db.locks().Acquire(edited, LockMode::kExclusive, "editor"));
 
   auto src_a = db.NewSourceFor("editor", oids[0], "footage");
   auto src_b = db.NewSourceFor("editor", oids[2], "footage");
@@ -188,19 +188,16 @@ int main() {
                                   db.env(), cif, 0.5);
   auto recorder = VideoWriter::Create("record", ActivityLocation::kDatabase,
                                       db.env(), cif);
-  db.graph().Add(mixer).ok();
-  db.graph().Add(recorder).ok();
-  db.NewConnection(src_a.value().source, VideoSource::kPortOut, mixer.get(),
-                   VideoMixer::kPortInA)
-      .ok();
-  db.NewConnection(src_b.value().source, VideoSource::kPortOut, mixer.get(),
-                   VideoMixer::kPortInB)
-      .ok();
-  db.NewConnection(mixer.get(), VideoMixer::kPortOut, recorder.get(),
-                   VideoWriter::kPortIn)
-      .ok();
-  db.StartStream(src_a.value()).ok();
-  db.StartStream(src_b.value()).ok();
+  AVDB_MUST(db.graph().Add(mixer));
+  AVDB_MUST(db.graph().Add(recorder));
+  AVDB_MUST(db.NewConnection(src_a.value().source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInA));
+  AVDB_MUST(db.NewConnection(src_b.value().source, VideoSource::kPortOut, mixer.get(),
+                   VideoMixer::kPortInB));
+  AVDB_MUST(db.NewConnection(mixer.get(), VideoMixer::kPortOut, recorder.get(),
+                   VideoWriter::kPortIn));
+  AVDB_MUST(db.StartStream(src_a.value()));
+  AVDB_MUST(db.StartStream(src_b.value()));
   db.RunUntilIdle();
   std::cout << "mixer produced " << recorder->frames_written() << " frames\n";
 
@@ -211,7 +208,7 @@ int main() {
     return 1;
   }
   db.locks().Release(edited, "editor");
-  db.CloseSession("editor").ok();
+  AVDB_MUST(db.CloseSession("editor"));
   std::cout << "montage stored as " << edited << " on "
             << db.WhereIsAttribute(edited, "footage").value() << "\n";
 

@@ -18,6 +18,7 @@
 
 #include "activity/composite.h"
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "db/database.h"
 #include "media/synthetic.h"
@@ -28,22 +29,22 @@ int main() {
   std::cout << "=== avdb: synchronized temporal-composite playback ===\n\n";
 
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
-  db.AddChannel("video-link", Channel::Profile::T1()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddChannel("video-link", Channel::Profile::T1()));
 
   // --- The Newscast class with its tcomp (§4.1) ----------------------------
   ClassDef newscast("Newscast");
-  newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
-  newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok();
+  AVDB_MUST(newscast.AddAttribute({"title", AttrType::kString, {}, {}}));
+  AVDB_MUST(newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}));
   TcompDef clip;
   clip.name = "clip";
   clip.tracks.push_back({"videoTrack", AttrType::kVideo, {}, {}});
   clip.tracks.push_back({"englishTrack", AttrType::kAudio, {}, {}});
   clip.tracks.push_back({"frenchTrack", AttrType::kAudio, {}, {}});
   clip.tracks.push_back({"subtitleTrack", AttrType::kText, {}, {}});
-  newscast.AddTcomp(clip).ok();
-  db.DefineClass(newscast).ok();
+  AVDB_MUST(newscast.AddTcomp(clip));
+  AVDB_MUST(db.DefineClass(newscast));
 
   // --- Content: 4 s clip; audio/subtitles start 1 s in (Fig. 1) -----------
   const auto vtype = MediaDataType::RawVideo(160, 120, 8, Rational(10));
@@ -63,20 +64,16 @@ int main() {
                        .value();
 
   Oid oid = db.NewObject("Newscast").value();
-  db.SetScalar(oid, "title", std::string("60 Minutes")).ok();
-  db.SetScalar(oid, "whenBroadcast", std::string("1992-11-22")).ok();
-  db.SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0", WorldTime(),
-                   WorldTime::FromSeconds(4))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "englishTrack", *english, "disk1",
-                   WorldTime::FromSeconds(1), WorldTime::FromSeconds(3))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "frenchTrack", *french, "disk1",
-                   WorldTime::FromSeconds(1), WorldTime::FromSeconds(3))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "subtitleTrack", *subtitles, "disk1",
-                   WorldTime::FromSeconds(1), WorldTime::FromSeconds(3))
-      .ok();
+  AVDB_MUST(db.SetScalar(oid, "title", std::string("60 Minutes")));
+  AVDB_MUST(db.SetScalar(oid, "whenBroadcast", std::string("1992-11-22")));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0", WorldTime(),
+                   WorldTime::FromSeconds(4)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "englishTrack", *english, "disk1",
+                   WorldTime::FromSeconds(1), WorldTime::FromSeconds(3)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "frenchTrack", *french, "disk1",
+                   WorldTime::FromSeconds(1), WorldTime::FromSeconds(3)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "subtitleTrack", *subtitles, "disk1",
+                   WorldTime::FromSeconds(1), WorldTime::FromSeconds(3)));
 
   std::cout << "timeline of Newscast.clip (Fig. 1):\n"
             << db.GetTcomp(oid, "clip").value()->timeline.Render(50) << "\n";
@@ -90,10 +87,10 @@ int main() {
                           VideoQuality(160, 120, 8, Rational(10)));
   auto subs_out =
       TextSink::Create("subsOut", ActivityLocation::kClient, db.env());
-  sink->InstallSynced(audio_out, "englishTrack", /*master=*/true).ok();
-  sink->InstallSynced(video_out, "videoTrack").ok();
-  sink->InstallSynced(subs_out, "subtitleTrack").ok();
-  db.graph().Add(sink).ok();
+  AVDB_MUST(sink->InstallSynced(audio_out, "englishTrack", /*master=*/true));
+  AVDB_MUST(sink->InstallSynced(video_out, "videoTrack"));
+  AVDB_MUST(sink->InstallSynced(subs_out, "subtitleTrack"));
+  AVDB_MUST(db.graph().Add(sink));
 
   // --- Database-side MultiSource bound to the whole clip -------------------
   auto query = db.Select("Newscast", "title = \"60 Minutes\"");
@@ -114,17 +111,14 @@ int main() {
   // Pre-load the video link so the video track starts behind: the sync
   // domain must pull it back.
   db.GetChannel("video-link").value()->Transfer(0, 150 * 1000);
-  db.NewConnection(source, "videoTrack_out", sink.get(), "videoTrack_in",
-                   "video-link")
-      .ok();
-  db.NewConnection(source, "englishTrack_out", sink.get(), "englishTrack_in")
-      .ok();
-  db.NewConnection(source, "subtitleTrack_out", sink.get(),
-                   "subtitleTrack_in")
-      .ok();
+  AVDB_MUST(db.NewConnection(source, "videoTrack_out", sink.get(), "videoTrack_in",
+                   "video-link"));
+  AVDB_MUST(db.NewConnection(source, "englishTrack_out", sink.get(), "englishTrack_in"));
+  AVDB_MUST(db.NewConnection(source, "subtitleTrack_out", sink.get(),
+                   "subtitleTrack_in"));
 
   // --- Play ------------------------------------------------------------------
-  db.StartStream(stream.value()).ok();
+  AVDB_MUST(db.StartStream(stream.value()));
   db.RunUntilIdle();
 
   const SyncController::Stats& sync = sink->sync()->stats();
@@ -139,7 +133,7 @@ int main() {
   std::cout << "resynchronizations: " << sync.resyncs
             << ", max observed skew: "
             << FormatDouble(sync.max_observed_skew_ns / 1e6, 1) << " ms\n";
-  db.StopStream(stream.value()).ok();
+  AVDB_MUST(db.StopStream(stream.value()));
   std::cout << "\nDone.\n";
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "codec/registry.h"
 #include "db/database.h"
@@ -33,14 +34,13 @@ int main() {
 
   // --- Schema: the §4.1 SimpleNewscast class ------------------------------
   ClassDef simple_newscast("SimpleNewscast");
-  simple_newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
-  simple_newscast.AddAttribute({"broadcastSource", AttrType::kString, {}, {}})
-      .ok();
-  simple_newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok();
+  AVDB_MUST(simple_newscast.AddAttribute({"title", AttrType::kString, {}, {}}));
+  AVDB_MUST(simple_newscast.AddAttribute({"broadcastSource", AttrType::kString, {}, {}}));
+  AVDB_MUST(simple_newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}));
   AttributeDef video_attr{"videoTrack", AttrType::kVideo, {}, {}};
   video_attr.video_quality = VideoQuality::Parse("320x240x8@30").value();
-  simple_newscast.AddAttribute(video_attr).ok();
-  db.DefineClass(simple_newscast).ok();
+  AVDB_MUST(simple_newscast.AddAttribute(video_attr));
+  AVDB_MUST(db.DefineClass(simple_newscast));
   std::cout << db.GetClass("SimpleNewscast").value()->ToString() << "\n\n";
 
   // --- Populate: record tonight's broadcast -------------------------------
@@ -59,9 +59,9 @@ int main() {
                      codec, codec->Encode(*raw_footage, codec_params).value())
                      .value();
   Oid oid = db.NewObject("SimpleNewscast").value();
-  db.SetScalar(oid, "title", std::string("60 Minutes")).ok();
-  db.SetScalar(oid, "broadcastSource", std::string("CBS")).ok();
-  db.SetScalar(oid, "whenBroadcast", std::string("1992-11-22")).ok();
+  AVDB_MUST(db.SetScalar(oid, "title", std::string("60 Minutes")));
+  AVDB_MUST(db.SetScalar(oid, "broadcastSource", std::string("CBS")));
+  AVDB_MUST(db.SetScalar(oid, "whenBroadcast", std::string("1992-11-22")));
   if (!db.SetMediaAttribute(oid, "videoTrack", *footage, "disk0").ok()) {
     std::cerr << "store failed\n";
     return 1;
@@ -94,7 +94,7 @@ int main() {
   auto window = VideoWindow::Create("appSink", ActivityLocation::kClient,
                                     db.env(),
                                     VideoQuality::Parse("320x240x8@30").value());
-  db.graph().Add(window).ok();
+  AVDB_MUST(db.graph().Add(window));
   std::cout << "new activity VideoWindow quality 320x240x8@30 -> "
             << window->Describe() << "\n";
 
@@ -109,14 +109,14 @@ int main() {
   std::cout << "new connection: " << connection.value()->Describe() << "\n\n";
 
   // --- Asynchronous notification (§4.2 events) -----------------------------
-  window->Catch(VideoWindow::kLastFrame, [&](const ActivityEvent& event) {
+  AVDB_MUST(window->Catch(VideoWindow::kLastFrame, [&](const ActivityEvent& event) {
     std::cout << "[event] LAST_FRAME after element " << event.element_index
               << " at t=" << WorldTime(Rational(event.time_ns, 1000000000))
               << "\n";
-  }).ok();
+  }));
 
   // --- Statement 6: start; the client is NOT blocked during transfer ------
-  db.StartStream(stream.value()).ok();
+  AVDB_MUST(db.StartStream(stream.value()));
   std::cout << "start videostream\n";
   // "The transfer and the application can then proceed in parallel": the
   // client does other work per virtual second while the stream plays.
@@ -136,7 +136,7 @@ int main() {
   std::cout << "bytes over the network: "
             << FormatBytes(static_cast<uint64_t>(stats.bytes_delivered))
             << "\n";
-  db.StopStream(stream.value()).ok();
+  AVDB_MUST(db.StopStream(stream.value()));
   std::cout << "\nstream stopped; resources returned. Done.\n";
   return stats.elements_presented == 90 ? 0 : 1;
 }

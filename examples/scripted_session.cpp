@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "base/logging.h"
 #include "db/script.h"
 #include "media/synthetic.h"
 
@@ -15,20 +16,20 @@ int main() {
 
   // Platform + content (what the paper assumes already exists).
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddDevice("disk1", DeviceProfile::MagneticDisk()).ok();
-  db.AddChannel("net", Channel::Profile::Ethernet10()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddDevice("disk1", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddChannel("net", Channel::Profile::Ethernet10()));
 
   ClassDef newscast("Newscast");
-  newscast.AddAttribute({"title", AttrType::kString, {}, {}}).ok();
-  newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}).ok();
+  AVDB_MUST(newscast.AddAttribute({"title", AttrType::kString, {}, {}}));
+  AVDB_MUST(newscast.AddAttribute({"whenBroadcast", AttrType::kDate, {}, {}}));
   TcompDef clip;
   clip.name = "clip";
   clip.tracks.push_back({"videoTrack", AttrType::kVideo, {}, {}});
   clip.tracks.push_back({"englishTrack", AttrType::kAudio, {}, {}});
   clip.tracks.push_back({"frenchTrack", AttrType::kAudio, {}, {}});
-  newscast.AddTcomp(clip).ok();
-  db.DefineClass(newscast).ok();
+  AVDB_MUST(newscast.AddTcomp(clip));
+  AVDB_MUST(db.DefineClass(newscast));
 
   const auto vtype = MediaDataType::RawVideo(160, 120, 8, Rational(10));
   auto video = synthetic::GenerateVideo(vtype, 30,
@@ -43,17 +44,14 @@ int main() {
                     synthetic::AudioPattern::kSpeechLike, 2)
                     .value();
   Oid oid = db.NewObject("Newscast").value();
-  db.SetScalar(oid, "title", std::string("60 Minutes")).ok();
-  db.SetScalar(oid, "whenBroadcast", std::string("1992-11-22")).ok();
-  db.SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0", WorldTime(),
-                   WorldTime::FromSeconds(3))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "englishTrack", *english, "disk1",
-                   WorldTime(), WorldTime::FromSeconds(3))
-      .ok();
-  db.SetTcompTrack(oid, "clip", "frenchTrack", *french, "disk1", WorldTime(),
-                   WorldTime::FromSeconds(3))
-      .ok();
+  AVDB_MUST(db.SetScalar(oid, "title", std::string("60 Minutes")));
+  AVDB_MUST(db.SetScalar(oid, "whenBroadcast", std::string("1992-11-22")));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "videoTrack", *video, "disk0", WorldTime(),
+                   WorldTime::FromSeconds(3)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "englishTrack", *english, "disk1",
+                   WorldTime(), WorldTime::FromSeconds(3)));
+  AVDB_MUST(db.SetTcompTrack(oid, "clip", "frenchTrack", *french, "disk1", WorldTime(),
+                   WorldTime::FromSeconds(3)));
 
   // §4.3 example 2, as a script. The paper's `install ... in dbSource`
   // statements are folded into `MultiSource for Newscast.clip`, which

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "activity/sinks.h"
+#include "base/logging.h"
 #include "base/strings.h"
 #include "db/database.h"
 #include "media/synthetic.h"
@@ -48,21 +49,21 @@ struct RunResult {
 /// One Fig. 4 configuration: `render_at_db` selects the bottom variant.
 RunResult RunConfiguration(bool render_at_db) {
   AvDatabase db;
-  db.AddDevice("disk0", DeviceProfile::MagneticDisk()).ok();
-  db.AddChannel("net", Channel::Profile::Ethernet10()).ok();
+  AVDB_MUST(db.AddDevice("disk0", DeviceProfile::MagneticDisk()));
+  AVDB_MUST(db.AddChannel("net", Channel::Profile::Ethernet10()));
 
   ClassDef world_class("WorldAsset");
-  world_class.AddAttribute({"name", AttrType::kString, {}, {}}).ok();
-  world_class.AddAttribute({"wallVideo", AttrType::kVideo, {}, {}}).ok();
-  db.DefineClass(world_class).ok();
+  AVDB_MUST(world_class.AddAttribute({"name", AttrType::kString, {}, {}}));
+  AVDB_MUST(world_class.AddAttribute({"wallVideo", AttrType::kVideo, {}, {}}));
+  AVDB_MUST(db.DefineClass(world_class));
 
   const auto vtype = MediaDataType::RawVideo(64, 64, 8, Rational(10));
   auto wall_video =
       synthetic::GenerateVideo(vtype, 30, synthetic::VideoPattern::kMovingBox)
           .value();
   Oid oid = db.NewObject("WorldAsset").value();
-  db.SetScalar(oid, "name", std::string("museum")).ok();
-  db.SetMediaAttribute(oid, "wallVideo", *wall_video, "disk0").ok();
+  AVDB_MUST(db.SetScalar(oid, "name", std::string("museum")));
+  AVDB_MUST(db.SetMediaAttribute(oid, "wallVideo", *wall_video, "disk0"));
 
   static Scene scene = Scene::MuseumRoom();
   Raycaster::Options ropts;
@@ -91,35 +92,29 @@ RunResult RunConfiguration(bool render_at_db) {
       VideoWindow::Create("display", ActivityLocation::kClient, db.env(),
                           VideoQuality(ropts.width, ropts.height, 8,
                                        Rational(10)));
-  db.graph().Add(move).ok();
-  db.graph().Add(render).ok();
-  db.graph().Add(display).ok();
+  AVDB_MUST(db.graph().Add(move));
+  AVDB_MUST(db.graph().Add(render));
+  AVDB_MUST(db.graph().Add(display));
 
   if (render_at_db) {
     // Fig. 4 bottom: render at the database; rasters cross the network.
-    db.NewConnection(stream.source, VideoSource::kPortOut, render.get(),
-                     RenderActivity::kPortVideo)
-        .ok();
-    db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
-                     RenderActivity::kPortPose)
-        .ok();
-    db.NewConnection(render.get(), RenderActivity::kPortOut, display.get(),
-                     VideoWindow::kPortIn, "net")
-        .ok();
+    AVDB_MUST(db.NewConnection(stream.source, VideoSource::kPortOut, render.get(),
+                     RenderActivity::kPortVideo));
+    AVDB_MUST(db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
+                     RenderActivity::kPortPose));
+    AVDB_MUST(db.NewConnection(render.get(), RenderActivity::kPortOut, display.get(),
+                     VideoWindow::kPortIn, "net"));
   } else {
     // Fig. 4 top: wall video crosses the network; client renders.
-    db.NewConnection(stream.source, VideoSource::kPortOut, render.get(),
-                     RenderActivity::kPortVideo, "net")
-        .ok();
-    db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
-                     RenderActivity::kPortPose)
-        .ok();
-    db.NewConnection(render.get(), RenderActivity::kPortOut, display.get(),
-                     VideoWindow::kPortIn)
-        .ok();
+    AVDB_MUST(db.NewConnection(stream.source, VideoSource::kPortOut, render.get(),
+                     RenderActivity::kPortVideo, "net"));
+    AVDB_MUST(db.NewConnection(move.get(), MoveSource::kPortOut, render.get(),
+                     RenderActivity::kPortPose));
+    AVDB_MUST(db.NewConnection(render.get(), RenderActivity::kPortOut, display.get(),
+                     VideoWindow::kPortIn));
   }
-  db.StartStream(stream).ok();
-  move->Start().ok();
+  AVDB_MUST(db.StartStream(stream));
+  AVDB_MUST(move->Start());
   db.RunUntilIdle();
 
   RunResult result;

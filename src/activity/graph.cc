@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "base/logging.h"
+
 namespace avdb {
 
 std::string Connection::Describe() const {
@@ -111,7 +113,12 @@ Status ActivityGraph::StartAll() {
   for (MediaActivity* a : order) {
     const Status status = a->Start();
     if (!status.ok()) {
-      StopAll();
+      // The start error is the primary failure; a rollback failure on top
+      // of it must not vanish silently.
+      const Status rollback = StopAll();
+      if (!rollback.ok()) {
+        AVDB_LOG(Warning) << "StartAll rollback failed: " << rollback;
+      }
       return status;
     }
   }

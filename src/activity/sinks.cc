@@ -19,6 +19,22 @@ int64_t PresentationNs(const EventEngine& engine,
   return std::max(engine.now_ns(), element.ideal_time_ns);
 }
 
+/// Reports one presentation to the sync controller. A failed report means
+/// the track was revoked mid-stream (SyncController::RemoveTrack); the
+/// sink detaches from sync — presentation itself continues untouched —
+/// rather than paying a dead lookup and swallowing the error per element.
+void ReportSyncOrDetach(SinkOptions* options, const std::string& sink_name,
+                        int64_t ideal_ns, int64_t actual_ns) {
+  if (options->sync == nullptr || options->sync_track.empty()) return;
+  const Status reported =
+      options->sync->Report(options->sync_track, ideal_ns, actual_ns);
+  if (!reported.ok()) {
+    AVDB_LOG(Warning) << "sink " << sink_name
+                      << " detaching from revoked sync track: " << reported;
+    options->sync = nullptr;
+  }
+}
+
 }  // namespace
 
 // -------------------------------------------------------------- VideoWindow --
@@ -63,12 +79,8 @@ void VideoWindow::OnElement(Port* in, const StreamElement& element) {
     options_.degrade->ReportLateness(engine()->now_ns(), lateness);
   }
   last_frame_ = *element.frame;
-  if (options_.sync != nullptr && !options_.sync_track.empty()) {
-    options_.sync
-        ->Report(options_.sync_track, element.ideal_time_ns,
-                 std::max(engine()->now_ns(), element.ideal_time_ns))
-        .ok();
-  }
+  ReportSyncOrDetach(&options_, name(), element.ideal_time_ns,
+                     std::max(engine()->now_ns(), element.ideal_time_ns));
   Raise(kEachFrame, element.index);
 }
 
@@ -119,12 +131,8 @@ void AudioSink::OnElement(Port* in, const StreamElement& element) {
   if (options_.degrade != nullptr) {
     options_.degrade->ReportLateness(engine()->now_ns(), lateness);
   }
-  if (options_.sync != nullptr && !options_.sync_track.empty()) {
-    options_.sync
-        ->Report(options_.sync_track, element.ideal_time_ns,
-                 std::max(engine()->now_ns(), element.ideal_time_ns))
-        .ok();
-  }
+  ReportSyncOrDetach(&options_, name(), element.ideal_time_ns,
+                     std::max(engine()->now_ns(), element.ideal_time_ns));
   Raise(kEachBlock, element.index);
 }
 
@@ -165,12 +173,8 @@ void TextSink::OnElement(Port* in, const StreamElement& element) {
   stats_.Record(PresentationNs(*engine(), element),
                 LatenessNs(*engine(), element), element.size_bytes);
   presented_.push_back(*element.text);
-  if (options_.sync != nullptr && !options_.sync_track.empty()) {
-    options_.sync
-        ->Report(options_.sync_track, element.ideal_time_ns,
-                 std::max(engine()->now_ns(), element.ideal_time_ns))
-        .ok();
-  }
+  ReportSyncOrDetach(&options_, name(), element.ideal_time_ns,
+                     std::max(engine()->now_ns(), element.ideal_time_ns));
 }
 
 Status TextSink::ConfigureSync(SyncController* sync,

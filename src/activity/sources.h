@@ -116,7 +116,7 @@ class VideoSource : public MediaActivity {
   int64_t FrameOffset(int64_t i) const;
   /// Steps the active scalable view by `delta` layers (-1 lower, +1 raise).
   /// Returns false when the value is not scalable or already at the bound.
-  bool ApplyQualityStep(int delta);
+  [[nodiscard]] bool ApplyQualityStep(int delta);
   /// Drops element `index` (ladder decision or tolerated fetch failure) and
   /// schedules the next tick.
   void DropElement(int64_t index, int64_t stream_start_ns,

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "base/buffer.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace avdb {
 
@@ -114,18 +115,18 @@ class BufferPool {
  private:
   template <typename T>
   struct FreeList {
-    std::mutex mu;
-    std::vector<std::vector<T>> free;
+    Mutex mu;
+    std::vector<std::vector<T>> free AVDB_GUARDED_BY(mu);
     std::atomic<int64_t> acquires{0};
     std::atomic<int64_t> reuses{0};
     std::atomic<int64_t> releases{0};
     std::atomic<int64_t> drops{0};
 
-    std::vector<T> Acquire(size_t size) {
+    std::vector<T> Acquire(size_t size) AVDB_EXCLUDES(mu) {
       acquires.fetch_add(1, std::memory_order_relaxed);
       std::vector<T> block;
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!free.empty()) {
           block = std::move(free.back());
           free.pop_back();
@@ -138,10 +139,10 @@ class BufferPool {
       return block;
     }
 
-    void Release(std::vector<T>&& block, size_t max_free) {
+    void Release(std::vector<T>&& block, size_t max_free) AVDB_EXCLUDES(mu) {
       releases.fetch_add(1, std::memory_order_relaxed);
       if (block.capacity() == 0) return;
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (free.size() >= max_free) {
         drops.fetch_add(1, std::memory_order_relaxed);
         return;  // block freed on scope exit
@@ -149,8 +150,8 @@ class BufferPool {
       free.push_back(std::move(block));
     }
 
-    void Trim() {
-      std::lock_guard<std::mutex> lock(mu);
+    void Trim() AVDB_EXCLUDES(mu) {
+      MutexLock lock(mu);
       free.clear();
     }
 

@@ -73,4 +73,11 @@ class Voidify {
 
 #define AVDB_DCHECK(cond) AVDB_CHECK(cond)
 
+/// Aborts (with the expression text) unless `expr` — a Status or Result
+/// expression — is OK. For bench/example/test *setup* steps whose failure
+/// would silently invalidate everything measured afterwards. Library code
+/// returns Status instead; deliberate discards go through
+/// AVDB_IGNORE_STATUS (base/status.h).
+#define AVDB_MUST(expr) AVDB_CHECK((expr).ok()) << #expr
+
 #endif  // AVDB_BASE_LOGGING_H_

@@ -19,8 +19,11 @@ namespace avdb {
 ///   auto r = MakeFoo();
 ///   if (!r.ok()) return r.status();
 ///   Foo foo = std::move(r).value();
+/// Like Status, Result is [[nodiscard]]: a dropped Result is a dropped
+/// error. See AVDB_IGNORE_STATUS for deliberate discards (pass
+/// `expr.status()`).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, so `return value;` works).
   Result(T value) : repr_(std::move(value)) {}
@@ -37,10 +40,10 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Status of the operation; OK() when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }

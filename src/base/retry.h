@@ -67,7 +67,7 @@ class RetryState {
   int64_t charged_ns() const { return charged_ns_; }
 
   /// True for status codes a retry can plausibly cure.
-  static bool IsRetryable(const Status& status) {
+  [[nodiscard]] static bool IsRetryable(const Status& status) {
     return status.code() == StatusCode::kUnavailable;
   }
 

@@ -31,7 +31,12 @@ std::string_view StatusCodeName(StatusCode code);
 /// Result of an operation that can fail. `Status` is cheap to copy for the
 /// OK case and carries a message for errors. The library never throws;
 /// every fallible public API returns `Status` or `Result<T>`.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile
+/// error (with AVDB_WERROR, the default). A deliberately ignored status —
+/// best-effort cleanup, logging-only paths — must be consumed through
+/// AVDB_IGNORE_STATUS with a justification the reader can audit.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -75,9 +80,9 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -93,7 +98,24 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+namespace internal_status {
+/// Sink for AVDB_IGNORE_STATUS. A function call (not a void cast) so the
+/// discard survives macro hygiene and shows up in searches.
+inline void IgnoreStatus(const Status&) {}
+}  // namespace internal_status
+
 }  // namespace avdb
+
+/// Explicitly discards a Status with a reviewer-facing justification:
+///   AVDB_IGNORE_STATUS(store.Flush(), "best-effort flush on shutdown");
+/// The justification must be a non-empty string literal; avdb-lint flags
+/// bare (void)-casts of fallible calls so this stays the only escape hatch.
+#define AVDB_IGNORE_STATUS(expr, justification)             \
+  do {                                                      \
+    static_assert(sizeof(justification) > 1,                \
+                  "AVDB_IGNORE_STATUS needs a reason");     \
+    ::avdb::internal_status::IgnoreStatus((expr));          \
+  } while (false)
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing
 /// function if it is not OK.

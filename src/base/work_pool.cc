@@ -16,10 +16,10 @@ WorkPool::WorkPool(int workers) {
 
 WorkPool::~WorkPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -27,8 +27,8 @@ void WorkPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -39,11 +39,11 @@ void WorkPool::WorkerLoop() {
 
 void WorkPool::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 std::future<void> WorkPool::Submit(std::function<void()> task) {

@@ -2,19 +2,20 @@
 #define AVDB_BASE_WORK_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace avdb {
 
@@ -88,29 +89,27 @@ class WorkPool {
           (*body)(i);
         } catch (...) {
           {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(state->mu);
             if (!state->error) state->error = std::current_exception();
           }
           state->abort.store(true, std::memory_order_relaxed);
         }
       }
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         state->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       }
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     };
     for (int l = 1; l < width; ++l) Post(lane);
     lane();  // caller participates and can finish all work alone
     {
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->cv.wait(lock, [&] {
-        if (state->in_flight.load(std::memory_order_acquire) != 0) {
-          return false;
-        }
-        return state->next.load(std::memory_order_relaxed) >= state->n ||
-               state->abort.load(std::memory_order_relaxed);
-      });
+      MutexLock lock(state->mu);
+      while (!(state->in_flight.load(std::memory_order_acquire) == 0 &&
+               (state->next.load(std::memory_order_relaxed) >= state->n ||
+                state->abort.load(std::memory_order_relaxed)))) {
+        state->cv.Wait(state->mu);
+      }
       if (state->error) std::rethrow_exception(state->error);
     }
   }
@@ -136,19 +135,19 @@ class WorkPool {
     std::atomic<int> in_flight{0};
     std::atomic<bool> abort{false};
     int64_t n = 0;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error AVDB_GUARDED_BY(mu);
   };
 
   /// Fire-and-forget enqueue (no future) used by ParallelFor lanes.
-  void Post(std::function<void()> task);
-  void WorkerLoop();
+  void Post(std::function<void()> task) AVDB_EXCLUDES(mu_);
+  void WorkerLoop() AVDB_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AVDB_GUARDED_BY(mu_);
+  bool stopping_ AVDB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "base/status.h"
 #include "base/strings.h"
 
 namespace avdb {
@@ -55,7 +56,8 @@ ScriptSession::ScriptSession(AvDatabase* db, std::string session_name)
     : db_(db), session_(std::move(session_name)) {}
 
 ScriptSession::~ScriptSession() {
-  db_->CloseSession(session_).ok();
+  AVDB_IGNORE_STATUS(db_->CloseSession(session_),
+                     "best-effort close in destructor; nowhere to report");
 }
 
 Result<std::string> ScriptSession::Execute(const std::string& statement) {

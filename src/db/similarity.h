@@ -67,7 +67,7 @@ class SimilarityIndex {
   void Add(Oid oid, const std::string& attr_path, VideoSignature signature);
 
   /// Removes an entry; false when absent.
-  bool Remove(Oid oid, const std::string& attr_path);
+  [[nodiscard]] bool Remove(Oid oid, const std::string& attr_path);
 
   size_t size() const { return entries_.size(); }
 

@@ -161,10 +161,6 @@ Buffer FrameRecord(uint64_t generation, const Buffer& payload) {
   return rec;
 }
 
-int64_t FramedSize(const Buffer& payload) {
-  return kRecordHeaderBytes + static_cast<int64_t>(payload.size());
-}
-
 Buffer NamePayload(RecordType type, const std::string& name) {
   Buffer payload;
   payload.AppendU8(type);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "base/logging.h"
 #include "base/strings.h"
 
 namespace avdb {
@@ -35,25 +36,30 @@ Scene::Scene(int width, int height)
     : width_(width), height_(height),
       cells_(static_cast<size_t>(width) * height, CellKind::kEmpty) {
   for (int x = 0; x < width_; ++x) {
-    Set(x, 0, CellKind::kWall).ok();
-    Set(x, height_ - 1, CellKind::kWall).ok();
+    MustSet(x, 0, CellKind::kWall);
+    MustSet(x, height_ - 1, CellKind::kWall);
   }
   for (int y = 0; y < height_; ++y) {
-    Set(0, y, CellKind::kWall).ok();
-    Set(width_ - 1, y, CellKind::kWall).ok();
+    MustSet(0, y, CellKind::kWall);
+    MustSet(width_ - 1, y, CellKind::kWall);
   }
+}
+
+void Scene::MustSet(int x, int y, CellKind kind) {
+  const Status status = Set(x, y, kind);
+  AVDB_CHECK(status.ok()) << "layout cell out of bounds: " << x << "," << y;
 }
 
 Scene Scene::MuseumRoom() {
   Scene scene(16, 12);
   // Two pillars.
-  scene.Set(5, 4, CellKind::kWall).ok();
-  scene.Set(5, 7, CellKind::kWall).ok();
-  scene.Set(10, 4, CellKind::kWall).ok();
-  scene.Set(10, 7, CellKind::kWall).ok();
+  scene.MustSet(5, 4, CellKind::kWall);
+  scene.MustSet(5, 7, CellKind::kWall);
+  scene.MustSet(10, 4, CellKind::kWall);
+  scene.MustSet(10, 7, CellKind::kWall);
   // The video wall along the east side.
   for (int y = 3; y <= 8; ++y) {
-    scene.Set(15, y, CellKind::kVideoWall).ok();
+    scene.MustSet(15, y, CellKind::kVideoWall);
   }
   return scene;
 }

@@ -55,6 +55,10 @@ class Scene {
   Pose DefaultPose() const;
 
  private:
+  /// Set() for construction-time layout with coordinates known in bounds;
+  /// aborts on failure instead of returning it.
+  void MustSet(int x, int y, CellKind kind);
+
   int width_;
   int height_;
   std::vector<CellKind> cells_;

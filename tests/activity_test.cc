@@ -689,5 +689,119 @@ TEST(StoredStreamingTest, DeviceContentionDelaysSecondStream) {
   EXPECT_GT(shared_lateness, split_lateness);
 }
 
+// ----------------------------------------------- Sync revocation in sinks --
+
+// Regression for the [[nodiscard]] sweep (PR 4): sinks used to swallow the
+// SyncController::Report status with a bare `.ok()`, so a track revoked
+// mid-stream (RemoveTrack, the PR 2 revocation path) kept charging a dead
+// map lookup on every element with the NotFound error vanishing. A failed
+// report must now detach the sink from sync while playback continues.
+TEST(VideoWindowTest, DetachesFromSyncWhenTrackRevokedMidStream) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  SyncController sync;
+  ASSERT_TRUE(sync.AddTrack("video", /*master=*/true).ok());
+
+  constexpr int kFrames = 10;
+  auto source = VideoSource::Create("src", ActivityLocation::kDatabase, env);
+  ASSERT_TRUE(source->Bind(SmallVideo(kFrames), VideoSource::kPortOut).ok());
+  auto window = VideoWindow::Create("win", ActivityLocation::kClient, env,
+                                    MatchingQuality(SmallVideoType()));
+  ASSERT_TRUE(window->ConfigureSync(&sync, "video").ok());
+  ASSERT_TRUE(graph.Add(source).ok());
+  ASSERT_TRUE(graph.Add(window).ok());
+  ASSERT_TRUE(graph.Connect(source.get(), VideoSource::kPortOut,
+                            window.get(), VideoWindow::kPortIn)
+                  .ok());
+  ASSERT_TRUE(graph.StartAll().ok());
+
+  // Let a few frames present, then revoke the track mid-stream.
+  graph.RunUntil(WorldTime::FromMillis(350));
+  const int64_t reports_at_revoke = sync.stats().reports;
+  EXPECT_GT(reports_at_revoke, 0);
+  ASSERT_TRUE(sync.RemoveTrack("video").ok());
+
+  // The stream must still run to completion, with no further reports
+  // landing on the dead track (the sink detached on the first failure).
+  graph.RunUntilIdle();
+  EXPECT_EQ(window->stats().elements_presented, kFrames);
+  EXPECT_EQ(sync.stats().reports, reports_at_revoke);
+  ASSERT_TRUE(graph.StopAll().ok());
+}
+
+// ------------------------------------------------- StartAll failure paths --
+
+// Instrumented activity whose Start/Stop hooks can be made to fail —
+// regression coverage for the [[nodiscard]] sweep's StartAll fix (PR 4):
+// a mid-StartAll failure must roll back the already-started activities,
+// and a failure *during that rollback* must not mask the start error.
+class ProbeActivity : public MediaActivity {
+ public:
+  ProbeActivity(std::string name, ActivityEnv env, Status start_status,
+                Status stop_status = Status::OK())
+      : MediaActivity(std::move(name), ActivityLocation::kDatabase, env),
+        start_status_(std::move(start_status)),
+        stop_status_(std::move(stop_status)) {}
+
+  int starts = 0;
+  int stops = 0;
+
+ protected:
+  Status OnStart() override {
+    ++starts;
+    return start_status_;
+  }
+  Status OnStop() override {
+    ++stops;
+    return stop_status_;
+  }
+
+ private:
+  Status start_status_;
+  Status stop_status_;
+};
+
+TEST(ActivityGraphTest, StartAllRollsBackStartedActivitiesOnFailure) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  auto first = std::make_shared<ProbeActivity>("first", env, Status::OK());
+  auto failing = std::make_shared<ProbeActivity>(
+      "failing", env, Status::ResourceExhausted("no bandwidth"));
+  auto never = std::make_shared<ProbeActivity>("never", env, Status::OK());
+  ASSERT_TRUE(graph.Add(first).ok());
+  ASSERT_TRUE(graph.Add(failing).ok());
+  ASSERT_TRUE(graph.Add(never).ok());
+
+  const Status status = graph.StartAll();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // `first` started and was rolled back; `never` was never reached.
+  EXPECT_EQ(first->starts, 1);
+  EXPECT_EQ(first->stops, 1);
+  EXPECT_EQ(never->starts, 0);
+  EXPECT_EQ(first->state(), MediaActivity::State::kStopped);
+}
+
+TEST(ActivityGraphTest, StartAllRollbackFailureDoesNotMaskStartError) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  // The first activity starts fine but its rollback Stop fails; the start
+  // failure of the second must still be what StartAll reports.
+  auto bad_stop = std::make_shared<ProbeActivity>(
+      "bad_stop", env, Status::OK(), Status::Internal("stop exploded"));
+  auto failing = std::make_shared<ProbeActivity>(
+      "failing", env, Status::Unavailable("device gone"));
+  ASSERT_TRUE(graph.Add(bad_stop).ok());
+  ASSERT_TRUE(graph.Add(failing).ok());
+
+  const Status status = graph.StartAll();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.message(), "device gone");
+  // The rollback still ran even though its status was only logged.
+  EXPECT_EQ(bad_stop->stops, 1);
+}
+
 }  // namespace
 }  // namespace avdb

@@ -184,7 +184,9 @@ TEST_P(RationalPropertyTest, AddSubRoundTrip) {
     const Rational a(rng.NextInRange(-1000, 1000), rng.NextInRange(1, 100));
     const Rational b(rng.NextInRange(-1000, 1000), rng.NextInRange(1, 100));
     EXPECT_EQ(a + b - b, a);
-    if (!b.IsZero()) EXPECT_EQ(a * b / b, a);
+    if (!b.IsZero()) {
+      EXPECT_EQ(a * b / b, a);
+    }
   }
 }
 

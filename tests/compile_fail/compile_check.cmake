@@ -1,0 +1,39 @@
+# Runs the compiler on one fixture and asserts the outcome.
+#
+#   cmake -DCXX=<compiler> -DSRC=<fixture.cc> -DINCLUDE_DIR=<repo>/src
+#         -DEXPECT=<PASS|FAIL> [-DEXTRA_FLAGS=<;-list>]
+#         -P compile_check.cmake
+#
+# EXPECT=FAIL is the negative half of the static-correctness harness: it
+# proves a rule (dropped [[nodiscard]] Status, unguarded AVDB_GUARDED_BY
+# access under Clang) actually rejects the bad program, not merely that
+# good programs pass.
+
+foreach(var CXX SRC INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compile_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+set(_cmd "${CXX}" -std=c++20 -fsyntax-only -Wall -Wextra
+         -Werror=unused-result "-I${INCLUDE_DIR}")
+if(DEFINED EXTRA_FLAGS AND NOT EXTRA_FLAGS STREQUAL "")
+  list(APPEND _cmd ${EXTRA_FLAGS})
+endif()
+list(APPEND _cmd "${SRC}")
+
+execute_process(COMMAND ${_cmd}
+                RESULT_VARIABLE _rc
+                OUTPUT_VARIABLE _out
+                ERROR_VARIABLE _err)
+
+if(EXPECT STREQUAL "PASS" AND NOT _rc EQUAL 0)
+  message(FATAL_ERROR
+      "expected ${SRC} to compile, but it failed (rc=${_rc}):\n${_err}")
+endif()
+if(EXPECT STREQUAL "FAIL" AND _rc EQUAL 0)
+  message(FATAL_ERROR
+      "expected ${SRC} to be REJECTED, but it compiled clean — the "
+      "static check it exercises is not enforcing anything")
+endif()
+message(STATUS "${SRC}: ${EXPECT} as expected")

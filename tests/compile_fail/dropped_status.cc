@@ -1,0 +1,13 @@
+// Negative fixture: dropping a [[nodiscard]] Status must not compile
+// (-Werror=unused-result). Proves the nodiscard sweep actually enforces.
+#include "base/status.h"
+
+namespace avdb {
+
+Status MightFail() { return Status::Unavailable("transient"); }
+
+void Caller() {
+  MightFail();  // dropped status — must fail the build
+}
+
+}  // namespace avdb

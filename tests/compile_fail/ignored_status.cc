@@ -1,0 +1,17 @@
+// Positive fixture: the sanctioned escape hatch compiles. A deliberate
+// discard goes through AVDB_IGNORE_STATUS with a justification.
+#include "base/result.h"
+#include "base/status.h"
+
+namespace avdb {
+
+Status MightFail() { return Status::Unavailable("transient"); }
+Result<int> MightFailValue() { return 7; }
+
+void Caller() {
+  AVDB_IGNORE_STATUS(MightFail(), "fixture: best-effort call");
+  AVDB_IGNORE_STATUS(MightFailValue().status(),
+                     "fixture: value unused, error irrelevant here");
+}
+
+}  // namespace avdb

@@ -1,0 +1,21 @@
+// Negative fixture: touching AVDB_GUARDED_BY state without holding the
+// mutex must fail under Clang -Wthread-safety -Werror=thread-safety.
+// (On non-Clang compilers the annotations are no-ops and this compiles;
+// the harness only asserts failure for Clang.)
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace avdb {
+
+class Counter {
+ public:
+  void Add(int d) {
+    value_ += d;  // no lock held — must be rejected by the analysis
+  }
+
+ private:
+  Mutex mu_;
+  int value_ AVDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace avdb

@@ -158,7 +158,7 @@ TEST(AdmissionTest, StatsCountOutcomes) {
   ASSERT_TRUE(ac.RegisterPool("p", 1).ok());
   auto t = ac.Admit({{"p", 1}});
   ASSERT_TRUE(t.ok());
-  ac.Admit({{"p", 1}}).ok();
+  EXPECT_FALSE(ac.Admit({{"p", 1}}).ok());
   EXPECT_EQ(ac.stats().admitted, 1);
   EXPECT_EQ(ac.stats().rejected, 1);
 }

@@ -1,0 +1,129 @@
+// Runtime coverage for the static-correctness layer (PR 4): the annotated
+// Mutex/MutexLock/CondVar facade must behave exactly like the raw
+// primitives it wraps, and AVDB_IGNORE_STATUS must evaluate its argument
+// while consuming the status. The *static* halves — that -Wthread-safety
+// rejects unguarded access and that a dropped Status fails the build —
+// live in tests/compile_fail/ (ctest label `lint`).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+
+namespace avdb {
+namespace {
+
+// ------------------------------------------------------------ Mutex facade --
+
+TEST(MutexFacadeTest, MutexLockExcludesConcurrentWriters) {
+  Mutex mu;
+  int counter AVDB_GUARDED_BY(mu) = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexFacadeTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  bool acquired_while_held = true;
+  std::thread contender([&] { acquired_while_held = mu.TryLock(); });
+  contender.join();
+  EXPECT_FALSE(acquired_while_held);
+  mu.Unlock();
+
+  bool acquired_after_release = false;
+  std::thread second([&] {
+    acquired_after_release = mu.TryLock();
+    if (acquired_after_release) mu.Unlock();
+  });
+  second.join();
+  EXPECT_TRUE(acquired_after_release);
+}
+
+TEST(MutexFacadeTest, CondVarWakesPredicateWait) {
+  Mutex mu;
+  CondVar cv;
+  bool ready AVDB_GUARDED_BY(mu) = false;
+  int observed = 0;
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&]() AVDB_REQUIRES(mu) { return ready; });
+    observed = ready ? 1 : -1;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  consumer.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(MutexFacadeTest, CondVarNotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go AVDB_GUARDED_BY(mu) = false;
+  int woken AVDB_GUARDED_BY(mu) = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&]() AVDB_REQUIRES(mu) { return go; });
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : waiters) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(woken, kWaiters);
+}
+
+// ------------------------------------------------------- AVDB_IGNORE_STATUS --
+
+Status TouchAndFail(int* touched) {
+  ++*touched;
+  return Status::Unavailable("always fails");
+}
+
+TEST(IgnoreStatusTest, EvaluatesArgumentExactlyOnce) {
+  int touched = 0;
+  AVDB_IGNORE_STATUS(TouchAndFail(&touched),
+                     "test exercises the deliberate-discard path");
+  EXPECT_EQ(touched, 1);
+}
+
+TEST(IgnoreStatusTest, UsableWhereAStatementIsExpected) {
+  int touched = 0;
+  // Must parse as a single statement (the do/while(false) contract).
+  if (touched == 0)
+    AVDB_IGNORE_STATUS(TouchAndFail(&touched), "branch body form");
+  else
+    ADD_FAILURE();
+  EXPECT_EQ(touched, 1);
+}
+
+}  // namespace
+}  // namespace avdb

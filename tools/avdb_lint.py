@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""avdb-lint: repo-specific static rules the compiler can't enforce.
+
+Run as a ctest (label `lint`) so violations fail the build farm, or by hand:
+
+    python3 tools/avdb_lint.py --root .            # lint the tree
+    python3 tools/avdb_lint.py --root . --self-test  # rule fixtures
+
+Rules (see DESIGN.md §10 "Static correctness model"):
+
+  wallclock          No std::chrono::{system,steady,high_resolution}_clock,
+                     sleep_for/sleep_until/usleep/nanosleep, gettimeofday,
+                     clock_gettime in library/test code. All delay must be
+                     charged in virtual time (base/virtual_clock) so
+                     schedules are deterministic and fault traces replay.
+  naked-new          No raw `new` / malloc-family calls outside
+                     src/base/buffer* . A `new` immediately owned by a
+                     unique_ptr/shared_ptr constructor (the private-ctor
+                     factory idiom) is allowed.
+  check-in-hot-path  No AVDB_CHECK / AVDB_DCHECK in the streaming hot-path
+                     layers (src/storage, src/net, src/codec): data-
+                     dependent failures there must surface as Status, not
+                     abort the process. Constructor preconditions and
+                     encode-side self-checks are allowlisted individually.
+  layer-cycle        `#include "dir/…"` across src/ layers must follow the
+                     layer DAG (base → time → media → codec|sched →
+                     storage|net → activity → db → hyper|vworld). An
+                     include into a higher or sibling layer is a cycle.
+  void-cast-call     No `(void)call(...)` in src/: a void-cast of a call is
+                     an invisible status drop. Use AVDB_IGNORE_STATUS with
+                     a justification instead.
+
+Suppressions live in tools/avdb_lint_allowlist.json — machine-readable,
+justification required, stale entries are themselves errors. Never silence
+a rule inline.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+# Layer ranks: an #include may only point at a strictly lower rank (or the
+# same directory). Keep in sync with DESIGN.md §10.
+LAYER_RANK = {
+    "base": 0,
+    "time": 1,
+    "media": 2,
+    "codec": 3,
+    "sched": 3,
+    "storage": 4,
+    "net": 4,
+    "activity": 5,
+    "db": 6,
+    "hyper": 7,
+    "vworld": 7,
+}
+
+HOT_PATH_DIRS = ("src/storage/", "src/net/", "src/codec/")
+
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::(?:system|steady|high_resolution)_clock"
+    r"|\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\("
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+)
+NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new (addr)` placement ok
+ALLOC_RE = re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\(")
+SMART_PTR_CONTEXT_RE = re.compile(r"(?:unique_ptr|shared_ptr)\s*<[^;{}]*\(\s*$")
+CHECK_RE = re.compile(r"\bAVDB_D?CHECK\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+VOID_CAST_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.]*(?:->\w+)*\s*\(")
+
+SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
+
+
+class Violation:
+    def __init__(self, rule, path, line_no, text):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.text = text.strip()
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text}"
+
+
+def strip_comments_and_strings(lines):
+    """Returns lines with //, /* */ comments and string/char literals blanked
+    so rule regexes don't fire on prose. #include lines are kept verbatim
+    (the include rule needs the quoted path)."""
+    out = []
+    in_block = False
+    for raw in lines:
+        if INCLUDE_RE.match(raw):
+            out.append(raw)
+            continue
+        res = []
+        i = 0
+        n = len(raw)
+        quote = None  # "'" or '"' while inside a literal
+        while i < n:
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if quote:
+                if c == "\\":
+                    i += 2
+                    continue
+                if c == quote:
+                    quote = None
+                i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                res.append(c)
+                i += 1
+                continue
+            res.append(c)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+def layer_of(rel_path):
+    parts = rel_path.split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def lint_file(rel_path, lines):
+    """Runs every applicable rule; returns a list of Violations."""
+    violations = []
+    stripped = strip_comments_and_strings(lines)
+    in_src = rel_path.startswith("src/")
+    layer = layer_of(rel_path)
+    is_buffer_code = in_src and os.path.basename(rel_path).startswith("buffer")
+    in_hot_path = any(rel_path.startswith(d) for d in HOT_PATH_DIRS)
+
+    for idx, line in enumerate(stripped, start=1):
+        m = INCLUDE_RE.match(line)
+        if m and layer is not None:
+            target = m.group(1).split("/")[0]
+            if target in LAYER_RANK and target != layer:
+                if LAYER_RANK[target] >= LAYER_RANK[layer]:
+                    violations.append(Violation(
+                        "layer-cycle", rel_path, idx,
+                        f'#include "{m.group(1)}" from layer {layer!r} '
+                        f"(rank {LAYER_RANK[layer]}) into layer {target!r} "
+                        f"(rank {LAYER_RANK[target]}) breaks the layer DAG"))
+            continue
+
+        if WALLCLOCK_RE.search(line):
+            violations.append(Violation(
+                "wallclock", rel_path, idx, lines[idx - 1]))
+
+        if in_src and not is_buffer_code:
+            if NEW_RE.search(line):
+                # The private-ctor factory idiom wraps `new` in a smart-
+                # pointer constructor, often split across lines; look back
+                # through the joined statement prefix for `…_ptr<…>(`.
+                prefix = " ".join(stripped[max(0, idx - 3):idx])
+                head = prefix[:prefix.rfind("new")] if "new" in prefix else prefix
+                if not SMART_PTR_CONTEXT_RE.search(head.rstrip()):
+                    violations.append(Violation(
+                        "naked-new", rel_path, idx, lines[idx - 1]))
+            if ALLOC_RE.search(line):
+                violations.append(Violation(
+                    "naked-new", rel_path, idx, lines[idx - 1]))
+
+        if in_hot_path and CHECK_RE.search(line):
+            violations.append(Violation(
+                "check-in-hot-path", rel_path, idx, lines[idx - 1]))
+
+        if in_src and VOID_CAST_CALL_RE.search(line):
+            violations.append(Violation(
+                "void-cast-call", rel_path, idx, lines[idx - 1]))
+
+    return violations
+
+
+def iter_source_files(root):
+    scan_dirs = ("src", "tests", "bench", "examples")
+    for top in scan_dirs:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            dirnames[:] = [d for d in dirnames if d not in ("build",)]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def load_allowlist(root):
+    path = os.path.join(root, "tools", "avdb_lint_allowlist.json")
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data["entries"]
+    errors = []
+    for i, e in enumerate(entries):
+        for key in ("rule", "file", "pattern", "justification"):
+            if not e.get(key):
+                errors.append(
+                    f"allowlist entry #{i} missing non-empty {key!r}: {e}")
+        e["_used"] = False
+        e["_re"] = re.compile(e.get("pattern") or r"(?!)")
+    return entries, errors
+
+
+def apply_allowlist(violations, entries):
+    kept = []
+    for v in violations:
+        suppressed = False
+        for e in entries:
+            if (e["rule"] == v.rule
+                    and fnmatch.fnmatch(v.path, e["file"])
+                    and e["_re"].search(v.text)):
+                e["_used"] = True
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(v)
+    stale = [e for e in entries if not e["_used"]]
+    return kept, stale
+
+
+def run_lint(root):
+    entries, errors = load_allowlist(root)
+    violations = []
+    for rel in iter_source_files(root):
+        if "/lint_fixtures/" in rel or "/compile_fail/" in rel:
+            continue
+        with open(os.path.join(root, rel), encoding="utf-8",
+                  errors="replace") as f:
+            lines = f.read().splitlines()
+        violations.extend(lint_file(rel, lines))
+    kept, stale = apply_allowlist(violations, entries)
+    for v in kept:
+        print(v)
+    for e in stale:
+        errors.append(
+            f"stale allowlist entry (matched nothing — remove it): "
+            f"rule={e['rule']} file={e['file']} pattern={e['pattern']}")
+    for err in errors:
+        print(f"avdb-lint: error: {err}")
+    if kept or errors:
+        print(f"avdb-lint: {len(kept)} violation(s), {len(errors)} error(s)")
+        return 1
+    print("avdb-lint: clean")
+    return 0
+
+
+FIXTURE_AS_RE = re.compile(r"//\s*lint-fixture-as:\s*(\S+)")
+FIXTURE_EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([\w,-]+)")
+
+
+def run_self_test(root):
+    """Every fixture under tools/lint_fixtures/fail must trip exactly the
+    rules its `// lint-expect:` header names (checked as-if at its
+    `// lint-fixture-as:` path); every fixture under pass/ must be clean."""
+    fixture_root = os.path.join(root, "tools", "lint_fixtures")
+    failures = []
+    checked = 0
+    for kind in ("fail", "pass"):
+        kind_dir = os.path.join(fixture_root, kind)
+        for name in sorted(os.listdir(kind_dir)):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            checked += 1
+            with open(os.path.join(kind_dir, name), encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            header = "\n".join(lines[:5])
+            as_m = FIXTURE_AS_RE.search(header)
+            rel = as_m.group(1) if as_m else f"src/base/{name}"
+            got = sorted({v.rule for v in lint_file(rel, lines)})
+            if kind == "pass":
+                want = []
+            else:
+                exp_m = FIXTURE_EXPECT_RE.search(header)
+                if not exp_m:
+                    failures.append(f"{kind}/{name}: missing // lint-expect:")
+                    continue
+                want = sorted(exp_m.group(1).split(","))
+            if got != want:
+                failures.append(
+                    f"{kind}/{name} (as {rel}): expected rules {want}, "
+                    f"got {got}")
+    for f in failures:
+        print(f"avdb-lint self-test: FAIL {f}")
+    if failures:
+        return 1
+    print(f"avdb-lint self-test: {checked} fixtures ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/, tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rule engine against the fixtures")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    return run_lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

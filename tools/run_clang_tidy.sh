@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every library
+# source file, using the compile database from a configured build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir]     # default build dir: ./build
+#
+# Wired as the optional `tidy` ctest when clang-tidy is found; CMake
+# exports compile_commands.json unconditionally (CMAKE_EXPORT_COMPILE_COMMANDS).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"$build_dir\" -S \"$repo_root\"" >&2
+  exit 2
+fi
+
+rc=0
+for f in "$repo_root"/src/*/*.cc; do
+  clang-tidy -p "$build_dir" --quiet "$f" || rc=1
+done
+
+if [ "$rc" -ne 0 ]; then
+  echo "clang-tidy: findings above (WarningsAsErrors promotes all)" >&2
+fi
+exit "$rc"
