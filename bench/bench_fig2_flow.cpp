@@ -8,10 +8,20 @@
 // configuration." Dataflow results must be identical; the table reports
 // frames, end-to-end latency, and per-connection bytes (the compressed hop
 // carries far less than the raw hop).
+//
+// A third, traced run replays the flat flow from a faulted store with the
+// observability stack attached and writes the Tracer timeline to
+// BENCH_fig2_trace.json — the machine-readable bind -> cue -> start -> stop
+// record, with the degradation ladder's actions interleaved at their
+// virtual times. The exit code also gates on that timeline containing all
+// four lifecycle spans and at least one degradation event.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "base/fault_injector.h"
 #include "base/logging.h"
 
 #include "activity/composite.h"
@@ -20,7 +30,13 @@
 #include "activity/sources.h"
 #include "activity/transformers.h"
 #include "codec/registry.h"
+#include "codec/scalable_codec.h"
 #include "media/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/degradation.h"
+#include "storage/media_store.h"
+#include "storage/value_serializer.h"
 
 using namespace avdb;
 
@@ -141,6 +157,102 @@ FlowReport RunComposite(bool print_topology) {
   return report;
 }
 
+struct TracedReport {
+  int64_t frames = 0;
+  int64_t degrade_events = 0;
+  bool has_bind = false;
+  bool has_cue = false;
+  bool has_start = false;
+  bool has_stop = false;
+  int64_t trace_events = 0;
+};
+
+/// The flat flow again, but from a faulted store with the observability
+/// stack attached: every lifecycle verb lands in the tracer as a span, and
+/// the degradation ladder's reactions to the injected faults interleave at
+/// their virtual times. The dump is what a figure pipeline consumes.
+TracedReport RunTraced() {
+  EventEngine engine;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  tracer.SetClock([&engine] { return engine.now_ns(); });
+  ActivityEnv env{&engine, nullptr, &metrics, &tracer};
+  ActivityGraph graph(env);
+
+  // A scalable clip through a faulted magnetic disk: latency spikes push
+  // sink lateness over the drop threshold, so the ladder visibly acts.
+  const auto type = MediaDataType::RawVideo(176, 144, 8, Rational(10));
+  auto raw = synthetic::GenerateVideo(type, kFrames,
+                                      synthetic::VideoPattern::kMovingBox)
+                 .value();
+  VideoCodecParams params;
+  params.layer_count = 3;
+  auto codec = std::make_shared<ScalableCodec>();
+  auto clip =
+      EncodedVideoValue::Create(codec, codec->Encode(*raw, params).value())
+          .value();
+
+  auto device =
+      std::make_shared<BlockDevice>("disk0", DeviceProfile::MagneticDisk());
+  MediaStore store(device, nullptr);
+  store.BindObservability(&metrics, &tracer);
+  ServiceQueue queue("disk0");
+  AVDB_MUST(store.Put("clip", value_serializer::Serialize(*clip).value()));
+
+  FaultSpec spec;
+  spec.read_error_rate = 0.05;
+  spec.latency_spike_rate = 0.05;
+  spec.latency_spike_ns = 30 * 1000 * 1000;
+  spec.stuck_head_rate = 0.025;
+  spec.stuck_head_stall_ns = 400 * 1000 * 1000;
+  FaultInjector injector(spec, /*seed=*/42);
+  device->set_fault_injector(&injector);
+
+  DegradationController degrade;
+  degrade.BindObservability(&metrics, &tracer, "read");
+
+  SourceOptions source_options;
+  source_options.store = &store;
+  source_options.blob_name = "clip";
+  source_options.device_queue = &queue;
+  source_options.degrade = &degrade;
+  auto source = VideoSource::Create("read", ActivityLocation::kDatabase, env,
+                                    source_options);
+  AVDB_MUST(source->Bind(clip, VideoSource::kPortOut));
+  AVDB_MUST(source->Cue(WorldTime()));
+
+  SinkOptions sink_options;
+  sink_options.degrade = &degrade;
+  auto display =
+      VideoWindow::Create("display", ActivityLocation::kClient, env,
+                          VideoQuality(176, 144, 8, Rational(10)),
+                          sink_options);
+  AVDB_MUST(graph.Add(source));
+  AVDB_MUST(graph.Add(display));
+  AVDB_MUST(graph.Connect(source.get(), VideoSource::kPortOut, display.get(),
+                          VideoWindow::kPortIn));
+  AVDB_MUST(graph.StartAll());
+  graph.RunUntilIdle();
+  AVDB_MUST(source->Stop());
+  AVDB_MUST(display->Stop());
+
+  TracedReport report;
+  report.frames = display->stats().elements_presented;
+  for (const auto& event : tracer.Events()) {
+    ++report.trace_events;
+    if (event.phase == 'B') {
+      if (event.name == "bind") report.has_bind = true;
+      if (event.name == "cue") report.has_cue = true;
+      if (event.name == "start") report.has_start = true;
+      if (event.name == "stop") report.has_stop = true;
+    }
+    if (event.name == "degrade") ++report.degrade_events;
+  }
+  std::ofstream out("BENCH_fig2_trace.json");
+  out << tracer.DumpJson() << "\n";
+  return report;
+}
+
 }  // namespace
 
 int main() {
@@ -176,5 +288,19 @@ int main() {
                   ? 0.0
                   : static_cast<double>(flat.raw_bytes) /
                         static_cast<double>(flat.compressed_bytes));
-  return same_output ? 0 : 1;
+
+  const TracedReport traced = RunTraced();
+  std::printf("\ntraced run (faulted store): %lld frames, %lld trace events "
+              "-> BENCH_fig2_trace.json\n",
+              static_cast<long long>(traced.frames),
+              static_cast<long long>(traced.trace_events));
+  std::printf("timeline check: bind=%s cue=%s start=%s stop=%s "
+              "degradation events=%lld\n",
+              traced.has_bind ? "YES" : "NO", traced.has_cue ? "YES" : "NO",
+              traced.has_start ? "YES" : "NO", traced.has_stop ? "YES" : "NO",
+              static_cast<long long>(traced.degrade_events));
+  const bool timeline_ok = traced.has_bind && traced.has_cue &&
+                           traced.has_start && traced.has_stop &&
+                           traced.degrade_events > 0;
+  return (same_output && timeline_ok) ? 0 : 1;
 }

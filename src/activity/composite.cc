@@ -109,7 +109,7 @@ Status CompositeActivity::InstallSynced(MediaActivityPtr child,
       "synced child must be a source or a sink: " + raw->name());
 }
 
-Status CompositeActivity::Bind(MediaValuePtr value,
+Status CompositeActivity::DoBind(MediaValuePtr value,
                                const std::string& port_name) {
   auto it = exposed_.find(port_name);
   if (it == exposed_.end()) {
@@ -118,7 +118,7 @@ Status CompositeActivity::Bind(MediaValuePtr value,
   return it->second.first->Bind(std::move(value), it->second.second);
 }
 
-Status CompositeActivity::Cue(WorldTime t) {
+Status CompositeActivity::DoCue(WorldTime t) {
   for (const auto& child : children_.activities()) {
     if (child->Kind() == ActivityKind::kSource) {
       AVDB_RETURN_IF_ERROR(child->Cue(t));

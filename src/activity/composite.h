@@ -72,10 +72,10 @@ class CompositeActivity : public MediaActivity {
 
   /// Binding on an exposed port forwards to the owning child (so §4.3's
   /// `bind myNews.clip to dbSource` reaches the right component).
-  Status Bind(MediaValuePtr value, const std::string& port_name) override;
+  Status DoBind(MediaValuePtr value, const std::string& port_name) override;
 
   /// Cue forwards to every child that supports it.
-  Status Cue(WorldTime t) override;
+  Status DoCue(WorldTime t) override;
 
   std::string Describe() const override;
 

@@ -85,14 +85,53 @@ Status MediaActivity::Catch(const std::string& kind,
   return Status::OK();
 }
 
-Status MediaActivity::Bind(MediaValuePtr /*value*/,
-                           const std::string& port_name) {
+MediaActivity::MediaActivity(std::string name, ActivityLocation location,
+                             ActivityEnv env)
+    : name_(std::move(name)), location_(location), env_(env) {
+  if (env_.metrics != nullptr) {
+    elements_counter_ =
+        env_.metrics->GetCounter("avdb_activity_elements_emitted_total",
+                                 "stream elements sent through Emit");
+    emit_bytes_counter_ = env_.metrics->GetCounter(
+        "avdb_activity_emit_bytes_total", "payload bytes sent through Emit");
+    events_counter_ = env_.metrics->GetCounter(
+        "avdb_activity_events_total", "activity events raised to handlers");
+  }
+}
+
+Status MediaActivity::Bind(MediaValuePtr value, const std::string& port_name) {
+  int64_t span = 0;
+  if (env_.tracer != nullptr) {
+    span = env_.tracer->BeginSpan("activity", "bind", name_, port_name);
+  }
+  const Status status = DoBind(std::move(value), port_name);
+  if (env_.tracer != nullptr) {
+    env_.tracer->EndSpan(span, status.ok() ? "ok" : status.message());
+  }
+  return status;
+}
+
+Status MediaActivity::Cue(WorldTime t) {
+  int64_t span = 0;
+  if (env_.tracer != nullptr) {
+    span = env_.tracer->BeginSpan("activity", "cue", name_,
+                                  std::to_string(t.ToMillis()) + " ms");
+  }
+  const Status status = DoCue(t);
+  if (env_.tracer != nullptr) {
+    env_.tracer->EndSpan(span, status.ok() ? "ok" : status.message());
+  }
+  return status;
+}
+
+Status MediaActivity::DoBind(MediaValuePtr /*value*/,
+                             const std::string& port_name) {
   return Status::FailedPrecondition("activity " + name_ +
                                     " does not support binding on port " +
                                     port_name);
 }
 
-Status MediaActivity::Cue(WorldTime /*t*/) {
+Status MediaActivity::DoCue(WorldTime /*t*/) {
   return Status::FailedPrecondition("activity " + name_ +
                                     " does not support cueing");
 }
@@ -110,9 +149,19 @@ Status MediaActivity::Start() {
   }
   AVDB_CHECK(env_.engine != nullptr)
       << "activity " << name_ << " has no event engine";
+  int64_t span = 0;
+  if (env_.tracer != nullptr) {
+    span = env_.tracer->BeginSpan("activity", "start", name_);
+  }
   state_ = State::kRunning;
   const Status status = OnStart();
   if (!status.ok()) state_ = State::kStopped;
+  if (env_.tracer != nullptr) {
+    env_.tracer->EndSpan(span, status.ok() ? "ok" : status.message());
+    if (status.ok()) {
+      run_span_id_ = env_.tracer->BeginSpan("activity", "run", name_);
+    }
+  }
   return status;
 }
 
@@ -120,7 +169,28 @@ Status MediaActivity::Stop() {
   if (state_ != State::kRunning) return Status::OK();
   state_ = State::kStopped;
   ++generation_;
-  return OnStop();
+  int64_t span = 0;
+  if (env_.tracer != nullptr) {
+    env_.tracer->EndSpan(run_span_id_);
+    run_span_id_ = 0;
+    span = env_.tracer->BeginSpan("activity", "stop", name_);
+  }
+  const Status status = OnStop();
+  if (env_.tracer != nullptr) {
+    env_.tracer->EndSpan(span, status.ok() ? "ok" : status.message());
+  }
+  return status;
+}
+
+void MediaActivity::SelfStop() {
+  state_ = State::kStopped;
+  if (env_.tracer != nullptr) {
+    env_.tracer->EndSpan(run_span_id_, "eos");
+    run_span_id_ = 0;
+    const int64_t span =
+        env_.tracer->BeginSpan("activity", "stop", name_, "eos");
+    env_.tracer->EndSpan(span);
+  }
 }
 
 void MediaActivity::OnElement(Port* in, const StreamElement& /*element*/) {
@@ -147,6 +217,14 @@ void MediaActivity::Raise(const std::string& kind, int64_t element_index,
   event.element_index = element_index;
   event.time_ns = env_.engine != nullptr ? env_.engine->now_ns() : 0;
   event.detail = std::move(detail);
+  if (events_counter_ != nullptr) events_counter_->Increment();
+  // Per-element kinds (EACH_FRAME, ...) would swamp the trace ring; only
+  // milestone events land in the timeline.
+  if (env_.tracer != nullptr && kind.rfind("EACH_", 0) != 0) {
+    env_.tracer->Event("activity", "raise", name_,
+                       event.detail.empty() ? kind
+                                            : kind + ": " + event.detail);
+  }
   auto [begin, end] = handlers_.equal_range(kind);
   for (auto it = begin; it != end; ++it) it->second(event);
 }
@@ -168,6 +246,14 @@ void MediaActivity::Emit(Port* out, StreamElement element) {
   }
   if (env_.jitter != nullptr) {
     delivery_ns += env_.jitter->Sample();
+  }
+  if (elements_counter_ != nullptr) {
+    elements_counter_->Increment();
+    emit_bytes_counter_->Increment(element.size_bytes);
+  }
+  if (env_.tracer != nullptr && env_.tracer->capture_deliveries()) {
+    env_.tracer->EventAt(delivery_ns, "activity", "deliver", out->FullName(),
+                         std::to_string(element.size_bytes) + " B");
   }
   MediaActivity* receiver = connection->to()->owner();
   Port* in = connection->to();

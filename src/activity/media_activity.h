@@ -11,6 +11,8 @@
 #include "activity/stream_element.h"
 #include "base/result.h"
 #include "media/media_value.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/event_engine.h"
 #include "sched/jitter.h"
 #include "sched/sync_controller.h"
@@ -53,6 +55,11 @@ using ActivityEventHandler = std::function<void(const ActivityEvent&)>;
 struct ActivityEnv {
   EventEngine* engine = nullptr;
   JitterModel* jitter = nullptr;
+  /// Shared observability instruments (owned by the database). Either may
+  /// be nullptr: an uninstrumented activity pays one null check per
+  /// operation and nothing else.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Abstract base of all AV activities — the paper's central notion:
@@ -108,13 +115,15 @@ class MediaActivity {
   // --- control -------------------------------------------------------------
 
   /// Associates a media value with a port (§4.2 "activity binding").
-  /// Base implementation rejects; source activities override.
-  virtual Status Bind(MediaValuePtr value, const std::string& port_name);
+  /// Non-virtual so every bind lands in the lifecycle trace; subclasses
+  /// customize via DoBind (base rejects; source activities override).
+  Status Bind(MediaValuePtr value, const std::string& port_name);
 
   /// Positions the activity at world time `t` of its bound value (§4.2
   /// "cueing a VideoSource to world time 0 would position it at the first
-  /// frame"). Only meaningful while idle.
-  virtual Status Cue(WorldTime t);
+  /// frame"). Only meaningful while idle. Non-virtual for tracing;
+  /// subclasses customize via DoCue.
+  Status Cue(WorldTime t);
 
   /// Starts the activity: sources begin producing, sinks begin accepting.
   Status Start();
@@ -136,8 +145,7 @@ class MediaActivity {
   virtual std::string Describe() const;
 
  protected:
-  MediaActivity(std::string name, ActivityLocation location, ActivityEnv env)
-      : name_(std::move(name)), location_(location), env_(env) {}
+  MediaActivity(std::string name, ActivityLocation location, ActivityEnv env);
 
   /// Declares a port during construction; returns it for convenience.
   Port* DeclarePort(const std::string& name, PortDirection direction,
@@ -156,12 +164,18 @@ class MediaActivity {
   /// with a drop count when the port is unconnected.
   void Emit(Port* out, StreamElement element);
 
+  /// Subclass hooks behind the public Bind/Cue verbs (non-virtual
+  /// interface: the base traces every lifecycle transition exactly once,
+  /// whatever the subclass does).
+  virtual Status DoBind(MediaValuePtr value, const std::string& port_name);
+  virtual Status DoCue(WorldTime t);
+
   /// Subclass hooks for Start/Stop.
   virtual Status OnStart() { return Status::OK(); }
   virtual Status OnStop() { return Status::OK(); }
 
   /// Marks the activity stopped from inside (e.g. on end of stream).
-  void SelfStop() { state_ = State::kStopped; }
+  void SelfStop();
 
   /// Monotone generation counter: bumped on Stop so stale scheduled events
   /// can recognize they belong to a previous run.
@@ -184,6 +198,11 @@ class MediaActivity {
   std::vector<std::string> event_kinds_;
   std::multimap<std::string, ActivityEventHandler> handlers_;
   int64_t dropped_elements_ = 0;
+
+  obs::Counter* elements_counter_ = nullptr;
+  obs::Counter* emit_bytes_counter_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
+  int64_t run_span_id_ = 0;  ///< open "run" trace span while running
 };
 
 using MediaActivityPtr = std::shared_ptr<MediaActivity>;

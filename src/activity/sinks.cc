@@ -51,6 +51,16 @@ VideoWindow::VideoWindow(const std::string& name, ActivityLocation location,
                                             quality.rate()));
   DeclareEvent(kEachFrame);
   DeclareEvent(kLastFrame);
+  stats_.BindTo(env.metrics);
+  if (options_.degrade != nullptr) {
+    options_.degrade->AttachStreamStats(&stats_);
+  }
+}
+
+VideoWindow::~VideoWindow() {
+  if (options_.degrade != nullptr) {
+    options_.degrade->DetachStreamStats(&stats_);
+  }
 }
 
 std::shared_ptr<VideoWindow> VideoWindow::Create(const std::string& name,
@@ -104,6 +114,16 @@ AudioSink::AudioSink(const std::string& name, ActivityLocation location,
                                             AudioQualitySampleRate(quality)));
   DeclareEvent(kEachBlock);
   DeclareEvent(kLastBlock);
+  stats_.BindTo(env.metrics);
+  if (options_.degrade != nullptr) {
+    options_.degrade->AttachStreamStats(&stats_);
+  }
+}
+
+AudioSink::~AudioSink() {
+  if (options_.degrade != nullptr) {
+    options_.degrade->DetachStreamStats(&stats_);
+  }
 }
 
 std::shared_ptr<AudioSink> AudioSink::Create(const std::string& name,
@@ -150,6 +170,16 @@ TextSink::TextSink(const std::string& name, ActivityLocation location,
     : MediaActivity(name, location, env), options_(options) {
   in_ = DeclarePort(kPortIn, PortDirection::kIn,
                     MediaDataType::Text(Rational(30)));
+  stats_.BindTo(env.metrics);
+  if (options_.degrade != nullptr) {
+    options_.degrade->AttachStreamStats(&stats_);
+  }
+}
+
+TextSink::~TextSink() {
+  if (options_.degrade != nullptr) {
+    options_.degrade->DetachStreamStats(&stats_);
+  }
 }
 
 std::shared_ptr<TextSink> TextSink::Create(const std::string& name,

@@ -45,6 +45,8 @@ class VideoWindow : public MediaActivity {
                                              VideoQuality quality,
                                              SinkOptions options = {});
 
+  ~VideoWindow() override;
+
   const VideoQuality& quality() const { return quality_; }
   const StreamStats& stats() const { return stats_; }
 
@@ -81,6 +83,8 @@ class AudioSink : public MediaActivity {
                                            AudioQuality quality,
                                            SinkOptions options = {});
 
+  ~AudioSink() override;
+
   AudioQuality quality() const { return quality_; }
   const StreamStats& stats() const { return stats_; }
 
@@ -107,6 +111,8 @@ class TextSink : public MediaActivity {
                                           ActivityLocation location,
                                           ActivityEnv env,
                                           SinkOptions options = {});
+
+  ~TextSink() override;
 
   const StreamStats& stats() const { return stats_; }
   const std::vector<std::string>& presented() const { return presented_; }

@@ -42,7 +42,7 @@ std::shared_ptr<VideoSource> VideoSource::Create(const std::string& name,
       new VideoSource(name, location, env, std::move(options), emit_encoded));
 }
 
-Status VideoSource::Bind(MediaValuePtr value, const std::string& port_name) {
+Status VideoSource::DoBind(MediaValuePtr value, const std::string& port_name) {
   if (port_name != kPortOut) {
     return Status::NotFound("port " + name() + "." + port_name);
   }
@@ -88,7 +88,7 @@ Status VideoSource::Bind(MediaValuePtr value, const std::string& port_name) {
   return Status::OK();
 }
 
-Status VideoSource::Cue(WorldTime t) {
+Status VideoSource::DoCue(WorldTime t) {
   if (state() == State::kRunning) {
     return Status::FailedPrecondition("cannot cue while running");
   }
@@ -379,7 +379,7 @@ std::shared_ptr<AudioSource> AudioSource::Create(const std::string& name,
       new AudioSource(name, location, env, std::move(options)));
 }
 
-Status AudioSource::Bind(MediaValuePtr value, const std::string& port_name) {
+Status AudioSource::DoBind(MediaValuePtr value, const std::string& port_name) {
   if (port_name != kPortOut) {
     return Status::NotFound("port " + name() + "." + port_name);
   }
@@ -397,7 +397,7 @@ Status AudioSource::Bind(MediaValuePtr value, const std::string& port_name) {
   return Status::OK();
 }
 
-Status AudioSource::Cue(WorldTime t) {
+Status AudioSource::DoCue(WorldTime t) {
   if (state() == State::kRunning) {
     return Status::FailedPrecondition("cannot cue while running");
   }
@@ -574,7 +574,7 @@ std::shared_ptr<TextSource> TextSource::Create(const std::string& name,
       new TextSource(name, location, env, std::move(options)));
 }
 
-Status TextSource::Bind(MediaValuePtr value, const std::string& port_name) {
+Status TextSource::DoBind(MediaValuePtr value, const std::string& port_name) {
   if (port_name != kPortOut) {
     return Status::NotFound("port " + name() + "." + port_name);
   }
@@ -588,7 +588,7 @@ Status TextSource::Bind(MediaValuePtr value, const std::string& port_name) {
   return Status::OK();
 }
 
-Status TextSource::Cue(WorldTime t) {
+Status TextSource::DoCue(WorldTime t) {
   if (value_ == nullptr) {
     return Status::FailedPrecondition("cue before bind on " + name());
   }

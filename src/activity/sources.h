@@ -79,11 +79,11 @@ class VideoSource : public MediaActivity {
                                              bool emit_encoded = false);
 
   /// Binds a VideoValue to "video_out" and re-types the port.
-  Status Bind(MediaValuePtr value, const std::string& port_name) override;
+  Status DoBind(MediaValuePtr value, const std::string& port_name) override;
 
   /// Positions so the next produced frame is the one at local time `t` of
   /// the bound value.
-  Status Cue(WorldTime t) override;
+  Status DoCue(WorldTime t) override;
 
   const VideoValuePtr& bound_value() const { return value_; }
   int64_t next_index() const { return next_index_; }
@@ -157,8 +157,8 @@ class AudioSource : public MediaActivity {
                                              ActivityEnv env,
                                              SourceOptions options = {});
 
-  Status Bind(MediaValuePtr value, const std::string& port_name) override;
-  Status Cue(WorldTime t) override;
+  Status DoBind(MediaValuePtr value, const std::string& port_name) override;
+  Status DoCue(WorldTime t) override;
 
   const AudioValuePtr& bound_value() const { return value_; }
 
@@ -194,8 +194,8 @@ class TextSource : public MediaActivity {
                                             ActivityEnv env,
                                             SourceOptions options = {});
 
-  Status Bind(MediaValuePtr value, const std::string& port_name) override;
-  Status Cue(WorldTime t) override;
+  Status DoBind(MediaValuePtr value, const std::string& port_name) override;
+  Status DoCue(WorldTime t) override;
 
   /// Captions are sparse; the track joins the domain but never skips.
   Status ConfigureSync(SyncController* sync,

@@ -27,7 +27,7 @@ std::shared_ptr<VideoDecoderActivity> VideoDecoderActivity::Create(
       new VideoDecoderActivity(name, location, env, costs));
 }
 
-Status VideoDecoderActivity::Bind(MediaValuePtr value,
+Status VideoDecoderActivity::DoBind(MediaValuePtr value,
                                   const std::string& port_name) {
   if (port_name != kPortIn) {
     return Status::NotFound("port " + name() + "." + port_name);

@@ -30,7 +30,7 @@ class VideoDecoderActivity : public MediaActivity {
 
   /// Binds the encoded value whose chunk stream will arrive; re-types both
   /// ports to match.
-  Status Bind(MediaValuePtr value, const std::string& port_name) override;
+  Status DoBind(MediaValuePtr value, const std::string& port_name) override;
 
   void OnElement(Port* in, const StreamElement& element) override;
 

@@ -71,11 +71,19 @@ AvDatabase::AvDatabase(AvDatabaseConfig config)
     : config_(config),
       graph_(ActivityEnv{&engine_, nullptr}),
       devices_(config.cache_bytes) {
+  if (config_.observability) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    tracer_ = std::make_unique<obs::Tracer>(
+        static_cast<size_t>(config_.trace_capacity));
+    tracer_->SetClock([engine = &engine_] { return engine->now_ns(); });
+    admission_.BindObservability(metrics_.get(), tracer_.get());
+  }
   if (config_.jitter_seed != 0) {
     jitter_ = std::make_unique<JitterModel>(
         JitterModel::Workstation(config_.jitter_seed));
-    graph_ = ActivityGraph(ActivityEnv{&engine_, jitter_.get()});
+    jitter_->BindTo(metrics_.get());
   }
+  graph_ = ActivityGraph(env());
   AVDB_CHECK(admission_
                  .RegisterPool("db.decoders",
                                static_cast<double>(config_.decoder_units))
@@ -98,6 +106,12 @@ Result<BlockDevice*> AvDatabase::AddDevice(const std::string& name,
     auto mounted = devices_.MountStore(name, config_.journal_bytes);
     if (!mounted.ok()) return mounted.status();
   }
+  if (metrics_ != nullptr) {
+    auto store = devices_.GetStore(name);
+    if (store.ok()) {
+      store.value()->BindObservability(metrics_.get(), tracer_.get());
+    }
+  }
   AVDB_RETURN_IF_ERROR(admission_.RegisterPool(
       name + ".bandwidth", static_cast<double>(bandwidth)));
   if (exclusive) {
@@ -115,6 +129,9 @@ Result<ChannelPtr> AvDatabase::AddChannel(const std::string& name,
   // Channels keep their own reservation ledger (Channel::ReserveBandwidth);
   // no admission pool is duplicated for them.
   auto channel = std::make_shared<Channel>(name, profile);
+  if (metrics_ != nullptr) {
+    channel->BindObservability(metrics_.get(), tracer_.get());
+  }
   channels_[name] = channel;
   return channel;
 }

@@ -16,6 +16,8 @@
 #include "db/query.h"
 #include "db/schema.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/admission.h"
 #include "sched/event_engine.h"
 #include "sched/jitter.h"
@@ -48,6 +50,14 @@ struct AvDatabaseConfig {
   bool durable_storage = false;
   /// Journal region size per device when `durable_storage` is set.
   int64_t journal_bytes = MediaStore::kDefaultJournalBytes;
+  /// When true (the default) the database owns a MetricsRegistry and a
+  /// virtual-time Tracer, and every layer it assembles — admission, jitter,
+  /// stores, channels, activities — is bound to them. Off, nothing is
+  /// allocated and every instrumented path degrades to one null check.
+  bool observability = true;
+  /// Trace ring capacity (events) when `observability` is set.
+  int64_t trace_capacity =
+      static_cast<int64_t>(obs::Tracer::kDefaultCapacity);
 };
 
 /// A started stream: the admission ticket and reservations it holds, so
@@ -87,7 +97,13 @@ class AvDatabase {
   const AvDatabaseConfig& config() const { return config_; }
 
   /// Environment for activities located at the database.
-  ActivityEnv env() { return ActivityEnv{&engine_, jitter_.get()}; }
+  ActivityEnv env() {
+    return ActivityEnv{&engine_, jitter_.get(), metrics_.get(), tracer_.get()};
+  }
+
+  /// Shared instruments; nullptr when config().observability is off.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::Tracer* tracer() { return tracer_.get(); }
 
   /// Registers a storage device; creates its admission pools
   /// ("<name>.bandwidth" in bytes/s and, for exclusive devices,
@@ -307,6 +323,8 @@ class AvDatabase {
 
   AvDatabaseConfig config_;
   EventEngine engine_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<JitterModel> jitter_;
   ActivityGraph graph_;
   DeviceManager devices_;

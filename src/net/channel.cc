@@ -57,6 +57,12 @@ void Channel::ReleaseBandwidth(int64_t bytes_per_sec) {
                       << reserved_bytes_per_sec_
                       << " B/s reserved; clamping at zero";
     ++stats_.over_releases;
+    if (over_releases_counter_ != nullptr) over_releases_counter_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Event("net", "over_release", name_,
+                     std::to_string(bytes_per_sec) + " B/s over " +
+                         std::to_string(reserved_bytes_per_sec_));
+    }
     reserved_bytes_per_sec_ = 0;
     return;
   }
@@ -65,6 +71,11 @@ void Channel::ReleaseBandwidth(int64_t bytes_per_sec) {
 
 int64_t Channel::SetLineRate(int64_t bytes_per_sec) {
   AVDB_CHECK(bytes_per_sec > 0) << "line rate must stay positive";
+  if (tracer_ != nullptr && bytes_per_sec != line_rate_bytes_per_sec_) {
+    tracer_->Event("net", "line_rate_set", name_,
+                   std::to_string(line_rate_bytes_per_sec_) + " -> " +
+                       std::to_string(bytes_per_sec) + " B/s");
+  }
   line_rate_bytes_per_sec_ = bytes_per_sec;
   return OversubscribedBandwidth();
 }
@@ -81,17 +92,48 @@ int64_t Channel::Transfer(int64_t request_ns, int64_t bytes) {
       serialization_ns = static_cast<int64_t>(
           static_cast<double>(serialization_ns) * slowdown);
       ++stats_.collapsed_transfers;
+      if (collapsed_counter_ != nullptr) collapsed_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->EventAt(request_ns, "net", "bandwidth_collapse", name_,
+                         "x" + std::to_string(slowdown));
+      }
     }
   }
   const int64_t done = link_.Submit(request_ns, serialization_ns);
   ++stats_.transfers;
   stats_.bytes += bytes;
+  if (transfers_counter_ != nullptr) {
+    transfers_counter_->Increment();
+    transfer_bytes_counter_->Increment(bytes);
+  }
   return done + profile_.propagation_delay_ns;
 }
 
 int64_t Channel::PeekTransfer(int64_t request_ns, int64_t bytes) const {
   return link_.PeekCompletion(request_ns, SerializationNs(bytes)) +
          profile_.propagation_delay_ns;
+}
+
+void Channel::BindObservability(obs::MetricsRegistry* registry,
+                                obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    transfers_counter_ = nullptr;
+    transfer_bytes_counter_ = nullptr;
+    collapsed_counter_ = nullptr;
+    over_releases_counter_ = nullptr;
+    return;
+  }
+  transfers_counter_ = registry->GetCounter("avdb_net_transfers_total",
+                                            "transfers submitted to the link");
+  transfer_bytes_counter_ = registry->GetCounter(
+      "avdb_net_transfer_bytes_total", "payload bytes sent over the link");
+  collapsed_counter_ =
+      registry->GetCounter("avdb_net_collapsed_transfers_total",
+                           "transfers slowed by an injected fault");
+  over_releases_counter_ =
+      registry->GetCounter("avdb_net_over_releases_total",
+                           "bandwidth releases clamped at zero");
 }
 
 }  // namespace avdb

@@ -7,6 +7,8 @@
 
 #include "base/fault_injector.h"
 #include "base/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/service_queue.h"
 
 namespace avdb {
@@ -98,6 +100,12 @@ class Channel {
   const Stats& stats() const { return stats_; }
   const ServiceQueue& queue() const { return link_; }
 
+  /// Forwards transfer/over-release stats into shared `avdb_net_*` counters
+  /// and traces line-rate revocations, fault-collapsed transfers, and
+  /// over-releases (actor = channel name). nullptr detaches; unbound the
+  /// channel is cost-identical to the uninstrumented one.
+  void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
  private:
   std::string name_;
   Profile profile_;
@@ -106,6 +114,11 @@ class Channel {
   ServiceQueue link_;
   FaultInjector* fault_injector_ = nullptr;
   Stats stats_;
+  obs::Counter* transfers_counter_ = nullptr;
+  obs::Counter* transfer_bytes_counter_ = nullptr;
+  obs::Counter* collapsed_counter_ = nullptr;
+  obs::Counter* over_releases_counter_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 using ChannelPtr = std::shared_ptr<Channel>;

@@ -1,0 +1,149 @@
+#ifndef AVDB_OBS_METRICS_H_
+#define AVDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/mutex.h"
+
+namespace avdb {
+namespace obs {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the metrics and trace
+/// exporters so both emit byte-stable, parseable JSON.
+std::string JsonEscape(std::string_view s);
+
+/// True when `name` follows the repo-wide instrument convention
+/// `avdb_<layer>_<metric>` — lowercase, digits and underscores only, at
+/// least three segments. avdb-lint additionally checks that `<layer>`
+/// matches the include-DAG layer of the defining file.
+bool ValidMetricName(std::string_view name);
+
+/// Monotone event count. Increments are relaxed atomics: instruments are
+/// shared across the real-time bridge threads (work pool) and the
+/// single-threaded event engine, and a counter needs no ordering beyond
+/// its own total.
+class Counter {
+ public:
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time level (reserved bandwidth, queue depth, ladder position).
+class Gauge {
+ public:
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds in ascending
+/// order; an implicit +Inf bucket catches the rest. Observation cost is one
+/// binary search plus two relaxed atomic adds — cheap enough for per-element
+/// lateness on the streaming path.
+class Histogram {
+ public:
+  Histogram(std::string name, std::string help, std::vector<int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(int64_t value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is +Inf.
+  int64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 (+Inf)
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Process-wide instrument directory: get-or-create by name, stable
+/// pointers for the registry's lifetime, deterministic (name-sorted)
+/// export. One registry per experiment; layers receive it by pointer and
+/// treat nullptr as "observability off" — the disabled path is a single
+/// branch.
+///
+/// All instrument values are integers (counts, ns, bytes), so both export
+/// formats are byte-stable across runs of the same virtual-time schedule.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. The name must satisfy ValidMetricName and must not be
+  /// registered as a different instrument kind (programmer error; fails a
+  /// CHECK — the registry is not a hot-path layer).
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be ascending; ignored when the histogram already exists.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds,
+                          const std::string& help = "");
+
+  /// Prometheus text exposition (HELP/TYPE comments, cumulative `le`
+  /// buckets, `_sum`/`_count` series), instruments in name order.
+  std::string PrometheusText() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}},
+  /// instruments in name order.
+  std::string Json() const;
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      AVDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ AVDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      AVDB_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace avdb
+
+#endif  // AVDB_OBS_METRICS_H_

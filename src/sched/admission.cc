@@ -46,7 +46,15 @@ Result<double> AdmissionController::SetPoolCapacity(const std::string& name,
   }
   auto it = pools_.find(name);
   if (it == pools_.end()) return Status::NotFound("pool: " + name);
-  if (capacity < it->second.capacity) ++stats_.revocations;
+  if (capacity < it->second.capacity) {
+    ++stats_.revocations;
+    if (revocations_counter_ != nullptr) revocations_counter_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Event("sched", "pool_revoked", name,
+                     std::to_string(it->second.capacity) + " -> " +
+                         std::to_string(capacity));
+    }
+  }
   it->second.capacity = capacity;
   const double over = it->second.used - capacity;
   return over > 0 ? over : 0.0;
@@ -71,6 +79,13 @@ Result<AdmissionTicket> AdmissionController::Admit(
     // Small epsilon tolerance so rate arithmetic at the boundary admits.
     if (it->second.used + amount > it->second.capacity * (1 + 1e-9)) {
       ++stats_.rejected;
+      if (rejected_counter_ != nullptr) rejected_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->Event("sched", "admission_rejected", pool_name,
+                       "short by " +
+                           std::to_string(amount - (it->second.capacity -
+                                                    it->second.used)));
+      }
       return Status::ResourceExhausted(
           "pool " + pool_name + " has " +
           std::to_string(it->second.capacity - it->second.used) + " of " +
@@ -85,6 +100,11 @@ Result<AdmissionTicket> AdmissionController::Admit(
   ticket.id_ = next_ticket_id_++;
   ticket.demands_ = demands;
   ++stats_.admitted;
+  if (admitted_counter_ != nullptr) admitted_counter_->Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Event("sched", "admitted", "ticket " + std::to_string(ticket.id_),
+                   std::to_string(demands.size()) + " demands");
+  }
   return ticket;
 }
 
@@ -105,8 +125,34 @@ Result<AdmissionTicket> AdmissionController::Readmit(
     AdmissionTicket* old_ticket, const std::vector<ResourceDemand>& demands) {
   Release(old_ticket);
   auto ticket = Admit(demands);
-  if (ticket.ok()) ++stats_.readmitted;
+  if (ticket.ok()) {
+    ++stats_.readmitted;
+    if (readmitted_counter_ != nullptr) readmitted_counter_->Increment();
+  }
   return ticket;
+}
+
+void AdmissionController::BindObservability(obs::MetricsRegistry* registry,
+                                            obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    admitted_counter_ = nullptr;
+    rejected_counter_ = nullptr;
+    readmitted_counter_ = nullptr;
+    revocations_counter_ = nullptr;
+    return;
+  }
+  admitted_counter_ = registry->GetCounter(
+      "avdb_sched_admission_admitted_total", "admission requests granted");
+  rejected_counter_ = registry->GetCounter(
+      "avdb_sched_admission_rejected_total",
+      "admission requests refused on a pool shortfall");
+  readmitted_counter_ =
+      registry->GetCounter("avdb_sched_admission_readmitted_total",
+                           "reduced-demand re-admissions after revocation");
+  revocations_counter_ =
+      registry->GetCounter("avdb_sched_admission_revocations_total",
+                           "pool capacity reductions mid-run");
 }
 
 }  // namespace avdb

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "base/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace avdb {
 
@@ -89,6 +91,12 @@ class AdmissionController {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Forwards admissions/rejections/revocations into shared
+  /// `avdb_sched_admission_*` counters and traces every decision (the §4.3
+  /// "this statement would fail" moments are exactly what a timeline must
+  /// show).
+  void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
  private:
   struct Pool {
     double capacity = 0;
@@ -98,6 +106,11 @@ class AdmissionController {
   std::map<std::string, Pool> pools_;
   int64_t next_ticket_id_ = 1;
   Stats stats_;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* readmitted_counter_ = nullptr;
+  obs::Counter* revocations_counter_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace avdb

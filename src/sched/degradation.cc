@@ -34,9 +34,13 @@ void DegradationController::ReportLateness(int64_t now_ns,
 }
 
 void DegradationController::ReportFault(int64_t now_ns) {
-  (void)now_ns;
   ++consecutive_faults_;
   ++stats_.faults;
+  if (faults_counter_ != nullptr) faults_counter_->Increment();
+  if (tracer_ != nullptr) {
+    tracer_->EventAt(now_ns, "sched", "fault", actor_,
+                     "strike " + std::to_string(consecutive_faults_));
+  }
 }
 
 void DegradationController::ReportFaultRecovered() {
@@ -46,6 +50,17 @@ void DegradationController::ReportFaultRecovered() {
 DegradeAction DegradationController::Recommend(int64_t now_ns) const {
   if (consecutive_faults_ >= policy_.max_consecutive_faults) {
     return DegradeAction::kAbort;
+  }
+  // The corrected-signal rung: with attached stream stats, MissRate counts
+  // shed elements as misses, so a stream that sheds nearly everything reads
+  // as failing even though the few frames it does present arrive "on time".
+  if (stream_stats_ != nullptr) {
+    const int64_t accounted = stream_stats_->elements_presented +
+                              stream_stats_->elements_skipped;
+    if (accounted >= policy_.miss_rate_min_elements &&
+        stream_stats_->MissRate() >= policy_.abort_miss_rate) {
+      return DegradeAction::kAbort;
+    }
   }
   const int64_t smoothed = SmoothedLatenessNs();
   if (smoothed >= policy_.pause_threshold_ns && DwellElapsed(now_ns)) {
@@ -79,6 +94,9 @@ void DegradationController::AcknowledgeAction(DegradeAction action,
       // remaining frame.
       smoothed_lateness_ns_ -= policy_.ewma_alpha * smoothed_lateness_ns_;
       ++stats_.drops_taken;
+      // The sink never sees the shed element; account it here so the
+      // stream's MissRate reflects what the viewer actually lost.
+      if (stream_stats_ != nullptr) stream_stats_->RecordSkipped();
       break;
     case DegradeAction::kLowerQuality:
       ++steps_below_nominal_;
@@ -100,6 +118,43 @@ void DegradationController::AcknowledgeAction(DegradeAction action,
       ++stats_.aborts_taken;
       break;
   }
+  if (action != DegradeAction::kNone) {
+    if (obs::Counter* c = action_counters_[static_cast<int>(action)]) {
+      c->Increment();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Event("sched", "degrade", actor_, DegradeActionName(action));
+    }
+  }
+}
+
+void DegradationController::BindObservability(obs::MetricsRegistry* registry,
+                                              obs::Tracer* tracer,
+                                              std::string actor) {
+  tracer_ = tracer;
+  actor_ = std::move(actor);
+  if (registry == nullptr) {
+    for (auto& c : action_counters_) c = nullptr;
+    faults_counter_ = nullptr;
+    return;
+  }
+  action_counters_[static_cast<int>(DegradeAction::kDropFrame)] =
+      registry->GetCounter("avdb_sched_degrade_drops_total",
+                           "frames shed by the ladder");
+  action_counters_[static_cast<int>(DegradeAction::kLowerQuality)] =
+      registry->GetCounter("avdb_sched_degrade_lowers_total",
+                           "quality step-downs taken");
+  action_counters_[static_cast<int>(DegradeAction::kRaiseQuality)] =
+      registry->GetCounter("avdb_sched_degrade_raises_total",
+                           "quality step-ups taken");
+  action_counters_[static_cast<int>(DegradeAction::kPause)] =
+      registry->GetCounter("avdb_sched_degrade_pauses_total",
+                           "pause/re-anchor actions taken");
+  action_counters_[static_cast<int>(DegradeAction::kAbort)] =
+      registry->GetCounter("avdb_sched_degrade_aborts_total",
+                           "streams abandoned by the ladder");
+  faults_counter_ = registry->GetCounter("avdb_sched_degrade_faults_total",
+                                         "fault strikes reported");
 }
 
 }  // namespace avdb

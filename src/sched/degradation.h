@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/stream_stats.h"
+
 namespace avdb {
 
 /// One rung of the graceful-degradation ladder. Ordered by severity: a
@@ -45,6 +49,13 @@ struct DegradationPolicy {
   int max_lower_steps = 2;
   /// Consecutive unrecovered faults before the stream is abandoned.
   int max_consecutive_faults = 8;
+  /// Shed-corrected MissRate() at or beyond which a stream with attached
+  /// StreamStats is recommended abort: at this point drops + misses mean
+  /// the viewer effectively sees nothing, so degrading further is futile.
+  double abort_miss_rate = 0.95;
+  /// Minimum accounted elements (presented + skipped) before the miss-rate
+  /// abort rung may fire — a short warm-up must not kill a stream.
+  int64_t miss_rate_min_elements = 50;
 
   static DegradationPolicy Default() { return DegradationPolicy{}; }
 };
@@ -82,6 +93,22 @@ class DegradationController {
   /// so pre-pause lateness no longer describes the stream.
   void AcknowledgeAction(DegradeAction action, int64_t now_ns);
 
+  /// Points the controller at the sink's per-stream stats so (a) drop-acks
+  /// record the shed element there — keeping the shed-corrected MissRate
+  /// honest — and (b) Recommend can read that corrected rate for its abort
+  /// rung. nullptr detaches (a destroyed sink must detach its stats).
+  void AttachStreamStats(StreamStats* stats) { stream_stats_ = stats; }
+  /// Detaches only if `stats` is the currently attached record.
+  void DetachStreamStats(const StreamStats* stats) {
+    if (stream_stats_ == stats) stream_stats_ = nullptr;
+  }
+
+  /// Forwards ladder transitions into shared `avdb_sched_degrade_*`
+  /// counters and, when `tracer` is set, records each acknowledged action
+  /// as a trace event under `actor` (the stream name).
+  void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer,
+                         std::string actor = "");
+
   /// Quality steps currently below nominal (0 = full quality).
   int StepsBelowNominal() const { return steps_below_nominal_; }
   int ConsecutiveFaults() const { return consecutive_faults_; }
@@ -113,6 +140,11 @@ class DegradationController {
   int consecutive_faults_ = 0;
   int64_t last_switch_ns_ = -(1LL << 62);  // dwell open at stream start
   Stats stats_;
+  StreamStats* stream_stats_ = nullptr;  // non-owning; sink detaches
+  obs::Counter* action_counters_[6] = {};  // indexed by DegradeAction
+  obs::Counter* faults_counter_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::string actor_;
 };
 
 }  // namespace avdb

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "base/rng.h"
+#include "obs/metrics.h"
 
 namespace avdb {
 
@@ -53,10 +54,22 @@ class JitterModel {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Clears the accumulated stats (the RNG stream continues). Benches that
+  /// share one model across scenarios call this between them so one
+  /// scenario's spike count cannot smear into the next report.
+  void Reset() { stats_ = Stats{}; }
+
+  /// Forwards every sample into shared `avdb_sched_jitter_*` instruments
+  /// (nullptr detaches). Local stats stay authoritative for this model.
+  void BindTo(obs::MetricsRegistry* registry);
+
  private:
   Params params_;
   Rng rng_;
   Stats stats_;
+  obs::Counter* samples_counter_ = nullptr;
+  obs::Counter* spikes_counter_ = nullptr;
+  obs::Histogram* delay_histogram_ = nullptr;
 };
 
 }  // namespace avdb

@@ -1,0 +1,15 @@
+#include "sched/stream_stats.h"
+
+namespace avdb {
+
+void StreamStats::ForwardRecord(int64_t lateness_ns, int64_t bytes) {
+  presented_counter_->Increment();
+  bytes_counter_->Increment(bytes);
+  lateness_histogram_->Observe(lateness_ns > 0 ? lateness_ns : 0);
+  if (lateness_ns > 0) {
+    late_counter_->Increment();
+    if (lateness_ns >= kMissThresholdNs) miss_counter_->Increment();
+  }
+}
+
+}  // namespace avdb

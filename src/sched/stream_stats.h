@@ -5,15 +5,23 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace avdb {
 
 /// Per-stream presentation quality record kept by sink activities: how many
 /// elements arrived, how late, how many missed their deadline outright, and
 /// how long the stream took to start. These are the numbers the benchmark
 /// harness reports for every figure experiment.
+///
+/// The local fields stay authoritative per stream (cheap, copyable,
+/// inspectable); BindTo additionally forwards every update into shared
+/// registry instruments so all streams of an experiment aggregate under the
+/// `avdb_sched_stream_*` names. Unbound, the struct behaves exactly as
+/// before — one null check per update.
 struct StreamStats {
   int64_t elements_presented = 0;
-  int64_t elements_skipped = 0;
+  int64_t elements_skipped = 0;   ///< shed upstream, never presented
   int64_t late_elements = 0;      ///< arrived after their ideal time
   int64_t deadline_misses = 0;    ///< later than the miss threshold
   int64_t total_lateness_ns = 0;  ///< summed positive lateness
@@ -25,7 +33,7 @@ struct StreamStats {
   /// control reads. One spike barely moves it; sustained lag raises it.
   double smoothed_lateness_ns = 0;
 
-  /// Threshold beyond which a late element counts as a deadline miss.
+  /// Threshold at or beyond which a late element counts as a deadline miss.
   static constexpr int64_t kMissThresholdNs = 50 * 1000 * 1000;  // 50 ms
   /// Smoothing factor for `smoothed_lateness_ns`.
   static constexpr double kLatenessAlpha = 0.3;
@@ -44,8 +52,21 @@ struct StreamStats {
       ++late_elements;
       total_lateness_ns += lateness_ns;
       max_lateness_ns = std::max(max_lateness_ns, lateness_ns);
-      if (lateness_ns > kMissThresholdNs) ++deadline_misses;
+      if (lateness_ns >= kMissThresholdNs) ++deadline_misses;
     }
+    // The forward body lives out of line: inlined here it bloats every
+    // sink's per-element loop even when no registry is bound, and the
+    // disabled path stops being "one null check" (bench_observability
+    // gates on exactly that).
+    if (presented_counter_ != nullptr) ForwardRecord(lateness_ns, bytes);
+  }
+
+  /// Records `n` elements shed before presentation (frame drops, sync
+  /// skips). A shed element by definition never made its deadline, so it
+  /// feeds MissRate alongside outright misses.
+  void RecordSkipped(int64_t n = 1) {
+    elements_skipped += n;
+    if (skipped_counter_ != nullptr) skipped_counter_->Increment(n);
   }
 
   double MeanLatenessMs() const {
@@ -55,10 +76,17 @@ struct StreamStats {
                      1e6;
   }
 
+  /// Deadline failures per element the stream was supposed to show. A shed
+  /// element counts as a miss: it never reached the screen at all, which is
+  /// strictly worse than arriving past the threshold — under heavy shedding
+  /// the old misses/total quotient read near zero while the viewer saw
+  /// almost nothing.
   double MissRate() const {
     const int64_t total = elements_presented + elements_skipped;
-    return total == 0 ? 0.0
-                      : static_cast<double>(deadline_misses) / total;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses + elements_skipped) /
+                     static_cast<double>(total);
   }
 
   /// Achieved element rate over the active span, elements/second.
@@ -69,6 +97,52 @@ struct StreamStats {
     return static_cast<double>(elements_presented - 1) * 1e9 /
            static_cast<double>(last_element_ns - first_element_ns);
   }
+
+  /// Makes this record a view over the shared per-layer instruments in
+  /// `registry` (nullptr detaches). Counts recorded before binding are not
+  /// replayed.
+  void BindTo(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      presented_counter_ = nullptr;
+      skipped_counter_ = nullptr;
+      late_counter_ = nullptr;
+      miss_counter_ = nullptr;
+      bytes_counter_ = nullptr;
+      lateness_histogram_ = nullptr;
+      return;
+    }
+    presented_counter_ = registry->GetCounter(
+        "avdb_sched_stream_elements_presented_total",
+        "elements presented across all sinks");
+    skipped_counter_ =
+        registry->GetCounter("avdb_sched_stream_elements_skipped_total",
+                             "elements shed before presentation");
+    late_counter_ = registry->GetCounter(
+        "avdb_sched_stream_late_elements_total",
+        "elements presented after their ideal time");
+    miss_counter_ =
+        registry->GetCounter("avdb_sched_stream_deadline_misses_total",
+                             "elements at least 50 ms late");
+    bytes_counter_ = registry->GetCounter(
+        "avdb_sched_stream_bytes_delivered_total", "payload bytes presented");
+    lateness_histogram_ = registry->GetHistogram(
+        "avdb_sched_stream_lateness_ns",
+        {0, 1'000'000, 5'000'000, 10'000'000, 20'000'000, 50'000'000,
+         100'000'000, 250'000'000, 1'000'000'000},
+        "positive per-element lateness");
+  }
+
+ private:
+  /// Cold half of Record: forwards one presentation into the bound
+  /// instruments. Only reached when BindTo attached a registry.
+  void ForwardRecord(int64_t lateness_ns, int64_t bytes);
+
+  obs::Counter* presented_counter_ = nullptr;
+  obs::Counter* skipped_counter_ = nullptr;
+  obs::Counter* late_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Histogram* lateness_histogram_ = nullptr;
 };
 
 }  // namespace avdb

@@ -27,6 +27,10 @@ Status SyncController::RemoveTrack(const std::string& track) {
   if (was_master && !tracks_.empty()) {
     tracks_.begin()->second.master = true;
   }
+  if (tracer_ != nullptr) {
+    tracer_->Event("sched", "sync_track_removed", track,
+                   was_master ? "was master" : "");
+  }
   return Status::OK();
 }
 
@@ -52,6 +56,10 @@ Status SyncController::Report(const std::string& track, int64_t ideal_ns,
   ++stats_.reports;
   stats_.max_observed_skew_ns =
       std::max(stats_.max_observed_skew_ns, CurrentMaxSkewNs());
+  if (reports_counter_ != nullptr) {
+    reports_counter_->Increment();
+    max_skew_gauge_->Set(stats_.max_observed_skew_ns);
+  }
   return Status::OK();
 }
 
@@ -77,7 +85,36 @@ Result<int64_t> SyncController::RecommendSkip(const std::string& track,
   // Skipping advances the track by skip periods; reflect that in drift so
   // the recommendation is not repeated before new reports arrive.
   it->second.drift_ns -= static_cast<double>(skip * element_period_ns);
+  if (resyncs_counter_ != nullptr) {
+    resyncs_counter_->Increment();
+    skips_counter_->Increment(skip);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Event("sched", "resync", track,
+                   "skip " + std::to_string(skip) + " elements");
+  }
   return skip;
+}
+
+void SyncController::BindObservability(obs::MetricsRegistry* registry,
+                                       obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    reports_counter_ = nullptr;
+    resyncs_counter_ = nullptr;
+    skips_counter_ = nullptr;
+    max_skew_gauge_ = nullptr;
+    return;
+  }
+  reports_counter_ = registry->GetCounter("avdb_sched_sync_reports_total",
+                                          "presentations reported");
+  resyncs_counter_ = registry->GetCounter("avdb_sched_sync_resyncs_total",
+                                          "nonzero skip recommendations");
+  skips_counter_ =
+      registry->GetCounter("avdb_sched_sync_elements_skipped_total",
+                           "elements skipped to resynchronize");
+  max_skew_gauge_ = registry->GetGauge("avdb_sched_sync_max_skew_ns",
+                                       "largest inter-track skew observed");
 }
 
 Result<int64_t> SyncController::DriftNs(const std::string& track) const {

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "base/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace avdb {
 
@@ -68,6 +70,10 @@ class SyncController {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Forwards reports/resyncs/skips into shared `avdb_sched_sync_*`
+  /// instruments and traces resynchronizations and track removals.
+  void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
  private:
   struct TrackState {
     bool master = false;
@@ -80,6 +86,11 @@ class SyncController {
   Params params_;
   std::map<std::string, TrackState> tracks_;
   Stats stats_;
+  obs::Counter* reports_counter_ = nullptr;
+  obs::Counter* resyncs_counter_ = nullptr;
+  obs::Counter* skips_counter_ = nullptr;
+  obs::Gauge* max_skew_gauge_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace avdb

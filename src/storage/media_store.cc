@@ -445,6 +445,12 @@ Result<MediaStore::RecoveryReport> MediaStore::Recover() {
 
   report.blobs = static_cast<int64_t>(directory_.size());
   report.journal_bytes_scanned = pos;
+  if (tracer_ != nullptr) {
+    tracer_->Event("storage", "recover", device_->name(),
+                   std::to_string(report.records_replayed) +
+                       " records replayed, " + std::to_string(report.blobs) +
+                       " blobs");
+  }
   return report;
 }
 
@@ -459,6 +465,9 @@ Status MediaStore::AppendJournal(const Buffer& payload, WorldTime* cost) {
   *cost += written.value();
   journal_append_ += static_cast<int64_t>(record.size());
   ++stats_.journal_records;
+  if (journal_records_counter_ != nullptr) {
+    journal_records_counter_->Increment();
+  }
   return Status::OK();
 }
 
@@ -493,6 +502,14 @@ Status MediaStore::EnsureJournalSpace(int64_t payload_bytes, WorldTime* cost) {
   journal_append_ = JournalHalfStart(other) + static_cast<int64_t>(record.size());
   ++stats_.journal_records;
   ++stats_.journal_compactions;
+  if (journal_records_counter_ != nullptr) {
+    journal_records_counter_->Increment();
+    journal_compactions_counter_->Increment();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Event("storage", "journal_compaction", device_->name(),
+                   "generation " + std::to_string(generation_));
+  }
   return Status::OK();
 }
 
@@ -600,9 +617,17 @@ Status MediaStore::VerifyPage(const StoredBlob& blob, int64_t page,
     return Status::OK();
   }
   ++stats_.pages_verified;
+  if (pages_verified_counter_ != nullptr) pages_verified_counter_->Increment();
   if (FastHash64(data.data(), data.size()) !=
       blob.page_checksums[static_cast<size_t>(page)]) {
     ++stats_.page_mismatches;
+    if (page_mismatches_counter_ != nullptr) {
+      page_mismatches_counter_->Increment();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Event("storage", "page_mismatch", device_->name(),
+                     blob.name + " page " + std::to_string(page));
+    }
     return Status::DataLoss("page " + std::to_string(page) +
                             " checksum mismatch in blob: " + blob.name);
   }
@@ -631,6 +656,7 @@ Status MediaStore::VerifyCoveredPages(const StoredBlob& blob, int64_t offset,
 }
 
 Result<MediaStore::ReadResult> MediaStore::Get(const std::string& name) {
+  if (reads_counter_ != nullptr) reads_counter_->Increment();
   auto blob = Lookup(name);
   if (!blob.ok()) return blob.status();
   if (blob.value()->quarantined) {
@@ -674,10 +700,20 @@ Result<WorldTime> MediaStore::DeviceReadWithRetry(int disc, int64_t offset,
     const Status verdict = state.BeforeRetry(cost.status());
     if (!verdict.ok()) {
       ++stats_.exhausted;
+      if (exhausted_counter_ != nullptr) exhausted_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->Event("storage", "retry_exhausted", device_->name(),
+                       "disc " + std::to_string(disc) + " offset " +
+                           std::to_string(offset));
+      }
       return verdict;
     }
     ++stats_.retries;
     stats_.backoff_ns += state.charged_ns() - charged_before;
+    if (retries_counter_ != nullptr) {
+      retries_counter_->Increment();
+      backoff_counter_->Increment(state.charged_ns() - charged_before);
+    }
     if (retries != nullptr) ++*retries;
   }
 }
@@ -711,6 +747,7 @@ Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
 Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
                                                      int64_t offset,
                                                      int64_t length) {
+  if (reads_counter_ != nullptr) reads_counter_->Increment();
   auto blob = Lookup(name);
   if (!blob.ok()) return blob.status();
   if (offset < 0 || length < 0 ||
@@ -820,6 +857,7 @@ Result<MediaStore::ScrubReport> MediaStore::Scrub() {
       }
       report.duration += read.value().duration;
       ++report.pages_scanned;
+      if (scrub_pages_counter_ != nullptr) scrub_pages_counter_->Increment();
       // Scrub always verifies, independent of the verify_pages_ knob — a
       // scrub with verification off would be a no-op walk.
       if (page < static_cast<int64_t>(blob.page_checksums.size()) &&
@@ -832,6 +870,10 @@ Result<MediaStore::ScrubReport> MediaStore::Scrub() {
     if (corrupt) {
       blob.quarantined = true;
       report.quarantined.push_back(name);
+      if (quarantines_counter_ != nullptr) quarantines_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->Event("storage", "quarantine", device_->name(), name);
+      }
       if (mounted_) {
         WorldTime cost;
         AVDB_RETURN_IF_ERROR(JournalQuarantine(name, &cost));
@@ -839,7 +881,54 @@ Result<MediaStore::ScrubReport> MediaStore::Scrub() {
       }
     }
   }
+  if (tracer_ != nullptr) {
+    tracer_->Event("storage", "scrub", device_->name(),
+                   std::to_string(report.pages_scanned) + " pages, " +
+                       std::to_string(report.corrupt_pages.size()) +
+                       " corrupt");
+  }
   return report;
+}
+
+void MediaStore::BindObservability(obs::MetricsRegistry* registry,
+                                   obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    reads_counter_ = nullptr;
+    retries_counter_ = nullptr;
+    exhausted_counter_ = nullptr;
+    backoff_counter_ = nullptr;
+    pages_verified_counter_ = nullptr;
+    page_mismatches_counter_ = nullptr;
+    journal_records_counter_ = nullptr;
+    journal_compactions_counter_ = nullptr;
+    scrub_pages_counter_ = nullptr;
+    quarantines_counter_ = nullptr;
+    return;
+  }
+  reads_counter_ = registry->GetCounter("avdb_storage_reads_total",
+                                        "Get/ReadRange requests served");
+  retries_counter_ = registry->GetCounter(
+      "avdb_storage_retries_total", "transient device faults absorbed");
+  exhausted_counter_ =
+      registry->GetCounter("avdb_storage_retry_exhausted_total",
+                           "reads failed after every retry attempt");
+  backoff_counter_ = registry->GetCounter(
+      "avdb_storage_backoff_ns_total", "modeled time charged to retry backoff");
+  pages_verified_counter_ = registry->GetCounter(
+      "avdb_storage_pages_verified_total", "page checksums checked on reads");
+  page_mismatches_counter_ =
+      registry->GetCounter("avdb_storage_page_mismatches_total",
+                           "page checks that failed (DataLoss)");
+  journal_records_counter_ = registry->GetCounter(
+      "avdb_storage_journal_records_total", "journal records appended");
+  journal_compactions_counter_ =
+      registry->GetCounter("avdb_storage_journal_compactions_total",
+                           "journal checkpoint + superblock flips");
+  scrub_pages_counter_ = registry->GetCounter("avdb_storage_scrub_pages_total",
+                                              "pages scanned by Scrub");
+  quarantines_counter_ = registry->GetCounter(
+      "avdb_storage_quarantines_total", "blobs quarantined on corrupt pages");
 }
 
 bool MediaStore::Contains(const std::string& name) const {

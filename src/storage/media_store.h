@@ -10,6 +10,8 @@
 #include "base/buffer.h"
 #include "base/result.h"
 #include "base/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/block_device.h"
 #include "storage/buffer_cache.h"
 #include "storage/extent_allocator.h"
@@ -171,6 +173,13 @@ class MediaStore {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  /// Forwards every stat update into shared `avdb_storage_*` instruments
+  /// and, when `tracer` is set, records recover/scrub/quarantine/
+  /// retry-exhausted milestones as trace events (actor = device name).
+  /// nullptr detaches; unbound the store is byte- and cost-identical to the
+  /// uninstrumented one.
+  void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
  private:
   /// Uncached read of a blob byte range straight from the device.
   Result<ReadResult> ReadRangeUncached(const StoredBlob& blob, int64_t offset,
@@ -223,6 +232,17 @@ class MediaStore {
   std::map<std::string, StoredBlob> directory_;
   RetryPolicy retry_policy_;
   Stats stats_;
+  obs::Counter* reads_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* exhausted_counter_ = nullptr;
+  obs::Counter* backoff_counter_ = nullptr;
+  obs::Counter* pages_verified_counter_ = nullptr;
+  obs::Counter* page_mismatches_counter_ = nullptr;
+  obs::Counter* journal_records_counter_ = nullptr;
+  obs::Counter* journal_compactions_counter_ = nullptr;
+  obs::Counter* scrub_pages_counter_ = nullptr;
+  obs::Counter* quarantines_counter_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   bool mounted_ = false;
   bool verify_pages_ = true;

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/admission.h"
 #include "sched/degradation.h"
 #include "sched/event_engine.h"
@@ -193,6 +195,22 @@ TEST(JitterTest, SpikesHappenAtConfiguredRate) {
   EXPECT_LT(spikes, 1200);
 }
 
+TEST(JitterTest, ResetClearsStatsOnly) {
+  JitterModel jm = JitterModel::Workstation(42);
+  for (int i = 0; i < 100; ++i) jm.Sample();
+  ASSERT_EQ(jm.stats().samples, 100);
+  jm.Reset();
+  EXPECT_EQ(jm.stats().samples, 0);
+  EXPECT_EQ(jm.stats().spikes, 0);
+  // The RNG stream continues — Reset zeroes accounting, not determinism:
+  // a fresh model fast-forwarded past the same prefix produces the same
+  // continuation.
+  JitterModel fresh = JitterModel::Workstation(42);
+  for (int i = 0; i < 100; ++i) fresh.Sample();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(jm.Sample(), fresh.Sample());
+  EXPECT_EQ(jm.stats().samples, 50);
+}
+
 // --------------------------------------------------------- SyncController --
 
 TEST(SyncControllerTest, FirstTrackBecomesMaster) {
@@ -273,6 +291,61 @@ TEST(StreamStatsTest, RecordsLatenessBuckets) {
   EXPECT_EQ(stats.bytes_delivered, 30);
   EXPECT_EQ(stats.first_element_ns, 1000);
   EXPECT_NEAR(stats.MissRate(), 1.0 / 3, 1e-9);
+}
+
+TEST(StreamStatsTest, ShedElementsCountAsMisses) {
+  // Regression: a stream shedding half its frames used to report a miss
+  // rate near zero — the skipped elements never entered the quotient — so
+  // the degradation ladder read a collapsing stream as healthy.
+  StreamStats stats;
+  for (int i = 0; i < 50; ++i) {
+    stats.Record(i * 1000, /*lateness_ns=*/0, /*bytes=*/1);  // on time
+    stats.RecordSkipped();                                   // shed
+  }
+  EXPECT_EQ(stats.elements_presented, 50);
+  EXPECT_EQ(stats.elements_skipped, 50);
+  EXPECT_EQ(stats.deadline_misses, 0);
+  EXPECT_NEAR(stats.MissRate(), 0.5, 1e-9);
+}
+
+TEST(StreamStatsTest, MissAtExactThresholdCounts) {
+  // Regression: the threshold compare was `>`, so an element exactly 50 ms
+  // late — the documented miss boundary — was not counted as a miss.
+  StreamStats stats;
+  stats.Record(0, StreamStats::kMissThresholdNs, 1);
+  EXPECT_EQ(stats.late_elements, 1);
+  EXPECT_EQ(stats.deadline_misses, 1);
+  stats.Record(1, StreamStats::kMissThresholdNs - 1, 1);
+  EXPECT_EQ(stats.deadline_misses, 1);
+}
+
+TEST(StreamStatsTest, BindForwardsIntoRegistry) {
+  obs::MetricsRegistry registry;
+  StreamStats stats;
+  stats.BindTo(&registry);
+  stats.Record(0, StreamStats::kMissThresholdNs, 100);
+  stats.RecordSkipped(3);
+  EXPECT_EQ(
+      registry.GetCounter("avdb_sched_stream_elements_presented_total")
+          ->Value(),
+      1);
+  EXPECT_EQ(
+      registry.GetCounter("avdb_sched_stream_elements_skipped_total")->Value(),
+      3);
+  EXPECT_EQ(
+      registry.GetCounter("avdb_sched_stream_deadline_misses_total")->Value(),
+      1);
+  EXPECT_EQ(
+      registry.GetCounter("avdb_sched_stream_bytes_delivered_total")->Value(),
+      100);
+  // Local fields stay authoritative alongside the shared instruments.
+  EXPECT_EQ(stats.elements_presented, 1);
+  stats.BindTo(nullptr);
+  stats.Record(1, 0, 1);  // detached: registry must not move
+  EXPECT_EQ(
+      registry.GetCounter("avdb_sched_stream_elements_presented_total")
+          ->Value(),
+      1);
 }
 
 TEST(StreamStatsTest, AchievedRate) {
@@ -508,6 +581,57 @@ TEST(DegradationTest, ConsecutiveFaultsRecommendAbort) {
   dc.ReportFault(6);
   EXPECT_EQ(dc.Recommend(7), DegradeAction::kAbort);
   EXPECT_EQ(dc.ConsecutiveFaults(), 3);
+}
+
+TEST(DegradationTest, ShedCorrectedMissRateAbortsStream) {
+  // Regression companion to StreamStatsTest.ShedElementsCountAsMisses: the
+  // ladder must read the *corrected* signal. A stream presenting a trickle
+  // of on-time frames while shedding the rest is dead, not healthy.
+  DegradationPolicy policy;
+  policy.miss_rate_min_elements = 20;
+  DegradationController dc(policy);
+  StreamStats stats;
+  dc.AttachStreamStats(&stats);
+  // 1 presented on time, 18 shed: 19 accounted, below the warm-up floor.
+  stats.Record(0, 0, 1);
+  stats.RecordSkipped(18);
+  EXPECT_NE(dc.Recommend(0), DegradeAction::kAbort);
+  // One more shed element crosses the floor with MissRate 19/20 >= 0.95.
+  stats.RecordSkipped();
+  EXPECT_EQ(dc.Recommend(0), DegradeAction::kAbort);
+  // A destroyed sink detaches its stats; the rung disarms.
+  dc.DetachStreamStats(&stats);
+  EXPECT_NE(dc.Recommend(0), DegradeAction::kAbort);
+}
+
+TEST(DegradationTest, DropAckFeedsAttachedStreamStats) {
+  DegradationController dc;
+  StreamStats stats;
+  dc.AttachStreamStats(&stats);
+  dc.ReportLateness(0, 30 * kMs);
+  ASSERT_EQ(dc.Recommend(0), DegradeAction::kDropFrame);
+  dc.AcknowledgeAction(DegradeAction::kDropFrame, 0);
+  EXPECT_EQ(stats.elements_skipped, 1);
+  EXPECT_EQ(dc.stats().drops_taken, 1);
+}
+
+TEST(DegradationTest, BindObservabilityCountsActionsAndFaults) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  DegradationController dc;
+  dc.BindObservability(&registry, &tracer, "video1");
+  dc.ReportFault(5);
+  dc.AcknowledgeAction(DegradeAction::kDropFrame, 10);
+  EXPECT_EQ(registry.GetCounter("avdb_sched_degrade_faults_total")->Value(),
+            1);
+  EXPECT_EQ(registry.GetCounter("avdb_sched_degrade_drops_total")->Value(), 1);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "fault");
+  EXPECT_EQ(events[0].t_ns, 5);
+  EXPECT_EQ(events[1].name, "degrade");
+  EXPECT_EQ(events[1].actor, "video1");
+  EXPECT_EQ(events[1].detail, "drop-frame");
 }
 
 TEST(DegradationTest, RecoveryRaisesQualityTowardNominal) {

@@ -29,6 +29,10 @@ Rules (see DESIGN.md §10 "Static correctness model"):
   void-cast-call     No `(void)call(...)` in src/: a void-cast of a call is
                      an invisible status drop. Use AVDB_IGNORE_STATUS with
                      a justification instead.
+  metric-prefix      Instrument-name string literals in src/ must follow
+                     `avdb_<layer>_<metric>` where `<layer>` is the layer
+                     (include-DAG directory) of the defining file, so a
+                     metric's name always says which layer owns it.
 
 Suppressions live in tools/avdb_lint_allowlist.json — machine-readable,
 justification required, stale entries are themselves errors. Never silence
@@ -47,6 +51,7 @@ import sys
 LAYER_RANK = {
     "base": 0,
     "time": 1,
+    "obs": 2,
     "media": 2,
     "codec": 3,
     "sched": 3,
@@ -71,6 +76,8 @@ SMART_PTR_CONTEXT_RE = re.compile(r"(?:unique_ptr|shared_ptr)\s*<[^;{}]*\(\s*$")
 CHECK_RE = re.compile(r"\bAVDB_D?CHECK\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 VOID_CAST_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.]*(?:->\w+)*\s*\(")
+# An instrument name inside a string literal: "avdb_<layer>_..."
+METRIC_LITERAL_RE = re.compile(r'"(avdb_([a-z0-9]+)_[a-z0-9_]+)')
 
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
 
@@ -189,6 +196,20 @@ def lint_file(rel_path, lines):
         if in_src and VOID_CAST_CALL_RE.search(line):
             violations.append(Violation(
                 "void-cast-call", rel_path, idx, lines[idx - 1]))
+
+        # metric-prefix scans the *raw* line: string literals are blanked in
+        # the stripped copy, and the instrument names live in literals.
+        if layer is not None:
+            raw = lines[idx - 1]
+            comment_at = raw.find("//")
+            for m in METRIC_LITERAL_RE.finditer(raw):
+                if 0 <= comment_at < m.start():
+                    continue  # mention in a comment, not a definition
+                if m.group(2) != layer:
+                    violations.append(Violation(
+                        "metric-prefix", rel_path, idx,
+                        f'instrument "{m.group(1)}" claims layer '
+                        f"{m.group(2)!r} but is defined in layer {layer!r}"))
 
     return violations
 

@@ -1,0 +1,8 @@
+// lint-fixture-as: src/sched/metric_prefix.cc
+// lint-expect: metric-prefix
+// A sched-layer file defining an instrument that claims the net layer:
+// the name's layer segment must match the defining file's layer.
+struct Registry;
+Counter* Register(Registry* registry) {
+  return registry->GetCounter("avdb_net_transfers_total");
+}
