@@ -13,6 +13,15 @@
 
 namespace avdb {
 
+/// Instrument names under which the obs layer exports the shared pool's
+/// stats (see obs/pool_metrics.h). Defined here so the names live with the
+/// data they describe and keep the `avdb_base_` layer prefix.
+inline constexpr char kPoolAcquiresMetric[] = "avdb_base_pool_acquires";
+inline constexpr char kPoolReusesMetric[] = "avdb_base_pool_reuses";
+inline constexpr char kPoolAllocationsMetric[] = "avdb_base_pool_allocations";
+inline constexpr char kPoolReleasesMetric[] = "avdb_base_pool_releases";
+inline constexpr char kPoolDropsMetric[] = "avdb_base_pool_drops";
+
 /// Thread-safe free-list of the backing stores the codec inner loops churn
 /// through: byte planes (`std::vector<uint8_t>`, also the store behind
 /// `Buffer` and `VideoFrame`) and centered-sample planes
@@ -61,15 +70,17 @@ class BufferPool {
   }
 
   struct Stats {
-    int64_t acquires = 0;  ///< total Acquire* calls
-    int64_t reuses = 0;    ///< acquires served without a heap allocation
-    int64_t releases = 0;  ///< blocks handed back
-    int64_t drops = 0;     ///< releases discarded because the list was full
+    int64_t acquires = 0;     ///< total Acquire* calls
+    int64_t reuses = 0;       ///< acquires served without a heap allocation
+    int64_t allocations = 0;  ///< acquires that had to touch the heap
+    int64_t releases = 0;     ///< blocks handed back
+    int64_t drops = 0;        ///< releases discarded because the list was full
   };
   Stats stats() const {
     Stats s;
     s.acquires = bytes_.acquires + i16_.acquires;
     s.reuses = bytes_.reuses + i16_.reuses;
+    s.allocations = bytes_.allocations + i16_.allocations;
     s.releases = bytes_.releases + i16_.releases;
     s.drops = bytes_.drops + i16_.drops;
     return s;
@@ -119,6 +130,7 @@ class BufferPool {
     std::vector<std::vector<T>> free AVDB_GUARDED_BY(mu);
     std::atomic<int64_t> acquires{0};
     std::atomic<int64_t> reuses{0};
+    std::atomic<int64_t> allocations{0};
     std::atomic<int64_t> releases{0};
     std::atomic<int64_t> drops{0};
 
@@ -126,14 +138,38 @@ class BufferPool {
       acquires.fetch_add(1, std::memory_order_relaxed);
       std::vector<T> block;
       {
+        // Best fit: the smallest cached block that already holds `size`.
+        // The codec working set mixes capacity classes (whole frames,
+        // single planes, bitstream scratch); taking blocks LIFO would hand
+        // a plane-sized block to a frame-sized request and force a heap
+        // miss every cycle. The list is bounded (max_free), so the scan is
+        // a few dozen capacity reads at worst.
         MutexLock lock(mu);
-        if (!free.empty()) {
-          block = std::move(free.back());
+        size_t best = free.size();
+        for (size_t i = 0; i < free.size(); ++i) {
+          if (free[i].capacity() < size) continue;
+          if (best == free.size() ||
+              free[i].capacity() < free[best].capacity()) {
+            best = i;
+          }
+        }
+        if (size > 0 && best < free.size()) {
+          block = std::move(free[best]);
+          free[best] = std::move(free.back());
           free.pop_back();
         }
+        // No fit (or zero-size request): leave the cache alone and allocate
+        // fresh, so existing capacity classes survive for the requests they
+        // do fit.
       }
-      if (block.capacity() >= size && size > 0) {
-        reuses.fetch_add(1, std::memory_order_relaxed);
+      if (size > 0) {
+        // A recycled capacity >= size means resize() cannot allocate; the
+        // steady-state zero-allocation guarantee hangs off this counter.
+        if (block.capacity() >= size) {
+          reuses.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          allocations.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       block.resize(size);
       return block;
@@ -158,6 +194,7 @@ class BufferPool {
     void ResetStats() {
       acquires = 0;
       reuses = 0;
+      allocations = 0;
       releases = 0;
       drops = 0;
     }

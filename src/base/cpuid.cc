@@ -1,0 +1,28 @@
+#include "base/cpuid.h"
+
+namespace avdb {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+  f.sse2 = true;  // architectural baseline on x86-64
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#elif defined(__aarch64__)
+  f.neon = true;  // architectural baseline on AArch64
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace avdb

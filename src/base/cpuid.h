@@ -1,0 +1,20 @@
+#ifndef AVDB_BASE_CPUID_H_
+#define AVDB_BASE_CPUID_H_
+
+namespace avdb {
+
+/// Instruction-set features the running CPU supports, as relevant to the
+/// codec kernel dispatch (src/codec/simd). Detection runs once; the result
+/// is immutable for the life of the process.
+struct CpuFeatures {
+  bool sse2 = false;  ///< x86-64 baseline; always true on that arch
+  bool avx2 = false;  ///< 256-bit integer SIMD (Haswell+)
+  bool neon = false;  ///< AArch64 Advanced SIMD; always true on that arch
+};
+
+/// Detects the host CPU's features (cached after the first call).
+const CpuFeatures& DetectCpuFeatures();
+
+}  // namespace avdb
+
+#endif  // AVDB_BASE_CPUID_H_

@@ -14,6 +14,14 @@ class BitWriter {
  public:
   BitWriter() = default;
 
+  /// Writer over a caller-supplied backing store (typically leased from
+  /// BufferPool::AcquireBuffer): contents are discarded, capacity is
+  /// reused, and Finish() hands the same storage back — so warm encode
+  /// paths append without touching the heap.
+  explicit BitWriter(Buffer backing) : out_(std::move(backing)) {
+    out_.Clear();
+  }
+
   /// Appends the low `count` bits of `bits` (MSB first). count in [0, 57].
   void WriteBits(uint64_t bits, int count);
 

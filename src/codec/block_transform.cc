@@ -1,32 +1,16 @@
 #include "codec/block_transform.h"
 
-#include <cmath>
+#include <algorithm>
+#include <array>
+#include <cstring>
 
 #include "base/logging.h"
+#include "codec/simd/kernels.h"
 
 namespace avdb {
 namespace block_transform {
 
 namespace {
-
-// DCT-II basis, c[u][x] = a(u) cos((2x+1)uπ/16).
-struct DctTables {
-  double basis[kBlockSize][kBlockSize];
-  DctTables() {
-    for (int u = 0; u < kBlockSize; ++u) {
-      const double a = u == 0 ? std::sqrt(1.0 / kBlockSize)
-                              : std::sqrt(2.0 / kBlockSize);
-      for (int x = 0; x < kBlockSize; ++x) {
-        basis[u][x] = a * std::cos((2 * x + 1) * u * M_PI / (2 * kBlockSize));
-      }
-    }
-  }
-};
-
-const DctTables& Tables() {
-  static const DctTables* tables = new DctTables();
-  return *tables;
-}
 
 // JPEG Annex K luminance quantization table, in raster order.
 constexpr int kBaseQuant[kBlockArea] = {
@@ -48,55 +32,37 @@ constexpr int kZigzag[kBlockArea] = {
 
 }  // namespace
 
-CoeffBlock ForwardDct(const Block& spatial) {
-  const auto& t = Tables();
-  double tmp[kBlockSize][kBlockSize];
-  // Rows.
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int u = 0; u < kBlockSize; ++u) {
-      double acc = 0;
-      for (int x = 0; x < kBlockSize; ++x) {
-        acc += t.basis[u][x] * spatial[y * kBlockSize + x];
+const simd::QuantTable& QualityQuantTable(int quality) {
+  static const std::array<simd::QuantTable, 100> tables = [] {
+    std::array<simd::QuantTable, 100> t{};
+    for (int q = 1; q <= 100; ++q) {
+      simd::QuantTable& qt = t[q - 1];
+      for (int i = 0; i < kBlockArea; ++i) {
+        const int step = QuantStep(i, q);
+        qt.step[i] = step;
+        qt.half[i] = step / 2;
+        // ceil(2^32/step); exact-division magic for step in [2, 1024].
+        qt.recip[i] =
+            step == 1 ? 0
+                      : static_cast<uint32_t>(
+                            ((uint64_t{1} << 32) + step - 1) /
+                            static_cast<uint64_t>(step));
       }
-      tmp[y][u] = acc;
     }
-  }
-  // Columns.
+    return t;
+  }();
+  return tables[std::clamp(quality, 1, 100) - 1];
+}
+
+CoeffBlock ForwardDct(const Block& spatial) {
   CoeffBlock out;
-  for (int v = 0; v < kBlockSize; ++v) {
-    for (int u = 0; u < kBlockSize; ++u) {
-      double acc = 0;
-      for (int y = 0; y < kBlockSize; ++y) acc += t.basis[v][y] * tmp[y][u];
-      out[v * kBlockSize + u] = static_cast<int32_t>(std::lround(acc));
-    }
-  }
+  simd::ActiveKernels().fdct8x8(spatial.data(), out.data());
   return out;
 }
 
 Block InverseDct(const CoeffBlock& coeffs) {
-  const auto& t = Tables();
-  double tmp[kBlockSize][kBlockSize];
-  // Columns (inverse).
-  for (int u = 0; u < kBlockSize; ++u) {
-    for (int y = 0; y < kBlockSize; ++y) {
-      double acc = 0;
-      for (int v = 0; v < kBlockSize; ++v) {
-        acc += t.basis[v][y] * coeffs[v * kBlockSize + u];
-      }
-      tmp[y][u] = acc;
-    }
-  }
   Block out;
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int x = 0; x < kBlockSize; ++x) {
-      double acc = 0;
-      for (int u = 0; u < kBlockSize; ++u) acc += t.basis[u][x] * tmp[y][u];
-      long v = std::lround(acc);
-      if (v < INT16_MIN) v = INT16_MIN;
-      if (v > INT16_MAX) v = INT16_MAX;
-      out[y * kBlockSize + x] = static_cast<int16_t>(v);
-    }
-  }
+  simd::ActiveKernels().idct8x8(coeffs.data(), out.data());
   return out;
 }
 
@@ -113,17 +79,11 @@ int QuantStep(int index, int quality) {
 }
 
 void Quantize(CoeffBlock* coeffs, int quality) {
-  for (int i = 0; i < kBlockArea; ++i) {
-    const int step = QuantStep(i, quality);
-    const int32_t v = (*coeffs)[i];
-    (*coeffs)[i] = v >= 0 ? (v + step / 2) / step : -((-v + step / 2) / step);
-  }
+  simd::ActiveKernels().quantize(coeffs->data(), QualityQuantTable(quality));
 }
 
 void Dequantize(CoeffBlock* coeffs, int quality) {
-  for (int i = 0; i < kBlockArea; ++i) {
-    (*coeffs)[i] *= QuantStep(i, quality);
-  }
+  simd::ActiveKernels().dequantize(coeffs->data(), QualityQuantTable(quality));
 }
 
 void EncodeBlock(const CoeffBlock& coeffs, int32_t* dc_predictor,
@@ -168,46 +128,133 @@ Result<CoeffBlock> DecodeBlock(int32_t* dc_predictor, BitReader* in) {
   return coeffs;
 }
 
-void EncodePlane(const std::vector<int16_t>& plane, int width, int height,
-                 int quality, BitWriter* out) {
-  AVDB_CHECK(plane.size() == static_cast<size_t>(width) * height);
+void EncodePlane(const int16_t* plane, int width, int height, int quality,
+                 BitWriter* out) {
+  const simd::CodecKernels& k = simd::ActiveKernels();
+  const simd::QuantTable& qt = QualityQuantTable(quality);
   int32_t dc_predictor = 0;
+  Block block;
+  CoeffBlock coeffs;
   for (int by = 0; by < height; by += kBlockSize) {
     for (int bx = 0; bx < width; bx += kBlockSize) {
-      Block block;
-      for (int y = 0; y < kBlockSize; ++y) {
-        const int sy = std::min(by + y, height - 1);
-        for (int x = 0; x < kBlockSize; ++x) {
-          const int sx = std::min(bx + x, width - 1);
-          block[y * kBlockSize + x] =
-              plane[static_cast<size_t>(sy) * width + sx];
+      if (by + kBlockSize <= height && bx + kBlockSize <= width) {
+        // Interior block: straight row copies.
+        for (int y = 0; y < kBlockSize; ++y) {
+          std::memcpy(&block[y * kBlockSize],
+                      plane + static_cast<size_t>(by + y) * width + bx,
+                      kBlockSize * sizeof(int16_t));
+        }
+      } else {
+        // Edge block: replicate the last row/column.
+        for (int y = 0; y < kBlockSize; ++y) {
+          const int sy = std::min(by + y, height - 1);
+          for (int x = 0; x < kBlockSize; ++x) {
+            const int sx = std::min(bx + x, width - 1);
+            block[y * kBlockSize + x] =
+                plane[static_cast<size_t>(sy) * width + sx];
+          }
         }
       }
-      CoeffBlock coeffs = ForwardDct(block);
-      Quantize(&coeffs, quality);
+      k.fdct8x8(block.data(), coeffs.data());
+      k.quantize(coeffs.data(), qt);
       EncodeBlock(coeffs, &dc_predictor, out);
     }
   }
 }
 
-Result<std::vector<int16_t>> DecodePlane(int width, int height, int quality,
-                                         BitReader* in) {
-  std::vector<int16_t> plane(static_cast<size_t>(width) * height, 0);
+void EncodePlane(const std::vector<int16_t>& plane, int width, int height,
+                 int quality, BitWriter* out) {
+  AVDB_CHECK(plane.size() == static_cast<size_t>(width) * height);
+  EncodePlane(plane.data(), width, height, quality, out);
+}
+
+void EncodePlaneWithRecon(const int16_t* plane, int width, int height,
+                          int quality, BitWriter* out, int16_t* recon) {
+  const simd::CodecKernels& k = simd::ActiveKernels();
+  const simd::QuantTable& qt = QualityQuantTable(quality);
   int32_t dc_predictor = 0;
+  Block block;
+  CoeffBlock coeffs;
   for (int by = 0; by < height; by += kBlockSize) {
     for (int bx = 0; bx < width; bx += kBlockSize) {
-      auto coeffs = DecodeBlock(&dc_predictor, in);
-      if (!coeffs.ok()) return coeffs.status();
-      Dequantize(&coeffs.value(), quality);
-      const Block block = InverseDct(coeffs.value());
-      for (int y = 0; y < kBlockSize && by + y < height; ++y) {
-        for (int x = 0; x < kBlockSize && bx + x < width; ++x) {
-          plane[static_cast<size_t>(by + y) * width + bx + x] =
-              block[y * kBlockSize + x];
+      const bool interior =
+          by + kBlockSize <= height && bx + kBlockSize <= width;
+      if (interior) {
+        for (int y = 0; y < kBlockSize; ++y) {
+          std::memcpy(&block[y * kBlockSize],
+                      plane + static_cast<size_t>(by + y) * width + bx,
+                      kBlockSize * sizeof(int16_t));
+        }
+      } else {
+        for (int y = 0; y < kBlockSize; ++y) {
+          const int sy = std::min(by + y, height - 1);
+          for (int x = 0; x < kBlockSize; ++x) {
+            const int sx = std::min(bx + x, width - 1);
+            block[y * kBlockSize + x] =
+                plane[static_cast<size_t>(sy) * width + sx];
+          }
+        }
+      }
+      k.fdct8x8(block.data(), coeffs.data());
+      k.quantize(coeffs.data(), qt);
+      EncodeBlock(coeffs, &dc_predictor, out);
+      // The kernels are pure integer, so replaying dequant+idct on the
+      // coefficients just written reproduces the decoder's output exactly —
+      // no need to round-trip the entropy layer.
+      k.dequantize(coeffs.data(), qt);
+      k.idct8x8(coeffs.data(), block.data());
+      if (interior) {
+        for (int y = 0; y < kBlockSize; ++y) {
+          std::memcpy(recon + static_cast<size_t>(by + y) * width + bx,
+                      &block[y * kBlockSize], kBlockSize * sizeof(int16_t));
+        }
+      } else {
+        for (int y = 0; y < kBlockSize && by + y < height; ++y) {
+          for (int x = 0; x < kBlockSize && bx + x < width; ++x) {
+            recon[static_cast<size_t>(by + y) * width + bx + x] =
+                block[y * kBlockSize + x];
+          }
         }
       }
     }
   }
+}
+
+Status DecodePlaneInto(int width, int height, int quality, BitReader* in,
+                       int16_t* out) {
+  const simd::CodecKernels& k = simd::ActiveKernels();
+  const simd::QuantTable& qt = QualityQuantTable(quality);
+  int32_t dc_predictor = 0;
+  Block block;
+  for (int by = 0; by < height; by += kBlockSize) {
+    for (int bx = 0; bx < width; bx += kBlockSize) {
+      auto coeffs = DecodeBlock(&dc_predictor, in);
+      if (!coeffs.ok()) return coeffs.status();
+      k.dequantize(coeffs.value().data(), qt);
+      k.idct8x8(coeffs.value().data(), block.data());
+      if (by + kBlockSize <= height && bx + kBlockSize <= width) {
+        for (int y = 0; y < kBlockSize; ++y) {
+          std::memcpy(out + static_cast<size_t>(by + y) * width + bx,
+                      &block[y * kBlockSize], kBlockSize * sizeof(int16_t));
+        }
+      } else {
+        for (int y = 0; y < kBlockSize && by + y < height; ++y) {
+          for (int x = 0; x < kBlockSize && bx + x < width; ++x) {
+            out[static_cast<size_t>(by + y) * width + bx + x] =
+                block[y * kBlockSize + x];
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int16_t>> DecodePlane(int width, int height, int quality,
+                                         BitReader* in) {
+  std::vector<int16_t> plane(static_cast<size_t>(width) * height, 0);
+  Status s = DecodePlaneInto(width, height, quality, in, plane.data());
+  if (!s.ok()) return s;
   return plane;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codec/bitio.h"
+#include "codec/simd/kernels.h"
 
 namespace avdb {
 
@@ -13,6 +14,10 @@ namespace avdb {
 /// scalable codecs: DCT-II, quality-scaled quantization, zigzag scan and
 /// run-length entropy coding. Works on int16 samples so it can code both
 /// pixel blocks (0..255) and prediction residuals (-255..255).
+///
+/// The transform and quantizer run on the runtime-dispatched integer
+/// kernels in codec/simd — fixed-point DCT, reciprocal-multiply
+/// quantization — so every dispatch level produces byte-identical streams.
 namespace block_transform {
 
 inline constexpr int kBlockSize = 8;
@@ -21,11 +26,16 @@ inline constexpr int kBlockArea = kBlockSize * kBlockSize;
 using Block = std::array<int16_t, kBlockArea>;
 using CoeffBlock = std::array<int32_t, kBlockArea>;
 
-/// Forward 8×8 DCT-II (separable, float internals, rounded to int).
+/// Forward 8×8 DCT-II (fixed-point integer internals; see simd/kernels.h).
 CoeffBlock ForwardDct(const Block& spatial);
 
-/// Inverse 8×8 DCT-III.
+/// Inverse 8×8 DCT-III (saturating int16 output).
 Block InverseDct(const CoeffBlock& coeffs);
+
+/// The precomputed step/reciprocal table for `quality` (clamped to
+/// [1,100]); steps equal QuantStep(i, quality). Exposed for the kernel
+/// identity tests and benchmarks.
+const simd::QuantTable& QualityQuantTable(int quality);
 
 /// Quantization step for coefficient position `index` (zigzag order) at
 /// `quality` in [1,100]; JPEG-style luminance table scaled so quality 50 is
@@ -49,9 +59,27 @@ Result<CoeffBlock> DecodeBlock(int32_t* dc_predictor, BitReader* in);
 
 /// Splits a width×height int16 plane into 8×8 blocks (edge blocks padded by
 /// replicating the last row/column), transforms, quantizes and entropy-codes
-/// the whole plane.
+/// the whole plane. `plane` must hold width*height samples.
+void EncodePlane(const int16_t* plane, int width, int height, int quality,
+                 BitWriter* out);
+
+/// Convenience overload over a vector (size-checked).
 void EncodePlane(const std::vector<int16_t>& plane, int width, int height,
                  int quality, BitWriter* out);
+
+/// EncodePlane that additionally writes the decoder-exact reconstruction of
+/// the plane into `recon` (width*height samples, caller-owned, may not alias
+/// `plane`). Because the transform/quant kernels are pure integer code,
+/// `recon` is bit-for-bit what DecodePlaneInto would produce from the bits
+/// just written — predictive coders use it to maintain their reference
+/// without re-encoding or re-parsing the stream.
+void EncodePlaneWithRecon(const int16_t* plane, int width, int height,
+                          int quality, BitWriter* out, int16_t* recon);
+
+/// Reverses EncodePlane into caller-owned storage of width*height samples —
+/// the zero-allocation decode path.
+[[nodiscard]] Status DecodePlaneInto(int width, int height, int quality,
+                                     BitReader* in, int16_t* out);
 
 /// Reverses EncodePlane; output plane is width×height.
 Result<std::vector<int16_t>> DecodePlane(int width, int height, int quality,

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
+#include "base/buffer_pool.h"
 #include "base/logging.h"
 #include "base/work_pool.h"
 #include "codec/bitio.h"
 #include "codec/block_transform.h"
 #include "codec/intra_codec.h"
+#include "codec/simd/kernels.h"
 
 namespace avdb {
 
@@ -22,20 +25,30 @@ struct MotionVector {
 
 // Clamped sample fetch from a plane (replicating edges), so motion vectors
 // may point partially outside the frame.
-inline int SampleClamped(const std::vector<uint8_t>& plane, int width,
-                         int height, int x, int y) {
+inline int SampleClamped(const PlaneView& plane, int x, int y) {
   if (x < 0) x = 0;
-  if (x >= width) x = width - 1;
+  if (x >= plane.width()) x = plane.width() - 1;
   if (y < 0) y = 0;
-  if (y >= height) y = height - 1;
-  return plane[static_cast<size_t>(y) * width + x];
+  if (y >= plane.height()) y = plane.height() - 1;
+  return plane.at(x, y);
 }
 
 // Sum of absolute differences between the macroblock at (bx,by) in `cur`
-// and the block displaced by (dx,dy) in `ref`.
-int64_t MacroblockSad(const std::vector<uint8_t>& cur,
-                      const std::vector<uint8_t>& ref, int width, int height,
-                      int bx, int by, int dx, int dy) {
+// and the block displaced by (dx,dy) in `ref`. The common case — a full
+// 16×16 block whose displaced twin lies entirely inside the frame — runs
+// on the strided SAD kernel; partial/edge blocks fall back to the clamped
+// scalar walk. Both paths compute the identical sum.
+int64_t MacroblockSad(const PlaneView& cur, const PlaneView& ref, int bx,
+                      int by, int dx, int dy) {
+  const int width = cur.width();
+  const int height = cur.height();
+  if (bx + kMacroblock <= width && by + kMacroblock <= height &&
+      bx + dx >= 0 && bx + dx + kMacroblock <= width && by + dy >= 0 &&
+      by + dy + kMacroblock <= height) {
+    return simd::ActiveKernels().sad16xh_u8(cur.row(by) + bx, width,
+                                            ref.row(by + dy) + (bx + dx),
+                                            width, kMacroblock);
+  }
   int64_t sad = 0;
   for (int y = 0; y < kMacroblock; ++y) {
     const int cy = by + y;
@@ -43,8 +56,8 @@ int64_t MacroblockSad(const std::vector<uint8_t>& cur,
     for (int x = 0; x < kMacroblock; ++x) {
       const int cx = bx + x;
       if (cx >= width) break;
-      const int a = cur[static_cast<size_t>(cy) * width + cx];
-      const int b = SampleClamped(ref, width, height, cx + dx, cy + dy);
+      const int a = cur.at(cx, cy);
+      const int b = SampleClamped(ref, cx + dx, cy + dy);
       sad += std::abs(a - b);
     }
   }
@@ -53,12 +66,10 @@ int64_t MacroblockSad(const std::vector<uint8_t>& cur,
 
 // Three-step search: classic logarithmic motion estimation. Returns the
 // best vector within ±range.
-MotionVector ThreeStepSearch(const std::vector<uint8_t>& cur,
-                             const std::vector<uint8_t>& ref, int width,
-                             int height, int bx, int by, int range) {
+MotionVector ThreeStepSearch(const PlaneView& cur, const PlaneView& ref,
+                             int bx, int by, int range) {
   MotionVector best;
-  int64_t best_sad =
-      MacroblockSad(cur, ref, width, height, bx, by, 0, 0);
+  int64_t best_sad = MacroblockSad(cur, ref, bx, by, 0, 0);
   int step = range / 2;
   if (step < 1) step = 1;
   while (step >= 1) {
@@ -70,8 +81,7 @@ MotionVector ThreeStepSearch(const std::vector<uint8_t>& cur,
         const int cx = best.dx + dx * step;
         const int cy = best.dy + dy * step;
         if (std::abs(cx) > range || std::abs(cy) > range) continue;
-        const int64_t sad =
-            MacroblockSad(cur, ref, width, height, bx, by, cx, cy);
+        const int64_t sad = MacroblockSad(cur, ref, bx, by, cx, cy);
         if (sad < round_sad) {
           round_sad = sad;
           round_best = {cx, cy};
@@ -86,21 +96,41 @@ MotionVector ThreeStepSearch(const std::vector<uint8_t>& cur,
 }
 
 // Builds the motion-compensated prediction of a whole plane from `ref`
-// given per-macroblock vectors.
-std::vector<uint8_t> PredictPlane(const std::vector<uint8_t>& ref, int width,
-                                  int height,
-                                  const std::vector<MotionVector>& mvs,
-                                  int mb_cols) {
-  std::vector<uint8_t> out(static_cast<size_t>(width) * height);
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      const int mb = (y / kMacroblock) * mb_cols + (x / kMacroblock);
-      const MotionVector& mv = mvs[static_cast<size_t>(mb)];
-      out[static_cast<size_t>(y) * width + x] = static_cast<uint8_t>(
-          SampleClamped(ref, width, height, x + mv.dx, y + mv.dy));
+// given per-macroblock vectors, into caller-owned (pooled) storage of
+// width×height bytes. Macroblocks whose displaced source sits fully inside
+// the frame copy row-wise; edge macroblocks take the clamped per-sample
+// path. Output matches the per-pixel definition exactly.
+void PredictPlaneInto(const PlaneView& ref,
+                      const std::vector<MotionVector>& mvs, int mb_cols,
+                      uint8_t* out) {
+  const int width = ref.width();
+  const int height = ref.height();
+  const int mb_rows = (height + kMacroblock - 1) / kMacroblock;
+  for (int my = 0; my < mb_rows; ++my) {
+    const int by = my * kMacroblock;
+    const int bh = std::min(kMacroblock, height - by);
+    for (int mx = 0; mx < mb_cols; ++mx) {
+      const int bx = mx * kMacroblock;
+      const int bw = std::min(kMacroblock, width - bx);
+      const MotionVector& mv = mvs[static_cast<size_t>(my) * mb_cols + mx];
+      if (bx + mv.dx >= 0 && bx + mv.dx + bw <= width && by + mv.dy >= 0 &&
+          by + mv.dy + bh <= height) {
+        for (int y = 0; y < bh; ++y) {
+          std::memcpy(out + static_cast<size_t>(by + y) * width + bx,
+                      ref.row(by + y + mv.dy) + (bx + mv.dx),
+                      static_cast<size_t>(bw));
+        }
+      } else {
+        for (int y = 0; y < bh; ++y) {
+          uint8_t* dst = out + static_cast<size_t>(by + y) * width + bx;
+          for (int x = 0; x < bw; ++x) {
+            dst[x] = static_cast<uint8_t>(
+                SampleClamped(ref, bx + x + mv.dx, by + y + mv.dy));
+          }
+        }
+      }
     }
   }
-  return out;
 }
 
 struct PFrameData {
@@ -110,27 +140,37 @@ struct PFrameData {
 
 // Encodes a P-frame: motion vectors from plane 0, shared across planes;
 // residuals transform-coded per plane. Returns the encoded bits and the
-// reconstructed frame (which becomes the next reference).
+// reconstructed frame (which becomes the next reference). All plane data
+// moves through zero-copy views and pooled scratch; the reference frame's
+// reconstruction comes straight out of EncodePlaneWithRecon, so nothing is
+// re-encoded or re-parsed.
 Buffer EncodePFrame(const VideoFrame& cur, const VideoFrame& recon_ref,
                     int quality, int search_range, VideoFrame* recon_out) {
+  const simd::CodecKernels& kernels = simd::ActiveKernels();
+  BufferPool& pool = BufferPool::Shared();
   const int width = cur.width();
   const int height = cur.height();
+  const size_t pixels = cur.plane_size();
   const int mb_cols = (width + kMacroblock - 1) / kMacroblock;
   const int mb_rows = (height + kMacroblock - 1) / kMacroblock;
 
-  const std::vector<uint8_t> cur_luma = cur.ExtractPlane(0);
-  const std::vector<uint8_t> ref_luma = recon_ref.ExtractPlane(0);
+  // Plane views are borrowed once per frame — motion search and every
+  // per-plane pass below read the frames in place.
+  const PlaneView cur_luma = cur.plane(0);
+  const PlaneView ref_luma = recon_ref.plane(0);
 
   std::vector<MotionVector> mvs;
   mvs.reserve(static_cast<size_t>(mb_cols) * mb_rows);
   for (int my = 0; my < mb_rows; ++my) {
     for (int mx = 0; mx < mb_cols; ++mx) {
-      mvs.push_back(ThreeStepSearch(cur_luma, ref_luma, width, height,
-                                    mx * kMacroblock, my * kMacroblock,
-                                    search_range));
+      mvs.push_back(ThreeStepSearch(cur_luma, ref_luma, mx * kMacroblock,
+                                    my * kMacroblock, search_range));
     }
   }
 
+  // Not pooled: the finished buffer escapes into the EncodedVideo result
+  // and is owned by the caller, so its storage never comes back to the
+  // pool. Leasing it would bleed pool capacity every frame.
   BitWriter writer;
   for (const auto& mv : mvs) {
     writer.WriteSignedVarint(mv.dx);
@@ -138,35 +178,21 @@ Buffer EncodePFrame(const VideoFrame& cur, const VideoFrame& recon_ref,
   }
 
   *recon_out = VideoFrame(width, height, cur.depth_bits());
+  BufferPool::BytesLease pred(&pool, pixels);
+  BufferPool::I16Lease residual(&pool, pixels);
+  BufferPool::I16Lease recon_res(&pool, pixels);
   for (int p = 0; p < cur.plane_count(); ++p) {
-    const std::vector<uint8_t> cur_plane = cur.ExtractPlane(p);
-    const std::vector<uint8_t> ref_plane = recon_ref.ExtractPlane(p);
-    const std::vector<uint8_t> pred =
-        PredictPlane(ref_plane, width, height, mvs, mb_cols);
-    std::vector<int16_t> residual(cur_plane.size());
-    for (size_t i = 0; i < cur_plane.size(); ++i) {
-      residual[i] = static_cast<int16_t>(static_cast<int>(cur_plane[i]) -
-                                         static_cast<int>(pred[i]));
-    }
-    block_transform::EncodePlane(residual, width, height, quality, &writer);
-
-    // Reconstruct exactly as the decoder will: decode our own residual.
-    // Cheaper: requantize in place. We reuse the decode path for fidelity.
-    BitWriter replay;
-    block_transform::EncodePlane(residual, width, height, quality, &replay);
-    Buffer replay_bits = replay.Finish();
-    BitReader reader(replay_bits);
-    auto decoded =
-        block_transform::DecodePlane(width, height, quality, &reader);
-    AVDB_CHECK(decoded.ok()) << "self-decode of residual failed";
-    std::vector<uint8_t> recon_plane(cur_plane.size());
-    for (size_t i = 0; i < cur_plane.size(); ++i) {
-      int v = pred[i] + decoded.value()[i];
-      if (v < 0) v = 0;
-      if (v > 255) v = 255;
-      recon_plane[i] = static_cast<uint8_t>(v);
-    }
-    AVDB_CHECK(recon_out->SetPlane(p, recon_plane).ok());
+    const PlaneView cur_plane = cur.plane(p);
+    const PlaneView ref_plane = recon_ref.plane(p);
+    PredictPlaneInto(ref_plane, mvs, mb_cols, pred->data());
+    kernels.residual_u8(cur_plane.data(), pred->data(), residual->data(),
+                        pixels);
+    block_transform::EncodePlaneWithRecon(residual->data(), width, height,
+                                          quality, &writer,
+                                          recon_res->data());
+    const PlaneSpan recon_plane = recon_out->plane_span(p);
+    kernels.reconstruct_u8(pred->data(), recon_res->data(),
+                           recon_plane.data(), pixels);
   }
   return writer.Finish();
 }
@@ -174,8 +200,11 @@ Buffer EncodePFrame(const VideoFrame& cur, const VideoFrame& recon_ref,
 // Decodes a P-frame given the previously reconstructed reference.
 Result<VideoFrame> DecodePFrame(const Buffer& data,
                                 const VideoFrame& recon_ref, int quality) {
+  const simd::CodecKernels& kernels = simd::ActiveKernels();
+  BufferPool& pool = BufferPool::Shared();
   const int width = recon_ref.width();
   const int height = recon_ref.height();
+  const size_t pixels = recon_ref.plane_size();
   const int mb_cols = (width + kMacroblock - 1) / kMacroblock;
   const int mb_rows = (height + kMacroblock - 1) / kMacroblock;
 
@@ -191,21 +220,16 @@ Result<VideoFrame> DecodePFrame(const Buffer& data,
   }
 
   VideoFrame out(width, height, recon_ref.depth_bits());
+  BufferPool::BytesLease pred(&pool, pixels);
+  BufferPool::I16Lease residual(&pool, pixels);
   for (int p = 0; p < recon_ref.plane_count(); ++p) {
-    const std::vector<uint8_t> ref_plane = recon_ref.ExtractPlane(p);
-    const std::vector<uint8_t> pred =
-        PredictPlane(ref_plane, width, height, mvs, mb_cols);
-    auto residual =
-        block_transform::DecodePlane(width, height, quality, &reader);
-    if (!residual.ok()) return residual.status();
-    std::vector<uint8_t> plane(pred.size());
-    for (size_t i = 0; i < pred.size(); ++i) {
-      int v = pred[i] + residual.value()[i];
-      if (v < 0) v = 0;
-      if (v > 255) v = 255;
-      plane[i] = static_cast<uint8_t>(v);
-    }
-    AVDB_RETURN_IF_ERROR(out.SetPlane(p, plane));
+    const PlaneView ref_plane = recon_ref.plane(p);
+    PredictPlaneInto(ref_plane, mvs, mb_cols, pred->data());
+    AVDB_RETURN_IF_ERROR(block_transform::DecodePlaneInto(
+        width, height, quality, &reader, residual->data()));
+    const PlaneSpan out_plane = out.plane_span(p);
+    kernels.reconstruct_u8(pred->data(), residual->data(), out_plane.data(),
+                           pixels);
   }
   return out;
 }

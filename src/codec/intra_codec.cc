@@ -6,6 +6,7 @@
 #include "base/work_pool.h"
 #include "codec/bitio.h"
 #include "codec/block_transform.h"
+#include "codec/simd/kernels.h"
 
 namespace avdb {
 
@@ -66,41 +67,35 @@ class IntraDecoderSession final : public VideoDecoderSession {
   int64_t decoded_ = 0;
 };
 
-/// Entropy-codes one colour plane into its own byte-aligned buffer, using
-/// pooled scratch for the extracted and centered planes.
+/// Entropy-codes one colour plane into its own byte-aligned buffer. The
+/// plane is read in place through a zero-copy view; the centered scratch
+/// and the output backing store are pooled, so a warm encode allocates
+/// nothing.
 Buffer EncodePlaneBits(const VideoFrame& frame, int p, int quality) {
   BufferPool& pool = BufferPool::Shared();
-  const size_t pixels =
-      static_cast<size_t>(frame.width()) * frame.height();
-  BufferPool::BytesLease plane(&pool, pixels);
-  frame.ExtractPlaneInto(p, &*plane);
-  BufferPool::I16Lease centered(&pool, pixels);
-  for (size_t i = 0; i < pixels; ++i) {
-    (*centered)[i] = static_cast<int16_t>(static_cast<int>((*plane)[i]) - 128);
-  }
-  BitWriter writer;
-  block_transform::EncodePlane(*centered, frame.width(), frame.height(),
-                               quality, &writer);
+  const PlaneView plane = frame.plane(p);
+  BufferPool::I16Lease centered(&pool, plane.size());
+  simd::ActiveKernels().u8_to_i16_center(plane.data(), centered->data(),
+                                         plane.size());
+  BitWriter writer(pool.AcquireBuffer(plane.size() / 2));
+  block_transform::EncodePlane(centered->data(), frame.width(),
+                               frame.height(), quality, &writer);
   return writer.Finish();
 }
 
-/// Decodes one plane sub-stream into `frame`'s plane `p`.
+/// Decodes one plane sub-stream straight into `frame`'s plane `p` (planes
+/// are disjoint storage, so concurrent plane tasks never alias).
 Status DecodePlaneBits(const uint8_t* bits, size_t size, int p, int quality,
                        VideoFrame* frame) {
   BitReader reader(bits, size);
-  auto centered =
-      block_transform::DecodePlane(frame->width(), frame->height(), quality,
-                                   &reader);
-  if (!centered.ok()) return centered.status();
   BufferPool& pool = BufferPool::Shared();
-  BufferPool::BytesLease plane(&pool, centered.value().size());
-  for (size_t i = 0; i < centered.value().size(); ++i) {
-    int v = centered.value()[i] + 128;
-    if (v < 0) v = 0;
-    if (v > 255) v = 255;
-    (*plane)[i] = static_cast<uint8_t>(v);
-  }
-  return frame->SetPlane(p, *plane);
+  BufferPool::I16Lease centered(&pool, frame->plane_size());
+  AVDB_RETURN_IF_ERROR(block_transform::DecodePlaneInto(
+      frame->width(), frame->height(), quality, &reader, centered->data()));
+  const PlaneSpan out = frame->plane_span(p);
+  simd::ActiveKernels().i16_center_to_u8(centered->data(), out.data(),
+                                         out.size());
+  return Status::OK();
 }
 
 }  // namespace
@@ -117,9 +112,10 @@ Buffer IntraCodec::EncodeFrame(const VideoFrame& frame, int quality,
   size_t total = 0;
   for (const Buffer& b : plane_bits) total += b.size() + 4;
   out.Reserve(total);
-  for (const Buffer& b : plane_bits) {
+  for (Buffer& b : plane_bits) {
     out.AppendU32(static_cast<uint32_t>(b.size()));
     out.AppendBuffer(b);
+    BufferPool::Shared().Release(std::move(b));  // pooled by EncodePlaneBits
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include "base/work_pool.h"
 #include "codec/bitio.h"
 #include "codec/block_transform.h"
+#include "codec/simd/kernels.h"
 
 namespace avdb {
 
@@ -16,22 +17,12 @@ struct PlaneI16 {
   std::vector<int16_t> data;
 };
 
-PlaneI16 ToI16(const std::vector<uint8_t>& plane, int width, int height) {
-  PlaneI16 out{width, height, std::vector<int16_t>(plane.size())};
-  for (size_t i = 0; i < plane.size(); ++i) {
-    out.data[i] = static_cast<int16_t>(static_cast<int>(plane[i]) - 128);
-  }
-  return out;
-}
-
-std::vector<uint8_t> ToU8(const PlaneI16& plane) {
-  std::vector<uint8_t> out(plane.data.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    int v = plane.data[i] + 128;
-    if (v < 0) v = 0;
-    if (v > 255) v = 255;
-    out[i] = static_cast<uint8_t>(v);
-  }
+// Centered copy of one component plane, read zero-copy from the frame.
+PlaneI16 ToI16(const PlaneView& plane) {
+  PlaneI16 out{plane.width(), plane.height(),
+               std::vector<int16_t>(plane.size())};
+  simd::ActiveKernels().u8_to_i16_center(plane.data(), out.data.data(),
+                                         plane.size());
   return out;
 }
 
@@ -117,40 +108,34 @@ std::vector<Buffer> EncodePlaneLayers(const PlaneI16& full, int layer_count,
     pyramid[static_cast<size_t>(l)] =
         Downsample2(pyramid[static_cast<size_t>(l + 1)]);
   }
+  const simd::CodecKernels& k = simd::ActiveKernels();
   PlaneI16 recon;  // reconstruction so far, at pyramid[l] geometry
   for (int l = 0; l < layer_count; ++l) {
     const PlaneI16& target = pyramid[static_cast<size_t>(l)];
+    const size_t n = target.data.size();
     BitWriter writer;
+    PlaneI16 new_recon{target.width, target.height, std::vector<int16_t>(n)};
     if (l == 0) {
-      block_transform::EncodePlane(target.data, target.width, target.height,
-                                   quality, &writer);
-      Buffer bits = writer.Finish();
-      BitReader reader(bits);
-      auto decoded = block_transform::DecodePlane(target.width, target.height,
-                                                  quality, &reader);
-      recon = {target.width, target.height, std::move(decoded).value()};
-      layers.push_back(std::move(bits));
+      // EncodePlaneWithRecon hands back the decoder-exact reconstruction,
+      // so no layer is ever re-parsed to maintain the prediction chain.
+      block_transform::EncodePlaneWithRecon(target.data.data(), target.width,
+                                            target.height, quality, &writer,
+                                            new_recon.data.data());
     } else {
       const PlaneI16 pred = UpsampleTo(recon, target.width, target.height);
       PlaneI16 residual{target.width, target.height,
-                        std::vector<int16_t>(target.data.size())};
-      for (size_t i = 0; i < target.data.size(); ++i) {
-        residual.data[i] =
-            static_cast<int16_t>(target.data[i] - pred.data[i]);
-      }
-      block_transform::EncodePlane(residual.data, target.width, target.height,
-                                   quality, &writer);
-      Buffer bits = writer.Finish();
-      BitReader reader(bits);
-      auto decoded = block_transform::DecodePlane(target.width, target.height,
-                                                  quality, &reader);
-      recon = {target.width, target.height, std::vector<int16_t>(target.data.size())};
-      for (size_t i = 0; i < recon.data.size(); ++i) {
-        recon.data[i] =
-            static_cast<int16_t>(pred.data[i] + decoded.value()[i]);
-      }
-      layers.push_back(std::move(bits));
+                        std::vector<int16_t>(n)};
+      k.sub_i16(target.data.data(), pred.data.data(), residual.data.data(),
+                n);
+      block_transform::EncodePlaneWithRecon(residual.data.data(),
+                                            target.width, target.height,
+                                            quality, &writer,
+                                            new_recon.data.data());
+      k.add_i16(pred.data.data(), new_recon.data.data(),
+                new_recon.data.data(), n);
     }
+    recon = std::move(new_recon);
+    layers.push_back(writer.Finish());
   }
   return layers;
 }
@@ -172,9 +157,7 @@ EncodedFrame EncodeScalableFrame(const VideoFrame& frame,
   std::vector<std::vector<Buffer>> per_plane =
       WorkPool::Shared().ParallelMap<std::vector<Buffer>>(
           std::min(plane_concurrency, planes), planes, [&](int64_t p) {
-            const PlaneI16 full =
-                ToI16(frame.ExtractPlane(static_cast<int>(p)), frame.width(),
-                      frame.height());
+            const PlaneI16 full = ToI16(frame.plane(static_cast<int>(p)));
             return EncodePlaneLayers(full, params.layer_count, params.quality);
           });
   Buffer base;
@@ -209,11 +192,9 @@ Result<PlaneI16> DecodePlaneLayers(const std::vector<const Buffer*>& bits,
       recon = {w, h, std::move(decoded).value()};
     } else {
       const PlaneI16 pred = UpsampleTo(recon, w, h);
-      recon = {w, h, std::vector<int16_t>(decoded.value().size())};
-      for (size_t i = 0; i < recon.data.size(); ++i) {
-        recon.data[i] =
-            static_cast<int16_t>(pred.data[i] + decoded.value()[i]);
-      }
+      recon = {w, h, std::move(decoded).value()};
+      simd::ActiveKernels().add_i16(pred.data.data(), recon.data.data(),
+                                    recon.data.data(), recon.data.size());
     }
   }
   return UpsampleTo(recon, full_width, full_height);
@@ -290,8 +271,8 @@ class ScalableDecoderSession final : public VideoDecoderSession {
       base_planes.push_back(std::move(b));
     }
     // Planes chain layers internally but are independent of each other;
-    // SetPlane writes disjoint interleaved bytes, so concurrent plane
-    // tasks never touch the same element.
+    // storage is planar, so concurrent plane tasks write disjoint
+    // contiguous runs and never touch the same byte.
     std::vector<Status> statuses = WorkPool::Shared().ParallelMap<Status>(
         std::min(plane_concurrency, planes), planes, [&](int64_t p64) {
           const int p = static_cast<int>(p64);
@@ -307,7 +288,10 @@ class ScalableDecoderSession final : public VideoDecoderSession {
           auto plane = DecodePlaneLayers(bits, use, t.width(), t.height(),
                                          video_.params.quality, stored);
           if (!plane.ok()) return plane.status();
-          return frame.SetPlane(p, ToU8(plane.value()));
+          const PlaneSpan out = frame.plane_span(p);
+          simd::ActiveKernels().i16_center_to_u8(plane.value().data.data(),
+                                                 out.data(), out.size());
+          return Status::OK();
         });
     for (const Status& s : statuses) {
       if (!s.ok()) return s;

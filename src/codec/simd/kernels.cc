@@ -1,0 +1,141 @@
+#include "codec/simd/kernels.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "base/cpuid.h"
+
+namespace avdb {
+namespace simd {
+
+#if defined(AVDB_SIMD_X86)
+// Defined in kernels_sse2.cc / kernels_avx2.cc (compiled with the matching
+// target flags); declared here so only the dispatcher names them.
+const CodecKernels& Sse2Kernels();
+const CodecKernels& Avx2Kernels();
+#elif defined(AVDB_SIMD_NEON)
+const CodecKernels& NeonKernels();
+#endif
+
+namespace {
+
+DctTables BuildDctTables() {
+  DctTables t;
+  const double pi = std::acos(-1.0);
+  for (int u = 0; u < kBlockSize; ++u) {
+    const double a = (u == 0) ? std::sqrt(1.0 / kBlockSize)
+                              : std::sqrt(2.0 / kBlockSize);
+    for (int x = 0; x < kBlockSize; ++x) {
+      const double c =
+          a * std::cos((2.0 * x + 1.0) * u * pi / (2.0 * kBlockSize));
+      t.basis[u][x] = static_cast<int16_t>(
+          std::lround(c * (1 << kDctConstBits)));
+    }
+  }
+  auto pack_pair = [](int16_t lo, int16_t hi) {
+    return static_cast<int32_t>(
+        (static_cast<uint32_t>(static_cast<uint16_t>(hi)) << 16) |
+        static_cast<uint16_t>(lo));
+  };
+  for (int k = 0; k < kBlockSize / 2; ++k) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      t.fwd_pairs[k][2 * u + 0] = t.basis[u][2 * k + 0];
+      t.fwd_pairs[k][2 * u + 1] = t.basis[u][2 * k + 1];
+      t.inv_pairs[k][2 * u + 0] = t.basis[2 * k + 0][u];
+      t.inv_pairs[k][2 * u + 1] = t.basis[2 * k + 1][u];
+      t.fwd_bcast[k][u] = pack_pair(t.basis[u][2 * k], t.basis[u][2 * k + 1]);
+      t.inv_bcast[k][u] = pack_pair(t.basis[2 * k][u], t.basis[2 * k + 1][u]);
+    }
+  }
+  return t;
+}
+
+const CodecKernels* SelectKernels() {
+  const CpuFeatures& cpu = DetectCpuFeatures();
+  (void)cpu;
+#if defined(AVDB_SIMD_X86)
+  if (cpu.avx2) return &Avx2Kernels();
+  if (cpu.sse2) return &Sse2Kernels();
+#elif defined(AVDB_SIMD_NEON)
+  if (cpu.neon) return &NeonKernels();
+#endif
+  return &ScalarKernels();
+}
+
+std::atomic<const CodecKernels*>& ActiveSlot() {
+  static std::atomic<const CodecKernels*> slot{SelectKernels()};
+  return slot;
+}
+
+}  // namespace
+
+const DctTables& GetDctTables() {
+  static const DctTables tables = BuildDctTables();
+  return tables;
+}
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kSse2:
+      return "sse2";
+    case KernelLevel::kAvx2:
+      return "avx2";
+    case KernelLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const CodecKernels& ActiveKernels() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+std::vector<KernelLevel> AvailableKernelLevels() {
+  std::vector<KernelLevel> levels{KernelLevel::kScalar};
+  const CpuFeatures& cpu = DetectCpuFeatures();
+  (void)cpu;
+#if defined(AVDB_SIMD_X86)
+  if (cpu.sse2) levels.push_back(KernelLevel::kSse2);
+  if (cpu.avx2) levels.push_back(KernelLevel::kAvx2);
+#elif defined(AVDB_SIMD_NEON)
+  if (cpu.neon) levels.push_back(KernelLevel::kNeon);
+#endif
+  return levels;
+}
+
+bool ForceKernelsForTest(KernelLevel level) {
+  const CpuFeatures& cpu = DetectCpuFeatures();
+  (void)cpu;
+  const CodecKernels* table = nullptr;
+  switch (level) {
+    case KernelLevel::kScalar:
+      table = &ScalarKernels();
+      break;
+#if defined(AVDB_SIMD_X86)
+    case KernelLevel::kSse2:
+      if (cpu.sse2) table = &Sse2Kernels();
+      break;
+    case KernelLevel::kAvx2:
+      if (cpu.avx2) table = &Avx2Kernels();
+      break;
+#elif defined(AVDB_SIMD_NEON)
+    case KernelLevel::kNeon:
+      if (cpu.neon) table = &NeonKernels();
+      break;
+#endif
+    default:
+      break;
+  }
+  if (table == nullptr) return false;
+  ActiveSlot().store(table, std::memory_order_release);
+  return true;
+}
+
+void ResetKernelsForTest() {
+  ActiveSlot().store(SelectKernels(), std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace avdb

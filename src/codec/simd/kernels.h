@@ -1,0 +1,143 @@
+#ifndef AVDB_CODEC_SIMD_KERNELS_H_
+#define AVDB_CODEC_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace avdb {
+namespace simd {
+
+/// Vectorized inner loops for the transform codecs, behind a runtime
+/// dispatch table. Every implementation (scalar reference, SSE2, AVX2,
+/// NEON) computes the *same integer arithmetic* — fixed-point transforms,
+/// saturating narrowings, reciprocal-multiply quantization — so dispatched
+/// output is byte-identical to the always-built scalar path by
+/// construction. No float enters any kernel.
+///
+/// Fixed-point model (see DESIGN.md §12):
+///  - DCT basis B[u][x] = round(2^13 · a(u) · cos((2x+1)uπ/16)), int16.
+///  - Forward: pass 1 over rows keeps 3 fractional bits
+///    (tmp = sat16((Σ B·s + 2^9) >> 10)), pass 2 over columns removes them
+///    (out = (Σ B·tmp + 2^15) >> 16). All products are int16×int16→int32;
+///    sums of 8 such products stay below 2^31, so scalar and
+///    pmaddwd/vmlal orderings agree exactly.
+///  - Inverse: inputs saturate to int16 first (hostile bitstreams can carry
+///    huge levels); pass 1 keeps 2 fractional bits (shift 11), pass 2
+///    shifts 15 and saturates to int16 — the old float path's clamp, made
+///    deterministic.
+///  - Rounding is uniformly `(acc + 2^(s-1)) >> s` with an arithmetic
+///    shift, matching SRAI/VRSHR semantics.
+inline constexpr int kBlockSize = 8;
+inline constexpr int kBlockArea = kBlockSize * kBlockSize;
+
+inline constexpr int kDctConstBits = 13;    ///< basis scale 2^13
+inline constexpr int kFdctPass1Shift = 10;  ///< keep 3 fractional bits
+inline constexpr int kFdctPass2Shift = 16;  ///< remove scale + fraction
+inline constexpr int kIdctPass1Shift = 11;  ///< keep 2 fractional bits
+inline constexpr int kIdctPass2Shift = 15;  ///< remove scale + fraction
+
+/// Dequantized levels are clamped to ±2^20 before the multiply so a
+/// hostile level can never overflow int32 (step ≤ 1024 ⇒ |q·step| < 2^31).
+inline constexpr int32_t kDequantClamp = 1 << 20;
+
+/// Precomputed fixed-point DCT basis, shared by every implementation. The
+/// pair layouts feed PMADDWD-style multiply-accumulate directly: each i32
+/// lane of a pair vector holds two adjacent i16 basis entries.
+struct DctTables {
+  /// basis[u][x] = round(2^13 · a(u) cos((2x+1)uπ/16)).
+  alignas(32) int16_t basis[kBlockSize][kBlockSize];
+  /// fwd_pairs[k][2u+j] = basis[u][2k+j] — x-pairs across u (fdct pass 1).
+  alignas(32) int16_t fwd_pairs[kBlockSize / 2][2 * kBlockSize];
+  /// inv_pairs[k][2x+j] = basis[2k+j][x] — u-pairs across x (idct pass 2).
+  alignas(32) int16_t inv_pairs[kBlockSize / 2][2 * kBlockSize];
+  /// fwd_bcast[m][v] = basis[v][2m] | basis[v][2m+1]<<16 (fdct pass 2).
+  alignas(32) int32_t fwd_bcast[kBlockSize / 2][kBlockSize];
+  /// inv_bcast[m][y] = basis[2m][y] | basis[2m+1][y]<<16 (idct pass 1).
+  alignas(32) int32_t inv_bcast[kBlockSize / 2][kBlockSize];
+};
+const DctTables& GetDctTables();
+
+/// Per-quality quantization table: steps (identical to
+/// block_transform::QuantStep) plus the reciprocal magic for exact
+/// division by multiplication. With n = |coeff| + step/2 < 2^21 and
+/// recip = ceil(2^32/step), `(n · recip) >> 32 == n / step` exactly for
+/// every step in [2, 1024]; step == 1 short-circuits to n.
+struct QuantTable {
+  alignas(32) int32_t step[kBlockArea];
+  alignas(32) uint32_t recip[kBlockArea];  ///< unused where step == 1
+  alignas(32) int32_t half[kBlockArea];    ///< step/2, the rounding bias
+};
+
+enum class KernelLevel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+const char* KernelLevelName(KernelLevel level);
+
+/// Dispatch table of the codec inner loops. All pointers are non-null in
+/// every published table.
+struct CodecKernels {
+  KernelLevel level = KernelLevel::kScalar;
+
+  /// Forward 8×8 fixed-point DCT-II (spatial int16 → coefficient int32).
+  void (*fdct8x8)(const int16_t in[kBlockArea], int32_t out[kBlockArea]);
+  /// Inverse 8×8 DCT (coefficient int32 → spatial int16, saturated).
+  void (*idct8x8)(const int32_t in[kBlockArea], int16_t out[kBlockArea]);
+  /// In-place divide-and-round by the per-position step. Inputs must be
+  /// forward-transform outputs (|coeff| < 2^21 − 512), the exactness
+  /// condition of the reciprocal multiply.
+  void (*quantize)(int32_t coeffs[kBlockArea], const QuantTable& qt);
+  /// In-place multiply by the per-position step (levels clamped to
+  /// ±kDequantClamp first).
+  void (*dequantize)(int32_t coeffs[kBlockArea], const QuantTable& qt);
+
+  /// dst[i] = int16(src[i]) − 128 (pixel centering).
+  void (*u8_to_i16_center)(const uint8_t* src, int16_t* dst, size_t n);
+  /// dst[i] = clamp(src[i] + 128, 0, 255) (un-centering).
+  void (*i16_center_to_u8)(const int16_t* src, uint8_t* dst, size_t n);
+  /// out[i] = int16(cur[i]) − int16(pred[i]) (motion-compensated residual).
+  void (*residual_u8)(const uint8_t* cur, const uint8_t* pred, int16_t* out,
+                      size_t n);
+  /// out[i] = clamp(pred[i] + res[i], 0, 255).
+  void (*reconstruct_u8)(const uint8_t* pred, const int16_t* res,
+                         uint8_t* out, size_t n);
+  /// out[i] = int16(a[i] − b[i]) (two's-complement wrap, scalable-layer
+  /// residuals).
+  void (*sub_i16)(const int16_t* a, const int16_t* b, int16_t* out, size_t n);
+  /// out[i] = int16(a[i] + b[i]) (wrap, scalable-layer reconstruction).
+  void (*add_i16)(const int16_t* a, const int16_t* b, int16_t* out, size_t n);
+
+  /// Σ |a[i] − b[i]| over a contiguous run. n must stay below 2^24 so the
+  /// sum fits uint32 (callers pass at most one plane row).
+  uint32_t (*sad_u8)(const uint8_t* a, const uint8_t* b, size_t n);
+  /// SAD of a 16-wide block: rows at the given byte strides. The motion
+  /// search's fully-in-bounds fast path.
+  uint32_t (*sad16xh_u8)(const uint8_t* a, ptrdiff_t a_stride,
+                         const uint8_t* b, ptrdiff_t b_stride, int rows);
+};
+
+/// The always-built integer reference implementation.
+const CodecKernels& ScalarKernels();
+
+/// The widest implementation the CPU supports among those compiled in
+/// (scalar when AVDB_SIMD is OFF). Stable for the life of the process
+/// unless a test forces a level.
+const CodecKernels& ActiveKernels();
+
+/// Levels usable in this binary on this CPU (always includes kScalar).
+std::vector<KernelLevel> AvailableKernelLevels();
+
+/// Test hook: pins ActiveKernels() to `level`. Returns false (and changes
+/// nothing) when the level is not compiled in or not supported by the CPU.
+bool ForceKernelsForTest(KernelLevel level);
+/// Test hook: reverts ActiveKernels() to runtime detection.
+void ResetKernelsForTest();
+
+}  // namespace simd
+}  // namespace avdb
+
+#endif  // AVDB_CODEC_SIMD_KERNELS_H_

@@ -1,0 +1,315 @@
+// SSE2 implementations of the codec kernels. Compiled only when
+// AVDB_SIMD_X86 is defined (x86-64 builds with AVDB_SIMD=ON); SSE2 is the
+// x86-64 baseline, so no extra target flags are needed for this TU.
+#if defined(AVDB_SIMD_X86)
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+#include "codec/simd/kernels.h"
+
+namespace avdb {
+namespace simd {
+
+namespace {
+
+inline __m128i LoadU(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+inline void StoreU(void* p, __m128i v) {
+  _mm_storeu_si128(static_cast<__m128i*>(p), v);
+}
+
+/// Rounded arithmetic shift of 4×i32: (v + 2^(s-1)) >> s.
+template <int S>
+inline __m128i RoundShift32(__m128i v) {
+  return _mm_srai_epi32(_mm_add_epi32(v, _mm_set1_epi32(1 << (S - 1))), S);
+}
+
+void Fdct8x8Sse2(const int16_t in[kBlockArea], int32_t out[kBlockArea]) {
+  const DctTables& t = GetDctTables();
+  // Pass 1 (rows): tmp[y][u] = sat16((Σ_x B[u][x]·in[y][x] + 2^9) >> 10).
+  __m128i tmp[kBlockSize];  // tmp[y] = 8×i16 over u
+  for (int y = 0; y < kBlockSize; ++y) {
+    const __m128i row = LoadU(in + y * kBlockSize);
+    __m128i acc_lo = _mm_setzero_si128();  // u0..3
+    __m128i acc_hi = _mm_setzero_si128();  // u4..7
+    for (int k = 0; k < 4; ++k) {
+      // Broadcast the (x=2k, x=2k+1) input pair to every i32 lane.
+      __m128i d;
+      switch (k) {
+        case 0: d = _mm_shuffle_epi32(row, _MM_SHUFFLE(0, 0, 0, 0)); break;
+        case 1: d = _mm_shuffle_epi32(row, _MM_SHUFFLE(1, 1, 1, 1)); break;
+        case 2: d = _mm_shuffle_epi32(row, _MM_SHUFFLE(2, 2, 2, 2)); break;
+        default: d = _mm_shuffle_epi32(row, _MM_SHUFFLE(3, 3, 3, 3)); break;
+      }
+      acc_lo = _mm_add_epi32(acc_lo, _mm_madd_epi16(d, LoadU(t.fwd_pairs[k])));
+      acc_hi = _mm_add_epi32(
+          acc_hi, _mm_madd_epi16(d, LoadU(t.fwd_pairs[k] + kBlockSize)));
+    }
+    tmp[y] = _mm_packs_epi32(RoundShift32<kFdctPass1Shift>(acc_lo),
+                             RoundShift32<kFdctPass1Shift>(acc_hi));
+  }
+  // Pass 2 (columns): out[v][u] = (Σ_y B[v][y]·tmp[y][u] + 2^15) >> 16.
+  __m128i pair_lo[4];  // (tmp[2m][u], tmp[2m+1][u]) for u0..3
+  __m128i pair_hi[4];  // ... for u4..7
+  for (int m = 0; m < 4; ++m) {
+    pair_lo[m] = _mm_unpacklo_epi16(tmp[2 * m], tmp[2 * m + 1]);
+    pair_hi[m] = _mm_unpackhi_epi16(tmp[2 * m], tmp[2 * m + 1]);
+  }
+  for (int v = 0; v < kBlockSize; ++v) {
+    __m128i acc_lo = _mm_setzero_si128();
+    __m128i acc_hi = _mm_setzero_si128();
+    for (int m = 0; m < 4; ++m) {
+      const __m128i b = _mm_set1_epi32(t.fwd_bcast[m][v]);
+      acc_lo = _mm_add_epi32(acc_lo, _mm_madd_epi16(pair_lo[m], b));
+      acc_hi = _mm_add_epi32(acc_hi, _mm_madd_epi16(pair_hi[m], b));
+    }
+    StoreU(out + v * kBlockSize, RoundShift32<kFdctPass2Shift>(acc_lo));
+    StoreU(out + v * kBlockSize + 4, RoundShift32<kFdctPass2Shift>(acc_hi));
+  }
+}
+
+void Idct8x8Sse2(const int32_t in[kBlockArea], int16_t out[kBlockArea]) {
+  const DctTables& t = GetDctTables();
+  // Saturate coefficient rows to int16 (hostile levels collapse here).
+  __m128i rows[kBlockSize];  // rows[v] = 8×i16 over u
+  for (int v = 0; v < kBlockSize; ++v) {
+    rows[v] = _mm_packs_epi32(LoadU(in + v * kBlockSize),
+                              LoadU(in + v * kBlockSize + 4));
+  }
+  __m128i pair_lo[4];  // (c[2m][u], c[2m+1][u]) for u0..3
+  __m128i pair_hi[4];
+  for (int m = 0; m < 4; ++m) {
+    pair_lo[m] = _mm_unpacklo_epi16(rows[2 * m], rows[2 * m + 1]);
+    pair_hi[m] = _mm_unpackhi_epi16(rows[2 * m], rows[2 * m + 1]);
+  }
+  // Pass 1 (columns): tmp[y][u] = sat16((Σ_v B[v][y]·c[v][u] + 2^10) >> 11).
+  __m128i tmp[kBlockSize];  // tmp[y] = 8×i16 over u
+  for (int y = 0; y < kBlockSize; ++y) {
+    __m128i acc_lo = _mm_setzero_si128();
+    __m128i acc_hi = _mm_setzero_si128();
+    for (int m = 0; m < 4; ++m) {
+      const __m128i b = _mm_set1_epi32(t.inv_bcast[m][y]);
+      acc_lo = _mm_add_epi32(acc_lo, _mm_madd_epi16(pair_lo[m], b));
+      acc_hi = _mm_add_epi32(acc_hi, _mm_madd_epi16(pair_hi[m], b));
+    }
+    tmp[y] = _mm_packs_epi32(RoundShift32<kIdctPass1Shift>(acc_lo),
+                             RoundShift32<kIdctPass1Shift>(acc_hi));
+  }
+  // Pass 2 (rows): out[y][x] = sat16((Σ_u B[u][x]·tmp[y][u] + 2^14) >> 15).
+  for (int y = 0; y < kBlockSize; ++y) {
+    __m128i acc_lo = _mm_setzero_si128();  // x0..3
+    __m128i acc_hi = _mm_setzero_si128();  // x4..7
+    for (int k = 0; k < 4; ++k) {
+      __m128i d;
+      switch (k) {
+        case 0: d = _mm_shuffle_epi32(tmp[y], _MM_SHUFFLE(0, 0, 0, 0)); break;
+        case 1: d = _mm_shuffle_epi32(tmp[y], _MM_SHUFFLE(1, 1, 1, 1)); break;
+        case 2: d = _mm_shuffle_epi32(tmp[y], _MM_SHUFFLE(2, 2, 2, 2)); break;
+        default: d = _mm_shuffle_epi32(tmp[y], _MM_SHUFFLE(3, 3, 3, 3)); break;
+      }
+      acc_lo = _mm_add_epi32(acc_lo, _mm_madd_epi16(d, LoadU(t.inv_pairs[k])));
+      acc_hi = _mm_add_epi32(
+          acc_hi, _mm_madd_epi16(d, LoadU(t.inv_pairs[k] + kBlockSize)));
+    }
+    StoreU(out + y * kBlockSize,
+           _mm_packs_epi32(RoundShift32<kIdctPass2Shift>(acc_lo),
+                           RoundShift32<kIdctPass2Shift>(acc_hi)));
+  }
+}
+
+/// Unsigned per-lane (n·m) >> 32 for 4×u32.
+inline __m128i MulHiU32(__m128i n, __m128i m) {
+  const __m128i prod_even = _mm_mul_epu32(n, m);  // lanes 0,2 → 64-bit
+  const __m128i prod_odd = _mm_mul_epu32(_mm_srli_epi64(n, 32),
+                                         _mm_srli_epi64(m, 32));  // lanes 1,3
+  const __m128i hi_even = _mm_srli_epi64(prod_even, 32);
+  const __m128i hi_odd =
+      _mm_and_si128(prod_odd, _mm_set1_epi64x(
+                                  static_cast<int64_t>(0xFFFFFFFF00000000)));
+  return _mm_or_si128(hi_even, hi_odd);
+}
+
+/// Per-lane low 32 bits of i32×i32 (SSE2 has no PMULLD).
+inline __m128i MulLo32(__m128i a, __m128i b) {
+  const __m128i even = _mm_mul_epu32(a, b);
+  const __m128i odd =
+      _mm_mul_epu32(_mm_srli_si128(a, 4), _mm_srli_si128(b, 4));
+  return _mm_unpacklo_epi32(_mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0)),
+                            _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0)));
+}
+
+void QuantizeSse2(int32_t coeffs[kBlockArea], const QuantTable& qt) {
+  const __m128i one = _mm_set1_epi32(1);
+  for (int i = 0; i < kBlockArea; i += 4) {
+    const __m128i v = LoadU(coeffs + i);
+    const __m128i sign = _mm_srai_epi32(v, 31);
+    const __m128i n = _mm_add_epi32(
+        _mm_sub_epi32(_mm_xor_si128(v, sign), sign), LoadU(qt.half + i));
+    const __m128i step = LoadU(qt.step + i);
+    __m128i q = MulHiU32(n, LoadU(qt.recip + i));
+    const __m128i is_one = _mm_cmpeq_epi32(step, one);
+    q = _mm_or_si128(_mm_and_si128(is_one, n), _mm_andnot_si128(is_one, q));
+    q = _mm_sub_epi32(_mm_xor_si128(q, sign), sign);
+    StoreU(coeffs + i, q);
+  }
+}
+
+void DequantizeSse2(int32_t coeffs[kBlockArea], const QuantTable& qt) {
+  const __m128i hi = _mm_set1_epi32(kDequantClamp);
+  const __m128i lo = _mm_set1_epi32(-kDequantClamp);
+  for (int i = 0; i < kBlockArea; i += 4) {
+    __m128i v = LoadU(coeffs + i);
+    const __m128i gt = _mm_cmpgt_epi32(v, hi);
+    v = _mm_or_si128(_mm_and_si128(gt, hi), _mm_andnot_si128(gt, v));
+    const __m128i lt = _mm_cmpgt_epi32(lo, v);
+    v = _mm_or_si128(_mm_and_si128(lt, lo), _mm_andnot_si128(lt, v));
+    StoreU(coeffs + i, MulLo32(v, LoadU(qt.step + i)));
+  }
+}
+
+void U8ToI16CenterSse2(const uint8_t* src, int16_t* dst, size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i c128 = _mm_set1_epi16(128);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = LoadU(src + i);
+    StoreU(dst + i, _mm_sub_epi16(_mm_unpacklo_epi8(v, zero), c128));
+    StoreU(dst + i + 8, _mm_sub_epi16(_mm_unpackhi_epi8(v, zero), c128));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<int16_t>(static_cast<int16_t>(src[i]) - 128);
+  }
+}
+
+void I16CenterToU8Sse2(const int16_t* src, uint8_t* dst, size_t n) {
+  const __m128i c128 = _mm_set1_epi16(128);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Saturating add + unsigned pack equals the scalar int-add-then-clamp:
+    // they differ only above 32639, where both clamp to 255.
+    const __m128i lo = _mm_adds_epi16(LoadU(src + i), c128);
+    const __m128i hi = _mm_adds_epi16(LoadU(src + i + 8), c128);
+    StoreU(dst + i, _mm_packus_epi16(lo, hi));
+  }
+  for (; i < n; ++i) {
+    const int32_t v = static_cast<int32_t>(src[i]) + 128;
+    dst[i] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+
+void ResidualU8Sse2(const uint8_t* cur, const uint8_t* pred, int16_t* out,
+                    size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i c = LoadU(cur + i);
+    const __m128i p = LoadU(pred + i);
+    StoreU(out + i, _mm_sub_epi16(_mm_unpacklo_epi8(c, zero),
+                                  _mm_unpacklo_epi8(p, zero)));
+    StoreU(out + i + 8, _mm_sub_epi16(_mm_unpackhi_epi8(c, zero),
+                                      _mm_unpackhi_epi8(p, zero)));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<int16_t>(static_cast<int32_t>(cur[i]) -
+                                  static_cast<int32_t>(pred[i]));
+  }
+}
+
+void ReconstructU8Sse2(const uint8_t* pred, const int16_t* res, uint8_t* out,
+                       size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i p = LoadU(pred + i);
+    const __m128i lo =
+        _mm_adds_epi16(_mm_unpacklo_epi8(p, zero), LoadU(res + i));
+    const __m128i hi =
+        _mm_adds_epi16(_mm_unpackhi_epi8(p, zero), LoadU(res + i + 8));
+    StoreU(out + i, _mm_packus_epi16(lo, hi));
+  }
+  for (; i < n; ++i) {
+    const int32_t v = static_cast<int32_t>(pred[i]) + res[i];
+    out[i] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+
+void SubI16Sse2(const int16_t* a, const int16_t* b, int16_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(out + i, _mm_sub_epi16(LoadU(a + i), LoadU(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<int16_t>(static_cast<int32_t>(a[i]) - b[i]);
+  }
+}
+
+void AddI16Sse2(const int16_t* a, const int16_t* b, int16_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(out + i, _mm_add_epi16(LoadU(a + i), LoadU(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<int16_t>(static_cast<int32_t>(a[i]) + b[i]);
+  }
+}
+
+inline uint32_t ReduceSad(__m128i acc) {
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(acc)) +
+         static_cast<uint32_t>(
+             _mm_cvtsi128_si32(_mm_srli_si128(acc, 8)));
+}
+
+uint32_t SadU8Sse2(const uint8_t* a, const uint8_t* b, size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(LoadU(a + i), LoadU(b + i)));
+  }
+  uint32_t sum = ReduceSad(acc);
+  for (; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += static_cast<uint32_t>(d < 0 ? -d : d);
+  }
+  return sum;
+}
+
+uint32_t Sad16xHU8Sse2(const uint8_t* a, ptrdiff_t a_stride, const uint8_t* b,
+                       ptrdiff_t b_stride, int rows) {
+  __m128i acc = _mm_setzero_si128();
+  for (int r = 0; r < rows; ++r) {
+    acc = _mm_add_epi64(
+        acc, _mm_sad_epu8(LoadU(a + r * a_stride), LoadU(b + r * b_stride)));
+  }
+  return ReduceSad(acc);
+}
+
+}  // namespace
+
+const CodecKernels& Sse2Kernels() {
+  static const CodecKernels kernels = [] {
+    CodecKernels k;
+    k.level = KernelLevel::kSse2;
+    k.fdct8x8 = Fdct8x8Sse2;
+    k.idct8x8 = Idct8x8Sse2;
+    k.quantize = QuantizeSse2;
+    k.dequantize = DequantizeSse2;
+    k.u8_to_i16_center = U8ToI16CenterSse2;
+    k.i16_center_to_u8 = I16CenterToU8Sse2;
+    k.residual_u8 = ResidualU8Sse2;
+    k.reconstruct_u8 = ReconstructU8Sse2;
+    k.sub_i16 = SubI16Sse2;
+    k.add_i16 = AddI16Sse2;
+    k.sad_u8 = SadU8Sse2;
+    k.sad16xh_u8 = Sad16xHU8Sse2;
+    return k;
+  }();
+  return kernels;
+}
+
+}  // namespace simd
+}  // namespace avdb
+
+#endif  // AVDB_SIMD_X86

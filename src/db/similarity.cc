@@ -30,10 +30,10 @@ Result<VideoSignature> VideoSignature::Extract(const VideoValue& video) {
     for (int64_t i = first; i < last; i += step) {
       auto frame = video.Frame(i);
       if (!frame.ok()) return frame.status();
-      // Luma histogram over component 0.
-      const int bpp = frame.value().bytes_per_pixel();
-      const auto& data = frame.value().data();
-      for (size_t p = 0; p < data.size(); p += static_cast<size_t>(bpp)) {
+      // Luma histogram over component 0 (a contiguous plane).
+      const PlaneView luma = frame.value().plane(0);
+      const uint8_t* data = luma.data();
+      for (size_t p = 0; p < luma.size(); ++p) {
         ++histogram[static_cast<size_t>(data[p]) * kBins / 256];
         ++samples;
       }

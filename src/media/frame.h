@@ -1,6 +1,7 @@
 #ifndef AVDB_MEDIA_FRAME_H_
 #define AVDB_MEDIA_FRAME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -9,16 +10,80 @@
 
 namespace avdb {
 
+/// Read-only view of one component plane of a VideoFrame: width×height
+/// bytes, contiguous in raster order. A view borrows the frame's storage —
+/// it is valid only while the frame outlives it and is not resized.
+/// Codecs iterate these directly instead of copying planes out.
+class PlaneView {
+ public:
+  PlaneView() = default;
+  PlaneView(const uint8_t* data, int width, int height)
+      : data_(data), width_(width), height_(height) {}
+
+  const uint8_t* data() const { return data_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t size() const { return static_cast<size_t>(width_) * height_; }
+  uint8_t at(int x, int y) const {
+    return data_[static_cast<size_t>(y) * width_ + x];
+  }
+  const uint8_t* row(int y) const {
+    return data_ + static_cast<size_t>(y) * width_;
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+};
+
+/// Mutable counterpart of PlaneView. Aliasing rule: a PlaneSpan must not
+/// overlap a PlaneView of the same plane inside one kernel call — the
+/// codecs write either a different frame or a different plane than they
+/// read.
+class PlaneSpan {
+ public:
+  PlaneSpan() = default;
+  PlaneSpan(uint8_t* data, int width, int height)
+      : data_(data), width_(width), height_(height) {}
+
+  uint8_t* data() const { return data_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t size() const { return static_cast<size_t>(width_) * height_; }
+  uint8_t* row(int y) const {
+    return data_ + static_cast<size_t>(y) * width_;
+  }
+  operator PlaneView() const { return PlaneView(data_, width_, height_); }
+
+ private:
+  uint8_t* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+};
+
 /// One uncompressed raster frame: `width`×`height` pixels at `depth_bits`
 /// bits per pixel. Supported depths are 8 (single 8-bit luma plane) and 24
-/// (interleaved RGB). This is the unit that flows through video ports, the
-/// paper's "raw" port data type.
+/// (RGB). This is the unit that flows through video ports, the paper's
+/// "raw" port data type.
+///
+/// Storage is *planar* (plane-major: all of component 0, then 1, then 2),
+/// so each component plane is a contiguous width×height byte run exposed
+/// zero-copy through plane()/plane_span(). Backing stores are leased from
+/// BufferPool::Shared() and recycled on destruction, so steady-state frame
+/// churn performs no heap allocations once the pool is warm.
 class VideoFrame {
  public:
   /// Empty 0x0 frame.
   VideoFrame() = default;
   /// Allocates a zero-filled frame. Depth must be 8 or 24 (checked).
   VideoFrame(int width, int height, int depth_bits);
+  ~VideoFrame();
+
+  VideoFrame(const VideoFrame& other);
+  VideoFrame& operator=(const VideoFrame& other);
+  VideoFrame(VideoFrame&& other) noexcept;
+  VideoFrame& operator=(VideoFrame&& other) noexcept;
 
   int width() const { return width_; }
   int height() const { return height_; }
@@ -26,27 +91,43 @@ class VideoFrame {
   int bytes_per_pixel() const { return depth_bits_ / 8; }
   int plane_count() const { return bytes_per_pixel(); }
   size_t SizeBytes() const { return data_.size(); }
+  size_t plane_size() const { return static_cast<size_t>(width_) * height_; }
 
   const std::vector<uint8_t>& data() const { return data_; }
   std::vector<uint8_t>& data() { return data_; }
 
+  /// Zero-copy view of component plane `p` (0..plane_count-1).
+  PlaneView plane(int p) const {
+    return PlaneView(data_.data() + plane_size() * p, width_, height_);
+  }
+  /// Zero-copy mutable span of component plane `p`.
+  PlaneSpan plane_span(int p) {
+    return PlaneSpan(data_.data() + plane_size() * p, width_, height_);
+  }
+
   /// Pixel component `c` (0..bytes_per_pixel-1) at (x, y); coordinates are
   /// caller's responsibility in release paths, checked in debug.
   uint8_t At(int x, int y, int c = 0) const {
-    return data_[(static_cast<size_t>(y) * width_ + x) * bytes_per_pixel() + c];
+    return data_[plane_size() * c + static_cast<size_t>(y) * width_ + x];
   }
   void Set(int x, int y, uint8_t v, int c = 0) {
-    data_[(static_cast<size_t>(y) * width_ + x) * bytes_per_pixel() + c] = v;
+    data_[plane_size() * c + static_cast<size_t>(y) * width_ + x] = v;
   }
 
-  /// Copies out component plane `p` as a width×height byte array.
+  /// Copies out component plane `p` as a width×height byte array. Prefer
+  /// plane() — these copying accessors remain for tests and cold paths and
+  /// are counted (see plane_copies()) so hot paths can prove they avoid
+  /// them.
   std::vector<uint8_t> ExtractPlane(int p) const;
   /// Same, but into a caller-provided (possibly pooled) block, which is
-  /// resized to width·height — the allocation-free path the codec inner
-  /// loops use.
+  /// resized to width·height.
   void ExtractPlaneInto(int p, std::vector<uint8_t>* out) const;
   /// Overwrites component plane `p`; `plane` must have width·height bytes.
   Status SetPlane(int p, const std::vector<uint8_t>& plane);
+
+  /// Process-wide count of plane copies (ExtractPlane/ExtractPlaneInto/
+  /// SetPlane calls). Regression tests pin hot-path counts to zero.
+  static int64_t plane_copies();
 
   /// Mean absolute per-component difference against `other`; used as the
   /// distortion measure in codec tests and the quality bench. Frames must
@@ -62,18 +143,22 @@ class VideoFrame {
   int width_ = 0;
   int height_ = 0;
   int depth_bits_ = 8;
-  std::vector<uint8_t> data_;
+  std::vector<uint8_t> data_;  // plane-major, leased from BufferPool
 };
 
 /// A block of interleaved 16-bit PCM audio samples: `channels` interleaved
 /// streams. `frame_count` is samples per channel. The unit that flows
-/// through audio ports.
+/// through audio ports. Backing stores are pooled like VideoFrame's.
 class AudioBlock {
  public:
   AudioBlock() = default;
-  AudioBlock(int channels, int frame_count)
-      : channels_(channels),
-        samples_(static_cast<size_t>(channels) * frame_count, 0) {}
+  AudioBlock(int channels, int frame_count);
+  ~AudioBlock();
+
+  AudioBlock(const AudioBlock& other);
+  AudioBlock& operator=(const AudioBlock& other);
+  AudioBlock(AudioBlock&& other) noexcept;
+  AudioBlock& operator=(AudioBlock&& other) noexcept;
 
   int channels() const { return channels_; }
   int frame_count() const {
@@ -97,7 +182,7 @@ class AudioBlock {
 
  private:
   int channels_ = 0;
-  std::vector<int16_t> samples_;
+  std::vector<int16_t> samples_;  // leased from BufferPool
 };
 
 }  // namespace avdb

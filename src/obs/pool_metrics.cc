@@ -1,0 +1,29 @@
+#include "obs/pool_metrics.h"
+
+#include "obs/metrics.h"
+
+namespace avdb {
+namespace obs {
+
+void PublishBufferPoolStats(const BufferPool& pool, MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const BufferPool::Stats s = pool.stats();
+  registry->GetGauge(kPoolAcquiresMetric, "buffer pool Acquire* calls")
+      ->Set(s.acquires);
+  registry->GetGauge(kPoolReusesMetric, "pool acquires served from free list")
+      ->Set(s.reuses);
+  registry
+      ->GetGauge(kPoolAllocationsMetric, "pool acquires that hit the heap")
+      ->Set(s.allocations);
+  registry->GetGauge(kPoolReleasesMetric, "blocks handed back to the pool")
+      ->Set(s.releases);
+  registry->GetGauge(kPoolDropsMetric, "releases dropped (free list full)")
+      ->Set(s.drops);
+}
+
+void PublishSharedBufferPoolStats(MetricsRegistry* registry) {
+  PublishBufferPoolStats(BufferPool::Shared(), registry);
+}
+
+}  // namespace obs
+}  // namespace avdb

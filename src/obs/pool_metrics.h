@@ -1,0 +1,28 @@
+#ifndef AVDB_OBS_POOL_METRICS_H_
+#define AVDB_OBS_POOL_METRICS_H_
+
+#include "base/buffer_pool.h"
+
+namespace avdb {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Publishes a point-in-time snapshot of `pool`'s counters into `registry`
+/// as gauges under the names declared next to BufferPool
+/// (`avdb_base_pool_*`). Pool counters are cumulative but resettable
+/// (ResetStats clears them between bench phases), so they export as gauges
+/// rather than monotone counters.
+///
+/// Call at export points — end of a bench phase, experiment teardown, or a
+/// metrics scrape — not per frame; the hot path never touches the registry.
+/// No-op when `registry` is null (observability off).
+void PublishBufferPoolStats(const BufferPool& pool, MetricsRegistry* registry);
+
+/// Convenience overload for the process-wide pool the codecs lease from.
+void PublishSharedBufferPoolStats(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace avdb
+
+#endif  // AVDB_OBS_POOL_METRICS_H_

@@ -33,6 +33,13 @@ Rules (see DESIGN.md §10 "Static correctness model"):
                      `avdb_<layer>_<metric>` where `<layer>` is the layer
                      (include-DAG directory) of the defining file, so a
                      metric's name always says which layer owns it.
+  plane-copy         No per-frame byte-plane copies in the codec/activity
+                     hot paths (src/codec, src/activity): the copying
+                     frame accessors (ExtractPlane / ExtractPlaneInto /
+                     SetPlane) and by-value `std::vector<uint8_t>`
+                     temporaries allocate per frame. Use PlaneView /
+                     PlaneSpan over the frame's planar storage, or lease
+                     scratch from BufferPool (BytesLease / AcquireBuffer).
 
 Suppressions live in tools/avdb_lint_allowlist.json — machine-readable,
 justification required, stale entries are themselves errors. Never silence
@@ -64,6 +71,7 @@ LAYER_RANK = {
 }
 
 HOT_PATH_DIRS = ("src/storage/", "src/net/", "src/codec/")
+PLANE_COPY_DIRS = ("src/codec/", "src/activity/")
 
 WALLCLOCK_RE = re.compile(
     r"std::chrono::(?:system|steady|high_resolution)_clock"
@@ -78,6 +86,11 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 VOID_CAST_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.]*(?:->\w+)*\s*\(")
 # An instrument name inside a string literal: "avdb_<layer>_..."
 METRIC_LITERAL_RE = re.compile(r'"(avdb_([a-z0-9]+)_[a-z0-9_]+)')
+PLANE_ACCESSOR_RE = re.compile(
+    r"\b(?:ExtractPlane|ExtractPlaneInto|SetPlane)\s*\(")
+# A by-value byte-plane object; reference/rvalue-reference types are fine
+# (borrowing, not allocating).
+PLANE_TEMP_RE = re.compile(r"std::vector<uint8_t>\s*(?!&)")
 
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
 
@@ -157,6 +170,7 @@ def lint_file(rel_path, lines):
     layer = layer_of(rel_path)
     is_buffer_code = in_src and os.path.basename(rel_path).startswith("buffer")
     in_hot_path = any(rel_path.startswith(d) for d in HOT_PATH_DIRS)
+    in_plane_hot_path = any(rel_path.startswith(d) for d in PLANE_COPY_DIRS)
 
     for idx, line in enumerate(stripped, start=1):
         m = INCLUDE_RE.match(line)
@@ -192,6 +206,11 @@ def lint_file(rel_path, lines):
         if in_hot_path and CHECK_RE.search(line):
             violations.append(Violation(
                 "check-in-hot-path", rel_path, idx, lines[idx - 1]))
+
+        if in_plane_hot_path and (PLANE_ACCESSOR_RE.search(line)
+                                  or PLANE_TEMP_RE.search(line)):
+            violations.append(Violation(
+                "plane-copy", rel_path, idx, lines[idx - 1]))
 
         if in_src and VOID_CAST_CALL_RE.search(line):
             violations.append(Violation(
