@@ -1,0 +1,508 @@
+// Replicated multi-node serving: node-level fault injection, failover,
+// hedged reads, and deadline propagation.
+//
+// Three client sessions stream a stored scalable clip through per-session
+// StreamRouters over three ServerNode replicas (per-link ATM channels).
+// Replica node0 is deterministically killed mid-stream (FaultSpec node
+// crash) while every replica's device also degrades under the standard
+// transient-error / latency-spike / stuck-head mix at the sweep's fault
+// rate. The routers' health tracking (EWMA + circuit breaker) fails the
+// sessions over, p95-hedged reads race slow primaries, and the
+// presentation-deadline budget propagates through router -> channel ->
+// server -> store so doomed work is cancelled instead of executed.
+//
+// Part 1 is the parity gate: a single co-located replica behind the router
+// must stream *exactly* like a direct MediaStore — replication off changes
+// nothing.
+//
+// Everything runs in virtual time: same seed, same spec, same numbers.
+//
+// Output: BENCH_replication.json. Exit code is non-zero when the ISSUE
+// acceptance gates fail (at the 5% sweep point with node0 killed: every
+// session completes, zero aborted streams, bounded rebuffer, and the
+// cluster metrics show at least one failover, one hedge win, and one
+// breaker open).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "activity/graph.h"
+#include "activity/sinks.h"
+#include "activity/sources.h"
+#include "base/fault_injector.h"
+#include "base/logging.h"
+#include "cluster/node.h"
+#include "cluster/stream_router.h"
+#include "codec/encoded_value.h"
+#include "codec/scalable_codec.h"
+#include "media/synthetic.h"
+#include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/degradation.h"
+#include "sched/event_engine.h"
+#include "storage/media_store.h"
+#include "storage/value_serializer.h"
+
+using namespace avdb;
+
+namespace {
+
+const MediaDataType kType = MediaDataType::RawVideo(176, 144, 8, Rational(10));
+constexpr int kFrames = 300;  // 30 s of video
+constexpr uint64_t kSeed = 42;
+constexpr int kSessions = 3;
+constexpr int kReplicas = 3;
+// node0 dies at its Nth served operation: with three sessions spreading
+// ~900 fetches over three replicas this lands mid-stream.
+constexpr int64_t kKillAtOp = 150;
+
+/// Device-level fault mix (identical to bench_fault_degradation's sweep):
+/// transient read errors, 30 ms bus spikes, rare 400 ms stuck heads.
+FaultSpec DeviceSpec(double p) {
+  FaultSpec spec;
+  spec.read_error_rate = p;
+  spec.latency_spike_rate = p;
+  spec.latency_spike_ns = 30 * 1000 * 1000;
+  spec.stuck_head_rate = p / 2;
+  spec.stuck_head_stall_ns = 400 * 1000 * 1000;
+  return spec;
+}
+
+std::shared_ptr<EncodedVideoValue> MakeClip() {
+  auto raw = synthetic::GenerateVideo(kType, kFrames,
+                                      synthetic::VideoPattern::kMovingBox)
+                 .value();
+  VideoCodecParams params;
+  params.layer_count = 3;
+  auto codec = std::make_shared<ScalableCodec>();
+  auto encoded = codec->Encode(*raw, params).value();
+  return EncodedVideoValue::Create(codec, std::move(encoded)).value();
+}
+
+/// One replica machine: device (+ optional device-fault injector), store
+/// with the clip, the serving node (+ optional node-fault injector).
+struct Replica {
+  std::shared_ptr<BlockDevice> device;
+  ServerNodePtr node;
+  std::unique_ptr<FaultInjector> device_faults;
+  std::unique_ptr<FaultInjector> node_faults;
+};
+
+Replica MakeReplicaMachine(const std::string& name, const Buffer& blob) {
+  Replica r;
+  r.device = std::make_shared<BlockDevice>(name + ".dev",
+                                           DeviceProfile::MagneticDisk());
+  auto store = std::make_shared<MediaStore>(r.device, nullptr);
+  AVDB_MUST(store->Put("clip", Buffer(blob)));
+  r.node = std::make_shared<ServerNode>(name, store);
+  return r;
+}
+
+struct SessionReport {
+  bool completed = false;
+  int64_t presented = 0;
+  int64_t dropped = 0;
+  int64_t late = 0;
+  int64_t deadline_misses = 0;
+  double stall_total_ms = 0;
+  double stall_max_ms = 0;
+  int64_t aborts = 0;
+  int64_t pauses = 0;
+  StreamRouter::Stats router;
+};
+
+struct ClusterReport {
+  double fault_rate = 0;
+  SessionReport sessions[kSessions];
+  // Aggregates across the three session routers.
+  int64_t failovers = 0;
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;
+  int64_t breaker_opens = 0;
+  int64_t deadline_fast_fails = 0;
+  int64_t deadline_give_ups = 0;
+  int64_t exhausted = 0;
+  // node0 (the killed machine) and the survivors.
+  int64_t node0_refused = 0;
+  int64_t node0_served = 0;
+  int64_t survivor_served = 0;
+  // The same failover/hedge facts read back from the metrics registry —
+  // the gate checks observability agrees with the router's own counters.
+  int64_t metric_failovers = 0;
+  int64_t metric_hedge_wins = 0;
+  int64_t metric_breaker_opens = 0;
+  int64_t trace_failover_events = 0;
+  int64_t trace_hedge_events = 0;
+};
+
+ClusterReport RunCluster(const std::shared_ptr<EncodedVideoValue>& clip,
+                         double fault_rate) {
+  ClusterReport report;
+  report.fault_rate = fault_rate;
+
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(8192);
+
+  const Buffer blob = value_serializer::Serialize(*clip).value();
+  std::vector<Replica> replicas;
+  for (int i = 0; i < kReplicas; ++i) {
+    replicas.push_back(MakeReplicaMachine("node" + std::to_string(i), blob));
+    Replica& r = replicas.back();
+    if (fault_rate > 0) {
+      r.device_faults = std::make_unique<FaultInjector>(
+          DeviceSpec(fault_rate), kSeed + static_cast<uint64_t>(i));
+      r.device->set_fault_injector(r.device_faults.get());
+    }
+  }
+  // The mid-stream node loss: node0's kKillAtOp-th served operation finds
+  // the machine dead, and it stays dead for the rest of the run.
+  replicas[0].node_faults =
+      std::make_unique<FaultInjector>(FaultSpec::NodeCrash(kKillAtOp), kSeed);
+  replicas[0].node->set_fault_injector(replicas[0].node_faults.get());
+
+  std::vector<std::unique_ptr<StreamRouter>> routers;
+  std::vector<std::unique_ptr<DegradationController>> degraders;
+  std::vector<std::shared_ptr<VideoSource>> sources;
+  std::vector<std::shared_ptr<VideoWindow>> windows;
+
+  for (int s = 0; s < kSessions; ++s) {
+    RouterPolicy policy;  // defaults: 3 attempts, hedging armed at 8 samples
+    routers.push_back(std::make_unique<StreamRouter>(
+        "client" + std::to_string(s), policy, [&engine] {
+          return engine.now_ns();
+        }));
+    StreamRouter* router = routers.back().get();
+    for (int i = 0; i < kReplicas; ++i) {
+      // Per-(session, server) ATM link: transfer cost and link faults are
+      // private to the pair, like a switched fabric.
+      auto channel = std::make_shared<Channel>(
+          "lan." + std::to_string(s) + "." + std::to_string(i),
+          Channel::Profile::Atm155());
+      router->AddReplica(replicas[static_cast<size_t>(i)].node, channel);
+    }
+    router->BindObservability(&registry, &tracer);
+
+    degraders.push_back(std::make_unique<DegradationController>());
+    SourceOptions source_options;
+    source_options.blob_name = "clip";
+    source_options.degrade = degraders.back().get();
+    source_options.fetcher = [router](const std::string& blob_name,
+                                      int64_t offset, int64_t length,
+                                      int64_t budget_ns) {
+      return router->Fetch(blob_name, offset, length, budget_ns);
+    };
+    auto source =
+        VideoSource::Create("src" + std::to_string(s),
+                            ActivityLocation::kDatabase, env, source_options);
+    AVDB_MUST(source->Bind(clip, VideoSource::kPortOut));
+
+    SinkOptions sink_options;
+    sink_options.degrade = degraders.back().get();
+    auto window = VideoWindow::Create(
+        "win" + std::to_string(s), ActivityLocation::kClient, env,
+        VideoQuality(176, 144, 8, Rational(10)), sink_options);
+
+    SessionReport* session = &report.sessions[s];
+    AVDB_MUST(source->Catch(VideoSource::kFrameDropped,
+                            [session](const ActivityEvent&) {
+                              ++session->dropped;
+                            }));
+    AVDB_MUST(window->Catch(VideoWindow::kLastFrame,
+                            [session](const ActivityEvent&) {
+                              session->completed = true;
+                            }));
+
+    AVDB_MUST(graph.Add(source));
+    AVDB_MUST(graph.Add(window));
+    AVDB_MUST(graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
+                            VideoWindow::kPortIn));
+    sources.push_back(std::move(source));
+    windows.push_back(std::move(window));
+  }
+
+  AVDB_MUST(graph.StartAll());
+  graph.RunUntilIdle();
+
+  for (int s = 0; s < kSessions; ++s) {
+    SessionReport& session = report.sessions[s];
+    const StreamStats& stats = windows[static_cast<size_t>(s)]->stats();
+    session.presented = stats.elements_presented;
+    session.late = stats.late_elements;
+    session.deadline_misses = stats.deadline_misses;
+    session.stall_total_ms = stats.total_lateness_ns / 1e6;
+    session.stall_max_ms = stats.max_lateness_ns / 1e6;
+    session.aborts = degraders[static_cast<size_t>(s)]->stats().aborts_taken;
+    session.pauses = degraders[static_cast<size_t>(s)]->stats().pauses_taken;
+    session.router = routers[static_cast<size_t>(s)]->stats();
+    report.failovers += session.router.failovers;
+    report.hedges += session.router.hedges;
+    report.hedge_wins += session.router.hedge_wins;
+    report.breaker_opens += session.router.breaker_opens;
+    report.deadline_fast_fails += session.router.deadline_fast_fails;
+    report.deadline_give_ups += session.router.deadline_give_ups;
+    report.exhausted += session.router.exhausted;
+  }
+  report.node0_refused = replicas[0].node->stats().refused;
+  report.node0_served = replicas[0].node->stats().served;
+  for (int i = 1; i < kReplicas; ++i) {
+    report.survivor_served += replicas[static_cast<size_t>(i)].node->stats().served;
+  }
+  report.metric_failovers =
+      registry.GetCounter("avdb_cluster_failovers_total", "")->Value();
+  report.metric_hedge_wins =
+      registry.GetCounter("avdb_cluster_hedge_wins_total", "")->Value();
+  report.metric_breaker_opens =
+      registry.GetCounter("avdb_cluster_breaker_opens_total", "")->Value();
+  for (const auto& event : tracer.Events()) {
+    if (event.name == "failover") ++report.trace_failover_events;
+    if (event.name == "hedge_win") ++report.trace_hedge_events;
+  }
+  return report;
+}
+
+/// Streams the clip once through a plain MediaStore + device queue (the
+/// pre-cluster pipeline) or through a router with one co-located replica,
+/// and returns the window's stream stats. The two must be identical.
+StreamStats RunSingleNode(const std::shared_ptr<EncodedVideoValue>& clip,
+                          bool routed) {
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  ActivityGraph graph(env);
+
+  const Buffer blob = value_serializer::Serialize(*clip).value();
+  Replica machine = MakeReplicaMachine("solo", blob);
+  std::unique_ptr<StreamRouter> router;
+
+  SourceOptions source_options;
+  source_options.blob_name = "clip";
+  if (routed) {
+    router = std::make_unique<StreamRouter>(
+        "solo-client", RouterPolicy{}, [&engine] { return engine.now_ns(); });
+    router->AddReplica(machine.node, nullptr);  // co-located: no link
+    StreamRouter* raw = router.get();
+    source_options.fetcher = [raw](const std::string& blob_name,
+                                   int64_t offset, int64_t length,
+                                   int64_t budget_ns) {
+      return raw->Fetch(blob_name, offset, length, budget_ns);
+    };
+  } else {
+    source_options.store = &machine.node->store();
+    source_options.device_queue = &machine.node->device_queue();
+  }
+
+  auto source = VideoSource::Create("src", ActivityLocation::kDatabase, env,
+                                    source_options);
+  AVDB_MUST(source->Bind(clip, VideoSource::kPortOut));
+  auto window =
+      VideoWindow::Create("win", ActivityLocation::kClient, env,
+                          VideoQuality(176, 144, 8, Rational(10)),
+                          SinkOptions{});
+  AVDB_MUST(graph.Add(source));
+  AVDB_MUST(graph.Add(window));
+  AVDB_MUST(graph.Connect(source.get(), VideoSource::kPortOut, window.get(),
+                          VideoWindow::kPortIn));
+  AVDB_MUST(graph.StartAll());
+  graph.RunUntilIdle();
+  return window->stats();
+}
+
+void PrintSessionRow(int s, const SessionReport& r) {
+  std::printf(
+      "  s%d: done=%s shown=%lld drop=%lld fo=%lld hedge=%lld/%lld "
+      "brk=%lld ff=%lld give=%lld stall_max=%.1fms\n",
+      s, r.completed ? "yes" : "NO", static_cast<long long>(r.presented),
+      static_cast<long long>(r.dropped),
+      static_cast<long long>(r.router.failovers),
+      static_cast<long long>(r.router.hedge_wins),
+      static_cast<long long>(r.router.hedges),
+      static_cast<long long>(r.router.breaker_opens),
+      static_cast<long long>(r.router.deadline_fast_fails),
+      static_cast<long long>(r.router.deadline_give_ups), r.stall_max_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "==============================================================\n"
+         "Replicated serving: 3 sessions x 3 replicas, node0 killed\n"
+         "mid-stream, device faults swept; failover + hedged reads +\n"
+         "deadline propagation keep every stream alive\n"
+         "==============================================================\n\n";
+
+  auto clip = MakeClip();
+
+  // Part 1 — parity: the router with one co-located replica is the direct
+  // store in disguise.
+  const StreamStats direct = RunSingleNode(clip, /*routed=*/false);
+  const StreamStats routed = RunSingleNode(clip, /*routed=*/true);
+  std::printf("parity: direct shown=%lld late=%lld miss=%lld "
+              "stall=%.3f/%.3f ms\n",
+              static_cast<long long>(direct.elements_presented),
+              static_cast<long long>(direct.late_elements),
+              static_cast<long long>(direct.deadline_misses),
+              direct.total_lateness_ns / 1e6, direct.max_lateness_ns / 1e6);
+  std::printf("parity: routed shown=%lld late=%lld miss=%lld "
+              "stall=%.3f/%.3f ms\n\n",
+              static_cast<long long>(routed.elements_presented),
+              static_cast<long long>(routed.late_elements),
+              static_cast<long long>(routed.deadline_misses),
+              routed.total_lateness_ns / 1e6, routed.max_lateness_ns / 1e6);
+
+  // Part 2 — the replicated sweep.
+  const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10};
+  std::vector<ClusterReport> runs;
+  for (double rate : rates) {
+    runs.push_back(RunCluster(clip, rate));
+    const ClusterReport& r = runs.back();
+    std::printf("rate %.2f: node0 served=%lld refused=%lld, survivors "
+                "served=%lld\n",
+                rate, static_cast<long long>(r.node0_served),
+                static_cast<long long>(r.node0_refused),
+                static_cast<long long>(r.survivor_served));
+    for (int s = 0; s < kSessions; ++s) PrintSessionRow(s, r.sessions[s]);
+  }
+
+  // ---------------------------------------------------------------- JSON --
+  FILE* out = std::fopen("BENCH_replication.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"replication\",\n"
+                 "  \"config\": {\"frames\": %d, \"sessions\": %d, "
+                 "\"replicas\": %d, \"kill_at_op\": %lld, \"seed\": %llu},\n"
+                 "  \"parity\": {\"direct\": {\"presented\": %lld, "
+                 "\"late\": %lld, \"misses\": %lld, \"lateness_ns\": %lld},\n"
+                 "             \"routed\": {\"presented\": %lld, "
+                 "\"late\": %lld, \"misses\": %lld, \"lateness_ns\": %lld}},\n"
+                 "  \"sweep\": [\n",
+                 kFrames, kSessions, kReplicas,
+                 static_cast<long long>(kKillAtOp),
+                 static_cast<unsigned long long>(kSeed),
+                 static_cast<long long>(direct.elements_presented),
+                 static_cast<long long>(direct.late_elements),
+                 static_cast<long long>(direct.deadline_misses),
+                 static_cast<long long>(direct.total_lateness_ns),
+                 static_cast<long long>(routed.elements_presented),
+                 static_cast<long long>(routed.late_elements),
+                 static_cast<long long>(routed.deadline_misses),
+                 static_cast<long long>(routed.total_lateness_ns));
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const ClusterReport& r = runs[i];
+      int64_t presented = 0, dropped = 0, aborts = 0;
+      double stall_max = 0;
+      bool all_completed = true;
+      for (const SessionReport& s : r.sessions) {
+        presented += s.presented;
+        dropped += s.dropped;
+        aborts += s.aborts;
+        if (s.stall_max_ms > stall_max) stall_max = s.stall_max_ms;
+        all_completed = all_completed && s.completed;
+      }
+      std::fprintf(
+          out,
+          "    {\"fault_rate\": %.2f, \"all_completed\": %s, "
+          "\"frames_presented\": %lld, \"frames_dropped\": %lld, "
+          "\"stream_aborts\": %lld, \"stall_max_ms\": %.3f, "
+          "\"failovers\": %lld, \"hedges\": %lld, \"hedge_wins\": %lld, "
+          "\"breaker_opens\": %lld, \"deadline_fast_fails\": %lld, "
+          "\"deadline_give_ups\": %lld, \"exhausted\": %lld, "
+          "\"node0_served\": %lld, \"node0_refused\": %lld, "
+          "\"survivor_served\": %lld, \"metric_failovers\": %lld, "
+          "\"metric_hedge_wins\": %lld, \"metric_breaker_opens\": %lld, "
+          "\"trace_failover_events\": %lld, \"trace_hedge_win_events\": "
+          "%lld}%s\n",
+          r.fault_rate, all_completed ? "true" : "false",
+          static_cast<long long>(presented), static_cast<long long>(dropped),
+          static_cast<long long>(aborts), stall_max,
+          static_cast<long long>(r.failovers),
+          static_cast<long long>(r.hedges),
+          static_cast<long long>(r.hedge_wins),
+          static_cast<long long>(r.breaker_opens),
+          static_cast<long long>(r.deadline_fast_fails),
+          static_cast<long long>(r.deadline_give_ups),
+          static_cast<long long>(r.exhausted),
+          static_cast<long long>(r.node0_served),
+          static_cast<long long>(r.node0_refused),
+          static_cast<long long>(r.survivor_served),
+          static_cast<long long>(r.metric_failovers),
+          static_cast<long long>(r.metric_hedge_wins),
+          static_cast<long long>(r.metric_breaker_opens),
+          static_cast<long long>(r.trace_failover_events),
+          static_cast<long long>(r.trace_hedge_events),
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_replication.json\n");
+  }
+
+  // ----------------------------------------------------- acceptance gates --
+  int failures = 0;
+  auto gate = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("ACCEPTANCE FAIL: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // Gate 1 — parity: replication off changes nothing about the stream.
+  gate(routed.elements_presented == direct.elements_presented &&
+           routed.late_elements == direct.late_elements &&
+           routed.deadline_misses == direct.deadline_misses &&
+           routed.total_lateness_ns == direct.total_lateness_ns &&
+           routed.max_lateness_ns == direct.max_lateness_ns,
+       "parity: single co-located replica streams identically to the "
+       "direct store");
+  gate(direct.elements_presented == kFrames, "parity: clean run presents "
+                                             "every frame");
+
+  // Gate 2 — every sweep point survives the node kill: all sessions
+  // complete, nothing aborts, every frame is presented or deliberately
+  // shed, and the kill actually happened.
+  for (const ClusterReport& r : runs) {
+    for (int s = 0; s < kSessions; ++s) {
+      const SessionReport& session = r.sessions[s];
+      gate(session.completed, "sweep: session completes despite node kill");
+      gate(session.aborts == 0, "sweep: zero aborted streams");
+      gate(session.presented + session.dropped == kFrames,
+           "sweep: every frame accounted for");
+    }
+    gate(r.node0_refused > 0, "sweep: the node kill fired");
+    gate(r.failovers >= 1, "sweep: at least one failover");
+  }
+
+  // Gate 3 — the ISSUE's 5% point: bounded rebuffer and the full
+  // failover/hedge/breaker story visible in stats, metrics, and traces.
+  const ClusterReport* at5 = nullptr;
+  for (const ClusterReport& r : runs) {
+    if (r.fault_rate == 0.05) at5 = &r;
+  }
+  gate(at5 != nullptr, "5% sweep point present");
+  if (at5 != nullptr) {
+    for (int s = 0; s < kSessions; ++s) {
+      gate(at5->sessions[s].stall_max_ms < 2000,
+           "5%: rebuffer bounded (max stall < 2000 ms)");
+    }
+    gate(at5->hedge_wins >= 1, "5%: at least one hedged read won");
+    gate(at5->breaker_opens >= 1, "5%: node0's breaker opened");
+    gate(at5->metric_failovers == at5->failovers &&
+             at5->metric_hedge_wins == at5->hedge_wins &&
+             at5->metric_breaker_opens == at5->breaker_opens,
+         "5%: avdb_cluster_* metrics agree with router stats");
+    gate(at5->trace_failover_events > 0 && at5->trace_hedge_events > 0,
+         "5%: failover and hedge-win trace events recorded");
+  }
+
+  if (failures == 0) {
+    std::printf("\nAll acceptance gates passed.\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

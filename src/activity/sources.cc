@@ -273,10 +273,18 @@ void VideoSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
   int64_t ready_ns = engine()->now_ns();
 
   // Storage fetch: pay modeled device time, serialized on the device arm.
-  if (options_.store != nullptr) {
-    auto read = options_.store->ReadRange(options_.blob_name,
-                                          FrameOffset(index),
-                                          FrameBytes(index));
+  // A routed fetch (options_.fetcher) additionally carries the element's
+  // remaining presentation budget so every hop below can cancel doomed work.
+  if (options_.fetcher || options_.store != nullptr) {
+    const int64_t budget_ns = ideal +
+                              VirtualClock::ToNs(options_.deadline_slack) -
+                              ready_ns;
+    auto read = options_.fetcher
+                    ? options_.fetcher(options_.blob_name, FrameOffset(index),
+                                       FrameBytes(index), budget_ns)
+                    : options_.store->ReadRange(options_.blob_name,
+                                                FrameOffset(index),
+                                                FrameBytes(index));
     if (!read.ok()) {
       // The store's retry policy already absorbed what it could; this
       // failure is terminal for the *frame*. With degradation the stream
@@ -476,13 +484,21 @@ void AudioSource::Tick(int64_t block_index, int64_t stream_start_ns,
 
   int64_t ready_ns = engine()->now_ns();
   const int64_t payload_bytes = static_cast<int64_t>(block.value().SizeBytes());
-  if (options_.store != nullptr) {
+  if (options_.fetcher || options_.store != nullptr) {
     // Approximate layout: fixed-rate bytes at the value's stored rate.
     const int64_t stored_bytes_per_block =
         value_->StoredBytes() / std::max<int64_t>(1, BlockCount());
-    auto read = options_.store->ReadRange(
-        options_.blob_name, block_index * stored_bytes_per_block,
-        stored_bytes_per_block);
+    const int64_t budget_ns = stream_start_ns + block_index * PeriodNs() +
+                              VirtualClock::ToNs(options_.deadline_slack) -
+                              ready_ns;
+    auto read = options_.fetcher
+                    ? options_.fetcher(options_.blob_name,
+                                       block_index * stored_bytes_per_block,
+                                       stored_bytes_per_block, budget_ns)
+                    : options_.store->ReadRange(
+                          options_.blob_name,
+                          block_index * stored_bytes_per_block,
+                          stored_bytes_per_block);
     if (!read.ok()) {
       if (options_.degrade != nullptr) {
         const int64_t now_ns = engine()->now_ns();

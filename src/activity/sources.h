@@ -1,6 +1,7 @@
 #ifndef AVDB_ACTIVITY_SOURCES_H_
 #define AVDB_ACTIVITY_SOURCES_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -19,6 +20,17 @@
 
 namespace avdb {
 
+/// Pluggable range-fetch hook: (blob, offset, length, deadline_budget_ns)
+/// → the same ReadResult a MediaStore read produces. The indirection lets a
+/// layer *above* activity (the cluster router, with replica selection,
+/// failover and hedged reads) serve fetches without the activity layer
+/// depending on it. `deadline_budget_ns` is the element's remaining
+/// presentation budget at fetch time; non-positive means the element is
+/// already doomed and the fetcher should fail fast.
+using RangeFetcher = std::function<Result<MediaStore::ReadResult>(
+    const std::string& blob, int64_t offset, int64_t length,
+    int64_t deadline_budget_ns)>;
+
 /// Shared knobs of rate-based source activities.
 struct SourceOptions {
   /// Elements are fetched this far ahead of their ideal presentation time,
@@ -33,6 +45,16 @@ struct SourceOptions {
   MediaStore* store = nullptr;
   std::string blob_name;
   ServiceQueue* device_queue = nullptr;
+  /// When set, fetches go through this hook instead of `store` (which is
+  /// then ignored). Each call carries the element's deadline budget:
+  /// ideal presentation time + `deadline_slack` − now, so every hop below
+  /// (router, channel, replica device) can cancel work that can no longer
+  /// present on time.
+  RangeFetcher fetcher;
+  /// Tolerated presentation lateness used to derive the fetch deadline
+  /// budget when `fetcher` is set. An element this late is still worth
+  /// producing; beyond it the fetch is doomed work.
+  WorldTime deadline_slack = WorldTime::FromMillis(100);
   /// When set with `sync_track`, the source consults the controller before
   /// each element and skips elements a lagging track is told to drop.
   SyncController* sync = nullptr;

@@ -1,0 +1,63 @@
+#ifndef AVDB_BASE_DEADLINE_H_
+#define AVDB_BASE_DEADLINE_H_
+
+#include <cstdint>
+
+namespace avdb {
+
+/// Per-request time budget, propagated down the serving stack and
+/// decremented at every hop (device read, channel transfer, retry backoff,
+/// failover attempt, hedge). Derived once at the top from the element's
+/// presentation deadline — budget = presentation time + tolerated lateness
+/// − now — so any layer can tell that work is already doomed and cancel it
+/// instead of finishing (or retrying) a result nobody can use.
+///
+/// All arithmetic is virtual nanoseconds; an unlimited budget behaves like
+/// the pre-deadline code paths at every consumer (a single branch).
+class DeadlineBudget {
+ public:
+  /// No deadline: never expires, Charge is a no-op. The default, so
+  /// zero-initialized options mean "pre-deadline behavior".
+  constexpr DeadlineBudget() = default;
+
+  /// Budget of `ns` nanoseconds from now (negative = already spent).
+  static constexpr DeadlineBudget FromNs(int64_t ns) {
+    DeadlineBudget b;
+    b.unlimited_ = false;
+    b.remaining_ns_ = ns;
+    return b;
+  }
+  static constexpr DeadlineBudget Unlimited() { return DeadlineBudget(); }
+
+  constexpr bool unlimited() const { return unlimited_; }
+  /// Remaining time; meaningless (and huge) when unlimited.
+  constexpr int64_t remaining_ns() const { return remaining_ns_; }
+  /// True when the budget is spent: the operation should fail fast with
+  /// DeadlineExceeded instead of starting.
+  constexpr bool expired() const { return !unlimited_ && remaining_ns_ <= 0; }
+
+  /// Charges `ns` of elapsed (virtual) time against the budget.
+  constexpr void Charge(int64_t ns) {
+    if (!unlimited_) remaining_ns_ -= ns;
+  }
+
+  /// True when an operation needing `ns` more time cannot fit.
+  constexpr bool CannotAfford(int64_t ns) const {
+    return !unlimited_ && ns > remaining_ns_;
+  }
+
+  /// The smaller of `cap_ns` and what remains — the per-attempt deadline a
+  /// retry policy may spend without overdrawing the request budget.
+  constexpr int64_t CapNs(int64_t cap_ns) const {
+    if (unlimited_) return cap_ns;
+    return remaining_ns_ < cap_ns ? remaining_ns_ : cap_ns;
+  }
+
+ private:
+  bool unlimited_ = true;
+  int64_t remaining_ns_ = INT64_MAX;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_BASE_DEADLINE_H_

@@ -18,10 +18,17 @@ FaultSpec FaultSpec::PowerCut(int64_t nth_write) {
   return spec;
 }
 
+FaultSpec FaultSpec::NodeCrash(int64_t nth_op) {
+  FaultSpec spec;
+  spec.node_crash_at_op = nth_op;
+  return spec;
+}
+
 bool FaultSpec::Enabled() const {
   return read_error_rate > 0 || latency_spike_rate > 0 ||
          stuck_head_rate > 0 || exchange_failure_rate > 0 ||
-         bandwidth_collapse_rate > 0 || WritesEnabled();
+         bandwidth_collapse_rate > 0 || WritesEnabled() ||
+         NodeFaultsEnabled();
 }
 
 bool FaultSpec::WritesEnabled() const {
@@ -29,17 +36,26 @@ bool FaultSpec::WritesEnabled() const {
          write_bit_flip_rate > 0 || power_cut_at_write > 0;
 }
 
+bool FaultSpec::NodeFaultsEnabled() const {
+  return node_crash_at_op > 0 || node_partition_rate > 0 ||
+         node_slow_rate > 0;
+}
+
 std::string FaultSpec::ToString() const {
-  char buf[240];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "read=%.3f spike=%.3f/%lldns stuck=%.3f exch=%.3f "
-                "collapse=%.3f@%.2f torn=%.3f drop=%.3f flip=%.3f cut@%lld",
+                "collapse=%.3f@%.2f torn=%.3f drop=%.3f flip=%.3f cut@%lld "
+                "crash@%lld part=%.3f/%lld slow=%.3f@%.1fx",
                 read_error_rate, latency_spike_rate,
                 static_cast<long long>(latency_spike_ns), stuck_head_rate,
                 exchange_failure_rate, bandwidth_collapse_rate,
                 bandwidth_collapse_factor, torn_write_rate, dropped_write_rate,
                 write_bit_flip_rate,
-                static_cast<long long>(power_cut_at_write));
+                static_cast<long long>(power_cut_at_write),
+                static_cast<long long>(node_crash_at_op), node_partition_rate,
+                static_cast<long long>(node_partition_ops), node_slow_rate,
+                node_slow_factor);
   return buf;
 }
 
@@ -142,6 +158,47 @@ WriteFaultDecision FaultInjector::OnDeviceWrite(int64_t length) {
     decision.flip_mask = static_cast<uint8_t>(1u << (position % 8));
     decision.kind = "bit-flip";
     ++stats_.write_bit_flips;
+  }
+  return decision;
+}
+
+NodeFaultDecision FaultInjector::OnNodeOp() {
+  NodeFaultDecision decision;
+  if (!spec_.NodeFaultsEnabled()) return decision;
+  if (node_down_) {
+    decision.fail = true;
+    decision.kind = "node-down";
+    ++stats_.node_ops;
+    return decision;
+  }
+  ++stats_.node_ops;
+  ++node_ops_seen_;
+  // Fixed draw order, always two variates, so the node-fault trace is a
+  // pure function of (seed, spec, call sequence) like every other class.
+  const bool partition = rng_.NextBool(spec_.node_partition_rate);
+  const bool slow = rng_.NextBool(spec_.node_slow_rate);
+
+  if (spec_.node_crash_at_op > 0 && node_ops_seen_ >= spec_.node_crash_at_op &&
+      stats_.node_crashes == 0) {
+    decision.fail = true;
+    decision.kind = "node-crash";
+    node_down_ = true;
+    ++stats_.node_crashes;
+    return decision;
+  }
+  if (partition_ops_left_ > 0 || (partition && spec_.node_partition_ops > 0)) {
+    if (partition_ops_left_ <= 0) partition_ops_left_ = spec_.node_partition_ops;
+    --partition_ops_left_;
+    decision.fail = true;
+    decision.unresponsive = true;
+    decision.kind = "node-partition";
+    ++stats_.node_partition_ops;
+    return decision;
+  }
+  if (slow && spec_.node_slow_factor > 1.0) {
+    decision.slow_factor = spec_.node_slow_factor;
+    decision.kind = "node-slow";
+    ++stats_.node_slow_ops;
   }
   return decision;
 }

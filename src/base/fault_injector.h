@@ -58,6 +58,27 @@ struct FaultSpec {
   /// "reboot"). 0 disables.
   int64_t power_cut_at_write = 0;
 
+  // --- node-granularity faults --------------------------------------------
+  // Consulted by a cluster ServerNode once per served request, *before* the
+  // node's device/channel injectors see anything — a whole machine failing,
+  // layered on top of the per-device fault classes above.
+
+  /// Deterministic node crash: the Nth consulted node operation (1-based)
+  /// finds the node dead, and every later operation fails fast with
+  /// Unavailable until the node is revived. 0 disables.
+  int64_t node_crash_at_op = 0;
+  /// P(one node operation opens a network partition lasting
+  /// `node_partition_ops` consulted operations, this one included). A
+  /// partitioned node is unreachable-but-alive: requests to it burn their
+  /// entire deadline budget before failing, unlike a crash's fast refusal.
+  double node_partition_rate = 0.0;
+  int64_t node_partition_ops = 0;
+  /// P(one node operation is served `node_slow_factor`x slower than its
+  /// modeled duration) — a struggling node (page cache cold, CPU stolen)
+  /// that still answers. Factor must be >= 1 to have any effect.
+  double node_slow_rate = 0.0;
+  double node_slow_factor = 1.0;
+
   /// All-zero spec: injecting with it never perturbs anything.
   static FaultSpec None() { return FaultSpec{}; }
 
@@ -75,6 +96,15 @@ struct FaultSpec {
   /// only when this holds, so read-only fault traces are unchanged by the
   /// presence of (fault-free) writes in the call sequence.
   bool WritesEnabled() const;
+
+  /// True when any node-granularity fault class can fire. Node operations
+  /// draw from the rng only when this holds, so attaching a node injector
+  /// with a device-only spec leaves the device trace untouched.
+  bool NodeFaultsEnabled() const;
+
+  /// Node-kill-only spec: the node dies at its `nth_op`-th consulted
+  /// operation — the replication bench's mid-stream node loss.
+  static FaultSpec NodeCrash(int64_t nth_op);
 
   std::string ToString() const;
 };
@@ -110,6 +140,21 @@ struct WriteFaultDecision {
   const char* kind = "";
 };
 
+/// Outcome of consulting the injector for one node-level operation.
+struct NodeFaultDecision {
+  /// The operation fails with Unavailable (crash) or DeadlineExceeded
+  /// (partition — the caller charges its whole remaining budget first).
+  bool fail = false;
+  /// The node is unresponsive rather than refusing: the request times out
+  /// instead of failing fast.
+  bool unresponsive = false;
+  /// Multiplier (>= 1) on the operation's modeled duration; 1.0 when no
+  /// slow-node fault fired.
+  double slow_factor = 1.0;
+  /// "", "node-crash", "node-partition", "node-slow", "node-down".
+  const char* kind = "";
+};
+
 /// Deterministic, seeded fault source shared by simulated devices and
 /// channels. Every decision draws a fixed number of variates from one
 /// explicitly seeded Rng in a fixed order, so the fault trace is a pure
@@ -136,6 +181,20 @@ class FaultInjector {
   /// 1.0 when no collapse fires.
   double OnTransfer();
 
+  /// Decision for one node-level operation (a ServerNode serving a
+  /// request). Draws nothing unless the spec enables node faults, so
+  /// device/channel traces are unaffected by node-fault consultation.
+  /// After the deterministic crash every operation fails ("node-down")
+  /// without drawing.
+  NodeFaultDecision OnNodeOp();
+
+  /// True once the deterministic node crash has fired; operations fail
+  /// until Revive().
+  bool node_down() const { return node_down_; }
+  /// Reboots a crashed node: subsequent operations draw faults normally
+  /// again. The crash count in stats() keeps the history.
+  void Revive() { node_down_ = false; }
+
   /// True once the deterministic power cut has fired; every subsequent
   /// device operation fails until the injector is detached (reboot).
   bool powered_off() const { return powered_off_; }
@@ -154,6 +213,10 @@ class FaultInjector {
     int64_t dropped_writes = 0;
     int64_t write_bit_flips = 0;
     int64_t power_cuts = 0;         ///< 0 or 1
+    int64_t node_ops = 0;           ///< node operations consulted
+    int64_t node_crashes = 0;       ///< deterministic crashes fired (0 or 1)
+    int64_t node_partition_ops = 0; ///< ops lost to a partition window
+    int64_t node_slow_ops = 0;      ///< ops served slow
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -164,6 +227,9 @@ class FaultInjector {
   Stats stats_;
   int64_t writes_seen_ = 0;  ///< writes consulted while write faults enabled
   bool powered_off_ = false;
+  int64_t node_ops_seen_ = 0;  ///< node ops consulted while node faults on
+  int64_t partition_ops_left_ = 0;
+  bool node_down_ = false;
 };
 
 }  // namespace avdb

@@ -1,11 +1,32 @@
 #include "base/retry.h"
 
+#include <algorithm>
 #include <string>
+
+#include "base/rng.h"
 
 namespace avdb {
 
 int64_t RetryPolicy::BackoffNs(int retry) const {
   if (retry <= 0) return 0;
+  if (jitter_seed != 0) {
+    // Decorrelated jitter: backoff(r) is uniform over
+    // [initial, min(cap, 3 * backoff(r-1))]. Re-deriving the chain from a
+    // fresh Rng each call keeps the value a pure function of
+    // (jitter_seed, retry) — RetryState may probe BackoffNs(r+1) for its
+    // deadline check without perturbing the schedule.
+    Rng rng(jitter_seed);
+    int64_t backoff = initial_backoff_ns;
+    for (int i = 1; i <= retry; ++i) {
+      const int64_t upper =
+          std::min(max_backoff_ns,
+                   backoff > max_backoff_ns ? max_backoff_ns : 3 * backoff);
+      backoff = upper <= initial_backoff_ns
+                    ? initial_backoff_ns
+                    : rng.NextInRange(initial_backoff_ns, upper);
+    }
+    return backoff;
+  }
   double backoff = static_cast<double>(initial_backoff_ns);
   for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
   const double cap = static_cast<double>(max_backoff_ns);

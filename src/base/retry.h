@@ -25,6 +25,15 @@ struct RetryPolicy {
   /// Exceeding it fails the operation with DeadlineExceeded even if
   /// attempts remain — a stalled stream must be told, not kept waiting.
   int64_t deadline_ns = 200 * 1000 * 1000;  // 200 ms
+  /// Decorrelated jitter. 0 keeps the deterministic exponential schedule
+  /// (byte-identical to pre-jitter traces). Non-zero spreads each backoff
+  /// uniformly over [initial, min(cap, 3 * previous backoff)] — the
+  /// decorrelated-jitter discipline — so sessions that hit the same failed
+  /// replica retry at different times instead of re-converging on it in
+  /// lockstep (a retry storm). The whole schedule is a pure function of
+  /// (jitter_seed, retry number): traces still replay exactly; give each
+  /// session its own seed to desynchronize them.
+  uint64_t jitter_seed = 0;
 
   /// Single-attempt policy (retries disabled).
   static RetryPolicy None() {

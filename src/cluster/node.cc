@@ -1,0 +1,111 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+#include "time/virtual_clock.h"
+
+namespace avdb {
+
+ServerNode::ServerNode(std::string name, std::shared_ptr<MediaStore> store)
+    : name_(std::move(name)),
+      store_(std::move(store)),
+      device_queue_(name_ + ".device") {
+  AVDB_CHECK(store_ != nullptr) << "server node needs a store replica";
+}
+
+Result<MediaStore::ReadResult> ServerNode::ServeRead(const std::string& blob,
+                                                     int64_t offset,
+                                                     int64_t length,
+                                                     int64_t request_ns,
+                                                     DeadlineBudget* budget,
+                                                     int64_t* latency_ns) {
+  ++stats_.requests;
+  *latency_ns = 0;
+
+  double slow_factor = 1.0;
+  if (injector_ != nullptr) {
+    const NodeFaultDecision decision = injector_->OnNodeOp();
+    if (decision.fail && decision.unresponsive) {
+      // Partition: the node is alive but unreachable. Nothing comes back
+      // until the caller's deadline gives up on it — the whole remaining
+      // budget is lost (or a fixed stall when the request carries none).
+      const int64_t stall = budget->unlimited()
+                                ? kDefaultPartitionStallNs
+                                : budget->remaining_ns();
+      *latency_ns = stall > 0 ? stall : 0;
+      budget->Charge(*latency_ns);
+      ++stats_.partition_stalls;
+      return Status::DeadlineExceeded("node " + name_ +
+                                      " partitioned; request timed out");
+    }
+    if (decision.fail) {
+      // Crash / node-down: connection refused. Cheap to discover.
+      *latency_ns = kRefusalNs;
+      budget->Charge(*latency_ns);
+      ++stats_.refused;
+      return Status::Unavailable("node " + name_ + " is down (" +
+                                 decision.kind + ")");
+    }
+    if (decision.slow_factor > 1.0) {
+      slow_factor = decision.slow_factor;
+      ++stats_.slow_serves;
+    }
+  }
+
+  auto read = store_->ReadRange(blob, offset, length, *budget);
+  if (!read.ok()) {
+    // The store worked on a budget *copy*; reflect what it burned here. A
+    // deadline failure means the read ran the budget dry; any other error
+    // (quarantine, retry exhaustion surfacing fast) costs a refusal's
+    // worth, so failover is cheap but never free.
+    int64_t spent = kRefusalNs;
+    if (read.status().code() == StatusCode::kDeadlineExceeded &&
+        !budget->unlimited()) {
+      spent = budget->remaining_ns();
+    } else if (!budget->unlimited()) {
+      spent = std::min(budget->remaining_ns(), kRefusalNs);
+    }
+    *latency_ns = spent > 0 ? spent : 0;
+    budget->Charge(*latency_ns);
+    return read.status();
+  }
+
+  int64_t service_ns = VirtualClock::ToNs(read.value().duration);
+  if (slow_factor > 1.0) {
+    service_ns =
+        static_cast<int64_t>(static_cast<double>(service_ns) * slow_factor);
+  }
+  // Requests serialize on this replica's device arm: a second stream
+  // arriving mid-service waits, exactly like the single-store path.
+  const int64_t done = device_queue_.Submit(request_ns, service_ns);
+  *latency_ns = done - request_ns;
+  budget->Charge(*latency_ns);
+  stats_.busy_ns += *latency_ns;
+  ++stats_.served;
+
+  MediaStore::ReadResult result = std::move(read).value();
+  result.duration = WorldTime::FromNanos(*latency_ns);
+  return result;
+}
+
+void ClientNode::Connect(const ServerNodePtr& server, ChannelPtr channel) {
+  AVDB_CHECK(server != nullptr) << "client link needs a server";
+  for (auto& link : links_) {
+    if (link.first == server->name()) {
+      link.second = std::move(channel);
+      return;
+    }
+  }
+  links_.emplace_back(server->name(), std::move(channel));
+}
+
+Channel* ClientNode::LinkTo(const std::string& server_name) const {
+  for (const auto& link : links_) {
+    if (link.first == server_name) return link.second.get();
+  }
+  return nullptr;
+}
+
+}  // namespace avdb

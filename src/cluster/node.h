@@ -1,0 +1,125 @@
+#ifndef AVDB_CLUSTER_NODE_H_
+#define AVDB_CLUSTER_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/deadline.h"
+#include "base/fault_injector.h"
+#include "base/result.h"
+#include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/service_queue.h"
+#include "storage/media_store.h"
+
+namespace avdb {
+
+/// One serving machine of a replicated deployment: a MediaStore replica
+/// plus the device arm requests serialize on. Node-granularity faults
+/// (crash, partition, slow node — FaultSpec's node classes) are consulted
+/// once per served request, *before* the store's own device faults, so a
+/// whole machine failing layers on top of per-device failure modes.
+///
+/// Timing semantics per fault class:
+///  - crash / node-down: fast refusal. The machine rejects the connection;
+///    the caller loses only `kRefusalNs` before it can fail over.
+///  - partition: unreachable-but-alive. The request burns its *entire*
+///    remaining deadline budget (or `partition_stall_ns` when unlimited)
+///    before surfacing DeadlineExceeded — the expensive failure mode that
+///    motivates deadline propagation.
+///  - slow node: the request is served correctly but its device time is
+///    multiplied by the spec's slow factor before queueing on the arm.
+class ServerNode {
+ public:
+  /// What a crash refusal costs the caller in modeled time (connection
+  /// reset, not a timeout).
+  static constexpr int64_t kRefusalNs = 200 * 1000;  // 200 us
+  /// Budget burned by a partitioned node when the request carries no
+  /// deadline — the "default TCP timeout" of the simulation.
+  static constexpr int64_t kDefaultPartitionStallNs = 2'000'000'000;
+
+  ServerNode(std::string name, std::shared_ptr<MediaStore> store);
+
+  const std::string& name() const { return name_; }
+  MediaStore& store() { return *store_; }
+  const MediaStore& store() const { return *store_; }
+  ServiceQueue& device_queue() { return device_queue_; }
+
+  /// Attaches the node-granularity fault injector (non-owning; nullptr
+  /// detaches). Distinct from the store's device injector: this one models
+  /// the machine, that one the platter.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Serves one ranged read arriving at `request_ns` under `budget`.
+  /// On success `*latency_ns` is the full server-side latency (queue wait +
+  /// device time, slow-node factor applied) and the budget has been charged
+  /// with it. On failure `*latency_ns` is what the failure cost the caller
+  /// (see class comment) and the budget is charged likewise.
+  Result<MediaStore::ReadResult> ServeRead(const std::string& blob,
+                                           int64_t offset, int64_t length,
+                                           int64_t request_ns,
+                                           DeadlineBudget* budget,
+                                           int64_t* latency_ns);
+
+  /// True once a deterministic node crash has fired (requests fail fast
+  /// until Revive()).
+  bool down() const { return injector_ != nullptr && injector_->node_down(); }
+  /// Reboots a crashed node.
+  void Revive() {
+    if (injector_ != nullptr) injector_->Revive();
+  }
+
+  struct Stats {
+    int64_t requests = 0;
+    int64_t served = 0;
+    int64_t refused = 0;        ///< crash / node-down fast refusals
+    int64_t partition_stalls = 0;
+    int64_t slow_serves = 0;
+    int64_t busy_ns = 0;        ///< server-side latency of served requests
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<MediaStore> store_;
+  ServiceQueue device_queue_;
+  FaultInjector* injector_ = nullptr;
+  Stats stats_;
+};
+
+using ServerNodePtr = std::shared_ptr<ServerNode>;
+
+/// The client end of the deployment: a named endpoint whose links to the
+/// servers are per-pair Channels. Purely a wiring record — routing policy
+/// lives in StreamRouter, which reads this map.
+class ClientNode {
+ public:
+  explicit ClientNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Connects this client to `server` over `channel`. A nullptr channel
+  /// models co-location (same machine: no transfer cost, no link faults) —
+  /// the configuration whose routed reads must stay byte-identical to
+  /// direct MediaStore reads.
+  void Connect(const ServerNodePtr& server, ChannelPtr channel);
+
+  /// Link to `server_name`; nullptr when co-located or unknown.
+  Channel* LinkTo(const std::string& server_name) const;
+
+  int64_t connection_count() const {
+    return static_cast<int64_t>(links_.size());
+  }
+
+ private:
+  std::string name_;
+  // Server name -> link (nullptr = co-located). Small N; linear scan.
+  std::vector<std::pair<std::string, ChannelPtr>> links_;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_CLUSTER_NODE_H_

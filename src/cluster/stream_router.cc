@@ -1,0 +1,285 @@
+#include "cluster/stream_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+#include "time/virtual_clock.h"
+
+namespace avdb {
+
+StreamRouter::StreamRouter(std::string name, RouterPolicy policy,
+                           std::function<int64_t()> now_fn)
+    : name_(std::move(name)),
+      policy_(policy),
+      now_fn_(std::move(now_fn)),
+      replicas_(policy.breaker) {
+  AVDB_CHECK(now_fn_ != nullptr) << "router needs a virtual-time source";
+  AVDB_CHECK(policy_.max_attempts > 0) << "router needs at least one attempt";
+  latency_window_.reserve(static_cast<size_t>(kLatencyWindow));
+}
+
+void StreamRouter::AddReplica(ServerNodePtr server, ChannelPtr channel) {
+  AVDB_CHECK(replicas_.size() < 64) << "replica mask is 64 bits wide";
+  replicas_.Add(std::move(server), std::move(channel));
+}
+
+void StreamRouter::ObserveAttemptLatency(int64_t latency_ns) {
+  if (latency_window_.size() < static_cast<size_t>(kLatencyWindow)) {
+    latency_window_.push_back(latency_ns);
+  } else {
+    latency_window_[static_cast<size_t>(latency_next_)] = latency_ns;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+int64_t StreamRouter::HedgeDelayNs() const {
+  if (!policy_.enable_hedging ||
+      latency_window_.size() < static_cast<size_t>(policy_.min_hedge_samples)) {
+    return 0;
+  }
+  std::vector<int64_t> sorted = latency_window_;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx = (sorted.size() * 95) / 100;
+  const int64_t p95 = sorted[std::min(idx, sorted.size() - 1)];
+  return std::max(p95, policy_.hedge_floor_ns);
+}
+
+void StreamRouter::NoteBreakerOpen(int64_t idx, int64_t now_ns) {
+  ++stats_.breaker_opens;
+  if (breaker_opens_counter_ != nullptr) breaker_opens_counter_->Increment();
+  if (tracer_ != nullptr) {
+    tracer_->EventAt(now_ns, "cluster", "breaker_open", name_,
+                     replicas_.at(idx).server->name() + " after " +
+                         std::to_string(
+                             replicas_.at(idx).health.consecutive_failures()) +
+                         " consecutive failures");
+  }
+}
+
+StreamRouter::AttemptOutcome StreamRouter::Attempt(
+    int64_t idx, const std::string& blob, int64_t offset, int64_t length,
+    DeadlineBudget budget, int64_t start_ns) {
+  ReplicaSet::Replica& replica = replicas_.at(idx);
+  Channel* link = replica.channel.get();
+  int64_t elapsed = 0;
+
+  if (link != nullptr) {
+    auto up = link->TransferWithDeadline(start_ns, policy_.request_bytes,
+                                         budget);
+    if (!up.ok()) return {up.status(), 0};
+    elapsed = up.value() - start_ns;
+    budget.Charge(elapsed);
+  }
+
+  int64_t serve_latency = 0;
+  auto reply = replica.server->ServeRead(blob, offset, length,
+                                         start_ns + elapsed, &budget,
+                                         &serve_latency);
+  elapsed += serve_latency;
+  if (!reply.ok()) return {reply.status(), elapsed};
+
+  if (link != nullptr) {
+    const int64_t response_at = start_ns + elapsed;
+    auto down = link->TransferWithDeadline(response_at, length, budget);
+    if (!down.ok()) return {down.status(), elapsed};
+    elapsed = down.value() - start_ns;
+  }
+
+  MediaStore::ReadResult result = std::move(reply).value();
+  result.duration = WorldTime::FromNanos(elapsed);
+  return {std::move(result), elapsed};
+}
+
+Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
+                                                   int64_t offset,
+                                                   int64_t length,
+                                                   int64_t budget_ns) {
+  ++stats_.fetches;
+  if (fetches_counter_ != nullptr) fetches_counter_->Increment();
+
+  if (budget_ns <= 0) {
+    // Already doomed on arrival: no replica, channel, or rng is touched.
+    ++stats_.deadline_fast_fails;
+    if (deadline_fast_fails_counter_ != nullptr) {
+      deadline_fast_fails_counter_->Increment();
+    }
+    return Status::DeadlineExceeded("fetch of '" + blob +
+                                    "' arrived with its budget spent");
+  }
+
+  DeadlineBudget budget = DeadlineBudget::FromNs(budget_ns);
+  const int64_t start_ns = now_fn_();
+  int64_t elapsed = 0;
+  uint64_t tried = 0;
+  int attempts = 0;
+  int failed_attempts = 0;
+  bool hedged = false;
+  Status last_error = Status::Unavailable("no replicas configured");
+
+  while (attempts < policy_.max_attempts) {
+    const int64_t now = start_ns + elapsed;
+    const int64_t idx = replicas_.Pick(now, tried);
+    if (idx < 0) break;
+    replicas_.at(idx).health.Admit(now);
+    tried |= uint64_t{1} << idx;
+    if (attempts > 0) {
+      // A replacement attempt after a failure: the failover itself.
+      ++stats_.failovers;
+      if (failovers_counter_ != nullptr) failovers_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->EventAt(now, "cluster", "failover", name_,
+                         "-> " + replicas_.at(idx).server->name() + " for '" +
+                             blob + "' (" + last_error.message() + ")");
+      }
+    }
+    ++attempts;
+
+    AttemptOutcome primary = Attempt(idx, blob, offset, length, budget, now);
+    if (primary.result.ok()) {
+      const int64_t d1 = primary.latency_ns;
+      // The hedge decision uses the latency window as it stood when the
+      // request was issued: observing d1 first would let a slow primary
+      // raise the p95 past itself and veto its own hedge.
+      const int64_t hedge_delay = HedgeDelayNs();
+      ObserveAttemptLatency(d1);
+      replicas_.at(idx).health.RecordSuccess(d1);
+
+      MediaStore::ReadResult winner = std::move(primary.result).value();
+      int64_t winner_latency = d1;
+
+      // Hedge: the primary ran past the p95 delay, so (in real time) a
+      // second copy went to the next-best replica at start + delay.
+      if (hedge_delay > 0 && d1 > hedge_delay &&
+          !budget.CannotAfford(hedge_delay)) {
+        const int64_t hidx = replicas_.Pick(now + hedge_delay, tried);
+        if (hidx >= 0) {
+          replicas_.at(hidx).health.Admit(now + hedge_delay);
+          tried |= uint64_t{1} << hidx;
+          hedged = true;
+          ++stats_.hedges;
+          if (hedges_counter_ != nullptr) hedges_counter_->Increment();
+          DeadlineBudget hedge_budget = budget;
+          hedge_budget.Charge(hedge_delay);
+          AttemptOutcome hedge = Attempt(hidx, blob, offset, length,
+                                         hedge_budget, now + hedge_delay);
+          if (hedge.result.ok()) {
+            ObserveAttemptLatency(hedge.latency_ns);
+            replicas_.at(hidx).health.RecordSuccess(hedge.latency_ns);
+            const int64_t hedge_total = hedge_delay + hedge.latency_ns;
+            if (hedge_total < d1) {
+              ++stats_.hedge_wins;
+              if (hedge_wins_counter_ != nullptr) {
+                hedge_wins_counter_->Increment();
+              }
+              if (tracer_ != nullptr) {
+                tracer_->EventAt(now + hedge_total, "cluster", "hedge_win",
+                                 name_,
+                                 replicas_.at(hidx).server->name() + " beat " +
+                                     replicas_.at(idx).server->name() +
+                                     " by " +
+                                     std::to_string((d1 - hedge_total) /
+                                                    1000000) +
+                                     " ms");
+              }
+              winner = std::move(hedge.result).value();
+              winner_latency = hedge_total;
+            }
+          } else if (replicas_.at(hidx).health.RecordFailure(
+                         now + hedge_delay + hedge.latency_ns)) {
+            NoteBreakerOpen(hidx, now + hedge_delay + hedge.latency_ns);
+          }
+        }
+      }
+
+      elapsed += winner_latency;
+      winner.duration = WorldTime::FromNanos(elapsed);
+      if (fetch_latency_hist_ != nullptr) fetch_latency_hist_->Observe(elapsed);
+      if (healthy_gauge_ != nullptr) {
+        healthy_gauge_->Set(replicas_.HealthyCount(start_ns + elapsed));
+      }
+      if (tracer_ != nullptr && (failed_attempts > 0 || hedged)) {
+        const int64_t span = tracer_->BeginSpanAt(start_ns, "cluster",
+                                                  "routed_fetch", name_);
+        tracer_->EndSpanAt(span, start_ns + elapsed,
+                           std::to_string(failed_attempts) + " failovers, " +
+                               (hedged ? "hedged" : "unhedged"));
+      }
+      return winner;
+    }
+
+    // Attempt failed: record, charge what the failure cost, fail over.
+    ++failed_attempts;
+    last_error = primary.result.status();
+    if (replicas_.at(idx).health.RecordFailure(now + primary.latency_ns)) {
+      NoteBreakerOpen(idx, now + primary.latency_ns);
+    }
+    budget.Charge(primary.latency_ns);
+    elapsed += primary.latency_ns;
+    if (healthy_gauge_ != nullptr) {
+      healthy_gauge_->Set(replicas_.HealthyCount(start_ns + elapsed));
+    }
+    if (budget.expired()) {
+      ++stats_.deadline_give_ups;
+      if (deadline_give_ups_counter_ != nullptr) {
+        deadline_give_ups_counter_->Increment();
+      }
+      return Status::DeadlineExceeded(
+          "fetch of '" + blob + "' abandoned after " +
+          std::to_string(attempts) + " attempts; budget spent (" +
+          last_error.message() + ")");
+    }
+  }
+
+  ++stats_.exhausted;
+  if (exhausted_counter_ != nullptr) exhausted_counter_->Increment();
+  return last_error;
+}
+
+void StreamRouter::BindObservability(obs::MetricsRegistry* registry,
+                                     obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    fetches_counter_ = nullptr;
+    failovers_counter_ = nullptr;
+    hedges_counter_ = nullptr;
+    hedge_wins_counter_ = nullptr;
+    breaker_opens_counter_ = nullptr;
+    deadline_fast_fails_counter_ = nullptr;
+    deadline_give_ups_counter_ = nullptr;
+    exhausted_counter_ = nullptr;
+    healthy_gauge_ = nullptr;
+    fetch_latency_hist_ = nullptr;
+    return;
+  }
+  fetches_counter_ = registry->GetCounter("avdb_cluster_fetches_total",
+                                          "routed fetches issued");
+  failovers_counter_ =
+      registry->GetCounter("avdb_cluster_failovers_total",
+                           "replacement attempts after a replica failure");
+  hedges_counter_ = registry->GetCounter("avdb_cluster_hedges_total",
+                                         "hedge requests issued");
+  hedge_wins_counter_ = registry->GetCounter(
+      "avdb_cluster_hedge_wins_total", "hedges that beat the primary");
+  breaker_opens_counter_ = registry->GetCounter(
+      "avdb_cluster_breaker_opens_total", "circuit-breaker open transitions");
+  deadline_fast_fails_counter_ = registry->GetCounter(
+      "avdb_cluster_deadline_fast_fails_total",
+      "fetches refused because the budget arrived spent");
+  deadline_give_ups_counter_ = registry->GetCounter(
+      "avdb_cluster_deadline_give_ups_total",
+      "fetches abandoned mid-failover when the budget ran out");
+  exhausted_counter_ =
+      registry->GetCounter("avdb_cluster_exhausted_total",
+                           "fetches that ran out of admissible replicas");
+  healthy_gauge_ = registry->GetGauge(
+      "avdb_cluster_healthy_replicas",
+      "replicas whose breaker currently admits traffic");
+  fetch_latency_hist_ = registry->GetHistogram(
+      "avdb_cluster_fetch_latency_ns",
+      {1000000, 5000000, 10000000, 25000000, 50000000, 100000000, 250000000,
+       500000000, 1000000000},
+      "client-visible routed fetch latency");
+}
+
+}  // namespace avdb

@@ -1,0 +1,143 @@
+#ifndef AVDB_CLUSTER_STREAM_ROUTER_H_
+#define AVDB_CLUSTER_STREAM_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/deadline.h"
+#include "base/result.h"
+#include "cluster/replica_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/media_store.h"
+
+namespace avdb {
+
+/// Routing knobs of one StreamRouter.
+struct RouterPolicy {
+  /// Distinct replicas tried per fetch before the error surfaces.
+  int max_attempts = 3;
+  BreakerPolicy breaker;
+  /// Modeled size of the request message sent up the link.
+  int64_t request_bytes = 256;
+
+  /// Hedged reads: when the primary attempt's latency exceeds the hedge
+  /// delay (p95 of recent attempt latencies), a second copy of the request
+  /// is sent to the next-best replica and the faster answer wins.
+  bool enable_hedging = true;
+  /// Attempt-latency samples required before hedging arms (the p95 of a
+  /// near-empty window is noise).
+  int min_hedge_samples = 8;
+  /// Lower bound on the hedge delay: never hedge earlier than this even if
+  /// the p95 estimate collapses.
+  int64_t hedge_floor_ns = 1 * 1000 * 1000;  // 1 ms
+};
+
+/// Health-tracked replica selection + mid-stream failover + hedged reads +
+/// deadline propagation: the client-side routing brain of the replicated
+/// deployment.
+///
+/// Synchronous discrete-event form: every attempt returns its modeled
+/// latency immediately, so "hedge after the p95 delay" becomes "issue the
+/// hedge iff the primary's latency exceeded the delay, and let the faster
+/// of (primary latency) vs (delay + hedge latency) win". The outcome — and
+/// therefore every stat and trace — is identical to a real concurrent
+/// hedge, and fully deterministic.
+///
+/// The fetch deadline budget decrements across every hop (request
+/// transfer, server device time, response transfer, failed attempts), so a
+/// retry or hedge that can no longer present on time is cancelled instead
+/// of executed.
+class StreamRouter {
+ public:
+  /// `now_fn` supplies virtual time (the event engine's now); the router
+  /// deliberately does not depend on the activity layer.
+  StreamRouter(std::string name, RouterPolicy policy,
+               std::function<int64_t()> now_fn);
+
+  const std::string& name() const { return name_; }
+  const RouterPolicy& policy() const { return policy_; }
+
+  /// Adds a replica; nullptr channel = co-located (no transfer cost —
+  /// routed reads through a single co-located replica are byte-identical
+  /// to direct MediaStore reads).
+  void AddReplica(ServerNodePtr server, ChannelPtr channel = nullptr);
+
+  ReplicaSet& replicas() { return replicas_; }
+  const ReplicaSet& replicas() const { return replicas_; }
+
+  /// Routed ranged read under a deadline budget of `budget_ns` (<= 0 means
+  /// already doomed: fail fast without touching any replica). On success
+  /// the result's `duration` is the full client-visible fetch latency —
+  /// failed attempts and the hedge delay included — so callers charge
+  /// modeled time exactly as they would for a direct store read.
+  Result<MediaStore::ReadResult> Fetch(const std::string& blob,
+                                       int64_t offset, int64_t length,
+                                       int64_t budget_ns);
+
+  /// Current hedge delay: p95 of the recent attempt-latency window,
+  /// floored by policy. 0 while the window is too small (hedging unarmed).
+  int64_t HedgeDelayNs() const;
+
+  struct Stats {
+    int64_t fetches = 0;
+    int64_t failovers = 0;        ///< replacement attempts after a failure
+    int64_t hedges = 0;           ///< hedge requests issued
+    int64_t hedge_wins = 0;       ///< hedges that beat the primary
+    int64_t breaker_opens = 0;    ///< closed→open (or re-open) transitions
+    int64_t deadline_fast_fails = 0;  ///< fetches refused: budget spent
+    int64_t deadline_give_ups = 0;    ///< fetches abandoned mid-failover
+    int64_t exhausted = 0;        ///< fetches that ran out of replicas
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Binds `avdb_cluster_*` instruments and failover/hedge trace spans
+  /// (actor = router name). nullptr detaches; unbound the router is
+  /// cost-identical to the uninstrumented one.
+  void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
+ private:
+  struct AttemptOutcome {
+    Result<MediaStore::ReadResult> result;
+    int64_t latency_ns = 0;
+  };
+
+  /// One attempt against replica `idx` starting at `start_ns`: request
+  /// transfer (when linked), server-side read, response transfer. The
+  /// budget copy decrements per hop so downstream layers fast-fail.
+  AttemptOutcome Attempt(int64_t idx, const std::string& blob, int64_t offset,
+                         int64_t length, DeadlineBudget budget,
+                         int64_t start_ns);
+
+  void ObserveAttemptLatency(int64_t latency_ns);
+  void NoteBreakerOpen(int64_t idx, int64_t now_ns);
+
+  std::string name_;
+  RouterPolicy policy_;
+  std::function<int64_t()> now_fn_;
+  ReplicaSet replicas_;
+  Stats stats_;
+
+  /// Ring of recent attempt latencies feeding the p95 hedge delay.
+  static constexpr int64_t kLatencyWindow = 128;
+  std::vector<int64_t> latency_window_;
+  int64_t latency_next_ = 0;
+
+  obs::Counter* fetches_counter_ = nullptr;
+  obs::Counter* failovers_counter_ = nullptr;
+  obs::Counter* hedges_counter_ = nullptr;
+  obs::Counter* hedge_wins_counter_ = nullptr;
+  obs::Counter* breaker_opens_counter_ = nullptr;
+  obs::Counter* deadline_fast_fails_counter_ = nullptr;
+  obs::Counter* deadline_give_ups_counter_ = nullptr;
+  obs::Counter* exhausted_counter_ = nullptr;
+  obs::Gauge* healthy_gauge_ = nullptr;
+  obs::Histogram* fetch_latency_hist_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace avdb
+
+#endif  // AVDB_CLUSTER_STREAM_ROUTER_H_

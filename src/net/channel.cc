@@ -70,7 +70,15 @@ void Channel::ReleaseBandwidth(int64_t bytes_per_sec) {
 }
 
 int64_t Channel::SetLineRate(int64_t bytes_per_sec) {
-  AVDB_CHECK(bytes_per_sec > 0) << "line rate must stay positive";
+  if (bytes_per_sec <= 0) {
+    // Total rate collapse ("the link went dark"). Clamp to 1 B/s instead of
+    // asserting: serialization stays finite, AvailableBandwidth() reads zero,
+    // and every reservation shows up as oversubscription for readmission.
+    AVDB_LOG(Warning) << "channel " << name_ << ": line rate "
+                      << bytes_per_sec << " B/s clamped to 1 B/s";
+    ++stats_.rate_clamps;
+    bytes_per_sec = 1;
+  }
   if (tracer_ != nullptr && bytes_per_sec != line_rate_bytes_per_sec_) {
     tracer_->Event("net", "line_rate_set", name_,
                    std::to_string(line_rate_bytes_per_sec_) + " -> " +
@@ -109,6 +117,64 @@ int64_t Channel::Transfer(int64_t request_ns, int64_t bytes) {
   return done + profile_.propagation_delay_ns;
 }
 
+Result<int64_t> Channel::TransferWithDeadline(int64_t request_ns,
+                                              int64_t bytes,
+                                              DeadlineBudget budget) {
+  if (budget.expired()) {
+    // Fast-fail before touching the injector or the link queue: a spent
+    // budget must not perturb the fault trace or cost other streams time.
+    ++stats_.deadline_cancelled;
+    return Status::DeadlineExceeded("deadline budget already spent; " +
+                                    std::to_string(bytes) + " B transfer on " +
+                                    name_ + " not attempted");
+  }
+  int64_t serialization_ns = SerializationNs(bytes);
+  if (fault_injector_ != nullptr) {
+    const double slowdown = fault_injector_->OnTransfer();
+    if (slowdown > 1.0) {
+      serialization_ns = static_cast<int64_t>(
+          static_cast<double>(serialization_ns) * slowdown);
+      ++stats_.collapsed_transfers;
+      if (collapsed_counter_ != nullptr) collapsed_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->EventAt(request_ns, "net", "bandwidth_collapse", name_,
+                         "x" + std::to_string(slowdown));
+      }
+    }
+  }
+  const int64_t predicted_done =
+      link_.PeekCompletion(request_ns, serialization_ns) +
+      profile_.propagation_delay_ns;
+  if (budget.CannotAfford(predicted_done - request_ns)) {
+    // Doomed before it serializes: cancel without occupying the link. The
+    // injector draw above stands (the collapse is what doomed it), keeping
+    // the fault trace a pure function of the attempt sequence.
+    ++stats_.deadline_cancelled;
+    if (deadline_cancelled_counter_ != nullptr) {
+      deadline_cancelled_counter_->Increment();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->EventAt(request_ns, "net", "deadline_cancel", name_,
+                       std::to_string(predicted_done - request_ns) +
+                           " ns needed, " +
+                           std::to_string(budget.remaining_ns()) + " ns left");
+    }
+    return Status::DeadlineExceeded(
+        "transfer of " + std::to_string(bytes) + " B on " + name_ +
+        " needs " + std::to_string(predicted_done - request_ns) +
+        " ns but only " + std::to_string(budget.remaining_ns()) +
+        " ns of budget remain");
+  }
+  const int64_t done = link_.Submit(request_ns, serialization_ns);
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  if (transfers_counter_ != nullptr) {
+    transfers_counter_->Increment();
+    transfer_bytes_counter_->Increment(bytes);
+  }
+  return done + profile_.propagation_delay_ns;
+}
+
 int64_t Channel::PeekTransfer(int64_t request_ns, int64_t bytes) const {
   return link_.PeekCompletion(request_ns, SerializationNs(bytes)) +
          profile_.propagation_delay_ns;
@@ -122,6 +188,7 @@ void Channel::BindObservability(obs::MetricsRegistry* registry,
     transfer_bytes_counter_ = nullptr;
     collapsed_counter_ = nullptr;
     over_releases_counter_ = nullptr;
+    deadline_cancelled_counter_ = nullptr;
     return;
   }
   transfers_counter_ = registry->GetCounter("avdb_net_transfers_total",
@@ -134,6 +201,10 @@ void Channel::BindObservability(obs::MetricsRegistry* registry,
   over_releases_counter_ =
       registry->GetCounter("avdb_net_over_releases_total",
                            "bandwidth releases clamped at zero");
+  deadline_cancelled_counter_ =
+      registry->GetCounter("avdb_net_deadline_cancelled_total",
+                           "transfers cancelled before serializing because "
+                           "the propagated deadline budget could not fit");
 }
 
 }  // namespace avdb

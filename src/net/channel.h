@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "base/deadline.h"
 #include "base/fault_injector.h"
 #include "base/result.h"
 #include "obs/metrics.h"
@@ -69,12 +70,27 @@ class Channel {
   /// degraded reservation: link failover, competing traffic class). Returns
   /// the number of reserved bytes/sec now in excess of the new rate so the
   /// caller can revoke/readmit streams. Existing reservations stay counted;
-  /// only future transfers serialize at the new rate.
+  /// only future transfers serialize at the new rate. A rate <= 0 (total
+  /// collapse — the link went dark) is clamped to 1 B/s: serialization
+  /// math stays finite, every in-flight reservation reads as
+  /// oversubscription, and transfers effectively stall until the rate is
+  /// restored.
   int64_t SetLineRate(int64_t bytes_per_sec);
 
   /// Models sending `bytes` at `request_ns`: serializes on the link at full
   /// line rate, then adds propagation delay. Returns delivery time.
   int64_t Transfer(int64_t request_ns, int64_t bytes);
+
+  /// Transfer under a propagated per-request deadline. A spent budget fails
+  /// fast with DeadlineExceeded; a transfer whose predicted delivery (queue
+  /// wait + serialization + propagation) cannot fit the remaining budget is
+  /// cancelled *before* occupying the link — doomed bytes never serialize,
+  /// so they cost other streams nothing. Note the fault injector is still
+  /// consulted for a cancelled-after-prediction transfer (the decision to
+  /// abandon is made with the collapse in view), so fault traces remain a
+  /// pure function of the attempt sequence.
+  Result<int64_t> TransferWithDeadline(int64_t request_ns, int64_t bytes,
+                                       DeadlineBudget budget);
 
   /// Delivery time a transfer would get without submitting it.
   int64_t PeekTransfer(int64_t request_ns, int64_t bytes) const;
@@ -96,6 +112,8 @@ class Channel {
     int64_t bytes = 0;
     int64_t over_releases = 0;       ///< ReleaseBandwidth clamps at zero
     int64_t collapsed_transfers = 0; ///< transfers slowed by injected faults
+    int64_t deadline_cancelled = 0;  ///< transfers refused: budget unfittable
+    int64_t rate_clamps = 0;         ///< SetLineRate(<= 0) clamped to 1 B/s
   };
   const Stats& stats() const { return stats_; }
   const ServiceQueue& queue() const { return link_; }
@@ -118,6 +136,7 @@ class Channel {
   obs::Counter* transfer_bytes_counter_ = nullptr;
   obs::Counter* collapsed_counter_ = nullptr;
   obs::Counter* over_releases_counter_ = nullptr;
+  obs::Counter* deadline_cancelled_counter_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "time/virtual_clock.h"
 
 namespace avdb {
 namespace {
@@ -689,12 +690,40 @@ Result<MediaStore::ReadResult> MediaStore::Get(const std::string& name) {
 
 Result<WorldTime> MediaStore::DeviceReadWithRetry(int disc, int64_t offset,
                                                   int64_t length, Buffer* out,
-                                                  int64_t* retries) {
-  RetryState state(retry_policy_);
+                                                  int64_t* retries,
+                                                  DeadlineBudget* budget) {
+  RetryPolicy policy = retry_policy_;
+  if (budget != nullptr) {
+    if (budget->expired()) {
+      ++stats_.deadline_timeouts;
+      if (deadline_timeouts_counter_ != nullptr) {
+        deadline_timeouts_counter_->Increment();
+      }
+      return Status::DeadlineExceeded(
+          "deadline budget spent before device read");
+    }
+    policy.deadline_ns = budget->CapNs(policy.deadline_ns);
+  }
+  RetryState state(policy);
   for (;;) {
     auto cost = device_->Read(disc, offset, length, out);
     if (cost.ok()) {
-      return cost.value() + WorldTime::FromNanos(state.charged_ns());
+      const WorldTime total =
+          cost.value() + WorldTime::FromNanos(state.charged_ns());
+      if (budget != nullptr) {
+        budget->Charge(VirtualClock::ToNs(total));
+        if (budget->expired()) {
+          // The device did the work, but past the point anyone can use it:
+          // a timed-out read, reported as such instead of delivered late.
+          ++stats_.deadline_timeouts;
+          if (deadline_timeouts_counter_ != nullptr) {
+            deadline_timeouts_counter_->Increment();
+          }
+          return Status::DeadlineExceeded(
+              "device read overran its deadline budget");
+        }
+      }
+      return total;
     }
     const int64_t charged_before = state.charged_ns();
     const Status verdict = state.BeforeRetry(cost.status());
@@ -719,7 +748,8 @@ Result<WorldTime> MediaStore::DeviceReadWithRetry(int disc, int64_t offset,
 }
 
 Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
-    const StoredBlob& blob, int64_t offset, int64_t length) {
+    const StoredBlob& blob, int64_t offset, int64_t length,
+    DeadlineBudget* budget) {
   ReadResult out;
   int64_t skipped = 0;   // bytes of blob before the current extent
   int64_t remaining = length;
@@ -735,7 +765,7 @@ Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
     auto cost = DeviceReadWithRetry(e.disc,
                                     e.offset + (want_start - ext_start),
                                     want_end - want_start, &piece,
-                                    &out.retries);
+                                    &out.retries, budget);
     if (!cost.ok()) return cost.status();
     out.duration += cost.value();
     out.data.AppendBuffer(piece);
@@ -747,6 +777,31 @@ Result<MediaStore::ReadResult> MediaStore::ReadRangeUncached(
 Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
                                                      int64_t offset,
                                                      int64_t length) {
+  return ReadRangeImpl(name, offset, length, nullptr);
+}
+
+Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
+                                                     int64_t offset,
+                                                     int64_t length,
+                                                     DeadlineBudget budget) {
+  if (budget.expired()) {
+    // Fast-fail before any directory or device work — the caller's budget
+    // was spent upstream (failover hops, backoff), so even a cache hit
+    // would deliver bytes past their deadline.
+    ++stats_.deadline_fast_fails;
+    if (deadline_fast_fails_counter_ != nullptr) {
+      deadline_fast_fails_counter_->Increment();
+    }
+    return Status::DeadlineExceeded(
+        "deadline budget already spent; read of '" + name +
+        "' not attempted");
+  }
+  return ReadRangeImpl(name, offset, length, &budget);
+}
+
+Result<MediaStore::ReadResult> MediaStore::ReadRangeImpl(
+    const std::string& name, int64_t offset, int64_t length,
+    DeadlineBudget* budget) {
   if (reads_counter_ != nullptr) reads_counter_->Increment();
   auto blob = Lookup(name);
   if (!blob.ok()) return blob.status();
@@ -759,7 +814,7 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
     return Status::DataLoss("blob quarantined by scrub: " + name);
   }
   if (cache_ == nullptr) {
-    auto result = ReadRangeUncached(*blob.value(), offset, length);
+    auto result = ReadRangeUncached(*blob.value(), offset, length, budget);
     if (!result.ok()) return result.status();
     // The uncached path reads exactly the requested bytes (its I/O pattern
     // is part of the admission model), so only pages the range fully covers
@@ -789,7 +844,8 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
       const int64_t page_start = page * kCachePageBytes;
       const int64_t page_len =
           std::min(kCachePageBytes, blob.value()->size_bytes - page_start);
-      auto fetched = ReadRangeUncached(*blob.value(), page_start, page_len);
+      auto fetched =
+          ReadRangeUncached(*blob.value(), page_start, page_len, budget);
       if (!fetched.ok()) return fetched.status();
       out.duration += fetched.value().duration;
       out.retries += fetched.value().retries;
@@ -895,6 +951,8 @@ void MediaStore::BindObservability(obs::MetricsRegistry* registry,
   tracer_ = tracer;
   if (registry == nullptr) {
     reads_counter_ = nullptr;
+    deadline_fast_fails_counter_ = nullptr;
+    deadline_timeouts_counter_ = nullptr;
     retries_counter_ = nullptr;
     exhausted_counter_ = nullptr;
     backoff_counter_ = nullptr;
@@ -908,6 +966,12 @@ void MediaStore::BindObservability(obs::MetricsRegistry* registry,
   }
   reads_counter_ = registry->GetCounter("avdb_storage_reads_total",
                                         "Get/ReadRange requests served");
+  deadline_fast_fails_counter_ =
+      registry->GetCounter("avdb_storage_deadline_fast_fails_total",
+                           "reads refused because the budget was spent");
+  deadline_timeouts_counter_ =
+      registry->GetCounter("avdb_storage_deadline_timeouts_total",
+                           "reads cut off mid-operation by the budget");
   retries_counter_ = registry->GetCounter(
       "avdb_storage_retries_total", "transient device faults absorbed");
   exhausted_counter_ =

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/buffer.h"
+#include "base/deadline.h"
 #include "base/result.h"
 #include "base/retry.h"
 #include "obs/metrics.h"
@@ -78,6 +79,17 @@ class MediaStore {
   /// surfaces as DataLoss.
   Result<ReadResult> ReadRange(const std::string& name, int64_t offset,
                                int64_t length);
+
+  /// ReadRange under a propagated per-request deadline. A spent budget
+  /// fails fast with DeadlineExceeded before any device work (or rng draw)
+  /// happens; otherwise every device read runs with its retry deadline
+  /// clamped to what remains, the modeled duration is charged against the
+  /// budget as it accrues, and a read whose device time overruns the budget
+  /// fails with DeadlineExceeded instead of delivering bytes nobody can
+  /// present on time. With an Unlimited budget this is byte- and
+  /// cost-identical to the plain overload.
+  Result<ReadResult> ReadRange(const std::string& name, int64_t offset,
+                               int64_t length, DeadlineBudget budget);
 
   /// Removes the blob and frees its extents.
   Status Delete(const std::string& name);
@@ -165,6 +177,8 @@ class MediaStore {
     int64_t retries = 0;          ///< transient faults absorbed
     int64_t exhausted = 0;        ///< reads failed after all attempts
     int64_t backoff_ns = 0;       ///< modeled time charged to backoff
+    int64_t deadline_fast_fails = 0;  ///< reads refused: budget already spent
+    int64_t deadline_timeouts = 0;    ///< reads cut off mid-op by the budget
     int64_t pages_verified = 0;   ///< page checksums checked on reads
     int64_t page_mismatches = 0;  ///< page checks that failed (DataLoss)
     int64_t journal_records = 0;  ///< records appended since mount
@@ -181,16 +195,26 @@ class MediaStore {
   void BindObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
 
  private:
+  /// ReadRange body shared by both public overloads; `budget` may be
+  /// nullptr (no deadline).
+  Result<ReadResult> ReadRangeImpl(const std::string& name, int64_t offset,
+                                   int64_t length, DeadlineBudget* budget);
+
   /// Uncached read of a blob byte range straight from the device.
+  /// `budget`, when non-null, is charged per device read and cuts the
+  /// operation off once spent.
   Result<ReadResult> ReadRangeUncached(const StoredBlob& blob, int64_t offset,
-                                       int64_t length);
+                                       int64_t length,
+                                       DeadlineBudget* budget = nullptr);
 
   /// One device read under the retry policy. On success the returned
   /// duration includes backoff waits; `retries` is incremented per absorbed
-  /// fault.
+  /// fault. A non-null `budget` clamps the retry deadline to what remains
+  /// and is charged with the read's full modeled duration.
   Result<WorldTime> DeviceReadWithRetry(int disc, int64_t offset,
                                         int64_t length, Buffer* out,
-                                        int64_t* retries);
+                                        int64_t* retries,
+                                        DeadlineBudget* budget = nullptr);
 
   /// Verifies `data` (= blob bytes [offset, offset+len)) against the
   /// entry's page checksums for every page fully contained in the range.
@@ -236,6 +260,8 @@ class MediaStore {
   obs::Counter* retries_counter_ = nullptr;
   obs::Counter* exhausted_counter_ = nullptr;
   obs::Counter* backoff_counter_ = nullptr;
+  obs::Counter* deadline_fast_fails_counter_ = nullptr;
+  obs::Counter* deadline_timeouts_counter_ = nullptr;
   obs::Counter* pages_verified_counter_ = nullptr;
   obs::Counter* page_mismatches_counter_ = nullptr;
   obs::Counter* journal_records_counter_ = nullptr;

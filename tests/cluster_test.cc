@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/fault_injector.h"
+#include "cluster/node.h"
+#include "cluster/replica_set.h"
+#include "cluster/stream_router.h"
+#include "storage/block_device.h"
+#include "storage/media_store.h"
+#include "time/virtual_clock.h"
+
+namespace avdb {
+namespace {
+
+constexpr int64_t kMs = 1000 * 1000;
+constexpr int64_t kSecond = 1000 * kMs;
+constexpr int64_t kBlobBytes = 100 * 1000;
+
+Buffer MakeBlob(size_t size, uint8_t seed = 7) {
+  Buffer b;
+  for (size_t i = 0; i < size; ++i) {
+    b.AppendU8(static_cast<uint8_t>(seed + i * 31));
+  }
+  return b;
+}
+
+ServerNodePtr MakeReplica(const std::string& name,
+                          DeviceProfile profile = DeviceProfile::MagneticDisk(),
+                          size_t blob_bytes = kBlobBytes) {
+  auto dev = std::make_shared<BlockDevice>(name + ".dev", profile);
+  auto store = std::make_shared<MediaStore>(dev, nullptr);
+  EXPECT_TRUE(store->Put("clip", MakeBlob(blob_bytes)).ok());
+  return std::make_shared<ServerNode>(name, store);
+}
+
+/// Manually advanced virtual clock for router tests: stepping far between
+/// fetches keeps every replica's device arm idle, so latencies are pure
+/// service time.
+struct ManualClock {
+  int64_t now_ns = 0;
+  std::function<int64_t()> fn() {
+    return [this] { return now_ns; };
+  }
+  void Step(int64_t ns = kSecond) { now_ns += ns; }
+};
+
+// ---------------------------------------------------------- ReplicaHealth --
+
+TEST(ReplicaHealthTest, OpensAfterConsecutiveFailuresAndCoolsDown) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown_ns = 100 * kMs;
+  ReplicaHealth health(policy);
+
+  EXPECT_EQ(health.State(0), ReplicaHealth::BreakerState::kClosed);
+  EXPECT_FALSE(health.RecordFailure(0));
+  EXPECT_FALSE(health.RecordFailure(0));
+  EXPECT_EQ(health.State(0), ReplicaHealth::BreakerState::kClosed);
+  // Third consecutive failure opens the breaker (reported exactly once).
+  EXPECT_TRUE(health.RecordFailure(0));
+  EXPECT_EQ(health.State(0), ReplicaHealth::BreakerState::kOpen);
+  EXPECT_FALSE(health.CanAdmit(50 * kMs));
+  // Cooldown elapsed: half-open, one probe admitted.
+  EXPECT_EQ(health.State(100 * kMs), ReplicaHealth::BreakerState::kHalfOpen);
+  EXPECT_TRUE(health.CanAdmit(100 * kMs));
+}
+
+TEST(ReplicaHealthTest, HalfOpenProbeSuccessClosesFailureReopens) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_cooldown_ns = 100 * kMs;
+
+  {
+    ReplicaHealth health(policy);
+    ASSERT_TRUE(health.RecordFailure(0));
+    health.Admit(100 * kMs);  // half-open probe goes out
+    // The probe slot is taken: a concurrent request is refused.
+    EXPECT_FALSE(health.CanAdmit(101 * kMs));
+    health.RecordSuccess(5 * kMs);
+    EXPECT_EQ(health.State(101 * kMs), ReplicaHealth::BreakerState::kClosed);
+    EXPECT_EQ(health.consecutive_failures(), 0);
+  }
+  {
+    ReplicaHealth health(policy);
+    ASSERT_TRUE(health.RecordFailure(0));
+    health.Admit(100 * kMs);
+    // Failed probe re-opens for a full cooldown (a fresh open transition).
+    EXPECT_TRUE(health.RecordFailure(105 * kMs));
+    EXPECT_EQ(health.State(150 * kMs), ReplicaHealth::BreakerState::kOpen);
+    EXPECT_FALSE(health.CanAdmit(204 * kMs));
+    EXPECT_TRUE(health.CanAdmit(205 * kMs + 1));
+  }
+}
+
+TEST(ReplicaHealthTest, EwmaTracksLatency) {
+  BreakerPolicy policy;
+  policy.ewma_alpha = 0.5;
+  policy.initial_latency_ns = 10 * kMs;
+  ReplicaHealth health(policy);
+  health.RecordSuccess(20 * kMs);
+  EXPECT_EQ(health.ewma_latency_ns(), 15 * kMs);
+  health.RecordSuccess(5 * kMs);
+  EXPECT_EQ(health.ewma_latency_ns(), 10 * kMs);
+}
+
+TEST(ReplicaSetTest, PicksLowestEwmaAmongAdmissible) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  ReplicaSet set(policy);
+  set.Add(MakeReplica("a"), nullptr);
+  set.Add(MakeReplica("b"), nullptr);
+  set.Add(MakeReplica("c"), nullptr);
+
+  set.at(0).health.RecordSuccess(30 * kMs);
+  set.at(1).health.RecordSuccess(2 * kMs);
+  set.at(2).health.RecordSuccess(10 * kMs);
+  EXPECT_EQ(set.Pick(0, 0), 1);
+  // Excluding the best falls back to the next-best.
+  EXPECT_EQ(set.Pick(0, 1u << 1), 2);
+  // An open breaker removes a replica from selection.
+  ASSERT_TRUE(set.at(1).health.RecordFailure(0));
+  EXPECT_EQ(set.Pick(0, 0), 2);
+  EXPECT_EQ(set.HealthyCount(0), 2);
+}
+
+// ------------------------------------------------------------- ServerNode --
+
+TEST(ServerNodeTest, CrashRefusesFastPartitionBurnsBudget) {
+  auto crash_node = MakeReplica("crash");
+  FaultInjector crash_injector(FaultSpec::NodeCrash(1), 11);
+  crash_node->set_fault_injector(&crash_injector);
+
+  DeadlineBudget budget = DeadlineBudget::FromNs(500 * kMs);
+  int64_t latency = 0;
+  auto read = crash_node->ServeRead("clip", 0, 1000, 0, &budget, &latency);
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(latency, ServerNode::kRefusalNs);
+  // A refusal is cheap: nearly the whole budget survives for failover.
+  EXPECT_EQ(budget.remaining_ns(), 500 * kMs - ServerNode::kRefusalNs);
+  EXPECT_TRUE(crash_node->down());
+
+  FaultSpec partition;
+  partition.node_partition_rate = 1.0;
+  partition.node_partition_ops = 100;
+  auto part_node = MakeReplica("part");
+  FaultInjector part_injector(partition, 11);
+  part_node->set_fault_injector(&part_injector);
+
+  DeadlineBudget part_budget = DeadlineBudget::FromNs(500 * kMs);
+  auto timed_out =
+      part_node->ServeRead("clip", 0, 1000, 0, &part_budget, &latency);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  // A partition is the expensive failure: the entire budget is gone.
+  EXPECT_EQ(latency, 500 * kMs);
+  EXPECT_TRUE(part_budget.expired());
+
+  // With no deadline the stall is the default timeout, not forever.
+  DeadlineBudget unlimited;
+  auto stalled =
+      part_node->ServeRead("clip", 0, 1000, 0, &unlimited, &latency);
+  EXPECT_EQ(stalled.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(latency, ServerNode::kDefaultPartitionStallNs);
+}
+
+TEST(ServerNodeTest, ReviveRestoresService) {
+  auto node = MakeReplica("n");
+  FaultInjector injector(FaultSpec::NodeCrash(1), 3);
+  node->set_fault_injector(&injector);
+  DeadlineBudget budget;
+  int64_t latency = 0;
+  EXPECT_FALSE(node->ServeRead("clip", 0, 1000, 0, &budget, &latency).ok());
+  EXPECT_TRUE(node->down());
+  node->Revive();
+  EXPECT_TRUE(node->ServeRead("clip", 0, 1000, 0, &budget, &latency).ok());
+  EXPECT_GT(latency, 0);
+}
+
+// ------------------------------------------------------------ StreamRouter --
+
+RouterPolicy TestPolicy() {
+  RouterPolicy policy;
+  policy.max_attempts = 3;
+  policy.breaker.failure_threshold = 3;
+  policy.breaker.open_cooldown_ns = 200 * kMs;
+  return policy;
+}
+
+TEST(StreamRouterTest, SingleCoLocatedReplicaMatchesDirectStoreReads) {
+  // Two byte-identical replicas: one read directly, one through the
+  // router with no link. Routed reads must cost and return exactly what
+  // direct reads do — the "replication off changes nothing" guarantee.
+  auto direct = MakeReplica("direct");
+  auto routed = MakeReplica("routed");
+  ManualClock clock;
+  StreamRouter router("router", TestPolicy(), clock.fn());
+  router.AddReplica(routed, nullptr);
+
+  for (int64_t offset : {int64_t{0}, int64_t{4096}, int64_t{65536}}) {
+    clock.Step();
+    auto want = direct->store().ReadRange("clip", offset, 4096);
+    auto got = router.Fetch("clip", offset, 4096, kSecond);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    // Durations must agree at engine granularity (the pipeline consumes
+    // them via ToNs); the exact rationals may differ in representation.
+    EXPECT_EQ(VirtualClock::ToNs(got.value().duration),
+              VirtualClock::ToNs(want.value().duration));
+    EXPECT_EQ(got.value().retries, want.value().retries);
+    ASSERT_EQ(got.value().data.size(), want.value().data.size());
+    EXPECT_EQ(0, std::memcmp(got.value().data.data(),
+                             want.value().data.data(),
+                             want.value().data.size()));
+  }
+  EXPECT_EQ(router.stats().fetches, 3);
+  EXPECT_EQ(router.stats().failovers, 0);
+  EXPECT_EQ(router.stats().hedges, 0);
+}
+
+TEST(StreamRouterTest, FailsOverOnNodeCrashAndOpensBreaker) {
+  auto a = MakeReplica("a");
+  auto b = MakeReplica("b");
+  FaultInjector crash(FaultSpec::NodeCrash(1), 17);
+  a->set_fault_injector(&crash);
+
+  ManualClock clock;
+  StreamRouter router("router", TestPolicy(), clock.fn());
+  router.AddReplica(a, nullptr);
+  router.AddReplica(b, nullptr);
+
+  // Every fetch succeeds despite the dead node: the router fails over to
+  // the healthy replica each time until a's breaker opens, then routes to
+  // b directly.
+  for (int i = 0; i < 6; ++i) {
+    clock.Step();
+    auto read = router.Fetch("clip", 0, 4096, kSecond);
+    ASSERT_TRUE(read.ok()) << "fetch " << i;
+  }
+  EXPECT_GE(router.stats().failovers, 3);
+  EXPECT_GE(router.stats().breaker_opens, 1);
+  EXPECT_EQ(router.stats().exhausted, 0);
+  EXPECT_GT(a->stats().refused, 0);
+  EXPECT_EQ(b->stats().served, 6);
+}
+
+TEST(StreamRouterTest, HedgesSlowPrimaryAndCountsWins) {
+  // Replica a is much faster (RAM disk) so it wins selection; replica b is
+  // the hedge target. After the latency window arms, a struggling a (slow
+  // factor applied node-side) pushes the primary latency past the p95
+  // hedge delay, and b's clean read wins the race.
+  auto a = MakeReplica("a", DeviceProfile::RamDisk());
+  auto b = MakeReplica("b");
+  ManualClock clock;
+  RouterPolicy policy = TestPolicy();
+  policy.min_hedge_samples = 4;
+  StreamRouter router("router", policy, clock.fn());
+  router.AddReplica(a, nullptr);
+  router.AddReplica(b, nullptr);
+
+  for (int i = 0; i < 8; ++i) {
+    clock.Step();
+    ASSERT_TRUE(router.Fetch("clip", 0, 65536, kSecond).ok());
+  }
+  ASSERT_EQ(router.stats().hedges, 0);
+  ASSERT_GT(router.HedgeDelayNs(), 0);
+
+  FaultSpec slow;
+  slow.node_slow_rate = 1.0;
+  slow.node_slow_factor = 1000.0;
+  FaultInjector slow_injector(slow, 23);
+  a->set_fault_injector(&slow_injector);
+
+  clock.Step();
+  auto read = router.Fetch("clip", 0, 65536, 10 * kSecond);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(router.stats().hedges, 1);
+  EXPECT_EQ(router.stats().hedge_wins, 1);
+  EXPECT_EQ(b->stats().served, 1);
+  // The winner's latency (hedge delay + b's read), not a's slow read, is
+  // what the client pays.
+  EXPECT_LT(VirtualClock::ToNs(read.value().duration),
+            a->stats().busy_ns);
+}
+
+TEST(StreamRouterTest, SpentBudgetFailsFastWithoutTouchingReplicas) {
+  auto a = MakeReplica("a");
+  ManualClock clock;
+  StreamRouter router("router", TestPolicy(), clock.fn());
+  router.AddReplica(a, nullptr);
+
+  auto read = router.Fetch("clip", 0, 4096, 0);
+  EXPECT_EQ(read.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(router.stats().deadline_fast_fails, 1);
+  EXPECT_EQ(a->stats().requests, 0);
+}
+
+TEST(StreamRouterTest, PartitionBurnsBudgetBeforeFailoverCanHappen) {
+  // A partitioned primary eats the whole budget, so the router must give
+  // up mid-failover — the failure mode that motivates deadline
+  // propagation. A crashed primary (fast refusal) leaves enough budget to
+  // fail over and succeed with the *same* deadline.
+  FaultSpec partition;
+  partition.node_partition_rate = 1.0;
+  partition.node_partition_ops = 100;
+
+  {
+    auto a = MakeReplica("a", DeviceProfile::RamDisk());
+    auto b = MakeReplica("b");
+    FaultInjector part_injector(partition, 29);
+    a->set_fault_injector(&part_injector);
+    ManualClock clock;
+    StreamRouter router("router", TestPolicy(), clock.fn());
+    router.AddReplica(a, nullptr);
+    router.AddReplica(b, nullptr);
+    clock.Step();
+    auto read = router.Fetch("clip", 0, 4096, 200 * kMs);
+    EXPECT_EQ(read.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(router.stats().deadline_give_ups, 1);
+    EXPECT_EQ(b->stats().requests, 0);
+  }
+  {
+    auto a = MakeReplica("a", DeviceProfile::RamDisk());
+    auto b = MakeReplica("b");
+    FaultInjector crash_injector(FaultSpec::NodeCrash(1), 29);
+    a->set_fault_injector(&crash_injector);
+    ManualClock clock;
+    StreamRouter router("router", TestPolicy(), clock.fn());
+    router.AddReplica(a, nullptr);
+    router.AddReplica(b, nullptr);
+    clock.Step();
+    auto read = router.Fetch("clip", 0, 4096, 200 * kMs);
+    EXPECT_TRUE(read.ok());
+    EXPECT_EQ(router.stats().failovers, 1);
+  }
+}
+
+TEST(StreamRouterTest, LinkedFetchPaysTransferCostAndHonorsDeadline) {
+  auto a = MakeReplica("a");
+  auto direct = MakeReplica("direct");
+  auto link = std::make_shared<Channel>("client-a", Channel::Profile::T1());
+
+  ManualClock clock;
+  StreamRouter router("router", TestPolicy(), clock.fn());
+  router.AddReplica(a, link);
+
+  // Generous budget: the fetch succeeds but costs strictly more than the
+  // bare store read — the link's serialization and propagation are real.
+  clock.Step();
+  auto routed = router.Fetch("clip", 0, 65536, 10 * kSecond);
+  auto bare = direct->store().ReadRange("clip", 0, 65536);
+  ASSERT_TRUE(routed.ok());
+  ASSERT_TRUE(bare.ok());
+  EXPECT_GT(VirtualClock::ToNs(routed.value().duration),
+            VirtualClock::ToNs(bare.value().duration));
+
+  // Tight budget: 64 KiB over a T1 needs ~340 ms; a 50 ms budget cannot
+  // fit, so the response transfer is cancelled before serializing and the
+  // doomed bytes never occupy the link.
+  clock.Step();
+  const int64_t transfers_before = link->stats().transfers;
+  auto doomed = router.Fetch("clip", 0, 65536, 50 * kMs);
+  EXPECT_EQ(doomed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(link->stats().deadline_cancelled, 1);
+  // Only the small request message went out; the 64 KiB response did not.
+  EXPECT_EQ(link->stats().transfers, transfers_before + 1);
+}
+
+TEST(StreamRouterTest, FaultTraceIsDeterministic) {
+  // Two runs of the same fault-heavy scenario with equal seeds must agree
+  // on every outcome and every stat — the replay property all robustness
+  // tooling rests on.
+  auto run = [](std::vector<std::pair<bool, int64_t>>* outcomes,
+                StreamRouter::Stats* stats) {
+    FaultSpec faulty;
+    faulty.node_partition_rate = 0.15;
+    faulty.node_partition_ops = 2;
+    faulty.node_slow_rate = 0.2;
+    faulty.node_slow_factor = 4.0;
+
+    auto a = MakeReplica("a");
+    auto b = MakeReplica("b");
+    FaultInjector ia(faulty, 101);
+    FaultInjector ib(faulty, 202);
+    a->set_fault_injector(&ia);
+    b->set_fault_injector(&ib);
+    ManualClock clock;
+    StreamRouter router("router", TestPolicy(), clock.fn());
+    router.AddReplica(a, nullptr);
+    router.AddReplica(b, nullptr);
+    for (int i = 0; i < 40; ++i) {
+      clock.Step();
+      auto read = router.Fetch("clip", (i % 20) * 4096, 4096, 300 * kMs);
+      outcomes->emplace_back(
+          read.ok(),
+          read.ok() ? VirtualClock::ToNs(read.value().duration) : 0);
+    }
+    *stats = router.stats();
+  };
+
+  std::vector<std::pair<bool, int64_t>> first, second;
+  StreamRouter::Stats s1, s2;
+  run(&first, &s1);
+  run(&second, &s2);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(s1.fetches, s2.fetches);
+  EXPECT_EQ(s1.failovers, s2.failovers);
+  EXPECT_EQ(s1.hedges, s2.hedges);
+  EXPECT_EQ(s1.hedge_wins, s2.hedge_wins);
+  EXPECT_EQ(s1.breaker_opens, s2.breaker_opens);
+  EXPECT_EQ(s1.deadline_give_ups, s2.deadline_give_ups);
+}
+
+TEST(StreamRouterTest, BindsClusterMetrics) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(256);
+  auto a = MakeReplica("a");
+  auto b = MakeReplica("b");
+  FaultInjector crash(FaultSpec::NodeCrash(1), 7);
+  a->set_fault_injector(&crash);
+  ManualClock clock;
+  StreamRouter router("router", TestPolicy(), clock.fn());
+  router.AddReplica(a, nullptr);
+  router.AddReplica(b, nullptr);
+  router.BindObservability(&registry, &tracer);
+
+  clock.Step();
+  ASSERT_TRUE(router.Fetch("clip", 0, 4096, kSecond).ok());
+  EXPECT_EQ(registry.GetCounter("avdb_cluster_fetches_total")->Value(), 1);
+  EXPECT_EQ(registry.GetCounter("avdb_cluster_failovers_total")->Value(), 1);
+  bool saw_failover_event = false;
+  for (const auto& event : tracer.Events()) {
+    if (event.name == "failover") saw_failover_event = true;
+  }
+  EXPECT_TRUE(saw_failover_event);
+}
+
+TEST(ClientNodeTest, TracksLinksByServerName) {
+  ClientNode client("viewer");
+  auto a = MakeReplica("a");
+  auto b = MakeReplica("b");
+  auto link = std::make_shared<Channel>("viewer-a", Channel::Profile::T1());
+  client.Connect(a, link);
+  client.Connect(b, nullptr);  // co-located
+  EXPECT_EQ(client.connection_count(), 2);
+  EXPECT_EQ(client.LinkTo("a"), link.get());
+  EXPECT_EQ(client.LinkTo("b"), nullptr);
+  EXPECT_EQ(client.LinkTo("unknown"), nullptr);
+}
+
+}  // namespace
+}  // namespace avdb

@@ -287,6 +287,65 @@ TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
   EXPECT_EQ(policy.BackoffNs(10), policy.max_backoff_ns);
 }
 
+TEST(RetryPolicyTest, ZeroJitterSeedKeepsDeterministicSchedule) {
+  // jitter_seed = 0 must be byte-identical to the pre-jitter exponential
+  // schedule — the default every existing trace depends on.
+  RetryPolicy plain;
+  RetryPolicy zeroed;
+  zeroed.jitter_seed = 0;
+  for (int r = 1; r <= 12; ++r) {
+    EXPECT_EQ(plain.BackoffNs(r), zeroed.BackoffNs(r)) << "retry " << r;
+  }
+}
+
+TEST(RetryPolicyTest, DecorrelatedJitterIsBoundedAndPure) {
+  RetryPolicy policy;
+  policy.jitter_seed = 42;
+  for (int r = 1; r <= 12; ++r) {
+    const int64_t backoff = policy.BackoffNs(r);
+    // Every jittered wait stays within [initial, cap].
+    EXPECT_GE(backoff, policy.initial_backoff_ns) << "retry " << r;
+    EXPECT_LE(backoff, policy.max_backoff_ns) << "retry " << r;
+    // Pure function of (seed, retry): probing any retry number — in any
+    // order, any number of times — never perturbs the schedule. This is
+    // what lets RetryState peek at BackoffNs(r + 1) for its deadline check
+    // without changing what retry r + 1 will actually wait.
+    EXPECT_EQ(backoff, policy.BackoffNs(r)) << "retry " << r;
+  }
+  const int64_t third = policy.BackoffNs(3);
+  (void)policy.BackoffNs(7);
+  (void)policy.BackoffNs(1);
+  EXPECT_EQ(policy.BackoffNs(3), third);
+}
+
+TEST(RetryPolicyTest, JitterSeedsDesynchronizeSessions) {
+  // The point of decorrelated jitter: two sessions with different seeds
+  // must not back off in lockstep. With 8 retries each, at least one wait
+  // must differ (astronomically likely; deterministic given fixed seeds).
+  RetryPolicy a;
+  RetryPolicy b;
+  a.jitter_seed = 1001;
+  b.jitter_seed = 2002;
+  bool diverged = false;
+  for (int r = 1; r <= 8; ++r) {
+    if (a.BackoffNs(r) != b.BackoffNs(r)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryStateTest, JitteredStateStillBoundsDeadline) {
+  RetryPolicy policy;
+  policy.jitter_seed = 7;
+  policy.max_attempts = 100;
+  policy.deadline_ns = 10 * 1000 * 1000;
+  RetryState state(policy);
+  const Status transient = Status::Unavailable("flaky");
+  Status verdict = Status::OK();
+  while (verdict.ok()) verdict = state.BeforeRetry(transient);
+  EXPECT_EQ(verdict.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LE(state.charged_ns(), policy.deadline_ns);
+}
+
 TEST(RetryStateTest, RetriesTransientsUntilAttemptsExhausted) {
   RetryPolicy policy;
   policy.max_attempts = 3;

@@ -428,6 +428,101 @@ TEST(ChannelTest, RevocationKeepsAvailabilityNonNegative) {
   EXPECT_EQ(ch.AvailableBandwidth(), cap - cap / 4);
 }
 
+TEST(ChannelTest, LineRateCollapseToZeroClampsInsteadOfDividing) {
+  Channel ch("net", Channel::Profile::Ethernet10());
+  const int64_t cap = ch.profile().bandwidth_bytes_per_sec;
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 2).ok());
+  // The link goes completely dark mid-stream. The rate clamps to 1 B/s —
+  // serialization math stays finite — and every reservation reads as
+  // oversubscription so callers re-admit.
+  const int64_t excess = ch.SetLineRate(0);
+  EXPECT_EQ(ch.LineRate(), 1);
+  EXPECT_EQ(ch.stats().rate_clamps, 1);
+  EXPECT_EQ(excess, cap / 2 - 1);
+  EXPECT_EQ(ch.AvailableBandwidth(), 0);
+  EXPECT_EQ(ch.OversubscribedBandwidth(), cap / 2 - 1);
+  // A transfer still completes (in a very long modeled time), rather than
+  // dividing by zero or asserting.
+  EXPECT_EQ(ch.SerializationNs(3), 3 * 1000000000LL);
+  // Negative rates clamp identically.
+  ch.SetLineRate(-100);
+  EXPECT_EQ(ch.LineRate(), 1);
+  EXPECT_EQ(ch.stats().rate_clamps, 2);
+}
+
+TEST(ChannelTest, CollapseThenRestoreResumesNormalService) {
+  Channel ch("net", Channel::Profile::Ethernet10());
+  const int64_t cap = ch.profile().bandwidth_bytes_per_sec;
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 4).ok());
+  ch.SetLineRate(0);
+  // Mid-collapse transfer: effectively stalled (seconds per byte) but
+  // accounted; it occupies the link far into the future.
+  const int64_t stalled_done = ch.Transfer(0, 100);
+  EXPECT_GE(stalled_done, 100 * 1000000000LL);
+  // Restore: availability and serialization come back; the queued backlog
+  // from the stalled transfer drains before new work.
+  EXPECT_EQ(ch.SetLineRate(cap), 0);
+  EXPECT_EQ(ch.AvailableBandwidth(), cap - cap / 4);
+  EXPECT_EQ(ch.SerializationNs(cap), 1000000000LL);
+  const int64_t after = ch.Transfer(stalled_done, 1000);
+  EXPECT_EQ(after, stalled_done + ch.SerializationNs(1000) +
+                       ch.profile().propagation_delay_ns);
+}
+
+TEST(ChannelTest, OverReleaseDuringInFlightHedgedReadsStaysSane) {
+  Channel ch("net", Channel::Profile::Ethernet10());
+  const int64_t cap = ch.profile().bandwidth_bytes_per_sec;
+  ASSERT_TRUE(ch.ReserveBandwidth(cap / 2).ok());
+  // Two in-flight reads race on the link (a hedged pair: same bytes, the
+  // second launched while the first still serializes).
+  auto first = ch.TransferWithDeadline(0, 65536, DeadlineBudget::Unlimited());
+  auto hedge = ch.TransferWithDeadline(1000, 65536,
+                                       DeadlineBudget::Unlimited());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(hedge.ok());
+  EXPECT_GT(hedge.value(), first.value());  // serialized behind the first
+  // Mid-flight, a confused caller releases more than it reserved (e.g.
+  // tearing down both arms of the hedge twice). Accounting clamps at zero
+  // and counts the incident; the in-flight transfers are unaffected.
+  ch.ReleaseBandwidth(cap);
+  EXPECT_EQ(ch.ReservedBandwidth(), 0);
+  EXPECT_EQ(ch.stats().over_releases, 1);
+  EXPECT_EQ(ch.AvailableBandwidth(), cap);
+  // The link keeps serving: a third transfer queues behind the hedge pair.
+  auto third = ch.TransferWithDeadline(2000, 1024,
+                                       DeadlineBudget::Unlimited());
+  ASSERT_TRUE(third.ok());
+  EXPECT_GT(third.value(), hedge.value() - ch.profile().propagation_delay_ns);
+  EXPECT_EQ(ch.stats().transfers, 3);
+}
+
+TEST(ChannelTest, TransferWithDeadlineFastFailsAndCancels) {
+  Channel ch("net", Channel::Profile::T1());
+  // Spent budget: refused before the injector or queue is touched.
+  auto spent = ch.TransferWithDeadline(0, 1024, DeadlineBudget::FromNs(0));
+  EXPECT_EQ(spent.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ch.stats().deadline_cancelled, 1);
+  EXPECT_EQ(ch.stats().transfers, 0);
+  EXPECT_EQ(ch.queue().free_at_ns(), 0);
+
+  // Unfittable transfer: 64 KiB over a T1 needs ~340 ms; a 10 ms budget
+  // cancels it *before* it serializes — the link stays free for work that
+  // can still meet its deadline.
+  auto doomed =
+      ch.TransferWithDeadline(0, 65536, DeadlineBudget::FromNs(10 * 1000000));
+  EXPECT_EQ(doomed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ch.stats().deadline_cancelled, 2);
+  EXPECT_EQ(ch.queue().free_at_ns(), 0);
+
+  // A transfer that fits behaves exactly like the plain path.
+  auto fits =
+      ch.TransferWithDeadline(0, 1024, DeadlineBudget::FromNs(1000000000));
+  ASSERT_TRUE(fits.ok());
+  EXPECT_EQ(fits.value(),
+            ch.SerializationNs(1024) + ch.profile().propagation_delay_ns);
+  EXPECT_EQ(ch.stats().transfers, 1);
+}
+
 TEST(AdmissionTest, RevocationSurfacesOversubscription) {
   AdmissionController ac;
   ASSERT_TRUE(ac.RegisterPool("net.bw", 1000).ok());

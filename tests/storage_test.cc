@@ -267,6 +267,62 @@ TEST(MediaStoreTest, RangeReads) {
   EXPECT_FALSE(store.ReadRange("missing", 0, 10).ok());
 }
 
+TEST(MediaStoreTest, SpentDeadlineBudgetFailsFastWithoutDeviceWork) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  FaultInjector injector(FaultSpec::TransientReads(0.5), 3);
+  dev->set_fault_injector(&injector);
+  MediaStore store(dev, nullptr);
+  ASSERT_TRUE(store.Put("clip", MakeBlob(100000)).ok());
+  const int64_t reads_before = dev->stats().reads;
+
+  // Budget already spent on arrival: the read is refused before any
+  // directory/device work — no device read, no rng draw, so the fault
+  // trace of everything after it is unperturbed.
+  auto spent = store.ReadRange("clip", 0, 4096, DeadlineBudget::FromNs(0));
+  EXPECT_EQ(spent.status().code(), StatusCode::kDeadlineExceeded);
+  auto negative =
+      store.ReadRange("clip", 0, 4096, DeadlineBudget::FromNs(-5));
+  EXPECT_EQ(negative.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(store.stats().deadline_fast_fails, 2);
+  EXPECT_EQ(store.stats().deadline_timeouts, 0);
+  EXPECT_EQ(dev->stats().reads, reads_before);
+  EXPECT_EQ(injector.stats().decisions, 0);
+}
+
+TEST(MediaStoreTest, TinyBudgetTimesOutMidReadAndCounts) {
+  auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  MediaStore store(dev, nullptr);
+  ASSERT_TRUE(store.Put("clip", MakeBlob(100000)).ok());
+  // 1 ns is alive on arrival but no magnetic-disk read fits it: the read
+  // runs, overruns, and reports the overrun instead of delivering bytes
+  // nobody can present on time.
+  auto read = store.ReadRange("clip", 0, 65536, DeadlineBudget::FromNs(1));
+  EXPECT_EQ(read.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(store.stats().deadline_timeouts, 1);
+  EXPECT_EQ(store.stats().deadline_fast_fails, 0);
+}
+
+TEST(MediaStoreTest, UnlimitedBudgetMatchesPlainRead) {
+  auto dev1 =
+      std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
+  auto dev2 =
+      std::make_shared<BlockDevice>("d1", DeviceProfile::MagneticDisk());
+  MediaStore plain(dev1, nullptr);
+  MediaStore budgeted(dev2, nullptr);
+  Buffer blob = MakeBlob(100000);
+  ASSERT_TRUE(plain.Put("clip", blob).ok());
+  ASSERT_TRUE(budgeted.Put("clip", blob).ok());
+  auto want = plain.ReadRange("clip", 5000, 4096);
+  auto got =
+      budgeted.ReadRange("clip", 5000, 4096, DeadlineBudget::Unlimited());
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().duration, want.value().duration);
+  EXPECT_EQ(got.value().data, want.value().data);
+  EXPECT_EQ(budgeted.stats().deadline_fast_fails, 0);
+  EXPECT_EQ(budgeted.stats().deadline_timeouts, 0);
+}
+
 TEST(MediaStoreTest, CacheEliminatesRepeatDeviceTime) {
   auto dev = std::make_shared<BlockDevice>("d0", DeviceProfile::MagneticDisk());
   auto cache = std::make_shared<BufferCache>(8 * 1024 * 1024);

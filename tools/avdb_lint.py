@@ -24,8 +24,9 @@ Rules (see DESIGN.md §10 "Static correctness model"):
                      encode-side self-checks are allowlisted individually.
   layer-cycle        `#include "dir/…"` across src/ layers must follow the
                      layer DAG (base → time → media → codec|sched →
-                     storage|net → activity → db → hyper|vworld). An
-                     include into a higher or sibling layer is a cycle.
+                     storage|net → activity → cluster → db →
+                     hyper|vworld). An include into a higher or sibling
+                     layer is a cycle.
   void-cast-call     No `(void)call(...)` in src/: a void-cast of a call is
                      an invisible status drop. Use AVDB_IGNORE_STATUS with
                      a justification instead.
@@ -40,6 +41,14 @@ Rules (see DESIGN.md §10 "Static correctness model"):
                      temporaries allocate per frame. Use PlaneView /
                      PlaneSpan over the frame's planar storage, or lease
                      scratch from BufferPool (BytesLease / AcquireBuffer).
+  naked-retry        No hand-rolled retry loops around device reads or
+                     channel transfers in src/cluster or src/storage: a
+                     `for`/`while` whose body calls ->Read / ->ReadRange /
+                     ->Transfer / ->TransferWithDeadline / ->ServeRead
+                     must drive the loop through RetryState, so every
+                     retry charges virtual time, honors the deadline
+                     budget, and applies the configured backoff+jitter.
+                     A naked loop retries for free and forever.
 
 Suppressions live in tools/avdb_lint_allowlist.json — machine-readable,
 justification required, stale entries are themselves errors. Never silence
@@ -65,13 +74,19 @@ LAYER_RANK = {
     "storage": 4,
     "net": 4,
     "activity": 5,
-    "db": 6,
-    "hyper": 7,
-    "vworld": 7,
+    "cluster": 6,
+    "db": 7,
+    "hyper": 8,
+    "vworld": 8,
 }
 
 HOT_PATH_DIRS = ("src/storage/", "src/net/", "src/codec/")
 PLANE_COPY_DIRS = ("src/codec/", "src/activity/")
+NAKED_RETRY_DIRS = ("src/cluster/", "src/storage/")
+# How far a retryable call may sit below its loop header, and how far above
+# the header a RetryState declaration still governs the loop.
+NAKED_RETRY_WINDOW = 12
+NAKED_RETRY_LOOKBACK = 4
 
 WALLCLOCK_RE = re.compile(
     r"std::chrono::(?:system|steady|high_resolution)_clock"
@@ -91,6 +106,12 @@ PLANE_ACCESSOR_RE = re.compile(
 # A by-value byte-plane object; reference/rvalue-reference types are fine
 # (borrowing, not allocating).
 PLANE_TEMP_RE = re.compile(r"std::vector<uint8_t>\s*(?!&)")
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+# Exact retryable-operation names only: parsing helpers (ReadU32, ReadBytes,
+# ReadString, …) loop legitimately over a buffer and must not match.
+RETRYABLE_CALL_RE = re.compile(
+    r"->\s*(?:Read|ReadRange|Transfer|TransferWithDeadline|ServeRead)\s*\(")
+RETRY_STATE_RE = re.compile(r"\bRetryState\b")
 
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
 
@@ -171,6 +192,7 @@ def lint_file(rel_path, lines):
     is_buffer_code = in_src and os.path.basename(rel_path).startswith("buffer")
     in_hot_path = any(rel_path.startswith(d) for d in HOT_PATH_DIRS)
     in_plane_hot_path = any(rel_path.startswith(d) for d in PLANE_COPY_DIRS)
+    in_retry_dirs = any(rel_path.startswith(d) for d in NAKED_RETRY_DIRS)
 
     for idx, line in enumerate(stripped, start=1):
         m = INCLUDE_RE.match(line)
@@ -211,6 +233,22 @@ def lint_file(rel_path, lines):
                                   or PLANE_TEMP_RE.search(line)):
             violations.append(Violation(
                 "plane-copy", rel_path, idx, lines[idx - 1]))
+
+        if in_retry_dirs and LOOP_HEAD_RE.search(line):
+            # A loop whose body (the next NAKED_RETRY_WINDOW lines) issues a
+            # retryable device/channel call is a retry loop; it must be
+            # driven by a RetryState declared just above or inside it.
+            body = stripped[idx - 1:idx - 1 + NAKED_RETRY_WINDOW]
+            context = stripped[max(0, idx - 1 - NAKED_RETRY_LOOKBACK):
+                               idx - 1 + NAKED_RETRY_WINDOW]
+            call = next((b for b in body if RETRYABLE_CALL_RE.search(b)),
+                        None)
+            if (call is not None
+                    and not any(RETRY_STATE_RE.search(c) for c in context)):
+                violations.append(Violation(
+                    "naked-retry", rel_path, idx,
+                    f"loop retries `{call.strip()}` without RetryState: "
+                    "unbudgeted, unjittered retry"))
 
         if in_src and VOID_CAST_CALL_RE.search(line):
             violations.append(Violation(
