@@ -35,6 +35,8 @@
 #include "base/fault_injector.h"
 #include "base/logging.h"
 #include "cluster/node.h"
+#include "cluster/replica_set.h"
+#include "cluster/replicated_store.h"
 #include "cluster/stream_router.h"
 #include "codec/encoded_value.h"
 #include "codec/scalable_codec.h"
@@ -313,6 +315,232 @@ StreamStats RunSingleNode(const std::shared_ptr<EncodedVideoValue>& clip,
   return window->stats();
 }
 
+
+// ------------------------------------------------------------- self-heal --
+
+// Part 3 — the ISSUE's write+kill+revive scenario: a quorum-write workload
+// (W=2/N=3) over journaled replica stores at the 5% device-fault point,
+// node0 crashed mid-workload, a survivor's media deterministically rotted.
+// The gates demand that every put still acks within budget, that at least
+// one read-repair and one hinted-handoff replay are observed, that the
+// revived node converges to a byte-identical directory (digest
+// comparison), that zero data-loss events occur across the seed sweep,
+// and that the avdb_cluster_* metrics agree with the store's own stats.
+
+constexpr int kSelfHealPuts = 40;
+constexpr int64_t kSelfHealKillAtOp = 15;  // node0's Nth served write
+constexpr int64_t kSelfHealPutBudgetNs = 2'000'000'000;  // 2 s per put
+constexpr uint64_t kSelfHealSeeds = 10;
+constexpr size_t kSelfHealBlobBytes = 64 * 1024;  // one checksum page
+
+Buffer PatternBlob(size_t size, uint64_t seed) {
+  Buffer b;
+  for (size_t i = 0; i < size; ++i) {
+    b.AppendU8(static_cast<uint8_t>((seed * 131 + i * 31) & 0xFF));
+  }
+  return b;
+}
+
+/// Flips one media byte of `blob` directly on the device — simulated bit
+/// rot behind the store's back. Retried because the device's own fault
+/// injector may transiently refuse the poke.
+bool CorruptOneByte(MediaStore& store, BlockDevice& device,
+                    const std::string& blob) {
+  auto entry = store.Lookup(blob);
+  if (!entry.ok() || entry.value()->extents.size() != 1) return false;
+  const Extent& extent = entry.value()->extents[0];
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    Buffer current;
+    if (!device.Read(extent.disc, extent.offset + 10, 1, &current).ok()) {
+      continue;
+    }
+    Buffer flipped(1, static_cast<uint8_t>(~current.data()[0]));
+    if (device.Write(extent.disc, extent.offset + 10, flipped).ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct SelfHealReport {
+  uint64_t seed = 0;
+  double fault_rate = 0;
+  int64_t puts = 0;
+  int64_t put_failures = 0;
+  int64_t deletes = 0;
+  int64_t read_failures = 0;       ///< acked blobs unreadable afterwards
+  int64_t hints_recorded = 0;
+  int64_t hints_replayed = 0;
+  int64_t repairs = 0;
+  int64_t repair_pages_streamed = 0;
+  int64_t resync_rounds = 0;
+  int64_t resync_blobs_streamed = 0;
+  int64_t data_loss_events = 0;
+  bool node0_crashed = false;
+  bool revived = false;
+  bool resync_paced = false;       ///< MaybeRunAntiEntropy honors interval
+  bool converged = false;
+  bool summaries_identical = false;
+  bool metrics_agree = false;
+  int64_t trace_read_repair = 0;
+  int64_t trace_handoff = 0;
+  int64_t trace_resync = 0;
+};
+
+SelfHealReport RunSelfHeal(double fault_rate, uint64_t seed) {
+  SelfHealReport report;
+  report.seed = seed;
+  report.fault_rate = fault_rate;
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(4096);
+  int64_t now_ns = 0;
+
+  auto set = std::make_shared<ReplicaSet>(BreakerPolicy{});
+  std::vector<Replica> machines;
+  for (int i = 0; i < kReplicas; ++i) {
+    Replica r;
+    r.device = std::make_shared<BlockDevice>(
+        "heal" + std::to_string(i) + ".dev", DeviceProfile::MagneticDisk());
+    auto store = std::make_shared<MediaStore>(r.device, nullptr);
+    AVDB_MUST(store->Mount());
+    r.node = std::make_shared<ServerNode>("heal" + std::to_string(i), store);
+    if (fault_rate > 0) {
+      r.device_faults = std::make_unique<FaultInjector>(
+          DeviceSpec(fault_rate), seed * 3 + static_cast<uint64_t>(i));
+      r.device->set_fault_injector(r.device_faults.get());
+    }
+    auto channel = std::make_shared<Channel>("heal.lan." + std::to_string(i),
+                                             Channel::Profile::Atm155());
+    set->Add(r.node, channel);
+    machines.push_back(std::move(r));
+  }
+  machines[0].node_faults = std::make_unique<FaultInjector>(
+      FaultSpec::NodeCrash(kSelfHealKillAtOp), seed);
+  machines[0].node->set_fault_injector(machines[0].node_faults.get());
+
+  ReplicationPolicy policy;  // W=2 of N=3
+  policy.retry.jitter_seed = seed;
+  // Small hint cap: the dead node misses ~25 writes but only 8 hints are
+  // retained, so revival alone cannot converge — the digest-diff
+  // anti-entropy stream has to carry the rest (both repair paths gate).
+  policy.max_hints_per_replica = 8;
+  ReplicatedStore store("heal", policy, [&now_ns] { return now_ns; }, set);
+  store.BindObservability(&registry, &tracer);
+
+  // The workload: unique-content puts, one quorum delete mixed in. node0
+  // dies at its kSelfHealKillAtOp-th served write, so the tail of the
+  // workload runs on a 2-of-3 cluster and accumulates hinted handoff.
+  std::vector<std::pair<std::string, Buffer>> written;
+  for (int i = 0; i < kSelfHealPuts; ++i) {
+    const std::string name = "blob" + std::to_string(i);
+    Buffer data = PatternBlob(kSelfHealBlobBytes, seed * 1000 + i);
+    auto put = store.Put(name, data, kSelfHealPutBudgetNs);
+    ++report.puts;
+    if (put.ok()) {
+      written.emplace_back(name, std::move(data));
+    } else {
+      ++report.put_failures;
+    }
+    now_ns += 250 * 1000 * 1000;  // 4 puts/s pacing
+    if (i == 25) {
+      ++report.deletes;
+      if (store.Delete("blob2", kSelfHealPutBudgetNs).ok()) {
+        written.erase(written.begin() + 2);
+      }
+      now_ns += 250 * 1000 * 1000;
+    }
+  }
+  report.node0_crashed = machines[0].node->stats().refused > 0;
+
+  // Media rot on a survivor: a routed read of the rotted blob either heals
+  // it in-line (the router's DataLoss hook) or the explicit scrub+repair
+  // sweep does — either way the heal must be observed.
+  CorruptOneByte(machines[1].node->store(), *machines[1].device,
+                 written.front().first);
+  auto rotted = store.Read(written.front().first, 0,
+                           static_cast<int64_t>(kSelfHealBlobBytes),
+                           kSelfHealPutBudgetNs);
+  if (!rotted.ok() || rotted.value().data != written.front().second) {
+    ++report.read_failures;
+  }
+  if (store.stats().repairs == 0) {
+    AVDB_IGNORE_STATUS(store.RepairQuarantined(1).status(),
+                       "the gate below demands repairs >= 1 either way");
+  }
+
+  // Crash-restart of node0. A reboot clears the transient device
+  // condition, so the fault injector detaches for the remount+recover and
+  // reattaches after.
+  machines[0].device->set_fault_injector(nullptr);
+  report.revived = store.ReviveReplica(0).ok();
+  if (machines[0].device_faults != nullptr) {
+    machines[0].device->set_fault_injector(machines[0].device_faults.get());
+  }
+
+  // Anti-entropy on its virtual-time cadence until byte-identical
+  // convergence (a few rounds may be needed when device faults interrupt
+  // a stream). A second poll at the same instant must be interval-gated.
+  report.resync_paced = true;
+  for (int round = 0; round < 8; ++round) {
+    now_ns += policy.resync_interval_ns;
+    if (store.MaybeRunAntiEntropy() && store.MaybeRunAntiEntropy()) {
+      report.resync_paced = false;  // ran twice at one instant: pacing broke
+    }
+    if (store.Converged()) break;  // always at least one verification round
+  }
+  report.converged = store.Converged();
+
+  // Every blob the quorum ever acked must read back byte-identical.
+  for (const auto& [name, data] : written) {
+    now_ns += 50 * 1000 * 1000;
+    auto read = store.Read(name, 0, static_cast<int64_t>(data.size()),
+                           kSelfHealPutBudgetNs);
+    if (!read.ok() || read.value().data != data) ++report.read_failures;
+  }
+
+  // Byte-identical directory: the digest comparison the ISSUE gates on.
+  report.summaries_identical = true;
+  auto s0 = store.ReplicaSummary(0);
+  for (int i = 1; i < kReplicas; ++i) {
+    auto si = store.ReplicaSummary(i);
+    if (!s0.ok() || !si.ok() || !(s0.value() == si.value())) {
+      report.summaries_identical = false;
+    }
+  }
+
+  const ReplicatedStore::Stats& stats = store.stats();
+  report.hints_recorded = stats.hints_recorded;
+  report.hints_replayed = stats.hints_replayed;
+  report.repairs = stats.repairs;
+  report.repair_pages_streamed = stats.repair_pages_streamed;
+  report.resync_rounds = stats.resync_rounds;
+  report.resync_blobs_streamed = stats.resync_blobs_streamed;
+  report.data_loss_events = stats.data_loss_events;
+
+  auto counter = [&registry](const char* name) {
+    return registry.GetCounter(name, "")->Value();
+  };
+  report.metrics_agree =
+      counter("avdb_cluster_quorum_puts_total") == stats.quorum_puts &&
+      counter("avdb_cluster_quorum_acks_total") == stats.write_acks &&
+      counter("avdb_cluster_handoff_hints_total") == stats.hints_recorded &&
+      counter("avdb_cluster_handoff_replays_total") == stats.hints_replayed &&
+      counter("avdb_cluster_repair_successes_total") == stats.repairs &&
+      counter("avdb_cluster_repair_pages_streamed_total") ==
+          stats.repair_pages_streamed &&
+      counter("avdb_cluster_resync_rounds_total") == stats.resync_rounds &&
+      counter("avdb_cluster_data_loss_events_total") ==
+          stats.data_loss_events &&
+      registry.GetGauge("avdb_cluster_pending_hints", "")->Value() == 0;
+  for (const auto& event : tracer.Events()) {
+    if (event.name == "read_repair") ++report.trace_read_repair;
+    if (event.name == "handoff_replay") ++report.trace_handoff;
+    if (event.name == "anti_entropy") ++report.trace_resync;
+  }
+  return report;
+}
+
 void PrintSessionRow(int s, const SessionReport& r) {
   std::printf(
       "  s%d: done=%s shown=%lld drop=%lld fo=%lld hedge=%lld/%lld "
@@ -368,6 +596,29 @@ int main() {
                 static_cast<long long>(r.node0_refused),
                 static_cast<long long>(r.survivor_served));
     for (int s = 0; s < kSessions; ++s) PrintSessionRow(s, r.sessions[s]);
+  }
+
+  // Part 3 — self-heal: write+kill+revive at the 5% point, seed-swept.
+  std::printf("\nself-heal: %d puts, node0 killed at write %lld, "
+              "%llu seeds @ 5%% device faults\n",
+              kSelfHealPuts, static_cast<long long>(kSelfHealKillAtOp),
+              static_cast<unsigned long long>(kSelfHealSeeds));
+  std::vector<SelfHealReport> heals;
+  for (uint64_t seed = 1; seed <= kSelfHealSeeds; ++seed) {
+    heals.push_back(RunSelfHeal(0.05, seed));
+    const SelfHealReport& h = heals.back();
+    std::printf("  seed %llu: puts=%lld/%lld hints=%lld replayed=%lld "
+                "repairs=%lld resync=%lld streamed=%lld conv=%s loss=%lld\n",
+                static_cast<unsigned long long>(h.seed),
+                static_cast<long long>(h.puts - h.put_failures),
+                static_cast<long long>(h.puts),
+                static_cast<long long>(h.hints_recorded),
+                static_cast<long long>(h.hints_replayed),
+                static_cast<long long>(h.repairs),
+                static_cast<long long>(h.resync_rounds),
+                static_cast<long long>(h.resync_blobs_streamed),
+                h.converged ? "yes" : "NO",
+                static_cast<long long>(h.data_loss_events));
   }
 
   // ---------------------------------------------------------------- JSON --
@@ -439,6 +690,41 @@ int main() {
           static_cast<long long>(r.trace_hedge_events),
           i + 1 < runs.size() ? "," : "");
     }
+    std::fprintf(out, "  ],\n  \"self_heal\": [\n");
+    for (size_t i = 0; i < heals.size(); ++i) {
+      const SelfHealReport& h = heals[i];
+      std::fprintf(
+          out,
+          "    {\"seed\": %llu, \"fault_rate\": %.2f, \"puts\": %lld, "
+          "\"put_failures\": %lld, \"read_failures\": %lld, "
+          "\"hints_recorded\": %lld, \"hints_replayed\": %lld, "
+          "\"repairs\": %lld, \"repair_pages_streamed\": %lld, "
+          "\"resync_rounds\": %lld, \"resync_blobs_streamed\": %lld, "
+          "\"data_loss_events\": %lld, \"node0_crashed\": %s, "
+          "\"revived\": %s, \"resync_paced\": %s, \"converged\": %s, "
+          "\"summaries_identical\": %s, \"metrics_agree\": %s, "
+          "\"trace_read_repair\": %lld, \"trace_handoff\": %lld, "
+          "\"trace_anti_entropy\": %lld}%s\n",
+          static_cast<unsigned long long>(h.seed), h.fault_rate,
+          static_cast<long long>(h.puts),
+          static_cast<long long>(h.put_failures),
+          static_cast<long long>(h.read_failures),
+          static_cast<long long>(h.hints_recorded),
+          static_cast<long long>(h.hints_replayed),
+          static_cast<long long>(h.repairs),
+          static_cast<long long>(h.repair_pages_streamed),
+          static_cast<long long>(h.resync_rounds),
+          static_cast<long long>(h.resync_blobs_streamed),
+          static_cast<long long>(h.data_loss_events),
+          h.node0_crashed ? "true" : "false", h.revived ? "true" : "false",
+          h.resync_paced ? "true" : "false", h.converged ? "true" : "false",
+          h.summaries_identical ? "true" : "false",
+          h.metrics_agree ? "true" : "false",
+          static_cast<long long>(h.trace_read_repair),
+          static_cast<long long>(h.trace_handoff),
+          static_cast<long long>(h.trace_resync),
+          i + 1 < heals.size() ? "," : "");
+    }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("\nwrote BENCH_replication.json\n");
@@ -499,6 +785,33 @@ int main() {
          "5%: avdb_cluster_* metrics agree with router stats");
     gate(at5->trace_failover_events > 0 && at5->trace_hedge_events > 0,
          "5%: failover and hedge-win trace events recorded");
+  }
+
+  // Gate 4 — self-heal, every seed: all quorum puts ack within budget
+  // despite the mid-workload node kill, every acked blob reads back, at
+  // least one read-repair and one handoff replay are observed, the revived
+  // node converges to a byte-identical directory, zero data-loss events,
+  // and the repair/handoff metrics agree with the store's stats.
+  for (const SelfHealReport& h : heals) {
+    gate(h.put_failures == 0,
+         "self-heal: every W=2/N=3 put acks within budget");
+    gate(h.node0_crashed, "self-heal: the mid-workload node kill fired");
+    gate(h.read_failures == 0,
+         "self-heal: every acked blob reads back byte-identical");
+    gate(h.hints_recorded >= 1 && h.hints_replayed >= 1,
+         "self-heal: at least one hinted handoff recorded and replayed");
+    gate(h.repairs >= 1 && h.trace_read_repair >= 1,
+         "self-heal: at least one read-repair observed");
+    gate(h.revived, "self-heal: crash-restart revive succeeded");
+    gate(h.resync_paced,
+         "self-heal: MaybeRunAntiEntropy honors the resync interval");
+    gate(h.converged && h.summaries_identical,
+         "self-heal: revived node converges to a byte-identical directory");
+    gate(h.data_loss_events == 0, "self-heal: zero data-loss events");
+    gate(h.metrics_agree,
+         "self-heal: avdb_cluster_* metrics agree with store stats");
+    gate(h.trace_handoff >= 1 && h.trace_resync >= 1,
+         "self-heal: handoff_replay and anti_entropy trace events recorded");
   }
 
   if (failures == 0) {

@@ -38,7 +38,7 @@ bool FaultSpec::WritesEnabled() const {
 
 bool FaultSpec::NodeFaultsEnabled() const {
   return node_crash_at_op > 0 || node_partition_rate > 0 ||
-         node_slow_rate > 0;
+         node_slow_rate > 0 || repair_crash_rate > 0;
 }
 
 std::string FaultSpec::ToString() const {
@@ -46,7 +46,7 @@ std::string FaultSpec::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "read=%.3f spike=%.3f/%lldns stuck=%.3f exch=%.3f "
                 "collapse=%.3f@%.2f torn=%.3f drop=%.3f flip=%.3f cut@%lld "
-                "crash@%lld part=%.3f/%lld slow=%.3f@%.1fx",
+                "crash@%lld part=%.3f/%lld slow=%.3f@%.1fx repair=%.3f",
                 read_error_rate, latency_spike_rate,
                 static_cast<long long>(latency_spike_ns), stuck_head_rate,
                 exchange_failure_rate, bandwidth_collapse_rate,
@@ -55,7 +55,7 @@ std::string FaultSpec::ToString() const {
                 static_cast<long long>(power_cut_at_write),
                 static_cast<long long>(node_crash_at_op), node_partition_rate,
                 static_cast<long long>(node_partition_ops), node_slow_rate,
-                node_slow_factor);
+                node_slow_factor, repair_crash_rate);
   return buf;
 }
 
@@ -199,6 +199,26 @@ NodeFaultDecision FaultInjector::OnNodeOp() {
     decision.slow_factor = spec_.node_slow_factor;
     decision.kind = "node-slow";
     ++stats_.node_slow_ops;
+  }
+  return decision;
+}
+
+NodeFaultDecision FaultInjector::OnRepairOp() {
+  NodeFaultDecision decision;
+  if (node_down_) {
+    decision.fail = true;
+    decision.kind = "node-down";
+    ++stats_.repair_ops;
+    return decision;
+  }
+  if (spec_.repair_crash_rate <= 0) return decision;  // draws nothing
+  ++stats_.repair_ops;
+  const bool crash = rng_.NextBool(spec_.repair_crash_rate);
+  if (crash) {
+    decision.fail = true;
+    decision.kind = "repair-crash";
+    node_down_ = true;
+    ++stats_.repair_crashes;
   }
   return decision;
 }

@@ -78,6 +78,12 @@ struct FaultSpec {
   /// that still answers. Factor must be >= 1 to have any effect.
   double node_slow_rate = 0.0;
   double node_slow_factor = 1.0;
+  /// P(one repair/resync apply crashes the node mid-apply) — consulted only
+  /// by the repair write path (ApplyRepair), once before the old entry is
+  /// dropped and once before the replacement lands, so a firing can leave a
+  /// torn repair for the next anti-entropy round to finish. The crashed
+  /// node fails fast like a deterministic crash until revived.
+  double repair_crash_rate = 0.0;
 
   /// All-zero spec: injecting with it never perturbs anything.
   static FaultSpec None() { return FaultSpec{}; }
@@ -188,6 +194,13 @@ class FaultInjector {
   /// without drawing.
   NodeFaultDecision OnNodeOp();
 
+  /// Decision for one repair apply step (read-repair / anti-entropy
+  /// rewrite). Draws one variate iff `repair_crash_rate > 0`, so repair
+  /// consultation never perturbs node-op or device traces. A firing downs
+  /// the node ("repair-crash") until Revive(); a downed node refuses
+  /// without drawing.
+  NodeFaultDecision OnRepairOp();
+
   /// True once the deterministic node crash has fired; operations fail
   /// until Revive().
   bool node_down() const { return node_down_; }
@@ -217,6 +230,8 @@ class FaultInjector {
     int64_t node_crashes = 0;       ///< deterministic crashes fired (0 or 1)
     int64_t node_partition_ops = 0; ///< ops lost to a partition window
     int64_t node_slow_ops = 0;      ///< ops served slow
+    int64_t repair_ops = 0;         ///< repair apply steps consulted
+    int64_t repair_crashes = 0;     ///< repairs that crashed the node
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }

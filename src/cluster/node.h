@@ -64,13 +64,49 @@ class ServerNode {
                                            DeadlineBudget* budget,
                                            int64_t* latency_ns);
 
+  /// Modeled cost of a directory-only mutation (a Delete: journal records,
+  /// no payload) on the device arm.
+  static constexpr int64_t kMetadataOpNs = 500 * 1000;  // 500 us
+
+  /// Serves one replica write arriving at `request_ns` under `budget`: node
+  /// faults consulted first (same taxonomy as ServeRead), then the store's
+  /// journaled Put, then the device arm. On success the budget has been
+  /// charged with `*latency_ns`; a write whose device time overruns the
+  /// budget returns DeadlineExceeded even though the bytes persisted — the
+  /// client must not count an ack it never saw in time (anti-entropy
+  /// reconciles the extra copy).
+  Status ServeWrite(const std::string& blob, const Buffer& data,
+                    int64_t request_ns, DeadlineBudget* budget,
+                    int64_t* latency_ns);
+
+  /// Serves one replica delete. NotFound passes through un-retried (the
+  /// blob is already gone — the outcome the caller wanted).
+  Status ServeDelete(const std::string& blob, int64_t request_ns,
+                     DeadlineBudget* budget, int64_t* latency_ns);
+
+  /// Repair/resync write arm: replaces `blob` with `data` through the
+  /// journaled path (delete-if-present + put), consulting the injector's
+  /// crash-during-repair draw before each half — a firing between them
+  /// leaves a torn repair for the next anti-entropy round. Runs without a
+  /// deadline (repair is background work); `*latency_ns` reports the
+  /// modeled device-arm time. This is the ONLY sanctioned direct
+  /// MediaStore mutation in the cluster layer (see avdb-lint
+  /// `direct-replica-write`).
+  Status ApplyRepair(const std::string& blob, const Buffer& data,
+                     int64_t request_ns, int64_t* latency_ns);
+
   /// True once a deterministic node crash has fired (requests fail fast
   /// until Revive()).
   bool down() const { return injector_ != nullptr && injector_->node_down(); }
-  /// Reboots a crashed node.
-  void Revive() {
-    if (injector_ != nullptr) injector_->Revive();
-  }
+
+  /// Reboots a crashed node with crash-restart semantics: the injector is
+  /// revived and, when the store is mounted, a *fresh* MediaStore is built
+  /// over the same device and recovered from the on-device superblock +
+  /// journal — the pre-crash in-memory directory is deliberately lost, as
+  /// it would be on real hardware. An unmounted store has no durable
+  /// metadata to recover, so it resumes with its RAM directory (the
+  /// legacy pre-durability behavior).
+  Status Revive();
 
   struct Stats {
     int64_t requests = 0;
@@ -79,10 +115,20 @@ class ServerNode {
     int64_t partition_stalls = 0;
     int64_t slow_serves = 0;
     int64_t busy_ns = 0;        ///< server-side latency of served requests
+    int64_t writes_served = 0;  ///< replica Puts applied
+    int64_t deletes_served = 0; ///< replica Deletes applied
+    int64_t repairs_applied = 0;///< repair/resync rewrites landed
+    int64_t revives = 0;        ///< crash-restarts completed
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Node-fault preamble shared by the serving arms: consults the injector
+  /// once, charges the budget for a partition stall or crash refusal, and
+  /// reports the slow-node factor for served requests.
+  Status AdmitRequest(DeadlineBudget* budget, int64_t* latency_ns,
+                      double* slow_factor);
+
   std::string name_;
   std::shared_ptr<MediaStore> store_;
   ServiceQueue device_queue_;

@@ -3,9 +3,13 @@
 namespace avdb {
 
 void ReplicaHealth::Admit(int64_t now_ns) {
-  if (open_ && now_ns >= open_until_ns_) {
-    // Half-open probe: push the cooldown forward so only this one request
-    // is in flight until its outcome lands.
+  if (open_ && !probe_in_flight_ && now_ns >= open_until_ns_) {
+    // Half-open probe: claim the single probe slot and push the cooldown
+    // forward. The `!probe_in_flight_` guard keeps the slot claimed even
+    // when the probe outlives a whole cooldown (a partition stall can run
+    // seconds) — without it a second cooldown expiry would admit a second
+    // "probe" and every waiting session would pile onto the recovering
+    // node at once.
     probe_in_flight_ = true;
     open_until_ns_ = now_ns + policy_.open_cooldown_ns;
   }

@@ -33,7 +33,11 @@ struct BreakerPolicy {
 ///   kOpen     — refusing traffic until `open_cooldown_ns` elapses.
 ///   kHalfOpen — cooldown elapsed; exactly one probe request is admitted.
 ///               Success closes the breaker (counter reset), failure
-///               re-opens it for another full cooldown.
+///               re-opens it for another full cooldown. While the probe is
+///               in flight every other caller is refused — even if a second
+///               cooldown elapses before the probe reports back — so a
+///               recovering node is never hit by a thundering herd of
+///               "probes" from concurrent sessions sharing the set.
 class ReplicaHealth {
  public:
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
@@ -50,9 +54,13 @@ class ReplicaHealth {
   }
 
   /// Whether a request may be sent now (closed, or half-open with the
-  /// probe slot free).
+  /// probe slot free). Half-open with a probe already in flight refuses:
+  /// only one probe may test a recovering replica at a time.
   bool CanAdmit(int64_t now_ns) const {
-    return State(now_ns) != BreakerState::kOpen;
+    const BreakerState state = State(now_ns);
+    if (state == BreakerState::kOpen) return false;
+    if (state == BreakerState::kHalfOpen && probe_in_flight_) return false;
+    return true;
   }
 
   /// Commits the admission decided via CanAdmit. A half-open admission
@@ -69,6 +77,7 @@ class ReplicaHealth {
   int64_t ewma_latency_ns() const { return ewma_latency_ns_; }
   int consecutive_failures() const { return consecutive_failures_; }
   int64_t open_until_ns() const { return open_until_ns_; }
+  bool probe_in_flight() const { return probe_in_flight_; }
 
  private:
   BreakerPolicy policy_;

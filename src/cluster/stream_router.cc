@@ -10,18 +10,25 @@ namespace avdb {
 
 StreamRouter::StreamRouter(std::string name, RouterPolicy policy,
                            std::function<int64_t()> now_fn)
+    : StreamRouter(std::move(name), policy, std::move(now_fn),
+                   std::make_shared<ReplicaSet>(policy.breaker)) {}
+
+StreamRouter::StreamRouter(std::string name, RouterPolicy policy,
+                           std::function<int64_t()> now_fn,
+                           std::shared_ptr<ReplicaSet> replicas)
     : name_(std::move(name)),
       policy_(policy),
       now_fn_(std::move(now_fn)),
-      replicas_(policy.breaker) {
+      replicas_(std::move(replicas)) {
   AVDB_CHECK(now_fn_ != nullptr) << "router needs a virtual-time source";
   AVDB_CHECK(policy_.max_attempts > 0) << "router needs at least one attempt";
+  AVDB_CHECK(replicas_ != nullptr) << "router needs a replica set";
   latency_window_.reserve(static_cast<size_t>(kLatencyWindow));
 }
 
 void StreamRouter::AddReplica(ServerNodePtr server, ChannelPtr channel) {
-  AVDB_CHECK(replicas_.size() < 64) << "replica mask is 64 bits wide";
-  replicas_.Add(std::move(server), std::move(channel));
+  AVDB_CHECK(replicas_->size() < 64) << "replica mask is 64 bits wide";
+  replicas_->Add(std::move(server), std::move(channel));
 }
 
 void StreamRouter::ObserveAttemptLatency(int64_t latency_ns) {
@@ -50,9 +57,9 @@ void StreamRouter::NoteBreakerOpen(int64_t idx, int64_t now_ns) {
   if (breaker_opens_counter_ != nullptr) breaker_opens_counter_->Increment();
   if (tracer_ != nullptr) {
     tracer_->EventAt(now_ns, "cluster", "breaker_open", name_,
-                     replicas_.at(idx).server->name() + " after " +
+                     replicas_->at(idx).server->name() + " after " +
                          std::to_string(
-                             replicas_.at(idx).health.consecutive_failures()) +
+                             replicas_->at(idx).health.consecutive_failures()) +
                          " consecutive failures");
   }
 }
@@ -60,7 +67,7 @@ void StreamRouter::NoteBreakerOpen(int64_t idx, int64_t now_ns) {
 StreamRouter::AttemptOutcome StreamRouter::Attempt(
     int64_t idx, const std::string& blob, int64_t offset, int64_t length,
     DeadlineBudget budget, int64_t start_ns) {
-  ReplicaSet::Replica& replica = replicas_.at(idx);
+  ReplicaSet::Replica& replica = replicas_->at(idx);
   Channel* link = replica.channel.get();
   int64_t elapsed = 0;
 
@@ -119,9 +126,9 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
 
   while (attempts < policy_.max_attempts) {
     const int64_t now = start_ns + elapsed;
-    const int64_t idx = replicas_.Pick(now, tried);
+    const int64_t idx = replicas_->Pick(now, tried);
     if (idx < 0) break;
-    replicas_.at(idx).health.Admit(now);
+    replicas_->at(idx).health.Admit(now);
     tried |= uint64_t{1} << idx;
     if (attempts > 0) {
       // A replacement attempt after a failure: the failover itself.
@@ -129,7 +136,7 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
       if (failovers_counter_ != nullptr) failovers_counter_->Increment();
       if (tracer_ != nullptr) {
         tracer_->EventAt(now, "cluster", "failover", name_,
-                         "-> " + replicas_.at(idx).server->name() + " for '" +
+                         "-> " + replicas_->at(idx).server->name() + " for '" +
                              blob + "' (" + last_error.message() + ")");
       }
     }
@@ -143,7 +150,7 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
       // raise the p95 past itself and veto its own hedge.
       const int64_t hedge_delay = HedgeDelayNs();
       ObserveAttemptLatency(d1);
-      replicas_.at(idx).health.RecordSuccess(d1);
+      replicas_->at(idx).health.RecordSuccess(d1);
 
       MediaStore::ReadResult winner = std::move(primary.result).value();
       int64_t winner_latency = d1;
@@ -152,9 +159,9 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
       // second copy went to the next-best replica at start + delay.
       if (hedge_delay > 0 && d1 > hedge_delay &&
           !budget.CannotAfford(hedge_delay)) {
-        const int64_t hidx = replicas_.Pick(now + hedge_delay, tried);
+        const int64_t hidx = replicas_->Pick(now + hedge_delay, tried);
         if (hidx >= 0) {
-          replicas_.at(hidx).health.Admit(now + hedge_delay);
+          replicas_->at(hidx).health.Admit(now + hedge_delay);
           tried |= uint64_t{1} << hidx;
           hedged = true;
           ++stats_.hedges;
@@ -165,7 +172,7 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
                                          hedge_budget, now + hedge_delay);
           if (hedge.result.ok()) {
             ObserveAttemptLatency(hedge.latency_ns);
-            replicas_.at(hidx).health.RecordSuccess(hedge.latency_ns);
+            replicas_->at(hidx).health.RecordSuccess(hedge.latency_ns);
             const int64_t hedge_total = hedge_delay + hedge.latency_ns;
             if (hedge_total < d1) {
               ++stats_.hedge_wins;
@@ -175,8 +182,8 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
               if (tracer_ != nullptr) {
                 tracer_->EventAt(now + hedge_total, "cluster", "hedge_win",
                                  name_,
-                                 replicas_.at(hidx).server->name() + " beat " +
-                                     replicas_.at(idx).server->name() +
+                                 replicas_->at(hidx).server->name() + " beat " +
+                                     replicas_->at(idx).server->name() +
                                      " by " +
                                      std::to_string((d1 - hedge_total) /
                                                     1000000) +
@@ -185,7 +192,7 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
               winner = std::move(hedge.result).value();
               winner_latency = hedge_total;
             }
-          } else if (replicas_.at(hidx).health.RecordFailure(
+          } else if (replicas_->at(hidx).health.RecordFailure(
                          now + hedge_delay + hedge.latency_ns)) {
             NoteBreakerOpen(hidx, now + hedge_delay + hedge.latency_ns);
           }
@@ -196,7 +203,7 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
       winner.duration = WorldTime::FromNanos(elapsed);
       if (fetch_latency_hist_ != nullptr) fetch_latency_hist_->Observe(elapsed);
       if (healthy_gauge_ != nullptr) {
-        healthy_gauge_->Set(replicas_.HealthyCount(start_ns + elapsed));
+        healthy_gauge_->Set(replicas_->HealthyCount(start_ns + elapsed));
       }
       if (tracer_ != nullptr && (failed_attempts > 0 || hedged)) {
         const int64_t span = tracer_->BeginSpanAt(start_ns, "cluster",
@@ -211,13 +218,21 @@ Result<MediaStore::ReadResult> StreamRouter::Fetch(const std::string& blob,
     // Attempt failed: record, charge what the failure cost, fail over.
     ++failed_attempts;
     last_error = primary.result.status();
-    if (replicas_.at(idx).health.RecordFailure(now + primary.latency_ns)) {
+    if (last_error.code() == StatusCode::kDataLoss && read_repair_ != nullptr &&
+        read_repair_(idx, blob)) {
+      // The replica held corrupt/quarantined bytes and the repairer healed
+      // it in place. The node itself is fine — no breaker strike — and it
+      // may serve the retry, so clear it from the tried mask.
+      ++stats_.read_repairs;
+      tried &= ~(uint64_t{1} << idx);
+    } else if (replicas_->at(idx).health.RecordFailure(now +
+                                                       primary.latency_ns)) {
       NoteBreakerOpen(idx, now + primary.latency_ns);
     }
     budget.Charge(primary.latency_ns);
     elapsed += primary.latency_ns;
     if (healthy_gauge_ != nullptr) {
-      healthy_gauge_->Set(replicas_.HealthyCount(start_ns + elapsed));
+      healthy_gauge_->Set(replicas_->HealthyCount(start_ns + elapsed));
     }
     if (budget.expired()) {
       ++stats_.deadline_give_ups;

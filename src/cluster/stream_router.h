@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,14 @@ class StreamRouter {
   StreamRouter(std::string name, RouterPolicy policy,
                std::function<int64_t()> now_fn);
 
+  /// Same, but routing over a *shared* replica set: several session
+  /// routers (and the ReplicatedStore write path) see one health view, so
+  /// a breaker opened by one session shields the node from all of them —
+  /// and the half-open probe slot is single across sessions.
+  StreamRouter(std::string name, RouterPolicy policy,
+               std::function<int64_t()> now_fn,
+               std::shared_ptr<ReplicaSet> replicas);
+
   const std::string& name() const { return name_; }
   const RouterPolicy& policy() const { return policy_; }
 
@@ -65,8 +74,18 @@ class StreamRouter {
   /// to direct MediaStore reads).
   void AddReplica(ServerNodePtr server, ChannelPtr channel = nullptr);
 
-  ReplicaSet& replicas() { return replicas_; }
-  const ReplicaSet& replicas() const { return replicas_; }
+  ReplicaSet& replicas() { return *replicas_; }
+  const ReplicaSet& replicas() const { return *replicas_; }
+  const std::shared_ptr<ReplicaSet>& replica_set() const { return replicas_; }
+
+  /// Hooks the self-healing read path in: when an attempt fails with
+  /// DataLoss (corrupt page, quarantined blob), the router calls
+  /// `repair(replica_idx, blob)` and — on a true return — clears the
+  /// replica from this fetch's tried mask so it can serve the retry.
+  /// Typically ReplicatedStore::RepairBlob. nullptr detaches.
+  void SetReadRepair(std::function<bool(int64_t, const std::string&)> repair) {
+    read_repair_ = std::move(repair);
+  }
 
   /// Routed ranged read under a deadline budget of `budget_ns` (<= 0 means
   /// already doomed: fail fast without touching any replica). On success
@@ -90,6 +109,7 @@ class StreamRouter {
     int64_t deadline_fast_fails = 0;  ///< fetches refused: budget spent
     int64_t deadline_give_ups = 0;    ///< fetches abandoned mid-failover
     int64_t exhausted = 0;        ///< fetches that ran out of replicas
+    int64_t read_repairs = 0;     ///< DataLoss attempts healed in-line
   };
   const Stats& stats() const { return stats_; }
 
@@ -117,7 +137,8 @@ class StreamRouter {
   std::string name_;
   RouterPolicy policy_;
   std::function<int64_t()> now_fn_;
-  ReplicaSet replicas_;
+  std::shared_ptr<ReplicaSet> replicas_;
+  std::function<bool(int64_t, const std::string&)> read_repair_;
   Stats stats_;
 
   /// Ring of recent attempt latencies feeding the p95 hedge delay.

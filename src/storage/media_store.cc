@@ -780,6 +780,22 @@ Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
   return ReadRangeImpl(name, offset, length, nullptr);
 }
 
+Result<MediaStore::ReadResult> MediaStore::ReadRangeUnverified(
+    const std::string& name, int64_t offset, int64_t length) {
+  auto blob = Lookup(name);
+  if (!blob.ok()) return blob.status();
+  if (offset < 0 || length < 0 ||
+      offset + length > blob.value()->size_bytes) {
+    return Status::InvalidArgument("read range out of blob bounds: " + name);
+  }
+  if (length == 0) return ReadResult{};
+  // Deliberately skips the quarantine fail-fast and page verification: the
+  // repairer wants whatever bytes survive so it can salvage the pages whose
+  // digests still match. Bypasses the cache both ways — unverified bytes
+  // must never be served from it.
+  return ReadRangeUncached(*blob.value(), offset, length, nullptr);
+}
+
 Result<MediaStore::ReadResult> MediaStore::ReadRange(const std::string& name,
                                                      int64_t offset,
                                                      int64_t length,

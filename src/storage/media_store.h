@@ -54,6 +54,12 @@ class MediaStore {
   const BlockDevice& device() const { return *device_; }
   BlockDevice& device() { return *device_; }
 
+  /// Shares the underlying device / cache — what a crash-restart needs to
+  /// construct a fresh store over the same media (cluster Revive loses the
+  /// in-memory directory, the platters keep their bytes).
+  BlockDevicePtr device_ptr() const { return device_; }
+  std::shared_ptr<BufferCache> buffer_cache() const { return cache_; }
+
   /// Stores `data` under `name` (AlreadyExists if taken). Returns the
   /// modeled write duration (journal records included when mounted). A
   /// failed Put is atomic: no directory entry, no allocated extents, no
@@ -90,6 +96,14 @@ class MediaStore {
   /// cost-identical to the plain overload.
   Result<ReadResult> ReadRange(const std::string& name, int64_t offset,
                                int64_t length, DeadlineBudget budget);
+
+  /// Repair-path read of `[offset, offset+length)`: no quarantine
+  /// fail-fast, no page verification, no caching — raw surviving bytes of a
+  /// possibly-damaged blob, for a repairer that verifies each page against
+  /// the directory digests itself and keeps the good ones. Never used to
+  /// serve data.
+  Result<ReadResult> ReadRangeUnverified(const std::string& name,
+                                         int64_t offset, int64_t length);
 
   /// Removes the blob and frees its extents.
   Status Delete(const std::string& name);

@@ -49,6 +49,15 @@ Rules (see DESIGN.md §10 "Static correctness model"):
                      retry charges virtual time, honors the deadline
                      budget, and applies the configured backoff+jitter.
                      A naked loop retries for free and forever.
+  direct-replica-write
+                     No MediaStore::Put/Delete called directly from
+                     src/cluster/: every replica mutation must ride
+                     ServerNode's serving arms (ServeWrite / ServeDelete /
+                     ApplyRepair) so it is fault-injected, priced in
+                     virtual time, and journaled exactly once. A direct
+                     store write from the cluster layer bypasses the
+                     quorum/repair path and silently diverges replicas.
+                     The serving arms themselves are allowlisted.
 
 Suppressions live in tools/avdb_lint_allowlist.json — machine-readable,
 justification required, stale entries are themselves errors. Never silence
@@ -110,8 +119,17 @@ LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
 # Exact retryable-operation names only: parsing helpers (ReadU32, ReadBytes,
 # ReadString, …) loop legitimately over a buffer and must not match.
 RETRYABLE_CALL_RE = re.compile(
-    r"->\s*(?:Read|ReadRange|Transfer|TransferWithDeadline|ServeRead)\s*\(")
+    r"->\s*(?:Read|ReadRange|Transfer|TransferWithDeadline|ServeRead"
+    r"|ServeWrite)\s*\(")
 RETRY_STATE_RE = re.compile(r"\bRetryState\b")
+
+DIRECT_WRITE_DIRS = ("src/cluster/",)
+# A MediaStore mutation through any store-named receiver: `store_->Put(`,
+# `store().Delete(`, `target_store.Put(`, … Reads (Lookup/ReadRange) are
+# fine; only the mutating verbs divert around the quorum/repair path.
+DIRECT_REPLICA_WRITE_RE = re.compile(
+    r"(?:\bstore\(\)\s*\.|\bstore_\s*(?:->|\.)|_store\s*(?:\.|->))"
+    r"\s*(?:Put|Delete)\s*\(")
 
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
 
@@ -193,6 +211,8 @@ def lint_file(rel_path, lines):
     in_hot_path = any(rel_path.startswith(d) for d in HOT_PATH_DIRS)
     in_plane_hot_path = any(rel_path.startswith(d) for d in PLANE_COPY_DIRS)
     in_retry_dirs = any(rel_path.startswith(d) for d in NAKED_RETRY_DIRS)
+    in_direct_write_dirs = any(
+        rel_path.startswith(d) for d in DIRECT_WRITE_DIRS)
 
     for idx, line in enumerate(stripped, start=1):
         m = INCLUDE_RE.match(line)
@@ -249,6 +269,10 @@ def lint_file(rel_path, lines):
                     "naked-retry", rel_path, idx,
                     f"loop retries `{call.strip()}` without RetryState: "
                     "unbudgeted, unjittered retry"))
+
+        if in_direct_write_dirs and DIRECT_REPLICA_WRITE_RE.search(line):
+            violations.append(Violation(
+                "direct-replica-write", rel_path, idx, lines[idx - 1]))
 
         if in_src and VOID_CAST_CALL_RE.search(line):
             violations.append(Violation(
