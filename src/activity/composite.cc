@@ -86,7 +86,7 @@ Status CompositeActivity::InstallSynced(MediaActivityPtr child,
   AVDB_RETURN_IF_ERROR(Install(std::move(child)));
   AVDB_RETURN_IF_ERROR(sync_.AddTrack(track, master));
   AVDB_RETURN_IF_ERROR(raw->ConfigureSync(&sync_, track));
-  track_of_[raw] = track;
+  track_of_.emplace_back(raw, track);
   // Expose the child's boundary port under the track name.
   const auto kind = raw->Kind();
   if (kind == ActivityKind::kSource) {

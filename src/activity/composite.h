@@ -4,6 +4,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "activity/graph.h"
 #include "activity/media_activity.h"
@@ -94,8 +96,11 @@ class CompositeActivity : public MediaActivity {
   ActivityGraph children_;
   /// exposed name -> (child activity, child port name)
   std::map<std::string, std::pair<MediaActivity*, std::string>> exposed_;
-  /// synced child -> track name
-  std::map<MediaActivity*, std::string> track_of_;
+  /// Synced children with their track names, in install order. Install
+  /// order (not pointer order) so RepointSync re-points tracks in the
+  /// same sequence on every run — iteration order here reaches
+  /// SyncController configuration, which must be deterministic.
+  std::vector<std::pair<MediaActivity*, std::string>> track_of_;
   SyncController sync_;
 };
 

@@ -27,7 +27,14 @@ bool Tracer::capture_deliveries() const {
   return capture_deliveries_;
 }
 
-int64_t Tracer::NowLocked() const { return now_fn_ ? now_fn_() : 0; }
+int64_t Tracer::Now() const {
+  std::function<int64_t()> now_fn;
+  {
+    MutexLock lock(mu_);
+    now_fn = now_fn_;
+  }
+  return now_fn ? now_fn() : 0;
+}
 
 void Tracer::Append(TraceEvent event, int64_t t_ns) {
   event.seq = next_seq_++;
@@ -45,8 +52,8 @@ void Tracer::Append(TraceEvent event, int64_t t_ns) {
 int64_t Tracer::BeginSpan(const std::string& category, const std::string& name,
                           const std::string& actor,
                           const std::string& detail) {
+  const int64_t t = Now();
   MutexLock lock(mu_);
-  const int64_t t = NowLocked();
   const int64_t id = next_span_id_++;
   open_spans_[id] = {category, name, actor};
   TraceEvent e;
@@ -78,8 +85,9 @@ int64_t Tracer::BeginSpanAt(int64_t t_ns, const std::string& category,
 }
 
 void Tracer::EndSpan(int64_t span_id, const std::string& detail) {
+  const int64_t t = Now();
   MutexLock lock(mu_);
-  EndSpanAtLocked(span_id, NowLocked(), detail);
+  EndSpanAtLocked(span_id, t, detail);
 }
 
 void Tracer::EndSpanAt(int64_t span_id, int64_t t_ns,
@@ -105,13 +113,13 @@ void Tracer::EndSpanAtLocked(int64_t span_id, int64_t t_ns,
 
 void Tracer::Event(const std::string& category, const std::string& name,
                    const std::string& actor, const std::string& detail) {
+  const int64_t t = Now();
   MutexLock lock(mu_);
   TraceEvent e;
   e.category = category;
   e.name = name;
   e.actor = actor;
   e.detail = detail;
-  const int64_t t = NowLocked();
   Append(std::move(e), t);
 }
 

@@ -95,7 +95,11 @@ class Tracer {
   void Append(TraceEvent event, int64_t t_ns) AVDB_REQUIRES(mu_);
   void EndSpanAtLocked(int64_t span_id, int64_t t_ns,
                        const std::string& detail) AVDB_REQUIRES(mu_);
-  int64_t NowLocked() const AVDB_REQUIRES(mu_);
+  /// Samples the installed clock. The callback is copied out under a
+  /// short-lived lock and invoked with mu_ released: the clock is caller
+  /// code (typically the event engine) and may itself call back into the
+  /// tracer, so running it under mu_ would self-deadlock.
+  int64_t Now() const AVDB_EXCLUDES(mu_);
 
   const size_t capacity_;
   mutable Mutex mu_;

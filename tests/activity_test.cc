@@ -568,6 +568,66 @@ TEST(MultiTrackTest, SyncSkipsKeepTracksCorrelated) {
   EXPECT_GT(awin->stats().elements_presented, 0);
 }
 
+// -------------------------------------------------- Repoint determinism ----
+
+std::vector<std::string>* g_sync_log = nullptr;
+
+// Minimal synced source child that records every ConfigureSync call, so a
+// test can observe the order in which a composite re-points its tracks.
+class SyncProbe final : public MediaActivity {
+ public:
+  static std::shared_ptr<SyncProbe> Create(const std::string& name,
+                                           ActivityEnv env) {
+    return std::shared_ptr<SyncProbe>(
+        new SyncProbe(name, ActivityLocation::kDatabase, env));
+  }
+
+  Status ConfigureSync(SyncController* /*sync*/,
+                       const std::string& /*track*/) override {
+    if (g_sync_log != nullptr) g_sync_log->push_back(name());
+    return Status::OK();
+  }
+
+ private:
+  SyncProbe(const std::string& name, ActivityLocation location,
+            ActivityEnv env)
+      : MediaActivity(name, location, env) {
+    DeclarePort("out", PortDirection::kOut, SmallVideoType());
+  }
+};
+
+TEST(MultiTrackTest, RepointSyncFollowsInstallOrder) {
+  // Track repointing configures caller-visible SyncController state, so
+  // its order must be a function of the program, not of the allocator:
+  // children are allocated in one order and installed in the reverse
+  // order. A pointer-keyed container would repoint in allocation order;
+  // the contract is install order.
+  EventEngine engine;
+  ActivityEnv env{&engine, nullptr};
+  auto source =
+      MultiSource::Create("dbSource", ActivityLocation::kDatabase, env);
+
+  std::vector<std::shared_ptr<SyncProbe>> probes;
+  for (int i = 0; i < 8; ++i) {
+    probes.push_back(SyncProbe::Create("track" + std::to_string(i), env));
+  }
+  std::vector<std::string> install_order;
+  std::vector<std::string> log;
+  g_sync_log = &log;
+  for (int i = 7; i >= 0; --i) {
+    ASSERT_TRUE(
+        source->InstallSynced(probes[i], probes[i]->name(), /*master=*/i == 7)
+            .ok());
+    install_order.push_back(probes[i]->name());
+  }
+  log.clear();  // drop the ConfigureSync calls made during install
+
+  SyncController domain;
+  ASSERT_TRUE(source->UseSyncDomain(&domain).ok());
+  g_sync_log = nullptr;
+  EXPECT_EQ(log, install_order);
+}
+
 // ----------------------------------------------------------- Text pipeline --
 
 TEST(TextPipelineTest, SubtitlesArriveInOrder) {

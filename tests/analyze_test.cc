@@ -1,0 +1,196 @@
+// Black-box tests for tools/avdb_analyze.py: the analyzer is part of the
+// repo's correctness surface (ctest -L lint gates on it), so its contract —
+// clean tree, in-sync lock order, exact fixture classification, allowlist
+// staleness detection — is pinned here the same way any library API would
+// be. Each test shells out to the real script; AVDB_PROJECT_ROOT and
+// AVDB_PYTHON3 are injected by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string ProjectRoot() { return AVDB_PROJECT_ROOT; }
+std::string Python3() { return AVDB_PYTHON3; }
+
+std::string AnalyzerPath() {
+  return ProjectRoot() + "/tools/avdb_analyze.py";
+}
+
+// Runs `python3 tools/avdb_analyze.py <args>` capturing stdout+stderr.
+// Returns the process exit code (or -1 if it could not be launched).
+int RunAnalyzer(const std::string& args, std::string* output) {
+  const std::string cmd =
+      "\"" + Python3() + "\" \"" + AnalyzerPath() + "\" " + args + " 2>&1";
+  output->clear();
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output->append(buf, n);
+  }
+  const int raw = pclose(pipe);
+  if (raw == -1) return -1;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::trunc);
+  ASSERT_TRUE(f.good()) << path;
+  f << text;
+  ASSERT_TRUE(f.good()) << path;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+// A throwaway analyzer root: src/ with one locked class (so the lock-order
+// document is non-trivial) and an initially empty allowlist; tests that
+// need allowlist entries overwrite the file after syncing the lock order.
+std::string MakeScratchRoot(const std::string& name) {
+  const std::string root = testing::TempDir() + "avdb_analyze_" + name;
+  const std::string mk = "mkdir -p \"" + root + "/src/base\" \"" + root +
+                         "/tools\"";
+  EXPECT_EQ(std::system(mk.c_str()), 0);
+  WriteFile(root + "/src/base/counter.cc",
+            "class Counter {\n"
+            " public:\n"
+            "  void Add(long d) {\n"
+            "    MutexLock lock(mu_);\n"
+            "    total_ += d;\n"
+            "  }\n"
+            "\n"
+            " private:\n"
+            "  Mutex mu_;\n"
+            "  long total_ = 0;\n"
+            "};\n");
+  WriteFile(root + "/tools/avdb_lint_allowlist.json", "{\"entries\": []}\n");
+  return root;
+}
+
+// Generates tools/lock_order.json for a scratch root so later default runs
+// start from an in-sync state.
+void SyncLockOrder(const std::string& root) {
+  std::string out;
+  ASSERT_EQ(RunAnalyzer("--root \"" + root + "\" --write-lock-order", &out),
+            0)
+      << out;
+}
+
+TEST(AnalyzeTool, TreeIsCleanAndJsonReportsZeroFindings) {
+  const std::string json_path = testing::TempDir() + "avdb_analyze_tree.json";
+  std::string out;
+  const int rc = RunAnalyzer(
+      "--root \"" + ProjectRoot() + "\" --json \"" + json_path + "\"", &out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("avdb-analyze: clean"), std::string::npos) << out;
+
+  const std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos) << json;
+  // The machine-readable payload carries the same lock-order document that
+  // is checked in; spot-check a lock every developer knows exists.
+  EXPECT_NE(json.find("Tracer::mu_"), std::string::npos) << json;
+  for (const char* rule :
+       {"budget-propagation", "determinism", "lease-escape",
+        "lock-foreign-call", "lock-order"}) {
+    EXPECT_NE(json.find(std::string("\"") + rule + "\": 0"),
+              std::string::npos)
+        << "summary missing zeroed rule " << rule << "\n"
+        << json;
+  }
+}
+
+TEST(AnalyzeTool, SelfTestClassifiesEveryFixtureExactly) {
+  std::string out;
+  const int rc =
+      RunAnalyzer("--root \"" + ProjectRoot() + "\" --self-test", &out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("fixtures ok"), std::string::npos) << out;
+  EXPECT_EQ(out.find("FAIL"), std::string::npos) << out;
+}
+
+TEST(AnalyzeTool, LockOrderRoundTripsAndDriftFailsTheRun) {
+  const std::string root = MakeScratchRoot("roundtrip");
+  SyncLockOrder(root);
+
+  // The written document names the scratch tree's one lock.
+  const std::string lock_path = root + "/tools/lock_order.json";
+  const std::string doc = ReadFile(lock_path);
+  EXPECT_NE(doc.find("Counter::mu_"), std::string::npos) << doc;
+
+  // Freshly written file: the default run verifies in-sync and stays clean.
+  std::string out;
+  EXPECT_EQ(RunAnalyzer("--root \"" + root + "\"", &out), 0) << out;
+  EXPECT_NE(out.find("avdb-analyze: clean"), std::string::npos) << out;
+
+  // Regenerating is idempotent: write again, byte-identical document.
+  SyncLockOrder(root);
+  EXPECT_EQ(ReadFile(lock_path), doc);
+
+  // Any drift — here a renamed lock — must fail the default run with a
+  // pointer at --write-lock-order.
+  std::string drifted = doc;
+  const auto pos = drifted.find("Counter::mu_");
+  ASSERT_NE(pos, std::string::npos);
+  drifted.replace(pos, 12, "Counter::xx_");
+  WriteFile(lock_path, drifted);
+  EXPECT_EQ(RunAnalyzer("--root \"" + root + "\"", &out), 1) << out;
+  EXPECT_NE(out.find("out of sync"), std::string::npos) << out;
+  EXPECT_NE(out.find("--write-lock-order"), std::string::npos) << out;
+}
+
+TEST(AnalyzeTool, StaleAnalyzeAllowlistEntryFailsTheRun) {
+  // Sync the lock order with a clean allowlist first — --write-lock-order
+  // also reports allowlist errors — then install the stale entry.
+  const std::string root = MakeScratchRoot("stale");
+  SyncLockOrder(root);
+  WriteFile(root + "/tools/avdb_lint_allowlist.json",
+            "{\"entries\": ["
+            "{\"rule\": \"determinism\", \"file\": \"src/*.cc\","
+            " \"pattern\": \"never_matches_anything\","
+            " \"justification\": \"left behind by deleted code\"}]}\n");
+  std::string out;
+  EXPECT_EQ(RunAnalyzer("--root \"" + root + "\"", &out), 1) << out;
+  EXPECT_NE(out.find("stale allowlist entry"), std::string::npos) << out;
+}
+
+TEST(AnalyzeTool, OtherToolsStaleEntriesAreNotThisToolsProblem) {
+  // The allowlist file is shared with avdb_lint. A lint-rule entry that
+  // matches nothing is avdb_lint's staleness to report; the analyzer must
+  // neither apply it nor fail on it.
+  const std::string root = MakeScratchRoot("foreign");
+  SyncLockOrder(root);
+  WriteFile(root + "/tools/avdb_lint_allowlist.json",
+            "{\"entries\": ["
+            "{\"rule\": \"wallclock\", \"file\": \"src/*.cc\","
+            " \"pattern\": \"never_matches_anything\","
+            " \"justification\": \"belongs to avdb_lint\"}]}\n");
+  std::string out;
+  EXPECT_EQ(RunAnalyzer("--root \"" + root + "\"", &out), 0) << out;
+  EXPECT_NE(out.find("avdb-analyze: clean"), std::string::npos) << out;
+}
+
+TEST(AnalyzeTool, UnknownAllowlistRuleFailsTheRun) {
+  const std::string root = MakeScratchRoot("unknown");
+  SyncLockOrder(root);
+  WriteFile(root + "/tools/avdb_lint_allowlist.json",
+            "{\"entries\": ["
+            "{\"rule\": \"no-such-rule\", \"file\": \"src/*.cc\","
+            " \"pattern\": \"x\", \"justification\": \"typo\"}]}\n");
+  std::string out;
+  EXPECT_EQ(RunAnalyzer("--root \"" + root + "\"", &out), 1) << out;
+  EXPECT_NE(out.find("unknown rule"), std::string::npos) << out;
+}
+
+}  // namespace

@@ -183,6 +183,28 @@ TEST(TracerTest, ClockStampsClocklessOverloads) {
   EXPECT_EQ(events[1].t_ns, 99);
 }
 
+TEST(TracerTest, ClockCallbackMayReenterTracer) {
+  // The installed clock is caller code — the event engine's clock can
+  // consult the tracer itself — so recording must invoke it with mu_
+  // released. Before the fix every clockless overload ran the callback
+  // under the lock, and this test deadlocked on the first Event.
+  Tracer tracer;
+  int64_t now = 7;
+  tracer.SetClock([&tracer, &now] {
+    (void)tracer.stats();  // re-enters Tracer::mu_
+    return now;
+  });
+  tracer.Event("sched", "tick", "probe");
+  now = 9;
+  const int64_t id = tracer.BeginSpan("sched", "span", "probe");
+  tracer.EndSpan(id);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].t_ns, 7);
+  EXPECT_EQ(events[1].t_ns, 9);
+  EXPECT_EQ(events[2].t_ns, 9);
+}
+
 TEST(TracerTest, RingWrapsAndCountsDropped) {
   Tracer tracer(4);
   for (int i = 0; i < 10; ++i) {

@@ -61,7 +61,10 @@ Rules (see DESIGN.md §10 "Static correctness model"):
 
 Suppressions live in tools/avdb_lint_allowlist.json — machine-readable,
 justification required, stale entries are themselves errors. Never silence
-a rule inline.
+a rule inline. The allowlist is SHARED with tools/avdb_analyze.py (the
+semantic whole-tree analyzer): each tool applies and staleness-checks only
+the entries for its own rules and leaves the other tool's entries alone;
+an entry naming a rule neither tool implements is an error in both.
 """
 
 import argparse
@@ -70,6 +73,19 @@ import json
 import os
 import re
 import sys
+
+# Rule-name registry for the shared allowlist. avdb_lint owns LINT_RULES;
+# avdb_analyze (which imports this module) owns ANALYZE_RULES and asserts
+# at startup that the rules it implements match this list.
+LINT_RULES = frozenset({
+    "wallclock", "naked-new", "check-in-hot-path", "layer-cycle",
+    "void-cast-call", "metric-prefix", "plane-copy", "naked-retry",
+    "direct-replica-write",
+})
+ANALYZE_RULES = frozenset({
+    "lock-order", "lock-foreign-call", "lease-escape",
+    "budget-propagation", "determinism",
+})
 
 # Layer ranks: an #include may only point at a strictly lower rank (or the
 # same directory). Keep in sync with DESIGN.md §10.
@@ -312,21 +328,30 @@ def load_allowlist(root):
         data = json.load(f)
     entries = data["entries"]
     errors = []
+    known = LINT_RULES | ANALYZE_RULES
     for i, e in enumerate(entries):
         for key in ("rule", "file", "pattern", "justification"):
             if not e.get(key):
                 errors.append(
                     f"allowlist entry #{i} missing non-empty {key!r}: {e}")
+        if e.get("rule") and e["rule"] not in known:
+            errors.append(
+                f"allowlist entry #{i} names unknown rule {e['rule']!r} "
+                f"(neither avdb-lint nor avdb-analyze implements it)")
         e["_used"] = False
         e["_re"] = re.compile(e.get("pattern") or r"(?!)")
     return entries, errors
 
 
-def apply_allowlist(violations, entries):
+def apply_allowlist(violations, entries, own_rules=LINT_RULES):
+    """Suppresses violations matched by an allowlist entry. Only entries for
+    `own_rules` participate: the shared file also carries the other tool's
+    entries, which must be neither applied nor reported stale here."""
+    own = [e for e in entries if e.get("rule") in own_rules]
     kept = []
     for v in violations:
         suppressed = False
-        for e in entries:
+        for e in own:
             if (e["rule"] == v.rule
                     and fnmatch.fnmatch(v.path, e["file"])
                     and e["_re"].search(v.text)):
@@ -335,7 +360,7 @@ def apply_allowlist(violations, entries):
                 break
         if not suppressed:
             kept.append(v)
-    stale = [e for e in entries if not e["_used"]]
+    stale = [e for e in own if not e["_used"]]
     return kept, stale
 
 
@@ -349,7 +374,7 @@ def run_lint(root):
                   errors="replace") as f:
             lines = f.read().splitlines()
         violations.extend(lint_file(rel, lines))
-    kept, stale = apply_allowlist(violations, entries)
+    kept, stale = apply_allowlist(violations, entries, LINT_RULES)
     for v in kept:
         print(v)
     for e in stale:

@@ -1,0 +1,22 @@
+// analyze-fixture-as: src/cluster/budget_dropped_hop.cc
+// analyze-expect: budget-propagation
+// ServeRead holds a budget and ReadRange has a budget-taking overload,
+// but the call binds the budget-free one: the deadline stops propagating
+// at this hop.
+
+Status ReadRange(Device* device, const std::string& name, uint64_t off,
+                 uint64_t len) {
+  return device->ReadAt(name, off, len);
+}
+
+Status ReadRange(Device* device, const std::string& name, uint64_t off,
+                 uint64_t len, DeadlineBudget& budget) {
+  if (!budget.Charge(1000)) return Status::DeadlineExceeded("budget");
+  return device->ReadAt(name, off, len);
+}
+
+Status ServeRead(Device* device, const std::string& name,
+                 DeadlineBudget& budget) {
+  if (budget.expired()) return Status::DeadlineExceeded("admission");
+  return ReadRange(device, name, 0, 4096);
+}

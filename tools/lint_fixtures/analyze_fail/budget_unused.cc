@@ -1,0 +1,8 @@
+// analyze-fixture-as: src/net/budget_unused.cc
+// analyze-expect: budget-propagation
+// Accepts a DeadlineBudget but never charges, tests or forwards it —
+// the caller's deadline silently stops here.
+
+Status SendFrame(Channel* ch, const Payload& p, DeadlineBudget* budget) {
+  return ch->Send(p);
+}

@@ -1,0 +1,10 @@
+// analyze-fixture-as: src/media/lease_lambda_escape.cc
+// analyze-expect: lease-escape
+// A lambda posted to the pool outlives this stack frame, but captures a
+// borrow of a local frame by reference.
+
+void Enqueue(WorkPool& pool) {
+  VideoFrame frame(640, 480);
+  PlaneView view = frame.View(0);
+  pool.Submit([&] { Consume(view); });
+}

@@ -1,0 +1,10 @@
+// analyze-fixture-as: src/media/lease_member.cc
+// analyze-expect: lease-escape
+// Borrows stored in members outlive the scope that produced them: a
+// PlaneView member and a container of pool leases are both escapes.
+
+class FrameCache {
+ private:
+  PlaneView last_view_;
+  std::vector<BufferPool::BytesLease> scratch_;
+};

@@ -1,0 +1,10 @@
+// analyze-fixture-as: src/media/lease_return_local.cc
+// analyze-expect: lease-escape
+// Returns a PlaneView of a function-local VideoFrame: the view outlives
+// the frame's storage (the PR 6 pooled-BitWriter bug class).
+
+PlaneView FirstPlane() {
+  VideoFrame frame(640, 480);
+  PlaneView view = frame.View(0);
+  return view;
+}

@@ -1,0 +1,23 @@
+// analyze-fixture-as: src/base/lock_callback_under_lock.cc
+// analyze-expect: lock-foreign-call
+// Notify() invokes the injected on_change_ callback while holding mu_ —
+// through the NotifyLocked helper, so the analyzer must see it
+// transitively. The callback can re-enter this class and deadlock.
+
+class Watcher {
+ public:
+  void Notify();
+
+ private:
+  int NotifyLocked();
+
+  Mutex mu_;
+  std::function<int()> on_change_;
+};
+
+int Watcher::NotifyLocked() { return on_change_ ? on_change_() : 0; }
+
+void Watcher::Notify() {
+  MutexLock lock(mu_);
+  NotifyLocked();
+}

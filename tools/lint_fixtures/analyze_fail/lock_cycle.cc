@@ -1,0 +1,24 @@
+// analyze-fixture-as: src/base/lock_cycle.cc
+// analyze-expect: lock-order
+// Two paths acquire the same two locks in opposite orders: AB holds a_
+// and takes b_, BA holds b_ and takes a_ — a classic deadlock cycle.
+
+class Pair {
+ public:
+  void AB();
+  void BA();
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+void Pair::AB() {
+  MutexLock la(a_);
+  MutexLock lb(b_);
+}
+
+void Pair::BA() {
+  MutexLock lb(b_);
+  MutexLock la(a_);
+}

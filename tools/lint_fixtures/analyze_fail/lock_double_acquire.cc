@@ -1,0 +1,22 @@
+// analyze-fixture-as: src/base/lock_double_acquire.cc
+// analyze-expect: lock-order
+// Drain() holds mu_ and calls Flush(), which re-acquires mu_ — a
+// self-deadlock, because avdb::Mutex is not recursive.
+
+class Queue {
+ public:
+  void Drain();
+  void Flush();
+
+ private:
+  Mutex mu_;
+};
+
+void Queue::Flush() {
+  MutexLock lock(mu_);
+}
+
+void Queue::Drain() {
+  MutexLock lock(mu_);
+  Flush();
+}

@@ -1,0 +1,23 @@
+// analyze-fixture-as: src/base/lock_virtual_under_lock.cc
+// analyze-expect: lock-foreign-call
+// Render() is virtual; calling it through a base pointer while holding
+// mu_ dispatches into arbitrary override code under the lock.
+
+class Sink {
+ public:
+  virtual void Render();
+};
+
+class Stage {
+ public:
+  void Draw();
+
+ private:
+  Mutex mu_;
+  Sink* sink_;
+};
+
+void Stage::Draw() {
+  MutexLock lock(mu_);
+  sink_->Render();
+}

@@ -1,0 +1,19 @@
+// analyze-fixture-as: src/activity/nondet_ptr_map.cc
+// analyze-expect: determinism
+// Iterating a pointer-keyed map: heap addresses differ run to run, so
+// the configuration order this loop applies is nondeterministic.
+
+class Group {
+ public:
+  Status Reconfigure(SyncController* sync);
+
+ private:
+  std::map<MediaActivity*, std::string> track_of_;
+};
+
+Status Group::Reconfigure(SyncController* sync) {
+  for (const auto& [child, track] : track_of_) {
+    AVDB_RETURN_IF_ERROR(child->ConfigureSync(sync, track));
+  }
+  return Status::OK();
+}

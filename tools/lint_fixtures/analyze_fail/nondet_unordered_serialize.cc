@@ -1,0 +1,19 @@
+// analyze-fixture-as: src/storage/nondet_unordered_serialize.cc
+// analyze-expect: determinism
+// Serializes in unordered_map iteration order: the manifest bytes differ
+// between runs for identical content.
+
+class Manifest {
+ public:
+  void SerializeInto(std::string* out);
+
+ private:
+  std::unordered_map<std::string, uint64_t> sizes_;
+};
+
+void Manifest::SerializeInto(std::string* out) {
+  for (const auto& [name, size] : sizes_) {
+    AppendString(out, name);
+    AppendU64(out, size);
+  }
+}

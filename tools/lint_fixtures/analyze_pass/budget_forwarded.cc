@@ -1,0 +1,23 @@
+// analyze-fixture-as: src/storage/budget_forwarded.cc
+// The budget is charged on the local step and forwarded at the hop, and
+// the retry loop consults it — the discipline the rule enforces. The
+// explicitly Unlimited background path is a deliberate, visible choice.
+
+Status ReadLower(const std::string& name, DeadlineBudget& budget);
+
+Status Serve(Device* device, const std::string& name,
+             DeadlineBudget& budget) {
+  Status s = Status::OK();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (budget.expired()) return Status::DeadlineExceeded("budget");
+    s = device->Read(name);
+    if (s.ok()) break;
+  }
+  if (!s.ok()) return s;
+  return ReadLower(name, budget);
+}
+
+Status BackgroundResync(const std::string& name) {
+  DeadlineBudget budget = DeadlineBudget::Unlimited();
+  return ReadLower(name, budget);
+}

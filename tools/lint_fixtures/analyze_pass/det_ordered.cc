@@ -1,0 +1,25 @@
+// analyze-fixture-as: src/obs/det_ordered.cc
+// Ordered iteration serializes byte-stably; the unordered map is only
+// probed by key (never iterated), which is order-independent.
+
+class Registry {
+ public:
+  void SerializeInto(std::string* out);
+  uint64_t Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, uint64_t> ordered_;
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+void Registry::SerializeInto(std::string* out) {
+  for (const auto& [name, value] : ordered_) {
+    AppendString(out, name);
+    AppendU64(out, value);
+  }
+}
+
+uint64_t Registry::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : it->second;
+}

@@ -1,0 +1,8 @@
+// analyze-fixture-as: src/media/lease_return_param_view.cc
+// Returning a view of a *parameter* is fine: the caller owns the frame,
+// so the borrow cannot outlive its storage from here.
+
+PlaneView LumaPlane(const VideoFrame& frame) {
+  PlaneView view = frame.View(0);
+  return view;
+}

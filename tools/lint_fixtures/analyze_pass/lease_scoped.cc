@@ -1,0 +1,15 @@
+// analyze-fixture-as: src/media/lease_scoped.cc
+// Borrows used strictly within their owner's scope: a view over a local
+// frame consumed before the frame dies, and a pool lease released by
+// RAII at the end of the function. Nothing escapes.
+
+uint64_t Checksum(BufferPool& pool) {
+  VideoFrame frame(640, 480);
+  PlaneView view = frame.View(0);
+  BufferPool::BytesLease lease = pool.AcquireBytes(4096);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < view.size(); ++i) {
+    sum += view.data()[i];
+  }
+  return sum;
+}

@@ -1,0 +1,22 @@
+// analyze-fixture-as: src/base/lock_ordered.cc
+// Both paths take a_ before b_ — a consistent global order, no cycle.
+
+class Pair {
+ public:
+  void First();
+  void Second();
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+void Pair::First() {
+  MutexLock la(a_);
+  MutexLock lb(b_);
+}
+
+void Pair::Second() {
+  MutexLock la(a_);
+  MutexLock lb(b_);
+}

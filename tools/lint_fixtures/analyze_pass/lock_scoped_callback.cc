@@ -1,0 +1,26 @@
+// analyze-fixture-as: src/base/lock_scoped_callback.cc
+// The WorkerLoop idiom: the task is dequeued under the lock, but invoked
+// only after the lock scope closes. The scope model must not attribute
+// the call to the lock.
+
+class Pool {
+ public:
+  void WorkerLoop();
+
+ private:
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_;
+};
+
+void Pool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
