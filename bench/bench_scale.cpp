@@ -1,0 +1,361 @@
+// Session scale — idle sessions must be truly free.
+//
+// ROADMAP item 1's target is hundreds of thousands of concurrent streams
+// on one engine. That only works if the scheduler's cost is O(1) per
+// *active* element, not per session: a torn-down session must remove its
+// pending events (no `std::function` tombstones riding the heap until
+// their deadlines), event dispatch must not malloc per closure, and
+// admission must not walk a string map per demand.
+//
+// The sweep plays N identical tiny video sessions (one shared synthetic
+// value, source -> window, 6 frames at 10 fps) in virtual time for
+// N = 10^2 .. 10^5 and gates on:
+//
+//   events/frame flat    events-run-per-presented-frame at 10^5 within
+//                        10% (+0.1 absolute) of the 10^2 ratio — per-frame
+//                        dispatch work must not grow with session count
+//   p99 miss rate == 0   jitterless local sessions must never miss
+//   engine bytes/session engine-owned memory (heap + slot table + free
+//                        list) <= 2 KiB per session at 10^5
+//   teardown drains      after StartAll + half the stream + StopAll at
+//                        10^5, PendingEvents() returns to 0 (cancellation
+//                        actually removed the events; RunUntilIdle then
+//                        executes nothing)
+//   over_releases == 0   the interned-id admission churn phase (10^5
+//                        admit/release pairs over 64 sharded pools) keeps
+//                        perfectly balanced accounting
+//
+// Wall-clock (steady_clock, sanctioned in bench/) is reported for context;
+// the gates are structural, so the bench is deterministic.
+//
+// Output: BENCH_scale.json. Exit code is non-zero when any gate fails.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "activity/graph.h"
+#include "activity/sinks.h"
+#include "activity/sources.h"
+#include "media/synthetic.h"
+#include "sched/admission.h"
+#include "sched/event_engine.h"
+
+using namespace avdb;
+
+namespace {
+
+constexpr int kFrames = 6;
+constexpr int kSweep[] = {100, 1000, 10000, 100000};
+constexpr int kMaxSessions = 100000;
+constexpr int kAdmissionPools = 64;
+constexpr double kBytesPerSessionGate = 2048.0;
+constexpr double kEventsPerFrameSlack = 0.10;  // relative, plus 0.1 absolute
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+MediaDataType TinyVideoType() {
+  return MediaDataType::RawVideo(4, 4, 8, Rational(10));
+}
+
+struct Fleet {
+  EventEngine engine;
+  std::unique_ptr<ActivityGraph> graph;
+  std::vector<std::shared_ptr<VideoWindow>> windows;
+};
+
+/// N identical sessions: one shared tiny value, source -> window, local
+/// connection (no channel, no jitter) so presentation is deterministic.
+std::unique_ptr<Fleet> BuildFleet(int sessions,
+                                  const std::shared_ptr<RawVideoValue>& value,
+                                  double* build_seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fleet = std::make_unique<Fleet>();
+  fleet->graph = std::make_unique<ActivityGraph>(
+      ActivityEnv{&fleet->engine, nullptr});
+  fleet->windows.reserve(sessions);
+  const MediaDataType type = value->type();
+  const VideoQuality quality(type.width(), type.height(), type.depth_bits(),
+                             type.element_rate());
+  for (int i = 0; i < sessions; ++i) {
+    const std::string id = std::to_string(i);
+    auto source = VideoSource::Create("src" + id, ActivityLocation::kDatabase,
+                                      fleet->graph->env());
+    if (!source->Bind(value, VideoSource::kPortOut).ok()) return nullptr;
+    auto window = VideoWindow::Create("win" + id, ActivityLocation::kClient,
+                                      fleet->graph->env(), quality);
+    if (!fleet->graph->Add(source).ok()) return nullptr;
+    if (!fleet->graph->Add(window).ok()) return nullptr;
+    if (!fleet->graph
+             ->Connect(source.get(), VideoSource::kPortOut, window.get(),
+                       VideoWindow::kPortIn)
+             .ok()) {
+      return nullptr;
+    }
+    fleet->windows.push_back(std::move(window));
+  }
+  *build_seconds = SecondsSince(t0);
+  return fleet;
+}
+
+struct SweepRow {
+  int sessions = 0;
+  int64_t events_run = 0;
+  int64_t frames_presented = 0;
+  double events_per_frame = 0;
+  double p99_miss_rate = 0;
+  double bytes_per_session = 0;
+  double build_seconds = 0;
+  double run_seconds = 0;
+};
+
+bool RunSweepPoint(int sessions, const std::shared_ptr<RawVideoValue>& value,
+                   SweepRow* row) {
+  double build_seconds = 0;
+  auto fleet = BuildFleet(sessions, value, &build_seconds);
+  if (fleet == nullptr || !fleet->graph->StartAll().ok()) return false;
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet->graph->RunUntilIdle();
+  row->run_seconds = SecondsSince(t0);
+  row->build_seconds = build_seconds;
+  row->sessions = sessions;
+  row->events_run = fleet->engine.EventsRun();
+  std::vector<double> miss_rates;
+  miss_rates.reserve(fleet->windows.size());
+  for (const auto& w : fleet->windows) {
+    row->frames_presented += w->stats().elements_presented;
+    miss_rates.push_back(w->stats().MissRate());
+  }
+  if (row->frames_presented == 0) return false;
+  row->events_per_frame = static_cast<double>(row->events_run) /
+                          static_cast<double>(row->frames_presented);
+  std::sort(miss_rates.begin(), miss_rates.end());
+  row->p99_miss_rate =
+      miss_rates[static_cast<size_t>(0.99 * (miss_rates.size() - 1))];
+  row->bytes_per_session =
+      static_cast<double>(fleet->engine.MemoryFootprintBytes()) /
+      static_cast<double>(sessions);
+  return true;
+}
+
+struct TeardownResult {
+  size_t pending_before = 0;
+  size_t pending_after = 0;
+  size_t heap_entries_after = 0;
+  int64_t cancelled = 0;
+  int64_t compactions = 0;
+  int64_t events_after_stop = 0;
+  double stop_seconds = 0;
+};
+
+bool RunTeardown(int sessions, const std::shared_ptr<RawVideoValue>& value,
+                 TeardownResult* out) {
+  double build_seconds = 0;
+  auto fleet = BuildFleet(sessions, value, &build_seconds);
+  if (fleet == nullptr || !fleet->graph->StartAll().ok()) return false;
+  // Half the 0.6 s stream, then the whole fleet aborts at once.
+  fleet->graph->RunUntil(WorldTime::FromMillis(300));
+  out->pending_before = fleet->engine.PendingEvents();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!fleet->graph->StopAll().ok()) return false;
+  out->stop_seconds = SecondsSince(t0);
+  out->pending_after = fleet->engine.PendingEvents();
+  out->heap_entries_after = fleet->engine.HeapEntries();
+  out->cancelled = fleet->engine.EventsCancelled();
+  out->compactions = fleet->engine.Compactions();
+  out->events_after_stop = fleet->engine.RunUntilIdle();
+  return true;
+}
+
+struct AdmissionResult {
+  double id_admits_per_sec = 0;
+  double string_admits_per_sec = 0;
+  int64_t over_releases = -1;
+  bool all_admitted = false;
+};
+
+bool RunAdmissionChurn(int sessions, AdmissionResult* out) {
+  AdmissionController ac;
+  std::vector<PoolId> ids;
+  std::vector<std::string> names;
+  for (int i = 0; i < kAdmissionPools; ++i) {
+    names.push_back("pool" + std::to_string(i));
+    if (!ac.RegisterPool(names.back(), 1e12).ok()) return false;
+    ids.push_back(ac.FindPool(names.back()));
+  }
+  // Interned-id path: the per-session demands carry dense ids, so each
+  // admit touches its pools by index.
+  std::vector<AdmissionTicket> tickets;
+  tickets.reserve(sessions);
+  bool ok = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    auto t = ac.Admit(std::vector<PooledDemand>{
+        {ids[s % kAdmissionPools], 1.0},
+        {ids[(s * 7 + 3) % kAdmissionPools], 2.0}});
+    if (!t.ok()) ok = false;
+    tickets.push_back(std::move(t).value());
+  }
+  for (auto& t : tickets) ac.Release(&t);
+  out->id_admits_per_sec =
+      static_cast<double>(sessions) / SecondsSince(t0);
+  // String path for comparison: same demands, name-keyed.
+  tickets.clear();
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    auto t = ac.Admit(std::vector<ResourceDemand>{
+        {names[s % kAdmissionPools], 1.0},
+        {names[(s * 7 + 3) % kAdmissionPools], 2.0}});
+    if (!t.ok()) ok = false;
+    tickets.push_back(std::move(t).value());
+  }
+  for (auto& t : tickets) ac.Release(&t);
+  out->string_admits_per_sec =
+      static_cast<double>(sessions) / SecondsSince(t1);
+  out->over_releases = ac.stats().over_releases;
+  out->all_admitted = ok;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  auto value =
+      synthetic::GenerateVideo(TinyVideoType(), kFrames,
+                               synthetic::VideoPattern::kMovingBox)
+          .value();
+
+  std::vector<SweepRow> rows;
+  printf("session sweep: %d frames @ 10 fps per session, shared value\n\n",
+         kFrames);
+  printf("%9s %12s %12s %11s %9s %11s %9s %9s\n", "sessions", "events",
+         "frames", "ev/frame", "p99miss", "engB/sess", "build_s", "run_s");
+  for (int sessions : kSweep) {
+    SweepRow row;
+    if (!RunSweepPoint(sessions, value, &row)) {
+      fprintf(stderr, "sweep point %d failed to run\n", sessions);
+      return 1;
+    }
+    printf("%9d %12lld %12lld %11.3f %9.4f %11.1f %9.3f %9.3f\n",
+           row.sessions, static_cast<long long>(row.events_run),
+           static_cast<long long>(row.frames_presented), row.events_per_frame,
+           row.p99_miss_rate, row.bytes_per_session, row.build_seconds,
+           row.run_seconds);
+    rows.push_back(row);
+  }
+
+  TeardownResult teardown;
+  if (!RunTeardown(kMaxSessions, value, &teardown)) {
+    fprintf(stderr, "teardown phase failed to run\n");
+    return 1;
+  }
+  printf("\nmass teardown at %d sessions: pending %zu -> %zu "
+         "(heap entries %zu, %lld cancelled, %lld compactions) in %.3f s; "
+         "%lld events ran after stop\n",
+         kMaxSessions, teardown.pending_before, teardown.pending_after,
+         teardown.heap_entries_after,
+         static_cast<long long>(teardown.cancelled),
+         static_cast<long long>(teardown.compactions), teardown.stop_seconds,
+         static_cast<long long>(teardown.events_after_stop));
+
+  AdmissionResult admission;
+  if (!RunAdmissionChurn(kMaxSessions, &admission)) {
+    fprintf(stderr, "admission phase failed to run\n");
+    return 1;
+  }
+  printf("\nadmission churn: %d sessions x 2 demands over %d pools: "
+         "%.0f admits/s interned vs %.0f admits/s string-keyed (%.2fx), "
+         "%lld over-releases\n",
+         kMaxSessions, kAdmissionPools, admission.id_admits_per_sec,
+         admission.string_admits_per_sec,
+         admission.id_admits_per_sec / admission.string_admits_per_sec,
+         static_cast<long long>(admission.over_releases));
+
+  // ------------------------------------------------------------- gates ----
+  const SweepRow& small = rows.front();
+  const SweepRow& large = rows.back();
+  const bool gate_events_flat =
+      large.events_per_frame <=
+      small.events_per_frame * (1 + kEventsPerFrameSlack) + 0.1;
+  const bool gate_p99 = large.p99_miss_rate == 0.0;
+  const bool gate_bytes = large.bytes_per_session <= kBytesPerSessionGate;
+  const bool gate_teardown = teardown.pending_after == 0 &&
+                             teardown.cancelled > 0 &&
+                             teardown.events_after_stop == 0;
+  const bool gate_admission =
+      admission.all_admitted && admission.over_releases == 0;
+
+  printf("\ngates:\n");
+  printf("  events/frame flat 10^2 -> 10^5 (%.3f -> %.3f): %s\n",
+         small.events_per_frame, large.events_per_frame,
+         gate_events_flat ? "PASS" : "FAIL");
+  printf("  p99 deadline-miss rate at 10^5 == 0 (%.4f): %s\n",
+         large.p99_miss_rate, gate_p99 ? "PASS" : "FAIL");
+  printf("  engine bytes/session at 10^5 <= %.0f (%.1f): %s\n",
+         kBytesPerSessionGate, large.bytes_per_session,
+         gate_bytes ? "PASS" : "FAIL");
+  printf("  teardown drains pending to 0 (%zu, %lld ran after stop): %s\n",
+         teardown.pending_after,
+         static_cast<long long>(teardown.events_after_stop),
+         gate_teardown ? "PASS" : "FAIL");
+  printf("  admission churn balanced (%lld over-releases): %s\n",
+         static_cast<long long>(admission.over_releases),
+         gate_admission ? "PASS" : "FAIL");
+
+  FILE* out = fopen("BENCH_scale.json", "w");
+  if (out != nullptr) {
+    fprintf(out, "{\n  \"sweep\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      fprintf(out,
+              "    {\"sessions\": %d, \"events_run\": %lld, "
+              "\"frames_presented\": %lld, \"events_per_frame\": %.4f, "
+              "\"p99_miss_rate\": %.6f, \"engine_bytes_per_session\": %.1f, "
+              "\"build_seconds\": %.4f, \"run_seconds\": %.4f}%s\n",
+              r.sessions, static_cast<long long>(r.events_run),
+              static_cast<long long>(r.frames_presented), r.events_per_frame,
+              r.p99_miss_rate, r.bytes_per_session, r.build_seconds,
+              r.run_seconds, i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(out, "  ],\n");
+    fprintf(out,
+            "  \"teardown\": {\"sessions\": %d, \"pending_before\": %zu, "
+            "\"pending_after\": %zu, \"heap_entries_after\": %zu, "
+            "\"cancelled\": %lld, \"compactions\": %lld, "
+            "\"events_after_stop\": %lld, \"stop_seconds\": %.4f},\n",
+            kMaxSessions, teardown.pending_before, teardown.pending_after,
+            teardown.heap_entries_after,
+            static_cast<long long>(teardown.cancelled),
+            static_cast<long long>(teardown.compactions),
+            static_cast<long long>(teardown.events_after_stop),
+            teardown.stop_seconds);
+    fprintf(out,
+            "  \"admission\": {\"sessions\": %d, \"pools\": %d, "
+            "\"id_admits_per_sec\": %.0f, \"string_admits_per_sec\": %.0f, "
+            "\"over_releases\": %lld},\n",
+            kMaxSessions, kAdmissionPools, admission.id_admits_per_sec,
+            admission.string_admits_per_sec,
+            static_cast<long long>(admission.over_releases));
+    fprintf(out,
+            "  \"gates\": {\"events_per_frame_flat\": %s, "
+            "\"p99_miss_rate_zero\": %s, \"bytes_per_session\": %s, "
+            "\"teardown_drains\": %s, \"admission_balanced\": %s}\n}\n",
+            gate_events_flat ? "true" : "false", gate_p99 ? "true" : "false",
+            gate_bytes ? "true" : "false", gate_teardown ? "true" : "false",
+            gate_admission ? "true" : "false");
+    fclose(out);
+    printf("\nwrote BENCH_scale.json\n");
+  }
+
+  const bool all = gate_events_flat && gate_p99 && gate_bytes &&
+                   gate_teardown && gate_admission;
+  return all ? 0 : 1;
+}

@@ -17,20 +17,19 @@ std::string Connection::Describe() const {
 
 Status ActivityGraph::Add(MediaActivityPtr activity) {
   if (activity == nullptr) return Status::InvalidArgument("null activity");
-  for (const auto& a : activities_) {
-    if (a->name() == activity->name()) {
-      return Status::AlreadyExists("activity exists: " + activity->name());
-    }
+  const auto [it, inserted] =
+      by_name_.emplace(activity->name(), activity.get());
+  if (!inserted) {
+    return Status::AlreadyExists("activity exists: " + activity->name());
   }
   activities_.push_back(std::move(activity));
   return Status::OK();
 }
 
 Result<MediaActivity*> ActivityGraph::Find(const std::string& name) const {
-  for (const auto& a : activities_) {
-    if (a->name() == name) return a.get();
-  }
-  return Status::NotFound("activity: " + name);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("activity: " + name);
+  return it->second;
 }
 
 Result<Connection*> ActivityGraph::Connect(MediaActivity* from,

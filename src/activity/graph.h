@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "activity/media_activity.h"
@@ -103,6 +104,9 @@ class ActivityGraph {
  private:
   ActivityEnv env_;
   std::vector<MediaActivityPtr> activities_;
+  /// Name index so Add/Find stay O(1) at session scale — a linear duplicate
+  /// scan made building a 10⁵-session graph quadratic.
+  std::unordered_map<std::string, MediaActivity*> by_name_;
   std::vector<std::unique_ptr<Connection>> connections_;
 };
 

@@ -1,5 +1,7 @@
 #include "activity/media_activity.h"
 
+#include <algorithm>
+
 #include "activity/graph.h"
 #include "base/logging.h"
 
@@ -169,6 +171,7 @@ Status MediaActivity::Stop() {
   if (state_ != State::kRunning) return Status::OK();
   state_ = State::kStopped;
   ++generation_;
+  CancelOwnedTimers();
   int64_t span = 0;
   if (env_.tracer != nullptr) {
     env_.tracer->EndSpan(run_span_id_);
@@ -184,6 +187,7 @@ Status MediaActivity::Stop() {
 
 void MediaActivity::SelfStop() {
   state_ = State::kStopped;
+  CancelOwnedTimers();
   if (env_.tracer != nullptr) {
     env_.tracer->EndSpan(run_span_id_, "eos");
     run_span_id_ = 0;
@@ -258,7 +262,10 @@ void MediaActivity::Emit(Port* out, StreamElement element) {
   MediaActivity* receiver = connection->to()->owner();
   Port* in = connection->to();
   const int64_t receiver_generation = receiver->generation_;
-  engine()->ScheduleAt(
+  // The delivery belongs to the *receiver*: if it stops, in-flight elements
+  // are cancelled outright (they would have been dropped by the generation
+  // guard anyway — the guard stays as defense against foreign schedulers).
+  const TimerHandle h = engine()->ScheduleAt(
       delivery_ns, [receiver, in, element = std::move(element),
                     receiver_generation] {
         if (receiver->state() == State::kRunning &&
@@ -266,6 +273,31 @@ void MediaActivity::Emit(Port* out, StreamElement element) {
           receiver->OnElement(in, element);
         }
       });
+  receiver->RecordOwnedTimer(h);
+}
+
+TimerHandle MediaActivity::ScheduleOwned(int64_t t_ns,
+                                         EventEngine::Callback cb) {
+  const TimerHandle h = engine()->ScheduleAt(t_ns, std::move(cb));
+  RecordOwnedTimer(h);
+  return h;
+}
+
+void MediaActivity::RecordOwnedTimer(TimerHandle h) {
+  if (owned_timers_.size() >= 8) {
+    EventEngine* e = engine();
+    owned_timers_.erase(
+        std::remove_if(owned_timers_.begin(), owned_timers_.end(),
+                       [e](TimerHandle t) { return !e->IsPending(t); }),
+        owned_timers_.end());
+  }
+  owned_timers_.push_back(h);
+}
+
+void MediaActivity::CancelOwnedTimers() {
+  if (env_.engine == nullptr) return;
+  for (TimerHandle h : owned_timers_) env_.engine->Cancel(h);
+  owned_timers_.clear();
 }
 
 std::string MediaActivity::Describe() const {

@@ -177,6 +177,20 @@ class MediaActivity {
   /// Marks the activity stopped from inside (e.g. on end of stream).
   void SelfStop();
 
+  /// Schedules `cb` on the engine and records the handle so Stop()/
+  /// SelfStop() cancel it. Every periodic tick or deferred emit a subclass
+  /// schedules for *itself* must go through here — a torn-down session then
+  /// removes its events instead of leaving closures in the heap until their
+  /// deadlines pass (the 10⁵-idle-session tombstone problem; DESIGN.md §16).
+  TimerHandle ScheduleOwned(int64_t t_ns, EventEngine::Callback cb);
+  TimerHandle ScheduleOwned(WorldTime t, EventEngine::Callback cb) {
+    return ScheduleOwned(VirtualClock::ToNs(t), std::move(cb));
+  }
+
+  /// Cancels every still-pending owned timer (idempotent; called on every
+  /// stop path).
+  void CancelOwnedTimers();
+
   /// Monotone generation counter: bumped on Stop so stale scheduled events
   /// can recognize they belong to a previous run.
   int64_t generation() const { return generation_; }
@@ -188,6 +202,10 @@ class MediaActivity {
  private:
   friend class ActivityGraph;
 
+  /// Records `h` for cancellation on stop, pruning fired handles once the
+  /// list grows past a small bound (amortized O(1) per scheduling).
+  void RecordOwnedTimer(TimerHandle h);
+
   std::string name_;
   ActivityLocation location_;
   ActivityEnv env_;
@@ -197,6 +215,7 @@ class MediaActivity {
   std::vector<std::unique_ptr<Port>> ports_;
   std::vector<std::string> event_kinds_;
   std::multimap<std::string, ActivityEventHandler> handlers_;
+  std::vector<TimerHandle> owned_timers_;
   int64_t dropped_elements_ = 0;
 
   obs::Counter* elements_counter_ = nullptr;

@@ -176,7 +176,7 @@ void VideoSource::ScheduleTick(int64_t index, int64_t stream_start_ns) {
   const int64_t ideal = stream_start_ns + index * PeriodNs();
   const int64_t at = ideal - VirtualClock::ToNs(options_.preroll);
   const int64_t gen = generation();
-  engine()->ScheduleAt(at, [this, index, stream_start_ns, gen] {
+  ScheduleOwned(at, [this, index, stream_start_ns, gen] {
     Tick(index, stream_start_ns, gen);
   });
 }
@@ -352,7 +352,7 @@ void VideoSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
   }
 
   const int64_t this_index = index;
-  engine()->ScheduleAt(ready_ns, [this, element = std::move(element),
+  ScheduleOwned(ready_ns, [this, element = std::move(element),
                                   this_index, gen] {
     if (state() != State::kRunning || gen != generation()) return;
     Emit(out_, element);
@@ -449,7 +449,7 @@ Status AudioSource::OnStart() {
       engine()->now_ns() + VirtualClock::ToNs(options_.preroll) +
       VirtualClock::ToNs(options_.start_offset) - base * PeriodNs();
   const int64_t gen = generation();
-  engine()->ScheduleAt(
+  ScheduleOwned(
       stream_start_ns + base * PeriodNs() -
           VirtualClock::ToNs(options_.preroll),
       [this, base, stream_start_ns, gen] { Tick(base, stream_start_ns, gen); });
@@ -522,7 +522,7 @@ void AudioSource::Tick(int64_t block_index, int64_t stream_start_ns,
         next_block_ = block_index + 1;
         const int64_t retry_at = stream_start_ns + next_block_ * PeriodNs() -
                                  VirtualClock::ToNs(options_.preroll);
-        engine()->ScheduleAt(retry_at,
+        ScheduleOwned(retry_at,
                              [this, next = next_block_, stream_start_ns, gen] {
                                Tick(next, stream_start_ns, gen);
                              });
@@ -556,7 +556,7 @@ void AudioSource::Tick(int64_t block_index, int64_t stream_start_ns,
   element.audio =
       std::make_shared<const AudioBlock>(std::move(block).value());
 
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, element = std::move(element), block_index, gen] {
                          if (state() != State::kRunning ||
                              gen != generation()) {
@@ -569,7 +569,7 @@ void AudioSource::Tick(int64_t block_index, int64_t stream_start_ns,
   next_block_ = block_index + 1;
   const int64_t next_at = stream_start_ns + next_block_ * PeriodNs() -
                           VirtualClock::ToNs(options_.preroll);
-  engine()->ScheduleAt(next_at, [this, next = next_block_, stream_start_ns,
+  ScheduleOwned(next_at, [this, next = next_block_, stream_start_ns,
                                  gen] { Tick(next, stream_start_ns, gen); });
 }
 
@@ -644,7 +644,7 @@ Status TextSource::OnStart() {
     element.ideal_time_ns = ideal;
     element.text = std::make_shared<const std::string>(span.text);
     element.size_bytes = static_cast<int64_t>(span.text.size());
-    engine()->ScheduleAt(ideal - VirtualClock::ToNs(options_.preroll),
+    ScheduleOwned(ideal - VirtualClock::ToNs(options_.preroll),
                          [this, element = std::move(element), gen] {
                            if (state() != State::kRunning ||
                                gen != generation()) {
@@ -656,7 +656,7 @@ Status TextSource::OnStart() {
   // End of stream after the last span expires.
   const int64_t end_ideal =
       stream_start_ns + value_->ElementCount() * period_ns;
-  engine()->ScheduleAt(end_ideal, [this, gen, end_ideal] {
+  ScheduleOwned(end_ideal, [this, gen, end_ideal] {
     if (state() != State::kRunning || gen != generation()) return;
     Emit(out_, StreamElement::EndOfStream(
                    static_cast<int64_t>(value_->spans().size()), end_ideal));
@@ -695,7 +695,7 @@ Status VideoDigitizer::OnStart() {
   }
   const int64_t stream_start_ns = engine()->now_ns();
   const int64_t gen = generation();
-  engine()->ScheduleAt(stream_start_ns, [this, stream_start_ns, gen] {
+  ScheduleOwned(stream_start_ns, [this, stream_start_ns, gen] {
     Tick(0, stream_start_ns, gen);
   });
   return Status::OK();
@@ -721,7 +721,7 @@ void VideoDigitizer::Tick(int64_t index, int64_t stream_start_ns,
   element.size_bytes = static_cast<int64_t>(element.frame->SizeBytes());
   Emit(out_, std::move(element));
   Raise(kEachFrame, index);
-  engine()->ScheduleAt(ideal + period_ns,
+  ScheduleOwned(ideal + period_ns,
                        [this, next = index + 1, stream_start_ns, gen] {
                          Tick(next, stream_start_ns, gen);
                        });
@@ -764,7 +764,7 @@ Status AudioCapture::OnStart() {
   }
   const int64_t start_ns = engine()->now_ns();
   const int64_t gen = generation();
-  engine()->ScheduleAt(start_ns,
+  ScheduleOwned(start_ns,
                        [this, start_ns, gen] { Tick(0, start_ns, gen); });
   return Status::OK();
 }
@@ -809,7 +809,7 @@ void AudioCapture::Tick(int64_t block_index, int64_t stream_start_ns,
   element.size_bytes = static_cast<int64_t>(element.audio->SizeBytes());
   Emit(out_, std::move(element));
   Raise(kEachBlock, block_index);
-  engine()->ScheduleAt(ideal + period_ns,
+  ScheduleOwned(ideal + period_ns,
                        [this, next = block_index + 1, stream_start_ns, gen] {
                          Tick(next, stream_start_ns, gen);
                        });

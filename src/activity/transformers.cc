@@ -73,7 +73,7 @@ void VideoDecoderActivity::OnElement(Port* in, const StreamElement& element) {
   out_element.size_bytes =
       static_cast<int64_t>(out_element.frame->SizeBytes());
   ++frames_decoded_;
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, out_element = std::move(out_element)] {
                          if (state() != State::kRunning) return;
                          Emit(out_, out_element);
@@ -136,7 +136,7 @@ void VideoEncoderActivity::OnElement(Port* in, const StreamElement& element) {
   out_element.encoded_is_intra = true;
   ++frames_encoded_;
   bytes_out_ += out_element.size_bytes;
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, out_element = std::move(out_element)] {
                          if (state() != State::kRunning) return;
                          Emit(out_, out_element);
@@ -238,7 +238,7 @@ void VideoMixer::TryEmit(int64_t index) {
   const int64_t ready_ns =
       mix_unit_.Submit(engine()->now_ns(), costs_.MixNs(pixels));
   ++frames_mixed_;
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, out_element = std::move(out_element)] {
                          if (state() != State::kRunning) return;
                          Emit(out_, out_element);
@@ -375,7 +375,7 @@ void AudioMixerActivity::TryEmit(int64_t index) {
       engine()->now_ns(),
       static_cast<int64_t>(costs_.audio_mix_ns_per_sample * samples));
   ++blocks_mixed_;
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, out_element = std::move(out_element)] {
                          if (state() != State::kRunning) return;
                          Emit(out_, out_element);
@@ -458,7 +458,7 @@ void FormatConverter::OnElement(Port* in, const StreamElement& element) {
       std::make_shared<const VideoFrame>(std::move(converted));
   out_element.size_bytes =
       static_cast<int64_t>(out_element.frame->SizeBytes());
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, out_element = std::move(out_element)] {
                          if (state() != State::kRunning) return;
                          Emit(out_, out_element);

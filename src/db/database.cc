@@ -77,6 +77,7 @@ AvDatabase::AvDatabase(AvDatabaseConfig config)
         static_cast<size_t>(config_.trace_capacity));
     tracer_->SetClock([engine = &engine_] { return engine->now_ns(); });
     admission_.BindObservability(metrics_.get(), tracer_.get());
+    engine_.BindObservability(metrics_.get());
   }
   if (config_.jitter_seed != 0) {
     jitter_ = std::make_unique<JitterModel>(
@@ -511,7 +512,7 @@ Result<std::vector<Oid>> AvDatabase::Select(
 
 Result<MediaActivityPtr> AvDatabase::MakeSource(
     const std::string& name, Oid oid, const std::string& attr_path,
-    const ResolvedAttr& resolved, std::vector<ResourceDemand>* demands,
+    const ResolvedAttr& resolved, std::vector<PooledDemand>* demands,
     const VideoQuality* quality) {
   const MediaVersion& current = resolved.state->Current();
   auto store = devices_.GetStore(current.device);
@@ -572,16 +573,16 @@ Result<MediaActivityPtr> AvDatabase::MakeSource(
                        static_cast<double>(profile.transfer_bytes_per_sec);
     }
   }
-  demands->push_back(
-      {current.device + ".bandwidth", stored_rate + seek_surcharge});
-  demands->push_back(
-      {"db.buffers", static_cast<double>(config_.buffer_bytes_per_stream)});
+  demands->push_back({admission_.FindPool(current.device + ".bandwidth"),
+                      stored_rate + seek_surcharge});
+  demands->push_back({admission_.FindPool("db.buffers"),
+                      static_cast<double>(config_.buffer_bytes_per_stream)});
   if (current.stored_type.IsCompressed()) {
-    demands->push_back({"db.decoders", 1});
+    demands->push_back({admission_.FindPool("db.decoders"), 1});
   }
   auto device = devices_.GetDevice(current.device);
   if (device.ok() && device.value()->profile().exclusive) {
-    demands->push_back({current.device + ".arm", 1});
+    demands->push_back({admission_.FindPool(current.device + ".arm"), 1});
   }
 
   MediaActivityPtr source;
@@ -618,7 +619,7 @@ Result<MediaActivityPtr> AvDatabase::MakeSource(
 
 Result<StreamHandle> AvDatabase::FinishStream(
     const std::string& session, Oid oid, MediaActivityPtr source,
-    std::vector<ResourceDemand> demands) {
+    std::vector<PooledDemand> demands) {
   auto ticket = admission_.Admit(demands);
   if (!ticket.ok()) return ticket.status();
   Status lock_status = locks_.Acquire(oid, LockMode::kShared, session);
@@ -651,7 +652,7 @@ Result<StreamHandle> AvDatabase::NewSourceFor(const std::string& session,
   if (!resolved.ok()) return resolved.status();
 
   const std::string name = "dbSource" + std::to_string(next_activity_serial_++);
-  std::vector<ResourceDemand> demands;
+  std::vector<PooledDemand> demands;
   auto source = MakeSource(name, oid, attr_path, resolved.value(), &demands);
   if (!source.ok()) return source.status();
   return FinishStream(session, oid, std::move(source).value(),
@@ -671,7 +672,7 @@ Result<StreamHandle> AvDatabase::NewSourceFor(const std::string& session,
         "video quality factor on a non-video attribute: " + attr_path);
   }
   const std::string name = "dbSource" + std::to_string(next_activity_serial_++);
-  std::vector<ResourceDemand> demands;
+  std::vector<PooledDemand> demands;
   auto source =
       MakeSource(name, oid, attr_path, resolved.value(), &demands, &quality);
   if (!source.ok()) return source.status();
@@ -726,7 +727,7 @@ Result<StreamHandle> AvDatabase::NewMultiSourceFor(const std::string& session,
       "dbMultiSource" + std::to_string(next_activity_serial_++),
       ActivityLocation::kDatabase, env());
 
-  std::vector<ResourceDemand> demands;
+  std::vector<PooledDemand> demands;
   bool first = true;
   for (const auto& [track, state] : instance.value()->tracks) {
     if (!state.HasValue()) continue;

@@ -305,18 +305,19 @@ class AvDatabase {
                       MediaAttrState* state);
 
   /// Creates (unstarted) a typed source for a resolved attribute and
-  /// collects its admission demands. `quality` (optional) restricts
-  /// scalable representations to a satisfying layer subset.
+  /// collects its admission demands, already interned to pool ids so
+  /// FinishStream admits on the id fast path. `quality` (optional)
+  /// restricts scalable representations to a satisfying layer subset.
   Result<MediaActivityPtr> MakeSource(const std::string& name, Oid oid,
                                       const std::string& attr_path,
                                       const ResolvedAttr& resolved,
-                                      std::vector<ResourceDemand>* demands,
+                                      std::vector<PooledDemand>* demands,
                                       const VideoQuality* quality = nullptr);
 
   /// Registers a stream and takes its lock.
   Result<StreamHandle> FinishStream(const std::string& session, Oid oid,
                                     MediaActivityPtr source,
-                                    std::vector<ResourceDemand> demands);
+                                    std::vector<PooledDemand> demands);
 
   void UpdateIndex(const std::string& class_name, const std::string& attr,
                    const DbObject& object);

@@ -1,41 +1,75 @@
 #include "sched/admission.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace avdb {
+
+namespace {
+/// Rounding slack for release accounting: repeated double add/subtract can
+/// leave `used` a few ulps below zero without any logic error. Only a
+/// deficit beyond this counts as an over-release.
+double ReleaseEpsilon(double capacity) {
+  return 1e-6 * std::max(1.0, capacity);
+}
+}  // namespace
 
 Status AdmissionController::RegisterPool(const std::string& name,
                                          double capacity) {
   if (capacity < 0) {
     return Status::InvalidArgument("pool capacity must be >= 0: " + name);
   }
-  if (pools_.count(name) > 0) {
+  if (index_.count(name) > 0) {
     return Status::AlreadyExists("pool exists: " + name);
   }
-  pools_[name] = Pool{capacity, 0};
+  const PoolId id = pool_count_;
+  if (static_cast<size_t>(id) / kShardSize >= shards_.size()) {
+    shards_.push_back(std::make_unique<PoolShard>());
+  }
+  ++pool_count_;
+  Pool& pool = PoolAt(id);
+  pool.name = name;
+  pool.capacity = capacity;
+  pool.used = 0;
+  index_[name] = id;
   return Status::OK();
 }
 
+PoolId AdmissionController::FindPool(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidPoolId : it->second;
+}
+
+const std::string& AdmissionController::PoolName(PoolId id) const {
+  static const std::string kUnknown = "?";
+  if (!ValidId(id)) return kUnknown;
+  return PoolAt(id).name;
+}
+
 bool AdmissionController::HasPool(const std::string& name) const {
-  return pools_.count(name) > 0;
+  return index_.count(name) > 0;
 }
 
 Result<double> AdmissionController::Capacity(const std::string& name) const {
-  auto it = pools_.find(name);
-  if (it == pools_.end()) return Status::NotFound("pool: " + name);
-  return it->second.capacity;
+  const PoolId id = FindPool(name);
+  if (id == kInvalidPoolId) return Status::NotFound("pool: " + name);
+  return PoolAt(id).capacity;
 }
 
 Result<double> AdmissionController::Available(const std::string& name) const {
-  auto it = pools_.find(name);
-  if (it == pools_.end()) return Status::NotFound("pool: " + name);
-  const double avail = it->second.capacity - it->second.used;
+  const PoolId id = FindPool(name);
+  if (id == kInvalidPoolId) return Status::NotFound("pool: " + name);
+  const Pool& pool = PoolAt(id);
+  const double avail = pool.capacity - pool.used;
   return avail > 0 ? avail : 0.0;
 }
 
 Result<double> AdmissionController::Oversubscription(
     const std::string& name) const {
-  auto it = pools_.find(name);
-  if (it == pools_.end()) return Status::NotFound("pool: " + name);
-  const double over = it->second.used - it->second.capacity;
+  const PoolId id = FindPool(name);
+  if (id == kInvalidPoolId) return Status::NotFound("pool: " + name);
+  const Pool& pool = PoolAt(id);
+  const double over = pool.used - pool.capacity;
   return over > 0 ? over : 0.0;
 }
 
@@ -44,66 +78,100 @@ Result<double> AdmissionController::SetPoolCapacity(const std::string& name,
   if (capacity < 0) {
     return Status::InvalidArgument("pool capacity must be >= 0: " + name);
   }
-  auto it = pools_.find(name);
-  if (it == pools_.end()) return Status::NotFound("pool: " + name);
-  if (capacity < it->second.capacity) {
+  const PoolId id = FindPool(name);
+  if (id == kInvalidPoolId) return Status::NotFound("pool: " + name);
+  Pool& pool = PoolAt(id);
+  if (capacity < pool.capacity) {
     ++stats_.revocations;
     if (revocations_counter_ != nullptr) revocations_counter_->Increment();
     if (tracer_ != nullptr) {
       tracer_->Event("sched", "pool_revoked", name,
-                     std::to_string(it->second.capacity) + " -> " +
+                     std::to_string(pool.capacity) + " -> " +
                          std::to_string(capacity));
     }
   }
-  it->second.capacity = capacity;
-  const double over = it->second.used - capacity;
+  pool.capacity = capacity;
+  const double over = pool.used - capacity;
   return over > 0 ? over : 0.0;
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(
     const std::vector<ResourceDemand>& demands) {
-  // Validate first so failure reserves nothing.
-  // Demands on the same pool are summed.
-  std::map<std::string, double> totals;
+  // Intern up front so unknown pools and negative amounts fail before any
+  // accounting, preserving the all-or-nothing contract.
+  std::vector<PooledDemand> interned;
+  interned.reserve(demands.size());
   for (const auto& d : demands) {
     if (d.amount < 0) {
       return Status::InvalidArgument("negative demand on pool " + d.pool);
     }
-    totals[d.pool] += d.amount;
-  }
-  for (const auto& [pool_name, amount] : totals) {
-    auto it = pools_.find(pool_name);
-    if (it == pools_.end()) {
-      return Status::NotFound("pool: " + pool_name);
+    const PoolId id = FindPool(d.pool);
+    if (id == kInvalidPoolId) {
+      return Status::NotFound("pool: " + d.pool);
     }
+    interned.push_back(PooledDemand{id, d.amount});
+  }
+  return Admit(interned);
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(
+    const std::vector<PooledDemand>& demands) {
+  // Validate first so failure reserves nothing.
+  for (const auto& d : demands) {
+    if (!ValidId(d.pool)) {
+      return Status::NotFound("pool id " + std::to_string(d.pool));
+    }
+    if (d.amount < 0) {
+      return Status::InvalidArgument("negative demand on pool " +
+                                     PoolAt(d.pool).name);
+    }
+  }
+  // Demands on the same pool are summed: sort a scratch copy by id and
+  // merge adjacent runs (ids are dense ints, so this stays cache-friendly).
+  std::vector<PooledDemand> totals(demands);
+  std::sort(totals.begin(), totals.end(),
+            [](const PooledDemand& a, const PooledDemand& b) {
+              return a.pool < b.pool;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < totals.size(); ++i) {
+    if (out > 0 && totals[out - 1].pool == totals[i].pool) {
+      totals[out - 1].amount += totals[i].amount;
+    } else {
+      totals[out++] = totals[i];
+    }
+  }
+  totals.resize(out);
+  for (const auto& d : totals) {
+    const Pool& pool = PoolAt(d.pool);
     // Small epsilon tolerance so rate arithmetic at the boundary admits.
-    if (it->second.used + amount > it->second.capacity * (1 + 1e-9)) {
+    if (pool.used + d.amount > pool.capacity * (1 + 1e-9)) {
       ++stats_.rejected;
       if (rejected_counter_ != nullptr) rejected_counter_->Increment();
       if (tracer_ != nullptr) {
-        tracer_->Event("sched", "admission_rejected", pool_name,
+        tracer_->Event("sched", "admission_rejected", pool.name,
                        "short by " +
-                           std::to_string(amount - (it->second.capacity -
-                                                    it->second.used)));
+                           std::to_string(d.amount -
+                                          (pool.capacity - pool.used)));
       }
       return Status::ResourceExhausted(
-          "pool " + pool_name + " has " +
-          std::to_string(it->second.capacity - it->second.used) + " of " +
-          std::to_string(amount) + " required");
+          "pool " + pool.name + " has " +
+          std::to_string(pool.capacity - pool.used) + " of " +
+          std::to_string(d.amount) + " required");
     }
   }
-  for (const auto& [pool_name, amount] : totals) {
-    pools_[pool_name].used += amount;
+  for (const auto& d : totals) {
+    PoolAt(d.pool).used += d.amount;
   }
   AdmissionTicket ticket;
   ticket.active_ = true;
   ticket.id_ = next_ticket_id_++;
-  ticket.demands_ = demands;
+  ticket.demands_ = std::move(totals);
   ++stats_.admitted;
   if (admitted_counter_ != nullptr) admitted_counter_->Increment();
   if (tracer_ != nullptr) {
     tracer_->Event("sched", "admitted", "ticket " + std::to_string(ticket.id_),
-                   std::to_string(demands.size()) + " demands");
+                   std::to_string(ticket.demands_.size()) + " demands");
   }
   return ticket;
 }
@@ -111,10 +179,24 @@ Result<AdmissionTicket> AdmissionController::Admit(
 void AdmissionController::Release(AdmissionTicket* ticket) {
   if (ticket == nullptr || !ticket->active_) return;
   for (const auto& d : ticket->demands_) {
-    auto it = pools_.find(d.pool);
-    if (it != pools_.end()) {
-      it->second.used -= d.amount;
-      if (it->second.used < 0) it->second.used = 0;
+    if (!ValidId(d.pool)) continue;
+    Pool& pool = PoolAt(d.pool);
+    pool.used -= d.amount;
+    if (pool.used < 0) {
+      // The clamp keeps the pool sane, but a real deficit means something
+      // released more than it reserved — count it instead of hiding it.
+      if (pool.used < -ReleaseEpsilon(pool.capacity)) {
+        ++stats_.over_releases;
+        if (over_releases_counter_ != nullptr) {
+          over_releases_counter_->Increment();
+        }
+        if (tracer_ != nullptr) {
+          tracer_->Event("sched", "over_release", pool.name,
+                         "used clamped from " + std::to_string(pool.used) +
+                             " to 0");
+        }
+      }
+      pool.used = 0;
     }
   }
   ticket->active_ = false;
@@ -140,6 +222,7 @@ void AdmissionController::BindObservability(obs::MetricsRegistry* registry,
     rejected_counter_ = nullptr;
     readmitted_counter_ = nullptr;
     revocations_counter_ = nullptr;
+    over_releases_counter_ = nullptr;
     return;
   }
   admitted_counter_ = registry->GetCounter(
@@ -153,6 +236,9 @@ void AdmissionController::BindObservability(obs::MetricsRegistry* registry,
   revocations_counter_ =
       registry->GetCounter("avdb_sched_admission_revocations_total",
                            "pool capacity reductions mid-run");
+  over_releases_counter_ =
+      registry->GetCounter("avdb_sched_admission_over_releases_total",
+                           "releases clamped at zero (double-release bugs)");
 }
 
 }  // namespace avdb

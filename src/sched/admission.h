@@ -1,8 +1,10 @@
 #ifndef AVDB_SCHED_ADMISSION_H_
 #define AVDB_SCHED_ADMISSION_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,10 +14,24 @@
 
 namespace avdb {
 
+/// Interned identity of an admission pool: a dense index assigned at
+/// RegisterPool time. Hot admit/release paths carry these instead of pool
+/// name strings, so a demand resolves in one array index instead of a
+/// red-black-tree string walk per pool per request.
+using PoolId = int32_t;
+inline constexpr PoolId kInvalidPoolId = -1;
+
 /// One resource demand inside an admission request: `amount` units from the
 /// pool named `pool` (e.g. {"disk0.bandwidth", 1.2e6} bytes/s).
 struct ResourceDemand {
   std::string pool;
+  double amount = 0;
+};
+
+/// The interned form of a demand — what tickets store and what the
+/// session-scale hot path submits directly.
+struct PooledDemand {
+  PoolId pool = kInvalidPoolId;
   double amount = 0;
 };
 
@@ -27,13 +43,15 @@ class AdmissionTicket {
 
   bool IsActive() const { return active_; }
   int64_t id() const { return id_; }
-  const std::vector<ResourceDemand>& demands() const { return demands_; }
+  /// Reserved demands, merged per pool and interned. Names resolve via
+  /// AdmissionController::PoolName.
+  const std::vector<PooledDemand>& demands() const { return demands_; }
 
  private:
   friend class AdmissionController;
   bool active_ = false;
   int64_t id_ = 0;
-  std::vector<ResourceDemand> demands_;
+  std::vector<PooledDemand> demands_;
 };
 
 /// §3.3 "scheduling — should allow application involvement": resource
@@ -43,12 +61,23 @@ class AdmissionTicket {
 /// demand vector is admitted; requests that would oversubscribe any pool
 /// fail with ResourceExhausted *before* any resource is tied up — the
 /// failure mode the paper's §4.3 pseudo-code attributes to statements 1-3.
+///
+/// Pools live in fixed-size shards (stable addresses, O(1) id lookup); the
+/// name→id map is consulted only at registration and at the string-keyed
+/// convenience entry points, never per admit/release on the id path.
 class AdmissionController {
  public:
   AdmissionController() = default;
 
   /// Defines a pool with the given capacity (AlreadyExists on collision).
   Status RegisterPool(const std::string& name, double capacity);
+
+  /// Interned id of a registered pool; kInvalidPoolId when absent. Cache
+  /// this once per session/stream and admit through the id overloads.
+  PoolId FindPool(const std::string& name) const;
+  /// Name of a registered pool id ("?" for invalid ids).
+  const std::string& PoolName(PoolId id) const;
+  size_t PoolCount() const { return static_cast<size_t>(pool_count_); }
 
   bool HasPool(const std::string& name) const;
   Result<double> Capacity(const std::string& name) const;
@@ -69,8 +98,11 @@ class AdmissionController {
   Result<double> SetPoolCapacity(const std::string& name, double capacity);
 
   /// Atomically reserves every demand (all-or-nothing). On any shortfall
-  /// nothing is reserved and the status names the limiting pool.
+  /// nothing is reserved and the status names the limiting pool. The
+  /// string-keyed form interns each demand first; per-session hot paths
+  /// should pre-intern and call the PooledDemand overload.
   Result<AdmissionTicket> Admit(const std::vector<ResourceDemand>& demands);
+  Result<AdmissionTicket> Admit(const std::vector<PooledDemand>& demands);
 
   /// Returns a ticket's reservations to their pools; idempotent.
   void Release(AdmissionTicket* ticket);
@@ -88,6 +120,11 @@ class AdmissionController {
     int64_t rejected = 0;
     int64_t readmitted = 0;   ///< successful reduced-demand re-admissions
     int64_t revocations = 0;  ///< SetPoolCapacity calls that shrank a pool
+    /// Releases that would have driven a pool's `used` below zero — a
+    /// double-release accounting bug somewhere upstream. The clamp still
+    /// protects the pool, but silently clamping *masked* the bug; this
+    /// stays 0 in a correct system (mirrors Channel's over-release stat).
+    int64_t over_releases = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -99,17 +136,35 @@ class AdmissionController {
 
  private:
   struct Pool {
+    std::string name;
     double capacity = 0;
     double used = 0;
   };
+  static constexpr int32_t kShardSize = 64;
+  struct PoolShard {
+    std::array<Pool, kShardSize> pools;
+  };
 
-  std::map<std::string, Pool> pools_;
+  Pool& PoolAt(PoolId id) {
+    return shards_[static_cast<size_t>(id) / kShardSize]
+        ->pools[static_cast<size_t>(id) % kShardSize];
+  }
+  const Pool& PoolAt(PoolId id) const {
+    return shards_[static_cast<size_t>(id) / kShardSize]
+        ->pools[static_cast<size_t>(id) % kShardSize];
+  }
+  bool ValidId(PoolId id) const { return id >= 0 && id < pool_count_; }
+
+  std::vector<std::unique_ptr<PoolShard>> shards_;
+  int32_t pool_count_ = 0;
+  std::map<std::string, PoolId> index_;  ///< registration/intern time only
   int64_t next_ticket_id_ = 1;
   Stats stats_;
   obs::Counter* admitted_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
   obs::Counter* readmitted_counter_ = nullptr;
   obs::Counter* revocations_counter_ = nullptr;
+  obs::Counter* over_releases_counter_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -56,8 +56,11 @@ Status SyncController::Report(const std::string& track, int64_t ideal_ns,
   ++stats_.reports;
   stats_.max_observed_skew_ns =
       std::max(stats_.max_observed_skew_ns, CurrentMaxSkewNs());
-  if (reports_counter_ != nullptr) {
-    reports_counter_->Increment();
+  // Each bound instrument is guarded on its own: BindObservability may have
+  // been handed a registry that produced only some of them, and one bound
+  // counter must not license dereferencing another.
+  if (reports_counter_ != nullptr) reports_counter_->Increment();
+  if (max_skew_gauge_ != nullptr) {
     max_skew_gauge_->Set(stats_.max_observed_skew_ns);
   }
   return Status::OK();
@@ -124,17 +127,24 @@ Result<int64_t> SyncController::DriftNs(const std::string& track) const {
 }
 
 int64_t SyncController::CurrentMaxSkewNs() const {
-  int64_t max_skew = 0;
-  for (auto i = tracks_.begin(); i != tracks_.end(); ++i) {
-    if (!i->second.have_drift) continue;
-    for (auto j = std::next(i); j != tracks_.end(); ++j) {
-      if (!j->second.have_drift) continue;
-      const int64_t skew = static_cast<int64_t>(
-          std::abs(i->second.drift_ns - j->second.drift_ns));
-      max_skew = std::max(max_skew, skew);
+  // Max pairwise |drift_i - drift_j| over scalars is max(drift) - min(drift):
+  // one O(n) pass. This runs on every Report, so the old O(n²) pairwise scan
+  // made each report cost quadratic in track count.
+  bool any = false;
+  double min_drift = 0;
+  double max_drift = 0;
+  for (const auto& [name, state] : tracks_) {
+    if (!state.have_drift) continue;
+    if (!any) {
+      min_drift = max_drift = state.drift_ns;
+      any = true;
+    } else {
+      min_drift = std::min(min_drift, state.drift_ns);
+      max_drift = std::max(max_drift, state.drift_ns);
     }
   }
-  return max_skew;
+  if (!any) return 0;
+  return static_cast<int64_t>(max_drift - min_drift);
 }
 
 }  // namespace avdb

@@ -52,7 +52,7 @@ Pose MoveSource::PoseAt(double fraction) const {
 Status MoveSource::OnStart() {
   const int64_t start_ns = engine()->now_ns();
   const int64_t gen = generation();
-  engine()->ScheduleAt(start_ns,
+  ScheduleOwned(start_ns,
                        [this, start_ns, gen] { Tick(0, start_ns, gen); });
   return Status::OK();
 }
@@ -77,7 +77,7 @@ void MoveSource::Tick(int64_t index, int64_t stream_start_ns, int64_t gen) {
       std::make_shared<const std::string>(PoseAt(fraction).Serialize());
   element.size_bytes = static_cast<int64_t>(element.text->size());
   Emit(out_, std::move(element));
-  engine()->ScheduleAt(ideal + period_ns,
+  ScheduleOwned(ideal + period_ns,
                        [this, next = index + 1, stream_start_ns, gen] {
                          Tick(next, stream_start_ns, gen);
                        });
@@ -146,7 +146,7 @@ void RenderActivity::OnElement(Port* in, const StreamElement& element) {
   out_element.size_bytes =
       static_cast<int64_t>(out_element.frame->SizeBytes());
   ++frames_rendered_;
-  engine()->ScheduleAt(ready_ns,
+  ScheduleOwned(ready_ns,
                        [this, out_element = std::move(out_element)] {
                          if (state() != State::kRunning) return;
                          Emit(out_, out_element);

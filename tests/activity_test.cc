@@ -240,6 +240,22 @@ TEST(PlaybackTest, StopIsAsynchronousAndIdempotent) {
   EXPECT_GT(p->window->stats().elements_presented, 5);
 }
 
+TEST(PlaybackTest, AbortMidRunCancelsPendingEvents) {
+  auto p = MakePlayback(SmallVideo(50));
+  ASSERT_TRUE(p->graph.StartAll().ok());
+  // Run 1 second of the 5-second stream, then abort the session.
+  p->graph.RunUntil(WorldTime::FromSeconds(1));
+  EXPECT_GT(p->engine.PendingEvents(), 0u);
+  ASSERT_TRUE(p->graph.StopAll().ok());
+  // A torn-down session removes its scheduled work: no closures linger in
+  // the heap waiting to fire as generation-guarded no-ops at their
+  // deadlines (the tombstone leak that made idle sessions cost memory).
+  EXPECT_EQ(p->engine.PendingEvents(), 0u);
+  EXPECT_GT(p->engine.EventsCancelled(), 0);
+  EXPECT_EQ(p->engine.RunUntilIdle(), 0);
+  EXPECT_LT(p->window->stats().elements_presented, 15);
+}
+
 TEST(PlaybackTest, SlowChannelMakesFramesLate) {
   // Raw 192x144x8@10 needs 276 KB/s but a T1 carries only ~193 KB/s: the
   // link saturates, queueing grows, and lateness accumulates beyond what

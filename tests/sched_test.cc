@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "net/channel.h"
@@ -73,6 +79,151 @@ TEST(EventEngineTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(engine.PendingEvents(), 5u);
 }
 
+TEST(EventEngineTest, CancelBeforeFireRemovesEventAndClosure) {
+  EventEngine engine;
+  auto token = std::make_shared<int>(7);
+  std::vector<int> order;
+  engine.ScheduleAt(int64_t{100}, [&] { order.push_back(1); });
+  TimerHandle doomed =
+      engine.ScheduleAt(int64_t{200}, [&order, token] { order.push_back(2); });
+  engine.ScheduleAt(int64_t{300}, [&] { order.push_back(3); });
+  EXPECT_EQ(engine.PendingEvents(), 3u);
+  EXPECT_TRUE(engine.IsPending(doomed));
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(engine.Cancel(doomed));
+  // The capture died at Cancel time, not at the deadline: no tombstone
+  // keeps session state alive.
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_EQ(engine.PendingEvents(), 2u);
+  EXPECT_FALSE(engine.IsPending(doomed));
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(engine.EventsCancelled(), 1);
+  EXPECT_EQ(engine.EventsRun(), 2);
+}
+
+TEST(EventEngineTest, CancelAfterFireIsIdempotentNoOp) {
+  EventEngine engine;
+  int runs = 0;
+  TimerHandle h = engine.ScheduleAt(int64_t{100}, [&] { ++runs; });
+  engine.RunUntilIdle();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(engine.IsPending(h));
+  EXPECT_FALSE(engine.Cancel(h));  // already fired: nothing to cancel
+  EXPECT_EQ(engine.EventsCancelled(), 0);
+}
+
+TEST(EventEngineTest, DoubleCancelCountsOnce) {
+  EventEngine engine;
+  TimerHandle h = engine.ScheduleAt(int64_t{100}, [] {});
+  EXPECT_TRUE(engine.Cancel(h));
+  EXPECT_FALSE(engine.Cancel(h));
+  EXPECT_EQ(engine.EventsCancelled(), 1);
+  EXPECT_FALSE(engine.Cancel(TimerHandle()));  // invalid handle: no-op
+  EXPECT_FALSE(engine.IsPending(TimerHandle()));
+}
+
+TEST(EventEngineTest, RecycledSlotDoesNotMatchStaleHandle) {
+  EventEngine engine;
+  TimerHandle first = engine.ScheduleAt(int64_t{100}, [] {});
+  engine.RunUntilIdle();
+  // The slot recycles for a new scheduling; the stale handle's generation
+  // no longer matches and must not cancel the newcomer.
+  bool ran = false;
+  TimerHandle second = engine.ScheduleAt(int64_t{200}, [&] { ran = true; });
+  EXPECT_FALSE(engine.Cancel(first));
+  EXPECT_TRUE(engine.IsPending(second));
+  engine.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventEngineTest, ScheduleAfterSaturatesSentinelDeadline) {
+  EventEngine engine;
+  engine.clock().AdvanceTo(1000);
+  bool fired = false;
+  TimerHandle h = engine.ScheduleAfter(std::numeric_limits<int64_t>::max(),
+                                       [&] { fired = true; });
+  // Regression: now + INT64_MAX wrapped negative, the clamp-to-now kicked
+  // in, and a "never" sentinel deadline fired immediately.
+  engine.RunUntil(int64_t{1} << 40);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(engine.IsPending(h));
+  EXPECT_EQ(engine.PendingEvents(), 1u);
+  EXPECT_TRUE(engine.Cancel(h));  // and a sentinel can still be withdrawn
+  EXPECT_EQ(engine.RunUntilIdle(), 0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventEngineTest, CompactionPreservesTieBreakDeterminism) {
+  EventEngine engine;
+  // Interleave survivors and victims at a single timestamp so the sweep has
+  // to rebuild the heap without disturbing the insertion-order tie-break.
+  std::vector<int> order;
+  std::vector<TimerHandle> victims;
+  std::vector<int> expected;
+  for (int i = 0; i < 300; ++i) {
+    if (i % 3 == 0) {
+      expected.push_back(i);
+      engine.ScheduleAt(int64_t{1000}, [&order, i] { order.push_back(i); });
+    } else {
+      victims.push_back(engine.ScheduleAt(int64_t{1000}, [] {}));
+    }
+  }
+  for (TimerHandle h : victims) EXPECT_TRUE(engine.Cancel(h));
+  EXPECT_GT(engine.Compactions(), 0);
+  EXPECT_EQ(engine.PendingEvents(), expected.size());
+  // Tombstone debt is bounded by the compaction threshold, not by the
+  // number of cancellations.
+  EXPECT_LT(engine.HeapEntries() - engine.PendingEvents(), 100u);
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventEngineTest, PendingCountsLiveEventsOnly) {
+  EventEngine engine;
+  std::vector<TimerHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(engine.ScheduleAt(int64_t{100 + i}, [] {}));
+  }
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(engine.Cancel(handles[i]));
+  EXPECT_EQ(engine.PendingEvents(), 5u);
+  EXPECT_EQ(engine.HeapEntries(), 10u);  // tombstones await lazy purge
+  EXPECT_EQ(engine.RunUntilIdle(), 5);
+  EXPECT_EQ(engine.PendingEvents(), 0u);
+  EXPECT_EQ(engine.HeapEntries(), 0u);
+}
+
+TEST(EventEngineTest, OversizedClosuresStillRun) {
+  EventEngine engine;
+  // 512 B of captured state: beyond EventCallback's inline buffer, so this
+  // exercises the heap-holder fallback.
+  std::array<int64_t, 64> big{};
+  big[0] = 41;
+  int64_t got = 0;
+  engine.ScheduleAt(int64_t{10}, [big, &got] { got = big[0] + 1; });
+  engine.RunUntilIdle();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventEngineTest, ExportsEngineMetrics) {
+  EventEngine engine;
+  obs::MetricsRegistry registry;
+  engine.BindObservability(&registry);
+  auto* pending = registry.GetGauge("avdb_sched_engine_pending");
+  auto* cancelled = registry.GetCounter("avdb_sched_engine_cancelled_total");
+  auto* compactions =
+      registry.GetCounter("avdb_sched_engine_compactions_total");
+  TimerHandle a = engine.ScheduleAt(int64_t{100}, [] {});
+  engine.ScheduleAt(int64_t{200}, [] {});
+  EXPECT_EQ(pending->Value(), 2);
+  EXPECT_TRUE(engine.Cancel(a));
+  EXPECT_EQ(pending->Value(), 1);
+  EXPECT_EQ(cancelled->Value(), 1);
+  engine.RunUntilIdle();
+  EXPECT_EQ(pending->Value(), 0);
+  EXPECT_EQ(compactions->Value(), engine.Compactions());
+}
+
 // ----------------------------------------------------------- ServiceQueue --
 
 TEST(ServiceQueueTest, IdleServerServesImmediately) {
@@ -117,6 +268,7 @@ TEST(AdmissionTest, AllOrNothing) {
   EXPECT_FALSE(t1.value().IsActive());
   auto t3 = ac.Admit({{"disk.bw", 10}, {"net.bw", 30}});
   EXPECT_TRUE(t3.ok());
+  EXPECT_EQ(ac.stats().over_releases, 0);
 }
 
 TEST(AdmissionTest, DuplicatePoolDemandsSum) {
@@ -134,6 +286,9 @@ TEST(AdmissionTest, ReleaseIsIdempotent) {
   ac.Release(&t.value());
   ac.Release(&t.value());
   EXPECT_DOUBLE_EQ(ac.Available("p").value(), 10.0);
+  // Idempotent release on the same ticket is not an over-release: the
+  // second call sees an inactive ticket and touches no pool.
+  EXPECT_EQ(ac.stats().over_releases, 0);
 }
 
 TEST(AdmissionTest, UnknownPoolAndBadDemand) {
@@ -153,6 +308,7 @@ TEST(AdmissionTest, ExclusiveDeviceAsUnitPool) {
   EXPECT_FALSE(ac.Admit({{"jukebox.arm", 1}}).ok());
   ac.Release(&t1.value());
   EXPECT_TRUE(ac.Admit({{"jukebox.arm", 1}}).ok());
+  EXPECT_EQ(ac.stats().over_releases, 0);
 }
 
 TEST(AdmissionTest, StatsCountOutcomes) {
@@ -163,6 +319,77 @@ TEST(AdmissionTest, StatsCountOutcomes) {
   EXPECT_FALSE(ac.Admit({{"p", 1}}).ok());
   EXPECT_EQ(ac.stats().admitted, 1);
   EXPECT_EQ(ac.stats().rejected, 1);
+  EXPECT_EQ(ac.stats().over_releases, 0);
+}
+
+TEST(AdmissionTest, OverReleaseIsCountedNotMasked) {
+  AdmissionController ac;
+  obs::MetricsRegistry registry;
+  ac.BindObservability(&registry, nullptr);
+  ASSERT_TRUE(ac.RegisterPool("p", 10).ok());
+  auto t = ac.Admit({{"p", 10}});
+  ASSERT_TRUE(t.ok());
+  // Simulate the double-release accounting bug the silent clamp used to
+  // mask: a stray copy of the ticket returns the same reservation twice.
+  AdmissionTicket stray = t.value();
+  ac.Release(&t.value());
+  EXPECT_EQ(ac.stats().over_releases, 0);
+  ac.Release(&stray);
+  EXPECT_EQ(ac.stats().over_releases, 1);
+  // The pool still clamps sane — the bug is surfaced, not propagated.
+  EXPECT_DOUBLE_EQ(ac.Available("p").value(), 10.0);
+  EXPECT_EQ(
+      registry.GetCounter("avdb_sched_admission_over_releases_total")->Value(),
+      1);
+}
+
+TEST(AdmissionTest, InternedIdsDriveTheFastPath) {
+  AdmissionController ac;
+  ASSERT_TRUE(ac.RegisterPool("disk.bw", 100).ok());
+  ASSERT_TRUE(ac.RegisterPool("net.bw", 50).ok());
+  const PoolId disk = ac.FindPool("disk.bw");
+  const PoolId net = ac.FindPool("net.bw");
+  ASSERT_NE(disk, kInvalidPoolId);
+  ASSERT_NE(net, kInvalidPoolId);
+  EXPECT_EQ(ac.PoolName(disk), "disk.bw");
+  EXPECT_EQ(ac.FindPool("nope"), kInvalidPoolId);
+  EXPECT_EQ(ac.PoolCount(), 2u);
+  // Duplicate ids sum, all-or-nothing still holds, release restores.
+  auto t = ac.Admit(
+      std::vector<PooledDemand>{{disk, 60}, {net, 30}, {disk, 10}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(ac.Available("disk.bw").value(), 30.0);
+  EXPECT_EQ(ac.Admit(std::vector<PooledDemand>{{net, 30}}).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(
+      ac.Admit(std::vector<PooledDemand>{{kInvalidPoolId, 1}}).status().code(),
+      StatusCode::kNotFound);
+  ac.Release(&t.value());
+  EXPECT_DOUBLE_EQ(ac.Available("disk.bw").value(), 100.0);
+  EXPECT_DOUBLE_EQ(ac.Available("net.bw").value(), 50.0);
+  EXPECT_EQ(ac.stats().over_releases, 0);
+}
+
+TEST(AdmissionTest, ShardedPoolsSurviveGrowth) {
+  // More pools than one 64-entry shard: registration must not invalidate
+  // earlier ids, and lookups must keep resolving across shard boundaries.
+  AdmissionController ac;
+  std::vector<PoolId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "pool" + std::to_string(i);
+    ASSERT_TRUE(ac.RegisterPool(name, 10 + i).ok());
+    ids.push_back(ac.FindPool(name));
+  }
+  EXPECT_EQ(ac.PoolCount(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ac.PoolName(ids[i]), "pool" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(ac.Capacity("pool" + std::to_string(i)).value(), 10 + i);
+  }
+  auto t = ac.Admit(std::vector<PooledDemand>{{ids[0], 1}, {ids[199], 2}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(ac.Available("pool199").value(), 207.0);
+  ac.Release(&t.value());
+  EXPECT_DOUBLE_EQ(ac.Available("pool199").value(), 209.0);
 }
 
 // ----------------------------------------------------------------- Jitter --
@@ -265,6 +492,50 @@ TEST(SyncControllerTest, SkewTracksDriftDifference) {
   EXPECT_EQ(sync.CurrentMaxSkewNs(), 8000);
   EXPECT_EQ(sync.stats().max_observed_skew_ns, 8000);
   EXPECT_EQ(sync.DriftNs("b").value(), 9000);
+}
+
+TEST(SyncControllerTest, ManyTrackSkewMatchesPairwiseDefinition) {
+  // Regression for the O(n²) pairwise scan: the linear max-min pass must
+  // produce exactly the max pairwise |drift_i - drift_j| it replaced.
+  SyncController::Params params;
+  params.drift_alpha = 1.0;
+  SyncController sync(params);
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  std::vector<double> drifts;
+  for (int i = 0; i < 64; ++i) {
+    const std::string track = "t" + std::to_string(i);
+    ASSERT_TRUE(sync.AddTrack(track, i == 0).ok());
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const int64_t drift =
+        static_cast<int64_t>(rng >> 40) - (int64_t{1} << 23);
+    ASSERT_TRUE(sync.Report(track, 0, drift).ok());
+    drifts.push_back(static_cast<double>(drift));
+  }
+  // A track that never reported must not participate in the extrema.
+  ASSERT_TRUE(sync.AddTrack("silent").ok());
+  int64_t brute = 0;
+  for (size_t i = 0; i < drifts.size(); ++i) {
+    for (size_t j = i + 1; j < drifts.size(); ++j) {
+      brute = std::max(
+          brute, static_cast<int64_t>(std::abs(drifts[i] - drifts[j])));
+    }
+  }
+  EXPECT_EQ(sync.CurrentMaxSkewNs(), brute);
+}
+
+TEST(SyncControllerTest, ReportSafeAcrossBindAndUnbind) {
+  SyncController sync;
+  ASSERT_TRUE(sync.AddTrack("a").ok());
+  obs::MetricsRegistry registry;
+  sync.BindObservability(&registry, nullptr);
+  ASSERT_TRUE(sync.Report("a", 0, 5).ok());
+  EXPECT_EQ(registry.GetCounter("avdb_sched_sync_reports_total")->Value(), 1);
+  EXPECT_EQ(registry.GetGauge("avdb_sched_sync_max_skew_ns")->Value(),
+            sync.stats().max_observed_skew_ns);
+  sync.BindObservability(nullptr, nullptr);
+  // With instruments unbound each pointer is guarded on its own; reporting
+  // must not dereference any of them.
+  ASSERT_TRUE(sync.Report("a", 0, 5).ok());
 }
 
 TEST(SyncControllerTest, ErrorsOnUnknownTrack) {

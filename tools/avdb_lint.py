@@ -247,7 +247,9 @@ def lint_file(rel_path, lines):
             violations.append(Violation(
                 "wallclock", rel_path, idx, lines[idx - 1]))
 
-        if in_src and not is_buffer_code:
+        # Preprocessor lines cannot allocate; without this, `#include <new>`
+        # (needed for placement new) trips the word-match below.
+        if in_src and not is_buffer_code and not line.startswith("#"):
             if NEW_RE.search(line):
                 # The private-ctor factory idiom wraps `new` in a smart-
                 # pointer constructor, often split across lines; look back
